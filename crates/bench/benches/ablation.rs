@@ -1,0 +1,194 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each variant's *simulated* cycle count (the scientifically interesting
+//! number) is printed once; Criterion then times the pipeline itself.
+//! Variants:
+//!
+//! * OR-tree height reduction on/off (conditional-move model, grep)
+//! * predicate promotion on/off (both predicated models, wc)
+//! * `select` vs `cmov` conversion primitive
+//! * non-excepting (Fig. 3) vs excepting (Fig. 4) conversions
+//! * loop unrolling factor 1/2/4
+//! * hyperblock inclusion threshold sweep
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperpred::{evaluate, Model, Pipeline};
+use hyperpred::hyperblock::{HyperblockConfig, UnrollConfig};
+use hyperpred::partial::{PartialConfig, PartialStyle};
+use hyperpred::sched::MachineConfig;
+use hyperpred::sim::{BtbConfig, Predictor, SimConfig};
+use hyperpred_workloads::{by_name, Scale};
+
+fn report(tag: &str, w: &hyperpred_workloads::Workload, model: Model, pipe: &Pipeline) -> u64 {
+    let s = evaluate(
+        &w.source,
+        &w.args,
+        model,
+        MachineConfig::new(8, 1),
+        SimConfig::default(),
+        pipe,
+    )
+    .unwrap();
+    eprintln!("[ablation] {tag}: {} cycles (ipc {:.2})", s.cycles, s.ipc());
+    s.cycles
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let machine = MachineConfig::new(8, 1);
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("ablation");
+
+    // --- OR-tree on/off on grep (the paper's §3.2 example) ----------------
+    let grep = by_name("grep", Scale::Test).unwrap();
+    for or_tree in [true, false] {
+        let pipe = Pipeline {
+            partial: PartialConfig {
+                or_tree,
+                ..PartialConfig::default()
+            },
+            ..Pipeline::default()
+        };
+        report(&format!("grep cmov or_tree={or_tree}"), &grep, Model::CondMove, &pipe);
+        group.bench_with_input(
+            BenchmarkId::new("grep-or-tree", or_tree),
+            &pipe,
+            |b, pipe| {
+                b.iter(|| evaluate(&grep.source, &grep.args, Model::CondMove, machine, sim, pipe))
+            },
+        );
+    }
+
+    // --- promotion on/off on wc -------------------------------------------
+    let wc = by_name("wc", Scale::Test).unwrap();
+    for promote in [true, false] {
+        let pipe = Pipeline {
+            promote,
+            ..Pipeline::default()
+        };
+        for model in [Model::CondMove, Model::FullPred] {
+            report(&format!("wc {model} promote={promote}"), &wc, model, &pipe);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("wc-promotion", promote),
+            &pipe,
+            |b, pipe| {
+                b.iter(|| evaluate(&wc.source, &wc.args, Model::FullPred, machine, sim, pipe))
+            },
+        );
+    }
+
+    // --- select vs cmov, excepting vs non-excepting ------------------------
+    for (tag, partial) in [
+        ("cmov-nonexc", PartialConfig::default()),
+        (
+            "select-nonexc",
+            PartialConfig {
+                style: PartialStyle::Select,
+                ..PartialConfig::default()
+            },
+        ),
+        (
+            "cmov-excepting",
+            PartialConfig {
+                nonexcepting: false,
+                ..PartialConfig::default()
+            },
+        ),
+    ] {
+        let pipe = Pipeline {
+            partial,
+            ..Pipeline::default()
+        };
+        report(&format!("wc cmov-model {tag}"), &wc, Model::CondMove, &pipe);
+        group.bench_with_input(BenchmarkId::new("wc-partial-style", tag), &pipe, |b, pipe| {
+            b.iter(|| evaluate(&wc.source, &wc.args, Model::CondMove, machine, sim, pipe))
+        });
+    }
+
+    // --- unroll factor -------------------------------------------------------
+    for factor in [1u32, 2, 4] {
+        let pipe = Pipeline {
+            unroll: UnrollConfig {
+                factor,
+                ..UnrollConfig::default()
+            },
+            ..Pipeline::default()
+        };
+        report(&format!("wc full unroll={factor}"), &wc, Model::FullPred, &pipe);
+        group.bench_with_input(BenchmarkId::new("wc-unroll", factor), &pipe, |b, pipe| {
+            b.iter(|| evaluate(&wc.source, &wc.args, Model::FullPred, machine, sim, pipe))
+        });
+    }
+
+    // --- branch predictor: bimodal (paper) vs gshare (extension) -----------
+    let qsort = by_name("qsort", Scale::Test).unwrap();
+    for (tag, predictor) in [
+        ("bimodal", Predictor::Bimodal),
+        ("gshare8", Predictor::Gshare { history_bits: 8 }),
+    ] {
+        let sim_p = SimConfig {
+            btb: BtbConfig {
+                predictor,
+                ..BtbConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let pipe = Pipeline::default();
+        let s = evaluate(&qsort.source, &qsort.args, Model::Superblock, machine, sim_p, &pipe)
+            .unwrap();
+        eprintln!(
+            "[ablation] qsort superblock {tag}: {} cycles, {} mispredicts",
+            s.cycles, s.mispredicts
+        );
+        group.bench_with_input(BenchmarkId::new("qsort-predictor", tag), &sim_p, |b, sim_p| {
+            b.iter(|| evaluate(&qsort.source, &qsort.args, Model::Superblock, machine, *sim_p, &pipe))
+        });
+    }
+
+    // --- predicate-define-to-use latency (suppression stage) ---------------
+    use hyperpred::sched::Latencies;
+    for pred_lat in [0u32, 1] {
+        let machine_l = MachineConfig {
+            latency: Latencies {
+                pred_def: pred_lat.max(1), // result latency stays >= 1 for defines
+                ..Latencies::default()
+            },
+            ..machine
+        };
+        let pipe = Pipeline::default();
+        let s = evaluate(&wc.source, &wc.args, Model::FullPred, machine_l, sim, &pipe).unwrap();
+        eprintln!(
+            "[ablation] wc full pred_def latency={}: {} cycles",
+            pred_lat.max(1),
+            s.cycles
+        );
+    }
+
+    // --- hyperblock inclusion threshold -----------------------------------
+    for ratio in [0.01f64, 0.04, 0.25] {
+        let pipe = Pipeline {
+            hyperblock: HyperblockConfig {
+                min_exec_ratio: ratio,
+                ..HyperblockConfig::default()
+            },
+            ..Pipeline::default()
+        };
+        report(&format!("wc full min_ratio={ratio}"), &wc, Model::FullPred, &pipe);
+        group.bench_with_input(
+            BenchmarkId::new("wc-threshold", format!("{ratio}")),
+            &pipe,
+            |b, pipe| {
+                b.iter(|| evaluate(&wc.source, &wc.args, Model::FullPred, machine, sim, pipe))
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

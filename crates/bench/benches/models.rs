@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the end-to-end pipeline: compile + simulate
+//! each model on representative workloads. The printed simulated-cycle
+//! numbers per configuration are the Figure 8 data points; wall-clock
+//! times measure this library itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperpred::{evaluate, Model, Pipeline};
+use hyperpred::sched::MachineConfig;
+use hyperpred::sim::SimConfig;
+use hyperpred_workloads::{by_name, Scale};
+
+fn bench_models(c: &mut Criterion) {
+    let pipe = Pipeline::default();
+    let sim = SimConfig::default();
+    let machine = MachineConfig::new(8, 1);
+    let mut group = c.benchmark_group("pipeline");
+    for name in ["wc", "grep", "eqntott", "compress"] {
+        let w = by_name(name, Scale::Test).expect("workload");
+        for model in Model::ALL {
+            // Report the simulated result once so the bench log carries the
+            // paper-relevant number alongside wall time.
+            let s = evaluate(&w.source, &w.args, model, machine, sim, &pipe).unwrap();
+            eprintln!(
+                "[models] {name:>9} {model}: {} cycles, ipc {:.2}",
+                s.cycles,
+                s.ipc()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, model),
+                &(&w, model),
+                |b, (w, model)| {
+                    b.iter(|| {
+                        evaluate(&w.source, &w.args, *model, machine, sim, &pipe).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

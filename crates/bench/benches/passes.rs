@@ -1,0 +1,111 @@
+//! Criterion benchmarks of individual compiler passes on the `wc`
+//! workload: frontend, classic optimization, superblock formation,
+//! if-conversion, promotion, partial conversion, scheduling, emulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperpred::emu::{Emulator, NullSink, Profiler};
+use hyperpred::hyperblock::{
+    form_hyperblocks, form_superblocks, promote, HyperblockConfig, SuperblockConfig,
+};
+use hyperpred::ir::FuncId;
+use hyperpred::lang::lower::entry_args;
+use hyperpred::partial::{to_partial_module, PartialConfig};
+use hyperpred::sched::{schedule_module, MachineConfig};
+use hyperpred_workloads::{by_name, Scale};
+
+fn bench_passes(c: &mut Criterion) {
+    let w = by_name("wc", Scale::Test).unwrap();
+    let mut group = c.benchmark_group("passes");
+
+    group.bench_function("frontend", |b| {
+        b.iter(|| hyperpred::lang::compile(&w.source).unwrap())
+    });
+
+    let mut base = hyperpred::lang::compile(&w.source).unwrap();
+    hyperpred::opt::optimize_module(&mut base);
+    group.bench_function("classic-opt", |b| {
+        b.iter_batched(
+            || hyperpred::lang::compile(&w.source).unwrap(),
+            |mut m| hyperpred::opt::optimize_module(&mut m),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut prof = Profiler::new();
+    Emulator::new(&base)
+        .run("main", &entry_args(&w.args), &mut prof)
+        .unwrap();
+
+    group.bench_function("superblock-formation", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| {
+                for i in 0..m.funcs.len() {
+                    let mut f = m.funcs[i].clone();
+                    form_superblocks(&mut f, FuncId(i as u32), &prof, &SuperblockConfig::default());
+                    m.funcs[i] = f;
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("if-conversion+promotion", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut m| {
+                for i in 0..m.funcs.len() {
+                    let mut f = m.funcs[i].clone();
+                    form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+                    promote(&mut f);
+                    m.funcs[i] = f;
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // A formed module for downstream passes.
+    let mut formed = base.clone();
+    for i in 0..formed.funcs.len() {
+        let mut f = formed.funcs[i].clone();
+        form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+        promote(&mut f);
+        formed.funcs[i] = f;
+    }
+
+    group.bench_function("partial-conversion", |b| {
+        b.iter_batched(
+            || formed.clone(),
+            |mut m| to_partial_module(&mut m, &PartialConfig::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("scheduling", |b| {
+        b.iter_batched(
+            || formed.clone(),
+            |mut m| schedule_module(&mut m, &MachineConfig::new(8, 1)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut sched = formed.clone();
+    schedule_module(&mut sched, &MachineConfig::new(8, 1));
+    group.bench_function("emulation", |b| {
+        b.iter(|| {
+            Emulator::new(&sched)
+                .run("main", &entry_args(&w.args), &mut NullSink)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_passes
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hyperpred-bench --bin figures            # everything
+//! cargo run --release -p hyperpred-bench --bin figures fig8       # one figure
+//! cargo run --release -p hyperpred-bench --bin figures table2
+//! cargo run --release -p hyperpred-bench --bin figures --scale test
+//! ```
+
+use hyperpred::{
+    branch_table, instruction_table, run_experiment, speedup_table, Experiment, Pipeline,
+};
+use hyperpred_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--scale") || args.iter().any(|a| a == "test") {
+        Scale::Test
+    } else {
+        Scale::Full
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| s.starts_with("fig") || s.starts_with("table"))
+        .collect();
+    let all = which.is_empty();
+    let pipe = Pipeline::default();
+
+    let fig8 = Experiment::fig8();
+    // Figure 8's results also provide Tables 2 and 3.
+    let need_fig8 = all
+        || which.contains(&"fig8")
+        || which.contains(&"table2")
+        || which.contains(&"table3");
+    let fig8_results = if need_fig8 {
+        Some(run_experiment(&fig8, scale, &pipe).expect("fig8"))
+    } else {
+        None
+    };
+    if let Some(r) = &fig8_results {
+        if all || which.contains(&"fig8") {
+            println!("{}", speedup_table(&fig8, r));
+        }
+    }
+    for (name, exp) in [
+        ("fig9", Experiment::fig9()),
+        ("fig10", Experiment::fig10()),
+        ("fig11", Experiment::fig11()),
+    ] {
+        if all || which.contains(&name) {
+            let r = run_experiment(&exp, scale, &pipe).expect(name);
+            println!("{}", speedup_table(&exp, &r));
+        }
+    }
+    if let Some(r) = &fig8_results {
+        if all || which.contains(&"table2") {
+            println!("{}", instruction_table(r));
+        }
+        if all || which.contains(&"table3") {
+            println!("{}", branch_table(r));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Benchmark-harness support (see the `figures` binary and Criterion
+//! benches under `benches/`).
+
+/// Re-exported so the benches and the `figures` binary share one facade.
+pub use hyperpred::*;

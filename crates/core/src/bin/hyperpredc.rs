@@ -1,0 +1,184 @@
+//! `hyperpredc` — command-line driver: compile a MiniC file under any of
+//! the paper's three models and run/simulate/dump it.
+//!
+//! ```text
+//! hyperpredc run  prog.c --model full --issue 8 --branches 1 [--args 1,2,3]
+//! hyperpredc sim  prog.c --model all  --issue 8 --caches
+//! hyperpredc dump prog.c --model cmov
+//! ```
+
+use hyperpred::{evaluate, speedup, Model, Pipeline};
+use hyperpred::emu::{Emulator, NullSink};
+use hyperpred::lang::lower::entry_args;
+use hyperpred::sched::MachineConfig;
+use hyperpred::sim::{CacheConfig, MemoryModel, SimConfig};
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    file: String,
+    models: Vec<Model>,
+    issue: u32,
+    branches: u32,
+    caches: bool,
+    args: Vec<i64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hyperpredc <run|sim|dump> <file.c> \
+         [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or_else(usage)?;
+    let file = it.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        file,
+        models: vec![Model::FullPred],
+        issue: 8,
+        branches: 1,
+        caches: false,
+        args: Vec::new(),
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--model" => {
+                let v = it.next().ok_or_else(usage)?;
+                opts.models = match v.as_str() {
+                    "sup" | "superblock" => vec![Model::Superblock],
+                    "cmov" | "partial" => vec![Model::CondMove],
+                    "full" => vec![Model::FullPred],
+                    "all" => Model::ALL.to_vec(),
+                    _ => return Err(usage()),
+                };
+            }
+            "--issue" => {
+                opts.issue = it.next().ok_or_else(usage)?.parse().map_err(|_| usage())?;
+            }
+            "--branches" => {
+                opts.branches = it.next().ok_or_else(usage)?.parse().map_err(|_| usage())?;
+            }
+            "--caches" => opts.caches = true,
+            "--args" => {
+                let v = it.next().ok_or_else(usage)?;
+                opts.args = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| usage()))
+                    .collect::<Result<_, _>>()?;
+            }
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(c) => return c,
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hyperpredc: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let pipe = Pipeline::default();
+    let machine = MachineConfig::new(opts.issue, opts.branches);
+    let sim = SimConfig {
+        memory: if opts.caches {
+            MemoryModel::Caches(CacheConfig::default())
+        } else {
+            MemoryModel::Perfect
+        },
+        ..SimConfig::default()
+    };
+
+    match opts.command.as_str() {
+        "dump" => {
+            for model in &opts.models {
+                let m = match pipe.compile(&source, &opts.args, *model, &machine) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("hyperpredc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("==== {model} (scheduled for {}-issue, {}-branch) ====", opts.issue, opts.branches);
+                print!("{m}");
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            for model in &opts.models {
+                let m = match pipe.compile(&source, &opts.args, *model, &machine) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("hyperpredc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut emu = Emulator::new(&m);
+                match emu.run("main", &entry_args(&opts.args), &mut NullSink) {
+                    Ok(out) => println!(
+                        "{model}: returned {} ({} instructions executed)",
+                        out.ret, out.fetched
+                    ),
+                    Err(e) => {
+                        eprintln!("hyperpredc: runtime error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "sim" => {
+            let base = match evaluate(
+                &source,
+                &opts.args,
+                Model::Superblock,
+                MachineConfig::one_issue(),
+                sim,
+                &pipe,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("hyperpredc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "baseline (1-issue superblock): {} cycles, {} insts",
+                base.cycles, base.insts
+            );
+            for model in &opts.models {
+                match evaluate(&source, &opts.args, *model, machine, sim, &pipe) {
+                    Ok(s) => println!(
+                        "{model} @ {}-issue/{}-br: {} cycles, {} insts, {} branches, {} mispredicts, ipc {:.2}, speedup {:.2}",
+                        opts.issue,
+                        opts.branches,
+                        s.cycles,
+                        s.insts,
+                        s.branches,
+                        s.mispredicts,
+                        s.ipc(),
+                        speedup(&base, &s)
+                    ),
+                    Err(e) => {
+                        eprintln!("hyperpredc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's experiment matrix: Figures 8–11 and Tables 2–3.
+
+use crate::pipeline::{evaluate, speedup, Model, Pipeline, PipelineError};
+use crate::report::{format_table, human_count, Row};
+use hyperpred_sched::MachineConfig;
+use hyperpred_sim::{CacheConfig, MemoryModel, SimConfig, SimStats};
+use hyperpred_workloads::{Scale, Workload};
+
+/// Results of one benchmark under the three models plus the scalar
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// 1-issue superblock baseline (the paper's speedup denominator).
+    pub base: SimStats,
+    /// Superblock / CondMove / FullPred on the evaluated machine.
+    pub models: [SimStats; 3],
+}
+
+impl BenchResult {
+    /// Speedup of model `m` versus the scalar baseline.
+    pub fn speedup(&self, m: Model) -> f64 {
+        let i = Model::ALL.iter().position(|&x| x == m).expect("model");
+        speedup(&self.base, &self.models[i])
+    }
+
+    /// Statistics of model `m`.
+    pub fn stats(&self, m: Model) -> &SimStats {
+        let i = Model::ALL.iter().position(|&x| x == m).expect("model");
+        &self.models[i]
+    }
+}
+
+/// One experiment configuration (a figure of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Issue width.
+    pub issue: u32,
+    /// Branch slots per cycle.
+    pub branches: u32,
+    /// Memory model.
+    pub memory: MemoryModel,
+}
+
+impl Experiment {
+    /// Figure 8: 8-issue, 1-branch, perfect caches.
+    pub fn fig8() -> Experiment {
+        Experiment {
+            title: "Figure 8: 8-issue, 1-branch, perfect caches",
+            issue: 8,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// Figure 9: 8-issue, 2-branch, perfect caches.
+    pub fn fig9() -> Experiment {
+        Experiment {
+            title: "Figure 9: 8-issue, 2-branch, perfect caches",
+            issue: 8,
+            branches: 2,
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// Figure 10: 4-issue, 1-branch, perfect caches.
+    pub fn fig10() -> Experiment {
+        Experiment {
+            title: "Figure 10: 4-issue, 1-branch, perfect caches",
+            issue: 4,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+        }
+    }
+
+    /// Figure 11: 8-issue, 1-branch, 64K I/D caches.
+    pub fn fig11() -> Experiment {
+        Experiment {
+            title: "Figure 11: 8-issue, 1-branch, 64K caches",
+            issue: 8,
+            branches: 1,
+            memory: MemoryModel::Caches(CacheConfig::default()),
+        }
+    }
+
+    fn machine(&self) -> MachineConfig {
+        MachineConfig::new(self.issue, self.branches)
+    }
+
+    fn sim(&self) -> SimConfig {
+        SimConfig {
+            memory: self.memory,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Runs one workload under an experiment configuration.
+///
+/// # Errors
+/// Propagates pipeline failures.
+pub fn run_workload(
+    w: &Workload,
+    exp: &Experiment,
+    pipe: &Pipeline,
+) -> Result<BenchResult, PipelineError> {
+    // The baseline always uses perfect memory and 1-issue (the paper's
+    // denominator is fixed across figures).
+    let base = evaluate(
+        &w.source,
+        &w.args,
+        Model::Superblock,
+        MachineConfig::one_issue(),
+        exp.sim(),
+        pipe,
+    )?;
+    let mut models = Vec::with_capacity(3);
+    for model in Model::ALL {
+        let s = evaluate(&w.source, &w.args, model, exp.machine(), exp.sim(), pipe)?;
+        assert_eq!(s.ret, base.ret, "{}: {model} diverged", w.name);
+        models.push(s);
+    }
+    Ok(BenchResult {
+        name: w.name,
+        base,
+        models: models.try_into().expect("three models"),
+    })
+}
+
+/// Runs all workloads at `scale` under `exp`.
+///
+/// # Errors
+/// Propagates the first pipeline failure.
+pub fn run_experiment(
+    exp: &Experiment,
+    scale: Scale,
+    pipe: &Pipeline,
+) -> Result<Vec<BenchResult>, PipelineError> {
+    hyperpred_workloads::all(scale)
+        .iter()
+        .map(|w| run_workload(w, exp, pipe))
+        .collect()
+}
+
+/// Renders an experiment's speedups as the paper's bar-chart data.
+pub fn speedup_table(exp: &Experiment, results: &[BenchResult]) -> String {
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for r in results {
+        let mut cells = Vec::new();
+        for (i, m) in Model::ALL.iter().enumerate() {
+            let s = r.speedup(*m);
+            sums[i] += s;
+            cells.push(format!("{s:.2}"));
+        }
+        rows.push(Row::new(r.name, cells));
+    }
+    let n = results.len() as f64;
+    rows.push(Row::new(
+        "average",
+        sums.iter().map(|s| format!("{:.2}", s / n)).collect(),
+    ));
+    format_table(
+        exp.title,
+        &["Superblock", "Cond.Move", "Full Pred."],
+        &rows,
+    )
+}
+
+/// Renders Table 2 (dynamic instruction counts, ratio vs. superblock).
+pub fn instruction_table(results: &[BenchResult]) -> String {
+    let mut rows = Vec::new();
+    for r in results {
+        let sup = r.stats(Model::Superblock).insts;
+        let cm = r.stats(Model::CondMove).insts;
+        let fp = r.stats(Model::FullPred).insts;
+        rows.push(Row::new(
+            r.name,
+            vec![
+                human_count(sup),
+                format!("{} ({:.2})", human_count(cm), cm as f64 / sup as f64),
+                format!("{} ({:.2})", human_count(fp), fp as f64 / sup as f64),
+            ],
+        ));
+    }
+    format_table(
+        "Table 2: dynamic instruction count comparison",
+        &["Superblk", "Cond. Move", "Full Pred."],
+        &rows,
+    )
+}
+
+/// Renders Table 3 (branches, mispredictions, misprediction rate).
+pub fn branch_table(results: &[BenchResult]) -> String {
+    let mut rows = Vec::new();
+    for r in results {
+        let mut cells = Vec::new();
+        for m in Model::ALL {
+            let s = r.stats(m);
+            cells.push(format!(
+                "{} {} {:.2}%",
+                human_count(s.branches),
+                human_count(s.mispredicts),
+                100.0 * s.mispredict_rate()
+            ));
+        }
+        rows.push(Row::new(r.name, cells));
+    }
+    format_table(
+        "Table 3: branches (BR MP MPR) per model",
+        &["Superblock", "Cond. Move", "Full Pred."],
+        &rows,
+    )
+}
+
+/// Arithmetic-mean speedup for a model across results.
+pub fn mean_speedup(results: &[BenchResult], m: Model) -> f64 {
+    results.iter().map(|r| r.speedup(m)).sum::<f64>() / results.len() as f64
+}

@@ -1,0 +1,62 @@
+//! `hyperpred` — full vs. partial predicated execution for ILP processors.
+//!
+//! A reproduction of Mahlke, Hank, McCormick, August & Hwu, *"A Comparison
+//! of Full and Partial Predicated Execution Support for ILP Processors"*
+//! (ISCA 1995). This crate is the facade over the whole workspace: it
+//! compiles MiniC programs under the paper's three machine/compiler
+//! models, runs the emulation-driven timing simulation, and reproduces the
+//! paper's tables and figures.
+//!
+//! # The three models
+//!
+//! * [`Model::Superblock`] — the baseline: no predication; superblock
+//!   formation plus speculative code motion of silent instructions.
+//! * [`Model::CondMove`] — *partial* predicate support: the same
+//!   hyperblock if-conversion as the full model, then conversion of every
+//!   predicated instruction into speculation + `cmov`/`cmov_com`.
+//! * [`Model::FullPred`] — *full* predicate support: a predicate register
+//!   file, guarded instructions, and typed predicate defines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hyperpred::{evaluate, speedup, Model, Pipeline};
+//! use hyperpred_sched::MachineConfig;
+//! use hyperpred_sim::SimConfig;
+//!
+//! let src = "int main() {
+//!     int i; int s; s = 0;
+//!     for (i = 0; i < 200; i += 1) { if (i % 2 == 0) s += 3; else s += 1; }
+//!     return s;
+//! }";
+//! let pipe = Pipeline::default();
+//! let machine = MachineConfig::new(8, 1);
+//! let sim = SimConfig::default();
+//! let base = evaluate(src, &[], Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
+//!     .unwrap();
+//! let full = evaluate(src, &[], Model::FullPred, machine, sim, &pipe).unwrap();
+//! assert_eq!(base.ret, full.ret);
+//! assert!(speedup(&base, &full) > 1.0);
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use experiments::{
+    branch_table, instruction_table, mean_speedup, run_experiment, run_workload,
+    speedup_table, BenchResult, Experiment,
+};
+pub use pipeline::{compile_model, evaluate, speedup, Model, Pipeline, PipelineError};
+pub use report::{format_table, Row};
+
+// Re-export the workspace layers so downstream users need one dependency.
+pub use hyperpred_emu as emu;
+pub use hyperpred_hyperblock as hyperblock;
+pub use hyperpred_ir as ir;
+pub use hyperpred_lang as lang;
+pub use hyperpred_opt as opt;
+pub use hyperpred_partial as partial;
+pub use hyperpred_sched as sched;
+pub use hyperpred_sim as sim;
+pub use hyperpred_workloads as workloads;

@@ -1,0 +1,281 @@
+//! The per-model compilation pipeline and simulation driver.
+
+use hyperpred_emu::{Emulator, EmuError, Profiler};
+use hyperpred_hyperblock::{
+    form_hyperblocks, form_superblocks, promote, unroll_self_loops, HyperblockConfig,
+    SuperblockConfig, UnrollConfig,
+};
+use hyperpred_ir::{FuncId, Module};
+use hyperpred_lang::lower::entry_args;
+use hyperpred_lang::CompileError;
+use hyperpred_partial::{to_partial_module, PartialConfig};
+use hyperpred_sched::{schedule_module, MachineConfig};
+use hyperpred_sim::{simulate, SimConfig, SimStats};
+use std::error::Error;
+use std::fmt;
+
+/// The three architecture/compiler models the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// No predication: superblock formation + speculation (baseline).
+    Superblock,
+    /// Partial predication: hyperblocks converted to conditional moves.
+    CondMove,
+    /// Full predication: hyperblocks with guarded instructions.
+    FullPred,
+}
+
+impl Model {
+    /// The three models in the paper's presentation order.
+    pub const ALL: [Model; 3] = [Model::Superblock, Model::CondMove, Model::FullPred];
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Model::Superblock => "Superblock",
+            Model::CondMove => "Cond. Move",
+            Model::FullPred => "Full Pred.",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// MiniC frontend error.
+    Compile(CompileError),
+    /// Emulation error (in profiling or simulation).
+    Emu(EmuError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+            PipelineError::Emu(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<EmuError> for PipelineError {
+    fn from(e: EmuError) -> Self {
+        PipelineError::Emu(e)
+    }
+}
+
+/// All pass configuration for the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Trace-selection tunables for the baseline model.
+    pub superblock: SuperblockConfig,
+    /// Block-selection tunables for hyperblock formation.
+    pub hyperblock: HyperblockConfig,
+    /// Full-to-partial conversion options (conditional-move model).
+    pub partial: PartialConfig,
+    /// Run predicate promotion on hyperblocks.
+    pub promote: bool,
+    /// Run the classic optimizer before and after formation.
+    pub classic_opt: bool,
+    /// Inline small functions before profiling (IMPACT-style).
+    pub inline: bool,
+    /// Loop unrolling applied to formed regions.
+    pub unroll: UnrollConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline {
+            superblock: SuperblockConfig::default(),
+            hyperblock: HyperblockConfig::default(),
+            partial: PartialConfig::default(),
+            promote: true,
+            classic_opt: true,
+            inline: true,
+            unroll: UnrollConfig::default(),
+        }
+    }
+}
+
+impl Pipeline {
+    /// Compiles MiniC `source` for `model` on `machine`: frontend, classic
+    /// optimization, profiling (one training run on `args`), region
+    /// formation, model-specific conversion, and scheduling. The returned
+    /// module is verified and ready for [`hyperpred_sim::simulate`].
+    ///
+    /// # Errors
+    /// Fails on frontend errors or if the profiling run faults.
+    pub fn compile(
+        &self,
+        source: &str,
+        args: &[i64],
+        model: Model,
+        machine: &MachineConfig,
+    ) -> Result<Module, PipelineError> {
+        let mut module = hyperpred_lang::compile(source)?;
+        if self.inline {
+            hyperpred_opt::inline::run_module(
+                &mut module,
+                &hyperpred_opt::inline::InlineConfig::default(),
+            );
+        }
+        if self.classic_opt {
+            hyperpred_opt::optimize_module(&mut module);
+        }
+        // Profile (the paper profiles the measured run itself).
+        let mut prof = Profiler::new();
+        let mut emu = Emulator::new(&module);
+        emu.run("main", &entry_args(args), &mut prof)?;
+
+        for i in 0..module.funcs.len() {
+            let fid = FuncId(i as u32);
+            let mut f = module.funcs[i].clone();
+            match model {
+                Model::Superblock => {
+                    form_superblocks(&mut f, fid, &prof, &self.superblock);
+                }
+                Model::CondMove | Model::FullPred => {
+                    form_hyperblocks(&mut f, fid, &prof, &self.hyperblock);
+                    if self.promote {
+                        promote(&mut f);
+                    }
+                    // Code the if-converter left alone (call-heavy regions)
+                    // still gets superblock treatment, as in IMPACT.
+                    form_superblocks(&mut f, fid, &prof, &self.superblock);
+                }
+            }
+            unroll_self_loops(&mut f, fid, &prof, &self.unroll);
+            module.funcs[i] = f;
+        }
+        if model == Model::CondMove {
+            to_partial_module(&mut module, &self.partial);
+        }
+        if self.classic_opt {
+            hyperpred_opt::optimize_module(&mut module);
+        }
+        schedule_module(&mut module, machine);
+        debug_assert!(module.verify().is_ok(), "{:?}", module.verify().err());
+        Ok(module)
+    }
+}
+
+/// Compiles `source` under `model` with default pipeline settings.
+///
+/// # Errors
+/// See [`Pipeline::compile`].
+pub fn compile_model(
+    source: &str,
+    args: &[i64],
+    model: Model,
+    machine: &MachineConfig,
+) -> Result<Module, PipelineError> {
+    Pipeline::default().compile(source, args, model, machine)
+}
+
+/// Compiles and simulates `source` in one call, returning timing
+/// statistics.
+///
+/// # Errors
+/// Fails on frontend or emulation errors.
+pub fn evaluate(
+    source: &str,
+    args: &[i64],
+    model: Model,
+    machine: MachineConfig,
+    sim: SimConfig,
+    pipe: &Pipeline,
+) -> Result<SimStats, PipelineError> {
+    let module = pipe.compile(source, args, model, &machine)?;
+    let stats = simulate(&module, "main", &entry_args(args), machine, sim)?;
+    Ok(stats)
+}
+
+/// Speedup of `faster` over `baseline` (the paper's metric: baseline
+/// cycles / model cycles).
+pub fn speedup(baseline: &SimStats, faster: &SimStats) -> f64 {
+    if faster.cycles == 0 {
+        0.0
+    } else {
+        baseline.cycles as f64 / faster.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_sim::SimConfig;
+
+    const SRC: &str = "int main() {
+        int i; int s; s = 0;
+        for (i = 0; i < 300; i += 1) {
+            if (i % 2 == 0) s += 3;
+            else if (i % 3 == 0) s += 7;
+            else s -= 1;
+        }
+        return s;
+    }";
+
+    #[test]
+    fn all_models_agree_on_results() {
+        let pipe = Pipeline::default();
+        let machine = MachineConfig::new(8, 1);
+        let sim = SimConfig::default();
+        let mut rets = Vec::new();
+        for model in Model::ALL {
+            let s = evaluate(SRC, &[], model, machine, sim, &pipe).unwrap();
+            rets.push(s.ret);
+        }
+        assert_eq!(rets[0], rets[1]);
+        assert_eq!(rets[1], rets[2]);
+    }
+
+    #[test]
+    fn predication_beats_baseline_on_wide_issue() {
+        let pipe = Pipeline::default();
+        let sim = SimConfig::default();
+        let base = evaluate(SRC, &[], Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
+            .unwrap();
+        let sup = evaluate(SRC, &[], Model::Superblock, MachineConfig::new(8, 1), sim, &pipe)
+            .unwrap();
+        let full = evaluate(SRC, &[], Model::FullPred, MachineConfig::new(8, 1), sim, &pipe)
+            .unwrap();
+        assert!(speedup(&base, &sup) > 1.0, "8-issue superblock beats scalar");
+        assert!(
+            speedup(&base, &full) > speedup(&base, &sup),
+            "full predication beats superblock: {} !> {}",
+            speedup(&base, &full),
+            speedup(&base, &sup)
+        );
+    }
+
+    #[test]
+    fn full_pred_removes_branches() {
+        let pipe = Pipeline::default();
+        let sim = SimConfig::default();
+        let machine = MachineConfig::new(8, 1);
+        let sup = evaluate(SRC, &[], Model::Superblock, machine, sim, &pipe).unwrap();
+        let full = evaluate(SRC, &[], Model::FullPred, machine, sim, &pipe).unwrap();
+        let cmov = evaluate(SRC, &[], Model::CondMove, machine, sim, &pipe).unwrap();
+        assert!(full.branches < sup.branches, "{} !< {}", full.branches, sup.branches);
+        assert!(cmov.branches < sup.branches);
+    }
+
+    #[test]
+    fn cmov_model_executes_more_instructions_than_full() {
+        let pipe = Pipeline::default();
+        let sim = SimConfig::default();
+        let machine = MachineConfig::new(8, 1);
+        let full = evaluate(SRC, &[], Model::FullPred, machine, sim, &pipe).unwrap();
+        let cmov = evaluate(SRC, &[], Model::CondMove, machine, sim, &pipe).unwrap();
+        assert!(cmov.insts > full.insts);
+    }
+}

@@ -1,0 +1,697 @@
+//! The IR interpreter.
+
+use crate::memory::Memory;
+use crate::trace::{Event, TraceSink};
+use hyperpred_ir::{Function, FuncId, Inst, Module, Op, Operand};
+use std::error::Error;
+use std::fmt;
+
+/// Default instruction budget; guards against non-terminating test inputs.
+pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+/// Maximum call depth.
+pub const MAX_DEPTH: usize = 8192;
+
+/// An execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// Non-speculative memory access to an invalid address.
+    Trap {
+        /// The faulting function name.
+        func: String,
+        /// Rendered faulting instruction.
+        inst: String,
+        /// The bad address.
+        addr: u64,
+    },
+    /// Non-speculative integer or float division by zero.
+    DivByZero {
+        /// The faulting function name.
+        func: String,
+        /// Rendered faulting instruction.
+        inst: String,
+    },
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// Call stack exceeded [`MAX_DEPTH`].
+    CallDepth,
+    /// The requested entry function does not exist.
+    NoFunc(String),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Trap { func, inst, addr } => {
+                write!(f, "memory trap at {addr:#x} in {func}: {inst}")
+            }
+            EmuError::DivByZero { func, inst } => {
+                write!(f, "division by zero in {func}: {inst}")
+            }
+            EmuError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            EmuError::CallDepth => write!(f, "call stack overflow"),
+            EmuError::NoFunc(n) => write!(f, "no function named {n}"),
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Value returned by the entry function (0 if it returned none).
+    pub ret: i64,
+    /// Total fetched instructions.
+    pub fetched: u64,
+}
+
+enum Flow {
+    Ret(i64),
+    Halt,
+}
+
+/// Interprets a [`Module`], streaming the dynamic trace to a
+/// [`TraceSink`].
+///
+/// # Example
+///
+/// ```
+/// use hyperpred_ir::{FuncBuilder, Module, Operand};
+/// use hyperpred_emu::{Emulator, NullSink};
+///
+/// let mut module = Module::new();
+/// let mut b = FuncBuilder::new("main");
+/// let x = b.param();
+/// let y = b.add(x.into(), Operand::Imm(5));
+/// b.ret(Some(y.into()));
+/// module.push(b.finish());
+/// module.link().unwrap();
+///
+/// let mut emu = Emulator::new(&module);
+/// let out = emu.run("main", &[37], &mut NullSink).unwrap();
+/// assert_eq!(out.ret, 42);
+/// ```
+#[derive(Debug)]
+pub struct Emulator<'m> {
+    module: &'m Module,
+    /// Simulated memory; inspect after a run for output checks.
+    pub mem: Memory,
+    fuel: u64,
+    fetched: u64,
+}
+
+impl<'m> Emulator<'m> {
+    /// Creates an emulator with fresh memory for `module`.
+    pub fn new(module: &'m Module) -> Emulator<'m> {
+        Emulator {
+            module,
+            mem: Memory::new(module),
+            fuel: DEFAULT_FUEL,
+            fetched: 0,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Emulator<'m> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `func(args...)`, streaming events to `sink`.
+    ///
+    /// # Errors
+    /// Fails on memory traps, division by zero (non-speculative), fuel
+    /// exhaustion, call overflow, or an unknown function name.
+    pub fn run<S: TraceSink>(
+        &mut self,
+        func: &str,
+        args: &[i64],
+        sink: &mut S,
+    ) -> Result<RunOutcome, EmuError> {
+        let fid = self
+            .module
+            .func_by_name(func)
+            .ok_or_else(|| EmuError::NoFunc(func.to_string()))?;
+        self.fetched = 0;
+        let flow = self.exec(fid, args, sink, 0)?;
+        let ret = match flow {
+            Flow::Ret(v) => v,
+            Flow::Halt => 0,
+        };
+        Ok(RunOutcome {
+            ret,
+            fetched: self.fetched,
+        })
+    }
+
+    fn exec<S: TraceSink>(
+        &mut self,
+        fid: FuncId,
+        args: &[i64],
+        sink: &mut S,
+        depth: usize,
+    ) -> Result<Flow, EmuError> {
+        if depth >= MAX_DEPTH {
+            return Err(EmuError::CallDepth);
+        }
+        let module = self.module;
+        let f: &Function = module.func(fid);
+        debug_assert_eq!(args.len(), f.params.len(), "arity checked by verifier");
+        let mut regs = vec![0i64; f.reg_count.max(1) as usize];
+        let mut preds = vec![false; f.pred_count.max(1) as usize];
+        for (&p, &v) in f.params.iter().zip(args) {
+            regs[p.index()] = v;
+        }
+        let val = |regs: &[i64], s: Operand| -> i64 {
+            match s {
+                Operand::Reg(r) => regs[r.index()],
+                Operand::Imm(v) => v,
+            }
+        };
+        let fval = |regs: &[i64], s: Operand| -> f64 { f64::from_bits(val(regs, s) as u64) };
+
+        let mut bpos = 0usize;
+        'blocks: loop {
+            let bid = f.layout[bpos];
+            sink.enter_block(fid, bid);
+            let insts = &f.block(bid).insts;
+            let mut idx = 0usize;
+            while idx < insts.len() {
+                let inst: &Inst = &insts[idx];
+                if self.fetched >= self.fuel {
+                    return Err(EmuError::OutOfFuel);
+                }
+                self.fetched += 1;
+
+                let guard_val = inst.guard.map_or(true, |p| preds[p.index()]);
+                // Predicate defines are NOT nullified by a false guard: Pin
+                // is an *input* to the Table 1 truth table (a false Pin
+                // still writes 0 to U-type destinations).
+                let is_pdef = inst.op.is_pred_def();
+                if !guard_val && !is_pdef {
+                    sink.inst(&Event {
+                        func: fid,
+                        block: bid,
+                        index: idx,
+                        inst,
+                        nullified: true,
+                        taken: if inst.op.is_branch() { Some(false) } else { None },
+                        mem_addr: None,
+                    });
+                    idx += 1;
+                    continue;
+                }
+
+                let mut taken = None;
+                let mut mem_addr = None;
+                let trap = |addr: u64| EmuError::Trap {
+                    func: f.name.clone(),
+                    inst: inst.to_string(),
+                    addr,
+                };
+                match inst.op {
+                    Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::AndNot
+                    | Op::OrNot | Op::Shl | Op::Shr | Op::Sra => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        let r = match inst.op {
+                            Op::Add => a.wrapping_add(b),
+                            Op::Sub => a.wrapping_sub(b),
+                            Op::Mul => a.wrapping_mul(b),
+                            Op::And => a & b,
+                            Op::Or => a | b,
+                            Op::Xor => a ^ b,
+                            Op::AndNot => a & !b,
+                            Op::OrNot => a | !b,
+                            Op::Shl => a.wrapping_shl(b as u32 & 63),
+                            Op::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                            Op::Sra => a.wrapping_shr(b as u32 & 63),
+                            _ => unreachable!(),
+                        };
+                        regs[inst.dst.unwrap().index()] = r;
+                    }
+                    Op::Div | Op::Rem => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        let r = if b == 0 {
+                            if inst.speculative {
+                                0
+                            } else {
+                                return Err(EmuError::DivByZero {
+                                    func: f.name.clone(),
+                                    inst: inst.to_string(),
+                                });
+                            }
+                        } else if inst.op == Op::Div {
+                            a.wrapping_div(b)
+                        } else {
+                            a.wrapping_rem(b)
+                        };
+                        regs[inst.dst.unwrap().index()] = r;
+                    }
+                    Op::Cmp(c) => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        regs[inst.dst.unwrap().index()] = c.eval(a, b) as i64;
+                    }
+                    Op::Mov => {
+                        regs[inst.dst.unwrap().index()] = val(&regs, inst.srcs[0]);
+                    }
+                    Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        let b = fval(&regs, inst.srcs[1]);
+                        if inst.op == Op::FDiv && b == 0.0 && !inst.speculative {
+                            return Err(EmuError::DivByZero {
+                                func: f.name.clone(),
+                                inst: inst.to_string(),
+                            });
+                        }
+                        let r = match inst.op {
+                            Op::FAdd => a + b,
+                            Op::FSub => a - b,
+                            Op::FMul => a * b,
+                            Op::FDiv => {
+                                if b == 0.0 {
+                                    0.0
+                                } else {
+                                    a / b
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        regs[inst.dst.unwrap().index()] = r.to_bits() as i64;
+                    }
+                    Op::FCmp(c) => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        let b = fval(&regs, inst.srcs[1]);
+                        regs[inst.dst.unwrap().index()] = c.eval_f(a, b) as i64;
+                    }
+                    Op::IToF => {
+                        let a = val(&regs, inst.srcs[0]);
+                        regs[inst.dst.unwrap().index()] = (a as f64).to_bits() as i64;
+                    }
+                    Op::FToI => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        regs[inst.dst.unwrap().index()] = a as i64;
+                    }
+                    Op::Ld(w) => {
+                        let addr =
+                            (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                                as u64;
+                        mem_addr = Some(addr);
+                        let v = self
+                            .mem
+                            .load(addr, w, inst.speculative)
+                            .map_err(|t| trap(t.addr))?;
+                        regs[inst.dst.unwrap().index()] = v;
+                    }
+                    Op::St(w) => {
+                        let addr =
+                            (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                                as u64;
+                        mem_addr = Some(addr);
+                        let v = val(&regs, inst.srcs[2]);
+                        self.mem
+                            .store(addr, w, v, inst.speculative)
+                            .map_err(|t| trap(t.addr))?;
+                    }
+                    Op::Br(c) => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        taken = Some(c.eval(a, b));
+                    }
+                    Op::Jump => {
+                        taken = Some(true);
+                    }
+                    Op::Call => {
+                        let callee = inst.callee.expect("linked module");
+                        let argv: Vec<i64> = inst.srcs.iter().map(|&s| val(&regs, s)).collect();
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            inst,
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        match self.exec(callee, &argv, sink, depth + 1)? {
+                            Flow::Ret(v) => regs[inst.dst.unwrap().index()] = v,
+                            Flow::Halt => return Ok(Flow::Halt),
+                        }
+                        // Re-establish block context for the trace consumer:
+                        // the callee's events interleaved; the sim treats a
+                        // call as a block boundary.
+                        sink.enter_block(fid, bid);
+                        idx += 1;
+                        continue;
+                    }
+                    Op::Ret => {
+                        let v = inst.srcs.first().map_or(0, |&s| val(&regs, s));
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            inst,
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        return Ok(Flow::Ret(v));
+                    }
+                    Op::Halt => {
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            inst,
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        return Ok(Flow::Halt);
+                    }
+                    Op::PredDef(c) | Op::FPredDef(c) => {
+                        let cmp = match inst.op {
+                            Op::PredDef(_) => {
+                                let a = val(&regs, inst.srcs[0]);
+                                let b = val(&regs, inst.srcs[1]);
+                                c.eval(a, b)
+                            }
+                            _ => {
+                                let a = fval(&regs, inst.srcs[0]);
+                                let b = fval(&regs, inst.srcs[1]);
+                                c.eval_f(a, b)
+                            }
+                        };
+                        for pd in &inst.pdsts {
+                            let old = preds[pd.reg.index()];
+                            preds[pd.reg.index()] = pd.ty.eval(guard_val, cmp, old);
+                        }
+                    }
+                    Op::PredClear => preds.fill(false),
+                    Op::PredSet => preds.fill(true),
+                    Op::Cmov | Op::CmovCom => {
+                        let v = val(&regs, inst.srcs[0]);
+                        let cond = val(&regs, inst.srcs[1]) != 0;
+                        let fire = if inst.op == Op::Cmov { cond } else { !cond };
+                        if fire {
+                            regs[inst.dst.unwrap().index()] = v;
+                        }
+                    }
+                    Op::Select => {
+                        let t = val(&regs, inst.srcs[0]);
+                        let e = val(&regs, inst.srcs[1]);
+                        let cond = val(&regs, inst.srcs[2]) != 0;
+                        regs[inst.dst.unwrap().index()] = if cond { t } else { e };
+                    }
+                    Op::Nop => {}
+                }
+
+                sink.inst(&Event {
+                    func: fid,
+                    block: bid,
+                    index: idx,
+                    inst,
+                    nullified: false,
+                    taken,
+                    mem_addr,
+                });
+
+                if taken == Some(true) {
+                    let t = inst.target.expect("verified branch");
+                    bpos = f.layout_pos(t).expect("verified target");
+                    continue 'blocks;
+                }
+                idx += 1;
+            }
+            // Fall through to the next block in layout.
+            bpos += 1;
+            debug_assert!(bpos < f.layout.len(), "verifier prevents falling off end");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{DynStats, NullSink};
+    use hyperpred_ir::{CmpOp, MemWidth};
+    use hyperpred_ir::{FuncBuilder, PredType};
+
+    fn module_of(funcs: Vec<hyperpred_ir::Function>) -> Module {
+        let mut m = Module::new();
+        for f in funcs {
+            m.push(f);
+        }
+        m.link().unwrap();
+        m.verify().unwrap();
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let y = b.mul(x.into(), Operand::Imm(3));
+        let z = b.sub(y.into(), Operand::Imm(1));
+        b.ret(Some(z.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[5], &mut NullSink).unwrap().ret, 14);
+    }
+
+    #[test]
+    fn loop_and_branch() {
+        // sum 0..n
+        let mut b = FuncBuilder::new("main");
+        let n = b.param();
+        let i = b.mov(Operand::Imm(0));
+        let acc = b.mov(Operand::Imm(0));
+        let body = b.block();
+        let done = b.block();
+        b.jump(body);
+        b.switch_to(body);
+        let acc2 = b.add(acc.into(), i.into());
+        b.mov_to(acc, acc2.into());
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), n.into(), body);
+        b.jump(done);
+        b.switch_to(done);
+        b.ret(Some(acc.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[10], &mut NullSink).unwrap().ret, 45);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        let mut callee = FuncBuilder::new("double");
+        let x = callee.param();
+        let y = callee.add(x.into(), x.into());
+        callee.ret(Some(y.into()));
+
+        let mut main = FuncBuilder::new("main");
+        let a = main.param();
+        let r = main.call("double", vec![a.into()]);
+        let r2 = main.call("double", vec![r.into()]);
+        main.ret(Some(r2.into()));
+        let m = module_of(vec![main.finish(), callee.finish()]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[3], &mut NullSink).unwrap().ret, 12);
+    }
+
+    #[test]
+    fn guard_nullifies() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        // p = (x == 0), q = !(x == 0)
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let out = b.mov(Operand::Imm(0));
+        b.mov_to(out, Operand::Imm(100));
+        b.guard_last(p);
+        b.mov_to(out, Operand::Imm(200));
+        b.guard_last(q);
+        b.ret(Some(out.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[0], &mut NullSink).unwrap().ret, 100);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[7], &mut NullSink).unwrap().ret, 200);
+    }
+
+    #[test]
+    fn pred_def_with_false_pin_writes_zero_to_u_type() {
+        let mut b = FuncBuilder::new("main");
+        let pin = b.fresh_pred();
+        let u = b.fresh_pred();
+        // pin stays false (never set); u starts... set whole file first.
+        b.emit_with(Op::PredSet, |_| {});
+        // now all preds are 1, including u. pred_eq u<U>, 0, 0 (pin=... ) —
+        // we need pin false: clear then set only u via define.
+        b.pred_clear();
+        // u = 1 via unguarded define (0 == 0).
+        b.pred_def(CmpOp::Eq, &[(u, PredType::U)], Operand::Imm(0), Operand::Imm(0), None);
+        // now define u again with a false Pin: must WRITE 0 (not leave 1).
+        b.pred_def(
+            CmpOp::Eq,
+            &[(u, PredType::U)],
+            Operand::Imm(0),
+            Operand::Imm(0),
+            Some(pin),
+        );
+        let out = b.mov(Operand::Imm(55));
+        b.mov_to(out, Operand::Imm(77));
+        b.guard_last(u);
+        b.ret(Some(out.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[], &mut NullSink).unwrap().ret, 55);
+    }
+
+    #[test]
+    fn or_type_accumulates() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        b.pred_clear();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(0));
+        b.mov_to(out, Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let m = module_of(vec![b.finish()]);
+        for (x, y, want) in [(0, 5, 1), (5, 0, 1), (5, 5, 0), (0, 0, 1)] {
+            let mut emu = Emulator::new(&m);
+            assert_eq!(emu.run("main", &[x, y], &mut NullSink).unwrap().ret, want);
+        }
+    }
+
+    #[test]
+    fn cmov_semantics() {
+        let mut b = FuncBuilder::new("main");
+        let c = b.param();
+        let out = b.mov(Operand::Imm(1));
+        b.cmov(out, Operand::Imm(2), c.into());
+        let out2 = b.mov(Operand::Imm(3));
+        b.cmov_com(out2, Operand::Imm(4), c.into());
+        let s = b.select(out.into(), out2.into(), c.into());
+        b.ret(Some(s.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        // c=1: out=2, out2=3, select -> out = 2
+        assert_eq!(emu.run("main", &[1], &mut NullSink).unwrap().ret, 2);
+        let mut emu = Emulator::new(&m);
+        // c=0: out=1, out2=4, select -> out2 = 4
+        assert_eq!(emu.run("main", &[0], &mut NullSink).unwrap().ret, 4);
+    }
+
+    #[test]
+    fn silent_load_of_bad_address_is_zero() {
+        let mut b = FuncBuilder::new("main");
+        let v = b.load(MemWidth::Word, Operand::Imm(0), Operand::Imm(0));
+        b.ret(Some(v.into()));
+        let mut f = b.finish();
+        // Non-speculative: trap.
+        let m = module_of(vec![f.clone()]);
+        let mut emu = Emulator::new(&m);
+        assert!(matches!(
+            emu.run("main", &[], &mut NullSink),
+            Err(EmuError::Trap { .. })
+        ));
+        // Speculative (silent): 0.
+        f.blocks[0].insts[0].speculative = true;
+        let m = module_of(vec![f]);
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[], &mut NullSink).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let mut b = FuncBuilder::new("main");
+        let l = b.block();
+        b.jump(l);
+        b.switch_to(l);
+        b.jump(l);
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m).with_fuel(1000);
+        assert_eq!(emu.run("main", &[], &mut NullSink), Err(EmuError::OutOfFuel));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let m = {
+            let mut b = FuncBuilder::new("main");
+            let x = b.param();
+            let xf = b.fresh();
+            b.emit_with(Op::IToF, |i| {
+                i.dst = Some(xf);
+                i.srcs = vec![x.into()];
+            });
+            let half = b.op2(Op::FMul, xf.into(), Operand::fimm(0.5));
+            let out = b.fresh();
+            b.emit_with(Op::FToI, |i| {
+                i.dst = Some(out);
+                i.srcs = vec![half.into()];
+            });
+            b.ret(Some(out.into()));
+            module_of(vec![b.finish()])
+        };
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[9], &mut NullSink).unwrap().ret, 4);
+    }
+
+    #[test]
+    fn dyn_stats_counts() {
+        let mut b = FuncBuilder::new("main");
+        let n = b.param();
+        let body = b.block();
+        let done = b.block();
+        let i = b.mov(Operand::Imm(0));
+        b.jump(body);
+        b.switch_to(body);
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), n.into(), body);
+        b.jump(done);
+        b.switch_to(done);
+        b.ret(None);
+        let m = module_of(vec![b.finish()]);
+        let mut stats = DynStats::new();
+        let mut emu = Emulator::new(&m);
+        emu.run("main", &[4], &mut stats).unwrap();
+        assert_eq!(stats.cond_branches, 4);
+        assert_eq!(stats.taken, 3 + 2); // 3 backedges + jump body + jump done
+        assert!(stats.insts >= 12);
+    }
+
+    #[test]
+    fn store_and_load_globals() {
+        let mut m = Module::new();
+        let addr = m.add_global("buf", 64, vec![]);
+        let mut b = FuncBuilder::new("main");
+        b.store(
+            MemWidth::Word,
+            Operand::Imm(addr as i64),
+            Operand::Imm(8),
+            Operand::Imm(777),
+        );
+        let v = b.load(MemWidth::Word, Operand::Imm(addr as i64), Operand::Imm(8));
+        b.ret(Some(v.into()));
+        m.push(b.finish());
+        m.link().unwrap();
+        let mut emu = Emulator::new(&m);
+        assert_eq!(emu.run("main", &[], &mut NullSink).unwrap().ret, 777);
+    }
+}

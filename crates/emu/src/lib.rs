@@ -1,0 +1,32 @@
+//! Functional emulator for the predicated IR.
+//!
+//! This crate implements the *emulation* half of the paper's
+//! emulation-driven simulation methodology (§4.1): compiled code for any of
+//! the three models (superblock / conditional move / full predication) is
+//! executed directly at the IR level, both to guarantee the transformed code
+//! is still correct and to generate the dynamic trace — branch directions,
+//! memory addresses and predicate values — consumed by the timing simulator
+//! in `hyperpred-sim`.
+//!
+//! The paper emulated predicates with PA-RISC bit-manipulation sequences
+//! (their Fig. 7); here the emulator interprets predicate semantics natively
+//! and exactly (the Table 1 truth table), which produces an equivalent
+//! trace.
+//!
+//! Main entry points:
+//!
+//! * [`Emulator::run`] — execute a module's function with a [`TraceSink`].
+//! * [`Profiler`] — a sink recording block and branch-direction profiles
+//!   used by superblock/hyperblock formation.
+//! * [`DynStats`] — a sink computing the paper's dynamic instruction and
+//!   branch counts (Tables 2 and 3 inputs).
+
+pub mod emulator;
+pub mod memory;
+pub mod profile;
+pub mod trace;
+
+pub use emulator::{EmuError, Emulator, RunOutcome};
+pub use memory::Memory;
+pub use profile::{BranchStat, Profiler};
+pub use trace::{DynStats, Event, NullSink, TraceSink};

@@ -1,0 +1,180 @@
+//! Simulated byte-addressable memory.
+
+use hyperpred_ir::module::{MEM_SIZE, NULL_GUARD, SAFE_ADDR};
+use hyperpred_ir::{MemWidth, Module};
+
+/// A memory access violation (non-speculative access outside the valid
+/// range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trap {
+    /// The offending address.
+    pub addr: u64,
+}
+
+/// Flat simulated memory, preloaded with a module's data segment.
+///
+/// The address space is `0..MEM_SIZE`. Addresses below
+/// [`NULL_GUARD`] trap on non-speculative
+/// access (a null-pointer guard page), with the single exception of
+/// [`SAFE_ADDR`] — the scratch word that
+/// nullified stores are redirected to by the partial-predication store
+/// conversion.
+///
+/// *Silent* (speculative) accesses never trap: a silent load of an invalid
+/// address produces 0 and a silent store to one is ignored, matching the
+/// paper's non-excepting instruction semantics.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates memory for `module`, copying every global's initializer.
+    pub fn new(module: &Module) -> Memory {
+        let mut bytes = vec![0u8; MEM_SIZE as usize];
+        for g in &module.globals {
+            let start = g.addr as usize;
+            bytes[start..start + g.init.len()].copy_from_slice(&g.init);
+        }
+        Memory { bytes }
+    }
+
+    #[inline]
+    fn valid(addr: u64, size: u64) -> bool {
+        (addr >= NULL_GUARD || addr == SAFE_ADDR) && addr.saturating_add(size) <= MEM_SIZE
+    }
+
+    /// Loads a value of width `w` from `addr`.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] for invalid addresses unless `silent`.
+    pub fn load(&self, addr: u64, w: MemWidth, silent: bool) -> Result<i64, Trap> {
+        if !Memory::valid(addr, w.bytes()) {
+            return if silent { Ok(0) } else { Err(Trap { addr }) };
+        }
+        let a = addr as usize;
+        Ok(match w {
+            MemWidth::Byte => self.bytes[a] as i64,
+            MemWidth::Word => {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&self.bytes[a..a + 8]);
+                i64::from_le_bytes(buf)
+            }
+        })
+    }
+
+    /// Stores `value` (truncated to width `w`) at `addr`.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] for invalid addresses unless `silent`.
+    pub fn store(&mut self, addr: u64, w: MemWidth, value: i64, silent: bool) -> Result<(), Trap> {
+        if !Memory::valid(addr, w.bytes()) {
+            return if silent { Ok(()) } else { Err(Trap { addr }) };
+        }
+        let a = addr as usize;
+        match w {
+            MemWidth::Byte => self.bytes[a] = value as u8,
+            MemWidth::Word => self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Copies `data` into the global named `name`.
+    ///
+    /// # Panics
+    /// Panics if the global does not exist or `data` exceeds its size.
+    pub fn write_global(&mut self, module: &Module, name: &str, data: &[u8]) {
+        let g = module
+            .global(name)
+            .unwrap_or_else(|| panic!("no global named {name}"));
+        assert!(
+            data.len() as u64 <= g.size,
+            "data too large for global {name}"
+        );
+        let start = g.addr as usize;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes starting at the global named `name`.
+    ///
+    /// # Panics
+    /// Panics if the global does not exist or the read exceeds its size.
+    pub fn read_global<'a>(&'a self, module: &Module, name: &str, len: u64) -> &'a [u8] {
+        let g = module
+            .global(name)
+            .unwrap_or_else(|| panic!("no global named {name}"));
+        assert!(len <= g.size, "read exceeds global {name}");
+        &self.bytes[g.addr as usize..(g.addr + len) as usize]
+    }
+
+    /// Raw view of a byte range (for checksumming in tests).
+    pub fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> (Module, Memory) {
+        let mut m = Module::new();
+        m.add_global("g", 16, vec![1, 2, 3, 4]);
+        let mem = Memory::new(&m);
+        (m, mem)
+    }
+
+    #[test]
+    fn globals_are_preloaded() {
+        let (m, mem) = mem();
+        let addr = m.global("g").unwrap().addr;
+        assert_eq!(mem.load(addr, MemWidth::Byte, false), Ok(1));
+        assert_eq!(mem.load(addr + 3, MemWidth::Byte, false), Ok(4));
+        assert_eq!(mem.load(addr + 4, MemWidth::Byte, false), Ok(0));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let (m, mut mem) = mem();
+        let addr = m.global("g").unwrap().addr;
+        mem.store(addr + 8, MemWidth::Word, -12345, false).unwrap();
+        assert_eq!(mem.load(addr + 8, MemWidth::Word, false), Ok(-12345));
+    }
+
+    #[test]
+    fn byte_load_zero_extends() {
+        let (m, mut mem) = mem();
+        let addr = m.global("g").unwrap().addr;
+        mem.store(addr, MemWidth::Byte, -1, false).unwrap();
+        assert_eq!(mem.load(addr, MemWidth::Byte, false), Ok(255));
+    }
+
+    #[test]
+    fn null_page_traps_non_speculative() {
+        let (_m, mem) = mem();
+        assert_eq!(mem.load(0, MemWidth::Word, false), Err(Trap { addr: 0 }));
+        assert_eq!(mem.load(0, MemWidth::Word, true), Ok(0));
+    }
+
+    #[test]
+    fn safe_addr_is_always_writable() {
+        let (_m, mut mem) = mem();
+        assert!(mem.store(SAFE_ADDR, MemWidth::Word, 7, false).is_ok());
+        assert_eq!(mem.load(SAFE_ADDR, MemWidth::Word, false), Ok(7));
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let (_m, mut mem) = mem();
+        assert!(mem.load(MEM_SIZE, MemWidth::Byte, false).is_err());
+        assert!(mem.store(MEM_SIZE - 4, MemWidth::Word, 1, false).is_err());
+        assert!(mem.store(MEM_SIZE - 4, MemWidth::Word, 1, true).is_ok());
+    }
+
+    #[test]
+    fn write_and_read_global() {
+        let (m, mut mem) = mem();
+        mem.write_global(&m, "g", &[9, 9]);
+        assert_eq!(mem.read_global(&m, "g", 3), &[9, 9, 3]);
+    }
+}

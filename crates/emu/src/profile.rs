@@ -1,0 +1,210 @@
+//! Execution profiling for region formation.
+
+use crate::trace::{Event, TraceSink};
+use hyperpred_ir::{BlockId, FuncId, Function, InstId, Op};
+use std::collections::HashMap;
+
+/// Taken / not-taken counts of one static branch.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStat {
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Times the branch fell through (nullified branches count here).
+    pub not_taken: u64,
+}
+
+impl BranchStat {
+    /// Total executions.
+    pub fn total(self) -> u64 {
+        self.taken + self.not_taken
+    }
+
+    /// Taken probability (0 when never executed).
+    pub fn taken_ratio(self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A profile: block entry counts and branch direction counts.
+///
+/// Profiles are keyed by [`InstId`] for branches, so they remain valid only
+/// for the exact IR they were measured on — formation passes consume the
+/// profile immediately after measuring it, matching the paper's
+/// profile-guided compilation flow.
+#[derive(Debug, Default, Clone)]
+pub struct Profiler {
+    /// Entry count per (function, block).
+    pub blocks: HashMap<(FuncId, BlockId), u64>,
+    /// Direction counts per (function, branch instruction).
+    pub branches: HashMap<(FuncId, InstId), BranchStat>,
+}
+
+impl Profiler {
+    /// Creates an empty profile.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Entry count of `block` in `func`.
+    pub fn block_count(&self, func: FuncId, block: BlockId) -> u64 {
+        self.blocks.get(&(func, block)).copied().unwrap_or(0)
+    }
+
+    /// Direction stats of the branch `inst` in `func`.
+    pub fn branch(&self, func: FuncId, inst: InstId) -> BranchStat {
+        self.branches.get(&(func, inst)).copied().unwrap_or_default()
+    }
+
+    /// Computes edge execution counts for a function whose blocks are basic
+    /// (single terminator at the end). The result maps `(from, to)` to the
+    /// number of traversals.
+    ///
+    /// # Panics
+    /// Debug-asserts the function is in basic-block form.
+    pub fn edge_counts(&self, fid: FuncId, f: &Function) -> HashMap<(BlockId, BlockId), u64> {
+        debug_assert!(f.is_basic(), "edge_counts requires basic blocks");
+        let mut edges = HashMap::new();
+        for &b in &f.layout {
+            let count = self.block_count(fid, b);
+            let block = f.block(b);
+            let n = block.insts.len();
+            // Double terminator [Br, Jump]: the jump carries the not-taken
+            // flow of the conditional branch.
+            if n >= 2 && matches!(block.insts[n - 2].op, Op::Br(_)) {
+                let br = &block.insts[n - 2];
+                let stat = self.branch(fid, br.id);
+                if let Some(tgt) = br.target {
+                    *edges.entry((b, tgt)).or_insert(0) += stat.taken;
+                }
+                let ender = &block.insts[n - 1];
+                if ender.op == Op::Jump {
+                    if let Some(tgt) = ender.target {
+                        *edges.entry((b, tgt)).or_insert(0) += stat.not_taken;
+                    }
+                }
+                continue;
+            }
+            match block.last() {
+                Some(t) if t.op.is_branch() => {
+                    let stat = self.branch(fid, t.id);
+                    if let Some(tgt) = t.target {
+                        *edges.entry((b, tgt)).or_insert(0) += stat.taken;
+                    }
+                    if t.op != Op::Jump {
+                        if let Some(next) = f.layout_next(b) {
+                            *edges.entry((b, next)).or_insert(0) += stat.not_taken;
+                        }
+                    }
+                }
+                Some(t) if t.op.ends_block() => {} // ret/halt
+                _ => {
+                    // Fall-through block.
+                    if let Some(next) = f.layout_next(b) {
+                        *edges.entry((b, next)).or_insert(0) += count;
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+impl TraceSink for Profiler {
+    fn enter_block(&mut self, func: FuncId, block: BlockId) {
+        *self.blocks.entry((func, block)).or_insert(0) += 1;
+    }
+
+    fn inst(&mut self, ev: &Event<'_>) {
+        if let Some(taken) = ev.taken {
+            let stat = self
+                .branches
+                .entry((ev.func, ev.inst.id))
+                .or_default();
+            if taken {
+                stat.taken += 1;
+            } else {
+                stat.not_taken += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::Emulator;
+    use hyperpred_ir::{CmpOp, FuncBuilder, Module, Operand};
+
+    /// main(n): loop i in 0..n { if i % 3 == 0 { } else { } }
+    fn looped_module() -> Module {
+        let mut b = FuncBuilder::new("main");
+        let n = b.param();
+        let body = b.block();
+        let then = b.block();
+        let join = b.block();
+        let done = b.block();
+        let i = b.mov(Operand::Imm(0));
+        b.jump(body);
+        b.switch_to(body);
+        let r = b.op2(hyperpred_ir::Op::Rem, i.into(), Operand::Imm(3));
+        b.br(CmpOp::Eq, r.into(), Operand::Imm(0), then);
+        // fall: else path
+        b.jump(join);
+        b.switch_to(then);
+        b.jump(join);
+        b.switch_to(join);
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), n.into(), body);
+        b.jump(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        m.verify().unwrap();
+        m
+    }
+
+    #[test]
+    fn block_counts_and_branch_ratios() {
+        let m = looped_module();
+        let mut prof = Profiler::new();
+        let mut emu = Emulator::new(&m);
+        emu.run("main", &[9], &mut prof).unwrap();
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid);
+        // body executes 9 times
+        assert_eq!(prof.block_count(fid, f.layout[1]), 9);
+        // then-block executes for i = 0,3,6 → 3 times
+        assert_eq!(prof.block_count(fid, f.layout[2]), 3);
+        // backedge branch: taken 8 of 9
+        let back = f.block(f.layout[3]).insts.iter().find(|i| i.op.is_branch()).unwrap();
+        let stat = prof.branch(fid, back.id);
+        assert!((stat.taken_ratio() - 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_counts_are_consistent_with_blocks() {
+        let m = looped_module();
+        let mut prof = Profiler::new();
+        let mut emu = Emulator::new(&m);
+        emu.run("main", &[9], &mut prof).unwrap();
+        let fid = m.func_by_name("main").unwrap();
+        let f = m.func(fid);
+        let edges = prof.edge_counts(fid, f);
+        // Inflow to each non-entry block equals its entry count.
+        for &b in f.layout.iter().skip(1) {
+            let inflow: u64 = edges
+                .iter()
+                .filter(|((_, to), _)| *to == b)
+                .map(|(_, &c)| c)
+                .sum();
+            assert_eq!(inflow, prof.block_count(fid, b), "block {b}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace events and sinks.
+
+use hyperpred_ir::{BlockId, FuncId, Inst, Op};
+use std::collections::HashMap;
+
+/// One dynamic instruction instance, delivered to a [`TraceSink`].
+///
+/// Every *fetched* instruction produces an event, including nullified
+/// predicated instructions: the paper's dynamic instruction counts (Table 2)
+/// count fetched instructions since they consume fetch and issue resources.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Function being executed.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+    /// Index of the instruction within the block.
+    pub index: usize,
+    /// The static instruction.
+    pub inst: &'a Inst,
+    /// True when the guard predicate evaluated false (instruction fetched
+    /// but suppressed).
+    pub nullified: bool,
+    /// Branch outcome: `Some(true)` taken, `Some(false)` fall-through.
+    /// `None` for non-branches. A nullified branch reports `Some(false)`.
+    pub taken: Option<bool>,
+    /// Effective address of an executed load or store.
+    pub mem_addr: Option<u64>,
+}
+
+/// Observer of the dynamic instruction stream.
+///
+/// The emulator invokes [`TraceSink::enter_block`] each time control enters
+/// a block (including re-entry via a loop back edge) and [`TraceSink::inst`]
+/// for every fetched instruction, in fetch order.
+pub trait TraceSink {
+    /// Control entered `block` of `func`.
+    fn enter_block(&mut self, func: FuncId, block: BlockId) {
+        let _ = (func, block);
+    }
+
+    /// An instruction was fetched (and executed unless `ev.nullified`).
+    fn inst(&mut self, ev: &Event<'_>) {
+        let _ = ev;
+    }
+}
+
+/// A sink that ignores everything (pure functional execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Aggregate dynamic-execution statistics (paper Tables 2 and 3 inputs).
+#[derive(Debug, Default, Clone)]
+pub struct DynStats {
+    /// Fetched instructions (includes nullified predicated instructions).
+    pub insts: u64,
+    /// Instructions suppressed by a false guard.
+    pub nullified: u64,
+    /// Dynamic branches (conditional + unconditional).
+    pub branches: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Taken branches.
+    pub taken: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Predicate define instructions fetched.
+    pub pred_defs: u64,
+    /// Conditional move / select instructions fetched.
+    pub cmovs: u64,
+    /// Block entries per (function, block).
+    pub block_entries: HashMap<(FuncId, BlockId), u64>,
+}
+
+impl DynStats {
+    /// Creates an empty counter set.
+    pub fn new() -> DynStats {
+        DynStats::default()
+    }
+}
+
+impl TraceSink for DynStats {
+    fn enter_block(&mut self, func: FuncId, block: BlockId) {
+        *self.block_entries.entry((func, block)).or_insert(0) += 1;
+    }
+
+    fn inst(&mut self, ev: &Event<'_>) {
+        self.insts += 1;
+        if ev.nullified {
+            self.nullified += 1;
+        }
+        match ev.inst.op {
+            Op::Br(_) => {
+                self.branches += 1;
+                self.cond_branches += 1;
+            }
+            Op::Jump => self.branches += 1,
+            Op::Ld(_) if !ev.nullified => self.loads += 1,
+            Op::St(_) if !ev.nullified => self.stores += 1,
+            Op::PredDef(_) | Op::FPredDef(_) => self.pred_defs += 1,
+            Op::Cmov | Op::CmovCom | Op::Select => self.cmovs += 1,
+            _ => {}
+        }
+        if ev.taken == Some(true) {
+            self.taken += 1;
+        }
+    }
+}
+
+/// Fans one trace out to two sinks.
+#[derive(Debug)]
+pub struct Tee<'a, A, B> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: TraceSink, B: TraceSink> Tee<'a, A, B> {
+    /// Combines two sinks.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    fn enter_block(&mut self, func: FuncId, block: BlockId) {
+        self.a.enter_block(func, block);
+        self.b.enter_block(func, block);
+    }
+
+    fn inst(&mut self, ev: &Event<'_>) {
+        self.a.inst(ev);
+        self.b.inst(ev);
+    }
+}

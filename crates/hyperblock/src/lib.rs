@@ -1,0 +1,27 @@
+//! Region formation: superblocks and hyperblocks.
+//!
+//! This crate implements the paper's two profile-driven region formation
+//! strategies plus predicate promotion:
+//!
+//! * [`superblock`] — trace selection and tail duplication producing
+//!   single-entry multiple-exit linear regions *without* predication
+//!   (the paper's baseline, per Hwu et al., "The Superblock").
+//! * [`ifconvert`] — hyperblock formation: profile-guided block selection
+//!   over an acyclic region followed by RK-style if-conversion onto
+//!   predicate defines (Mahlke et al., MICRO-25), producing fully
+//!   predicated single-block regions with explicit (possibly predicated)
+//!   exit branches.
+//! * [`promote()`](promote::promote) — predicate promotion (paper Fig. 2): speculating
+//!   predicated instructions whose destinations are compiler temporaries,
+//!   shortening predicate dependence chains and, for the partial-predication
+//!   model, drastically reducing the number of conditional moves needed.
+
+pub mod ifconvert;
+pub mod promote;
+pub mod superblock;
+pub mod unroll;
+
+pub use ifconvert::{form_hyperblocks, HyperblockConfig};
+pub use promote::promote;
+pub use superblock::{form_superblocks, SuperblockConfig};
+pub use unroll::{unroll_self_loops, UnrollConfig};

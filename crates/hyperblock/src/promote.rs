@@ -1,0 +1,338 @@
+//! Predicate promotion (paper §3.2, Fig. 2).
+//!
+//! Promotion removes the guard from a predicated instruction, turning it
+//! into a speculative (silent) instruction. It is profitable in two ways:
+//!
+//! * With **full** predicate support it breaks the dependence between the
+//!   predicate define and the predicated instruction, letting the scheduler
+//!   start long-latency work before the predicate is known.
+//! * For the **partial** (conditional move) model it is essential: every
+//!   predicated instruction that survives to conversion expands into
+//!   speculation + `cmov`, so fewer guarded instructions means far fewer
+//!   conditional moves (the paper's Fig. 2 shows a 6-instruction sequence
+//!   collapsing to 4).
+//!
+//! An instruction `I` (guard `p`, destination `d`) is promoted when all of
+//! the following hold:
+//!
+//! 1. `I` can execute silently (no stores, branches, calls, or predicate
+//!    defines).
+//! 2. Every use of `d` reachable from `I` before `d` is fully redefined is
+//!    itself guarded by `p` — so when `p` is false the junk value is never
+//!    observed.
+//! 3. `d` is not live into any successor block of the region (it is a
+//!    compiler temporary of this hyperblock).
+//! 4. `p` is not redefined between `I` and the last such use (guard
+//!    equality would otherwise be meaningless).
+
+use hyperpred_ir::liveness::Liveness;
+use hyperpred_ir::{Cfg, Function, Op};
+
+/// Runs promotion over every block of `f` to a fixpoint. Returns the number
+/// of instructions promoted.
+pub fn promote(f: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        let mut promoted = 0;
+        for &b in &f.layout.clone() {
+            let block_succs = cfg.succs[b.index()].clone();
+            let n = f.block(b).insts.len();
+            for i in 0..n {
+                let cand = {
+                    let inst = &f.block(b).insts[i];
+                    let Some(p) = inst.guard else { continue };
+                    if !inst.op.can_speculate() {
+                        continue;
+                    }
+                    // Conditional moves stay partial definitions even when
+                    // unguarded, so promoting them can launder junk across
+                    // iterations; only full definitions are candidates.
+                    if matches!(inst.op, Op::Cmov | Op::CmovCom) {
+                        continue;
+                    }
+                    let Some(d) = inst.dst else { continue };
+                    (p, d, inst.id)
+                };
+                let (p, d, cand_id) = cand;
+                // Scan the span from the candidate to the next full
+                // redefinition of d (or the end of the block), collecting
+                // the exit targets through which a junk value could
+                // escape.
+                let mut ok = true;
+                let mut exit_targets: Vec<hyperpred_ir::BlockId> = Vec::new();
+                let mut reaches_end = true;
+                {
+                    let insts = &f.block(b).insts;
+                    for (j, later) in insts[i + 1..].iter().enumerate() {
+                        // p redefined: any remaining use of d would compare
+                        // against a *different* p value.
+                        if later.defines_all_preds() || later.pred_defs().any(|q| q == p) {
+                            if uses_reg(later, d) || remaining_uses(&insts[i + 1 + j + 1..], d) {
+                                ok = false;
+                            }
+                            // The rest of the span is use-free; the junk
+                            // can still escape through later exits, so keep
+                            // collecting them.
+                            if !ok {
+                                break;
+                            }
+                        }
+                        if uses_reg(later, d) && later.guard != Some(p) {
+                            ok = false;
+                            break;
+                        }
+                        if later.op.is_branch() {
+                            if let Some(t) = later.target {
+                                exit_targets.push(t);
+                            }
+                            if later.op == Op::Jump && later.guard.is_none() {
+                                // Unconditional transfer: nothing after it
+                                // in this block executes.
+                                reaches_end = false;
+                                break;
+                            }
+                        }
+                        if matches!(later.op, Op::Ret | Op::Halt) && later.guard.is_none() {
+                            reaches_end = false;
+                            break;
+                        }
+                        if later.dst == Some(d) && !later.is_partial_reg_def() {
+                            reaches_end = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if reaches_end {
+                    exit_targets.extend(block_succs.iter().copied());
+                }
+                // The junk value must be unobservable at every escape
+                // target. `exposed` walks the target: a use of d before a
+                // full redefinition observes it; the candidate itself
+                // becomes a full (killing) definition once promoted.
+                if exit_targets
+                    .iter()
+                    .any(|&t| exposed(f, &lv, t, d, cand_id, b))
+                {
+                    continue;
+                }
+                let inst = &mut f.block_mut(b).insts[i];
+                inst.guard = None;
+                if inst.op.may_trap() {
+                    inst.speculative = true;
+                }
+                promoted += 1;
+            }
+        }
+        total += promoted;
+        if promoted == 0 {
+            break;
+        }
+    }
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "promotion broke {}",
+        f.name
+    );
+    total
+}
+
+/// Is `d` observable on entry to block `t`?
+///
+/// For blocks other than the candidate's own, the liveness fixpoint
+/// answers directly. For the candidate's own block (the loop back edge),
+/// the fixpoint is uselessly conservative — the candidate's partial
+/// definition makes `d` upward-exposed *because it is still guarded* — so
+/// the block is walked from the top instead: a read of `d` observes the
+/// junk; the candidate itself counts as a full (killing) definition since
+/// it will be one once promoted; a branch passed along the way leaks the
+/// junk into its target's live-in.
+fn exposed(
+    f: &Function,
+    lv: &Liveness,
+    t: hyperpred_ir::BlockId,
+    d: hyperpred_ir::Reg,
+    cand_id: hyperpred_ir::InstId,
+    self_block: hyperpred_ir::BlockId,
+) -> bool {
+    if t != self_block {
+        return lv.live_in[t.index()].regs.contains(&d);
+    }
+    for inst in &f.block(t).insts {
+        if inst.id == cand_id {
+            return false; // the promoted candidate fully redefines d
+        }
+        if uses_reg(inst, d) {
+            return true;
+        }
+        if inst.op.is_branch() {
+            if let Some(u) = inst.target {
+                // A back edge to this same block re-poses the same
+                // question; any other escape defers to the fixpoint.
+                if u != t && lv.live_in[u.index()].regs.contains(&d) {
+                    return true;
+                }
+            }
+        }
+        if inst.dst == Some(d) && !inst.is_partial_reg_def() {
+            return false;
+        }
+    }
+    lv.live_out[t.index()].regs.contains(&d)
+}
+
+/// True when `inst` reads `d` (as a source, or implicitly as a partially
+/// defined destination).
+fn uses_reg(inst: &hyperpred_ir::Inst, d: hyperpred_ir::Reg) -> bool {
+    inst.src_regs().any(|r| r == d) || (inst.is_partial_reg_def() && inst.dst == Some(d))
+}
+
+/// True when `d` is read anywhere in `insts` before being fully redefined.
+fn remaining_uses(insts: &[hyperpred_ir::Inst], d: hyperpred_ir::Reg) -> bool {
+    for inst in insts {
+        if uses_reg(inst, d) {
+            return true;
+        }
+        if inst.dst == Some(d) && !inst.is_partial_reg_def() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Statistics helper: counts guarded instructions in a function.
+pub fn guarded_count(f: &Function) -> usize {
+    f.insts()
+        .filter(|(_, _, i)| i.guard.is_some() && !matches!(i.op, Op::PredDef(_) | Op::FPredDef(_)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, FuncBuilder, MemWidth, Operand, PredType};
+
+    /// Builds the paper's Figure 2 shape: load/mul/add all guarded by p,
+    /// with y (the add's destination) live out.
+    fn figure2() -> (Function, hyperpred_ir::Reg) {
+        let mut b = FuncBuilder::new("f");
+        let addrx = b.param();
+        let offx = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            addrx.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let y = b.mov(Operand::Imm(0)); // y defined before
+        let t1 = b.load(MemWidth::Word, addrx.into(), offx.into());
+        b.guard_last(p);
+        let t2 = b.mul(t1.into(), Operand::Imm(2));
+        b.guard_last(p);
+        let t3 = b.add(t2.into(), Operand::Imm(3));
+        b.guard_last(p);
+        b.mov_to(y, t3.into());
+        b.guard_last(p);
+        b.ret(Some(y.into()));
+        (b.finish(), y)
+    }
+
+    #[test]
+    fn figure2_promotes_temporaries_only() {
+        let (mut f, y) = figure2();
+        let n = promote(&mut f);
+        assert_eq!(n, 3, "load, mul, add promoted; final mov to y stays:\n{f}");
+        let insts = &f.blocks[0].insts;
+        let load = insts.iter().find(|i| i.op.is_load()).unwrap();
+        assert!(load.guard.is_none());
+        assert!(load.speculative, "promoted load must be silent");
+        let mov_y = insts
+            .iter()
+            .find(|i| i.op == hyperpred_ir::Op::Mov && i.dst == Some(y) && !i.srcs[0].as_imm().is_some())
+            .unwrap();
+        assert!(mov_y.guard.is_some(), "write to live-out y keeps its guard");
+    }
+
+    #[test]
+    fn does_not_promote_when_use_has_different_guard() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let out = b.mov(Operand::Imm(0));
+        let t = b.add(x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        b.mov_to(out, t.into());
+        b.guard_last(q); // uses t under q, not p
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        assert_eq!(promote(&mut f), 0);
+    }
+
+    #[test]
+    fn does_not_promote_live_out_destination() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(7));
+        let exit = b.block();
+        b.mov_to(out, Operand::Imm(9));
+        b.guard_last(p);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        assert_eq!(promote(&mut f), 0, "out is live in the exit block");
+    }
+
+    #[test]
+    fn never_promotes_stores_or_branches() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.store(MemWidth::Word, x.into(), Operand::Imm(0), Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(promote(&mut f), 0);
+    }
+
+    #[test]
+    fn promoted_division_becomes_silent() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], y.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(0));
+        let t = b.op2(hyperpred_ir::Op::Div, x.into(), y.into());
+        b.guard_last(p);
+        b.mov_to(out, t.into());
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        assert_eq!(promote(&mut f), 1);
+        let div = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.op == hyperpred_ir::Op::Div)
+            .unwrap();
+        assert!(div.speculative, "promoted div must not trap on zero");
+        assert!(div.guard.is_none());
+    }
+}

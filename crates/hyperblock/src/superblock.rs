@@ -1,0 +1,468 @@
+//! Superblock formation: profile-driven trace selection, tail duplication,
+//! and trace merging.
+//!
+//! A superblock is a single-entry, multiple-exit linear region. This pass
+//! builds them in three steps (Hwu et al., *The Superblock*, 1993 — the
+//! paper's baseline compilation strategy):
+//!
+//! 1. **Trace selection** — grow a trace from the hottest unvisited block
+//!    along the most likely successor edges.
+//! 2. **Tail duplication** — copy the trace suffix reached by any side
+//!    entrance so the trace becomes single-entry.
+//! 3. **Merging** — collapse the trace into one block; internal branches
+//!    become mid-block exit branches.
+
+use hyperpred_emu::Profiler;
+use hyperpred_ir::{BlockId, Function, FuncId, Inst, Op};
+use std::collections::HashMap;
+
+/// Tunables for trace selection.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperblockConfig {
+    /// Minimum execution count for a block to seed or join a trace.
+    pub min_count: u64,
+    /// Minimum edge probability to extend a trace.
+    pub min_prob: f64,
+    /// Maximum number of instructions in a merged superblock.
+    pub max_insts: usize,
+}
+
+impl Default for SuperblockConfig {
+    fn default() -> SuperblockConfig {
+        SuperblockConfig {
+            min_count: 1,
+            min_prob: 0.60,
+            max_insts: 512,
+        }
+    }
+}
+
+/// Forms superblocks in `f` using `prof`. Returns the number of traces
+/// merged (traces of length ≥ 2).
+pub fn form_superblocks(
+    f: &mut Function,
+    fid: FuncId,
+    prof: &Profiler,
+    config: &SuperblockConfig,
+) -> usize {
+    let traces = select_traces(f, fid, prof, config);
+    let mut formed = 0;
+    for trace in traces {
+        if trace.len() < 2 {
+            continue;
+        }
+        let trace = tail_duplicate(f, &trace);
+        merge_trace(f, &trace);
+        formed += 1;
+    }
+    f.remove_unreachable();
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "superblock formation broke {}: {:?}",
+        f.name,
+        hyperpred_ir::verify::verify_function(f).err()
+    );
+    formed
+}
+
+/// The two outgoing edges of a basic block in normal form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Edges {
+    None,
+    Uncond(BlockId),
+    /// (taken target, fall target, taken probability)
+    Cond(BlockId, BlockId, f64),
+}
+
+fn edges_of(f: &Function, fid: FuncId, prof: &Profiler, b: BlockId) -> Edges {
+    let insts = &f.block(b).insts;
+    let n = insts.len();
+    if n >= 2 {
+        if let (Op::Br(_), Op::Jump) = (insts[n - 2].op, insts[n - 1].op) {
+            let br = &insts[n - 2];
+            let stat = prof.branch(fid, br.id);
+            return Edges::Cond(
+                br.target.expect("branch target"),
+                insts[n - 1].target.expect("jump target"),
+                stat.taken_ratio(),
+            );
+        }
+    }
+    match insts.last().map(|i| i.op) {
+        Some(Op::Br(_)) => {
+            let br = insts.last().unwrap();
+            let stat = prof.branch(fid, br.id);
+            match f.layout_next(b) {
+                Some(next) => Edges::Cond(br.target.unwrap(), next, stat.taken_ratio()),
+                None => Edges::Uncond(br.target.unwrap()),
+            }
+        }
+        Some(Op::Jump) => Edges::Uncond(insts.last().unwrap().target.unwrap()),
+        Some(Op::Ret) | Some(Op::Halt) => Edges::None,
+        _ => match f.layout_next(b) {
+            Some(next) => Edges::Uncond(next),
+            None => Edges::None,
+        },
+    }
+}
+
+fn select_traces(
+    f: &Function,
+    fid: FuncId,
+    prof: &Profiler,
+    config: &SuperblockConfig,
+) -> Vec<Vec<BlockId>> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut order: Vec<BlockId> = f.layout.clone();
+    order.sort_by_key(|&b| std::cmp::Reverse(prof.block_count(fid, b)));
+
+    let preds = f.preds();
+    let mut traces = Vec::new();
+    for seed in order {
+        if visited[seed.index()]
+            || prof.block_count(fid, seed) < config.min_count
+            || has_hazard(f, seed)
+        {
+            continue;
+        }
+        let mut trace = vec![seed];
+        visited[seed.index()] = true;
+        let mut insts = f.block(seed).insts.len();
+        // Grow forward along the likeliest edge.
+        let mut cur = seed;
+        loop {
+            let next = match edges_of(f, fid, prof, cur) {
+                Edges::None => None,
+                Edges::Uncond(t) => Some(t),
+                Edges::Cond(t, u, p) => {
+                    if p >= config.min_prob {
+                        Some(t)
+                    } else if 1.0 - p >= config.min_prob {
+                        Some(u)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some(next) = next else { break };
+            if visited[next.index()]
+                || trace.contains(&next)
+                || prof.block_count(fid, next) < config.min_count
+                || insts + f.block(next).insts.len() > config.max_insts
+                || has_hazard(f, next)
+            {
+                break;
+            }
+            insts += f.block(next).insts.len();
+            trace.push(next);
+            visited[next.index()] = true;
+            cur = next;
+        }
+        // Grow backward from the seed along the likeliest predecessor whose
+        // best successor is the seed.
+        let mut head = seed;
+        loop {
+            let best = preds[head.index()]
+                .iter()
+                .copied()
+                .filter(|p| !visited[p.index()] && !has_hazard(f, *p))
+                .max_by_key(|&p| prof.block_count(fid, p));
+            let Some(p) = best else { break };
+            // p's most likely successor must be `head` with good probability.
+            let ok = match edges_of(f, fid, prof, p) {
+                Edges::Uncond(t) => t == head,
+                Edges::Cond(t, u, prob) => {
+                    (t == head && prob >= config.min_prob)
+                        || (u == head && 1.0 - prob >= config.min_prob)
+                }
+                Edges::None => false,
+            };
+            if !ok
+                || prof.block_count(fid, p) < config.min_count
+                || insts + f.block(p).insts.len() > config.max_insts
+            {
+                break;
+            }
+            insts += f.block(p).insts.len();
+            trace.insert(0, p);
+            visited[p.index()] = true;
+            head = p;
+        }
+        traces.push(trace);
+    }
+    traces
+}
+
+/// Blocks that must never join a trace: returns, already-predicated code
+/// (formed hyperblocks), and blocks that are not in basic-block shape
+/// (mid-block exits from earlier region formation).
+fn has_hazard(f: &Function, b: BlockId) -> bool {
+    let insts = &f.block(b).insts;
+    let n = insts.len();
+    let basic = insts.iter().enumerate().all(|(i, inst)| {
+        !inst.is_exit()
+            || i + 1 == n
+            || (i + 2 == n && matches!(inst.op, Op::Br(_)) && insts[n - 1].op.ends_block())
+    });
+    !basic
+        || insts.iter().any(|i| {
+            matches!(i.op, Op::Ret | Op::Halt)
+                || i.guard.is_some()
+                || i.op.is_pred_def()
+                || matches!(i.op, Op::PredClear | Op::PredSet)
+        })
+}
+
+/// Makes all fall-throughs of `b` explicit (appends a jump), so the block
+/// can be relocated safely.
+fn make_explicit(f: &mut Function, b: BlockId) {
+    if !f.block(b).ends_explicitly() {
+        if let Some(next) = f.layout_next(b) {
+            let mut j = f.make_inst(Op::Jump);
+            j.target = Some(next);
+            f.block_mut(b).insts.push(j);
+        }
+    }
+}
+
+/// Removes side entrances: whenever a trace block (other than the head) has
+/// a predecessor that is not its trace predecessor, the trace suffix from
+/// that block onward is duplicated and the side entrances are rewired to
+/// the copy. Returns the (unchanged) trace, which is afterwards
+/// single-entry.
+fn tail_duplicate(f: &mut Function, trace: &[BlockId]) -> Vec<BlockId> {
+    for i in 1..trace.len() {
+        let b = trace[i];
+        let prev = trace[i - 1];
+        let preds = f.preds();
+        let side: Vec<BlockId> = preds[b.index()]
+            .iter()
+            .copied()
+            .filter(|&p| p != prev)
+            .collect();
+        if side.is_empty() {
+            continue;
+        }
+        // Duplicate the suffix trace[i..].
+        let suffix: Vec<BlockId> = trace[i..].to_vec();
+        // Make every suffix block's fall-through explicit first so clones
+        // are position-independent.
+        for &s in &suffix {
+            make_explicit(f, s);
+        }
+        // Side entrances may fall through into b; make those explicit too.
+        for &p in &side {
+            make_explicit(f, p);
+        }
+        let mut clone_of: HashMap<BlockId, BlockId> = HashMap::new();
+        for &s in &suffix {
+            let c = f.add_block();
+            clone_of.insert(s, c);
+        }
+        for &s in &suffix {
+            let insts: Vec<Inst> = f.block(s).insts.clone();
+            let mut cloned = Vec::with_capacity(insts.len());
+            for inst in &insts {
+                let mut ci = f.clone_inst(inst);
+                if let Some(t) = ci.target {
+                    if let Some(&ct) = clone_of.get(&t) {
+                        ci.target = Some(ct);
+                    }
+                }
+                cloned.push(ci);
+            }
+            let c = clone_of[&s];
+            f.block_mut(c).insts = cloned;
+        }
+        // Rewire the side entrances to the clone of b.
+        let cb = clone_of[&b];
+        for &p in &side {
+            for inst in &mut f.block_mut(p).insts {
+                if inst.op.is_branch() && inst.target == Some(b) {
+                    inst.target = Some(cb);
+                }
+            }
+        }
+    }
+    trace.to_vec()
+}
+
+/// Collapses the (now single-entry) trace into its head block. Internal
+/// control transfers are rewritten so execution simply continues into the
+/// appended instructions.
+///
+/// Every trace block's terminator is made explicit first (`[... Br, Jump]`
+/// form), so the merge never has to reason about layout-dependent
+/// fall-throughs; redundant jumps left behind are cleaned up by the CFG
+/// optimizer.
+fn merge_trace(f: &mut Function, trace: &[BlockId]) {
+    for &b in trace {
+        make_explicit(f, b);
+    }
+    let head = trace[0];
+    for i in 1..trace.len() {
+        let next = trace[i];
+        // Fix the merged tail so "continue to the next instruction" means
+        // "enter `next`". The tail is explicit: it ends with Jump, Ret, or
+        // Halt, optionally preceded by a conditional branch.
+        {
+            let insts = &mut f.blocks[head.index()].insts;
+            let n = insts.len();
+            debug_assert!(n > 0 && insts[n - 1].op.ends_block());
+            if insts[n - 1].op == Op::Jump && insts[n - 1].target == Some(next) {
+                insts.pop();
+                let m = insts.len();
+                if m > 0 {
+                    if let Op::Br(c) = insts[m - 1].op {
+                        if insts[m - 1].target == Some(next) {
+                            // Br next + Jump next: both redundant.
+                            insts.pop();
+                            let _ = c;
+                        }
+                    }
+                }
+            } else if n >= 2 {
+                if let (Op::Br(c), Op::Jump) = (insts[n - 2].op, insts[n - 1].op) {
+                    if insts[n - 2].target == Some(next) {
+                        // [Br next, Jump u] -> [Br(!c) u]; fall into next.
+                        let u = insts[n - 1].target;
+                        insts.pop();
+                        let m = insts.len();
+                        insts[m - 1].op = Op::Br(c.inverse());
+                        insts[m - 1].target = u;
+                    }
+                }
+            }
+        }
+        // Append next's instructions.
+        let moved = std::mem::take(&mut f.blocks[next.index()].insts);
+        f.blocks[head.index()].insts.extend(moved);
+        f.layout.retain(|&x| x != next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_lang::compile;
+    use hyperpred_lang::lower::entry_args;
+    use hyperpred_opt::optimize_module;
+
+    fn profile(m: &hyperpred_ir::Module, args: &[i64]) -> Profiler {
+        let mut prof = Profiler::new();
+        let mut emu = Emulator::new(m);
+        emu.run("main", &entry_args(args), &mut prof).unwrap();
+        prof
+    }
+
+    fn form_all(m: &mut hyperpred_ir::Module, prof: &Profiler) -> usize {
+        let mut formed = 0;
+        for i in 0..m.funcs.len() {
+            let fid = FuncId(i as u32);
+            let mut f = m.funcs[i].clone();
+            formed += form_superblocks(&mut f, fid, prof, &SuperblockConfig::default());
+            m.funcs[i] = f;
+        }
+        formed
+    }
+
+    #[test]
+    fn biased_branch_becomes_superblock_exit() {
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 100; i += 1) {
+                if (i % 10 == 0) s += 100;  // unlikely path
+                else s += 1;                // likely path
+            }
+            return s;
+        }";
+        let mut m = compile(src).unwrap();
+        optimize_module(&mut m);
+        let prof = profile(&m, &[]);
+        let formed = form_all(&mut m, &prof);
+        assert!(formed >= 1, "should form at least one trace");
+        // The hot path is now one block with a mid-block exit branch.
+        let has_superblock = m.funcs[0].layout.iter().any(|&b| {
+            let insts = &m.funcs[0].block(b).insts;
+            insts
+                .iter()
+                .enumerate()
+                .any(|(i, inst)| inst.op.is_branch() && i + 2 < insts.len())
+        });
+        assert!(has_superblock, "expected a mid-block exit branch:\n{}", m.funcs[0]);
+        // Behaviour must be preserved.
+        let mut emu = Emulator::new(&m);
+        let r = emu.run("main", &entry_args(&[]), &mut NullSink).unwrap();
+        assert_eq!(r.ret, 10 * 100 + 90);
+    }
+
+    #[test]
+    fn tail_duplication_removes_side_entrances() {
+        // Join point: both arms of the if flow into the loop latch; the
+        // latch is on the trace, so the cold arm must get a duplicate.
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 60; i += 1) {
+                if (i % 6 == 0) s += 2; else s += 1;
+                s += 10;   // join-point code, duplicated for the cold arm
+            }
+            return s;
+        }";
+        let mut m = compile(src).unwrap();
+        optimize_module(&mut m);
+        let want = {
+            let mut emu = Emulator::new(&m);
+            emu.run("main", &entry_args(&[]), &mut NullSink).unwrap().ret
+        };
+        let prof = profile(&m, &[]);
+        form_all(&mut m, &prof);
+        m.verify().unwrap();
+        let mut emu = Emulator::new(&m);
+        let got = emu.run("main", &entry_args(&[]), &mut NullSink).unwrap().ret;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn superblocks_reduce_dynamic_jumps() {
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 200; i += 1) { if (i % 17 == 0) s += 3; s += i; }
+            return s;
+        }";
+        let mut m = compile(src).unwrap();
+        optimize_module(&mut m);
+        let prof = profile(&m, &[]);
+        let mut stats0 = hyperpred_emu::DynStats::new();
+        Emulator::new(&m).run("main", &entry_args(&[]), &mut stats0).unwrap();
+        form_all(&mut m, &prof);
+        optimize_module(&mut m);
+        let mut stats1 = hyperpred_emu::DynStats::new();
+        Emulator::new(&m).run("main", &entry_args(&[]), &mut stats1).unwrap();
+        assert!(
+            stats1.branches <= stats0.branches,
+            "superblocks should not add dynamic branches ({} > {})",
+            stats1.branches,
+            stats0.branches
+        );
+    }
+
+    #[test]
+    fn respects_max_insts() {
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 10; i += 1) { s += i; }
+            return s;
+        }";
+        let mut m = compile(src).unwrap();
+        optimize_module(&mut m);
+        let prof = profile(&m, &[]);
+        let tiny = SuperblockConfig {
+            max_insts: 1,
+            ..SuperblockConfig::default()
+        };
+        let f = &mut m.funcs[0].clone();
+        let formed = form_superblocks(f, FuncId(0), &prof, &tiny);
+        assert_eq!(formed, 0, "cap of 1 instruction admits no merge");
+    }
+}

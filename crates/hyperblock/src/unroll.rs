@@ -1,0 +1,322 @@
+//! Superblock / hyperblock loop unrolling.
+//!
+//! IMPACT's superblock optimizer unrolls superblock loops so the scheduler
+//! can overlap consecutive iterations — essential on an in-order machine,
+//! where a stalled instruction blocks everything younger. After region
+//! formation a loop is a single block whose final instruction transfers
+//! control back to the block itself; unrolling by `n` concatenates `n`
+//! copies of the body:
+//!
+//! * a final unconditional back edge (`jump -> self`) is dropped from all
+//!   but the last copy (fall into the next copy);
+//! * a final conditional back edge (`br c -> self`, exit on fall-through)
+//!   is inverted in all but the last copy (`br !c -> exit`), falling into
+//!   the next copy on the loop path;
+//! * mid-block exit branches are replicated per copy unchanged.
+//!
+//! Register renaming is unnecessary: the IR is not SSA, and each copy
+//! recomputes its temporaries; loop-carried values flow through the same
+//! registers exactly as across real iterations.
+
+use hyperpred_emu::Profiler;
+use hyperpred_ir::{BlockId, Function, FuncId, Inst, Op};
+
+/// Unrolling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UnrollConfig {
+    /// Number of body copies (1 disables unrolling).
+    pub factor: u32,
+    /// Loops whose body exceeds this many instructions are left alone.
+    pub max_body_insts: usize,
+    /// Minimum profiled entry count for a loop to be worth unrolling.
+    /// Formation-created clones carry no profile, so the default is 0 (the
+    /// self-loop pattern itself proves a loop).
+    pub min_count: u64,
+}
+
+impl Default for UnrollConfig {
+    fn default() -> UnrollConfig {
+        UnrollConfig {
+            factor: 4,
+            max_body_insts: 80,
+            min_count: 0,
+        }
+    }
+}
+
+/// The recognized self-loop tail of a block.
+enum Tail {
+    /// `[.., jump -> self]` — unguarded.
+    Jump,
+    /// `[.., br c -> self]` with fall-through exit to `next`.
+    BrFall(BlockId),
+    /// `[.., br c -> self, jump X]`.
+    BrJump,
+}
+
+fn self_loop_tail(f: &Function, b: BlockId) -> Option<Tail> {
+    let insts = &f.block(b).insts;
+    let n = insts.len();
+    if n < 2 {
+        return None;
+    }
+    let last = &insts[n - 1];
+    if last.op == Op::Jump && last.guard.is_none() && last.target == Some(b) {
+        return Some(Tail::Jump);
+    }
+    if let Op::Br(_) = last.op {
+        if last.guard.is_none() && last.target == Some(b) {
+            // Fall-through must go somewhere real.
+            return f.layout_next(b).map(Tail::BrFall);
+        }
+    }
+    if n >= 3 {
+        if let (Op::Br(_), Op::Jump) = (insts[n - 2].op, insts[n - 1].op) {
+            if insts[n - 2].guard.is_none()
+                && insts[n - 2].target == Some(b)
+                && insts[n - 1].guard.is_none()
+                && insts[n - 1].target != Some(b)
+            {
+                return Some(Tail::BrJump);
+            }
+        }
+    }
+    // No other back edges may exist mid-block (a mid-block branch to self
+    // would re-enter the loop from inside a copy).
+    None
+}
+
+/// Unrolls every eligible self-loop block of `f`. Returns how many loops
+/// were unrolled.
+pub fn unroll_self_loops(
+    f: &mut Function,
+    fid: FuncId,
+    prof: &Profiler,
+    config: &UnrollConfig,
+) -> usize {
+    if config.factor <= 1 {
+        return 0;
+    }
+    let mut done = 0;
+    for &b in &f.layout.clone() {
+        let insts_len = f.block(b).insts.len();
+        if insts_len == 0 || insts_len > config.max_body_insts {
+            continue;
+        }
+        if prof.block_count(fid, b) < config.min_count {
+            continue;
+        }
+        // Only one branch may target the block itself, and it must be the
+        // recognized tail.
+        let self_branches = f
+            .block(b)
+            .insts
+            .iter()
+            .filter(|i| i.op.is_branch() && i.target == Some(b))
+            .count();
+        if self_branches != 1 {
+            continue;
+        }
+        let Some(tail) = self_loop_tail(f, b) else { continue };
+        let body: Vec<Inst> = f.block(b).insts.clone();
+        let n = body.len();
+        let mut out: Vec<Inst> = Vec::with_capacity(n * config.factor as usize);
+        for copy in 0..config.factor {
+            let last_copy = copy + 1 == config.factor;
+            match tail {
+                Tail::Jump => {
+                    let keep = if last_copy { n } else { n - 1 };
+                    for inst in &body[..keep] {
+                        out.push(f.clone_inst(inst));
+                    }
+                }
+                Tail::BrFall(exit) => {
+                    for inst in &body[..n - 1] {
+                        out.push(f.clone_inst(inst));
+                    }
+                    let mut br = f.clone_inst(&body[n - 1]);
+                    if !last_copy {
+                        // Loop-continue becomes fall-through; exit becomes
+                        // the taken side.
+                        let Op::Br(c) = br.op else { unreachable!() };
+                        br.op = Op::Br(c.inverse());
+                        br.target = Some(exit);
+                    }
+                    out.push(br);
+                }
+                Tail::BrJump => {
+                    for inst in &body[..n - 2] {
+                        out.push(f.clone_inst(inst));
+                    }
+                    let mut br = f.clone_inst(&body[n - 2]);
+                    if last_copy {
+                        out.push(br);
+                        out.push(f.clone_inst(&body[n - 1]));
+                    } else {
+                        let Op::Br(c) = br.op else { unreachable!() };
+                        br.op = Op::Br(c.inverse());
+                        br.target = body[n - 1].target;
+                        out.push(br);
+                    }
+                }
+            }
+        }
+        f.block_mut(b).insts = out;
+        done += 1;
+    }
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "unrolling broke {}: {:?}",
+        f.name,
+        hyperpred_ir::verify::verify_function(f).err()
+    );
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_ir::{CmpOp, FuncBuilder, Module, Operand};
+
+    fn loop_module() -> Module {
+        // acc = sum(0..100)
+        let mut b = FuncBuilder::new("main");
+        let acc = b.mov(Operand::Imm(0));
+        let i = b.mov(Operand::Imm(0));
+        let body = b.block();
+        let exit = b.block();
+        b.jump(body);
+        b.switch_to(body);
+        let acc2 = b.add(acc.into(), i.into());
+        b.mov_to(acc, acc2.into());
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), Operand::Imm(100), body);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        m
+    }
+
+    fn profile(m: &Module) -> Profiler {
+        let mut prof = Profiler::new();
+        Emulator::new(m).run("main", &[], &mut prof).unwrap();
+        prof
+    }
+
+    #[test]
+    fn unrolls_br_jump_self_loop() {
+        let mut m = loop_module();
+        // Merge the loop into a self-loop superblock first.
+        let prof = profile(&m);
+        crate::form_superblocks(
+            &mut m.funcs[0],
+            FuncId(0),
+            &prof,
+            &crate::SuperblockConfig::default(),
+        );
+        let want = Emulator::new(&m).run("main", &[], &mut NullSink).unwrap().ret;
+        let n = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default());
+        assert_eq!(n, 1, "{}", m.funcs[0]);
+        m.verify().unwrap();
+        let got = Emulator::new(&m).run("main", &[], &mut NullSink).unwrap().ret;
+        assert_eq!(got, want);
+        // Dynamic back-edge branches should drop ~4x; check the static
+        // shape instead: 4 copies of the add.
+        let adds = m.funcs[0]
+            .insts()
+            .filter(|(_, _, i)| i.op == Op::Add)
+            .count();
+        assert!(adds >= 8, "4 copies of 2 adds");
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let mut m = loop_module();
+        let prof = profile(&m);
+        let before = m.funcs[0].size();
+        let config = UnrollConfig {
+            factor: 1,
+            ..UnrollConfig::default()
+        };
+        assert_eq!(
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            0
+        );
+        assert_eq!(m.funcs[0].size(), before);
+    }
+
+    #[test]
+    fn min_count_knob_filters_cold_loops() {
+        let mut m = loop_module();
+        let prof = Profiler::new(); // empty profile: everything cold
+        let config = UnrollConfig {
+            min_count: 1,
+            ..UnrollConfig::default()
+        };
+        assert_eq!(
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            0
+        );
+    }
+
+    #[test]
+    fn oversized_bodies_are_left_alone() {
+        let mut m = loop_module();
+        let prof = profile(&m);
+        crate::form_superblocks(
+            &mut m.funcs[0],
+            FuncId(0),
+            &prof,
+            &crate::SuperblockConfig::default(),
+        );
+        let config = UnrollConfig {
+            max_body_insts: 2,
+            ..UnrollConfig::default()
+        };
+        assert_eq!(
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            0
+        );
+    }
+
+    #[test]
+    fn hyperblock_loops_unroll_and_stay_correct() {
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 97; i += 1) {
+                if (i % 3 == 0) s += 2; else s += 5;
+            }
+            return s;
+        }";
+        let mut m = hyperpred_lang::compile(src).unwrap();
+        hyperpred_opt::optimize_module(&mut m);
+        let want = Emulator::new(&m)
+            .run("main", &hyperpred_lang::lower::entry_args(&[]), &mut NullSink)
+            .unwrap()
+            .ret;
+        let mut prof = Profiler::new();
+        Emulator::new(&m)
+            .run("main", &hyperpred_lang::lower::entry_args(&[]), &mut prof)
+            .unwrap();
+        crate::form_hyperblocks(
+            &mut m.funcs[0],
+            FuncId(0),
+            &prof,
+            &crate::HyperblockConfig::default(),
+        );
+        crate::promote(&mut m.funcs[0]);
+        let n = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default());
+        assert!(n >= 1, "{}", m.funcs[0]);
+        m.verify().unwrap();
+        let got = Emulator::new(&m)
+            .run("main", &hyperpred_lang::lower::entry_args(&[]), &mut NullSink)
+            .unwrap()
+            .ret;
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's Figure 1, reproduced exactly.
+//!
+//! Source (Fig. 1a):
+//!
+//! ```c
+//! if (a != 0 && b != 0) j++;
+//! else if (c != 0) k++;
+//! else k--;
+//! i++;
+//! ```
+//!
+//! Expected if-converted form (Fig. 1c):
+//!
+//! ```text
+//! pred_clear
+//! pred_eq p1<OR>, p2<!U>, a, 0
+//! pred_eq p1<OR>, p3<!U>, b, 0   (p2)
+//! add    j, j, 1                 (p3)
+//! pred_ne p4<U>, p5<!U>, c, 0    (p1)
+//! add    k, k, 1                 (p4)
+//! sub    k, k, 1                 (p5)
+//! add    i, i, 1                 -- unconditional
+//! ```
+//!
+//! Structural properties asserted here: branches vanish; one OR-type
+//! predicate collects the `||` of the two short-circuit exits; each
+//! `pred_eq` also defines the complement (`!U`) for the fall-through
+//! side; the "then" increment is guarded by the predicate of the inner
+//! conjunction; and the trailing `i++` is control-equivalent to the entry
+//! and therefore *unguarded* — the detail that distinguishes
+//! control-dependence predicate assignment from naive path predicates.
+
+use hyperpred_emu::{Emulator, NullSink, Profiler};
+use hyperpred_hyperblock::{form_hyperblocks, HyperblockConfig};
+use hyperpred_ir::{CmpOp, FuncBuilder, FuncId, Module, Op, Operand, PredType};
+
+/// Builds the paper's Fig. 1(b) assembly inside a counted loop (regions
+/// are formed over loop bodies) and returns the module.
+fn figure1_module() -> Module {
+    let mut bld = FuncBuilder::new("main");
+    let a = bld.param();
+    let b = bld.param();
+    let c = bld.param();
+    let n = bld.param();
+    let i = bld.mov(Operand::Imm(0));
+    let j = bld.mov(Operand::Imm(0));
+    let k = bld.mov(Operand::Imm(0));
+    let iter = bld.mov(Operand::Imm(0));
+
+    let body = bld.block(); // loop header
+    let l1 = bld.block();
+    let l2 = bld.block();
+    let l3 = bld.block();
+    let then = bld.block();
+    let jpp = bld.block();
+    let kpp = bld.block();
+    let latch = bld.block();
+    let exit = bld.block();
+
+    bld.jump(body);
+
+    // body:      beq a,0,L1 ; beq b,0,L1 ; add j,j,1 ; jump L3
+    bld.switch_to(body);
+    bld.br(CmpOp::Eq, a.into(), Operand::Imm(0), l1);
+    bld.jump(then);
+    bld.switch_to(then);
+    bld.br(CmpOp::Eq, b.into(), Operand::Imm(0), l1);
+    bld.jump(jpp);
+    bld.switch_to(jpp);
+    let j2 = bld.add(j.into(), Operand::Imm(1));
+    bld.mov_to(j, j2.into());
+    bld.jump(l3);
+    // L1:        bne c,0,L2 ; ... (paper's L1 tests c and falls to k--)
+    bld.switch_to(l1);
+    bld.br(CmpOp::Ne, c.into(), Operand::Imm(0), kpp);
+    bld.jump(l2);
+    bld.switch_to(kpp);
+    let k2 = bld.add(k.into(), Operand::Imm(1));
+    bld.mov_to(k, k2.into());
+    bld.jump(l3);
+    // L2:        sub k,k,1
+    bld.switch_to(l2);
+    let k3 = bld.sub(k.into(), Operand::Imm(1));
+    bld.mov_to(k, k3.into());
+    bld.jump(l3);
+    // L3:        add i,i,1
+    bld.switch_to(l3);
+    let i2 = bld.add(i.into(), Operand::Imm(1));
+    bld.mov_to(i, i2.into());
+    bld.jump(latch);
+    // latch: vary a,b,c; loop
+    bld.switch_to(latch);
+    // a cycles 0,1,2; b cycles 0..4; c toggles — every path gets hot.
+    let a2 = bld.add(a.into(), Operand::Imm(1));
+    let a3 = bld.op2(Op::Rem, a2.into(), Operand::Imm(3));
+    let b2 = bld.add(b.into(), Operand::Imm(1));
+    let b3 = bld.op2(Op::Rem, b2.into(), Operand::Imm(5));
+    let c2 = bld.op2(Op::Xor, c.into(), Operand::Imm(1));
+    bld.mov_to(a, a3.into());
+    bld.mov_to(b, b3.into());
+    bld.mov_to(c, c2.into());
+    let it2 = bld.add(iter.into(), Operand::Imm(1));
+    bld.mov_to(iter, it2.into());
+    bld.br(CmpOp::Lt, iter.into(), n.into(), body);
+    bld.jump(exit);
+    bld.switch_to(exit);
+    let r1 = bld.mul(j.into(), Operand::Imm(100));
+    let r2 = bld.add(r1.into(), k.into());
+    let r3 = bld.mul(i.into(), Operand::Imm(10000));
+    let r4 = bld.add(r2.into(), r3.into());
+    bld.ret(Some(r4.into()));
+
+    let mut m = Module::new();
+    m.push(bld.finish());
+    m.link().unwrap();
+    m.verify().unwrap();
+    m
+}
+
+#[test]
+fn figure1_converts_to_the_papers_shape() {
+    let m0 = figure1_module();
+    let args = [1i64, 1, 0, 40];
+    let want = Emulator::new(&m0).run("main", &args, &mut NullSink).unwrap().ret;
+    let mut prof = Profiler::new();
+    Emulator::new(&m0).run("main", &args, &mut prof).unwrap();
+
+    let mut m = m0.clone();
+    let formed = form_hyperblocks(
+        &mut m.funcs[0],
+        FuncId(0),
+        &prof,
+        &HyperblockConfig::default(),
+    );
+    assert!(formed >= 1, "the Fig. 1 region must convert");
+    m.verify().unwrap();
+    assert_eq!(
+        Emulator::new(&m).run("main", &args, &mut NullSink).unwrap().ret,
+        want,
+        "behaviour preserved"
+    );
+
+    // Find the hyperblock (the block containing predicate defines).
+    let f = &m.funcs[0];
+    let hb = f
+        .layout
+        .iter()
+        .copied()
+        .find(|&b| f.block(b).insts.iter().any(|i| i.op.is_pred_def()))
+        .expect("a hyperblock was formed");
+    let insts = &f.block(hb).insts;
+
+    // 1. It starts with pred_clear (OR-type predicates in use).
+    assert_eq!(insts[0].op, Op::PredClear, "{f}");
+
+    // 2. The two `a==0` / `b==0` branches became pred_eq defines, the
+    //    second guarded by the complement of the first (short-circuit),
+    //    both OR-ing into the same predicate — exactly Fig. 1(c).
+    let defs: Vec<_> = insts.iter().filter(|i| i.op.is_pred_def()).collect();
+    assert!(defs.len() >= 3, "three defines as in Fig. 1(c):\n{f}");
+    let or_targets: Vec<_> = defs
+        .iter()
+        .flat_map(|d| d.pdsts.iter())
+        .filter(|pd| pd.ty == PredType::Or)
+        .map(|pd| pd.reg)
+        .collect();
+    assert!(
+        or_targets.len() >= 2 && or_targets.iter().all(|&p| p == or_targets[0]),
+        "both short-circuit exits OR into one predicate (p1):\n{f}"
+    );
+    // One of the OR defines is guarded (the second || term).
+    assert!(
+        defs.iter()
+            .any(|d| d.guard.is_some() && d.pdsts.iter().any(|pd| pd.ty == PredType::Or)),
+        "the second pred_eq is predicated on the first's complement:\n{f}"
+    );
+    // Complement (!U) destinations ride along on the same defines.
+    assert!(
+        defs.iter()
+            .any(|d| d.pdsts.iter().any(|pd| pd.ty == PredType::UBar)),
+        "dual-destination define with a complement:\n{f}"
+    );
+
+    // 3. j++, k++, k-- are all guarded; i++ is NOT (control equivalent).
+    let guarded_adds = insts
+        .iter()
+        .filter(|i| matches!(i.op, Op::Add | Op::Sub) && i.guard.is_some())
+        .count();
+    assert!(guarded_adds >= 3, "the three arms are predicated:\n{f}");
+    // The i++ chain: an unguarded add of 1 must exist inside the
+    // hyperblock (the paper's final `add i,i,1`).
+    assert!(
+        insts
+            .iter()
+            .any(|i| i.op == Op::Add && i.guard.is_none() && i.srcs.get(1) == Some(&Operand::Imm(1))),
+        "i++ executes unconditionally:\n{f}"
+    );
+
+    // 4. The inner branches are gone: the only remaining branches leave
+    //    the region (the loop back edge / exit).
+    for inst in insts {
+        if inst.op.is_branch() {
+            assert!(
+                inst.target == Some(hb) || f.layout_pos(inst.target.unwrap()).is_some(),
+                "remaining branches are exits"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_is_correct_on_all_paths() {
+    // Drive every (a, b, c) combination through original and converted
+    // code.
+    let m0 = figure1_module();
+    let mut prof = Profiler::new();
+    Emulator::new(&m0)
+        .run("main", &[1, 1, 0, 40], &mut prof)
+        .unwrap();
+    let mut m = m0.clone();
+    form_hyperblocks(&mut m.funcs[0], FuncId(0), &prof, &HyperblockConfig::default());
+    for a in [0i64, 1] {
+        for b in [0i64, 1] {
+            for c in [0i64, 1] {
+                let args = [a, b, c, 25];
+                let want = Emulator::new(&m0).run("main", &args, &mut NullSink).unwrap().ret;
+                let got = Emulator::new(&m).run("main", &args, &mut NullSink).unwrap().ret;
+                assert_eq!(got, want, "a={a} b={b} c={c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Stage-by-stage differential testing of the whole compilation pipeline
+//! over every workload: each pass must preserve the program result.
+
+use hyperpred_emu::{Emulator, NullSink, Profiler};
+use hyperpred_hyperblock::{
+    form_hyperblocks, form_superblocks, promote, HyperblockConfig, SuperblockConfig,
+};
+use hyperpred_ir::{FuncId, Module};
+use hyperpred_lang::lower::entry_args;
+use hyperpred_workloads::{all, Scale};
+
+fn run(m: &Module, args: &[i64]) -> i64 {
+    Emulator::new(m)
+        .run("main", &entry_args(args), &mut NullSink)
+        .unwrap_or_else(|e| panic!("runtime error: {e}"))
+        .ret
+}
+
+fn profile(m: &Module, args: &[i64]) -> Profiler {
+    let mut prof = Profiler::new();
+    Emulator::new(m)
+        .run("main", &entry_args(args), &mut prof)
+        .unwrap();
+    prof
+}
+
+#[test]
+fn superblock_stage_preserves_all_workloads() {
+    for w in all(Scale::Test) {
+        let mut m = hyperpred_lang::compile(&w.source).unwrap();
+        hyperpred_opt::optimize_module(&mut m);
+        let want = run(&m, &w.args);
+        let prof = profile(&m, &w.args);
+        for i in 0..m.funcs.len() {
+            let mut f = m.funcs[i].clone();
+            form_superblocks(&mut f, FuncId(i as u32), &prof, &SuperblockConfig::default());
+            m.funcs[i] = f;
+        }
+        m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(run(&m, &w.args), want, "{}: superblock formation diverged", w.name);
+        // Post-formation cleanup must also be safe.
+        hyperpred_opt::optimize_module(&mut m);
+        assert_eq!(run(&m, &w.args), want, "{}: post-superblock opt diverged", w.name);
+        // Scheduling (the speculation pass) must be safe at several widths.
+        for (k, b) in [(1, 1), (4, 1), (8, 1), (8, 2)] {
+            let mut sm = m.clone();
+            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b));
+            assert_eq!(
+                run(&sm, &w.args),
+                want,
+                "{}: superblock scheduling diverged at {k}-issue {b}-branch",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn hyperblock_stage_preserves_all_workloads() {
+    for w in all(Scale::Test) {
+        let mut m = hyperpred_lang::compile(&w.source).unwrap();
+        hyperpred_opt::optimize_module(&mut m);
+        let want = run(&m, &w.args);
+        let prof = profile(&m, &w.args);
+        for i in 0..m.funcs.len() {
+            let mut f = m.funcs[i].clone();
+            form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+            m.funcs[i] = f;
+        }
+        m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(run(&m, &w.args), want, "{}: if-conversion diverged", w.name);
+        for i in 0..m.funcs.len() {
+            let mut f = m.funcs[i].clone();
+            promote(&mut f);
+            m.funcs[i] = f;
+        }
+        assert_eq!(run(&m, &w.args), want, "{}: promotion diverged", w.name);
+        hyperpred_opt::optimize_module(&mut m);
+        assert_eq!(run(&m, &w.args), want, "{}: post-hyperblock opt diverged", w.name);
+        for (k, b) in [(1, 1), (8, 1)] {
+            let mut sm = m.clone();
+            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b));
+            assert_eq!(
+                run(&sm, &w.args),
+                want,
+                "{}: hyperblock scheduling diverged at {k}-issue",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_stage_preserves_all_workloads() {
+    use hyperpred_partial::{to_partial_module, PartialConfig};
+    for w in all(Scale::Test) {
+        let mut m = hyperpred_lang::compile(&w.source).unwrap();
+        hyperpred_opt::optimize_module(&mut m);
+        let want = run(&m, &w.args);
+        let prof = profile(&m, &w.args);
+        for i in 0..m.funcs.len() {
+            let mut f = m.funcs[i].clone();
+            form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+            promote(&mut f);
+            m.funcs[i] = f;
+        }
+        to_partial_module(&mut m, &PartialConfig::default());
+        m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(run(&m, &w.args), want, "{}: partial conversion diverged", w.name);
+        hyperpred_opt::optimize_module(&mut m);
+        let mut sm = m.clone();
+        hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(8, 1));
+        assert_eq!(run(&sm, &w.args), want, "{}: partial scheduling diverged", w.name);
+    }
+}

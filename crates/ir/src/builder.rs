@@ -1,0 +1,342 @@
+//! Convenience builder for constructing functions instruction by
+//! instruction.
+
+use crate::inst::{Inst, Op};
+use crate::module::{Block, Function};
+use crate::pred::{PredDst, PredType};
+use crate::types::{BlockId, CmpOp, MemWidth, Operand, PredReg, Reg};
+
+/// Incrementally builds a [`Function`].
+///
+/// The builder maintains a *current block*; emit methods append to it.
+/// Blocks are created with [`FuncBuilder::block`] and selected with
+/// [`FuncBuilder::switch_to`].
+///
+/// # Example
+///
+/// ```
+/// use hyperpred_ir::{FuncBuilder, Operand, CmpOp};
+///
+/// // fn max(a, b) { if a < b { return b } return a }
+/// let mut b = FuncBuilder::new("max");
+/// let (x, y) = (b.param(), b.param());
+/// let then = b.block();
+/// b.br(CmpOp::Lt, x.into(), y.into(), then);
+/// b.ret(Some(x.into()));
+/// b.switch_to(then);
+/// b.ret(Some(y.into()));
+/// let f = b.finish();
+/// assert_eq!(f.blocks.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    f: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts building a function with an empty entry block.
+    pub fn new(name: impl Into<String>) -> FuncBuilder {
+        let f = Function::new(name);
+        let cur = f.entry();
+        FuncBuilder { f, cur }
+    }
+
+    /// Declares the next parameter, returning its register.
+    pub fn param(&mut self) -> Reg {
+        let r = self.f.fresh_reg();
+        self.f.params.push(r);
+        r
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh(&mut self) -> Reg {
+        self.f.fresh_reg()
+    }
+
+    /// Allocates a fresh predicate register.
+    pub fn fresh_pred(&mut self) -> PredReg {
+        self.f.fresh_pred()
+    }
+
+    /// Creates a new block (appended to the layout after all existing
+    /// blocks) without switching to it.
+    pub fn block(&mut self) -> BlockId {
+        self.f.add_block()
+    }
+
+    /// Makes `b` the current block for subsequent emits.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.f
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.f.block_mut(self.cur).insts.push(inst);
+    }
+
+    /// Emits a raw instruction built by `build` (advanced uses/tests).
+    pub fn emit_with(&mut self, op: Op, build: impl FnOnce(&mut Inst)) {
+        let mut i = self.f.make_inst(op);
+        build(&mut i);
+        self.push(i);
+    }
+
+    /// Emits a two-source ALU operation into a fresh register.
+    pub fn op2(&mut self, op: Op, a: Operand, b: Operand) -> Reg {
+        let dst = self.f.fresh_reg();
+        self.op2_to(op, dst, a, b);
+        dst
+    }
+
+    /// Emits a two-source ALU operation into `dst`.
+    pub fn op2_to(&mut self, op: Op, dst: Reg, a: Operand, b: Operand) {
+        let mut i = self.f.make_inst(op);
+        i.dst = Some(dst);
+        i.srcs = vec![a, b];
+        self.push(i);
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, a: Operand, b: Operand) -> Reg {
+        self.op2(Op::Add, a, b)
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Reg {
+        self.op2(Op::Sub, a, b)
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Reg {
+        self.op2(Op::Mul, a, b)
+    }
+
+    /// `dst = (a cmp b) as i64`.
+    pub fn cmp(&mut self, cmp: CmpOp, a: Operand, b: Operand) -> Reg {
+        self.op2(Op::Cmp(cmp), a, b)
+    }
+
+    /// `dst = a` into a fresh register.
+    pub fn mov(&mut self, a: Operand) -> Reg {
+        let dst = self.f.fresh_reg();
+        self.mov_to(dst, a);
+        dst
+    }
+
+    /// `dst = a`.
+    pub fn mov_to(&mut self, dst: Reg, a: Operand) {
+        let mut i = self.f.make_inst(Op::Mov);
+        i.dst = Some(dst);
+        i.srcs = vec![a];
+        self.push(i);
+    }
+
+    /// `dst = mem[base + off]`.
+    pub fn load(&mut self, w: MemWidth, base: Operand, off: Operand) -> Reg {
+        let dst = self.f.fresh_reg();
+        self.load_to(w, dst, base, off);
+        dst
+    }
+
+    /// `dst = mem[base + off]` into an existing register.
+    pub fn load_to(&mut self, w: MemWidth, dst: Reg, base: Operand, off: Operand) {
+        let mut i = self.f.make_inst(Op::Ld(w));
+        i.dst = Some(dst);
+        i.srcs = vec![base, off];
+        self.push(i);
+    }
+
+    /// `mem[base + off] = value`.
+    pub fn store(&mut self, w: MemWidth, base: Operand, off: Operand, value: Operand) {
+        let mut i = self.f.make_inst(Op::St(w));
+        i.srcs = vec![base, off, value];
+        self.push(i);
+    }
+
+    /// Branch to `target` when `a cmp b`.
+    pub fn br(&mut self, cmp: CmpOp, a: Operand, b: Operand, target: BlockId) {
+        let mut i = self.f.make_inst(Op::Br(cmp));
+        i.srcs = vec![a, b];
+        i.target = Some(target);
+        self.push(i);
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jump(&mut self, target: BlockId) {
+        let mut i = self.f.make_inst(Op::Jump);
+        i.target = Some(target);
+        self.push(i);
+    }
+
+    /// Calls `callee` (resolved by name at [`crate::Module::link`] time).
+    pub fn call(&mut self, callee: &str, args: Vec<Operand>) -> Reg {
+        let dst = self.f.fresh_reg();
+        let mut i = self.f.make_inst(Op::Call);
+        i.dst = Some(dst);
+        i.srcs = args;
+        self.f.pending_callees.insert(i.id, callee.to_string());
+        self.push(i);
+        dst
+    }
+
+    /// Returns from the function.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        let mut i = self.f.make_inst(Op::Ret);
+        i.srcs = value.into_iter().collect();
+        self.push(i);
+    }
+
+    /// Stops the program.
+    pub fn halt(&mut self) {
+        let i = self.f.make_inst(Op::Halt);
+        self.push(i);
+    }
+
+    /// Emits a predicate define `pred_<cmp> dsts..., a, b (guard)`.
+    pub fn pred_def(
+        &mut self,
+        cmp: CmpOp,
+        dsts: &[(PredReg, PredType)],
+        a: Operand,
+        b: Operand,
+        guard: Option<PredReg>,
+    ) {
+        assert!(!dsts.is_empty() && dsts.len() <= 2, "1-2 predicate dests");
+        let mut i = self.f.make_inst(Op::PredDef(cmp));
+        i.srcs = vec![a, b];
+        i.pdsts = dsts.iter().map(|&(r, t)| PredDst::new(r, t)).collect();
+        i.guard = guard;
+        self.push(i);
+    }
+
+    /// Emits `pred_clear`.
+    pub fn pred_clear(&mut self) {
+        let i = self.f.make_inst(Op::PredClear);
+        self.push(i);
+    }
+
+    /// `if cond != 0 { dst = value }`.
+    pub fn cmov(&mut self, dst: Reg, value: Operand, cond: Operand) {
+        let mut i = self.f.make_inst(Op::Cmov);
+        i.dst = Some(dst);
+        i.srcs = vec![value, cond];
+        self.push(i);
+    }
+
+    /// `if cond == 0 { dst = value }`.
+    pub fn cmov_com(&mut self, dst: Reg, value: Operand, cond: Operand) {
+        let mut i = self.f.make_inst(Op::CmovCom);
+        i.dst = Some(dst);
+        i.srcs = vec![value, cond];
+        self.push(i);
+    }
+
+    /// `dst = if cond != 0 { tval } else { fval }` into a fresh register.
+    pub fn select(&mut self, tval: Operand, fval: Operand, cond: Operand) -> Reg {
+        let dst = self.f.fresh_reg();
+        let mut i = self.f.make_inst(Op::Select);
+        i.dst = Some(dst);
+        i.srcs = vec![tval, fval, cond];
+        self.push(i);
+        dst
+    }
+
+    /// Applies `guard` to the most recently emitted instruction.
+    ///
+    /// # Panics
+    /// Panics if the current block is empty.
+    pub fn guard_last(&mut self, guard: PredReg) {
+        let cur = self.cur;
+        let inst = self
+            .f
+            .block_mut(cur)
+            .insts
+            .last_mut()
+            .expect("guard_last on empty block");
+        inst.guard = Some(guard);
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+
+    /// Current block contents (test helper).
+    pub fn cur_block(&self) -> &Block {
+        self.f.block(self.cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.add(x.into(), Operand::Imm(1));
+        let z = b.mul(y.into(), Operand::Imm(2));
+        b.ret(Some(z.into()));
+        let f = b.finish();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.block(f.entry()).insts.len(), 3);
+        assert!(f.is_basic());
+    }
+
+    #[test]
+    fn guard_last_sets_guard() {
+        let mut b = FuncBuilder::new("f");
+        let p = b.fresh_pred();
+        let x = b.param();
+        b.op2(Op::Add, x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        let f = b.finish();
+        assert_eq!(f.block(f.entry()).insts[0].guard, Some(p));
+    }
+
+    #[test]
+    fn call_records_pending_name() {
+        let mut b = FuncBuilder::new("f");
+        b.call("g", vec![Operand::Imm(1)]);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.pending_callees.len(), 1);
+    }
+
+    #[test]
+    fn pred_def_shape() {
+        let mut b = FuncBuilder::new("f");
+        let p1 = b.fresh_pred();
+        let p2 = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p1, PredType::Or), (p2, PredType::UBar)],
+            Operand::Imm(0),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        let f = b.finish();
+        let i = &f.block(f.entry()).insts[0];
+        assert_eq!(i.pdsts.len(), 2);
+        assert_eq!(i.pdsts[0].ty, PredType::Or);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-2 predicate dests")]
+    fn pred_def_rejects_empty_dests() {
+        let mut b = FuncBuilder::new("f");
+        b.pred_def(CmpOp::Eq, &[], Operand::Imm(0), Operand::Imm(0), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Control-flow graph analyses: reverse postorder, dominators, natural loops.
+
+use crate::module::Function;
+use crate::types::BlockId;
+
+/// A snapshot of a function's control-flow graph.
+///
+/// The CFG is invalidated by any pass that adds/removes branches or changes
+/// the layout; rebuild with [`Cfg::new`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists indexed by block id.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists indexed by block id.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`None` if unreachable).
+    pub rpo_pos: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        for &b in &f.layout {
+            succs[b.index()] = f.succs(b);
+        }
+        let mut preds = vec![Vec::new(); n];
+        for &b in &f.layout {
+            for &s in &succs[b.index()] {
+                if !preds[s.index()].contains(&b) {
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+        // Iterative postorder DFS.
+        let mut post = Vec::new();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        state[f.entry().index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![None; n];
+        for (i, &b) in post.iter().enumerate() {
+            rpo_pos[b.index()] = Some(i);
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_pos,
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()].is_some()
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_pos: Vec<Option<usize>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> DomTree {
+        let n = cfg.succs.len();
+        let entry = cfg.rpo[0];
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let pos = |b: BlockId| cfg.rpo_pos[b.index()].expect("reachable");
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if !cfg.reachable(p) || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => {
+                            // intersect(cur, p)
+                            let (mut x, mut y) = (cur, p);
+                            while x != y {
+                                while pos(x) > pos(y) {
+                                    x = idom[x.index()].unwrap();
+                                }
+                                while pos(y) > pos(x) {
+                                    y = idom[y.index()].unwrap();
+                                }
+                            }
+                            x
+                        }
+                    });
+                }
+                if idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_pos: cfg.rpo_pos.clone(),
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A natural loop: a header plus the set of blocks on paths from back-edge
+/// sources to the header.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// All blocks in the loop, header included, in discovery order.
+    pub body: Vec<BlockId>,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// True if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function (loops sharing a header are merged, per
+/// the classic definition).
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops, innermost-last not guaranteed; keyed by header.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects natural loops from back edges (`u -> h` where `h` dominates
+    /// `u`).
+    pub fn new(cfg: &Cfg, doms: &DomTree) -> LoopForest {
+        let mut loops: Vec<Loop> = Vec::new();
+        for &u in &cfg.rpo {
+            for &h in &cfg.succs[u.index()] {
+                if doms.dominates(h, u) {
+                    // back edge u -> h
+                    let lp = match loops.iter_mut().find(|l| l.header == h) {
+                        Some(l) => l,
+                        None => {
+                            loops.push(Loop {
+                                header: h,
+                                body: vec![h],
+                                latches: Vec::new(),
+                            });
+                            loops.last_mut().unwrap()
+                        }
+                    };
+                    lp.latches.push(u);
+                    // Backward walk from u to h.
+                    let mut stack = vec![u];
+                    while let Some(b) = stack.pop() {
+                        if lp.body.contains(&b) {
+                            continue;
+                        }
+                        lp.body.push(b);
+                        for &p in &cfg.preds[b.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body).
+    pub fn innermost(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+    use crate::types::{CmpOp, Operand};
+    use crate::Function;
+
+    /// Builds a diamond: B0 -> {B1, B2} -> B3, with a loop B3 -> B0.
+    fn diamond_loop() -> Function {
+        let mut f = Function::new("t");
+        let b0 = f.entry();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let b4 = f.add_block();
+        // b0: br -> b2 (else fall to b1)
+        let mut br = f.make_inst(Op::Br(CmpOp::Eq));
+        br.srcs = vec![Operand::Imm(0), Operand::Imm(0)];
+        br.target = Some(b2);
+        f.block_mut(b0).insts.push(br);
+        // b1: jump b3
+        let mut j = f.make_inst(Op::Jump);
+        j.target = Some(b3);
+        f.block_mut(b1).insts.push(j);
+        // b2: fall to b3
+        // b3: br -> b0 (loop), else fall to b4
+        let mut back = f.make_inst(Op::Br(CmpOp::Ne));
+        back.srcs = vec![Operand::Imm(0), Operand::Imm(0)];
+        back.target = Some(b0);
+        f.block_mut(b3).insts.push(back);
+        // b4: ret
+        let r = f.make_inst(Op::Ret);
+        f.block_mut(b4).insts.push(r);
+        f
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], f.entry());
+        assert_eq!(cfg.rpo.len(), 5);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        let doms = DomTree::new(&cfg);
+        let b = |i: u32| BlockId(i);
+        assert!(doms.dominates(b(0), b(3)));
+        assert!(!doms.dominates(b(1), b(3)));
+        assert!(!doms.dominates(b(2), b(3)));
+        assert_eq!(doms.idom(b(3)), Some(b(0)));
+        assert_eq!(doms.idom(b(1)), Some(b(0)));
+        assert_eq!(doms.idom(b(0)), None);
+        assert!(doms.dominates(b(0), b(0)));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        let doms = DomTree::new(&cfg);
+        let loops = LoopForest::new(&cfg, &doms);
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        assert_eq!(l.header, BlockId(0));
+        assert_eq!(l.latches, vec![BlockId(3)]);
+        let mut body = l.body.clone();
+        body.sort();
+        assert_eq!(body, vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]);
+        assert!(loops.innermost(BlockId(2)).is_some());
+        assert!(loops.innermost(BlockId(4)).is_none());
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut f = Function::new("t");
+        let e = f.entry();
+        let r = f.make_inst(Op::Ret);
+        f.block_mut(e).insts.push(r);
+        let cfg = Cfg::new(&f);
+        let doms = DomTree::new(&cfg);
+        let loops = LoopForest::new(&cfg, &doms);
+        assert!(loops.loops.is_empty());
+    }
+}

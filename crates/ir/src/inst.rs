@@ -1,0 +1,383 @@
+//! Instructions and opcodes.
+
+use crate::pred::PredDst;
+use crate::types::{BlockId, CmpOp, FuncId, InstId, MemWidth, Operand, PredReg, Reg};
+
+/// Opcode of an [`Inst`].
+///
+/// The source-operand layout per opcode is fixed:
+///
+/// | opcode | `srcs` | `dst` | other |
+/// |---|---|---|---|
+/// | ALU binop (`Add`..`Sra`) | `[a, b]` | result | |
+/// | `Cmp(c)` | `[a, b]` | 0/1 result | |
+/// | `Mov` | `[a]` | copy | |
+/// | `FAdd`..`FCmp`, `IToF`, `FToI` | as integer forms | result | operate on `f64` bit patterns |
+/// | `Ld(w)` | `[base, off]` | loaded value | |
+/// | `St(w)` | `[base, off, value]` | — | |
+/// | `Br(c)` | `[a, b]` | — | `target` |
+/// | `Jump` | `[]` | — | `target` |
+/// | `Call` | args | return value | `callee` |
+/// | `Ret` | `[]` or `[value]` | — | |
+/// | `Halt` | `[]` | — | stops the program |
+/// | `PredDef(c)` / `FPredDef(c)` | `[a, b]` | — | `pdsts` (1–2 typed predicate dests) |
+/// | `PredClear` / `PredSet` | `[]` | — | clears/sets the whole predicate file |
+/// | `Cmov` | `[value, cond]` | written iff `cond != 0` | |
+/// | `CmovCom` | `[value, cond]` | written iff `cond == 0` | |
+/// | `Select` | `[tval, fval, cond]` | always written | |
+/// | `Nop` | `[]` | — | |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst = a + b` (wrapping).
+    Add,
+    /// `dst = a - b` (wrapping).
+    Sub,
+    /// `dst = a * b` (wrapping).
+    Mul,
+    /// `dst = a / b` (signed; traps on zero unless speculative).
+    Div,
+    /// `dst = a % b` (signed; traps on zero unless speculative).
+    Rem,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a & !b` — complementary AND assumed by the paper's peepholes.
+    AndNot,
+    /// `dst = a | !b` — complementary OR assumed by the paper's peepholes.
+    OrNot,
+    /// `dst = a << (b & 63)`.
+    Shl,
+    /// `dst = ((a as u64) >> (b & 63)) as i64` (logical).
+    Shr,
+    /// `dst = a >> (b & 63)` (arithmetic).
+    Sra,
+    /// `dst = (a cmp b) as i64`.
+    Cmp(CmpOp),
+    /// `dst = a`.
+    Mov,
+    /// Floating add on `f64` bit patterns.
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide (traps on zero divisor unless speculative).
+    FDiv,
+    /// `dst = (a fcmp b) as i64`.
+    FCmp(CmpOp),
+    /// Integer to float conversion.
+    IToF,
+    /// Float to integer (truncating) conversion.
+    FToI,
+    /// Load: `dst = mem[a + b]` (traps on bad address unless speculative).
+    Ld(MemWidth),
+    /// Store: `mem[a + b] = value`.
+    St(MemWidth),
+    /// Conditional branch to `target` when `a cmp b`.
+    Br(CmpOp),
+    /// Unconditional jump to `target`.
+    Jump,
+    /// Call `callee(args...)`; `dst` receives the return value.
+    Call,
+    /// Return from the current function with an optional value.
+    Ret,
+    /// Stop the program (top-level return).
+    Halt,
+    /// Predicate define comparing integers (paper §2.1).
+    PredDef(CmpOp),
+    /// Predicate define comparing floats.
+    FPredDef(CmpOp),
+    /// Clear the entire predicate register file to 0.
+    PredClear,
+    /// Set the entire predicate register file to 1.
+    PredSet,
+    /// Conditional move: `if cond != 0 { dst = value }` (paper §2.2).
+    Cmov,
+    /// Complement conditional move: `if cond == 0 { dst = value }`.
+    CmovCom,
+    /// `dst = if cond != 0 { tval } else { fval }`.
+    Select,
+    /// No operation.
+    Nop,
+}
+
+impl Op {
+    /// True for control transfers that carry a `target` (conditional
+    /// branches and jumps). Calls and returns are not "branches" for the
+    /// branch-resource limit, matching the paper's machine model.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Op::Br(_) | Op::Jump)
+    }
+
+    /// True for instructions after which control never falls through.
+    #[inline]
+    pub fn ends_block(self) -> bool {
+        matches!(self, Op::Jump | Op::Ret | Op::Halt)
+    }
+
+    /// True if this opcode reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Ld(_))
+    }
+
+    /// True if this opcode writes memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::St(_))
+    }
+
+    /// True if a non-speculative execution of this opcode may raise a
+    /// program-terminating exception (divide-by-zero, illegal address).
+    #[inline]
+    pub fn may_trap(self) -> bool {
+        matches!(self, Op::Div | Op::Rem | Op::FDiv | Op::Ld(_))
+    }
+
+    /// True if the opcode may be executed speculatively (hoisted above a
+    /// branch or promoted off a predicate) given its *silent* form: it only
+    /// writes its destination register.
+    #[inline]
+    pub fn can_speculate(self) -> bool {
+        !matches!(
+            self,
+            Op::St(_)
+                | Op::Br(_)
+                | Op::Jump
+                | Op::Call
+                | Op::Ret
+                | Op::Halt
+                | Op::PredDef(_)
+                | Op::FPredDef(_)
+                | Op::PredClear
+                | Op::PredSet
+        )
+    }
+
+    /// True if the instruction has effects beyond writing its destination
+    /// register / predicate destinations, i.e. must never be removed by DCE.
+    #[inline]
+    pub fn has_side_effects(self) -> bool {
+        matches!(
+            self,
+            Op::St(_) | Op::Br(_) | Op::Jump | Op::Call | Op::Ret | Op::Halt
+        )
+    }
+
+    /// True for predicate defines (integer or float).
+    #[inline]
+    pub fn is_pred_def(self) -> bool {
+        matches!(self, Op::PredDef(_) | Op::FPredDef(_))
+    }
+
+    /// The comparison carried by this opcode, if any.
+    #[inline]
+    pub fn cmp(self) -> Option<CmpOp> {
+        match self {
+            Op::Cmp(c) | Op::FCmp(c) | Op::Br(c) | Op::PredDef(c) | Op::FPredDef(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A single IR instruction.
+///
+/// Every instruction may carry a *guard* predicate (full predication): when
+/// the guard evaluates false the instruction is nullified — it modifies no
+/// state, accesses no memory, and transfers no control.
+///
+/// The `speculative` flag selects the *silent* (non-excepting) form of the
+/// opcode: a silent load of an unmapped address produces 0, a silent divide
+/// by zero produces 0. The baseline machine of the paper provides silent
+/// forms of all instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Unique id within the function (see [`InstId`]).
+    pub id: InstId,
+    /// Opcode.
+    pub op: Op,
+    /// Destination register, for opcodes that produce a value.
+    pub dst: Option<Reg>,
+    /// Source operands (layout documented on [`Op`]).
+    pub srcs: Vec<Operand>,
+    /// Typed predicate destinations (predicate defines only; at most 2).
+    pub pdsts: Vec<PredDst>,
+    /// Guard predicate (`None` = always execute).
+    pub guard: Option<PredReg>,
+    /// Branch target (branches and jumps only).
+    pub target: Option<BlockId>,
+    /// Callee (calls only).
+    pub callee: Option<FuncId>,
+    /// Silent / non-excepting form (set on speculated or promoted code).
+    pub speculative: bool,
+    /// Issue cycle within the owning block, assigned by the scheduler.
+    pub cycle: u32,
+}
+
+impl Inst {
+    /// Creates a bare instruction; the builder and passes fill in operands.
+    pub fn new(id: InstId, op: Op) -> Inst {
+        Inst {
+            id,
+            op,
+            dst: None,
+            srcs: Vec::new(),
+            pdsts: Vec::new(),
+            guard: None,
+            target: None,
+            callee: None,
+            speculative: false,
+            cycle: 0,
+        }
+    }
+
+    /// Register sources (skipping immediates), in operand order.
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().filter_map(|s| s.as_reg())
+    }
+
+    /// True when this instruction only *partially* defines its destination
+    /// register: when nullified or when the condition fails, the previous
+    /// value persists. Partial definitions do not kill liveness.
+    #[inline]
+    pub fn is_partial_reg_def(&self) -> bool {
+        matches!(self.op, Op::Cmov | Op::CmovCom) || (self.guard.is_some() && self.dst.is_some())
+    }
+
+    /// Predicate registers read by this instruction (its guard).
+    #[inline]
+    pub fn pred_uses(&self) -> impl Iterator<Item = PredReg> + '_ {
+        self.guard.into_iter().chain(
+            self.pdsts
+                .iter()
+                .filter(|d| d.ty.is_partial())
+                .map(|d| d.reg),
+        )
+    }
+
+    /// Predicate registers written by this instruction. Returns `None` for
+    /// [`Op::PredClear`] / [`Op::PredSet`], which define the *entire* file
+    /// (see [`Inst::defines_all_preds`]).
+    #[inline]
+    pub fn pred_defs(&self) -> impl Iterator<Item = PredReg> + '_ {
+        self.pdsts.iter().map(|d| d.reg)
+    }
+
+    /// True for `pred_clear` / `pred_set`, which write every predicate
+    /// register at once.
+    #[inline]
+    pub fn defines_all_preds(&self) -> bool {
+        matches!(self.op, Op::PredClear | Op::PredSet)
+    }
+
+    /// True if this instruction, in silent form, is a legal candidate for
+    /// upward speculation: it can speculate, and it writes (at most) a
+    /// general register.
+    #[inline]
+    pub fn can_speculate(&self) -> bool {
+        self.op.can_speculate() && self.guard.is_none()
+    }
+
+    /// Rewrites every use of register `from` to operand `to`.
+    pub fn replace_src(&mut self, from: Reg, to: Operand) {
+        for s in &mut self.srcs {
+            if s.as_reg() == Some(from) {
+                *s = to;
+            }
+        }
+    }
+
+    /// True if this is an unconditional control transfer or a conditional
+    /// branch — anything that can leave the linear instruction stream.
+    #[inline]
+    pub fn is_exit(&self) -> bool {
+        self.op.is_branch() || matches!(self.op, Op::Ret | Op::Halt)
+    }
+
+    /// True when control can never continue past this instruction: an
+    /// *unguarded* jump/ret/halt. A guarded jump falls through when its
+    /// predicate is false, so it does not end the block.
+    #[inline]
+    pub fn ends_block(&self) -> bool {
+        self.op.ends_block() && self.guard.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{InstId, Operand, PredReg, Reg};
+    use crate::PredType;
+
+    fn inst(op: Op) -> Inst {
+        Inst::new(InstId(0), op)
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Op::Br(CmpOp::Eq).is_branch());
+        assert!(Op::Jump.is_branch());
+        assert!(!Op::Call.is_branch());
+        assert!(Op::Jump.ends_block());
+        assert!(Op::Ret.ends_block());
+        assert!(!Op::Br(CmpOp::Eq).ends_block());
+        assert!(Op::Ld(MemWidth::Word).may_trap());
+        assert!(Op::Div.may_trap());
+        assert!(!Op::Add.may_trap());
+        assert!(Op::Ld(MemWidth::Byte).can_speculate());
+        assert!(!Op::St(MemWidth::Byte).can_speculate());
+        assert!(!Op::PredDef(CmpOp::Eq).can_speculate());
+        assert!(Op::Cmov.can_speculate());
+        assert!(Op::St(MemWidth::Word).has_side_effects());
+        assert!(!Op::Cmp(CmpOp::Lt).has_side_effects());
+    }
+
+    #[test]
+    fn partial_defs() {
+        let mut i = inst(Op::Cmov);
+        i.dst = Some(Reg(1));
+        assert!(i.is_partial_reg_def());
+
+        let mut j = inst(Op::Add);
+        j.dst = Some(Reg(1));
+        assert!(!j.is_partial_reg_def());
+        j.guard = Some(PredReg(0));
+        assert!(j.is_partial_reg_def());
+
+        let mut s = inst(Op::Select);
+        s.dst = Some(Reg(1));
+        assert!(!s.is_partial_reg_def());
+    }
+
+    #[test]
+    fn pred_uses_include_partial_dests() {
+        let mut d = inst(Op::PredDef(CmpOp::Eq));
+        d.pdsts.push(PredDst::new(PredReg(1), PredType::Or));
+        d.pdsts.push(PredDst::new(PredReg(2), PredType::UBar));
+        d.guard = Some(PredReg(3));
+        let uses: Vec<_> = d.pred_uses().collect();
+        // guard + OR-type destination (read-modify-write), but not the U-type.
+        assert_eq!(uses, vec![PredReg(3), PredReg(1)]);
+        let defs: Vec<_> = d.pred_defs().collect();
+        assert_eq!(defs, vec![PredReg(1), PredReg(2)]);
+    }
+
+    #[test]
+    fn replace_src_rewrites_all_uses() {
+        let mut i = inst(Op::Add);
+        i.srcs = vec![Operand::Reg(Reg(1)), Operand::Reg(Reg(1))];
+        i.replace_src(Reg(1), Operand::Imm(5));
+        assert_eq!(i.srcs, vec![Operand::Imm(5), Operand::Imm(5)]);
+    }
+
+    #[test]
+    fn src_regs_skips_imms() {
+        let mut i = inst(Op::Add);
+        i.srcs = vec![Operand::Reg(Reg(2)), Operand::Imm(1)];
+        assert_eq!(i.src_regs().collect::<Vec<_>>(), vec![Reg(2)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Predicated intermediate representation for ILP compilation research.
+//!
+//! This crate defines the load/store RISC-style IR used throughout the
+//! `hyperpred` workspace, a reproduction of Mahlke et al., *"A Comparison of
+//! Full and Partial Predicated Execution Support for ILP Processors"*
+//! (ISCA 1995).
+//!
+//! The IR models three levels of architectural support in one instruction
+//! set:
+//!
+//! * **Full predication** — every [`Inst`] carries an optional *guard*
+//!   predicate register; predicate values are produced by
+//!   [`Op::PredDef`] instructions whose destination predicate types
+//!   ([`PredType`]) implement the paper's Table 1 truth table
+//!   (unconditional, OR, AND, and their complements), plus
+//!   [`Op::PredClear`] / [`Op::PredSet`] for bulk initialization.
+//! * **Partial predication** — [`Op::Cmov`], [`Op::CmovCom`] and
+//!   [`Op::Select`] conditionally update a general register.
+//! * **No predication** — the plain instruction set, with *silent*
+//!   (non-excepting) forms of every opcode for speculative execution
+//!   (the [`Inst::speculative`] flag).
+//!
+//! Programs are organized as a [`Module`] of [`Function`]s; each function is
+//! a list of [`Block`]s plus a code **layout** order that defines
+//! fall-through successors. Branches are allowed anywhere inside a block so
+//! that superblocks and hyperblocks (single-entry, multiple-exit linear
+//! regions) can be represented as single blocks with internal exit branches.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperpred_ir::{FuncBuilder, Module, Operand, CmpOp};
+//!
+//! let mut module = Module::new();
+//! let mut b = FuncBuilder::new("add1");
+//! let x = b.param();
+//! let one = Operand::Imm(1);
+//! let y = b.add(Operand::Reg(x), one);
+//! b.ret(Some(Operand::Reg(y)));
+//! module.push(b.finish());
+//! module.link().unwrap();
+//! assert!(module.verify().is_ok());
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod inst;
+pub mod liveness;
+pub mod module;
+pub mod parse;
+pub mod pred;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::FuncBuilder;
+pub use cfg::{Cfg, DomTree, Loop, LoopForest};
+pub use inst::{Inst, Op};
+pub use liveness::{LiveSet, Liveness};
+pub use module::{Block, Function, Global, Module};
+pub use parse::{parse_function, ParseError};
+pub use pred::{PredDst, PredType};
+pub use types::{BlockId, CmpOp, FuncId, InstId, MemWidth, Operand, PredReg, Reg};
+pub use verify::VerifyError;

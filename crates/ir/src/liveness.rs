@@ -1,0 +1,282 @@
+//! Predicate-aware liveness analysis.
+//!
+//! Liveness over both register files (general registers and predicate
+//! registers). The analysis understands *partial definitions*: a guarded
+//! instruction, a `cmov`/`cmov_com`, or an OR/AND-type predicate destination
+//! may leave the previous value in place, so such definitions do **not**
+//! kill their destination and additionally count as upward-exposed uses.
+
+use crate::cfg::Cfg;
+use crate::inst::{Inst, Op};
+use crate::module::Function;
+use crate::types::{BlockId, PredReg, Reg};
+use std::collections::HashSet;
+
+/// A set of live registers and predicates.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LiveSet {
+    /// Live general registers.
+    pub regs: HashSet<Reg>,
+    /// Live predicate registers.
+    pub preds: HashSet<PredReg>,
+}
+
+impl LiveSet {
+    /// Empty set.
+    pub fn new() -> LiveSet {
+        LiveSet::default()
+    }
+
+    /// Unions `other` into `self`; true if anything was added.
+    pub fn union_with(&mut self, other: &LiveSet) -> bool {
+        let before = self.regs.len() + self.preds.len();
+        self.regs.extend(other.regs.iter().copied());
+        self.preds.extend(other.preds.iter().copied());
+        before != self.regs.len() + self.preds.len()
+    }
+}
+
+/// Registers read by `inst`, including the implicit destination read of a
+/// partial definition.
+pub fn uses_of(inst: &Inst) -> (Vec<Reg>, Vec<PredReg>) {
+    let mut regs: Vec<Reg> = inst.src_regs().collect();
+    if inst.is_partial_reg_def() {
+        if let Some(d) = inst.dst {
+            regs.push(d);
+        }
+    }
+    let preds: Vec<PredReg> = inst.pred_uses().collect();
+    (regs, preds)
+}
+
+/// Applies `inst` backwards to a live set: removes killed definitions, adds
+/// uses.
+pub fn step_backwards(inst: &Inst, live: &mut LiveSet) {
+    // Kills: only full definitions.
+    if let Some(d) = inst.dst {
+        if !inst.is_partial_reg_def() {
+            live.regs.remove(&d);
+        }
+    }
+    if inst.defines_all_preds() {
+        live.preds.clear();
+    }
+    for pd in &inst.pdsts {
+        if !pd.ty.is_partial() && inst.guard.is_none() {
+            // An unguarded U-type define always writes: full kill.
+            live.preds.remove(&pd.reg);
+        } else if !pd.ty.is_partial() {
+            // Guarded U-type also always writes (Pin=0 writes 0): full kill.
+            live.preds.remove(&pd.reg);
+        }
+        // OR/AND types are partial: no kill (their use was added by
+        // pred_uses()).
+    }
+    // Uses.
+    let (regs, preds) = uses_of(inst);
+    live.regs.extend(regs);
+    live.preds.extend(preds);
+}
+
+/// Per-block liveness results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live-in set per block (indexed by block id).
+    pub live_in: Vec<LiveSet>,
+    /// Live-out set per block (indexed by block id).
+    pub live_out: Vec<LiveSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` over `cfg`.
+    ///
+    /// Blocks may contain *mid-block* exit branches (superblocks,
+    /// hyperblocks); at each branch, the target's live-in set is injected
+    /// into the backward walk so values needed only on the taken path stay
+    /// live across later kills on the fall-through path.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let n = f.blocks.len();
+        let mut live_in = vec![LiveSet::new(); n];
+        let mut live_out = vec![LiveSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Postorder (reverse of RPO) converges fastest for backward
+            // problems.
+            for &b in cfg.rpo.iter().rev() {
+                let mut out = LiveSet::new();
+                for &s in &cfg.succs[b.index()] {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut live = out.clone();
+                for inst in f.block(b).insts.iter().rev() {
+                    if let Some(t) = branch_target(inst) {
+                        live.union_with(&live_in[t.index()]);
+                    }
+                    step_backwards(inst, &mut live);
+                }
+                if out != live_out[b.index()] {
+                    live_out[b.index()] = out;
+                    changed = true;
+                }
+                if live != live_in[b.index()] {
+                    live_in[b.index()] = live;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Live set immediately *before* instruction `index` of `block`
+    /// (recomputed by walking backwards from the block's live-out,
+    /// injecting branch-target live-ins).
+    pub fn before(&self, f: &Function, block: BlockId, index: usize) -> LiveSet {
+        let mut live = self.live_out[block.index()].clone();
+        let insts = &f.block(block).insts;
+        for inst in insts[index..].iter().rev() {
+            if let Some(t) = branch_target(inst) {
+                live.union_with(&self.live_in[t.index()]);
+            }
+            step_backwards(inst, &mut live);
+        }
+        live
+    }
+
+    /// True if register `r` is live on entry to `block`.
+    pub fn reg_live_in(&self, block: BlockId, r: Reg) -> bool {
+        self.live_in[block.index()].regs.contains(&r)
+    }
+}
+
+/// The control-transfer target of `inst`, if it is a branch or jump.
+pub fn branch_target(inst: &Inst) -> Option<BlockId> {
+    if inst.op.is_branch() {
+        inst.target
+    } else {
+        None
+    }
+}
+
+/// Returns true if `inst` is removable when its outputs are dead: it has no
+/// side effects and does not transfer control.
+pub fn is_removable(inst: &Inst) -> bool {
+    !inst.op.has_side_effects() && !matches!(inst.op, Op::PredClear | Op::PredSet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CmpOp, Operand};
+    use crate::FuncBuilder;
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.add(x.into(), Operand::Imm(1)); // y = x+1
+        let z = b.add(y.into(), Operand::Imm(2)); // z = y+2
+        b.ret(Some(z.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let entry = f.entry();
+        assert!(lv.reg_live_in(entry, x));
+        assert!(!lv.reg_live_in(entry, y));
+        // before the ret, z is live
+        let before_ret = lv.before(&f, entry, 2);
+        assert!(before_ret.regs.contains(&z));
+        assert!(!before_ret.regs.contains(&x));
+    }
+
+    #[test]
+    fn loop_keeps_accumulator_live() {
+        let mut b = FuncBuilder::new("f");
+        let n = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let i = b.mov(Operand::Imm(0));
+        let body = b.block();
+        let exit = b.block();
+        b.jump(body);
+        b.switch_to(body);
+        let acc2 = b.add(acc.into(), i.into());
+        b.mov_to(acc, acc2.into());
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), n.into(), body);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.reg_live_in(body, acc));
+        assert!(lv.reg_live_in(body, i));
+        assert!(lv.reg_live_in(body, n));
+        assert!(lv.live_out[body.index()].regs.contains(&acc));
+    }
+
+    #[test]
+    fn cmov_dst_is_upward_exposed() {
+        let mut b = FuncBuilder::new("f");
+        let c = b.param();
+        let out = b.mov(Operand::Imm(1)); // full def of out
+        b.cmov(out, Operand::Imm(2), c.into()); // partial def reads out
+        b.ret(Some(out.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // Before the cmov, `out` must be live (its old value can survive).
+        let before = lv.before(&f, f.entry(), 1);
+        assert!(before.regs.contains(&out));
+        // Before the mov, `out` must be dead (mov fully defines it).
+        let before0 = lv.before(&f, f.entry(), 0);
+        assert!(!before0.regs.contains(&out));
+    }
+
+    #[test]
+    fn guarded_def_does_not_kill() {
+        let mut b = FuncBuilder::new("f");
+        let p = b.fresh_pred();
+        let out = b.mov(Operand::Imm(1));
+        b.mov_to(out, Operand::Imm(2));
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let before = lv.before(&f, f.entry(), 1);
+        assert!(before.regs.contains(&out), "guarded def must not kill");
+        assert!(before.preds.contains(&p));
+    }
+
+    #[test]
+    fn pred_kill_rules() {
+        use crate::PredType;
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        // U-type fully defines p.
+        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(!lv.live_in[f.entry().index()].preds.contains(&p));
+
+        // OR-type is a partial def: p stays live above it.
+        let mut b = FuncBuilder::new("g");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_in[f.entry().index()].preds.contains(&p));
+    }
+}

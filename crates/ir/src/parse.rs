@@ -1,0 +1,578 @@
+//! Parser for the textual IR form produced by the printer.
+//!
+//! Together with [`crate::printer`] this makes the IR round-trippable:
+//! functions can be written by hand in tests, dumped from one pipeline
+//! stage and re-read in another, or diffed as text. The accepted grammar
+//! is exactly what `Display` emits:
+//!
+//! ```text
+//! func name(r0, r1) {
+//! B0:
+//!   [  0] add r2, r0, 1
+//!   [  1] pred_eq p0<OR>, p1<!U>, r2, 0 (p3)
+//!   [  1] ld.w r4, [r2 + 8]
+//!   [  2] beq r4, 0 -> B1
+//!   [  2] ret r2
+//! B1:
+//!   [  0] ret r4
+//! }
+//! ```
+//!
+//! The `[cycle]` column is optional on input; `(s)` before the mnemonic
+//! marks the silent (speculative) form.
+
+use crate::inst::{Inst, Op};
+use crate::module::Function;
+use crate::pred::{PredDst, PredType};
+use crate::types::{BlockId, CmpOp, FuncId, MemWidth, Operand, PredReg, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A textual-IR parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn cmp_of(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn op_of(mnemonic: &str) -> Option<Op> {
+    Some(match mnemonic {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "mul" => Op::Mul,
+        "div" => Op::Div,
+        "rem" => Op::Rem,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "and_not" => Op::AndNot,
+        "or_not" => Op::OrNot,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "sra" => Op::Sra,
+        "mov" => Op::Mov,
+        "add_f" => Op::FAdd,
+        "sub_f" => Op::FSub,
+        "mul_f" => Op::FMul,
+        "div_f" => Op::FDiv,
+        "itof" => Op::IToF,
+        "ftoi" => Op::FToI,
+        "ld.b" => Op::Ld(MemWidth::Byte),
+        "ld.w" => Op::Ld(MemWidth::Word),
+        "st.b" => Op::St(MemWidth::Byte),
+        "st.w" => Op::St(MemWidth::Word),
+        "jump" => Op::Jump,
+        "jsr" => Op::Call,
+        "ret" => Op::Ret,
+        "halt" => Op::Halt,
+        "pred_clear" => Op::PredClear,
+        "pred_set" => Op::PredSet,
+        "cmov" => Op::Cmov,
+        "cmov_com" => Op::CmovCom,
+        "select" => Op::Select,
+        "nop" => Op::Nop,
+        _ => {
+            // Families with comparison suffixes.
+            if let Some(c) = cmp_of(mnemonic) {
+                return Some(Op::Cmp(c));
+            }
+            if let Some(rest) = mnemonic.strip_prefix("pred_") {
+                if let Some(base) = rest.strip_suffix("_f") {
+                    return cmp_of(base).map(Op::FPredDef);
+                }
+                return cmp_of(rest).map(Op::PredDef);
+            }
+            if let Some(base) = mnemonic.strip_suffix("_f") {
+                return cmp_of(base).map(Op::FCmp);
+            }
+            if let Some(rest) = mnemonic.strip_prefix('b') {
+                return cmp_of(rest).map(Op::Br);
+            }
+            return None;
+        }
+    })
+}
+
+fn pred_type_of(s: &str) -> Option<PredType> {
+    Some(match s {
+        "U" => PredType::U,
+        "!U" => PredType::UBar,
+        "OR" => PredType::Or,
+        "!OR" => PredType::OrBar,
+        "AND" => PredType::And,
+        "!AND" => PredType::AndBar,
+        _ => return None,
+    })
+}
+
+/// One operand token: `r4`, `p2`, `p2<OR>`, `-17`, `B3`, `@F1`.
+#[derive(Debug, Clone, PartialEq)]
+enum Tokened {
+    Reg(Reg),
+    Pred(PredReg),
+    PredDst(PredDst),
+    Imm(i64),
+    Block(BlockId),
+    Callee(FuncId),
+}
+
+fn parse_token(tok: &str, line: usize) -> Result<Tokened, ParseError> {
+    if let Some(rest) = tok.strip_prefix('r') {
+        if let Ok(n) = rest.parse::<u32>() {
+            return Ok(Tokened::Reg(Reg(n)));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('p') {
+        if let Some((num, ty)) = rest.split_once('<') {
+            let ty = ty
+                .strip_suffix('>')
+                .and_then(pred_type_of)
+                .ok_or_else(|| ParseError {
+                    line,
+                    message: format!("bad predicate type in {tok}"),
+                })?;
+            if let Ok(n) = num.parse::<u32>() {
+                return Ok(Tokened::PredDst(PredDst::new(PredReg(n), ty)));
+            }
+        } else if let Ok(n) = rest.parse::<u32>() {
+            return Ok(Tokened::Pred(PredReg(n)));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('B') {
+        if let Ok(n) = rest.parse::<u32>() {
+            return Ok(Tokened::Block(BlockId(n)));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix("@F") {
+        if let Ok(n) = rest.parse::<u32>() {
+            return Ok(Tokened::Callee(FuncId(n)));
+        }
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Tokened::Imm(v));
+    }
+    err(line, format!("unrecognized operand '{tok}'"))
+}
+
+/// Parses one function in printer syntax.
+///
+/// Blocks are created in order of appearance; `Bn` labels map to fresh
+/// blocks, so sparse or renumbered labels round-trip (the printed ids need
+/// not be dense).
+///
+/// # Errors
+/// Returns the first malformed line. The result is verified before being
+/// returned.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+    // Header: func name(r0, r1) {
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((n, l)) if !l.trim().is_empty() => break (n + 1, l.trim()),
+            Some(_) => continue,
+            None => return err(0, "empty input"),
+        }
+    };
+    let header = header
+        .strip_prefix("func ")
+        .and_then(|h| h.strip_suffix('{'))
+        .map(str::trim)
+        .ok_or_else(|| ParseError {
+            line: hline,
+            message: "expected `func name(...) {`".into(),
+        })?;
+    let (name, params) = header.split_once('(').ok_or_else(|| ParseError {
+        line: hline,
+        message: "expected parameter list".into(),
+    })?;
+    let params = params.trim_end_matches(')');
+    let mut f = Function::new(name.trim());
+    let mut max_reg: i64 = -1;
+    let mut max_pred: i64 = -1;
+    for p in params.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match parse_token(p, hline)? {
+            Tokened::Reg(r) => {
+                max_reg = max_reg.max(r.0 as i64);
+                f.params.push(r);
+            }
+            _ => return err(hline, format!("bad parameter '{p}'")),
+        }
+    }
+
+    // Body.
+    let mut label_map: HashMap<u32, BlockId> = HashMap::new();
+    let mut fixups: Vec<(BlockId, usize, u32)> = Vec::new(); // (block, idx, label)
+    let mut cur: Option<BlockId> = None;
+    let mut first = true;
+    for (n, raw) in lines {
+        let line_no = n + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            break;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let id = label
+                .strip_prefix('B')
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| ParseError {
+                    line: line_no,
+                    message: format!("bad block label '{label}'"),
+                })?;
+            let b = if first {
+                first = false;
+                f.entry()
+            } else {
+                f.add_block()
+            };
+            if label_map.insert(id, b).is_some() {
+                return err(line_no, format!("duplicate block label B{id}"));
+            }
+            cur = Some(b);
+            continue;
+        }
+        let Some(b) = cur else {
+            return err(line_no, "instruction before first block label");
+        };
+        let (inst, pending_label, regs, preds) = parse_inst(&mut f, line, line_no)?;
+        max_reg = max_reg.max(regs);
+        max_pred = max_pred.max(preds);
+        let idx = f.block(b).insts.len();
+        if let Some(label) = pending_label {
+            fixups.push((b, idx, label));
+        }
+        f.block_mut(b).insts.push(inst);
+    }
+    // Resolve branch labels.
+    for (b, idx, label) in fixups {
+        let target = *label_map.get(&label).ok_or_else(|| ParseError {
+            line: 0,
+            message: format!("branch to undefined block B{label}"),
+        })?;
+        f.block_mut(b).insts[idx].target = Some(target);
+    }
+    f.reg_count = (max_reg + 1) as u32;
+    f.pred_count = (max_pred + 1) as u32;
+    crate::verify::verify_function(&f).map_err(|e| ParseError {
+        line: 0,
+        message: format!("verification failed: {e}"),
+    })?;
+    Ok(f)
+}
+
+/// Parses one instruction line; returns the instruction, an unresolved
+/// branch label (if any), and the highest register/predicate mentioned.
+fn parse_inst(
+    f: &mut Function,
+    line: &str,
+    line_no: usize,
+) -> Result<(Inst, Option<u32>, i64, i64), ParseError> {
+    let mut rest = line;
+    // Optional "[cycle]" column.
+    if let Some(r) = rest.strip_prefix('[') {
+        let (cyc, tail) = r.split_once(']').ok_or_else(|| ParseError {
+            line: line_no,
+            message: "unterminated [cycle]".into(),
+        })?;
+        let _cycle: u32 = cyc.trim().parse().map_err(|_| ParseError {
+            line: line_no,
+            message: format!("bad cycle '{cyc}'"),
+        })?;
+        rest = tail.trim_start();
+    }
+    let mut speculative = false;
+    if let Some(r) = rest.strip_prefix("(s)") {
+        speculative = true;
+        rest = r.trim_start();
+    }
+    // Split off "-> Bx", "@Fx", "(pN)" suffixes.
+    let mut pending_label = None;
+    let mut guard = None;
+    let mut callee = None;
+    if let Some(pos) = rest.rfind('(') {
+        // Guard suffix must be the final parenthesized pN.
+        let suffix = rest[pos..].trim();
+        if let Some(p) = suffix
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .filter(|s| s.starts_with('p'))
+        {
+            if let Ok(Tokened::Pred(pr)) = parse_token(p, line_no) {
+                guard = Some(pr);
+                rest = rest[..pos].trim_end();
+            }
+        }
+    }
+    if let Some(pos) = rest.find("@F") {
+        let tok = rest[pos..].trim();
+        match parse_token(tok, line_no)? {
+            Tokened::Callee(c) => callee = Some(c),
+            _ => return err(line_no, "bad callee"),
+        }
+        rest = rest[..pos].trim_end();
+    }
+    if let Some(pos) = rest.find("->") {
+        let tok = rest[pos + 2..].trim();
+        let label = tok
+            .strip_prefix('B')
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| ParseError {
+                line: line_no,
+                message: format!("bad branch target '{tok}'"),
+            })?;
+        pending_label = Some(label);
+        rest = rest[..pos].trim_end();
+    }
+
+    let (mnemonic, operands) = match rest.split_once(' ') {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let op = op_of(mnemonic).ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("unknown mnemonic '{mnemonic}'"),
+    })?;
+    let mut inst = Inst::new(f.fresh_inst_id(), op);
+    inst.speculative = speculative;
+    inst.guard = guard;
+    inst.callee = callee;
+
+    // Memory forms have bracketed address syntax.
+    let mut toks: Vec<Tokened> = Vec::new();
+    if op.is_load() || op.is_store() {
+        let (pre, addr_and_rest) = operands.split_once('[').ok_or_else(|| ParseError {
+            line: line_no,
+            message: "expected [base + off]".into(),
+        })?;
+        let (addr, post) = addr_and_rest.split_once(']').ok_or_else(|| ParseError {
+            line: line_no,
+            message: "unterminated [base + off]".into(),
+        })?;
+        let (base, off) = addr.split_once('+').ok_or_else(|| ParseError {
+            line: line_no,
+            message: "expected base + off".into(),
+        })?;
+        for t in pre.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            toks.push(parse_token(t, line_no)?);
+        }
+        toks.push(parse_token(base.trim(), line_no)?);
+        toks.push(parse_token(off.trim(), line_no)?);
+        for t in post.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            toks.push(parse_token(t, line_no)?);
+        }
+    } else {
+        for t in operands.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            toks.push(parse_token(t, line_no)?);
+        }
+    }
+
+    // Distribute: predicate destinations, then (for value-producing ops)
+    // the destination register, then sources.
+    let mut max_reg: i64 = -1;
+    let mut max_pred: i64 = -1;
+    let mut it = toks.into_iter().peekable();
+    while let Some(Tokened::PredDst(_)) = it.peek() {
+        let Some(Tokened::PredDst(pd)) = it.next() else { unreachable!() };
+        max_pred = max_pred.max(pd.reg.0 as i64);
+        inst.pdsts.push(pd);
+    }
+    let wants_dst = matches!(
+        op,
+        Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::AndNot
+            | Op::OrNot
+            | Op::Shl
+            | Op::Shr
+            | Op::Sra
+            | Op::Cmp(_)
+            | Op::Mov
+            | Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FDiv
+            | Op::FCmp(_)
+            | Op::IToF
+            | Op::FToI
+            | Op::Ld(_)
+            | Op::Cmov
+            | Op::CmovCom
+            | Op::Select
+            | Op::Call
+    );
+    if wants_dst {
+        match it.next() {
+            Some(Tokened::Reg(r)) => {
+                max_reg = max_reg.max(r.0 as i64);
+                inst.dst = Some(r);
+            }
+            other => {
+                return err(
+                    line_no,
+                    format!("{mnemonic}: expected destination register, got {other:?}"),
+                )
+            }
+        }
+    }
+    for t in it {
+        match t {
+            Tokened::Reg(r) => {
+                max_reg = max_reg.max(r.0 as i64);
+                inst.srcs.push(Operand::Reg(r));
+            }
+            Tokened::Imm(v) => inst.srcs.push(Operand::Imm(v)),
+            other => return err(line_no, format!("{mnemonic}: unexpected operand {other:?}")),
+        }
+    }
+    if let Some(g) = inst.guard {
+        max_pred = max_pred.max(g.0 as i64);
+    }
+    Ok((inst, pending_label, max_reg, max_pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FuncBuilder;
+
+    #[test]
+    fn parses_simple_function() {
+        let f = parse_function(
+            "func main(r0) {
+             B0:
+               add r1, r0, 1
+               ret r1
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.name, "main");
+        assert_eq!(f.params, vec![Reg(0)]);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+        assert_eq!(f.blocks[0].insts[0].op, Op::Add);
+        assert_eq!(f.reg_count, 2);
+    }
+
+    #[test]
+    fn parses_branches_and_guards() {
+        let f = parse_function(
+            "func main(r0) {
+             B0:
+               pred_eq p0<U>, p1<!U>, r0, 0
+               mov r1, 1 (p0)
+               mov r1, 2 (p1)
+               beq r0, 5 -> B1
+               ret r1
+             B1:
+               ret 0
+             }",
+        )
+        .unwrap();
+        let insts = &f.blocks[0].insts;
+        assert_eq!(insts[0].pdsts.len(), 2);
+        assert_eq!(insts[1].guard, Some(PredReg(0)));
+        assert_eq!(insts[3].op, Op::Br(CmpOp::Eq));
+        assert_eq!(insts[3].target, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn parses_memory_and_speculative_forms() {
+        let f = parse_function(
+            "func main(r0) {
+             B0:
+               (s) ld.w r1, [r0 + 8]
+               st.b [r0 + 0], r1
+               ret r1
+             }",
+        )
+        .unwrap();
+        let insts = &f.blocks[0].insts;
+        assert!(insts[0].speculative);
+        assert_eq!(insts[0].op, Op::Ld(MemWidth::Word));
+        assert_eq!(insts[0].srcs, vec![Operand::Reg(Reg(0)), Operand::Imm(8)]);
+        assert_eq!(insts[1].op, Op::St(MemWidth::Byte));
+        assert_eq!(
+            insts[1].srcs,
+            vec![Operand::Reg(Reg(0)), Operand::Imm(0), Operand::Reg(Reg(1))]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_function("nonsense").is_err());
+        assert!(parse_function("func f() {\nB0:\n  frobnicate r1\n}").is_err());
+        assert!(parse_function("func f() {\nB0:\n  jump -> B9\n}").is_err());
+        // Dangling fall-through fails verification.
+        assert!(parse_function("func f(r0) {\nB0:\n  add r1, r0, 1\n}").is_err());
+    }
+
+    #[test]
+    fn round_trips_builder_output() {
+        let mut b = FuncBuilder::new("demo");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        let other = b.block();
+        b.pred_def(
+            CmpOp::Lt,
+            &[(p, PredType::Or), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(10),
+            None,
+        );
+        let y = b.add(x.into(), Operand::Imm(3));
+        b.guard_last(q);
+        b.br(CmpOp::Ne, y.into(), Operand::Imm(0), other);
+        b.ret(Some(x.into()));
+        b.switch_to(other);
+        let v = b.load(MemWidth::Word, x.into(), Operand::Imm(16));
+        b.store(MemWidth::Word, x.into(), Operand::Imm(24), v.into());
+        b.ret(Some(v.into()));
+        let f = b.finish();
+
+        let text = f.to_string();
+        let parsed = parse_function(&text).unwrap();
+        assert_eq!(
+            parsed.to_string(),
+            text,
+            "print -> parse -> print must be a fixpoint"
+        );
+    }
+}

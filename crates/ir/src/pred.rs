@@ -1,0 +1,277 @@
+//! Predicate-define destination types — the paper's Table 1.
+//!
+//! A predicate define instruction (`pred_<cmp> Pout1<type>, Pout2<type>,
+//! src1, src2 (Pin)`) assigns up to two destination predicate registers
+//! based on the comparison result and the *input predicate* `Pin`. Each
+//! destination carries a [`PredType`] that selects what is written:
+//!
+//! | `Pin` | cmp | U | U̅ | OR | OR̅ | AND | AND̅ |
+//! |-------|-----|---|----|----|----|-----|-----|
+//! | 0     | 0   | 0 | 0  | –  | –  | –   | –   |
+//! | 0     | 1   | 0 | 0  | –  | –  | –   | –   |
+//! | 1     | 0   | 0 | 1  | –  | 1  | 0   | –   |
+//! | 1     | 1   | 1 | 0  | 1  | –  | –   | 0   |
+//!
+//! (`–` leaves the destination unchanged.) These are the six useful types of
+//! the HPL PlayDoh semantics out of the 3⁴ = 81 possible ones.
+
+use crate::types::PredReg;
+use std::fmt;
+
+/// Destination-predicate semantics of a predicate define (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredType {
+    /// Unconditional: always written; `Pin && cmp`.
+    U,
+    /// Unconditional complement: always written; `Pin && !cmp`.
+    UBar,
+    /// OR-type: set to 1 when `Pin && cmp`, otherwise unchanged.
+    Or,
+    /// OR complement: set to 1 when `Pin && !cmp`, otherwise unchanged.
+    OrBar,
+    /// AND-type: cleared when `Pin && !cmp`, otherwise unchanged.
+    And,
+    /// AND complement: cleared when `Pin && cmp`, otherwise unchanged.
+    AndBar,
+}
+
+impl PredType {
+    /// All six types.
+    pub const ALL: [PredType; 6] = [
+        PredType::U,
+        PredType::UBar,
+        PredType::Or,
+        PredType::OrBar,
+        PredType::And,
+        PredType::AndBar,
+    ];
+
+    /// Applies the truth table: given the input predicate, the comparison
+    /// result and the previous destination value, returns the new
+    /// destination value.
+    #[inline]
+    pub fn eval(self, pin: bool, cmp: bool, old: bool) -> bool {
+        match self {
+            PredType::U => pin && cmp,
+            PredType::UBar => pin && !cmp,
+            PredType::Or => {
+                if pin && cmp {
+                    true
+                } else {
+                    old
+                }
+            }
+            PredType::OrBar => {
+                if pin && !cmp {
+                    true
+                } else {
+                    old
+                }
+            }
+            PredType::And => {
+                if pin && !cmp {
+                    false
+                } else {
+                    old
+                }
+            }
+            PredType::AndBar => {
+                if pin && cmp {
+                    false
+                } else {
+                    old
+                }
+            }
+        }
+    }
+
+    /// The complementary type (swaps the sense of the comparison).
+    #[inline]
+    pub fn complement(self) -> PredType {
+        match self {
+            PredType::U => PredType::UBar,
+            PredType::UBar => PredType::U,
+            PredType::Or => PredType::OrBar,
+            PredType::OrBar => PredType::Or,
+            PredType::And => PredType::AndBar,
+            PredType::AndBar => PredType::And,
+        }
+    }
+
+    /// True for types that may leave the destination unchanged (OR/AND
+    /// families). Such destinations must be initialized before use and are
+    /// *partial* definitions for liveness purposes.
+    #[inline]
+    pub fn is_partial(self) -> bool {
+        !matches!(self, PredType::U | PredType::UBar)
+    }
+
+    /// True for the OR family.
+    #[inline]
+    pub fn is_or_family(self) -> bool {
+        matches!(self, PredType::Or | PredType::OrBar)
+    }
+
+    /// True for the AND family.
+    #[inline]
+    pub fn is_and_family(self) -> bool {
+        matches!(self, PredType::And | PredType::AndBar)
+    }
+
+    /// True for the complemented variants (U̅, OR̅, AND̅).
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        matches!(self, PredType::UBar | PredType::OrBar | PredType::AndBar)
+    }
+}
+
+impl fmt::Display for PredType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PredType::U => "U",
+            PredType::UBar => "!U",
+            PredType::Or => "OR",
+            PredType::OrBar => "!OR",
+            PredType::And => "AND",
+            PredType::AndBar => "!AND",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One destination of a predicate define: a predicate register plus the
+/// [`PredType`] that governs how it is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredDst {
+    /// Destination predicate register.
+    pub reg: PredReg,
+    /// Write semantics.
+    pub ty: PredType,
+}
+
+impl PredDst {
+    /// Convenience constructor.
+    pub fn new(reg: PredReg, ty: PredType) -> PredDst {
+        PredDst { reg, ty }
+    }
+}
+
+impl fmt::Display for PredDst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>", self.reg, self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1, row by row. `None` means "unchanged".
+    #[test]
+    fn table_1() {
+        // (pin, cmp, U, UBar, Or, OrBar, And, AndBar)
+        let rows: [(bool, bool, [Option<bool>; 6]); 4] = [
+            (false, false, [Some(false), Some(false), None, None, None, None]),
+            (false, true, [Some(false), Some(false), None, None, None, None]),
+            (
+                true,
+                false,
+                [Some(false), Some(true), None, Some(true), Some(false), None],
+            ),
+            (
+                true,
+                true,
+                [Some(true), Some(false), Some(true), None, None, Some(false)],
+            ),
+        ];
+        for (pin, cmp, outs) in rows {
+            for (ty, want) in PredType::ALL.iter().zip(outs) {
+                for old in [false, true] {
+                    let got = ty.eval(pin, cmp, old);
+                    match want {
+                        Some(v) => assert_eq!(got, v, "{ty:?} pin={pin} cmp={cmp}"),
+                        None => assert_eq!(got, old, "{ty:?} pin={pin} cmp={cmp} should hold"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_cmp_sense() {
+        for ty in PredType::ALL {
+            for pin in [false, true] {
+                for cmp in [false, true] {
+                    for old in [false, true] {
+                        assert_eq!(
+                            ty.eval(pin, cmp, old),
+                            ty.complement().eval(pin, !cmp, old),
+                            "{ty:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for ty in PredType::ALL {
+            assert_eq!(ty.complement().complement(), ty);
+        }
+    }
+
+    #[test]
+    fn or_type_never_clears() {
+        // Wired-OR property: an OR-type define either writes 1 or leaves the
+        // register unchanged, so defines to the same register commute.
+        for pin in [false, true] {
+            for cmp in [false, true] {
+                assert!(PredType::Or.eval(pin, cmp, true));
+                assert!(PredType::OrBar.eval(pin, cmp, true));
+            }
+        }
+    }
+
+    #[test]
+    fn and_type_never_sets() {
+        for pin in [false, true] {
+            for cmp in [false, true] {
+                assert!(!PredType::And.eval(pin, cmp, false));
+                assert!(!PredType::AndBar.eval(pin, cmp, false));
+            }
+        }
+    }
+
+    #[test]
+    fn or_defines_commute() {
+        // Any two OR-family writes to the same register produce the same
+        // final value in either order.
+        let cases = [(true, true), (true, false), (false, true), (false, false)];
+        for &(p1, c1) in &cases {
+            for &(p2, c2) in &cases {
+                for old in [false, true] {
+                    let ab = PredType::Or.eval(p2, c2, PredType::Or.eval(p1, c1, old));
+                    let ba = PredType::Or.eval(p1, c1, PredType::Or.eval(p2, c2, old));
+                    assert_eq!(ab, ba);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_classification() {
+        assert!(!PredType::U.is_partial());
+        assert!(!PredType::UBar.is_partial());
+        assert!(PredType::Or.is_partial());
+        assert!(PredType::OrBar.is_partial());
+        assert!(PredType::And.is_partial());
+        assert!(PredType::AndBar.is_partial());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PredType::OrBar.to_string(), "!OR");
+        assert_eq!(PredDst::new(PredReg(1), PredType::U).to_string(), "p1<U>");
+    }
+}

@@ -1,0 +1,351 @@
+//! Core identifier and operand types.
+
+use std::fmt;
+
+/// A virtual general-purpose register.
+///
+/// The paper's baseline machine assumes an infinite register file, so
+/// registers are never allocated to a finite set; every SSA-ish temporary
+/// simply gets a fresh `Reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Index as `usize`, for register-file vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 1-bit predicate register (full-predication extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(pub u32);
+
+impl PredReg {
+    /// Index as `usize`, for predicate-file vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a [`crate::Block`] within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index as `usize`, for block vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Index of a [`crate::Function`] within its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index as `usize`, for function vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Unique (per function) identifier of a static instruction.
+///
+/// Identifiers survive reordering but not duplication: passes that copy
+/// instructions (tail duplication, conversion expansion) must assign fresh
+/// ids via [`crate::Function::fresh_inst_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// An instruction source operand: a register or an immediate.
+///
+/// Floating-point immediates are stored as the raw `f64` bit pattern of the
+/// immediate (registers are 64-bit and untyped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register source.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate, if this operand is one.
+    #[inline]
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            Operand::Reg(_) => None,
+        }
+    }
+
+    /// Builds a floating-point immediate (bit pattern of `v`).
+    #[inline]
+    pub fn fimm(v: f64) -> Operand {
+        Operand::Imm(v.to_bits() as i64)
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operator used by compares, branches and predicate defines.
+///
+/// Comparisons are signed 64-bit (or IEEE `f64` for the floating-point
+/// variants of the owning opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Evaluates the comparison on signed integers.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluates the comparison on floats.
+    #[inline]
+    pub fn eval_f(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The logical negation: `inverse(a cmp b) == !(a cmp b)`.
+    ///
+    /// Note that for floats with NaN this identity does not hold; the
+    /// pipeline never relies on NaN-correct inversion (MiniC has no NaN
+    /// sources).
+    #[inline]
+    pub fn inverse(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with swapped operands: `a cmp b == b cmp.swap() a`.
+    #[inline]
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Assembly-style mnemonic suffix (`eq`, `ne`, `lt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Access width of a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte, zero-extended on load (MiniC `char`).
+    Byte,
+    /// Eight bytes (MiniC `int` / `float`).
+    Word,
+}
+
+impl MemWidth {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Word => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_matches_rust() {
+        for cmp in CmpOp::ALL {
+            for a in [-3i64, 0, 1, 7] {
+                for b in [-3i64, 0, 1, 7] {
+                    let got = cmp.eval(a, b);
+                    let want = match cmp {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Ge => a >= b,
+                    };
+                    assert_eq!(got, want, "{cmp:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_negation() {
+        for cmp in CmpOp::ALL {
+            for a in [-2i64, 0, 5] {
+                for b in [-2i64, 0, 5] {
+                    assert_eq!(cmp.eval(a, b), !cmp.inverse().eval(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_swaps_operands() {
+        for cmp in CmpOp::ALL {
+            for a in [-2i64, 0, 5] {
+                for b in [-2i64, 0, 5] {
+                    assert_eq!(cmp.eval(a, b), cmp.swap().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        for cmp in CmpOp::ALL {
+            assert_eq!(cmp.inverse().inverse(), cmp);
+        }
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let r = Operand::Reg(Reg(3));
+        assert_eq!(r.as_reg(), Some(Reg(3)));
+        assert_eq!(r.as_imm(), None);
+        let i = Operand::Imm(-7);
+        assert_eq!(i.as_imm(), Some(-7));
+        assert_eq!(i.as_reg(), None);
+    }
+
+    #[test]
+    fn fimm_round_trips() {
+        let op = Operand::fimm(1.5);
+        assert_eq!(f64::from_bits(op.as_imm().unwrap() as u64), 1.5);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(4).to_string(), "r4");
+        assert_eq!(PredReg(2).to_string(), "p2");
+        assert_eq!(BlockId(9).to_string(), "B9");
+        assert_eq!(Operand::Imm(-1).to_string(), "-1");
+        assert_eq!(CmpOp::Ge.to_string(), "ge");
+    }
+}

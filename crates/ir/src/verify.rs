@@ -1,0 +1,387 @@
+//! Structural verifier for modules and functions.
+//!
+//! Passes in this workspace run the verifier after every transformation in
+//! debug builds and in the test suite; it catches malformed operand counts,
+//! dangling branch targets, out-of-range registers, and code after an
+//! unconditional block ender.
+
+use crate::inst::{Inst, Op};
+use crate::module::{Function, Module};
+use crate::types::{BlockId, FuncId};
+use std::error::Error;
+use std::fmt;
+
+/// A structural error found by [`verify_function`] / [`Module::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error was found (if any).
+    pub func: Option<String>,
+    /// Block in which the error was found (if any).
+    pub block: Option<BlockId>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(func) = &self.func {
+            write!(f, "in {func}: ")?;
+        }
+        if let Some(b) = self.block {
+            write!(f, "{b}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+fn err(func: &Function, block: Option<BlockId>, message: String) -> VerifyError {
+    VerifyError {
+        func: Some(func.name.clone()),
+        block,
+        message,
+    }
+}
+
+/// Expected number of sources for an opcode; `None` means variable.
+fn expected_srcs(op: Op) -> Option<usize> {
+    Some(match op {
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::AndNot
+        | Op::OrNot
+        | Op::Shl
+        | Op::Shr
+        | Op::Sra
+        | Op::Cmp(_)
+        | Op::FAdd
+        | Op::FSub
+        | Op::FMul
+        | Op::FDiv
+        | Op::FCmp(_)
+        | Op::Ld(_)
+        | Op::Br(_)
+        | Op::PredDef(_)
+        | Op::FPredDef(_)
+        | Op::Cmov
+        | Op::CmovCom => 2,
+        Op::Mov | Op::IToF | Op::FToI => 1,
+        Op::St(_) | Op::Select => 3,
+        Op::Jump | Op::Halt | Op::PredClear | Op::PredSet | Op::Nop => 0,
+        Op::Call | Op::Ret => return None,
+    })
+}
+
+/// True when the opcode must write a destination register.
+fn requires_dst(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::AndNot
+            | Op::OrNot
+            | Op::Shl
+            | Op::Shr
+            | Op::Sra
+            | Op::Cmp(_)
+            | Op::Mov
+            | Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FDiv
+            | Op::FCmp(_)
+            | Op::IToF
+            | Op::FToI
+            | Op::Ld(_)
+            | Op::Cmov
+            | Op::CmovCom
+            | Op::Select
+            | Op::Call
+    )
+}
+
+fn verify_inst(f: &Function, b: BlockId, inst: &Inst) -> Result<(), VerifyError> {
+    if let Some(n) = expected_srcs(inst.op) {
+        if inst.srcs.len() != n {
+            return Err(err(
+                f,
+                Some(b),
+                format!("{inst}: expected {n} sources, found {}", inst.srcs.len()),
+            ));
+        }
+    }
+    if inst.op == Op::Ret && inst.srcs.len() > 1 {
+        return Err(err(f, Some(b), format!("{inst}: ret takes 0 or 1 source")));
+    }
+    if requires_dst(inst.op) != inst.dst.is_some() {
+        return Err(err(
+            f,
+            Some(b),
+            format!("{inst}: destination presence mismatch"),
+        ));
+    }
+    if inst.op.is_pred_def() {
+        if inst.pdsts.is_empty() || inst.pdsts.len() > 2 {
+            return Err(err(
+                f,
+                Some(b),
+                format!("{inst}: predicate define needs 1-2 destinations"),
+            ));
+        }
+    } else if !inst.pdsts.is_empty() {
+        return Err(err(
+            f,
+            Some(b),
+            format!("{inst}: only predicate defines may have predicate destinations"),
+        ));
+    }
+    if inst.op.is_branch() {
+        let t = inst
+            .target
+            .ok_or_else(|| err(f, Some(b), format!("{inst}: branch without target")))?;
+        if f.layout_pos(t).is_none() {
+            return Err(err(
+                f,
+                Some(b),
+                format!("{inst}: target {t} is not in the layout"),
+            ));
+        }
+    } else if inst.target.is_some() {
+        return Err(err(f, Some(b), format!("{inst}: unexpected target")));
+    }
+    if inst.op == Op::Call && inst.callee.is_none() && !f.pending_callees.contains_key(&inst.id) {
+        return Err(err(f, Some(b), format!("{inst}: unresolved call")));
+    }
+    for r in inst.src_regs().chain(inst.dst) {
+        if r.0 >= f.reg_count {
+            return Err(err(
+                f,
+                Some(b),
+                format!("{inst}: register {r} out of range (reg_count={})", f.reg_count),
+            ));
+        }
+    }
+    for p in inst.pred_uses().chain(inst.pred_defs()) {
+        if p.0 >= f.pred_count {
+            return Err(err(
+                f,
+                Some(b),
+                format!(
+                    "{inst}: predicate {p} out of range (pred_count={})",
+                    f.pred_count
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+/// Returns the first structural problem found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    if f.layout.is_empty() {
+        return Err(err(f, None, "empty layout".into()));
+    }
+    let mut seen = vec![false; f.blocks.len()];
+    for &b in &f.layout {
+        if b.index() >= f.blocks.len() {
+            return Err(err(f, Some(b), "layout references missing block".into()));
+        }
+        if std::mem::replace(&mut seen[b.index()], true) {
+            return Err(err(f, Some(b), "block appears twice in layout".into()));
+        }
+    }
+    for &b in &f.layout {
+        let insts = &f.block(b).insts;
+        for (i, inst) in insts.iter().enumerate() {
+            verify_inst(f, b, inst)?;
+            if inst.ends_block() && i + 1 != insts.len() {
+                return Err(err(
+                    f,
+                    Some(b),
+                    format!("{inst}: unreachable code after block ender"),
+                ));
+            }
+        }
+    }
+    // The final laid-out block must not fall off the end of the function.
+    let last = *f.layout.last().expect("nonempty layout");
+    if !f.block(last).ends_explicitly() {
+        return Err(err(
+            f,
+            Some(last),
+            "final block falls through past the end of the function".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl Module {
+    /// Verifies every function plus cross-function invariants (unique
+    /// names, resolved callees).
+    ///
+    /// # Errors
+    /// Returns the first structural problem found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for (i, f) in self.funcs.iter().enumerate() {
+            if self
+                .funcs
+                .iter()
+                .skip(i + 1)
+                .any(|other| other.name == f.name)
+            {
+                return Err(VerifyError {
+                    func: Some(f.name.clone()),
+                    block: None,
+                    message: "duplicate function name".into(),
+                });
+            }
+            verify_function(f)?;
+            for (b, _, inst) in f.insts() {
+                if inst.op == Op::Call {
+                    match inst.callee {
+                        Some(FuncId(c)) if (c as usize) < self.funcs.len() => {
+                            let callee = &self.funcs[c as usize];
+                            if inst.srcs.len() != callee.params.len() {
+                                return Err(err(
+                                    f,
+                                    Some(b),
+                                    format!(
+                                        "{inst}: {} args but {} takes {}",
+                                        inst.srcs.len(),
+                                        callee.name,
+                                        callee.params.len()
+                                    ),
+                                ));
+                            }
+                        }
+                        Some(c) => {
+                            return Err(err(f, Some(b), format!("{inst}: bad callee {c}")))
+                        }
+                        None => return Err(err(f, Some(b), format!("{inst}: unresolved call"))),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CmpOp, Operand, Reg};
+    use crate::FuncBuilder;
+
+    fn ok_func() -> Function {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        assert!(verify_function(&ok_func()).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_src_count() {
+        let mut f = ok_func();
+        f.blocks[0].insts[0].srcs.pop();
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("expected 2 sources"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_reg() {
+        let mut f = ok_func();
+        f.blocks[0].insts[0].srcs[0] = Operand::Reg(Reg(999));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dst() {
+        let mut f = ok_func();
+        f.blocks[0].insts[0].dst = None;
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_target() {
+        let mut b = FuncBuilder::new("f");
+        let t = b.block();
+        b.br(CmpOp::Eq, Operand::Imm(0), Operand::Imm(0), t);
+        b.ret(None);
+        b.switch_to(t);
+        b.ret(None);
+        let mut f = b.finish();
+        // Hand-construct a dangling target.
+        f.blocks[0].insts[0].target = Some(BlockId(77));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_function_end() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        b.add(x.into(), Operand::Imm(1));
+        let f = b.finish();
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("falls through"), "{e}");
+    }
+
+    #[test]
+    fn rejects_code_after_ender() {
+        let mut b = FuncBuilder::new("f");
+        b.ret(None);
+        b.ret(None);
+        let f = b.finish();
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn module_rejects_duplicate_names() {
+        let mut m = Module::new();
+        let mut b1 = FuncBuilder::new("f");
+        b1.ret(None);
+        m.push(b1.finish());
+        let mut b2 = FuncBuilder::new("f");
+        b2.ret(None);
+        m.push(b2.finish());
+        assert!(m.verify().is_err());
+    }
+
+    #[test]
+    fn module_checks_call_arity() {
+        let mut m = Module::new();
+        let mut caller = FuncBuilder::new("caller");
+        caller.call("callee", vec![Operand::Imm(1)]);
+        caller.ret(None);
+        m.push(caller.finish());
+        let mut callee = FuncBuilder::new("callee");
+        let _a = callee.param();
+        let _b = callee.param();
+        callee.ret(None);
+        m.push(callee.finish());
+        m.link().unwrap();
+        let e = m.verify().unwrap_err();
+        assert!(e.message.contains("args"), "{e}");
+    }
+}

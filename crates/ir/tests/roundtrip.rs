@@ -1,0 +1,88 @@
+//! Property test: printing and parsing the IR is a fixpoint for randomly
+//! built functions.
+
+use hyperpred_ir::{parse_function, CmpOp, FuncBuilder, MemWidth, Op, Operand, PredType};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_function(seed: u64) -> hyperpred_ir::Function {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut b = FuncBuilder::new("fuzz");
+    let nparams = r.gen_range(1..4);
+    let mut regs: Vec<hyperpred_ir::Reg> = (0..nparams).map(|_| b.param()).collect();
+    let p = b.fresh_pred();
+    let q = b.fresh_pred();
+    let tail = b.block();
+    let pick = |r: &mut StdRng, regs: &[hyperpred_ir::Reg]| -> Operand {
+        if r.gen_bool(0.3) {
+            Operand::Imm(r.gen_range(-100..100))
+        } else {
+            Operand::Reg(regs[r.gen_range(0..regs.len())])
+        }
+    };
+    for _ in 0..r.gen_range(2..16) {
+        match r.gen_range(0..8) {
+            0 => {
+                let d = b.op2(Op::Add, pick(&mut r, &regs), pick(&mut r, &regs));
+                regs.push(d);
+            }
+            1 => {
+                let d = b.op2(Op::Xor, pick(&mut r, &regs), pick(&mut r, &regs));
+                regs.push(d);
+            }
+            2 => {
+                let d = b.cmp(CmpOp::Lt, pick(&mut r, &regs), pick(&mut r, &regs));
+                regs.push(d);
+            }
+            3 => {
+                let d = b.load(MemWidth::Word, pick(&mut r, &regs), Operand::Imm(8));
+                regs.push(d);
+            }
+            4 => {
+                b.store(
+                    MemWidth::Byte,
+                    pick(&mut r, &regs),
+                    Operand::Imm(0),
+                    pick(&mut r, &regs),
+                );
+            }
+            5 => {
+                b.pred_def(
+                    CmpOp::Ne,
+                    &[(p, PredType::Or), (q, PredType::UBar)],
+                    pick(&mut r, &regs),
+                    Operand::Imm(0),
+                    None,
+                );
+            }
+            6 => {
+                let d = b.mov(pick(&mut r, &regs));
+                b.guard_last(q);
+                regs.push(d);
+            }
+            _ => {
+                let dst = regs[r.gen_range(0..regs.len())];
+                b.cmov(dst, pick(&mut r, &regs), pick(&mut r, &regs));
+            }
+        }
+    }
+    b.br(CmpOp::Ge, pick(&mut r, &regs), Operand::Imm(0), tail);
+    b.ret(Some(pick(&mut r, &regs)));
+    b.switch_to(tail);
+    b.ret(None);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_print_is_fixpoint(seed in any::<u64>()) {
+        let f = random_function(seed);
+        let text = f.to_string();
+        let parsed = parse_function(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+}

@@ -1,0 +1,218 @@
+//! Abstract syntax tree for MiniC.
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Unsigned byte (promoted to `int` in expressions).
+    Char,
+}
+
+impl Scalar {
+    /// Size of one element in memory.
+    pub fn size(self) -> u64 {
+        match self {
+            Scalar::Char => 1,
+            Scalar::Int | Scalar::Float => 8,
+        }
+    }
+}
+
+/// A MiniC type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// No value (function returns only).
+    Void,
+    /// A scalar value.
+    Scalar(Scalar),
+    /// An array of scalars; `None` length for unsized array parameters.
+    Array(Scalar, Option<u64>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+impl BinOp {
+    /// True for `< <= > >= == !=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+}
+
+/// An assignable location: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable or array name.
+    pub name: String,
+    /// Element index for array accesses.
+    pub index: Option<Box<Expr>>,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Payload.
+    pub kind: ExprKind,
+    /// 1-based source line (for diagnostics).
+    pub line: u32,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer (or char) literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference (an array name evaluates to its base address).
+    Ident(String),
+    /// Array element read.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound assignments (`+=` etc.).
+    /// Evaluates to the stored value.
+    Assign(LValue, Option<BinOp>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration. Arrays take stack space; scalars live in
+    /// registers.
+    Decl {
+        /// Element type.
+        ty: Scalar,
+        /// Variable name.
+        name: String,
+        /// Array length (scalar when `None`).
+        len: Option<u64>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then [else els]`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`.
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body` — all three parts optional.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return expr?;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Element type.
+    pub ty: Scalar,
+    /// Name.
+    pub name: String,
+    /// Array length (scalar global when `None`).
+    pub len: Option<u64>,
+    /// Initializer bytes (already encoded little-endian per element).
+    pub init: Vec<u8>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Return type ([`Type::Void`] or scalar).
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters: scalars by value, arrays by base address.
+    pub params: Vec<(Type, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A whole MiniC translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,34 @@
+//! Compilation errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A MiniC compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at a position.
+    pub fn new(line: u32, col: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for CompileError {}

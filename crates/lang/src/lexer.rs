@@ -1,0 +1,343 @@
+//! Handwritten lexer for MiniC.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal (also produced for character literals).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (raw bytes, escapes resolved).
+    Str(Vec<u8>),
+    /// Identifier or keyword.
+    Ident(String),
+    /// A punctuation or operator token, e.g. `"+"`, `"<<"`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "'{p}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "%", "<", ">",
+    "=", "!", "&", "|", "^", "~", "?", ":",
+];
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+/// Fails on unterminated literals, bad escapes, or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let (sl, sc) = (line, col);
+            bump!();
+            bump!();
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(CompileError::new(sl, sc, "unterminated block comment"));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    bump!();
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        let (tl, tc) = (line, col);
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                bump!();
+            }
+            let mut is_float = false;
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                is_float = true;
+                bump!();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+            }
+            let text = &src[start..i];
+            if is_float {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(tl, tc, format!("bad float literal {text}")))?;
+                out.push(Token {
+                    tok: Tok::Float(v),
+                    line: tl,
+                    col: tc,
+                });
+            } else {
+                let v = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| CompileError::new(tl, tc, format!("bad integer literal {text}")))?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                bump!();
+            }
+            out.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Character literal.
+        if c == b'\'' {
+            bump!();
+            if i >= bytes.len() {
+                return Err(CompileError::new(tl, tc, "unterminated char literal"));
+            }
+            let v = if bytes[i] == b'\\' {
+                bump!();
+                let e = escape(bytes.get(i).copied(), tl, tc)?;
+                bump!();
+                e
+            } else {
+                let v = bytes[i];
+                bump!();
+                v
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(CompileError::new(tl, tc, "unterminated char literal"));
+            }
+            bump!();
+            out.push(Token {
+                tok: Tok::Int(v as i64),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            bump!();
+            let mut s = Vec::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(CompileError::new(tl, tc, "unterminated string literal"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        bump!();
+                        break;
+                    }
+                    b'\\' => {
+                        bump!();
+                        s.push(escape(bytes.get(i).copied(), tl, tc)?);
+                        bump!();
+                    }
+                    b => {
+                        s.push(b);
+                        bump!();
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let rest = &src[i..];
+        let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+            return Err(CompileError::new(
+                tl,
+                tc,
+                format!("unexpected character '{}'", c as char),
+            ));
+        };
+        for _ in 0..p.len() {
+            bump!();
+        }
+        out.push(Token {
+            tok: Tok::Punct(p),
+            line: tl,
+            col: tc,
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+fn escape(c: Option<u8>, line: u32, col: u32) -> Result<u8, CompileError> {
+    match c {
+        Some(b'n') => Ok(b'\n'),
+        Some(b't') => Ok(b'\t'),
+        Some(b'r') => Ok(b'\r'),
+        Some(b'0') => Ok(0),
+        Some(b'\\') => Ok(b'\\'),
+        Some(b'\'') => Ok(b'\''),
+        Some(b'"') => Ok(b'"'),
+        _ => Err(CompileError::new(line, col, "bad escape sequence")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            kinds("a<<=b<<c<=d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\t""#),
+            vec![
+                Tok::Int(97),
+                Tok::Int(10),
+                Tok::Str(b"hi\t".to_vec()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_hex() {
+        assert_eq!(kinds("1.5 0xff"), vec![Tok::Float(1.5), Tok::Int(255), Tok::Eof]);
+    }
+
+    #[test]
+    fn dot_without_digits_is_error_free_integer() {
+        // "1." is lexed as 1 then '.' is unknown -> error
+        assert!(lex("1.").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("'a").is_err());
+    }
+}

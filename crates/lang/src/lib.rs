@@ -1,0 +1,52 @@
+//! MiniC: a small C-like language that compiles to the predicated IR.
+//!
+//! The paper evaluates C programs (SPEC-92 plus Unix utilities) compiled by
+//! the IMPACT compiler. This crate is the workspace's substitute frontend:
+//! a deliberately small C dialect that is nevertheless rich enough to
+//! express the paper's benchmark kernels — scalar `int`/`float`/`char`
+//! variables, global and local arrays, functions with recursion,
+//! `if`/`while`/`for`/`break`/`continue`, short-circuit `&&`/`||` (which
+//! lower to the *branchy* control flow that if-conversion later removes),
+//! and the usual C operators.
+//!
+//! # Grammar sketch
+//!
+//! ```text
+//! program := (global | func)*
+//! global  := type ident ("[" int "]")? ("=" init)? ";"
+//! func    := type ident "(" params? ")" block
+//! stmt    := if | while | for | return | break | continue | block
+//!          | decl ";" | expr ";" | ";"
+//! expr    := assignment with ?:, ||, &&, |, ^, &, ==/!=, relational,
+//!            shifts, additive, multiplicative, unary (- ! ~), calls,
+//!            indexing
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use hyperpred_lang::compile;
+//!
+//! let module = compile(
+//!     "int main() {
+//!          int i; int s;
+//!          s = 0;
+//!          for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) s = s + i; }
+//!          return s;
+//!      }",
+//! )
+//! .unwrap();
+//! assert!(module.verify().is_ok());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::CompileError;
+pub use lower::compile;
+
+/// Name of the hidden stack-pointer parameter added to every function.
+pub const SP_PARAM: &str = "__sp";

@@ -1,0 +1,1005 @@
+//! Lowering from the MiniC AST to the predicated IR.
+//!
+//! Lowering performs semantic checking (symbol resolution, type checking)
+//! and code generation in one pass. Control flow is lowered the way a
+//! classic C compiler would before if-conversion: `if`/`while`/`for` and
+//! short-circuit `&&`/`||` all become conditional branches, producing the
+//! branchy code that superblock and hyperblock formation later transform.
+//!
+//! # Calling convention
+//!
+//! Every function receives a hidden first parameter `__sp`, the stack
+//! pointer. Local arrays live in the frame `[__sp - frame_size, __sp)`;
+//! callees are passed `__sp - frame_size`. Use [`entry_args`] to build the
+//! argument list for the emulator.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::parser::parse;
+use hyperpred_ir::module::STACK_BASE;
+use hyperpred_ir::{BlockId, CmpOp, FuncBuilder, MemWidth, Module, Op, Operand, Reg};
+use std::collections::HashMap;
+
+/// Compiles MiniC source into a linked, verified [`Module`].
+///
+/// # Errors
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let prog = parse(src)?;
+    lower_program(&prog)
+}
+
+/// Prepends the initial stack pointer to a user argument list, matching the
+/// hidden `__sp` parameter convention.
+pub fn entry_args(user: &[i64]) -> Vec<i64> {
+    let mut v = Vec::with_capacity(user.len() + 1);
+    v.push(STACK_BASE as i64);
+    v.extend_from_slice(user);
+    v
+}
+
+/// Value type of a lowered expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    /// Integer (includes char values, which are 0..=255 in registers).
+    I,
+    /// Float (f64 bit pattern in a register).
+    F,
+    /// Base address of an array of the given element type. Only valid as a
+    /// call argument or indexing base.
+    Addr(Scalar),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Val {
+    op: Operand,
+    ty: Ty,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Local {
+    Scalar { ty: Scalar, reg: Reg },
+    Array { ty: Scalar, offset: u64 },
+    ArrayParam { ty: Scalar, reg: Reg },
+}
+
+#[derive(Debug, Clone)]
+enum GSym {
+    Scalar { ty: Scalar, addr: u64 },
+    Array { ty: Scalar, addr: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct FnSig {
+    ret: Type,
+    params: Vec<Type>,
+}
+
+fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError::new(line, 0, msg))
+}
+
+/// Lowers a parsed [`Program`].
+///
+/// # Errors
+/// Returns the first semantic error.
+pub fn lower_program(prog: &Program) -> Result<Module, CompileError> {
+    let mut module = Module::new();
+    let mut gsyms: HashMap<String, GSym> = HashMap::new();
+    for g in &prog.globals {
+        if gsyms.contains_key(&g.name) {
+            return err(g.line, format!("duplicate global {}", g.name));
+        }
+        let size = g.len.unwrap_or(1) * g.ty.size();
+        if let Some(len) = g.len {
+            if (g.init.len() as u64) > len * g.ty.size() {
+                return err(g.line, format!("initializer too long for {}", g.name));
+            }
+        }
+        let addr = module.add_global(g.name.clone(), size, g.init.clone());
+        let sym = if g.len.is_some() {
+            GSym::Array { ty: g.ty, addr }
+        } else {
+            GSym::Scalar { ty: g.ty, addr }
+        };
+        gsyms.insert(g.name.clone(), sym);
+    }
+    let mut sigs: HashMap<String, FnSig> = HashMap::new();
+    for f in &prog.funcs {
+        if sigs.contains_key(&f.name) || gsyms.contains_key(&f.name) {
+            return err(f.line, format!("duplicate definition of {}", f.name));
+        }
+        sigs.insert(
+            f.name.clone(),
+            FnSig {
+                ret: f.ret,
+                params: f.params.iter().map(|(t, _)| *t).collect(),
+            },
+        );
+    }
+    for f in &prog.funcs {
+        let lowered = FnLower::new(f, &gsyms, &sigs)?.lower(f)?;
+        module.push(lowered);
+    }
+    module.link().map_err(|name| {
+        CompileError::new(0, 0, format!("call to undefined function {name}"))
+    })?;
+    module.verify().map_err(|e| {
+        CompileError::new(0, 0, format!("internal lowering error: {e}"))
+    })?;
+    Ok(module)
+}
+
+struct FnLower<'a> {
+    b: FuncBuilder,
+    gsyms: &'a HashMap<String, GSym>,
+    sigs: &'a HashMap<String, FnSig>,
+    scopes: Vec<HashMap<String, Local>>,
+    ret: Type,
+    /// Frame pointer (`__sp - frame_size`); equals `__sp` for leaf frames
+    /// without arrays.
+    fp: Operand,
+    /// Byte offset of the next array slot, assigned during the pre-scan.
+    array_offsets: Vec<u64>,
+    array_next: usize,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+fn collect_arrays(stmts: &[Stmt], sizes: &mut Vec<u64>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl {
+                ty, len: Some(n), ..
+            } => sizes.push((n * ty.size() + 7) & !7),
+            Stmt::If(_, a, b) => {
+                collect_arrays(std::slice::from_ref(a), sizes);
+                if let Some(b) = b {
+                    collect_arrays(std::slice::from_ref(b), sizes);
+                }
+            }
+            Stmt::While(_, body) | Stmt::For(_, _, _, body) => {
+                collect_arrays(std::slice::from_ref(body), sizes)
+            }
+            Stmt::Block(inner) => collect_arrays(inner, sizes),
+            _ => {}
+        }
+    }
+}
+
+impl<'a> FnLower<'a> {
+    fn new(
+        f: &FuncDecl,
+        gsyms: &'a HashMap<String, GSym>,
+        sigs: &'a HashMap<String, FnSig>,
+    ) -> Result<FnLower<'a>, CompileError> {
+        let mut b = FuncBuilder::new(f.name.clone());
+        let sp = b.param();
+        let mut scope = HashMap::new();
+        for (ty, name) in &f.params {
+            if scope.contains_key(name) {
+                return err(f.line, format!("duplicate parameter {name}"));
+            }
+            let reg = b.param();
+            let local = match ty {
+                Type::Scalar(s) => Local::Scalar { ty: *s, reg },
+                Type::Array(s, _) => Local::ArrayParam { ty: *s, reg },
+                Type::Void => unreachable!("parser rejects void params"),
+            };
+            scope.insert(name.clone(), local);
+        }
+        let mut sizes = Vec::new();
+        collect_arrays(&f.body, &mut sizes);
+        let frame_size: u64 = sizes.iter().sum();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let fp = if frame_size > 0 {
+            Operand::Reg(b.sub(sp.into(), Operand::Imm(frame_size as i64)))
+        } else {
+            Operand::Reg(sp)
+        };
+        Ok(FnLower {
+            b,
+            gsyms,
+            sigs,
+            scopes: vec![scope],
+            ret: f.ret,
+            fp,
+            array_offsets: offsets,
+            array_next: 0,
+            loops: Vec::new(),
+        })
+    }
+
+    fn lower(mut self, f: &FuncDecl) -> Result<hyperpred_ir::Function, CompileError> {
+        for s in &f.body {
+            self.stmt(s)?;
+        }
+        // Implicit return at the end of the body.
+        if !self
+            .b
+            .func()
+            .block(self.b.current())
+            .ends_explicitly()
+        {
+            match self.ret {
+                Type::Void => self.b.ret(None),
+                _ => self.b.ret(Some(Operand::Imm(0))),
+            }
+        }
+        let mut func = self.b.finish();
+        // Dangling blocks created for joins that are never reached still
+        // need terminators for the verifier; they are unreachable.
+        for &bid in &func.layout.clone() {
+            if !func.block(bid).ends_explicitly() && func.layout_next(bid).is_none() {
+                let ret = func.make_inst(Op::Ret);
+                func.block_mut(bid).insts.push(ret);
+            }
+        }
+        func.remove_unreachable();
+        Ok(func)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Local> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(l) = scope.get(name) {
+                return Some(*l);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, line: u32, name: &str, local: Local) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.contains_key(name) {
+            return err(line, format!("duplicate declaration of {name}"));
+        }
+        scope.insert(name.to_string(), local);
+        Ok(())
+    }
+
+    // ---- type helpers -------------------------------------------------
+
+    fn to_int(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
+        match v.ty {
+            Ty::I => Ok(v.op),
+            Ty::F => {
+                let dst = self.b.fresh();
+                self.b.emit_with(Op::FToI, |i| {
+                    i.dst = Some(dst);
+                    i.srcs = vec![v.op];
+                });
+                Ok(dst.into())
+            }
+            Ty::Addr(_) => err(line, "array used as a value"),
+        }
+    }
+
+    fn to_float(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
+        match v.ty {
+            Ty::F => Ok(v.op),
+            Ty::I => {
+                if let Operand::Imm(k) = v.op {
+                    return Ok(Operand::fimm(k as f64));
+                }
+                let dst = self.b.fresh();
+                self.b.emit_with(Op::IToF, |i| {
+                    i.dst = Some(dst);
+                    i.srcs = vec![v.op];
+                });
+                Ok(dst.into())
+            }
+            Ty::Addr(_) => err(line, "array used as a value"),
+        }
+    }
+
+    fn coerce_to(&mut self, v: Val, ty: Scalar, line: u32) -> Result<Operand, CompileError> {
+        match ty {
+            Scalar::Float => self.to_float(v, line),
+            Scalar::Int => self.to_int(v, line),
+            Scalar::Char => {
+                let i = self.to_int(v, line)?;
+                // Char registers hold 0..=255; mask on conversion.
+                Ok(self.b.op2(Op::And, i, Operand::Imm(0xFF)).into())
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok(Val {
+                op: Operand::Imm(*v),
+                ty: Ty::I,
+            }),
+            ExprKind::Float(v) => Ok(Val {
+                op: Operand::fimm(*v),
+                ty: Ty::F,
+            }),
+            ExprKind::Ident(name) => self.ident(name, e.line),
+            ExprKind::Index(name, idx) => {
+                let (base, scalar) = self.array_base(name, e.line)?;
+                let addr_off = self.element_offset(idx, scalar)?;
+                let w = width_of(scalar);
+                let dst = self.b.load(w, base, addr_off);
+                Ok(Val {
+                    op: dst.into(),
+                    ty: reg_ty(scalar),
+                })
+            }
+            ExprKind::Call(name, args) => self.call(name, args, e.line),
+            ExprKind::Unary(op, inner) => self.unary(*op, inner, e.line),
+            ExprKind::Binary(op, a, bx) => {
+                if op.is_logical() {
+                    return self.logical_value(e);
+                }
+                self.binary(*op, a, bx, e.line)
+            }
+            ExprKind::Ternary(c, a, bx) => {
+                let tb = self.b.block();
+                let fb = self.b.block();
+                let join = self.b.block();
+                let out = self.b.fresh();
+                self.cond(c, tb, fb)?;
+                self.b.switch_to(tb);
+                let va = self.expr(a)?;
+                let vb_probe_ty = va.ty; // unify on the then-branch type
+                let a_op = match vb_probe_ty {
+                    Ty::F => self.to_float(va, e.line)?,
+                    _ => self.to_int(va, e.line)?,
+                };
+                self.b.mov_to(out, a_op);
+                self.b.jump(join);
+                self.b.switch_to(fb);
+                let vb = self.expr(bx)?;
+                let b_op = match vb_probe_ty {
+                    Ty::F => self.to_float(vb, e.line)?,
+                    _ => self.to_int(vb, e.line)?,
+                };
+                self.b.mov_to(out, b_op);
+                self.b.jump(join);
+                self.b.switch_to(join);
+                Ok(Val {
+                    op: out.into(),
+                    ty: if vb_probe_ty == Ty::F { Ty::F } else { Ty::I },
+                })
+            }
+            ExprKind::Assign(lv, op, rhs) => self.assign(lv, *op, rhs, e.line),
+        }
+    }
+
+    fn ident(&mut self, name: &str, line: u32) -> Result<Val, CompileError> {
+        if let Some(local) = self.lookup(name) {
+            return Ok(match local {
+                Local::Scalar { ty, reg } => Val {
+                    op: reg.into(),
+                    ty: reg_ty(ty),
+                },
+                Local::Array { ty, offset } => {
+                    let addr = self.b.add(self.fp, Operand::Imm(offset as i64));
+                    Val {
+                        op: addr.into(),
+                        ty: Ty::Addr(ty),
+                    }
+                }
+                Local::ArrayParam { ty, reg } => Val {
+                    op: reg.into(),
+                    ty: Ty::Addr(ty),
+                },
+            });
+        }
+        match self.gsyms.get(name) {
+            Some(GSym::Scalar { ty, addr }) => {
+                let w = width_of(*ty);
+                let dst = self
+                    .b
+                    .load(w, Operand::Imm(*addr as i64), Operand::Imm(0));
+                Ok(Val {
+                    op: dst.into(),
+                    ty: reg_ty(*ty),
+                })
+            }
+            Some(GSym::Array { ty, addr }) => Ok(Val {
+                op: Operand::Imm(*addr as i64),
+                ty: Ty::Addr(*ty),
+            }),
+            None => err(line, format!("undefined variable {name}")),
+        }
+    }
+
+    /// Resolves `name` as an array, returning (base operand, element type).
+    fn array_base(&mut self, name: &str, line: u32) -> Result<(Operand, Scalar), CompileError> {
+        if let Some(local) = self.lookup(name) {
+            return match local {
+                Local::Array { ty, offset } => {
+                    let addr = self.b.add(self.fp, Operand::Imm(offset as i64));
+                    Ok((addr.into(), ty))
+                }
+                Local::ArrayParam { ty, reg } => Ok((reg.into(), ty)),
+                Local::Scalar { .. } => err(line, format!("{name} is not an array")),
+            };
+        }
+        match self.gsyms.get(name) {
+            Some(GSym::Array { ty, addr }) => Ok((Operand::Imm(*addr as i64), *ty)),
+            Some(GSym::Scalar { .. }) => err(line, format!("{name} is not an array")),
+            None => err(line, format!("undefined variable {name}")),
+        }
+    }
+
+    /// Lowers `idx * elem_size` as the byte offset operand.
+    fn element_offset(&mut self, idx: &Expr, scalar: Scalar) -> Result<Operand, CompileError> {
+        let line = idx.line;
+        let v = self.expr(idx)?;
+        let i = self.to_int(v, line)?;
+        Ok(match scalar.size() {
+            1 => i,
+            8 => match i {
+                Operand::Imm(k) => Operand::Imm(k * 8),
+                _ => self.b.op2(Op::Shl, i, Operand::Imm(3)).into(),
+            },
+            _ => unreachable!(),
+        })
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Val, CompileError> {
+        let sig = self
+            .sigs
+            .get(name)
+            .ok_or_else(|| CompileError::new(line, 0, format!("undefined function {name}")))?
+            .clone();
+        if args.len() != sig.params.len() {
+            return err(
+                line,
+                format!(
+                    "{name} expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        // Hidden stack pointer: callee frame starts below ours.
+        let mut ops = vec![self.fp];
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let v = self.expr(a)?;
+            let op = match pty {
+                Type::Scalar(s) => self.coerce_to(v, *s, a.line)?,
+                Type::Array(s, _) => match v.ty {
+                    Ty::Addr(have) if have == *s => v.op,
+                    Ty::Addr(_) => return err(a.line, "array element type mismatch"),
+                    _ => return err(a.line, "expected an array argument"),
+                },
+                Type::Void => unreachable!(),
+            };
+            ops.push(op);
+        }
+        let dst = self.b.call(name, ops);
+        Ok(Val {
+            op: dst.into(),
+            ty: match sig.ret {
+                Type::Scalar(Scalar::Float) => Ty::F,
+                _ => Ty::I, // void results are never read (checked below)
+            },
+        })
+    }
+
+    fn unary(&mut self, op: UnOp, inner: &Expr, line: u32) -> Result<Val, CompileError> {
+        let v = self.expr(inner)?;
+        match op {
+            UnOp::Neg => match v.ty {
+                Ty::F => {
+                    let f = self.to_float(v, line)?;
+                    let dst = self.b.op2(Op::FSub, Operand::fimm(0.0), f);
+                    Ok(Val {
+                        op: dst.into(),
+                        ty: Ty::F,
+                    })
+                }
+                _ => {
+                    let i = self.to_int(v, line)?;
+                    if let Operand::Imm(k) = i {
+                        return Ok(Val {
+                            op: Operand::Imm(k.wrapping_neg()),
+                            ty: Ty::I,
+                        });
+                    }
+                    let dst = self.b.sub(Operand::Imm(0), i);
+                    Ok(Val {
+                        op: dst.into(),
+                        ty: Ty::I,
+                    })
+                }
+            },
+            UnOp::Not => {
+                let i = match v.ty {
+                    Ty::F => {
+                        let f = self.to_float(v, line)?;
+                        self.b.op2(Op::FCmp(CmpOp::Eq), f, Operand::fimm(0.0)).into()
+                    }
+                    _ => {
+                        let i = self.to_int(v, line)?;
+                        self.b.cmp(CmpOp::Eq, i, Operand::Imm(0)).into()
+                    }
+                };
+                Ok(Val { op: i, ty: Ty::I })
+            }
+            UnOp::BitNot => {
+                let i = self.to_int(v, line)?;
+                let dst = self.b.op2(Op::Xor, i, Operand::Imm(-1));
+                Ok(Val {
+                    op: dst.into(),
+                    ty: Ty::I,
+                })
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        line: u32,
+    ) -> Result<Val, CompileError> {
+        let va = self.expr(a)?;
+        let vb = self.expr(b)?;
+        let float = va.ty == Ty::F || vb.ty == Ty::F;
+        if float {
+            let fa = self.to_float(va, line)?;
+            let fb = self.to_float(vb, line)?;
+            let (irop, ty) = match op {
+                BinOp::Add => (Op::FAdd, Ty::F),
+                BinOp::Sub => (Op::FSub, Ty::F),
+                BinOp::Mul => (Op::FMul, Ty::F),
+                BinOp::Div => (Op::FDiv, Ty::F),
+                BinOp::Lt => (Op::FCmp(CmpOp::Lt), Ty::I),
+                BinOp::Le => (Op::FCmp(CmpOp::Le), Ty::I),
+                BinOp::Gt => (Op::FCmp(CmpOp::Gt), Ty::I),
+                BinOp::Ge => (Op::FCmp(CmpOp::Ge), Ty::I),
+                BinOp::Eq => (Op::FCmp(CmpOp::Eq), Ty::I),
+                BinOp::Ne => (Op::FCmp(CmpOp::Ne), Ty::I),
+                _ => return err(line, "operator requires integer operands"),
+            };
+            let dst = self.b.op2(irop, fa, fb);
+            return Ok(Val {
+                op: dst.into(),
+                ty,
+            });
+        }
+        let ia = self.to_int(va, line)?;
+        let ib = self.to_int(vb, line)?;
+        let irop = match op {
+            BinOp::Add => Op::Add,
+            BinOp::Sub => Op::Sub,
+            BinOp::Mul => Op::Mul,
+            BinOp::Div => Op::Div,
+            BinOp::Rem => Op::Rem,
+            BinOp::And => Op::And,
+            BinOp::Or => Op::Or,
+            BinOp::Xor => Op::Xor,
+            BinOp::Shl => Op::Shl,
+            BinOp::Shr => Op::Sra,
+            BinOp::Lt => Op::Cmp(CmpOp::Lt),
+            BinOp::Le => Op::Cmp(CmpOp::Le),
+            BinOp::Gt => Op::Cmp(CmpOp::Gt),
+            BinOp::Ge => Op::Cmp(CmpOp::Ge),
+            BinOp::Eq => Op::Cmp(CmpOp::Eq),
+            BinOp::Ne => Op::Cmp(CmpOp::Ne),
+            BinOp::LAnd | BinOp::LOr => unreachable!("handled by logical_value"),
+        };
+        let dst = self.b.op2(irop, ia, ib);
+        Ok(Val {
+            op: dst.into(),
+            ty: Ty::I,
+        })
+    }
+
+    /// Materializes a short-circuit `&&`/`||` as a 0/1 value using branches.
+    fn logical_value(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        let tb = self.b.block();
+        let fb = self.b.block();
+        let join = self.b.block();
+        let out = self.b.fresh();
+        self.cond(e, tb, fb)?;
+        self.b.switch_to(tb);
+        self.b.mov_to(out, Operand::Imm(1));
+        self.b.jump(join);
+        self.b.switch_to(fb);
+        self.b.mov_to(out, Operand::Imm(0));
+        self.b.jump(join);
+        self.b.switch_to(join);
+        Ok(Val {
+            op: out.into(),
+            ty: Ty::I,
+        })
+    }
+
+    fn assign(
+        &mut self,
+        lv: &LValue,
+        op: Option<BinOp>,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<Val, CompileError> {
+        // Compose compound assignment as read-modify-write.
+        let rhs_val = if let Some(binop) = op {
+            let cur = Expr {
+                kind: match &lv.index {
+                    None => ExprKind::Ident(lv.name.clone()),
+                    Some(i) => ExprKind::Index(lv.name.clone(), i.clone()),
+                },
+                line,
+            };
+            let combined = Expr {
+                kind: ExprKind::Binary(binop, Box::new(cur), Box::new(rhs.clone())),
+                line,
+            };
+            self.expr(&combined)?
+        } else {
+            self.expr(rhs)?
+        };
+
+        match &lv.index {
+            None => {
+                // Scalar variable or global scalar.
+                if let Some(local) = self.lookup(&lv.name) {
+                    match local {
+                        Local::Scalar { ty, reg } => {
+                            let v = self.coerce_to(rhs_val, ty, line)?;
+                            self.b.mov_to(reg, v);
+                            return Ok(Val {
+                                op: reg.into(),
+                                ty: reg_ty(ty),
+                            });
+                        }
+                        _ => return err(line, format!("cannot assign to array {}", lv.name)),
+                    }
+                }
+                match self.gsyms.get(&lv.name) {
+                    Some(GSym::Scalar { ty, addr }) => {
+                        let (ty, addr) = (*ty, *addr);
+                        let v = self.coerce_to(rhs_val, ty, line)?;
+                        let w = width_of(ty);
+                        self.b
+                            .store(w, Operand::Imm(addr as i64), Operand::Imm(0), v);
+                        Ok(Val {
+                            op: v,
+                            ty: reg_ty(ty),
+                        })
+                    }
+                    Some(GSym::Array { .. }) => {
+                        err(line, format!("cannot assign to array {}", lv.name))
+                    }
+                    None => err(line, format!("undefined variable {}", lv.name)),
+                }
+            }
+            Some(idx) => {
+                let (base, scalar) = self.array_base(&lv.name, line)?;
+                let off = self.element_offset(idx, scalar)?;
+                let v = match scalar {
+                    Scalar::Float => self.to_float(rhs_val, line)?,
+                    // Byte stores truncate; no mask needed.
+                    Scalar::Char | Scalar::Int => self.to_int(rhs_val, line)?,
+                };
+                self.b.store(width_of(scalar), base, off, v);
+                Ok(Val {
+                    op: v,
+                    ty: reg_ty(scalar),
+                })
+            }
+        }
+    }
+
+    /// Lowers `e` as control flow: branch to `tb` when true, `fb` when
+    /// false. This is where `&&`/`||`/`!` become branch chains.
+    fn cond(&mut self, e: &Expr, tb: BlockId, fb: BlockId) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Binary(BinOp::LAnd, a, b) => {
+                let mid = self.b.block();
+                self.cond(a, mid, fb)?;
+                self.b.switch_to(mid);
+                self.cond(b, tb, fb)
+            }
+            ExprKind::Binary(BinOp::LOr, a, b) => {
+                let mid = self.b.block();
+                self.cond(a, tb, mid)?;
+                self.b.switch_to(mid);
+                self.cond(b, tb, fb)
+            }
+            ExprKind::Unary(UnOp::Not, inner) => self.cond(inner, fb, tb),
+            ExprKind::Binary(op, a, b) if op.is_comparison() => {
+                let va = self.expr(a)?;
+                let vb = self.expr(b)?;
+                let cmp = match op {
+                    BinOp::Lt => CmpOp::Lt,
+                    BinOp::Le => CmpOp::Le,
+                    BinOp::Gt => CmpOp::Gt,
+                    BinOp::Ge => CmpOp::Ge,
+                    BinOp::Eq => CmpOp::Eq,
+                    BinOp::Ne => CmpOp::Ne,
+                    _ => unreachable!(),
+                };
+                if va.ty == Ty::F || vb.ty == Ty::F {
+                    let fa = self.to_float(va, e.line)?;
+                    let fb2 = self.to_float(vb, e.line)?;
+                    let c = self.b.op2(Op::FCmp(cmp), fa, fb2);
+                    self.b.br(CmpOp::Ne, c.into(), Operand::Imm(0), tb);
+                } else {
+                    let ia = self.to_int(va, e.line)?;
+                    let ib = self.to_int(vb, e.line)?;
+                    self.b.br(cmp, ia, ib, tb);
+                }
+                self.b.jump(fb);
+                Ok(())
+            }
+            _ => {
+                let v = self.expr(e)?;
+                match v.ty {
+                    Ty::F => {
+                        let f = self.to_float(v, e.line)?;
+                        let c = self.b.op2(Op::FCmp(CmpOp::Ne), f, Operand::fimm(0.0));
+                        self.b.br(CmpOp::Ne, c.into(), Operand::Imm(0), tb);
+                    }
+                    Ty::I => {
+                        let i = self.to_int(v, e.line)?;
+                        self.b.br(CmpOp::Ne, i, Operand::Imm(0), tb);
+                    }
+                    Ty::Addr(_) => return err(e.line, "array used as a condition"),
+                }
+                self.b.jump(fb);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::Block(inner) => {
+                self.scopes.push(HashMap::new());
+                for s in inner {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                len,
+                init,
+                line,
+            } => {
+                match len {
+                    Some(_) => {
+                        if init.is_some() {
+                            return err(*line, "local arrays cannot have initializers");
+                        }
+                        let offset = self.array_offsets[self.array_next];
+                        self.array_next += 1;
+                        self.declare(*line, name, Local::Array { ty: *ty, offset })?;
+                    }
+                    None => {
+                        let reg = self.b.fresh();
+                        let v = match init {
+                            Some(e) => {
+                                let val = self.expr(e)?;
+                                self.coerce_to(val, *ty, *line)?
+                            }
+                            None => match ty {
+                                Scalar::Float => Operand::fimm(0.0),
+                                _ => Operand::Imm(0),
+                            },
+                        };
+                        self.b.mov_to(reg, v);
+                        self.declare(*line, name, Local::Scalar { ty: *ty, reg })?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                let tb = self.b.block();
+                let fb = self.b.block();
+                let join = if els.is_some() { self.b.block() } else { fb };
+                self.cond(cond, tb, fb)?;
+                self.b.switch_to(tb);
+                self.stmt(then)?;
+                if !self.b.cur_block().ends_explicitly() {
+                    self.b.jump(join);
+                }
+                if let Some(els) = els {
+                    self.b.switch_to(fb);
+                    self.stmt(els)?;
+                    if !self.b.cur_block().ends_explicitly() {
+                        self.b.jump(join);
+                    }
+                }
+                self.b.switch_to(join);
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let header = self.b.block();
+                let body_b = self.b.block();
+                let exit = self.b.block();
+                self.b.jump(header);
+                self.b.switch_to(header);
+                self.cond(cond, body_b, exit)?;
+                self.b.switch_to(body_b);
+                self.loops.push((header, exit));
+                self.stmt(body)?;
+                self.loops.pop();
+                if !self.b.cur_block().ends_explicitly() {
+                    self.b.jump(header);
+                }
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(init) = init {
+                    self.expr(init)?;
+                }
+                let header = self.b.block();
+                let body_b = self.b.block();
+                let step_b = self.b.block();
+                let exit = self.b.block();
+                self.b.jump(header);
+                self.b.switch_to(header);
+                match cond {
+                    Some(c) => self.cond(c, body_b, exit)?,
+                    None => self.b.jump(body_b),
+                }
+                self.b.switch_to(body_b);
+                self.loops.push((step_b, exit));
+                self.stmt(body)?;
+                self.loops.pop();
+                if !self.b.cur_block().ends_explicitly() {
+                    self.b.jump(step_b);
+                }
+                self.b.switch_to(step_b);
+                if let Some(step) = step {
+                    self.expr(step)?;
+                }
+                self.b.jump(header);
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::Return(v, line) => {
+                match (self.ret, v) {
+                    (Type::Void, None) => self.b.ret(None),
+                    (Type::Void, Some(_)) => {
+                        return err(*line, "void function returns a value")
+                    }
+                    (Type::Scalar(s), Some(e)) => {
+                        let val = self.expr(e)?;
+                        let op = self.coerce_to(val, s, *line)?;
+                        self.b.ret(Some(op));
+                    }
+                    (Type::Scalar(_), None) => {
+                        return err(*line, "non-void function returns no value")
+                    }
+                    (Type::Array(..), _) => unreachable!(),
+                }
+                // Code after return in the same statement list is dead;
+                // give it a fresh (unreachable) block.
+                let dead = self.b.block();
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let Some(&(_, exit)) = self.loops.last() else {
+                    return err(*line, "break outside a loop");
+                };
+                self.b.jump(exit);
+                let dead = self.b.block();
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let Some(&(cont, _)) = self.loops.last() else {
+                    return err(*line, "continue outside a loop");
+                };
+                self.b.jump(cont);
+                let dead = self.b.block();
+                self.b.switch_to(dead);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn width_of(s: Scalar) -> MemWidth {
+    match s {
+        Scalar::Char => MemWidth::Byte,
+        _ => MemWidth::Word,
+    }
+}
+
+fn reg_ty(s: Scalar) -> Ty {
+    match s {
+        Scalar::Float => Ty::F,
+        _ => Ty::I,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_size_ignores_unused_scalars() {
+        let m = compile("int main() { int a; a = 1; return a; }").unwrap();
+        assert!(m.verify().is_ok());
+    }
+
+    #[test]
+    fn duplicate_globals_rejected() {
+        assert!(compile("int x; int x; int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let e = compile("int main() { return y; }").unwrap_err();
+        assert!(e.message.contains("undefined variable"), "{e}");
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let e = compile("int main() { return f(); }").unwrap_err();
+        assert!(e.message.contains("undefined function"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = compile("int f(int a) { return a; } int main() { return f(); }").unwrap_err();
+        assert!(e.message.contains("arguments"), "{e}");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = compile("int main() { break; return 0; }").unwrap_err();
+        assert!(e.message.contains("break"), "{e}");
+    }
+
+    #[test]
+    fn array_as_value_rejected() {
+        let e = compile("int a[4]; int main() { return a + 1; }").unwrap_err();
+        assert!(e.message.contains("array"), "{e}");
+    }
+
+    #[test]
+    fn void_return_value_rejected() {
+        let e = compile("void f() { return 1; } int main() { return 0; }").unwrap_err();
+        assert!(e.message.contains("void"), "{e}");
+    }
+
+    #[test]
+    fn bitwise_on_float_rejected() {
+        let e = compile("int main() { float f; f = 1.0; return f & 1; }").unwrap_err();
+        assert!(e.message.contains("integer"), "{e}");
+    }
+
+    #[test]
+    fn produces_basic_blocks() {
+        let m = compile(
+            "int main() {
+                int i; int s; s = 0;
+                for (i = 0; i < 8; i += 1) if (i % 2 == 0 && i != 4) s += i;
+                return s;
+            }",
+        )
+        .unwrap();
+        for f in &m.funcs {
+            assert!(f.is_basic(), "lowered code must be basic blocks:\n{f}");
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses MiniC source into a [`Program`].
+///
+/// # Errors
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Punct(q) if *q == p)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(q) if q == s)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        let t = self.peek();
+        Err(CompileError::new(t.line, t.col, msg))
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<Token, CompileError> {
+        if self.at_punct(p) {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected '{p}', found {}", self.peek().tok))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, u32), CompileError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Ident(s) if !is_keyword(&s) => {
+                self.bump();
+                Ok((s, t.line))
+            }
+            _ => self.err(format!("expected identifier, found {}", t.tok)),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek().tok, Tok::Eof) {
+            let ret = self.parse_type()?;
+            let (name, line) = self.expect_ident()?;
+            if self.at_punct("(") {
+                prog.funcs.push(self.func(ret, name, line)?);
+            } else {
+                let scalar = match ret {
+                    Type::Scalar(s) => s,
+                    _ => return self.err("global variables cannot be void"),
+                };
+                prog.globals.push(self.global(scalar, name, line)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, CompileError> {
+        let t = self.peek().clone();
+        let ty = match &t.tok {
+            Tok::Ident(s) if s == "int" => Type::Scalar(Scalar::Int),
+            Tok::Ident(s) if s == "float" => Type::Scalar(Scalar::Float),
+            Tok::Ident(s) if s == "char" => Type::Scalar(Scalar::Char),
+            Tok::Ident(s) if s == "void" => Type::Void,
+            other => return self.err(format!("expected a type, found {other}")),
+        };
+        self.bump();
+        Ok(ty)
+    }
+
+    fn global(&mut self, ty: Scalar, name: String, line: u32) -> Result<GlobalDecl, CompileError> {
+        let mut len = None;
+        if self.at_punct("[") {
+            self.bump();
+            let t = self.bump();
+            match t.tok {
+                Tok::Int(v) if v > 0 => len = Some(v as u64),
+                _ => return Err(CompileError::new(t.line, t.col, "expected array length")),
+            }
+            self.expect_punct("]")?;
+        }
+        let mut init = Vec::new();
+        if self.at_punct("=") {
+            self.bump();
+            init = self.global_init(ty, &mut len)?;
+        }
+        self.expect_punct(";")?;
+        Ok(GlobalDecl {
+            ty,
+            name,
+            len,
+            init,
+            line,
+        })
+    }
+
+    fn global_init(
+        &mut self,
+        ty: Scalar,
+        len: &mut Option<u64>,
+    ) -> Result<Vec<u8>, CompileError> {
+        let encode = |v: &Tok, neg: bool, line: u32, col: u32| -> Result<Vec<u8>, CompileError> {
+            let sign = if neg { -1.0 } else { 1.0 };
+            match (ty, v) {
+                (Scalar::Char, Tok::Int(x)) => Ok(vec![if neg { x.wrapping_neg() } else { *x } as u8]),
+                (Scalar::Int, Tok::Int(x)) => {
+                    Ok(if neg { x.wrapping_neg() } else { *x }.to_le_bytes().to_vec())
+                }
+                (Scalar::Float, Tok::Float(x)) => {
+                    Ok((sign * x).to_bits().to_le_bytes().to_vec())
+                }
+                (Scalar::Float, Tok::Int(x)) => {
+                    Ok((sign * *x as f64).to_bits().to_le_bytes().to_vec())
+                }
+                _ => Err(CompileError::new(line, col, "initializer type mismatch")),
+            }
+        };
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Str(s) => {
+                if ty != Scalar::Char {
+                    return self.err("string initializer requires char array");
+                }
+                self.bump();
+                let mut bytes = s.clone();
+                bytes.push(0);
+                if len.is_none() {
+                    *len = Some(bytes.len() as u64);
+                }
+                Ok(bytes)
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut bytes = Vec::new();
+                let mut count = 0u64;
+                loop {
+                    let neg = if self.at_punct("-") {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let t = self.bump();
+                    bytes.extend(encode(&t.tok, neg, t.line, t.col)?);
+                    count += 1;
+                    if self.at_punct(",") {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                self.expect_punct("}")?;
+                if len.is_none() {
+                    *len = Some(count);
+                }
+                Ok(bytes)
+            }
+            _ => {
+                if len.is_some() {
+                    return self.err("array initializer must be a string or {list}");
+                }
+                let neg = if self.at_punct("-") {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let t = self.bump();
+                encode(&t.tok, neg, t.line, t.col)
+            }
+        }
+    }
+
+    fn func(&mut self, ret: Type, name: String, line: u32) -> Result<FuncDecl, CompileError> {
+        if matches!(ret, Type::Array(..)) {
+            return self.err("functions cannot return arrays");
+        }
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                let ty = self.parse_type()?;
+                let scalar = match ty {
+                    Type::Scalar(s) => s,
+                    _ => return self.err("parameters cannot be void"),
+                };
+                let (pname, _) = self.expect_ident()?;
+                let pty = if self.at_punct("[") {
+                    self.bump();
+                    self.expect_punct("]")?;
+                    Type::Array(scalar, None)
+                } else {
+                    Type::Scalar(scalar)
+                };
+                params.push((pty, pname));
+                if self.at_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(FuncDecl {
+            ret,
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().tok, Tok::Eof) {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Punct("{") => Ok(Stmt::Block(self.block()?)),
+            Tok::Punct(";") => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::Ident(s) if s == "if" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.at_ident("else") {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::Ident(s) if s == "while" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Stmt::While(cond, Box::new(self.stmt()?)))
+            }
+            Tok::Ident(s) if s == "for" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                self.expect_punct(";")?;
+                let cond = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                self.expect_punct(";")?;
+                let step = if self.at_punct(")") { None } else { Some(self.expr()?) };
+                self.expect_punct(")")?;
+                Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
+            }
+            Tok::Ident(s) if s == "return" => {
+                self.bump();
+                let v = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                self.expect_punct(";")?;
+                Ok(Stmt::Return(v, t.line))
+            }
+            Tok::Ident(s) if s == "break" => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break(t.line))
+            }
+            Tok::Ident(s) if s == "continue" => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue(t.line))
+            }
+            Tok::Ident(s) if s == "int" || s == "float" || s == "char" => {
+                let ty = match s.as_str() {
+                    "int" => Scalar::Int,
+                    "float" => Scalar::Float,
+                    _ => Scalar::Char,
+                };
+                self.bump();
+                let (name, line) = self.expect_ident()?;
+                let mut len = None;
+                if self.at_punct("[") {
+                    self.bump();
+                    let t = self.bump();
+                    match t.tok {
+                        Tok::Int(v) if v > 0 => len = Some(v as u64),
+                        _ => {
+                            return Err(CompileError::new(t.line, t.col, "expected array length"))
+                        }
+                    }
+                    self.expect_punct("]")?;
+                }
+                let init = if self.at_punct("=") {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    len,
+                    init,
+                    line,
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assign()
+    }
+
+    fn assign(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.ternary()?;
+        let op = match &self.peek().tok {
+            Tok::Punct("=") => Some(None),
+            Tok::Punct("+=") => Some(Some(BinOp::Add)),
+            Tok::Punct("-=") => Some(Some(BinOp::Sub)),
+            Tok::Punct("*=") => Some(Some(BinOp::Mul)),
+            Tok::Punct("/=") => Some(Some(BinOp::Div)),
+            Tok::Punct("%=") => Some(Some(BinOp::Rem)),
+            Tok::Punct("&=") => Some(Some(BinOp::And)),
+            Tok::Punct("|=") => Some(Some(BinOp::Or)),
+            Tok::Punct("^=") => Some(Some(BinOp::Xor)),
+            Tok::Punct("<<=") => Some(Some(BinOp::Shl)),
+            Tok::Punct(">>=") => Some(Some(BinOp::Shr)),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(lhs) };
+        let line = self.peek().line;
+        let lv = match lhs.kind {
+            ExprKind::Ident(name) => LValue { name, index: None },
+            ExprKind::Index(name, idx) => LValue {
+                name,
+                index: Some(idx),
+            },
+            _ => return self.err("left side of assignment is not assignable"),
+        };
+        self.bump();
+        let rhs = self.assign()?;
+        Ok(Expr {
+            kind: ExprKind::Assign(lv, op, Box::new(rhs)),
+            line,
+        })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if self.at_punct("?") {
+            let line = self.peek().line;
+            self.bump();
+            let a = self.expr()?;
+            self.expect_punct(":")?;
+            let b = self.ternary()?;
+            return Ok(Expr {
+                kind: ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+                line,
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing over binary operators; `min_prec` 0 is `||`.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match &self.peek().tok {
+                Tok::Punct("||") => (BinOp::LOr, 0),
+                Tok::Punct("&&") => (BinOp::LAnd, 1),
+                Tok::Punct("|") => (BinOp::Or, 2),
+                Tok::Punct("^") => (BinOp::Xor, 3),
+                Tok::Punct("&") => (BinOp::And, 4),
+                Tok::Punct("==") => (BinOp::Eq, 5),
+                Tok::Punct("!=") => (BinOp::Ne, 5),
+                Tok::Punct("<") => (BinOp::Lt, 6),
+                Tok::Punct("<=") => (BinOp::Le, 6),
+                Tok::Punct(">") => (BinOp::Gt, 6),
+                Tok::Punct(">=") => (BinOp::Ge, 6),
+                Tok::Punct("<<") => (BinOp::Shl, 7),
+                Tok::Punct(">>") => (BinOp::Shr, 7),
+                Tok::Punct("+") => (BinOp::Add, 8),
+                Tok::Punct("-") => (BinOp::Sub, 8),
+                Tok::Punct("*") => (BinOp::Mul, 9),
+                Tok::Punct("/") => (BinOp::Div, 9),
+                Tok::Punct("%") => (BinOp::Rem, 9),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.peek().line;
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek().clone();
+        let op = match &t.tok {
+            Tok::Punct("-") => Some(UnOp::Neg),
+            Tok::Punct("!") => Some(UnOp::Not),
+            Tok::Punct("~") => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(e)),
+                line: t.line,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    line: t.line,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Float(v),
+                    line: t.line,
+                })
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) if !is_keyword(&name) => {
+                self.bump();
+                if self.at_punct("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line: t.line,
+                    })
+                } else if self.at_punct("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr {
+                        kind: ExprKind::Index(name, Box::new(idx)),
+                        line: t.line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Ident(name),
+                        line: t.line,
+                    })
+                }
+            }
+            _ => self.err(format!("expected expression, found {}", t.tok)),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "int"
+            | "float"
+            | "char"
+            | "void"
+            | "if"
+            | "else"
+            | "while"
+            | "for"
+            | "return"
+            | "break"
+            | "continue"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_global() {
+        let p = parse(
+            "int n = 5;
+             char msg[8] = \"hi\";
+             int main() { return n; }",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].init, 5i64.to_le_bytes().to_vec());
+        assert_eq!(p.globals[1].init, b"hi\0".to_vec());
+        assert_eq!(p.globals[1].len, Some(8));
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn string_init_sets_length() {
+        let p = parse("char s[] = \"abc\"; int main() { return 0; }");
+        // "char s[]" at global scope is not valid (length required unless
+        // inferred from init) — our grammar requires [len] or = "str".
+        // Without brackets it's a scalar char with string init → error.
+        assert!(p.is_err());
+        let p = parse("char s[4] = \"abc\"; int main() { return 0; }").unwrap();
+        assert_eq!(p.globals[0].init.len(), 4);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int main() { return 1 + 2 * 3 < 4 && 5 == 5; }").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // top node must be &&
+        match &e.kind {
+            ExprKind::Binary(BinOp::LAnd, l, _) => match &l.kind {
+                ExprKind::Binary(BinOp::Lt, a, _) => match &a.kind {
+                    ExprKind::Binary(BinOp::Add, _, m) => {
+                        assert!(matches!(m.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                    }
+                    _ => panic!("expected +"),
+                },
+                _ => panic!("expected <"),
+            },
+            _ => panic!("expected &&"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let p = parse("int main() { int a; int b; a = b = 1; return a; }").unwrap();
+        let Stmt::Expr(e) = &p.funcs[0].body[2] else { panic!() };
+        match &e.kind {
+            ExprKind::Assign(lv, None, rhs) => {
+                assert_eq!(lv.name, "a");
+                assert!(matches!(rhs.kind, ExprKind::Assign(..)));
+            }
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    #[test]
+    fn compound_assign_to_array_element() {
+        let p = parse("int a[4]; int main() { a[1] += 2; return 0; }").unwrap();
+        let Stmt::Expr(e) = &p.funcs[0].body[0] else { panic!() };
+        match &e.kind {
+            ExprKind::Assign(lv, Some(BinOp::Add), _) => {
+                assert_eq!(lv.name, "a");
+                assert!(lv.index.is_some());
+            }
+            _ => panic!("expected compound assignment"),
+        }
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let p = parse(
+            "int main() {
+                int i;
+                for (i = 0; i < 10; i += 1) {
+                    if (i == 5) break; else continue;
+                }
+                while (i > 0) i -= 1;
+                return i;
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn rejects_assignment_to_rvalue() {
+        assert!(parse("int main() { 1 = 2; return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_keyword_as_identifier() {
+        assert!(parse("int if() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn array_params() {
+        let p = parse("int f(int a[], char b[]) { return a[0] + b[0]; } int main(){ return 0; }")
+            .unwrap();
+        assert_eq!(p.funcs[0].params.len(), 2);
+        assert!(matches!(p.funcs[0].params[0].0, Type::Array(Scalar::Int, None)));
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let p = parse("int main() { int a; a = 1 < 2 ? 3 : 4; return a; }").unwrap();
+        let Stmt::Expr(e) = &p.funcs[0].body[1] else { panic!() };
+        match &e.kind {
+            ExprKind::Assign(_, None, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Ternary(..)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn global_list_initializer() {
+        let p = parse("int tab[3] = {1, 2, 3}; int main() { return 0; }").unwrap();
+        assert_eq!(p.globals[0].init.len(), 24);
+        let p2 = parse("float f[2] = {1.5, 2}; int main() { return 0; }").unwrap();
+        assert_eq!(p2.globals[0].init.len(), 16);
+    }
+}

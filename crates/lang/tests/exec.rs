@@ -1,0 +1,274 @@
+//! End-to-end: compile MiniC, run on the emulator, check results.
+
+use hyperpred_emu::{Emulator, NullSink};
+use hyperpred_lang::lower::entry_args;
+use hyperpred_lang::compile;
+
+fn run(src: &str, args: &[i64]) -> i64 {
+    let m = compile(src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+    let mut emu = Emulator::new(&m);
+    emu.run("main", &entry_args(args), &mut NullSink)
+        .unwrap_or_else(|e| panic!("runtime error: {e}"))
+        .ret
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(run("int main() { return (2 + 3) * 4 - 10 / 2; }", &[]), 15);
+    assert_eq!(run("int main() { return 17 % 5; }", &[]), 2);
+    assert_eq!(run("int main() { return -7 + 3; }", &[]), -4);
+    assert_eq!(run("int main() { return 1 << 5 | 3; }", &[]), 35);
+    assert_eq!(run("int main() { return ~0; }", &[]), -1);
+    assert_eq!(run("int main() { return 100 >> 2; }", &[]), 25);
+    assert_eq!(run("int main() { return 6 ^ 3; }", &[]), 5);
+}
+
+#[test]
+fn comparisons_yield_01() {
+    assert_eq!(run("int main() { return 3 < 4; }", &[]), 1);
+    assert_eq!(run("int main() { return 4 <= 3; }", &[]), 0);
+    assert_eq!(run("int main() { return !5; }", &[]), 0);
+    assert_eq!(run("int main() { return !0; }", &[]), 1);
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    // Division by zero on the right side must not execute.
+    assert_eq!(
+        run("int main() { int z; z = 0; if (z != 0 && 10 / z > 1) return 1; return 2; }", &[]),
+        2
+    );
+    assert_eq!(
+        run("int main() { int z; z = 0; if (z == 0 || 10 / z > 1) return 1; return 2; }", &[]),
+        1
+    );
+}
+
+#[test]
+fn logical_as_value() {
+    assert_eq!(run("int main() { return (1 && 2) + (0 || 0) * 10; }", &[]), 1);
+    assert_eq!(run("int main() { return (3 > 2) && (2 > 1); }", &[]), 1);
+}
+
+#[test]
+fn ternary() {
+    assert_eq!(run("int main() { int a; a = 7; return a > 5 ? 1 : 2; }", &[]), 1);
+    assert_eq!(run("int main() { int a; a = 3; return a > 5 ? 1 : 2; }", &[]), 2);
+}
+
+#[test]
+fn while_loop_sums() {
+    let src = "int main() {
+        int i; int s;
+        i = 0; s = 0;
+        while (i < 100) { s += i; i += 1; }
+        return s;
+    }";
+    assert_eq!(run(src, &[]), 4950);
+}
+
+#[test]
+fn for_with_break_continue() {
+    let src = "int main() {
+        int i; int s; s = 0;
+        for (i = 0; i < 100; i += 1) {
+            if (i % 2 == 1) continue;
+            if (i == 20) break;
+            s += i;
+        }
+        return s;
+    }";
+    // evens < 20: 0+2+...+18 = 90
+    assert_eq!(run(src, &[]), 90);
+}
+
+#[test]
+fn nested_loops() {
+    let src = "int main() {
+        int i; int j; int s; s = 0;
+        for (i = 0; i < 10; i += 1)
+            for (j = 0; j <= i; j += 1)
+                s += 1;
+        return s;
+    }";
+    assert_eq!(run(src, &[]), 55);
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+               int main() { return fib(15); }";
+    assert_eq!(run(src, &[]), 610);
+}
+
+#[test]
+fn global_scalars_and_arrays() {
+    let src = "int counter = 10;
+               int table[5] = {3, 1, 4, 1, 5};
+               int main() {
+                   int i; int s; s = counter;
+                   for (i = 0; i < 5; i += 1) s += table[i];
+                   counter = s;
+                   return counter;
+               }";
+    assert_eq!(run(src, &[]), 24);
+}
+
+#[test]
+fn local_arrays_and_functions() {
+    let src = "int sum(int a[], int n) {
+                   int i; int s; s = 0;
+                   for (i = 0; i < n; i += 1) s += a[i];
+                   return s;
+               }
+               int main() {
+                   int buf[8];
+                   int i;
+                   for (i = 0; i < 8; i += 1) buf[i] = i * i;
+                   return sum(buf, 8);
+               }";
+    assert_eq!(run(src, &[]), 140);
+}
+
+#[test]
+fn recursion_with_local_arrays_gets_fresh_frames() {
+    // Each recursion level writes its own frame; values must not alias.
+    let src = "int go(int depth) {
+                   int a[4];
+                   int i;
+                   for (i = 0; i < 4; i += 1) a[i] = depth * 10 + i;
+                   if (depth > 0) { int ignore; ignore = go(depth - 1); }
+                   return a[3];
+               }
+               int main() { return go(5); }";
+    assert_eq!(run(src, &[]), 53);
+}
+
+#[test]
+fn char_arrays_and_string_globals() {
+    let src = "char msg[16] = \"hello\";
+               int main() {
+                   int i; int s; s = 0;
+                   for (i = 0; msg[i] != 0; i += 1) s += msg[i];
+                   return s;
+               }";
+    let want: i64 = b"hello".iter().map(|&b| b as i64).sum();
+    assert_eq!(run(src, &[]), want);
+}
+
+#[test]
+fn char_scalars_are_masked() {
+    let src = "int main() { char c; c = 300; return c; }";
+    assert_eq!(run(src, &[]), 300 & 0xFF);
+}
+
+#[test]
+fn float_arithmetic() {
+    let src = "int main() {
+        float a; float b;
+        a = 1.5; b = 2.25;
+        return (a * b + 0.625) * 2.0;
+    }";
+    // 3.375 + 0.625 = 4.0 * 2 = 8
+    assert_eq!(run(src, &[]), 8);
+}
+
+#[test]
+fn float_comparisons_and_mixed_arith() {
+    let src = "int main() {
+        float x; int n;
+        x = 0.0; n = 0;
+        while (x < 2.0) { x = x + 0.25; n += 1; }
+        return n;
+    }";
+    assert_eq!(run(src, &[]), 8);
+    assert_eq!(run("int main() { float f; f = 3; return f / 2; }", &[]), 1);
+}
+
+#[test]
+fn float_arrays() {
+    let src = "float w[4] = {0.5, 1.5, 2.5, 3.5};
+               int main() {
+                   int i; float s; s = 0.0;
+                   for (i = 0; i < 4; i += 1) s = s + w[i];
+                   return s;
+               }";
+    assert_eq!(run(src, &[]), 8);
+}
+
+#[test]
+fn params_are_by_value() {
+    let src = "int f(int x) { x = 99; return x; }
+               int main() { int a; a = 1; int ignore; ignore = f(a); return a; }";
+    assert_eq!(run(src, &[]), 1);
+}
+
+#[test]
+fn arrays_are_by_reference() {
+    let src = "void f(int a[]) { a[0] = 42; }
+               int main() { int b[2]; b[0] = 1; f(b); return b[0]; }";
+    assert_eq!(run(src, &[]), 42);
+}
+
+#[test]
+fn main_with_user_args() {
+    let src = "int main(int n) { return n * 2; }";
+    assert_eq!(run(src, &[21]), 42);
+}
+
+#[test]
+fn compound_assignments() {
+    let src = "int main() {
+        int a; a = 10;
+        a += 5; a -= 3; a *= 2; a /= 4; a %= 4;
+        a <<= 3; a >>= 1; a |= 1; a ^= 3; a &= 6;
+        return a;
+    }";
+    // a: 10,15,12,24,6,2,16,8,9,10,2
+    assert_eq!(run(src, &[]), 2);
+}
+
+#[test]
+fn qsort_partition_style() {
+    let src = "
+    int a[16];
+    void swap(int i, int j) { int t; t = a[i]; a[i] = a[j]; a[j] = t; }
+    void qsort(int lo, int hi) {
+        int p; int i; int j;
+        if (lo >= hi) return;
+        p = a[(lo + hi) / 2];
+        i = lo; j = hi;
+        while (i <= j) {
+            while (a[i] < p) i += 1;
+            while (a[j] > p) j -= 1;
+            if (i <= j) { swap(i, j); i += 1; j -= 1; }
+        }
+        qsort(lo, j);
+        qsort(i, hi);
+    }
+    int main() {
+        int i; int seed; seed = 7;
+        for (i = 0; i < 16; i += 1) { seed = (seed * 1103515245 + 12345) % 1000; if (seed < 0) seed = -seed; a[i] = seed; }
+        qsort(0, 15);
+        for (i = 1; i < 16; i += 1) if (a[i-1] > a[i]) return -i;
+        return a[0] + a[15];
+    }";
+    let v = run(src, &[]);
+    assert!(v > 0, "array not sorted: first bad index {}", -v);
+}
+
+#[test]
+fn figure1_shape_compiles_and_runs() {
+    // The paper's Figure 1 source.
+    let src = "int main(int a, int b, int c) {
+        int i; int j; int k; i = 0; j = 0; k = 0;
+        if (a != 0 && b != 0) j += 1;
+        else if (c != 0) k += 1;
+        else k -= 1;
+        i += 1;
+        return i * 100 + j * 10 + k;
+    }";
+    assert_eq!(run(src, &[1, 1, 0]), 110);
+    assert_eq!(run(src, &[0, 1, 1]), 101);
+    assert_eq!(run(src, &[1, 0, 0]), 100 - 1);
+}

@@ -1,0 +1,265 @@
+//! Control-flow cleanup: constant-branch folding, jump threading, block
+//! merging, and unreachable-code removal.
+
+use hyperpred_ir::{BlockId, Function, Op};
+
+/// Runs all CFG clean-ups once. Returns true on change.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    changed |= fold_constant_branches(f);
+    changed |= thread_jumps(f);
+    changed |= remove_jump_to_next(f);
+    changed |= merge_blocks(f);
+    let blocks_before = f.layout.len();
+    f.remove_unreachable();
+    changed |= f.layout.len() != blocks_before;
+    changed
+}
+
+/// Folds conditional branches whose operands are both immediates: a
+/// known-taken branch becomes a jump (truncating the now-unreachable tail),
+/// a known-not-taken branch is deleted. Only unguarded branches fold.
+pub fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        let insts = &mut f.block_mut(b).insts;
+        let mut i = 0;
+        while i < insts.len() {
+            let inst = &insts[i];
+            if inst.guard.is_none() {
+                if let Op::Br(c) = inst.op {
+                    if let (Some(x), Some(y)) =
+                        (inst.srcs[0].as_imm(), inst.srcs[1].as_imm())
+                    {
+                        if c.eval(x, y) {
+                            let inst = &mut insts[i];
+                            inst.op = Op::Jump;
+                            inst.srcs.clear();
+                            insts.truncate(i + 1);
+                        } else {
+                            insts.remove(i);
+                        }
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    changed
+}
+
+/// Retargets branches whose destination block is empty (falls straight
+/// through) or consists of a single unconditional jump.
+pub fn thread_jumps(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Resolve the "final" destination of each block when used as a branch
+    // target, with a fuel limit to survive (degenerate) jump cycles.
+    let resolve = |f: &Function, mut t: BlockId| -> BlockId {
+        for _ in 0..f.blocks.len() {
+            let block = f.block(t);
+            let next = match block.insts.as_slice() {
+                [] => f.layout_next(t),
+                [only] if only.op == Op::Jump && only.guard.is_none() => only.target,
+                _ => None,
+            };
+            match next {
+                Some(n) if n != t => t = n,
+                _ => break,
+            }
+        }
+        t
+    };
+    for &b in &f.layout.clone() {
+        for i in 0..f.block(b).insts.len() {
+            let inst = &f.block(b).insts[i];
+            if inst.op.is_branch() {
+                let t = inst.target.expect("branch has target");
+                let r = resolve(f, t);
+                if r != t {
+                    f.block_mut(b).insts[i].target = Some(r);
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Deletes unconditional jumps to the next block in layout (pure
+/// fall-through).
+pub fn remove_jump_to_next(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        let next = f.layout_next(b);
+        let insts = &mut f.block_mut(b).insts;
+        if let Some(last) = insts.last() {
+            if last.op == Op::Jump && last.guard.is_none() && last.target == next {
+                insts.pop();
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Merges a block into its unique predecessor when control can only flow
+/// between them (predecessor ends with an unconditional jump to it or falls
+/// through, successor has exactly one predecessor).
+pub fn merge_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.preds();
+        let mut merged = false;
+        for &b in &f.layout.clone() {
+            // b's only way out must be a single edge to s.
+            let succs = f.succs(b);
+            let [s] = succs.as_slice() else { continue };
+            let s = *s;
+            if s == b || s == f.entry() || preds[s.index()].len() != 1 {
+                continue;
+            }
+            // b must not branch into s conditionally (only jump/fall).
+            let jumps_conditionally = f
+                .block(b)
+                .insts
+                .iter()
+                .any(|i| matches!(i.op, Op::Br(_)) && i.target == Some(s));
+            if jumps_conditionally {
+                continue;
+            }
+            // If s itself falls through, its fall-through target is
+            // layout_next(s); appending its body to b is only correct when
+            // b directly precedes s (so the layouts line up after removal)
+            // or s ends explicitly.
+            if !f.block(s).ends_explicitly() && f.layout_next(b) != Some(s) {
+                continue;
+            }
+            // Remove a trailing unconditional jump to s.
+            {
+                let insts = &mut f.block_mut(b).insts;
+                if let Some(last) = insts.last() {
+                    if last.op == Op::Jump && last.guard.is_none() && last.target == Some(s) {
+                        insts.pop();
+                    } else if last.ends_block() {
+                        continue; // ret/halt: no merge
+                    }
+                }
+            }
+            // If b now falls through, it must have been directly followed by
+            // s or end in the popped jump; either way appending is correct.
+            let moved = std::mem::take(&mut f.block_mut(s).insts);
+            f.block_mut(b).insts.extend(moved);
+            f.layout.retain(|&x| x != s);
+            merged = true;
+            changed = true;
+            break;
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::verify::verify_function;
+    use hyperpred_ir::{CmpOp, FuncBuilder, Operand};
+
+    #[test]
+    fn folds_taken_branch_to_jump() {
+        let mut b = FuncBuilder::new("t");
+        let other = b.block();
+        b.br(CmpOp::Eq, Operand::Imm(1), Operand::Imm(1), other);
+        b.ret(None);
+        b.switch_to(other);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(fold_constant_branches(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert_eq!(f.blocks[0].insts[0].op, Op::Jump);
+        f.remove_unreachable();
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn deletes_never_taken_branch() {
+        let mut b = FuncBuilder::new("t");
+        let other = b.block();
+        b.br(CmpOp::Eq, Operand::Imm(0), Operand::Imm(1), other);
+        b.ret(None);
+        b.switch_to(other);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(fold_constant_branches(&mut f));
+        assert!(!f.blocks[0].insts[0].op.is_branch());
+    }
+
+    #[test]
+    fn threads_jump_chains() {
+        let mut b = FuncBuilder::new("t");
+        let hop = b.block();
+        let end = b.block();
+        b.jump(hop);
+        b.switch_to(hop);
+        b.jump(end);
+        b.switch_to(end);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(thread_jumps(&mut f));
+        assert_eq!(f.blocks[0].insts[0].target, Some(end));
+    }
+
+    #[test]
+    fn full_cleanup_collapses_trampolines() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let hop = b.block();
+        let end = b.block();
+        b.jump(hop);
+        b.switch_to(hop);
+        b.jump(end);
+        b.switch_to(end);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        while run(&mut f) {}
+        assert_eq!(f.layout.len(), 1, "{f}");
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn merges_linear_chain() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let second = b.block();
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.jump(second);
+        b.switch_to(second);
+        let z = b.add(y.into(), Operand::Imm(2));
+        b.ret(Some(z.into()));
+        let mut f = b.finish();
+        assert!(merge_blocks(&mut f));
+        assert_eq!(f.layout.len(), 1);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn does_not_merge_into_loop_header() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let header = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        b.br(CmpOp::Lt, x.into(), Operand::Imm(10), header);
+        b.ret(None);
+        let mut f = b.finish();
+        // header has 2 preds (entry + itself): no merge.
+        merge_blocks(&mut f);
+        assert_eq!(f.layout.len(), 2);
+        assert!(verify_function(&f).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Global dead code elimination, driven by predicate-aware liveness.
+
+use hyperpred_ir::liveness::{branch_target, is_removable, step_backwards, Liveness};
+use hyperpred_ir::{Cfg, Function};
+
+/// Removes instructions whose outputs are dead. Returns true on change.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    let lv = Liveness::compute(f, &cfg);
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        let mut live = lv.live_out[b.index()].clone();
+        let insts = &mut f.block_mut(b).insts;
+        // Walk backwards, deleting as we go; a deleted instruction's uses
+        // are simply never added to the live set.
+        let mut keep = vec![true; insts.len()];
+        for (i, inst) in insts.iter().enumerate().rev() {
+            let out_dead = inst.dst.map_or(true, |d| !live.regs.contains(&d));
+            let preds_dead = inst
+                .pdsts
+                .iter()
+                .all(|pd| !live.preds.contains(&pd.reg));
+            if is_removable(inst) && out_dead && preds_dead {
+                keep[i] = false;
+                changed = true;
+                continue;
+            }
+            if let Some(t) = branch_target(inst) {
+                live.union_with(&lv.live_in[t.index()]);
+            }
+            step_backwards(inst, &mut live);
+        }
+        if keep.iter().any(|k| !k) {
+            let mut idx = 0;
+            insts.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, FuncBuilder, MemWidth, Op, Operand, PredType};
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let _dead = b.add(x.into(), Operand::Imm(1));
+        let live = b.add(x.into(), Operand::Imm(2));
+        b.ret(Some(live.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        b.store(MemWidth::Word, x.into(), Operand::Imm(0), Operand::Imm(1));
+        let _unused = b.call("t", vec![x.into()]);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+    }
+
+    #[test]
+    fn removes_dead_chain_transitively() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let a = b.add(x.into(), Operand::Imm(1));
+        let c = b.add(a.into(), Operand::Imm(2));
+        let _d = b.add(c.into(), Operand::Imm(3));
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1, "whole chain dead in one pass");
+    }
+
+    #[test]
+    fn removes_dead_pred_define() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn keeps_pred_define_with_live_guard_use() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(1));
+        b.mov_to(out, Operand::Imm(2));
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(f.blocks[0].insts.iter().any(|i| i.op.is_pred_def()));
+    }
+
+    #[test]
+    fn dead_load_is_removed_even_if_trapping() {
+        // A dead load can be deleted (removing a potential trap is a legal
+        // refinement in this compiler, matching the paper's silent-load
+        // baseline).
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let _v = b.load(MemWidth::Word, x.into(), Operand::Imm(0));
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn keeps_cmov_with_live_dest() {
+        let mut b = FuncBuilder::new("t");
+        let c = b.param();
+        let out = b.mov(Operand::Imm(1));
+        b.cmov(out, Operand::Imm(2), c.into());
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 3);
+    }
+
+    #[test]
+    fn removes_nops() {
+        let mut b = FuncBuilder::new("t");
+        b.emit_with(Op::Nop, |_| {});
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Constant folding and algebraic simplification.
+
+use hyperpred_ir::{CmpOp, Function, Inst, Op, Operand};
+
+/// Folds constants and simplifies algebraic identities in place.
+/// Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        for inst in &mut f.block_mut(b).insts {
+            changed |= fold_inst(inst);
+        }
+        // Nops left by simplification are dropped immediately.
+        let before = f.block(b).insts.len();
+        f.block_mut(b).insts.retain(|i| i.op != Op::Nop);
+        changed |= f.block(b).insts.len() != before;
+    }
+    changed
+}
+
+fn to_mov(inst: &mut Inst, src: Operand) {
+    inst.op = Op::Mov;
+    inst.srcs = vec![src];
+    inst.speculative = false;
+}
+
+fn to_nop(inst: &mut Inst) {
+    inst.op = Op::Nop;
+    inst.srcs.clear();
+    inst.dst = None;
+    inst.guard = None;
+    inst.speculative = false;
+}
+
+/// Folds one instruction; returns true if it changed.
+pub fn fold_inst(inst: &mut Inst) -> bool {
+    let imm = |o: Operand| o.as_imm();
+    match inst.op {
+        // ---- integer binops -------------------------------------------
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
+        | Op::AndNot | Op::OrNot | Op::Shl | Op::Shr | Op::Sra => {
+            let (a, b) = (inst.srcs[0], inst.srcs[1]);
+            if let (Some(x), Some(y)) = (imm(a), imm(b)) {
+                let v = match inst.op {
+                    Op::Add => Some(x.wrapping_add(y)),
+                    Op::Sub => Some(x.wrapping_sub(y)),
+                    Op::Mul => Some(x.wrapping_mul(y)),
+                    Op::Div if y != 0 => Some(x.wrapping_div(y)),
+                    Op::Rem if y != 0 => Some(x.wrapping_rem(y)),
+                    Op::Div | Op::Rem if inst.speculative => Some(0),
+                    Op::Div | Op::Rem => None, // keep the trap
+                    Op::And => Some(x & y),
+                    Op::Or => Some(x | y),
+                    Op::Xor => Some(x ^ y),
+                    Op::AndNot => Some(x & !y),
+                    Op::OrNot => Some(x | !y),
+                    Op::Shl => Some(x.wrapping_shl(y as u32 & 63)),
+                    Op::Shr => Some(((x as u64).wrapping_shr(y as u32 & 63)) as i64),
+                    Op::Sra => Some(x.wrapping_shr(y as u32 & 63)),
+                    _ => unreachable!(),
+                };
+                if let Some(v) = v {
+                    to_mov(inst, Operand::Imm(v));
+                    return true;
+                }
+                return false;
+            }
+            // Algebraic identities.
+            match (inst.op, imm(a), imm(b)) {
+                (Op::Add, Some(0), _) => to_mov(inst, b),
+                (Op::Add | Op::Sub, _, Some(0)) => to_mov(inst, a),
+                (Op::Mul, _, Some(1)) => to_mov(inst, a),
+                (Op::Mul, Some(1), _) => to_mov(inst, b),
+                (Op::Mul, _, Some(0)) | (Op::Mul, Some(0), _) => {
+                    to_mov(inst, Operand::Imm(0))
+                }
+                (Op::Div, _, Some(1)) => to_mov(inst, a),
+                (Op::And, _, Some(-1)) => to_mov(inst, a),
+                (Op::And, Some(-1), _) => to_mov(inst, b),
+                (Op::And, _, Some(0)) | (Op::And, Some(0), _) => {
+                    to_mov(inst, Operand::Imm(0))
+                }
+                (Op::Or | Op::Xor, _, Some(0)) => to_mov(inst, a),
+                (Op::Or | Op::Xor, Some(0), _) => to_mov(inst, b),
+                (Op::Shl | Op::Shr | Op::Sra, _, Some(0)) => to_mov(inst, a),
+                _ => return false,
+            }
+            true
+        }
+        // ---- comparisons ----------------------------------------------
+        Op::Cmp(c) => {
+            let (a, b) = (inst.srcs[0], inst.srcs[1]);
+            if let (Some(x), Some(y)) = (imm(a), imm(b)) {
+                to_mov(inst, Operand::Imm(c.eval(x, y) as i64));
+                return true;
+            }
+            if a == b {
+                // r cmp r is statically known.
+                let v = matches!(c, CmpOp::Eq | CmpOp::Le | CmpOp::Ge);
+                to_mov(inst, Operand::Imm(v as i64));
+                return true;
+            }
+            false
+        }
+        // ---- float ops --------------------------------------------------
+        Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+            let (a, b) = (inst.srcs[0], inst.srcs[1]);
+            if let (Some(x), Some(y)) = (imm(a), imm(b)) {
+                let (x, y) = (f64::from_bits(x as u64), f64::from_bits(y as u64));
+                let v = match inst.op {
+                    Op::FAdd => Some(x + y),
+                    Op::FSub => Some(x - y),
+                    Op::FMul => Some(x * y),
+                    Op::FDiv if y != 0.0 => Some(x / y),
+                    Op::FDiv if inst.speculative => Some(0.0),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    to_mov(inst, Operand::fimm(v));
+                    return true;
+                }
+            }
+            false
+        }
+        Op::FCmp(c) => {
+            let (a, b) = (inst.srcs[0], inst.srcs[1]);
+            if let (Some(x), Some(y)) = (imm(a), imm(b)) {
+                let v = c.eval_f(f64::from_bits(x as u64), f64::from_bits(y as u64));
+                to_mov(inst, Operand::Imm(v as i64));
+                return true;
+            }
+            false
+        }
+        Op::IToF => {
+            if let Some(x) = imm(inst.srcs[0]) {
+                to_mov(inst, Operand::fimm(x as f64));
+                return true;
+            }
+            false
+        }
+        Op::FToI => {
+            if let Some(x) = imm(inst.srcs[0]) {
+                to_mov(inst, Operand::Imm(f64::from_bits(x as u64) as i64));
+                return true;
+            }
+            false
+        }
+        // ---- conditional moves ------------------------------------------
+        Op::Cmov | Op::CmovCom => {
+            let cond = imm(inst.srcs[1]);
+            let fire_on = inst.op == Op::Cmov;
+            match cond {
+                Some(c) if (c != 0) == fire_on => {
+                    let v = inst.srcs[0];
+                    to_mov(inst, v);
+                    true
+                }
+                Some(_) => {
+                    to_nop(inst);
+                    true
+                }
+                None => {
+                    // cmov r, r, c is a no-op.
+                    if inst.srcs[0].as_reg() == inst.dst {
+                        to_nop(inst);
+                        return true;
+                    }
+                    false
+                }
+            }
+        }
+        Op::Select => {
+            let cond = imm(inst.srcs[2]);
+            match cond {
+                Some(c) => {
+                    let v = if c != 0 { inst.srcs[0] } else { inst.srcs[1] };
+                    to_mov(inst, v);
+                    true
+                }
+                None if inst.srcs[0] == inst.srcs[1] => {
+                    let v = inst.srcs[0];
+                    to_mov(inst, v);
+                    true
+                }
+                None => false,
+            }
+        }
+        Op::Mov => {
+            // mov r, r (unguarded) is a no-op.
+            if inst.guard.is_none() && inst.srcs[0].as_reg() == inst.dst {
+                to_nop(inst);
+                return true;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{FuncBuilder, Reg};
+
+    fn fold_one(op: Op, srcs: Vec<Operand>) -> Inst {
+        let mut b = FuncBuilder::new("t");
+        let _ = b.param();
+        let mut i = Inst::new(hyperpred_ir::InstId(0), op);
+        i.dst = Some(Reg(0));
+        i.srcs = srcs;
+        fold_inst(&mut i);
+        i
+    }
+
+    #[test]
+    fn folds_constants() {
+        let i = fold_one(Op::Add, vec![Operand::Imm(2), Operand::Imm(3)]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.srcs, vec![Operand::Imm(5)]);
+        let i = fold_one(Op::Cmp(CmpOp::Lt), vec![Operand::Imm(2), Operand::Imm(3)]);
+        assert_eq!(i.srcs, vec![Operand::Imm(1)]);
+    }
+
+    #[test]
+    fn keeps_trapping_div() {
+        let i = fold_one(Op::Div, vec![Operand::Imm(2), Operand::Imm(0)]);
+        assert_eq!(i.op, Op::Div, "div by zero must keep its trap");
+    }
+
+    #[test]
+    fn folds_silent_div_by_zero_to_zero() {
+        let mut i = Inst::new(hyperpred_ir::InstId(0), Op::Div);
+        i.dst = Some(Reg(0));
+        i.srcs = vec![Operand::Imm(2), Operand::Imm(0)];
+        i.speculative = true;
+        fold_inst(&mut i);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.srcs, vec![Operand::Imm(0)]);
+    }
+
+    #[test]
+    fn identities() {
+        let i = fold_one(Op::Add, vec![Operand::Reg(Reg(0)), Operand::Imm(0)]);
+        assert_eq!(i.op, Op::Mov);
+        let i = fold_one(Op::Mul, vec![Operand::Reg(Reg(0)), Operand::Imm(0)]);
+        assert_eq!(i.srcs, vec![Operand::Imm(0)]);
+        let i = fold_one(Op::Shl, vec![Operand::Reg(Reg(0)), Operand::Imm(0)]);
+        assert_eq!(i.op, Op::Mov);
+    }
+
+    #[test]
+    fn same_reg_compare() {
+        let i = fold_one(Op::Cmp(CmpOp::Eq), vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))]);
+        assert_eq!(i.srcs, vec![Operand::Imm(1)]);
+        let i = fold_one(Op::Cmp(CmpOp::Lt), vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))]);
+        assert_eq!(i.srcs, vec![Operand::Imm(0)]);
+    }
+
+    #[test]
+    fn cmov_with_known_condition() {
+        let i = fold_one(Op::Cmov, vec![Operand::Imm(5), Operand::Imm(1)]);
+        assert_eq!(i.op, Op::Mov);
+        let i = fold_one(Op::Cmov, vec![Operand::Imm(5), Operand::Imm(0)]);
+        assert_eq!(i.op, Op::Nop);
+        let i = fold_one(Op::CmovCom, vec![Operand::Imm(5), Operand::Imm(0)]);
+        assert_eq!(i.op, Op::Mov);
+    }
+
+    #[test]
+    fn select_with_equal_arms() {
+        let i = fold_one(
+            Op::Select,
+            vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0)), Operand::Reg(Reg(0))],
+        );
+        assert_eq!(i.op, Op::Mov);
+    }
+
+    #[test]
+    fn float_folding() {
+        let i = fold_one(Op::FMul, vec![Operand::fimm(2.0), Operand::fimm(3.5)]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.srcs, vec![Operand::fimm(7.0)]);
+    }
+
+    #[test]
+    fn guarded_self_mov_is_kept() {
+        // mov r0, r0 (p) is still a no-op (writes the same value), but we
+        // only remove the unguarded form; check the guarded one survives.
+        let mut b = FuncBuilder::new("t");
+        let p = b.fresh_pred();
+        let x = b.param();
+        b.mov_to(x, x.into());
+        b.guard_last(p);
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Function inlining.
+//!
+//! The paper's compiler (IMPACT) inlines aggressively before region
+//! formation; without inlining, small helpers in hot loops (a character
+//! classifier, a precedence lookup) make their callers' blocks *hazardous*
+//! for hyperblock formation. This pass inlines small non-recursive callees
+//! before profiling, benefiting every model equally.
+
+use hyperpred_ir::{BlockId, Function, Inst, Module, Op, Operand, PredReg, Reg};
+
+/// Inlining thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineConfig {
+    /// Callees larger than this are never inlined.
+    pub max_callee_insts: usize,
+    /// Stop growing a caller beyond this size.
+    pub max_caller_insts: usize,
+    /// Inlining rounds (chains of calls need one round per level).
+    pub rounds: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> InlineConfig {
+        InlineConfig {
+            max_callee_insts: 64,
+            max_caller_insts: 4096,
+            rounds: 3,
+        }
+    }
+}
+
+/// Inlines eligible calls in every function. Returns the number of call
+/// sites inlined.
+pub fn run_module(m: &mut Module, config: &InlineConfig) -> usize {
+    let mut total = 0;
+    for _ in 0..config.rounds {
+        let mut round = 0;
+        for ci in 0..m.funcs.len() {
+            loop {
+                // Find the next eligible call site in function `ci`.
+                let site = find_site(m, ci, config);
+                let Some((block, index, callee)) = site else { break };
+                let g = m.funcs[callee].clone();
+                inline_at(&mut m.funcs[ci], block, index, &g);
+                round += 1;
+            }
+        }
+        if round == 0 {
+            break;
+        }
+        total += round;
+    }
+    debug_assert!(m.verify().is_ok(), "inlining broke module: {:?}", m.verify().err());
+    total
+}
+
+fn find_site(m: &Module, caller: usize, config: &InlineConfig) -> Option<(BlockId, usize, usize)> {
+    let f = &m.funcs[caller];
+    if f.size() > config.max_caller_insts {
+        return None;
+    }
+    for &b in &f.layout {
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            if inst.op != Op::Call {
+                continue;
+            }
+            let callee = inst.callee.expect("linked").index();
+            if callee == caller {
+                continue; // direct recursion
+            }
+            let g = &m.funcs[callee];
+            if g.size() > config.max_callee_insts {
+                continue;
+            }
+            // Predicated or predicate-using callees are never produced
+            // before region formation; keep the invariant simple.
+            let uses_preds = g
+                .insts()
+                .any(|(_, _, i)| i.guard.is_some() || !i.pdsts.is_empty() || i.defines_all_preds());
+            if uses_preds {
+                continue;
+            }
+            return Some((b, i, callee));
+        }
+    }
+    None
+}
+
+/// Splices `g`'s body in place of the call at `f[block][index]`.
+fn inline_at(f: &mut Function, block: BlockId, index: usize, g: &Function) {
+    let call = f.block(block).insts[index].clone();
+    debug_assert_eq!(call.op, Op::Call);
+    let ret_dst = call.dst.expect("calls have destinations");
+
+    // Fresh register/predicate space for the callee.
+    let reg_base = f.reg_count;
+    f.reg_count += g.reg_count;
+    let pred_base = f.pred_count;
+    f.pred_count += g.pred_count;
+    let map_reg = |r: Reg| Reg(reg_base + r.0);
+    let map_pred = |p: PredReg| PredReg(pred_base + p.0);
+
+    // New blocks for the callee body plus the caller continuation.
+    let mut map_block: Vec<BlockId> = Vec::with_capacity(g.blocks.len());
+    for _ in 0..g.blocks.len() {
+        map_block.push(f.add_block_detached());
+    }
+    let cont = f.add_block_detached();
+
+    // Split the caller block.
+    let mut prefix: Vec<Inst> = f.block(block).insts.clone();
+    let suffix: Vec<Inst> = prefix.split_off(index + 1);
+    prefix.pop(); // the call itself
+    // Parameter copies.
+    for (&p, &arg) in g.params.iter().zip(&call.srcs) {
+        let mut mv = f.make_inst(Op::Mov);
+        mv.dst = Some(map_reg(p));
+        mv.srcs = vec![arg];
+        prefix.push(mv);
+    }
+    let entry = map_block[g.entry().index()];
+    let mut jump_in = f.make_inst(Op::Jump);
+    jump_in.target = Some(entry);
+    prefix.push(jump_in);
+    f.block_mut(block).insts = prefix;
+    f.block_mut(cont).insts = suffix;
+
+    // Clone the body.
+    for &gb in &g.layout {
+        let mut out = Vec::with_capacity(g.block(gb).insts.len() + 1);
+        for inst in &g.block(gb).insts {
+            match inst.op {
+                Op::Ret => {
+                    let mut mv = f.make_inst(Op::Mov);
+                    mv.dst = Some(ret_dst);
+                    mv.srcs = vec![inst
+                        .srcs
+                        .first()
+                        .map(|&s| match s {
+                            Operand::Reg(r) => Operand::Reg(map_reg(r)),
+                            imm => imm,
+                        })
+                        .unwrap_or(Operand::Imm(0))];
+                    out.push(mv);
+                    let mut j = f.make_inst(Op::Jump);
+                    j.target = Some(cont);
+                    out.push(j);
+                    // Anything after a ret in the block is unreachable.
+                    break;
+                }
+                _ => {
+                    let mut ci = f.clone_inst(inst);
+                    ci.dst = ci.dst.map(map_reg);
+                    for s in &mut ci.srcs {
+                        if let Operand::Reg(r) = *s {
+                            *s = Operand::Reg(map_reg(r));
+                        }
+                    }
+                    ci.guard = ci.guard.map(map_pred);
+                    for pd in &mut ci.pdsts {
+                        pd.reg = map_pred(pd.reg);
+                    }
+                    if let Some(t) = ci.target {
+                        ci.target = Some(map_block[t.index()]);
+                    }
+                    out.push(ci);
+                }
+            }
+        }
+        let nb = map_block[gb.index()];
+        f.block_mut(nb).insts = out;
+    }
+
+    // Layout: caller block, callee body (in callee layout order, preserving
+    // its fall-throughs), continuation, rest.
+    let pos = f.layout_pos(block).expect("block laid out");
+    let mut insert = pos + 1;
+    for &gb in &g.layout {
+        f.layout.insert(insert, map_block[gb.index()]);
+        insert += 1;
+    }
+    f.layout.insert(insert, cont);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_lang::compile;
+    use hyperpred_lang::lower::entry_args;
+
+    fn run(m: &Module, args: &[i64]) -> i64 {
+        Emulator::new(m)
+            .run("main", &entry_args(args), &mut NullSink)
+            .unwrap()
+            .ret
+    }
+
+    #[test]
+    fn inlines_small_leaf() {
+        let src = "int sq(int x) { return x * x; }
+                   int main() { int i; int s; s = 0;
+                       for (i = 0; i < 10; i += 1) s += sq(i);
+                       return s; }";
+        let mut m = compile(src).unwrap();
+        let want = run(&m, &[]);
+        let n = run_module(&mut m, &InlineConfig::default());
+        assert!(n >= 1);
+        m.verify().unwrap();
+        assert_eq!(run(&m, &[]), want);
+        // No calls remain in main.
+        let main = &m.funcs[m.func_by_name("main").unwrap().index()];
+        assert!(main.insts().all(|(_, _, i)| i.op != Op::Call));
+    }
+
+    #[test]
+    fn inlines_call_chains_across_rounds() {
+        let src = "int a(int x) { return x + 1; }
+                   int b(int x) { return a(x) * 2; }
+                   int main() { return b(20); }";
+        let mut m = compile(src).unwrap();
+        let want = run(&m, &[]);
+        run_module(&mut m, &InlineConfig::default());
+        assert_eq!(run(&m, &[]), want);
+        let main = &m.funcs[m.func_by_name("main").unwrap().index()];
+        assert!(main.insts().all(|(_, _, i)| i.op != Op::Call));
+    }
+
+    #[test]
+    fn skips_recursion() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+                   int main() { return fib(10); }";
+        let mut m = compile(src).unwrap();
+        let want = run(&m, &[]);
+        run_module(&mut m, &InlineConfig::default());
+        assert_eq!(run(&m, &[]), want);
+        // fib still calls itself.
+        let fib = &m.funcs[m.func_by_name("fib").unwrap().index()];
+        assert!(fib.insts().any(|(_, _, i)| i.op == Op::Call));
+    }
+
+    #[test]
+    fn respects_size_limit() {
+        let src = "int big(int x) {
+                       int s; s = x;
+                       s += 1; s += 2; s += 3; s += 4; s += 5; s += 6; s += 7;
+                       s += 1; s += 2; s += 3; s += 4; s += 5; s += 6; s += 7;
+                       return s;
+                   }
+                   int main() { return big(1); }";
+        let mut m = compile(src).unwrap();
+        let tiny = InlineConfig {
+            max_callee_insts: 4,
+            ..InlineConfig::default()
+        };
+        assert_eq!(run_module(&mut m, &tiny), 0);
+    }
+
+    #[test]
+    fn multiple_sites_and_control_flow() {
+        let src = "int pick(int a, int b) { if (a > b) return a; return b; }
+                   int main() {
+                       int i; int s; s = 0;
+                       for (i = 0; i < 20; i += 1) s += pick(i, 10) + pick(2 * i, 15);
+                       return s;
+                   }";
+        let mut m = compile(src).unwrap();
+        let want = run(&m, &[]);
+        let n = run_module(&mut m, &InlineConfig::default());
+        assert!(n >= 2);
+        m.verify().unwrap();
+        assert_eq!(run(&m, &[]), want);
+    }
+
+    #[test]
+    fn arrays_and_globals_still_work() {
+        let src = "int t[8];
+                   int get(int i) { return t[i]; }
+                   void set(int i, int v) { t[i] = v; }
+                   int main() {
+                       int i;
+                       for (i = 0; i < 8; i += 1) set(i, i * 3);
+                       int s; s = 0;
+                       for (i = 0; i < 8; i += 1) s += get(i);
+                       return s;
+                   }";
+        let mut m = compile(src).unwrap();
+        let want = run(&m, &[]);
+        run_module(&mut m, &InlineConfig::default());
+        assert_eq!(run(&m, &[]), want);
+    }
+}

@@ -1,0 +1,80 @@
+//! Predicate-aware classic optimizations.
+//!
+//! The paper's compiler applies "a comprehensive set of peephole
+//! optimizations ... both before and after conversion" plus the usual
+//! clean-up passes (common subexpression elimination, copy propagation,
+//! dead code removal — §3.2). This crate provides those passes for all
+//! three compilation models:
+//!
+//! * [`fold`] — constant folding and algebraic simplification.
+//! * [`local`] — in-block copy/constant propagation and CSE (memory-aware).
+//! * [`dce`] — global liveness-based dead code elimination.
+//! * [`cfgopt`] — branch folding, jump threading, block merging,
+//!   unreachable-code removal.
+//!
+//! All passes understand predication: guarded definitions are *partial*
+//! (they do not kill their destination), OR/AND-type predicate destinations
+//! are read-modify-write, and guarded instructions are never used as
+//! propagation sources.
+//!
+//! [`inline`] provides pre-formation function inlining (IMPACT-style).
+//!
+//! [`optimize`] runs the pipeline to a (bounded) fixpoint.
+
+pub mod cfgopt;
+pub mod inline;
+pub mod dce;
+pub mod fold;
+pub mod local;
+
+use hyperpred_ir::{Function, Module};
+
+/// Runs the full optimization pipeline on one function until no pass makes
+/// progress (bounded number of rounds).
+pub fn optimize(f: &mut Function) {
+    const MAX_ROUNDS: usize = 8;
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        changed |= fold::run(f);
+        changed |= local::run(f);
+        changed |= dce::run(f);
+        changed |= cfgopt::run(f);
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "optimizer broke {}: {:?}",
+        f.name,
+        hyperpred_ir::verify::verify_function(f).err()
+    );
+}
+
+/// Optimizes every function in a module.
+pub fn optimize_module(m: &mut Module) {
+    for f in &mut m.funcs {
+        optimize(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{FuncBuilder, Operand};
+
+    #[test]
+    fn pipeline_shrinks_redundant_code() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let a = b.add(x.into(), Operand::Imm(0)); // a = x (identity)
+        let c = b.add(a.into(), a.into()); // c = x + x
+        let d = b.add(x.into(), x.into()); // d = x + x (CSE with c)
+        let e = b.add(c.into(), d.into());
+        b.ret(Some(e.into()));
+        let mut f = b.finish();
+        let before = f.size();
+        optimize(&mut f);
+        assert!(f.size() < before, "pipeline should remove redundancy");
+    }
+}

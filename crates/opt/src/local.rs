@@ -1,0 +1,283 @@
+//! In-block copy/constant propagation and common subexpression elimination.
+//!
+//! Both transformations are local (within one block). Blocks are long after
+//! superblock/hyperblock formation, so local scope captures most of the
+//! opportunity — the same choice the paper's peephole framework makes.
+
+use hyperpred_ir::{Function, Inst, Op, Operand, Reg};
+use std::collections::HashMap;
+
+/// Runs copy propagation then CSE on every block. Returns true on change.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        changed |= block_pass(&mut f.block_mut(b).insts);
+    }
+    changed
+}
+
+/// Expression key for CSE. `epoch` serializes loads against stores/calls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    op: OpKey,
+    srcs: Vec<Operand>,
+    speculative: bool,
+    epoch: u64,
+}
+
+/// Hashable stand-in for `Op` (which contains enums already `Hash`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OpKey(Op);
+
+fn commutative(op: Op) -> bool {
+    matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor | Op::FAdd | Op::FMul)
+}
+
+fn cse_candidate(inst: &Inst) -> bool {
+    // Pure value-producing ops, unguarded. Loads participate with an epoch.
+    inst.guard.is_none()
+        && inst.dst.is_some()
+        && !inst.op.has_side_effects()
+        && !inst.op.is_pred_def()
+        && !matches!(
+            inst.op,
+            Op::Call | Op::Cmov | Op::CmovCom | Op::Nop | Op::PredClear | Op::PredSet
+        )
+        // Trapping ops are not safely removable duplicates unless silent;
+        // identical non-speculative loads/divs are still fine to CSE (same
+        // operands, same trap behaviour), so allow them.
+}
+
+fn block_pass(insts: &mut Vec<Inst>) -> bool {
+    let mut changed = false;
+    // reg -> known copy source (register or immediate)
+    let mut copies: HashMap<Reg, Operand> = HashMap::new();
+    // expression -> register holding its value
+    let mut avail: HashMap<Key, Reg> = HashMap::new();
+    let mut epoch: u64 = 0;
+
+    for inst in insts.iter_mut() {
+        // 1. Substitute known copies into sources.
+        for s in &mut inst.srcs {
+            if let Operand::Reg(r) = *s {
+                if let Some(&rep) = copies.get(&r) {
+                    if *s != rep {
+                        *s = rep;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // 2. CSE: replace a recomputation with a move from the prior value.
+        let mut cse_key = None;
+        if cse_candidate(inst) {
+            let e = if inst.op.is_load() { epoch } else { 0 };
+            let mut srcs = inst.srcs.clone();
+            if commutative(inst.op) {
+                srcs.sort_by_key(|o| match o {
+                    Operand::Reg(r) => (0u8, r.0 as i64),
+                    Operand::Imm(v) => (1u8, *v),
+                });
+            }
+            let key = Key {
+                op: OpKey(inst.op),
+                srcs,
+                speculative: inst.speculative,
+                epoch: e,
+            };
+            if let Some(&prev) = avail.get(&key) {
+                if Some(prev) != inst.dst {
+                    inst.op = Op::Mov;
+                    inst.srcs = vec![Operand::Reg(prev)];
+                    inst.speculative = false;
+                    changed = true;
+                }
+            } else {
+                cse_key = Some(key);
+            }
+        }
+
+        // 3. Memory/calls advance the load epoch.
+        if inst.op.is_store() || inst.op == Op::Call {
+            epoch += 1;
+        }
+
+        // 4. Invalidate facts mentioning the defined register, then record
+        //    the new facts this instruction establishes.
+        if let Some(d) = inst.dst {
+            copies.remove(&d);
+            copies.retain(|_, v| v.as_reg() != Some(d));
+            avail.retain(|k, v| *v != d && !k.srcs.iter().any(|s| s.as_reg() == Some(d)));
+            if let Some(key) = cse_key {
+                // A key mentioning d itself (e.g. `add d, d, 1`) must not
+                // be recorded: the input value is gone.
+                if !key.srcs.iter().any(|s| s.as_reg() == Some(d)) {
+                    avail.insert(key, d);
+                }
+            }
+            if inst.op == Op::Mov && inst.guard.is_none() {
+                // Don't record self-referential copies.
+                if inst.srcs[0].as_reg() != Some(d) {
+                    copies.insert(d, inst.srcs[0]);
+                }
+            }
+        }
+        // Calls clobber nothing else (registers are function-local), but a
+        // call's unknown execution should not invalidate register facts.
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, FuncBuilder, MemWidth};
+
+    #[test]
+    fn copy_propagation_rewrites_uses() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let c = b.mov(x.into());
+        let y = b.add(c.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        // The add now reads x directly.
+        let add = &f.blocks[0].insts[1];
+        assert_eq!(add.srcs[0], Operand::Reg(x));
+    }
+
+    #[test]
+    fn constant_propagation() {
+        let mut b = FuncBuilder::new("t");
+        let k = b.mov(Operand::Imm(7));
+        let y = b.add(k.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts[1].srcs[0], Operand::Imm(7));
+    }
+
+    #[test]
+    fn cse_removes_duplicate_expression() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let a = b.add(x.into(), Operand::Imm(3));
+        let c = b.add(x.into(), Operand::Imm(3));
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        let second = &f.blocks[0].insts[1];
+        assert_eq!(second.op, Op::Mov);
+        assert_eq!(second.srcs, vec![Operand::Reg(a)]);
+    }
+
+    #[test]
+    fn cse_respects_commutativity() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let a = b.add(x.into(), y.into());
+        let c = b.add(y.into(), x.into());
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts[1].op, Op::Mov);
+    }
+
+    #[test]
+    fn loads_are_not_cse_across_stores() {
+        let mut b = FuncBuilder::new("t");
+        let p = b.param();
+        let a = b.load(MemWidth::Word, p.into(), Operand::Imm(0));
+        b.store(MemWidth::Word, p.into(), Operand::Imm(0), Operand::Imm(9));
+        let c = b.load(MemWidth::Word, p.into(), Operand::Imm(0));
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        // The second load must survive.
+        let loads = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| i.op.is_load())
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn loads_are_cse_without_intervening_stores() {
+        let mut b = FuncBuilder::new("t");
+        let p = b.param();
+        let a = b.load(MemWidth::Word, p.into(), Operand::Imm(0));
+        let c = b.load(MemWidth::Word, p.into(), Operand::Imm(0));
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        let loads = f.blocks[0].insts.iter().filter(|i| i.op.is_load()).count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn guarded_mov_is_not_a_copy_source() {
+        let mut b = FuncBuilder::new("t");
+        let p = b.fresh_pred();
+        let x = b.param();
+        let c = b.mov(Operand::Imm(1));
+        b.mov_to(c, x.into());
+        b.guard_last(p);
+        let y = b.add(c.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        // The add must still read c (the guarded mov may not fire).
+        assert_eq!(f.blocks[0].insts[2].srcs[0], Operand::Reg(c));
+    }
+
+    #[test]
+    fn redefinition_invalidates_copy() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let c = b.mov(x.into());
+        // redefine x
+        b.mov_to(x, Operand::Imm(5));
+        let y = b.add(c.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        // y must not read the redefined x.
+        assert_eq!(f.blocks[0].insts[2].srcs[0], Operand::Reg(c));
+    }
+
+    #[test]
+    fn guarded_use_still_gets_substitution() {
+        let mut b = FuncBuilder::new("t");
+        let p = b.fresh_pred();
+        let x = b.param();
+        let c = b.mov(x.into());
+        let y = b.mov(Operand::Imm(0));
+        b.mov_to(y, c.into());
+        b.guard_last(p);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts[2].srcs[0], Operand::Reg(x));
+    }
+
+    #[test]
+    fn cmp_is_cse_candidate() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let a = b.cmp(CmpOp::Lt, x.into(), Operand::Imm(5));
+        let c = b.cmp(CmpOp::Lt, x.into(), Operand::Imm(5));
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts[1].op, Op::Mov);
+    }
+}

@@ -1,0 +1,135 @@
+//! Differential testing: optimized code must behave identically to the
+//! original on the emulator.
+
+use hyperpred_emu::{DynStats, Emulator, NullSink};
+use hyperpred_lang::compile;
+use hyperpred_lang::lower::entry_args;
+use hyperpred_opt::optimize_module;
+
+/// MiniC programs exercising every language construct plus arguments.
+const PROGRAMS: &[(&str, &[i64])] = &[
+    (
+        "int main(int n) {
+            int i; int s; s = 0;
+            for (i = 0; i < n; i += 1) { if (i % 3 == 0 || i % 5 == 0) s += i; }
+            return s;
+        }",
+        &[50],
+    ),
+    (
+        "int collatz(int n) {
+            int steps; steps = 0;
+            while (n != 1) { if (n % 2 == 0) n = n / 2; else n = 3 * n + 1; steps += 1; }
+            return steps;
+        }
+        int main() { int i; int s; s = 0; for (i = 1; i < 30; i += 1) s += collatz(i); return s; }",
+        &[],
+    ),
+    (
+        "int a[32];
+        int main(int seed) {
+            int i; int h; h = seed;
+            for (i = 0; i < 32; i += 1) { h = h * 1103515245 + 12345; a[i] = (h >> 16) & 1023; }
+            h = 0;
+            for (i = 0; i < 32; i += 1) { h = h * 31 + a[i]; }
+            return h;
+        }",
+        &[7],
+    ),
+    (
+        "char buf[64] = \"the quick brown fox jumps over the lazy dog\";
+        int main() {
+            int i; int words; int inword; words = 0; inword = 0;
+            for (i = 0; buf[i] != 0; i += 1) {
+                if (buf[i] == ' ') inword = 0;
+                else { if (!inword) words += 1; inword = 1; }
+            }
+            return words;
+        }",
+        &[],
+    ),
+    (
+        "float w[8] = {0.5, -1.25, 2.0, 3.5, -0.75, 1.0, 4.25, -2.5};
+        int main() {
+            int i; float s; float p; s = 0.0; p = 1.0;
+            for (i = 0; i < 8; i += 1) { s = s + w[i]; if (w[i] > 0.0) p = p * w[i]; }
+            return s * 100.0 + p;
+        }",
+        &[],
+    ),
+    (
+        "int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+         int main() { return fib(12); }",
+        &[],
+    ),
+    (
+        "int main(int x, int y) {
+            int r; r = 0;
+            if (x > 0 && (y > 0 || x > 10)) r = 1;
+            if (!(x == y)) r += 2;
+            r += x > y ? 10 : 20;
+            return r;
+        }",
+        &[5, -3],
+    ),
+];
+
+#[test]
+fn optimization_preserves_behaviour() {
+    for (src, args) in PROGRAMS {
+        let m0 = compile(src).expect("compile");
+        let mut m1 = m0.clone();
+        optimize_module(&mut m1);
+        m1.verify().unwrap_or_else(|e| panic!("verify after opt: {e}\n{m1}"));
+
+        let mut e0 = Emulator::new(&m0);
+        let r0 = e0.run("main", &entry_args(args), &mut NullSink).unwrap();
+        let mut e1 = Emulator::new(&m1);
+        let r1 = e1.run("main", &entry_args(args), &mut NullSink).unwrap();
+        assert_eq!(r0.ret, r1.ret, "result changed by optimization:\n{src}");
+    }
+}
+
+#[test]
+fn optimization_reduces_dynamic_instructions() {
+    let mut total0 = 0u64;
+    let mut total1 = 0u64;
+    for (src, args) in PROGRAMS {
+        let m0 = compile(src).expect("compile");
+        let mut m1 = m0.clone();
+        optimize_module(&mut m1);
+        let mut s0 = DynStats::new();
+        Emulator::new(&m0)
+            .run("main", &entry_args(args), &mut s0)
+            .unwrap();
+        let mut s1 = DynStats::new();
+        Emulator::new(&m1)
+            .run("main", &entry_args(args), &mut s1)
+            .unwrap();
+        total0 += s0.insts;
+        total1 += s1.insts;
+    }
+    assert!(
+        total1 < total0,
+        "optimizer should shrink dynamic instruction count ({total1} !< {total0})"
+    );
+}
+
+#[test]
+fn optimization_reduces_branches() {
+    // CFG cleanup must remove the frontend's redundant jumps.
+    let (src, args) = PROGRAMS[0];
+    let m0 = compile(src).unwrap();
+    let mut m1 = m0.clone();
+    optimize_module(&mut m1);
+    let mut s0 = DynStats::new();
+    Emulator::new(&m0).run("main", &entry_args(args), &mut s0).unwrap();
+    let mut s1 = DynStats::new();
+    Emulator::new(&m1).run("main", &entry_args(args), &mut s1).unwrap();
+    assert!(
+        s1.branches < s0.branches,
+        "jump cleanup should reduce dynamic branches ({} !< {})",
+        s1.branches,
+        s0.branches
+    );
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the optimizer: folding must agree with the
+//! emulator's arithmetic on random operands, and the full pipeline must be
+//! meaning-preserving on randomly built straight-line functions.
+
+use hyperpred_emu::{Emulator, NullSink};
+use hyperpred_ir::{CmpOp, FuncBuilder, Module, Op, Operand};
+use proptest::prelude::*;
+
+/// Pure binary integer ops the folder handles.
+const OPS: [Op; 13] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Rem,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::AndNot,
+    Op::OrNot,
+    Op::Shl,
+    Op::Shr,
+    Op::Sra,
+];
+
+fn run_ret(m: &Module, args: &[i64]) -> i64 {
+    Emulator::new(m)
+        .run("main", args, &mut NullSink)
+        .unwrap()
+        .ret
+}
+
+/// Builds `main(x, y) = x op y` (literals folded when `lit` set).
+fn binop_module(op: Op, a: i64, b: i64, literal: bool) -> Module {
+    let mut bld = FuncBuilder::new("main");
+    let x = bld.param();
+    let y = bld.param();
+    let (oa, ob) = if literal {
+        (Operand::Imm(a), Operand::Imm(b))
+    } else {
+        (Operand::Reg(x), Operand::Reg(y))
+    };
+    let r = bld.op2(op, oa, ob);
+    bld.ret(Some(r.into()));
+    let mut m = Module::new();
+    m.push(bld.finish());
+    m.link().unwrap();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Constant folding computes exactly what the emulator computes.
+    #[test]
+    fn fold_matches_emulator(op_idx in 0usize..OPS.len(), a in any::<i64>(), b in any::<i64>()) {
+        let op = OPS[op_idx];
+        // Division by zero traps at runtime and is never folded; skip.
+        prop_assume!(!(matches!(op, Op::Div | Op::Rem) && b == 0));
+        let m_runtime = binop_module(op, a, b, false);
+        let mut m_folded = binop_module(op, a, b, true);
+        hyperpred_opt::optimize_module(&mut m_folded);
+        // After folding, main should be reduced to a constant return.
+        prop_assert_eq!(run_ret(&m_runtime, &[a, b]), run_ret(&m_folded, &[a, b]));
+    }
+
+    /// Comparisons fold identically too.
+    #[test]
+    fn cmp_fold_matches_emulator(cmp_idx in 0usize..6, a in any::<i64>(), b in any::<i64>()) {
+        let cmp = CmpOp::ALL[cmp_idx];
+        let m_runtime = binop_module(Op::Cmp(cmp), a, b, false);
+        let mut m_folded = binop_module(Op::Cmp(cmp), a, b, true);
+        hyperpred_opt::optimize_module(&mut m_folded);
+        prop_assert_eq!(run_ret(&m_runtime, &[a, b]), run_ret(&m_folded, &[a, b]));
+    }
+
+    /// The whole classic pipeline preserves a random expression DAG over
+    /// the two parameters.
+    #[test]
+    fn optimizer_preserves_random_dags(
+        seed in any::<u64>(),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bld = FuncBuilder::new("main");
+        let x = bld.param();
+        let y = bld.param();
+        let mut values: Vec<hyperpred_ir::Reg> = vec![x, y];
+        for _ in 0..r.gen_range(3..24) {
+            let pick = |r: &mut rand::rngs::StdRng, vs: &[hyperpred_ir::Reg]| {
+                if r.gen_bool(0.2) {
+                    Operand::Imm(r.gen_range(-8..8))
+                } else {
+                    Operand::Reg(vs[r.gen_range(0..vs.len())])
+                }
+            };
+            // Avoid div/rem (random divisors can be zero).
+            let safe = [Op::Add, Op::Sub, Op::Mul, Op::And, Op::Or, Op::Xor, Op::Shl, Op::Sra];
+            let op = safe[r.gen_range(0..safe.len())];
+            let oa = pick(&mut r, &values);
+            let ob = pick(&mut r, &values);
+            let d = bld.op2(op, oa, ob);
+            values.push(d);
+        }
+        let last = *values.last().unwrap();
+        bld.ret(Some(last.into()));
+        let mut m = Module::new();
+        m.push(bld.finish());
+        m.link().unwrap();
+        let want = run_ret(&m, &[a, b]);
+        hyperpred_opt::optimize_module(&mut m);
+        m.verify().unwrap();
+        prop_assert_eq!(run_ret(&m, &[a, b]), want);
+    }
+}

@@ -1,0 +1,542 @@
+//! Basic conversions from fully predicated code to conditional-move code
+//! (paper Figures 3 and 4).
+
+use hyperpred_ir::module::SAFE_ADDR;
+use hyperpred_ir::{CmpOp, Function, Inst, Op, Operand, PredReg, PredType, Reg};
+use std::collections::HashMap;
+
+/// Which partial-predication primitive to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialStyle {
+    /// `cmov`/`cmov_com` (the paper's Conditional Move model).
+    #[default]
+    Cmov,
+    /// `select` (Multiflow-style); always writes its destination, which
+    /// removes the read-modify-write output dependence of `cmov`.
+    Select,
+}
+
+/// Conversion configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialConfig {
+    /// Primitive used to conditionally commit results.
+    pub style: PartialStyle,
+    /// Whether the target provides non-excepting (silent) instruction
+    /// forms. True selects the short Fig. 3 sequences; false the longer
+    /// Fig. 4 sequences that guard source operands with `$safe_val` /
+    /// `$safe_addr`.
+    pub nonexcepting: bool,
+    /// Apply the OR-tree height-reduction peephole.
+    pub or_tree: bool,
+}
+
+impl Default for PartialConfig {
+    fn default() -> PartialConfig {
+        PartialConfig {
+            style: PartialStyle::Cmov,
+            nonexcepting: true,
+            or_tree: true,
+        }
+    }
+}
+
+/// Rewrites every predicated instruction of `f` into an equivalent
+/// unpredicated sequence using conditional moves / selects.
+///
+/// # Panics
+/// Panics on predicated calls or returns — hyperblock formation never
+/// produces them (call blocks are excluded from hyperblocks).
+pub fn convert_to_partial(f: &mut Function, config: &PartialConfig) {
+    // Map each predicate register to a general register.
+    let mut pmap: HashMap<PredReg, Reg> = HashMap::new();
+    // Preds that are targets of OR/AND-family defines need explicit
+    // initialization at pred_clear/pred_set points.
+    let mut partial_targets: Vec<PredReg> = Vec::new();
+    for (_, _, inst) in f.insts() {
+        for pd in &inst.pdsts {
+            if pd.ty.is_partial() && !partial_targets.contains(&pd.reg) {
+                partial_targets.push(pd.reg);
+            }
+        }
+    }
+    partial_targets.sort();
+
+    for bi in 0..f.blocks.len() {
+        if f.layout_pos(hyperpred_ir::BlockId(bi as u32)).is_none() {
+            continue;
+        }
+        let old = std::mem::take(&mut f.blocks[bi].insts);
+        let mut out: Vec<Inst> = Vec::with_capacity(old.len());
+        for inst in old {
+            convert_inst(f, inst, config, &mut pmap, &partial_targets, &mut out);
+        }
+        f.blocks[bi].insts = out;
+    }
+}
+
+fn preg(f: &mut Function, pmap: &mut HashMap<PredReg, Reg>, p: PredReg) -> Reg {
+    *pmap.entry(p).or_insert_with(|| f.fresh_reg())
+}
+
+fn push_op2(f: &mut Function, out: &mut Vec<Inst>, op: Op, dst: Reg, a: Operand, b: Operand) {
+    let mut i = f.make_inst(op);
+    i.dst = Some(dst);
+    i.srcs = vec![a, b];
+    out.push(i);
+}
+
+/// Commits `value` into `dst` when `cond` (a 0/1 register) is true,
+/// using the configured primitive.
+fn commit(
+    f: &mut Function,
+    out: &mut Vec<Inst>,
+    style: PartialStyle,
+    dst: Reg,
+    value: Operand,
+    cond: Operand,
+) {
+    match style {
+        PartialStyle::Cmov => {
+            let mut i = f.make_inst(Op::Cmov);
+            i.dst = Some(dst);
+            i.srcs = vec![value, cond];
+            out.push(i);
+        }
+        PartialStyle::Select => {
+            let mut i = f.make_inst(Op::Select);
+            i.dst = Some(dst);
+            i.srcs = vec![value, Operand::Reg(dst), cond];
+            out.push(i);
+        }
+    }
+}
+
+fn convert_inst(
+    f: &mut Function,
+    mut inst: Inst,
+    config: &PartialConfig,
+    pmap: &mut HashMap<PredReg, Reg>,
+    partial_targets: &[PredReg],
+    out: &mut Vec<Inst>,
+) {
+    match inst.op {
+        // ---- predicate file management ---------------------------------
+        Op::PredClear | Op::PredSet => {
+            // Only OR/AND-family targets need explicit initialization; U
+            // predicates are always fully written by their defines.
+            let v = if inst.op == Op::PredClear { 0 } else { 1 };
+            for &p in partial_targets {
+                let r = preg(f, pmap, p);
+                let mut m = f.make_inst(Op::Mov);
+                m.dst = Some(r);
+                m.srcs = vec![Operand::Imm(v)];
+                out.push(m);
+            }
+        }
+        // ---- predicate defines ------------------------------------------
+        Op::PredDef(cmp) | Op::FPredDef(cmp) => {
+            let is_f = matches!(inst.op, Op::FPredDef(_));
+            let guard = inst.guard.map(|g| preg(f, pmap, g));
+            let pdsts = inst.pdsts.clone();
+            for pd in pdsts {
+                let pout = preg(f, pmap, pd.reg);
+                // Comparison (complemented types compare the inverse).
+                let c = if pd.ty.is_complemented() {
+                    cmp.inverse()
+                } else {
+                    cmp
+                };
+                let cop = if is_f { Op::FCmp(c) } else { Op::Cmp(c) };
+                let t = f.fresh_reg();
+                push_op2(f, out, cop, t, inst.srcs[0], inst.srcs[1]);
+                match (pd.ty, guard) {
+                    (PredType::U | PredType::UBar, None) => {
+                        // Pout = cmp  (write directly; drop the temp via a mov)
+                        let mut m = f.make_inst(Op::Mov);
+                        m.dst = Some(pout);
+                        m.srcs = vec![Operand::Reg(t)];
+                        out.push(m);
+                    }
+                    (PredType::U | PredType::UBar, Some(g)) => {
+                        // Pout = Pin & cmp
+                        push_op2(f, out, Op::And, pout, g.into(), t.into());
+                    }
+                    (PredType::Or | PredType::OrBar, g) => {
+                        let term = match g {
+                            Some(g) => {
+                                let t2 = f.fresh_reg();
+                                push_op2(f, out, Op::And, t2, g.into(), t.into());
+                                t2
+                            }
+                            None => t,
+                        };
+                        push_op2(f, out, Op::Or, pout, pout.into(), term.into());
+                    }
+                    (PredType::And | PredType::AndBar, g) => {
+                        // Pout &= (cmp' | !Pin); unguarded: Pout &= cmp'
+                        // where cmp' is true when the predicate is kept.
+                        // For AND type "cleared when Pin && !cmp", keep
+                        // condition is cmp itself (already inverted above
+                        // for AndBar).
+                        let term = match g {
+                            Some(g) => {
+                                let t2 = f.fresh_reg();
+                                push_op2(f, out, Op::OrNot, t2, t.into(), g.into());
+                                t2
+                            }
+                            None => t,
+                        };
+                        push_op2(f, out, Op::And, pout, pout.into(), term.into());
+                    }
+                }
+            }
+        }
+        // ---- control flow ------------------------------------------------
+        Op::Br(c) => match inst.guard.take() {
+            None => out.push(inst),
+            Some(g) => {
+                let g = preg(f, pmap, g);
+                // Fig. 3: `blt src1,src2,label (Pin)` becomes
+                // `ge t,src1,src2 ; blt t,Pin,label` — taken iff the
+                // original condition holds (t = 0) and Pin = 1.
+                let t = f.fresh_reg();
+                push_op2(f, out, Op::Cmp(c.inverse()), t, inst.srcs[0], inst.srcs[1]);
+                let mut br = f.make_inst(Op::Br(CmpOp::Lt));
+                br.srcs = vec![t.into(), g.into()];
+                br.target = inst.target;
+                out.push(br);
+            }
+        },
+        Op::Jump => match inst.guard.take() {
+            None => out.push(inst),
+            Some(g) => {
+                let g = preg(f, pmap, g);
+                let mut br = f.make_inst(Op::Br(CmpOp::Ne));
+                br.srcs = vec![g.into(), Operand::Imm(0)];
+                br.target = inst.target;
+                out.push(br);
+            }
+        },
+        Op::Call | Op::Ret | Op::Halt => {
+            assert!(
+                inst.guard.is_none(),
+                "predicated calls/returns are never generated"
+            );
+            out.push(inst);
+        }
+        // ---- stores -------------------------------------------------------
+        Op::St(w) => match inst.guard.take() {
+            None => out.push(inst),
+            Some(g) => {
+                let g = preg(f, pmap, g);
+                // Compute the address; redirect to $safe_addr when the
+                // predicate is false (Fig. 3).
+                let ta = f.fresh_reg();
+                push_op2(f, out, Op::Add, ta, inst.srcs[0], inst.srcs[1]);
+                let mut redirect = f.make_inst(Op::CmovCom);
+                redirect.dst = Some(ta);
+                redirect.srcs = vec![Operand::Imm(SAFE_ADDR as i64), g.into()];
+                out.push(redirect);
+                let mut st = f.make_inst(Op::St(w));
+                st.srcs = vec![ta.into(), Operand::Imm(0), inst.srcs[2]];
+                out.push(st);
+            }
+        },
+        // ---- conditional moves already in the code -----------------------
+        Op::Cmov | Op::CmovCom | Op::Select => match inst.guard.take() {
+            None => out.push(inst),
+            Some(g) => {
+                // Fold the guard into the condition operand.
+                let g = preg(f, pmap, g);
+                let ci = inst.srcs.len() - 1;
+                let t = f.fresh_reg();
+                if inst.op == Op::CmovCom {
+                    // fires when cond==0: guarded form fires when
+                    // g && cond==0  ==  !( !g || cond )  — compute
+                    // cond' = cond | !g and keep cmov_com.
+                    push_op2(f, out, Op::OrNot, t, inst.srcs[ci], g.into());
+                } else {
+                    push_op2(f, out, Op::And, t, g.into(), inst.srcs[ci]);
+                }
+                inst.srcs[ci] = t.into();
+                out.push(inst);
+            }
+        },
+        // ---- everything else (ALU, compares, loads, moves, fp) -----------
+        _ => match inst.guard.take() {
+            None => out.push(inst),
+            Some(g) => {
+                let g = preg(f, pmap, g);
+                let Some(d) = inst.dst else {
+                    // Guarded nop: drop.
+                    return;
+                };
+                if config.nonexcepting || !inst.op.may_trap() {
+                    // Fig. 3: speculate into a temp, then commit.
+                    let t = f.fresh_reg();
+                    inst.dst = Some(t);
+                    if inst.op.may_trap() {
+                        inst.speculative = true;
+                    }
+                    out.push(inst);
+                    commit(f, out, config.style, d, t.into(), g.into());
+                } else {
+                    // Fig. 4: no silent forms — substitute a safe source so
+                    // the (non-speculative) instruction cannot trap.
+                    match inst.op {
+                        Op::Div | Op::Rem | Op::FDiv => {
+                            // Divisor becomes 1 when the predicate is
+                            // false.
+                            let safe = if inst.op == Op::FDiv {
+                                Operand::fimm(1.0)
+                            } else {
+                                Operand::Imm(1)
+                            };
+                            let ts = f.fresh_reg();
+                            let mut m = f.make_inst(Op::Mov);
+                            m.dst = Some(ts);
+                            m.srcs = vec![inst.srcs[1]];
+                            out.push(m);
+                            let mut c = f.make_inst(Op::CmovCom);
+                            c.dst = Some(ts);
+                            c.srcs = vec![safe, g.into()];
+                            out.push(c);
+                            let t = f.fresh_reg();
+                            let mut op = f.make_inst(inst.op);
+                            op.dst = Some(t);
+                            op.srcs = vec![inst.srcs[0], ts.into()];
+                            out.push(op);
+                            commit(f, out, config.style, d, t.into(), g.into());
+                        }
+                        Op::Ld(w) => {
+                            // Address becomes $safe_addr when false.
+                            let ta = f.fresh_reg();
+                            push_op2(f, out, Op::Add, ta, inst.srcs[0], inst.srcs[1]);
+                            let mut c = f.make_inst(Op::CmovCom);
+                            c.dst = Some(ta);
+                            c.srcs = vec![Operand::Imm(SAFE_ADDR as i64), g.into()];
+                            out.push(c);
+                            let t = f.fresh_reg();
+                            let mut ld = f.make_inst(Op::Ld(w));
+                            ld.dst = Some(t);
+                            ld.srcs = vec![ta.into(), Operand::Imm(0)];
+                            out.push(ld);
+                            commit(f, out, config.style, d, t.into(), g.into());
+                        }
+                        _ => unreachable!("may_trap covers div/rem/fdiv/load"),
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_fully_converted;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_ir::{FuncBuilder, MemWidth, Module};
+
+    fn run_module(m: &Module, args: &[i64]) -> i64 {
+        let mut emu = Emulator::new(m);
+        emu.run("main", args, &mut NullSink).unwrap().ret
+    }
+
+    /// Builds: p,q = (x == 0) and complement; y = p ? 10 : 20.
+    fn diamond() -> Module {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let y = b.mov(Operand::Imm(0));
+        b.mov_to(y, Operand::Imm(10));
+        b.guard_last(p);
+        b.mov_to(y, Operand::Imm(20));
+        b.guard_last(q);
+        b.ret(Some(y.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        m
+    }
+
+    #[test]
+    fn diamond_converts_and_matches() {
+        for style in [PartialStyle::Cmov, PartialStyle::Select] {
+            let m0 = diamond();
+            let mut m1 = m0.clone();
+            let config = PartialConfig {
+                style,
+                ..PartialConfig::default()
+            };
+            convert_to_partial(&mut m1.funcs[0], &config);
+            m1.verify().unwrap();
+            assert!(is_fully_converted(&m1.funcs[0]), "{}", m1.funcs[0]);
+            for x in [0, 5] {
+                assert_eq!(run_module(&m0, &[x]), run_module(&m1, &[x]), "style {style:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_store_redirects_to_safe_addr() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let addr = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.store(MemWidth::Word, addr.into(), Operand::Imm(0), Operand::Imm(42));
+        b.guard_last(p);
+        let v = b.load(MemWidth::Word, addr.into(), Operand::Imm(0));
+        b.ret(Some(v.into()));
+        let mut m = Module::new();
+        let g = m.add_global("slot", 8, vec![]);
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        let mut m1 = m;
+        convert_to_partial(&mut m1.funcs[0], &PartialConfig::default());
+        m1.verify().unwrap();
+        for x in [0, 1] {
+            assert_eq!(
+                run_module(&m0, &[x, g as i64]),
+                run_module(&m1, &[x, g as i64]),
+                "x={x}"
+            );
+        }
+        // The converted code must contain a store through a cmov_com'd
+        // address, never a guarded store.
+        assert!(is_fully_converted(&m1.funcs[0]));
+        assert!(m1.funcs[0]
+            .insts()
+            .any(|(_, _, i)| i.op == Op::CmovCom));
+    }
+
+    #[test]
+    fn or_type_define_becomes_or_chain() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        b.pred_clear();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(0));
+        b.mov_to(out, Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        let mut m1 = m;
+        convert_to_partial(&mut m1.funcs[0], &PartialConfig::default());
+        m1.verify().unwrap();
+        for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert_eq!(run_module(&m0, &[x, y]), run_module(&m1, &[x, y]));
+        }
+        let ors = m1.funcs[0]
+            .insts()
+            .filter(|(_, _, i)| i.op == Op::Or)
+            .count();
+        assert_eq!(ors, 2, "each OR define deposits with a logical or");
+    }
+
+    #[test]
+    fn guarded_branch_uses_figure3_encoding() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        let target = b.block();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.br(CmpOp::Lt, y.into(), Operand::Imm(10), target);
+        b.guard_last(p);
+        b.ret(Some(Operand::Imm(1)));
+        b.switch_to(target);
+        b.ret(Some(Operand::Imm(2)));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        let mut m1 = m;
+        convert_to_partial(&mut m1.funcs[0], &PartialConfig::default());
+        m1.verify().unwrap();
+        for (x, y) in [(0, 5), (0, 15), (1, 5), (1, 15)] {
+            assert_eq!(run_module(&m0, &[x, y]), run_module(&m1, &[x, y]));
+        }
+    }
+
+    #[test]
+    fn excepting_conversion_guards_divisor_and_address() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let d = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], d.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(-1));
+        let q = b.op2(Op::Div, x.into(), d.into());
+        b.guard_last(p);
+        b.mov_to(out, q.into());
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        let mut m1 = m.clone();
+        let config = PartialConfig {
+            nonexcepting: false,
+            ..PartialConfig::default()
+        };
+        convert_to_partial(&mut m1.funcs[0], &config);
+        m1.verify().unwrap();
+        // d = 0 would trap a plain div; the Fig. 4 sequence must not trap
+        // and must match the predicated original.
+        for (x, d) in [(10, 2), (10, 0)] {
+            assert_eq!(run_module(&m0, &[x, d]), run_module(&m1, &[x, d]));
+        }
+        // No speculative (silent) instructions may be emitted.
+        assert!(m1.funcs[0].insts().all(|(_, _, i)| !i.speculative));
+    }
+
+    #[test]
+    fn pred_clear_initializes_only_partial_targets() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let p = b.fresh_pred(); // OR target
+        let q = b.fresh_pred(); // U target
+        b.pred_clear();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        b.pred_def(CmpOp::Ne, &[(q, PredType::U)], x.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(0));
+        b.mov_to(out, Operand::Imm(1));
+        b.guard_last(p);
+        b.mov_to(out, Operand::Imm(2));
+        b.guard_last(q);
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let mut m1 = m.clone();
+        convert_to_partial(&mut m1.funcs[0], &PartialConfig::default());
+        // Exactly one `mov <preg>, 0` from the pred_clear (for p only).
+        let init_movs = m1.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .take_while(|i| i.op == Op::Mov)
+            .count();
+        assert_eq!(init_movs, 1);
+        for x in [0, 3] {
+            assert_eq!(run_module(&m, &[x]), run_module(&m1, &[x]));
+        }
+    }
+}

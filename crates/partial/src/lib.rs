@@ -1,0 +1,58 @@
+//! Full-to-partial predication conversion (paper §3.2).
+//!
+//! The compiler keeps a *fully predicated* IR through hyperblock formation
+//! regardless of the target. For a target with only partial support
+//! (conditional moves / selects), this crate rewrites every predicated
+//! instruction into an equivalent unpredicated sequence:
+//!
+//! 1. **Predicate promotion** (in `hyperpred-hyperblock`) runs first so
+//!    fewer guarded instructions remain.
+//! 2. **Basic conversions** ([`convert`]) — each remaining predicated
+//!    instruction becomes speculation into a temporary plus a
+//!    `cmov`/`cmov_com` (Fig. 3; or the longer Fig. 4 sequences when the
+//!    target lacks non-excepting instructions). Predicate registers become
+//!    general registers; predicate defines become compare/and/or sequences.
+//! 3. **Peephole optimization** ([`peephole`]) — comparison CSE and
+//!    inversion elimination, the classic clean-ups, and OR-tree height
+//!    reduction ([`ortree`], giving the `log2(n)` dependence height the
+//!    paper describes in §3.2).
+
+pub mod convert;
+pub mod ortree;
+pub mod peephole;
+
+pub use convert::{convert_to_partial, PartialConfig, PartialStyle};
+
+use hyperpred_ir::{Function, Module};
+
+/// Converts one function to partial predication and cleans it up.
+pub fn to_partial(f: &mut Function, config: &PartialConfig) {
+    convert::convert_to_partial(f, config);
+    peephole::run(f, config);
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "partial conversion broke {}: {:?}",
+        f.name,
+        hyperpred_ir::verify::verify_function(f).err()
+    );
+}
+
+/// Converts every function in a module.
+pub fn to_partial_module(m: &mut Module, config: &PartialConfig) {
+    for f in &mut m.funcs {
+        to_partial(f, config);
+    }
+}
+
+/// True when the function contains no remnants of full predication
+/// (no guards, no predicate defines, no `pred_clear`/`pred_set`).
+pub fn is_fully_converted(f: &Function) -> bool {
+    f.insts().all(|(_, _, i)| {
+        i.guard.is_none()
+            && i.pdsts.is_empty()
+            && !matches!(
+                i.op,
+                hyperpred_ir::Op::PredClear | hyperpred_ir::Op::PredSet
+            )
+    })
+}

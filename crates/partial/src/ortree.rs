@@ -1,0 +1,241 @@
+//! OR-tree height reduction (paper §3.2).
+//!
+//! With full predicate support, OR-type defines to the same predicate can
+//! all issue in the same cycle (wired-OR). After conversion to partial
+//! predication they become a *sequential* chain
+//!
+//! ```text
+//! or a, a, t1
+//! or a, a, t2
+//! or a, a, t3
+//! ...
+//! ```
+//!
+//! with dependence height `n`. Associativity lets us rebuild the reduction
+//! as a balanced tree of height `ceil(log2(n+1))`, which is what makes the
+//! conditional-move model competitive on branch-merge code like the
+//! paper's `grep` example.
+
+use hyperpred_ir::{Function, Inst, Op, Operand, Reg};
+
+/// Balances every accumulator chain of `or`/`and` instructions in every
+/// block. Returns the number of chains rebuilt.
+pub fn run(f: &mut Function) -> usize {
+    let mut rebuilt = 0;
+    for bi in 0..f.blocks.len() {
+        if f.layout_pos(hyperpred_ir::BlockId(bi as u32)).is_none() {
+            continue;
+        }
+        loop {
+            let insts = std::mem::take(&mut f.blocks[bi].insts);
+            match rebuild_one(f, insts) {
+                Ok(new) => {
+                    f.blocks[bi].insts = new;
+                    rebuilt += 1;
+                }
+                Err(old) => {
+                    f.blocks[bi].insts = old;
+                    break;
+                }
+            }
+        }
+    }
+    rebuilt
+}
+
+/// A link `op a, a, t` of an accumulator chain.
+fn chain_link(inst: &Inst, acc: Reg, op: Op) -> Option<Operand> {
+    if inst.op == op
+        && inst.guard.is_none()
+        && inst.dst == Some(acc)
+        && inst.srcs[0] == Operand::Reg(acc)
+        && inst.srcs[1] != Operand::Reg(acc)
+    {
+        Some(inst.srcs[1])
+    } else {
+        None
+    }
+}
+
+/// Finds one chain of length ≥ 3 and rebuilds it balanced; `Err` returns
+/// the block unchanged when there is nothing to do.
+fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst>> {
+    for op in [Op::Or, Op::And] {
+        for start in 0..insts.len() {
+            let Some(acc) = insts[start].dst else { continue };
+            if chain_link(&insts[start], acc, op).is_none() {
+                continue;
+            }
+            // Extend the chain: links may be separated by instructions that
+            // neither read nor write the accumulator and are not exits
+            // (we must not move a term computation across an exit branch —
+            // conservatively, links must be contiguous up to independent
+            // non-branch instructions).
+            let mut terms = Vec::new();
+            let mut links = Vec::new();
+            let mut i = start;
+            while i < insts.len() {
+                if let Some(t) = chain_link(&insts[i], acc, op) {
+                    terms.push(t);
+                    links.push(i);
+                    i += 1;
+                    continue;
+                }
+                let inst = &insts[i];
+                let touches_acc = inst.src_regs().any(|r| r == acc)
+                    || inst.dst == Some(acc)
+                    || inst.is_exit();
+                // Terms must also not be redefined between their link and
+                // the chain end; requiring "does not define any term
+                // register" keeps it safe.
+                let defines_term = inst
+                    .dst
+                    .is_some_and(|d| terms.contains(&Operand::Reg(d)));
+                if touches_acc || defines_term {
+                    break;
+                }
+                i += 1;
+            }
+            if links.len() < 3 {
+                continue;
+            }
+            // Rebuild: a balanced tree over `terms`, then one final
+            // `op acc, acc, tree` at the position of the last link.
+            let mut out = Vec::with_capacity(insts.len() + terms.len());
+            let last_link = *links.last().unwrap();
+            for (j, inst) in insts.iter().enumerate() {
+                if links.contains(&j) {
+                    continue;
+                }
+                out.push(inst.clone());
+            }
+            // Insertion index: after all retained instructions that
+            // originally preceded the last link.
+            let before_last = insts[..last_link]
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !links.contains(j))
+                .count();
+            let mut tree: Vec<Operand> = terms.clone();
+            let mut emitted: Vec<Inst> = Vec::new();
+            while tree.len() > 1 {
+                let mut next = Vec::with_capacity(tree.len().div_ceil(2));
+                for pair in tree.chunks(2) {
+                    if pair.len() == 2 {
+                        let t = f.fresh_reg();
+                        let mut n = f.make_inst(op);
+                        n.dst = Some(t);
+                        n.srcs = vec![pair[0], pair[1]];
+                        emitted.push(n);
+                        next.push(Operand::Reg(t));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                tree = next;
+            }
+            let mut fin = f.make_inst(op);
+            fin.dst = Some(acc);
+            fin.srcs = vec![Operand::Reg(acc), tree[0]];
+            emitted.push(fin);
+            let tail = out.split_off(before_last);
+            out.extend(emitted);
+            out.extend(tail);
+            return Ok(out);
+        }
+    }
+    Err(insts)
+}
+
+/// Longest sequential dependence chain through `or`/`and` accumulators in
+/// a block — a cheap proxy for checking height reduction in tests.
+pub fn acc_chain_height(f: &Function, block: hyperpred_ir::BlockId, acc: Reg) -> usize {
+    f.block(block)
+        .insts
+        .iter()
+        .filter(|i| i.dst == Some(acc) && i.srcs.first() == Some(&Operand::Reg(acc)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_ir::{FuncBuilder, Module};
+
+    /// acc = x0|x1|...|x5 via a sequential chain.
+    fn chain_module(n: usize) -> (Module, Reg) {
+        let mut b = FuncBuilder::new("main");
+        let seed = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let mut xs = Vec::new();
+        for k in 0..n {
+            // xk = (seed >> k) & 1
+            let sh = b.op2(Op::Shr, seed.into(), Operand::Imm(k as i64));
+            let bit = b.op2(Op::And, sh.into(), Operand::Imm(1));
+            xs.push(bit);
+        }
+        for &x in &xs {
+            b.op2_to(Op::Or, acc, acc.into(), x.into());
+        }
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        (m, acc)
+    }
+
+    #[test]
+    fn balances_and_preserves_value() {
+        let (m0, acc) = chain_module(6);
+        let mut m1 = m0.clone();
+        let rebuilt = run(&mut m1.funcs[0]);
+        assert!(rebuilt >= 1);
+        m1.verify().unwrap();
+        let entry = m1.funcs[0].entry();
+        assert_eq!(
+            acc_chain_height(&m1.funcs[0], entry, acc),
+            1,
+            "chain through acc collapses to a single deposit:\n{}",
+            m1.funcs[0]
+        );
+        for seed in [0i64, 1, 0b100000, 0b111111, 37] {
+            let r0 = Emulator::new(&m0).run("main", &[seed], &mut NullSink).unwrap().ret;
+            let r1 = Emulator::new(&m1).run("main", &[seed], &mut NullSink).unwrap().ret;
+            assert_eq!(r0, r1, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn short_chains_are_left_alone() {
+        let (mut m, _) = chain_module(2);
+        assert_eq!(run(&mut m.funcs[0]), 0);
+    }
+
+    #[test]
+    fn does_not_cross_exit_branches() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let exit = b.block();
+        b.op2_to(Op::Or, acc, acc.into(), Operand::Imm(1));
+        b.br(hyperpred_ir::CmpOp::Eq, x.into(), Operand::Imm(0), exit);
+        b.op2_to(Op::Or, acc, acc.into(), Operand::Imm(2));
+        b.op2_to(Op::Or, acc, acc.into(), Operand::Imm(4));
+        b.op2_to(Op::Or, acc, acc.into(), Operand::Imm(8));
+        b.ret(Some(acc.into()));
+        b.switch_to(exit);
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        run(&mut m.funcs[0]);
+        m.verify().unwrap();
+        for x in [0, 1] {
+            let r0 = Emulator::new(&m0).run("main", &[x], &mut NullSink).unwrap().ret;
+            let r1 = Emulator::new(&m).run("main", &[x], &mut NullSink).unwrap().ret;
+            assert_eq!(r0, r1);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Peephole clean-up after the basic conversions (paper §3.2).
+//!
+//! The basic conversions handle each instruction independently and leave
+//! redundancy behind:
+//!
+//! * duplicate comparisons (each predicate define emitted its own) — the
+//!   classic CSE in `hyperpred-opt` removes the identical ones;
+//! * *complementary* comparisons — [`invert_comparisons`] rewrites all
+//!   invertible uses of one onto the other (`cmov` ↔ `cmov_com`, `select`
+//!   arm swap) so dead-code elimination can delete it;
+//! * sequential OR chains from OR-type defines — rebuilt as balanced trees
+//!   by [`crate::ortree`].
+
+use crate::convert::PartialConfig;
+use hyperpred_ir::{Function, Op, Operand, Reg};
+use std::collections::HashMap;
+
+/// Runs the whole post-conversion peephole pipeline.
+pub fn run(f: &mut Function, config: &PartialConfig) {
+    hyperpred_opt::optimize(f);
+    if invert_comparisons(f) {
+        hyperpred_opt::optimize(f);
+    }
+    if config.or_tree {
+        crate::ortree::run(f);
+        hyperpred_opt::optimize(f);
+    }
+}
+
+/// Finds pairs of complementary comparisons in a block and rewrites the
+/// uses of the second onto the first, when every use is invertible.
+/// Returns true on change.
+pub fn invert_comparisons(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        if f.layout_pos(hyperpred_ir::BlockId(bi as u32)).is_none() {
+            continue;
+        }
+        let insts = &mut f.blocks[bi].insts;
+        // Map (cmp, srcs) -> dst for unguarded comparisons, tracked
+        // forward; a redefinition of any involved register invalidates.
+        // For simplicity (and because converted hyperblocks define each
+        // temp once), restrict to registers defined exactly once in the
+        // block.
+        let mut def_count: HashMap<Reg, usize> = HashMap::new();
+        for i in insts.iter() {
+            if let Some(d) = i.dst {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
+        }
+        // Parameters have zero in-block definitions and are stable too.
+        let stable = |r: Reg| def_count.get(&r).copied().unwrap_or(0) <= 1;
+
+        // Collect comparisons with stable sources and a single-def dest.
+        let mut cmps: Vec<(usize, hyperpred_ir::CmpOp, Vec<Operand>, Reg)> = Vec::new();
+        for (idx, i) in insts.iter().enumerate() {
+            if let Op::Cmp(c) = i.op {
+                if i.guard.is_none() {
+                    let d = i.dst.unwrap();
+                    let srcs_ok = i.src_regs().all(stable);
+                    if def_count.get(&d).copied() == Some(1) && srcs_ok {
+                        cmps.push((idx, c, i.srcs.clone(), d));
+                    }
+                }
+            }
+        }
+        // Find complementary pairs (first wins; second's uses rewritten).
+        for a in 0..cmps.len() {
+            for b in (a + 1)..cmps.len() {
+                let (ia, ca, sa, da) = (&cmps[a].0, cmps[a].1, &cmps[a].2, cmps[a].3);
+                let (_ib, cb, sb, db) = (&cmps[b].0, cmps[b].1, &cmps[b].2, cmps[b].3);
+                if sa != sb || cb != ca.inverse() || da == db {
+                    continue;
+                }
+                // Every use of db must be invertible.
+                let uses: Vec<usize> = insts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, i)| i.src_regs().any(|r| r == db))
+                    .map(|(j, _)| j)
+                    .collect();
+                // Only *truthiness* positions are invertible on a 64-bit
+                // register file: `cmov`/`select` conditions test `!= 0`.
+                // (The paper's `and_not`/`or_not` flips assume 1-bit
+                // predicate values; bitwise complement of a 0/1 register is
+                // not value-exact, e.g. `or_not x, 0` yields -1, so we do
+                // not flip logical ops.)
+                let all_invertible = uses.iter().all(|&j| {
+                    let i = &insts[j];
+                    match i.op {
+                        Op::Cmov | Op::CmovCom => {
+                            i.srcs[1] == Operand::Reg(db) && i.srcs[0] != Operand::Reg(db)
+                        }
+                        Op::Select => {
+                            i.srcs[2] == Operand::Reg(db)
+                                && i.srcs[0] != Operand::Reg(db)
+                                && i.srcs[1] != Operand::Reg(db)
+                        }
+                        _ => false,
+                    }
+                });
+                if !all_invertible || uses.is_empty() {
+                    continue;
+                }
+                // The replacement register must be defined before every use.
+                if uses.iter().any(|&j| j < *ia) {
+                    continue;
+                }
+                for &j in &uses {
+                    let i = &mut insts[j];
+                    match i.op {
+                        Op::Cmov => {
+                            i.op = Op::CmovCom;
+                            i.srcs[1] = Operand::Reg(da);
+                        }
+                        Op::CmovCom => {
+                            i.op = Op::Cmov;
+                            i.srcs[1] = Operand::Reg(da);
+                        }
+                        Op::Select => {
+                            i.srcs.swap(0, 1);
+                            i.srcs[2] = Operand::Reg(da);
+                        }
+                        _ => unreachable!("checked invertible"),
+                    }
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_emu::{Emulator, NullSink};
+    use hyperpred_ir::{CmpOp, FuncBuilder, Module};
+
+    fn run_main(m: &Module, args: &[i64]) -> i64 {
+        Emulator::new(m).run("main", args, &mut NullSink).unwrap().ret
+    }
+
+    #[test]
+    fn complementary_compare_is_eliminated() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let c1 = b.cmp(CmpOp::Lt, x.into(), Operand::Imm(10));
+        let c2 = b.cmp(CmpOp::Ge, x.into(), Operand::Imm(10));
+        let out = b.mov(Operand::Imm(0));
+        b.cmov(out, Operand::Imm(1), c1.into());
+        b.cmov(out, Operand::Imm(2), c2.into());
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        assert!(invert_comparisons(&mut m.funcs[0]));
+        hyperpred_opt::optimize(&mut m.funcs[0]);
+        // Only one comparison should remain.
+        let n = m.funcs[0]
+            .insts()
+            .filter(|(_, _, i)| matches!(i.op, Op::Cmp(_)))
+            .count();
+        assert_eq!(n, 1, "{}", m.funcs[0]);
+        for x in [5, 15] {
+            assert_eq!(run_main(&m0, &[x]), run_main(&m, &[x]));
+        }
+    }
+
+    #[test]
+    fn logical_op_uses_are_not_flipped() {
+        // `or x, c` -> `or_not x, c'` is not value-exact on a 64-bit
+        // register file (bitwise complement of 0 is -1), so logical uses
+        // must block the rewrite.
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let g = b.param();
+        let _c1 = b.cmp(CmpOp::Eq, x.into(), Operand::Imm(0));
+        let c2 = b.cmp(CmpOp::Ne, x.into(), Operand::Imm(0));
+        let o = b.op2(Op::Or, g.into(), c2.into());
+        b.ret(Some(o.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        assert!(!invert_comparisons(&mut m.funcs[0]));
+    }
+
+    #[test]
+    fn select_condition_flips_and_swaps_arms() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let c1 = b.cmp(CmpOp::Lt, x.into(), Operand::Imm(0));
+        let c2 = b.cmp(CmpOp::Ge, x.into(), Operand::Imm(0));
+        let s = b.select(Operand::Imm(10), Operand::Imm(20), c2.into());
+        b.ret(Some(s.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        assert!(invert_comparisons(&mut m.funcs[0]));
+        let _ = c1;
+        m.verify().unwrap();
+        for x in [-5, 5] {
+            assert_eq!(run_main(&m0, &[x]), run_main(&m, &[x]));
+        }
+    }
+
+    #[test]
+    fn non_invertible_use_blocks_the_rewrite() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let _c1 = b.cmp(CmpOp::Eq, x.into(), Operand::Imm(0));
+        let c2 = b.cmp(CmpOp::Ne, x.into(), Operand::Imm(0));
+        // c2 used as an addend: not invertible.
+        let s = b.add(c2.into(), Operand::Imm(5));
+        b.ret(Some(s.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        assert!(!invert_comparisons(&mut m.funcs[0]));
+    }
+}

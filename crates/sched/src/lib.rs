@@ -1,0 +1,21 @@
+//! VLIW machine model and list scheduler.
+//!
+//! The paper evaluates in-order `k`-issue processors with a separate branch
+//! issue limit and HP PA-7100 latencies. This crate provides:
+//!
+//! * [`MachineConfig`]/[`Latencies`] — the machine description;
+//! * [`schedule_function`] — a dependence-DAG list scheduler that assigns
+//!   an issue cycle to every instruction and physically reorders each
+//!   block into issue order (so the emulator executes exactly the
+//!   scheduled code), performing speculative upward code motion of silent
+//!   instructions past exit branches and exploiting predicate-specific
+//!   freedoms (wired-OR defines, complementary conditional moves).
+//!
+//! Cycle accounting against the schedule (plus caches and branch
+//! prediction) happens in `hyperpred-sim`.
+
+pub mod machine;
+pub mod sched;
+
+pub use machine::{Latencies, MachineConfig};
+pub use sched::{schedule_block, schedule_function, schedule_module, BlockSchedule};

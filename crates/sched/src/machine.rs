@@ -1,0 +1,129 @@
+//! The machine model: issue resources and instruction latencies.
+
+use hyperpred_ir::Op;
+
+/// Instruction latencies, modelled on the HP PA-7100 (the paper §4.1 uses
+/// PA-7100 latencies).
+#[derive(Debug, Clone, Copy)]
+pub struct Latencies {
+    /// Integer ALU / logical / compare.
+    pub int_alu: u32,
+    /// Integer multiply.
+    pub mul: u32,
+    /// Integer divide.
+    pub div: u32,
+    /// Load (cache hit).
+    pub load: u32,
+    /// FP add/sub and conversions.
+    pub fp_add: u32,
+    /// FP multiply.
+    pub fp_mul: u32,
+    /// FP divide.
+    pub fp_div: u32,
+    /// Branches, jumps, calls.
+    pub branch: u32,
+    /// Predicate define to guarded-use distance. 1 models suppression at
+    /// the decode/issue stage (the paper's simulated model); 0 models
+    /// suppression at write-back.
+    pub pred_def: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            int_alu: 1,
+            mul: 3,
+            div: 10,
+            load: 2,
+            fp_add: 2,
+            fp_mul: 2,
+            fp_div: 8,
+            branch: 1,
+            pred_def: 1,
+        }
+    }
+}
+
+impl Latencies {
+    /// Result latency of `op` (cycles until a dependent instruction may
+    /// issue).
+    pub fn of(&self, op: Op) -> u32 {
+        match op {
+            Op::Mul => self.mul,
+            Op::Div | Op::Rem => self.div,
+            Op::Ld(_) => self.load,
+            Op::FAdd | Op::FSub | Op::IToF | Op::FToI => self.fp_add,
+            Op::FMul => self.fp_mul,
+            Op::FDiv => self.fp_div,
+            Op::FCmp(_) => self.fp_add,
+            Op::Br(_) | Op::Jump | Op::Call | Op::Ret | Op::Halt => self.branch,
+            Op::PredDef(_) | Op::FPredDef(_) | Op::PredClear | Op::PredSet => self.pred_def,
+            _ => self.int_alu,
+        }
+    }
+}
+
+/// Issue-stage configuration of the simulated processor.
+///
+/// The paper's machines issue `k` instructions of any type per cycle,
+/// except branches, which are limited separately (`branches_per_cycle`).
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Branch-class instructions (branch/jump/call/return) per cycle.
+    pub branches_per_cycle: u32,
+    /// Latency table.
+    pub latency: Latencies,
+}
+
+impl MachineConfig {
+    /// A `k`-issue, `b`-branch machine with default latencies.
+    pub fn new(issue_width: u32, branches_per_cycle: u32) -> MachineConfig {
+        assert!(issue_width >= 1 && branches_per_cycle >= 1);
+        MachineConfig {
+            issue_width,
+            branches_per_cycle,
+            latency: Latencies::default(),
+        }
+    }
+
+    /// The paper's scalar baseline: 1-issue, 1-branch.
+    pub fn one_issue() -> MachineConfig {
+        MachineConfig::new(1, 1)
+    }
+
+    /// True when `op` consumes a branch slot.
+    pub fn is_branch_class(op: Op) -> bool {
+        matches!(op, Op::Br(_) | Op::Jump | Op::Call | Op::Ret | Op::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, MemWidth};
+
+    #[test]
+    fn default_latencies_shape() {
+        let l = Latencies::default();
+        assert_eq!(l.of(Op::Add), 1);
+        assert_eq!(l.of(Op::Ld(MemWidth::Word)), 2);
+        assert!(l.of(Op::Div) > l.of(Op::Mul));
+        assert!(l.of(Op::FDiv) > l.of(Op::FMul));
+        assert_eq!(l.of(Op::PredDef(CmpOp::Eq)), 1);
+    }
+
+    #[test]
+    fn branch_class() {
+        assert!(MachineConfig::is_branch_class(Op::Br(CmpOp::Eq)));
+        assert!(MachineConfig::is_branch_class(Op::Call));
+        assert!(!MachineConfig::is_branch_class(Op::Cmov));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_issue_is_rejected() {
+        MachineConfig::new(0, 1);
+    }
+}

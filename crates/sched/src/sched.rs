@@ -1,0 +1,636 @@
+//! The list scheduler.
+//!
+//! Scheduling is per block (superblocks and hyperblocks are single blocks,
+//! so the region *is* the scheduling scope). The scheduler:
+//!
+//! * builds a dependence DAG (register flow/anti/output, predicate
+//!   flow/anti, memory ordering, control ordering);
+//! * exploits predication: OR-type predicate defines to the same register
+//!   commute (wired-OR, issuable in the same cycle), and conditional moves
+//!   with complementary conditions may share a cycle;
+//! * performs **speculative upward code motion**: a silent instruction may
+//!   hoist above an exit branch when its destination is dead at the branch
+//!   target (general percolation for the superblock baseline);
+//! * list-schedules by critical-path priority under the issue-width and
+//!   branch-slot limits of the [`MachineConfig`].
+//!
+//! The block's instructions are physically reordered into issue order and
+//! each instruction's [`Inst::cycle`] is set, so the emulator executes the
+//! scheduled code directly and the timing simulator can charge cycles.
+
+use crate::machine::MachineConfig;
+use hyperpred_ir::liveness::Liveness;
+use hyperpred_ir::{BlockId, Cfg, Function, Inst, Module, Op};
+use std::collections::HashMap;
+
+/// Summary of one block's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSchedule {
+    /// Total schedule length in cycles (max issue cycle + 1).
+    pub len: u32,
+}
+
+/// Schedules every block of every function in `m`.
+pub fn schedule_module(m: &mut Module, config: &MachineConfig) {
+    for f in &mut m.funcs {
+        schedule_function(f, config);
+    }
+}
+
+/// Schedules every block of `f`, reordering instructions into issue order
+/// and assigning [`Inst::cycle`].
+pub fn schedule_function(f: &mut Function, config: &MachineConfig) {
+    let cfg = Cfg::new(f);
+    let lv = Liveness::compute(f, &cfg);
+    for &b in &f.layout.clone() {
+        schedule_block(f, b, &lv, config);
+    }
+    debug_assert!(
+        hyperpred_ir::verify::verify_function(f).is_ok(),
+        "scheduler broke {}",
+        f.name
+    );
+}
+
+/// Dependence edge: `to` may issue no earlier than `cycle(from) + delay`.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    delay: u32,
+}
+
+/// Schedules a single block.
+pub fn schedule_block(
+    f: &mut Function,
+    b: BlockId,
+    lv: &Liveness,
+    config: &MachineConfig,
+) -> BlockSchedule {
+    let insts = std::mem::take(&mut f.block_mut(b).insts);
+    let n = insts.len();
+    if n == 0 {
+        f.block_mut(b).insts = insts;
+        return BlockSchedule { len: 0 };
+    }
+    let succs: Vec<(usize, Vec<Edge>)> = build_dag(f, &insts, lv, config);
+    let mut preds_left: Vec<usize> = vec![0; n];
+    for (_, edges) in &succs {
+        for e in edges {
+            preds_left[e.to] += 1;
+        }
+    }
+    // Critical-path priority (longest path to any leaf).
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        for e in &succs[i].1 {
+            height[i] = height[i].max(e.delay + height[e.to]);
+        }
+    }
+
+    // earliest[i]: lower bound on issue cycle from scheduled predecessors.
+    let mut earliest = vec![0u32; n];
+    let mut scheduled: Vec<Option<u32>> = vec![None; n];
+    let mut unscheduled = n;
+    let mut cycle = 0u32;
+    while unscheduled > 0 {
+        let mut slots = config.issue_width;
+        let mut branch_slots = config.branches_per_cycle;
+        // Ready list for this cycle, by priority then original order.
+        loop {
+            let mut ready: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    scheduled[i].is_none() && preds_left[i] == 0 && earliest[i] <= cycle
+                })
+                .collect();
+            if ready.is_empty() || slots == 0 {
+                break;
+            }
+            ready.sort_by_key(|&i| (std::cmp::Reverse(height[i]), i));
+            let mut placed_any = false;
+            for i in ready {
+                if slots == 0 {
+                    break;
+                }
+                let is_br = MachineConfig::is_branch_class(insts[i].op);
+                if is_br && branch_slots == 0 {
+                    continue;
+                }
+                scheduled[i] = Some(cycle);
+                unscheduled -= 1;
+                slots -= 1;
+                if is_br {
+                    branch_slots -= 1;
+                }
+                placed_any = true;
+                for e in &succs[i].1 {
+                    preds_left[e.to] -= 1;
+                    earliest[e.to] = earliest[e.to].max(cycle + e.delay);
+                }
+            }
+            if !placed_any {
+                break;
+            }
+        }
+        cycle += 1;
+    }
+
+    // Reorder: (cycle, original index) keeps same-cycle instructions in
+    // original relative order, which preserves sequential-execution
+    // semantics for delay-0 dependences.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (scheduled[i].unwrap(), i));
+    let mut len = 0;
+    let mut out: Vec<Inst> = Vec::with_capacity(n);
+    // Mark trap-capable instructions that were hoisted above a branch as
+    // silent: on the taken path they now execute where they previously did
+    // not.
+    let cycles: Vec<u32> = (0..n).map(|i| scheduled[i].unwrap()).collect();
+    for &i in &order {
+        let mut inst = insts[i].clone();
+        inst.cycle = cycles[i];
+        len = len.max(cycles[i] + 1);
+        out.push(inst);
+    }
+    for bi in 0..n {
+        if !MachineConfig::is_branch_class(insts[bi].op) {
+            continue;
+        }
+        for i in bi + 1..n {
+            // Strictly earlier cycle = textually hoisted above the branch
+            // (same-cycle instructions keep their original order and are
+            // squashed on the taken path).
+            if cycles[i] < cycles[bi] && insts[i].op.may_trap() {
+                // Find it in `out` and silence it.
+                let pos = out
+                    .iter()
+                    .position(|x| x.id == insts[i].id)
+                    .expect("instruction present");
+                out[pos].speculative = true;
+            }
+        }
+    }
+    f.block_mut(b).insts = out;
+    BlockSchedule { len }
+}
+
+/// Builds the dependence DAG. Edges always point from a smaller original
+/// index to a larger one.
+fn build_dag(
+    _f: &Function,
+    insts: &[Inst],
+    lv: &Liveness,
+    config: &MachineConfig,
+) -> Vec<(usize, Vec<Edge>)> {
+    let n = insts.len();
+    let lat = &config.latency;
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let add = |from: usize, to: usize, delay: u32, edges: &mut Vec<Vec<Edge>>| {
+        debug_assert!(from < to);
+        edges[from].push(Edge { to, delay });
+    };
+
+    // --- register and predicate dependences -----------------------------
+    // last full/partial writers and readers per register.
+    let mut reg_writers: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut reg_readers: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut pred_writers: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut pred_readers: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, inst) in insts.iter().enumerate() {
+        // Register uses (including partial-def destination reads).
+        let mut uses: Vec<u32> = inst.src_regs().map(|r| r.0).collect();
+        if inst.is_partial_reg_def() {
+            if let Some(d) = inst.dst {
+                uses.push(d.0);
+            }
+        }
+        for r in &uses {
+            // flow: last writers -> this use.
+            if let Some(ws) = reg_writers.get(r) {
+                for &w in ws {
+                    // The implicit destination read of a conditional move
+                    // does not depend on its complementary partner.
+                    if Some(*r) == inst.dst.map(|d| d.0) && commuting_writes(&insts[w], inst) {
+                        continue;
+                    }
+                    add(w, i, lat.of(insts[w].op), &mut edges);
+                }
+            }
+            reg_readers.entry(*r).or_default().push(i);
+        }
+        if let Some(d) = inst.dst {
+            let full = !inst.is_partial_reg_def();
+            // anti: earlier readers -> this write (same cycle allowed).
+            if let Some(rs) = reg_readers.get(&d.0) {
+                for &rdr in rs {
+                    if rdr != i {
+                        add(rdr, i, 0, &mut edges);
+                    }
+                }
+            }
+            // output: earlier writers -> this write.
+            if let Some(ws) = reg_writers.get(&d.0) {
+                for &w in ws {
+                    if commuting_writes(&insts[w], inst) {
+                        continue;
+                    }
+                    add(w, i, 1, &mut edges);
+                }
+            }
+            if full {
+                reg_writers.insert(d.0, vec![i]);
+                reg_readers.remove(&d.0);
+            } else {
+                reg_writers.entry(d.0).or_default().push(i);
+            }
+        }
+
+        // Predicate uses (guards + partial pdst reads).
+        // `pred_clear`/`pred_set` are handled as barriers below.
+        if !inst.defines_all_preds() {
+            for p in inst.pred_uses() {
+                if let Some(ws) = pred_writers.get(&p.0) {
+                    for &w in ws {
+                        // OR-family defines to the same register commute;
+                        // their "read" of the destination is the wired-OR,
+                        // so skip the self-family flow edge.
+                        if or_family_pair(&insts[w], inst, p.0) {
+                            continue;
+                        }
+                        add(w, i, lat.of(insts[w].op), &mut edges);
+                    }
+                }
+                pred_readers.entry(p.0).or_default().push(i);
+            }
+            for pd in &inst.pdsts {
+                let p = pd.reg.0;
+                if let Some(rs) = pred_readers.get(&p) {
+                    for &rdr in rs {
+                        if rdr != i && !or_family_pair(&insts[rdr], inst, p) {
+                            add(rdr, i, 0, &mut edges);
+                        }
+                    }
+                }
+                if let Some(ws) = pred_writers.get(&p) {
+                    for &w in ws {
+                        if or_family_pair(&insts[w], inst, p) {
+                            continue;
+                        }
+                        add(w, i, 1, &mut edges);
+                    }
+                }
+                if pd.ty.is_partial() {
+                    pred_writers.entry(p).or_default().push(i);
+                } else {
+                    pred_writers.insert(p, vec![i]);
+                    pred_readers.remove(&p);
+                }
+            }
+        }
+    }
+
+    // --- predicate-file barriers (pred_clear / pred_set) ------------------
+    {
+        let mut barrier: Option<usize> = None;
+        let mut touched: Vec<usize> = Vec::new();
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.defines_all_preds() {
+                for &t in &touched {
+                    add(t, i, 1, &mut edges);
+                }
+                if let Some(prev) = barrier {
+                    add(prev, i, 1, &mut edges);
+                }
+                barrier = Some(i);
+                touched.clear();
+            } else if inst.pred_uses().next().is_some() || inst.pred_defs().next().is_some() {
+                if let Some(bi) = barrier {
+                    add(bi, i, lat.of(insts[bi].op), &mut edges);
+                }
+                touched.push(i);
+            }
+        }
+    }
+
+    // --- memory ordering --------------------------------------------------
+    let mut last_stores: Vec<usize> = Vec::new();
+    let mut loads_since_store: Vec<usize> = Vec::new();
+    for (i, inst) in insts.iter().enumerate() {
+        if inst.op.is_load() {
+            for &s in &last_stores {
+                add(s, i, 1, &mut edges);
+            }
+            loads_since_store.push(i);
+        } else if inst.op.is_store() || inst.op == Op::Call {
+            for &s in &last_stores {
+                add(s, i, 1, &mut edges);
+            }
+            for &l in &loads_since_store {
+                add(l, i, 0, &mut edges);
+            }
+            last_stores = vec![i];
+            loads_since_store.clear();
+        }
+    }
+
+    // --- control ordering ---------------------------------------------------
+    for (j, br) in insts.iter().enumerate() {
+        if !MachineConfig::is_branch_class(br.op) {
+            continue;
+        }
+        // Everything before the branch must issue no later than it.
+        for i in 0..j {
+            add(i, j, 0, &mut edges);
+        }
+        // Later instructions may hoist above the branch only when safe.
+        // Unsafe instructions may still *share* the branch's cycle (delay
+        // 0): text order is preserved within a cycle, so on the taken path
+        // they are squashed exactly as before — the classic "fill the
+        // branch's issue group" freedom of superblock scheduling.
+        let target_live = br.target.map(|t| &lv.live_in[t.index()]);
+        for i in j + 1..n {
+            let inst = &insts[i];
+            let safe = inst.op.can_speculate()
+                && inst.dst.is_some()
+                && match target_live {
+                    Some(live) => !live.regs.contains(&inst.dst.unwrap()),
+                    // Calls/returns/halts: nothing may cross.
+                    None => false,
+                };
+            if !safe {
+                add(j, i, 0, &mut edges);
+            }
+        }
+    }
+
+    edges
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut es)| {
+            // Deduplicate keeping max delay.
+            es.sort_by_key(|e| (e.to, std::cmp::Reverse(e.delay)));
+            es.dedup_by_key(|e| e.to);
+            (i, es)
+        })
+        .collect()
+}
+
+/// True when two writes to the same destination may share a cycle:
+/// complementary conditional moves (paper §2.2) testing the same condition
+/// register.
+fn commuting_writes(a: &Inst, b: &Inst) -> bool {
+    let pair = matches!(
+        (a.op, b.op),
+        (Op::Cmov, Op::CmovCom) | (Op::CmovCom, Op::Cmov)
+    );
+    pair && a.srcs.get(1) == b.srcs.get(1)
+}
+
+/// True when `a` and `b` are both OR-family (or both AND-family) predicate
+/// defines of predicate `p` — such defines commute (wired-OR/AND) and may
+/// issue simultaneously.
+fn or_family_pair(a: &Inst, b: &Inst, p: u32) -> bool {
+    let fam = |i: &Inst| -> Option<bool> {
+        // Some(true) = OR family, Some(false) = AND family, None = other.
+        let pd = i.pdsts.iter().find(|pd| pd.reg.0 == p)?;
+        if pd.ty.is_or_family() {
+            Some(true)
+        } else if pd.ty.is_and_family() {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match (fam(a), fam(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, FuncBuilder, MemWidth, Operand, PredType};
+
+    fn sched(f: &mut Function, k: u32, b: u32) -> Vec<u32> {
+        schedule_function(f, &MachineConfig::new(k, b));
+        f.blocks[f.entry().index()]
+            .insts
+            .iter()
+            .map(|i| i.cycle)
+            .collect()
+    }
+
+    #[test]
+    fn independent_ops_share_a_cycle() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let a1 = b.add(x.into(), Operand::Imm(1));
+        let a2 = b.add(x.into(), Operand::Imm(2));
+        let s = b.add(a1.into(), a2.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        let cycles = sched(&mut f, 4, 1);
+        assert_eq!(cycles[0], 0);
+        assert_eq!(cycles[1], 0);
+        assert_eq!(cycles[2], 1, "flow dependence respected");
+    }
+
+    #[test]
+    fn one_issue_serializes() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let _ = b.add(x.into(), Operand::Imm(1));
+        let _ = b.add(x.into(), Operand::Imm(2));
+        b.ret(None);
+        let mut f = b.finish();
+        let cycles = sched(&mut f, 1, 1);
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn load_latency_stalls_consumer() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let v = b.load(MemWidth::Word, x.into(), Operand::Imm(0));
+        let s = b.add(v.into(), Operand::Imm(1));
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        let cycles = sched(&mut f, 4, 1);
+        assert_eq!(cycles[1] - cycles[0], 2, "load latency is 2");
+    }
+
+    #[test]
+    fn branch_limit_splits_branches() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let t1 = b.block();
+        let t2 = b.block();
+        b.br(CmpOp::Eq, x.into(), Operand::Imm(1), t1);
+        b.br(CmpOp::Eq, x.into(), Operand::Imm(2), t2);
+        b.ret(None);
+        b.switch_to(t1);
+        b.ret(None);
+        b.switch_to(t2);
+        b.ret(None);
+        let mut f = b.finish();
+        let cycles = sched(&mut f, 8, 1);
+        assert!(cycles[1] > cycles[0], "1 branch per cycle");
+        let mut f2 = {
+            let mut b = FuncBuilder::new("t");
+            let x = b.param();
+            let t1 = b.block();
+            let t2 = b.block();
+            b.br(CmpOp::Eq, x.into(), Operand::Imm(1), t1);
+            b.br(CmpOp::Eq, x.into(), Operand::Imm(2), t2);
+            b.ret(None);
+            b.switch_to(t1);
+            b.ret(None);
+            b.switch_to(t2);
+            b.ret(None);
+            b.finish()
+        };
+        let cycles2 = sched(&mut f2, 8, 2);
+        assert_eq!(cycles2[0], cycles2[1], "2 branches per cycle fit together");
+    }
+
+    #[test]
+    fn or_defines_issue_simultaneously() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        b.pred_clear();
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        let out = b.mov(Operand::Imm(0));
+        b.mov_to(out, Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        let insts = &f.blocks[0].insts;
+        let defs: Vec<u32> = insts
+            .iter()
+            .filter(|i| i.op.is_pred_def())
+            .map(|i| i.cycle)
+            .collect();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0], defs[1], "wired-OR defines share a cycle:\n{f}");
+        // Guarded use comes at least one cycle later.
+        let guarded = insts.iter().find(|i| i.guard == Some(p)).unwrap();
+        assert!(guarded.cycle > defs[0]);
+    }
+
+    #[test]
+    fn complementary_cmovs_share_a_cycle() {
+        let mut b = FuncBuilder::new("t");
+        let c = b.param();
+        let out = b.mov(Operand::Imm(0));
+        b.cmov(out, Operand::Imm(1), c.into());
+        b.cmov_com(out, Operand::Imm(2), c.into());
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        let insts = &f.blocks[0].insts;
+        let cm: Vec<u32> = insts
+            .iter()
+            .filter(|i| matches!(i.op, Op::Cmov | Op::CmovCom))
+            .map(|i| i.cycle)
+            .collect();
+        assert_eq!(cm[0], cm[1], "complementary cmovs issue together:\n{f}");
+    }
+
+    #[test]
+    fn speculation_hoists_safe_load_above_exit() {
+        // superblock-style: the exit branch waits on a multiply chain, so
+        // a safe load on the fall-through path hoists strictly above it.
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let exit = b.block();
+        let m1 = b.mul(x.into(), Operand::Imm(3));
+        let m2 = b.mul(m1.into(), Operand::Imm(5));
+        b.br(CmpOp::Eq, m2.into(), Operand::Imm(0), exit);
+        let v = b.load(MemWidth::Word, x.into(), Operand::Imm(0));
+        let s = b.add(v.into(), Operand::Imm(1));
+        b.ret(Some(s.into()));
+        b.switch_to(exit);
+        b.ret(Some(Operand::Imm(-1)));
+        let mut f = b.finish();
+        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        let insts = &f.blocks[0].insts;
+        let br_cycle = insts.iter().find(|i| i.op.is_branch()).unwrap().cycle;
+        let ld = insts.iter().find(|i| i.op.is_load()).unwrap();
+        assert!(ld.cycle < br_cycle, "load should hoist:\n{f}");
+        assert!(ld.speculative, "hoisted load must be silent");
+    }
+
+    #[test]
+    fn unsafe_motion_is_blocked() {
+        // The store must not move above the branch.
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let exit = b.block();
+        b.br(CmpOp::Eq, x.into(), Operand::Imm(0), exit);
+        b.store(MemWidth::Word, x.into(), Operand::Imm(0), Operand::Imm(5));
+        b.ret(None);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        let insts = &f.blocks[0].insts;
+        let br_pos = insts.iter().position(|i| i.op.is_branch()).unwrap();
+        let st_pos = insts.iter().position(|i| i.op.is_store()).unwrap();
+        // The store may share the branch's cycle (squashed on the taken
+        // path) but must never move textually above it.
+        assert!(insts[st_pos].cycle >= insts[br_pos].cycle);
+        assert!(st_pos > br_pos, "store must stay after the branch:\n{f}");
+    }
+
+    #[test]
+    fn live_at_target_blocks_motion() {
+        // v is returned at the exit target, so the add defining v must not
+        // hoist above the branch.
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let v = b.mov(Operand::Imm(7));
+        let exit = b.block();
+        b.br(CmpOp::Eq, x.into(), Operand::Imm(0), exit);
+        b.mov_to(v, Operand::Imm(9));
+        b.ret(Some(v.into()));
+        b.switch_to(exit);
+        b.ret(Some(v.into()));
+        let mut f = b.finish();
+        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        let insts = &f.blocks[0].insts;
+        let br_cycle = insts.iter().find(|i| i.op.is_branch()).unwrap().cycle;
+        let mov9 = insts
+            .iter()
+            .find(|i| i.op == Op::Mov && i.srcs[0] == Operand::Imm(9))
+            .unwrap();
+        assert!(mov9.cycle > br_cycle, "{f}");
+    }
+
+    #[test]
+    fn schedule_is_executable() {
+        use hyperpred_emu::{Emulator, NullSink};
+        use hyperpred_lang::lower::entry_args;
+        let src = "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 50; i += 1) { if (i % 3 == 0) s += i * 2; else s -= 1; }
+            return s;
+        }";
+        let mut m = hyperpred_lang::compile(src).unwrap();
+        hyperpred_opt::optimize_module(&mut m);
+        let want = Emulator::new(&m)
+            .run("main", &entry_args(&[]), &mut NullSink)
+            .unwrap()
+            .ret;
+        schedule_module(&mut m, &MachineConfig::new(8, 1));
+        m.verify().unwrap();
+        let got = Emulator::new(&m)
+            .run("main", &entry_args(&[]), &mut NullSink)
+            .unwrap()
+            .ret;
+        assert_eq!(got, want, "scheduling changed behaviour");
+    }
+}

@@ -1,0 +1,149 @@
+//! Direct-mapped caches.
+//!
+//! The paper's memory system: 64K direct-mapped instruction and data
+//! caches with 64-byte blocks; the data cache is write-through with no
+//! write-allocate; miss penalty 12 cycles.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Miss penalty in cycles.
+    pub miss_penalty: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            size: 64 * 1024,
+            line: 64,
+            miss_penalty: 12,
+        }
+    }
+}
+
+/// A direct-mapped cache with per-line valid+tag state.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    tags: Vec<Option<u64>>,
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed (and filled, for reads).
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates a cold cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.size % config.line == 0, "size must be a multiple of line");
+        let lines = (config.size / config.line) as usize;
+        assert!(lines.is_power_of_two(), "line count must be 2^k");
+        Cache {
+            config,
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line;
+        let idx = (line as usize) & (self.tags.len() - 1);
+        (idx, line)
+    }
+
+    /// Read access (load or instruction fetch): returns `true` on a miss,
+    /// filling the line.
+    pub fn read(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.index_tag(addr);
+        if self.tags[idx] == Some(tag) {
+            self.hits += 1;
+            false
+        } else {
+            self.misses += 1;
+            self.tags[idx] = Some(tag);
+            true
+        }
+    }
+
+    /// Write access: write-through, no write-allocate. Never stalls
+    /// (writes retire through a buffer), never fills.
+    pub fn write(&mut self, addr: u64) {
+        let (idx, tag) = self.index_tag(addr);
+        // Write-through keeps a present line up to date; an absent line is
+        // not allocated.
+        if self.tags[idx] == Some(tag) {
+            self.hits += 1;
+        }
+    }
+
+    /// The configured miss penalty.
+    pub fn miss_penalty(&self) -> u32 {
+        self.config.miss_penalty
+    }
+
+    /// Miss rate over demand reads.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size: 256,
+            line: 64,
+            miss_penalty: 12,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = small();
+        assert!(c.read(0));
+        assert!(!c.read(8));
+        assert!(!c.read(63));
+        assert!(c.read(64));
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.hits, 2);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = small(); // 4 lines
+        assert!(c.read(0));
+        assert!(c.read(256)); // same index as 0
+        assert!(c.read(0)); // evicted
+    }
+
+    #[test]
+    fn writes_do_not_allocate() {
+        let mut c = small();
+        c.write(0);
+        assert!(c.read(0), "write-no-allocate: line still cold");
+    }
+
+    #[test]
+    fn whole_working_set_fits() {
+        let mut c = Cache::new(CacheConfig::default());
+        for addr in (0..64 * 1024).step_by(64) {
+            c.read(addr);
+        }
+        for addr in (0..64 * 1024).step_by(64) {
+            assert!(!c.read(addr), "second sweep must hit");
+        }
+    }
+}

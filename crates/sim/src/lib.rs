@@ -1,0 +1,23 @@
+//! Trace-driven timing simulator.
+//!
+//! Implements the simulation half of the paper's emulation-driven
+//! methodology (§4.1): the functional emulator streams the dynamic
+//! instruction trace of *scheduled* code, and this crate charges cycles
+//! against the static schedule plus dynamic penalties:
+//!
+//! * [`btb`] — 1K-entry, 2-bit-counter branch target buffer with a 2-cycle
+//!   misprediction penalty;
+//! * [`cache`] — 64K direct-mapped I/D caches, 64-byte lines, 12-cycle
+//!   miss penalty, write-through no-allocate data cache;
+//! * [`cyclesim`] — the cycle-accounting [`TraceSink`] and the one-call
+//!   [`simulate`] entry point.
+//!
+//! [`TraceSink`]: hyperpred_emu::TraceSink
+
+pub mod btb;
+pub mod cache;
+pub mod cyclesim;
+
+pub use btb::{Btb, BtbConfig, Predictor};
+pub use cache::{Cache, CacheConfig};
+pub use cyclesim::{simulate, CycleSim, MemoryModel, SimConfig, SimStats};

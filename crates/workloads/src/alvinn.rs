@@ -1,0 +1,75 @@
+//! `alvinn` mini: the neural-net forward pass of 052.alvinn — FP
+//! matrix-vector products with saturation clamps (ideal `cmov`/predication
+//! targets) over many input presentations.
+
+use crate::inputs::{float_array, floats};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    let (inputs, hidden, outputs, presentations) = match scale {
+        Scale::Test => (24, 10, 4, 6),
+        Scale::Full => (64, 24, 8, 60),
+    };
+    let w1 = floats(inputs * hidden, -0.5, 0.5, 0xA11);
+    let w2 = floats(hidden * outputs, -0.5, 0.5, 0xA12);
+    let x0 = floats(inputs, -1.0, 1.0, 0xA13);
+    let source = format!(
+        "{w1}{w2}{x0}
+int ninputs = {inputs};
+int nhidden = {hidden};
+int noutputs = {outputs};
+int npres = {presentations};
+float x[{inputs}];
+float hid[{hidden}];
+float out[{outputs}];
+int main() {{
+    int p; int i; int j; int sat; float acc;
+    sat = 0;
+    for (i = 0; i < ninputs; i += 1) x[i] = x0[i];
+    acc = 0.0;
+    for (p = 0; p < npres; p += 1) {{
+        for (j = 0; j < nhidden; j += 1) {{
+            float s; s = 0.0;
+            for (i = 0; i < ninputs; i += 1) {{
+                s = s + w1[j * ninputs + i] * x[i];
+            }}
+            // Piecewise-linear squash with saturation (clamp branches).
+            if (s > 1.0) {{ s = 1.0; sat += 1; }}
+            if (s < -1.0) {{ s = -1.0; sat += 1; }}
+            hid[j] = s;
+        }}
+        for (j = 0; j < noutputs; j += 1) {{
+            float s; s = 0.0;
+            for (i = 0; i < nhidden; i += 1) {{
+                s = s + w2[j * nhidden + i] * hid[i];
+            }}
+            if (s > 1.0) {{ s = 1.0; sat += 1; }}
+            if (s < -1.0) {{ s = -1.0; sat += 1; }}
+            out[j] = s;
+            acc = acc + s * s;
+        }}
+        // Rotate the input vector for the next presentation.
+        {{
+            float t; t = x[0];
+            for (i = 0; i + 1 < ninputs; i += 1) x[i] = x[i + 1];
+            x[ninputs - 1] = t * 0.9 + 0.05;
+        }}
+    }}
+    return acc * 1000.0 + sat;
+}}
+",
+        w1 = float_array("w1", &w1),
+        w2 = float_array("w2", &w2),
+        x0 = float_array("x0", &x0),
+        inputs = inputs,
+        hidden = hidden,
+        outputs = outputs,
+        presentations = presentations
+    );
+    Workload {
+        name: "alvinn",
+        description: "FP matrix-vector forward pass with saturation clamps",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,110 @@
+//! `cccp` mini: the C preprocessor's scanning core — directive detection
+//! at line starts plus macro-name lookups with string compares.
+
+use crate::inputs::{char_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+const MACROS: [&str; 6] = ["max", "min", "abs", "bit", "len", "ord"];
+
+fn cccp_text(n: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match r.gen_range(0..8) {
+            0 => {
+                // Directive line.
+                out.extend_from_slice(b"#");
+                let d: &[u8] = match r.gen_range(0..4) {
+                    0 => b"define",
+                    1 => b"ifdef",
+                    2 => b"endif",
+                    _ => b"include",
+                };
+                out.extend_from_slice(d);
+                out.extend_from_slice(b" x\n");
+            }
+            _ => {
+                // Code-ish line mentioning identifiers, some of them macros.
+                for _ in 0..r.gen_range(3..9) {
+                    if r.gen_ratio(1, 4) {
+                        out.extend_from_slice(MACROS[r.gen_range(0..MACROS.len())].as_bytes());
+                    } else {
+                        for _ in 0..r.gen_range(1..7) {
+                            out.push(b'a' + r.gen_range(0..26u8));
+                        }
+                    }
+                    out.push(if r.gen_ratio(1, 6) { b'(' } else { b' ' });
+                }
+                out.push(b'\n');
+            }
+        }
+    }
+    out
+}
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 2_200,
+        Scale::Full => 36_000,
+    };
+    let input = cccp_text(n, 0xCCC9);
+    // Pack the macro table: names separated by NUL would need escapes; use
+    // '|' as the separator instead.
+    let table: String = MACROS.join("|");
+    let source = format!(
+        "{data}{macros}
+int is_ident(int c) {{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+}}
+int lookup(int start, int len) {{
+    // Scan the '|'-separated macro table for text[start..start+len].
+    int m; int i; int j; int id;
+    m = 0; id = 0;
+    while (names[m] != 0) {{
+        i = m; j = start;
+        while (names[i] != 0 && names[i] != '|' && j < start + len
+               && names[i] == text[j]) {{
+            i += 1; j += 1;
+        }}
+        if (j == start + len && (names[i] == 0 || names[i] == '|')) return id;
+        while (names[m] != 0 && names[m] != '|') m += 1;
+        if (names[m] == '|') m += 1;
+        id += 1;
+    }}
+    return -1;
+}}
+int main() {{
+    int i; int c; int bol; int directives; int expansions; int idents;
+    i = 0; bol = 1; directives = 0; expansions = 0; idents = 0;
+    while (text[i] != 0) {{
+        c = text[i];
+        if (bol && c == '#') {{
+            directives += 1;
+            while (text[i] != 0 && text[i] != '\\n') i += 1;
+            bol = 1;
+            if (text[i] == '\\n') i += 1;
+        }} else if (c >= 'a' && c <= 'z') {{
+            int start; start = i;
+            while (is_ident(text[i])) i += 1;
+            idents += 1;
+            if (lookup(start, i - start) >= 0) expansions += 1;
+            bol = 0;
+        }} else {{
+            bol = c == '\\n';
+            i += 1;
+        }}
+    }}
+    return directives + expansions * 1000 + idents * 1000000;
+}}
+",
+        data = char_array("text", &input),
+        macros = char_array("names", table.as_bytes()),
+    );
+    Workload {
+        name: "cccp",
+        description: "directive scanning plus macro-table string lookups",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,76 @@
+//! `compress` mini: the LZW hash-probe loop of 026.compress — per input
+//! byte, probe an open-addressed table for (prefix, char), extending the
+//! dictionary on miss. Branch-heavy with data-dependent probe chains, and
+//! the benchmark whose speculative loads hurt most under real caches
+//! (paper Fig. 11).
+
+use crate::inputs::{char_array, text};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    // `hsize` must be prime: the secondary probe stride is `hsize - h`,
+    // which only cycles through every slot when gcd(stride, hsize) = 1
+    // (real compress uses the prime 69001).
+    let (n, hsize) = match scale {
+        Scale::Test => (2_200, 1031),
+        Scale::Full => (36_000, 9013),
+    };
+    let input = text(n, 0xC0B5);
+    let source = format!(
+        "{data}
+int hsize = {hsize};
+int htab[{hsize}];
+int codetab[{hsize}];
+int main() {{
+    int i; int ent; int c; int fcode; int h; int disp;
+    int nextcode; int emitted; int hash; int probes;
+    for (i = 0; i < hsize; i += 1) htab[i] = -1;
+    nextcode = 257;
+    emitted = 0; probes = 0; hash = 0;
+    ent = text[0];
+    for (i = 1; text[i] != 0; i += 1) {{
+        c = text[i];
+        fcode = c * 65536 + ent;
+        h = (c * 9 + ent * 3) % hsize;
+        if (h < 0) h = -h;
+        disp = hsize - h;
+        if (h == 0) disp = 1;
+        int found; found = 0;
+        while (!found && htab[h] != -1) {{
+            probes += 1;
+            if (htab[h] == fcode) {{
+                ent = codetab[h];
+                found = 1;
+            }} else {{
+                h -= disp;
+                if (h < 0) h += hsize;
+            }}
+        }}
+        if (!found) {{
+            // Emit the code for ent, add fcode to the dictionary. Keep the
+            // open-addressed table at most 3/4 full so probe chains always
+            // terminate (real compress resets the table when full).
+            hash = (hash * 31 + ent) % 1000000007;
+            emitted += 1;
+            if (nextcode < 257 + (hsize / 4) * 3) {{
+                htab[h] = fcode;
+                codetab[h] = nextcode;
+                nextcode += 1;
+            }}
+            ent = c;
+        }}
+    }}
+    hash = (hash * 31 + ent) % 1000000007;
+    return hash + emitted * 7 + probes;
+}}
+",
+        data = char_array("text", &input),
+        hsize = hsize
+    );
+    Workload {
+        name: "compress",
+        description: "LZW open-addressed hash probe loop",
+        source,
+        args: vec![],
+    }
+}

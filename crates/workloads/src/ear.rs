@@ -1,0 +1,61 @@
+//! `ear` mini: the cochlea-model filterbank of 056.ear — second-order FP
+//! filters per channel with half-wave rectification (a conditional per
+//! sample) and energy accumulation.
+
+use crate::inputs::{float_array, floats};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    let (channels, samples) = match scale {
+        Scale::Test => (6, 120),
+        Scale::Full => (24, 1_400),
+    };
+    let signal = floats(samples, -1.0, 1.0, 0xEA2);
+    let coeff_a = floats(channels, 0.05, 0.95, 0xEA3);
+    let coeff_b = floats(channels, -0.5, 0.5, 0xEA4);
+    let source = format!(
+        "{signal}{ca}{cb}
+int nchan = {channels};
+int nsamp = {samples};
+float state1[{channels}];
+float state2[{channels}];
+float energy[{channels}];
+int main() {{
+    int c; int s; int rectified;
+    rectified = 0;
+    for (c = 0; c < nchan; c += 1) {{
+        state1[c] = 0.0; state2[c] = 0.0; energy[c] = 0.0;
+    }}
+    for (s = 0; s < nsamp; s += 1) {{
+        float x; x = signal[s];
+        for (c = 0; c < nchan; c += 1) {{
+            float y;
+            y = ca[c] * x + cb[c] * state1[c] + 0.1 * state2[c];
+            state2[c] = state1[c];
+            state1[c] = y;
+            // Half-wave rectification: the per-sample conditional.
+            if (y < 0.0) {{
+                y = 0.0;
+                rectified += 1;
+            }}
+            energy[c] = energy[c] + y * y;
+        }}
+    }}
+    float total; total = 0.0;
+    for (c = 0; c < nchan; c += 1) total = total + energy[c];
+    return total * 1000.0 + rectified;
+}}
+",
+        signal = float_array("signal", &signal),
+        ca = float_array("ca", &coeff_a),
+        cb = float_array("cb", &coeff_b),
+        channels = channels,
+        samples = samples
+    );
+    Workload {
+        name: "ear",
+        description: "FP filterbank with per-sample rectification conditional",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,94 @@
+//! `eqn` mini: token classification over math-ish text with nested
+//! grouping constructs — the branchy scanner core of the troff equation
+//! preprocessor.
+
+use crate::inputs::{char_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+fn eqn_text(n: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut depth = 0usize;
+    while out.len() < n {
+        match r.gen_range(0..10) {
+            0 => {
+                out.push(b'{');
+                depth += 1;
+            }
+            1 if depth > 0 => {
+                out.push(b'}');
+                depth -= 1;
+            }
+            2 => out.push(b'^'),
+            3 => out.push(b'_'),
+            4 => {
+                for _ in 0..r.gen_range(1..4) {
+                    out.push(b'0' + r.gen_range(0..10u8));
+                }
+            }
+            5 => out.push(*[b'+', b'-', b'=', b'/'].iter().nth(r.gen_range(0..4)).unwrap()),
+            6 => out.push(b'\n'),
+            _ => {
+                for _ in 0..r.gen_range(1..6) {
+                    out.push(b'a' + r.gen_range(0..26u8));
+                }
+                out.push(b' ');
+            }
+        }
+    }
+    for _ in 0..depth {
+        out.push(b'}');
+    }
+    out
+}
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 2_200,
+        Scale::Full => 36_000,
+    };
+    let input = eqn_text(n, 0xE68);
+    let source = format!(
+        "{data}
+int main() {{
+    int i; int c; int depth; int maxdepth; int supers; int subs;
+    int idents; int nums; int ops; int inword; int bad;
+    depth = 0; maxdepth = 0; supers = 0; subs = 0;
+    idents = 0; nums = 0; ops = 0; inword = 0; bad = 0;
+    for (i = 0; text[i] != 0; i += 1) {{
+        c = text[i];
+        if (c >= 'a' && c <= 'z') {{
+            if (!inword) idents += 1;
+            inword = 1;
+        }} else {{
+            inword = 0;
+            if (c >= '0' && c <= '9') {{
+                nums += 1;
+            }} else if (c == '{{') {{
+                depth += 1;
+                if (depth > maxdepth) maxdepth = depth;
+            }} else if (c == '}}') {{
+                if (depth > 0) depth -= 1; else bad += 1;
+            }} else if (c == '^') {{
+                supers += 1;
+            }} else if (c == '_') {{
+                subs += 1;
+            }} else if (c == '+' || c == '-' || c == '=' || c == '/') {{
+                ops += 1;
+            }}
+        }}
+    }}
+    return idents + nums * 100 + ops * 10000 + (supers + subs) * 1000000
+        + maxdepth * 100000000 + bad;
+}}
+",
+        data = char_array("text", &input)
+    );
+    Workload {
+        name: "eqn",
+        description: "token classifier with nested grouping constructs",
+        source,
+        args: vec![],
+    }
+}

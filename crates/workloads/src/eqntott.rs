@@ -1,0 +1,70 @@
+//! `eqntott` mini: the notorious `cmppt` kernel — lexicographic compares
+//! of ternary bit-vectors driving a sort. Dominated by data-dependent,
+//! poorly-predicted compare branches (the paper's Table 3 shows a 13%
+//! misprediction rate collapsing under predication).
+
+use crate::inputs::{int_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+pub fn workload(scale: Scale) -> Workload {
+    let (terms, width) = match scale {
+        Scale::Test => (48, 12),
+        Scale::Full => (320, 16),
+    };
+    let mut r = rng(0xE401);
+    // Each term is `width` ternary values (0, 1, 2=don't care).
+    let data: Vec<i64> = (0..terms * width).map(|_| r.gen_range(0..3)).collect();
+    let source = format!(
+        "{data}
+int nterms = {terms};
+int width = {width};
+int perm[{terms}];
+int cmppt(int a, int b) {{
+    // Lexicographic compare with the original's aa/bb translation.
+    int i; int aa; int bb;
+    for (i = 0; i < width; i += 1) {{
+        aa = pt[a * width + i];
+        bb = pt[b * width + i];
+        if (aa == 2) aa = 0;
+        if (bb == 2) bb = 0;
+        if (aa != bb) {{
+            if (aa < bb) return -1;
+            return 1;
+        }}
+    }}
+    return 0;
+}}
+int main() {{
+    int i; int j; int t;
+    for (i = 0; i < nterms; i += 1) perm[i] = i;
+    // Insertion sort by cmppt (eqntott sorts product terms).
+    for (i = 1; i < nterms; i += 1) {{
+        t = perm[i];
+        j = i - 1;
+        while (j >= 0 && cmppt(perm[j], t) > 0) {{
+            perm[j + 1] = perm[j];
+            j -= 1;
+        }}
+        perm[j + 1] = t;
+    }}
+    // Verify order + checksum.
+    int h; h = 0;
+    for (i = 1; i < nterms; i += 1) {{
+        if (cmppt(perm[i - 1], perm[i]) > 0) return -i;
+        h = (h * 131 + perm[i]) % 1000000007;
+    }}
+    return h + 1;
+}}
+",
+        data = int_array("pt", &data),
+        terms = terms,
+        width = width
+    );
+    Workload {
+        name: "eqntott",
+        description: "cmppt ternary-vector compare driving an insertion sort",
+        source,
+        args: vec![],
+    }
+}

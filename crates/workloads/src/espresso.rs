@@ -1,0 +1,85 @@
+//! `espresso` mini: two-level logic minimization kernel — pairwise cube
+//! *distance* computation over 2-bit-encoded PLA terms with early-out,
+//! counting mergeable (distance-1) pairs.
+
+use crate::inputs::{int_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+pub fn workload(scale: Scale) -> Workload {
+    let (cubes, words) = match scale {
+        Scale::Test => (28, 2),
+        Scale::Full => (160, 3),
+    };
+    let mut r = rng(0xE59);
+    // Each literal uses 2 bits: 01 = low, 10 = high, 11 = don't care.
+    let mut data = Vec::with_capacity(cubes * words);
+    for _ in 0..cubes * words {
+        let mut w = 0i64;
+        for pos in 0..31 {
+            let code = match r.gen_range(0..3) {
+                0 => 0b01,
+                1 => 0b10,
+                _ => 0b11,
+            };
+            w |= code << (2 * pos);
+        }
+        data.push(w);
+    }
+    let source = format!(
+        "{data}
+int ncubes = {cubes};
+int nwords = {words};
+int distance(int a, int b) {{
+    // Number of literal positions where the intersection is empty.
+    int w; int d; int x; int pos; int lit;
+    d = 0;
+    for (w = 0; w < nwords; w += 1) {{
+        x = cubes_[a * nwords + w] & cubes_[b * nwords + w];
+        for (pos = 0; pos < 31; pos += 1) {{
+            lit = (x >> (2 * pos)) & 3;
+            if (lit == 0) {{
+                d += 1;
+                if (d > 1) return d;  // early out: only distance<=1 matters
+            }}
+        }}
+    }}
+    return d;
+}}
+int main() {{
+    int i; int j; int merges; int disjoint; int contained;
+    merges = 0; disjoint = 0; contained = 0;
+    for (i = 0; i < ncubes; i += 1) {{
+        for (j = i + 1; j < ncubes; j += 1) {{
+            int d; d = distance(i, j);
+            if (d == 0) {{
+                // Overlapping: check containment of i in j.
+                int w; int ok; ok = 1;
+                for (w = 0; w < nwords; w += 1) {{
+                    int aw; int bw;
+                    aw = cubes_[i * nwords + w];
+                    bw = cubes_[j * nwords + w];
+                    if ((aw & bw) != aw) ok = 0;
+                }}
+                contained += ok;
+            }} else if (d == 1) {{
+                merges += 1;
+            }} else {{
+                disjoint += 1;
+            }}
+        }}
+    }}
+    return merges * 1000000 + contained * 10000 + disjoint;
+}}
+",
+        data = int_array("cubes_", &data),
+        cubes = cubes,
+        words = words
+    );
+    Workload {
+        name: "espresso",
+        description: "PLA cube distance/containment with early-out bit loops",
+        source,
+        args: vec![],
+    }
+}

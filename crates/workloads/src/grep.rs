@@ -1,0 +1,54 @@
+//! `grep` mini: the paper's Figure 6 loop — scan each line for a pattern
+//! with a multi-condition inner loop of rarely-taken exit branches.
+
+use crate::inputs::{char_array, rng, text};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 2_500,
+        Scale::Full => 40_000,
+    };
+    // Plant the pattern into the text occasionally so matches exist.
+    let mut input = text(n, 0x93EB);
+    let mut r = rng(0x93EC);
+    let pat = b"ion";
+    let mut i = 40;
+    while i + pat.len() < input.len() {
+        if r.gen_ratio(1, 9) && !input[i..i + pat.len()].contains(&b'\n') {
+            input[i..i + pat.len()].copy_from_slice(pat);
+        }
+        i += r.gen_range(23..61);
+    }
+    let source = format!(
+        "{data}char pat[4] = \"ion\";
+int main() {{
+    int i; int matches; int scanned;
+    i = 0; matches = 0; scanned = 0;
+    while (text[i] != 0) {{
+        int found; found = 0;
+        while (text[i] != 0 && text[i] != '\\n') {{
+            scanned += 1;
+            if (found == 0 && text[i] == pat[0]) {{
+                int j; int k; j = i + 1; k = 1;
+                while (pat[k] != 0 && text[j] == pat[k]) {{ j += 1; k += 1; }}
+                if (pat[k] == 0) found = 1;
+            }}
+            i += 1;
+        }}
+        if (text[i] == '\\n') i += 1;
+        matches += found;
+    }}
+    return matches * 100000 + scanned;
+}}
+",
+        data = char_array("text", &input)
+    );
+    Workload {
+        name: "grep",
+        description: "line scanner with rarely-taken exit branches (paper Fig. 6)",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,161 @@
+//! Deterministic synthetic input generation and MiniC source embedding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG so every workload build is bit-identical.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generates `n` bytes of word-like ASCII text: lowercase words of length
+/// 1–9, separated by spaces, with newlines and occasional punctuation —
+/// the texture `wc`/`grep`/`cccp`-style utilities see.
+pub fn text(n: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut col = 0;
+    while out.len() < n {
+        let wlen = r.gen_range(1..=9);
+        for _ in 0..wlen {
+            out.push(b'a' + r.gen_range(0..26u8));
+        }
+        col += wlen + 1;
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else if r.gen_ratio(1, 12) {
+            out.push(if r.gen_bool(0.5) { b'.' } else { b',' });
+            out.push(b' ');
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(n);
+    // Terminate cleanly.
+    if let Some(last) = out.last_mut() {
+        *last = b'\n';
+    }
+    out
+}
+
+/// Escapes bytes for a MiniC string literal. Non-printable characters are
+/// limited to the escapes the lexer understands, so generators should only
+/// produce printable ASCII plus `\n`/`\t`.
+pub fn escape(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() + 8);
+    for &b in bytes {
+        match b {
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            b'\r' => s.push_str("\\r"),
+            b'"' => s.push_str("\\\""),
+            b'\\' => s.push_str("\\\\"),
+            0 => s.push_str("\\0"),
+            b => {
+                assert!(
+                    (0x20..0x7f).contains(&b),
+                    "non-printable byte {b:#x} in string input"
+                );
+                s.push(b as char);
+            }
+        }
+    }
+    s
+}
+
+/// Declares a MiniC global char array holding `bytes` (NUL-terminated by
+/// the frontend's string rules; we size it one larger).
+pub fn char_array(name: &str, bytes: &[u8]) -> String {
+    format!(
+        "char {name}[{}] = \"{}\";\n",
+        bytes.len() + 1,
+        escape(bytes)
+    )
+}
+
+/// Declares a MiniC global int array with the given values.
+pub fn int_array(name: &str, values: &[i64]) -> String {
+    let list = values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("int {name}[{}] = {{{list}}};\n", values.len())
+}
+
+/// Declares a MiniC global float array with the given values.
+pub fn float_array(name: &str, values: &[f64]) -> String {
+    let list = values
+        .iter()
+        .map(|v| {
+            // Keep the literal parseable by the MiniC lexer (d.ddd form).
+            format!("{v:.6}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("float {name}[{}] = {{{list}}};\n", values.len())
+}
+
+/// Random ints in `lo..hi`.
+pub fn ints(n: usize, lo: i64, hi: i64, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// Random floats in `lo..hi`, rounded to 6 decimals so the source
+/// round-trips exactly.
+pub fn floats(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| (r.gen_range(lo..hi) * 1e6).round() / 1e6)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic_and_sized() {
+        let a = text(500, 1);
+        let b = text(500, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&c| c.is_ascii()));
+        assert!(a.contains(&b' '));
+        assert!(a.contains(&b'\n'));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(text(100, 1), text(100, 2));
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_lexer() {
+        let bytes = b"a\"b\\c\nd\te";
+        let src = format!("char s[{}] = \"{}\"; int main() {{ return 0; }}", bytes.len() + 1, escape(bytes));
+        let m = hyperpred_lang::compile(&src).unwrap();
+        let g = m.global("s").unwrap();
+        assert_eq!(&g.init[..bytes.len()], bytes);
+    }
+
+    #[test]
+    fn int_array_embeds() {
+        let src = format!("{} int main() {{ return t[2]; }}", int_array("t", &[5, -6, 7]));
+        let m = hyperpred_lang::compile(&src).unwrap();
+        assert!(m.verify().is_ok());
+    }
+
+    #[test]
+    fn float_array_embeds() {
+        let vals = floats(4, -1.0, 1.0, 3);
+        let src = format!(
+            "{} int main() {{ return w[0] * 1000000.0; }}",
+            float_array("w", &vals)
+        );
+        let m = hyperpred_lang::compile(&src).unwrap();
+        assert!(m.verify().is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! `lex` mini: a table-driven DFA scanner — the generated-scanner inner
+//! loop (classify character, index transition table, detect accepts).
+
+use crate::inputs::{char_array, int_array, text};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 2_400,
+        Scale::Full => 40_000,
+    };
+    let input = text(n, 0x1E8);
+    // DFA over classes: 0=letter 1=digit 2=space/newline 3=punct 4=other.
+    // States: 0=start 1=ident 2=number 3=punct-run (all but 0 accepting).
+    const K: usize = 5;
+    let delta: [i64; 4 * K] = [
+        // letter digit space punct other   (from state)
+        1, 2, 0, 3, 0, // start
+        1, 1, 0, 3, 0, // ident (letters+digits continue)
+        2, 2, 0, 3, 0, // number
+        1, 2, 0, 3, 0, // punct run
+    ];
+    // kind per state: 1=identifier, 2=number, 3=punct run.
+    let token_kind: [i64; 4] = [0, 1, 2, 3];
+    let source = format!(
+        "{data}{delta}{kinds}
+int classify(int c) {{
+    if (c >= 'a' && c <= 'z') return 0;
+    if (c >= 'A' && c <= 'Z') return 0;
+    if (c >= '0' && c <= '9') return 1;
+    if (c == ' ' || c == '\\n' || c == '\\t') return 2;
+    if (c == '.' || c == ',' || c == ';') return 3;
+    return 4;
+}}
+int main() {{
+    int i; int state; int cls; int next;
+    int idents; int numbers; int puncts; int chars;
+    state = 0; idents = 0; numbers = 0; puncts = 0; chars = 0;
+    for (i = 0; text[i] != 0; i += 1) {{
+        chars += 1;
+        cls = classify(text[i]);
+        next = delta[state * 5 + cls];
+        if (next == 0 && state != 0) {{
+            // Token ended; classify by the state we left.
+            int kind; kind = kinds[state];
+            if (kind == 1) idents += 1;
+            else if (kind == 2) numbers += 1;
+            else puncts += 1;
+        }}
+        state = next;
+    }}
+    if (state != 0) {{
+        if (kinds[state] == 1) idents += 1;
+    }}
+    return idents + numbers * 10000 + puncts * 1000000 + chars;
+}}
+",
+        data = char_array("text", &input),
+        delta = int_array("delta", &delta),
+        kinds = int_array("kinds", &token_kind)
+    );
+    Workload {
+        name: "lex",
+        description: "table-driven DFA scanner",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,110 @@
+//! `li` mini: a recursive expression interpreter over a node heap — the
+//! XLISP `eval` dispatch pattern (type test chains + recursion).
+
+use crate::inputs::{int_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+// Node ops: 0 const(l=value) 1 var(x) 2 add 3 sub 4 mul 5 if(l ? r : l)
+// 6 max 7 neg(l).
+fn gen_tree(
+    ops: &mut Vec<i64>,
+    lhs: &mut Vec<i64>,
+    rhs: &mut Vec<i64>,
+    depth: usize,
+    r: &mut impl Rng,
+) -> i64 {
+    let idx = ops.len();
+    ops.push(0);
+    lhs.push(0);
+    rhs.push(0);
+    if depth == 0 || r.gen_ratio(1, 5) {
+        if r.gen_bool(0.5) {
+            ops[idx] = 0;
+            lhs[idx] = r.gen_range(-50..50);
+        } else {
+            ops[idx] = 1;
+        }
+        return idx as i64;
+    }
+    let op = match r.gen_range(0..6) {
+        0 => 2,
+        1 => 3,
+        2 => 4,
+        3 => 5,
+        4 => 6,
+        _ => 7,
+    };
+    ops[idx] = op;
+    let l = gen_tree(ops, lhs, rhs, depth - 1, r);
+    lhs[idx] = l;
+    if op != 7 {
+        let rr = gen_tree(ops, lhs, rhs, depth - 1, r);
+        rhs[idx] = rr;
+    }
+    idx as i64
+}
+
+pub fn workload(scale: Scale) -> Workload {
+    let (trees, iters, depth) = match scale {
+        Scale::Test => (6, 12, 4),
+        Scale::Full => (16, 120, 6),
+    };
+    let mut r = rng(0x117);
+    let mut ops = Vec::new();
+    let mut lhs = Vec::new();
+    let mut rhs = Vec::new();
+    let mut roots = Vec::new();
+    for _ in 0..trees {
+        roots.push(gen_tree(&mut ops, &mut lhs, &mut rhs, depth, &mut r));
+    }
+    let source = format!(
+        "{ops}{lhs}{rhs}{roots}
+int nroots = {trees};
+int iters = {iters};
+int eval(int n, int x) {{
+    int op; op = ops[n];
+    if (op == 0) return lhs[n];
+    if (op == 1) return x;
+    if (op == 7) return -eval(lhs[n], x);
+    if (op == 5) {{
+        int c; c = eval(lhs[n], x);
+        if (c != 0) return eval(rhs[n], x);
+        return c;
+    }}
+    {{
+        int a; int b;
+        a = eval(lhs[n], x);
+        b = eval(rhs[n], x);
+        if (op == 2) return (a + b) % 100003;
+        if (op == 3) return (a - b) % 100003;
+        if (op == 4) return (a * b) % 100003;
+        if (a > b) return a;
+        return b;
+    }}
+}}
+int main() {{
+    int t; int x; int h; h = 0;
+    for (x = 0; x < iters; x += 1) {{
+        for (t = 0; t < nroots; t += 1) {{
+            h = (h * 37 + eval(roots[t], x - 5)) % 1000000007;
+        }}
+    }}
+    if (h == 0) h = 1;
+    return h;
+}}
+",
+        ops = int_array("ops", &ops),
+        lhs = int_array("lhs", &lhs),
+        rhs = int_array("rhs", &rhs),
+        roots = int_array("roots", &roots),
+        trees = trees,
+        iters = iters
+    );
+    Workload {
+        name: "li",
+        description: "recursive interpreter dispatch over an expression heap",
+        source,
+        args: vec![],
+    }
+}

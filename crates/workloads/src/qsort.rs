@@ -1,0 +1,53 @@
+//! `qsort` mini: recursive quicksort — data-dependent, hard-to-predict
+//! partition branches (the paper reports a 15% misprediction rate for the
+//! superblock model).
+
+use crate::inputs::{int_array, ints};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 160,
+        Scale::Full => 3_000,
+    };
+    let data = ints(n, 0, 1_000_000, 0x9507);
+    let source = format!(
+        "{data}
+int nelem = {n};
+void sort(int lo, int hi) {{
+    int p; int i; int j; int t;
+    if (lo >= hi) return;
+    p = a[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {{
+        while (a[i] < p) i += 1;
+        while (a[j] > p) j -= 1;
+        if (i <= j) {{
+            t = a[i]; a[i] = a[j]; a[j] = t;
+            i += 1; j -= 1;
+        }}
+    }}
+    sort(lo, j);
+    sort(i, hi);
+}}
+int main() {{
+    int i; int h;
+    sort(0, nelem - 1);
+    h = 0;
+    for (i = 1; i < nelem; i += 1) {{
+        if (a[i - 1] > a[i]) return -i;
+        h = (h * 31 + a[i]) % 1000000007;
+    }}
+    return h + 1;
+}}
+",
+        data = int_array("a", &data),
+        n = n
+    );
+    Workload {
+        name: "qsort",
+        description: "recursive quicksort with data-dependent partition branches",
+        source,
+        args: vec![],
+    }
+}

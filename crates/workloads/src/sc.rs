@@ -1,0 +1,89 @@
+//! `sc` mini: spreadsheet recalculation — per-cell dispatch over formula
+//! kinds with range loops, the 072.sc evaluation core. Notable in the
+//! paper as the one benchmark where conditional-move code fell *below*
+//! superblock (long dependence chains from the conversions).
+
+use crate::inputs::{int_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+pub fn workload(scale: Scale) -> Workload {
+    let (rows, cols, passes) = match scale {
+        Scale::Test => (10, 8, 3),
+        Scale::Full => (40, 24, 8),
+    };
+    let n = rows * cols;
+    let mut r = rng(0x5C);
+    // Formula kinds: 0 const(arg1) 1 sum-of-row-prefix 2 max-of-col-prefix
+    // 3 cond (left>arg1 ? left : arg2) 4 product-of-neighbours.
+    let mut kind = Vec::with_capacity(n);
+    let mut arg1 = Vec::with_capacity(n);
+    let mut arg2 = Vec::with_capacity(n);
+    for i in 0..n {
+        let (row, col) = (i / cols, i % cols);
+        let k = if row == 0 || col == 0 {
+            0
+        } else {
+            r.gen_range(0..5)
+        };
+        kind.push(k as i64);
+        arg1.push(r.gen_range(0..100));
+        arg2.push(r.gen_range(0..100));
+    }
+    let source = format!(
+        "{kind}{arg1}{arg2}
+int rows = {rows};
+int cols = {cols};
+int passes = {passes};
+int grid[{n}];
+int main() {{
+    int p; int row; int col; int i; int h;
+    for (i = 0; i < rows * cols; i += 1) grid[i] = arg1[i];
+    for (p = 0; p < passes; p += 1) {{
+        for (row = 0; row < rows; row += 1) {{
+            for (col = 0; col < cols; col += 1) {{
+                i = row * cols + col;
+                int k; int v; k = kind[i];
+                if (k == 0) {{
+                    v = arg1[i];
+                }} else if (k == 1) {{
+                    int c; v = 0;
+                    for (c = 0; c < col; c += 1) v += grid[row * cols + c];
+                    v = v % 10007;
+                }} else if (k == 2) {{
+                    int rr; v = 0;
+                    for (rr = 0; rr < row; rr += 1) {{
+                        if (grid[rr * cols + col] > v) v = grid[rr * cols + col];
+                    }}
+                }} else if (k == 3) {{
+                    int left; left = grid[row * cols + col - 1];
+                    if (left > arg1[i]) v = left; else v = arg2[i];
+                }} else {{
+                    v = (grid[(row - 1) * cols + col] * grid[row * cols + col - 1] + 1)
+                        % 10007;
+                }}
+                grid[i] = v;
+            }}
+        }}
+    }}
+    h = 0;
+    for (i = 0; i < rows * cols; i += 1) h = (h * 31 + grid[i]) % 1000000007;
+    if (h == 0) h = 1;
+    return h;
+}}
+",
+        kind = int_array("kind", &kind),
+        arg1 = int_array("arg1", &arg1),
+        arg2 = int_array("arg2", &arg2),
+        rows = rows,
+        cols = cols,
+        passes = passes,
+        n = n
+    );
+    Workload {
+        name: "sc",
+        description: "spreadsheet recalculation with per-formula dispatch",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,40 @@
+//! `wc` mini: the paper's Figure 5 loop — a per-character line/word/char
+//! state machine over text. Small basic blocks, very high branch density.
+
+use crate::inputs::{char_array, text};
+use crate::{Scale, Workload};
+
+pub fn workload(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 2_000,
+        Scale::Full => 48_000,
+    };
+    let input = text(n, 0x5C01);
+    let source = format!(
+        "{data}
+int main() {{
+    int i; int lines; int words; int chars; int inword; int c;
+    lines = 0; words = 0; chars = 0; inword = 0;
+    for (i = 0; text[i] != 0; i += 1) {{
+        c = text[i];
+        chars += 1;
+        if (c == '\\n') lines += 1;
+        if (c == ' ' || c == '\\n' || c == '\\t') {{
+            inword = 0;
+        }} else {{
+            if (!inword) words += 1;
+            inword = 1;
+        }}
+    }}
+    return chars + words * 1000 + lines * 1000000;
+}}
+",
+        data = char_array("text", &input)
+    );
+    Workload {
+        name: "wc",
+        description: "per-character word/line/char state machine (paper Fig. 5)",
+        source,
+        args: vec![],
+    }
+}

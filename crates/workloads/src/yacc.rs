@@ -1,0 +1,111 @@
+//! `yacc` mini: an LR-style shift/reduce evaluator over a token stream —
+//! the generated-parser inner loop (compare precedences, push/pop stacks).
+
+use crate::inputs::{int_array, rng};
+use crate::{Scale, Workload};
+use rand::Rng;
+
+/// Token encoding: 0..=99 literal value, 100 '+', 101 '*', 102 '(',
+/// 103 ')', 104 end.
+fn gen_expr(tokens: &mut Vec<i64>, depth: usize, r: &mut impl Rng) {
+    // term (op term)*
+    gen_term(tokens, depth, r);
+    for _ in 0..r.gen_range(0..3) {
+        tokens.push(if r.gen_bool(0.5) { 100 } else { 101 });
+        gen_term(tokens, depth, r);
+    }
+}
+
+fn gen_term(tokens: &mut Vec<i64>, depth: usize, r: &mut impl Rng) {
+    if depth > 0 && r.gen_ratio(1, 3) {
+        tokens.push(102);
+        gen_expr(tokens, depth - 1, r);
+        tokens.push(103);
+    } else {
+        tokens.push(r.gen_range(0..100));
+    }
+}
+
+pub fn workload(scale: Scale) -> Workload {
+    let exprs = match scale {
+        Scale::Test => 40,
+        Scale::Full => 700,
+    };
+    let mut r = rng(0xACC);
+    let mut tokens = Vec::new();
+    for _ in 0..exprs {
+        gen_expr(&mut tokens, 3, &mut r);
+        tokens.push(104);
+    }
+    let n = tokens.len();
+    let source = format!(
+        "{toks}
+int ntok = {n};
+int vals[64];
+int ops[64];
+int prec(int op) {{
+    if (op == 101) return 2;
+    if (op == 100) return 1;
+    return 0;
+}}
+int apply(int a, int b, int op) {{
+    if (op == 100) return (a + b) % 1000003;
+    return (a * b) % 1000003;
+}}
+int main() {{
+    int i; int sum; int reduces; int shifts;
+    sum = 0; reduces = 0; shifts = 0;
+    i = 0;
+    while (i < ntok) {{
+        // Parse one expression with explicit value/op stacks.
+        int vp; int op_; int t; int done;
+        vp = 0; op_ = 0; done = 0;
+        while (!done) {{
+            t = toks[i];
+            if (t < 100) {{
+                vals[vp] = t; vp += 1; shifts += 1; i += 1;
+            }} else if (t == 102) {{
+                ops[op_] = 102; op_ += 1; shifts += 1; i += 1;
+            }} else if (t == 103) {{
+                while (op_ > 0 && ops[op_ - 1] != 102) {{
+                    op_ -= 1;
+                    vp -= 1;
+                    vals[vp - 1] = apply(vals[vp - 1], vals[vp], ops[op_]);
+                    reduces += 1;
+                }}
+                op_ -= 1; // pop '('
+                i += 1;
+            }} else if (t == 104) {{
+                while (op_ > 0) {{
+                    op_ -= 1;
+                    vp -= 1;
+                    vals[vp - 1] = apply(vals[vp - 1], vals[vp], ops[op_]);
+                    reduces += 1;
+                }}
+                done = 1; i += 1;
+            }} else {{
+                // binary operator: reduce while top has >= precedence.
+                while (op_ > 0 && prec(ops[op_ - 1]) >= prec(t)) {{
+                    op_ -= 1;
+                    vp -= 1;
+                    vals[vp - 1] = apply(vals[vp - 1], vals[vp], ops[op_]);
+                    reduces += 1;
+                }}
+                ops[op_] = t; op_ += 1; shifts += 1; i += 1;
+            }}
+        }}
+        sum = (sum * 31 + vals[0]) % 1000000007;
+    }}
+    return sum + reduces * 7 + shifts;
+}}
+",
+        toks = int_array("toks", &tokens),
+        n = n
+    );
+    Workload {
+        name: "yacc",
+        description: "LR-style shift/reduce loop over a token stream",
+        source,
+        args: vec![],
+    }
+}

@@ -1,0 +1,64 @@
+//! Developer exploration tool: compile a program under all three models and
+//! dump schedules + simulation statistics.
+//!
+//! Usage: `cargo run --example explore [workload-name]`
+//! Set `DUMP=1` to also print the scheduled IR of `main`.
+
+use hyperpred::{evaluate, speedup, Model, Pipeline};
+use hyperpred_sched::MachineConfig;
+use hyperpred_sim::SimConfig;
+
+const DEFAULT_SRC: &str = "int main() {
+    int i; int s; s = 0;
+    for (i = 0; i < 300; i += 1) {
+        if (i % 2 == 0) s += 3;
+        else if (i % 3 == 0) s += 7;
+        else s -= 1;
+    }
+    return s;
+}";
+
+fn main() {
+    let name = std::env::args().nth(1);
+    let (src, args) = match &name {
+        Some(n) => {
+            let w = hyperpred_workloads::by_name(n, hyperpred_workloads::Scale::Test)
+                .unwrap_or_else(|| panic!("unknown workload {n}"));
+            (w.source, w.args)
+        }
+        None => (DEFAULT_SRC.to_string(), vec![]),
+    };
+    let pipe = Pipeline::default();
+    let sim = SimConfig::default();
+    let base = evaluate(&src, &args, Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
+        .expect("baseline");
+    println!(
+        "baseline 1-issue: {} cycles, {} insts, ipc {:.2}",
+        base.cycles,
+        base.insts,
+        base.ipc()
+    );
+    for model in Model::ALL {
+        let machine = MachineConfig::new(8, 1);
+        let stats = evaluate(&src, &args, model, machine, sim, &pipe).expect("model");
+        println!(
+            "{model:<11} 8-issue: {:>8} cycles {:>8} insts {:>6} br {:>5} mp  ipc {:>5.2}  speedup {:.2}  ret {}",
+            stats.cycles,
+            stats.insts,
+            stats.branches,
+            stats.mispredicts,
+            stats.ipc(),
+            speedup(&base, &stats),
+            stats.ret,
+        );
+    }
+    if std::env::var("DUMP").is_ok() {
+        for model in Model::ALL {
+            let m = pipe
+                .compile(&src, &args, model, &MachineConfig::new(8, 1))
+                .unwrap();
+            println!("==== {model} ====");
+            print!("{}", m.funcs[m.func_by_name("main").unwrap().index()]);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration test: the paper's qualitative results must hold
+//! on the benchmark suite at test scale.
+//!
+//! These are *shape* assertions (who wins, which counters move which way),
+//! not absolute-number assertions — the point of the reproduction.
+
+use hyperpred::{mean_speedup, run_experiment, Experiment, Model, Pipeline};
+use hyperpred_workloads::Scale;
+use std::sync::OnceLock;
+
+fn fig8_results() -> &'static [hyperpred::BenchResult] {
+    static CACHE: OnceLock<Vec<hyperpred::BenchResult>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        run_experiment(&Experiment::fig8(), Scale::Test, &Pipeline::default()).expect("fig8")
+    })
+}
+
+#[test]
+fn all_models_agree_on_every_benchmark() {
+    // run_workload itself asserts result equality across models; reaching
+    // here means all 15 benchmarks agreed under all three models.
+    let results = fig8_results();
+    assert_eq!(results.len(), 15);
+}
+
+#[test]
+fn predication_order_holds_on_average() {
+    let results = fig8_results();
+    let sup = mean_speedup(&results, Model::Superblock);
+    let cmov = mean_speedup(&results, Model::CondMove);
+    let full = mean_speedup(&results, Model::FullPred);
+    assert!(sup > 1.0, "8-issue superblock must beat 1-issue ({sup:.2})");
+    assert!(
+        cmov > sup,
+        "conditional move must beat superblock on average ({cmov:.2} !> {sup:.2})"
+    );
+    assert!(
+        full >= cmov * 0.98,
+        "full predication must at least match conditional move ({full:.2} vs {cmov:.2})"
+    );
+}
+
+#[test]
+fn predicated_models_execute_fewer_branches() {
+    // Table 3's headline: hyperblock formation removes a large share of
+    // dynamic branches under both predication models.
+    let results = fig8_results();
+    let total = |m: Model| -> u64 { results.iter().map(|r| r.stats(m).branches).sum() };
+    let sup = total(Model::Superblock);
+    let cmov = total(Model::CondMove);
+    let full = total(Model::FullPred);
+    assert!(
+        cmov < sup * 8 / 10,
+        "cmov should remove >20% of branches ({cmov} vs {sup})"
+    );
+    assert!(
+        full < sup * 8 / 10,
+        "full predication should remove >20% of branches ({full} vs {sup})"
+    );
+}
+
+#[test]
+fn cmov_model_runs_more_instructions_than_full() {
+    // Table 2's headline: conditional-move code pays in dynamic
+    // instruction count; full predication pays far less.
+    let results = fig8_results();
+    let total = |m: Model| -> u64 { results.iter().map(|r| r.stats(m).insts).sum() };
+    let sup = total(Model::Superblock);
+    let cmov = total(Model::CondMove);
+    let full = total(Model::FullPred);
+    assert!(cmov > full, "cmov executes more instructions ({cmov} !> {full})");
+    assert!(
+        cmov > sup,
+        "cmov executes more instructions than superblock ({cmov} !> {sup})"
+    );
+}
+
+#[test]
+fn second_branch_slot_helps_the_baseline() {
+    // Figure 9 vs Figure 8: going from 1 to 2 branch slots lifts the
+    // superblock model (it is the branch-bound one).
+    let pipe = Pipeline::default();
+    let f8 = run_experiment(&Experiment::fig8(), Scale::Test, &pipe).unwrap();
+    let f9 = run_experiment(&Experiment::fig9(), Scale::Test, &pipe).unwrap();
+    let sup8 = mean_speedup(&f8, Model::Superblock);
+    let sup9 = mean_speedup(&f9, Model::Superblock);
+    assert!(
+        sup9 > sup8,
+        "2-branch should help the superblock baseline ({sup9:.2} !> {sup8:.2})"
+    );
+}
+
+#[test]
+fn real_caches_never_help() {
+    let pipe = Pipeline::default();
+    let f8 = run_experiment(&Experiment::fig8(), Scale::Test, &pipe).unwrap();
+    let f11 = run_experiment(&Experiment::fig11(), Scale::Test, &pipe).unwrap();
+    for (a, b) in f8.iter().zip(&f11) {
+        for m in Model::ALL {
+            assert!(
+                b.stats(m).cycles >= a.stats(m).cycles,
+                "{}: caches cannot speed {m} up",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn mispredictions_collapse_on_predicated_wc() {
+    // The paper's wc row: 33K -> 57 mispredictions. The same collapse must
+    // show here: wc's in-word state branch is data-dependent and poorly
+    // predicted, and if-conversion removes it.
+    let results = fig8_results();
+    let wc = results.iter().find(|r| r.name == "wc").unwrap();
+    let sup_mp = wc.stats(Model::Superblock).mispredicts;
+    let full_mp = wc.stats(Model::FullPred).mispredicts;
+    assert!(
+        full_mp * 5 < sup_mp.max(5),
+        "wc mispredictions should collapse ({sup_mp} -> {full_mp})"
+    );
+}
