@@ -12,11 +12,11 @@
 //! * hyperblock inclusion threshold sweep
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred::hyperblock::{HyperblockConfig, UnrollConfig};
 use hyperpred::partial::{PartialConfig, PartialStyle};
 use hyperpred::sched::MachineConfig;
 use hyperpred::sim::{BtbConfig, Predictor, SimConfig};
+use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred_workloads::{by_name, Scale};
 
 fn report(tag: &str, w: &hyperpred_workloads::Workload, model: Model, pipe: &Pipeline) -> u64 {
@@ -48,12 +48,26 @@ fn bench_ablation(c: &mut Criterion) {
             },
             ..Pipeline::default()
         };
-        report(&format!("grep cmov or_tree={or_tree}"), &grep, Model::CondMove, &pipe);
+        report(
+            &format!("grep cmov or_tree={or_tree}"),
+            &grep,
+            Model::CondMove,
+            &pipe,
+        );
         group.bench_with_input(
             BenchmarkId::new("grep-or-tree", or_tree),
             &pipe,
             |b, pipe| {
-                b.iter(|| evaluate(&grep.source, &grep.args, Model::CondMove, machine, sim, pipe))
+                b.iter(|| {
+                    evaluate(
+                        &grep.source,
+                        &grep.args,
+                        Model::CondMove,
+                        machine,
+                        sim,
+                        pipe,
+                    )
+                })
             },
         );
     }
@@ -100,9 +114,13 @@ fn bench_ablation(c: &mut Criterion) {
             ..Pipeline::default()
         };
         report(&format!("wc cmov-model {tag}"), &wc, Model::CondMove, &pipe);
-        group.bench_with_input(BenchmarkId::new("wc-partial-style", tag), &pipe, |b, pipe| {
-            b.iter(|| evaluate(&wc.source, &wc.args, Model::CondMove, machine, sim, pipe))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wc-partial-style", tag),
+            &pipe,
+            |b, pipe| {
+                b.iter(|| evaluate(&wc.source, &wc.args, Model::CondMove, machine, sim, pipe))
+            },
+        );
     }
 
     // --- unroll factor -------------------------------------------------------
@@ -114,7 +132,12 @@ fn bench_ablation(c: &mut Criterion) {
             },
             ..Pipeline::default()
         };
-        report(&format!("wc full unroll={factor}"), &wc, Model::FullPred, &pipe);
+        report(
+            &format!("wc full unroll={factor}"),
+            &wc,
+            Model::FullPred,
+            &pipe,
+        );
         group.bench_with_input(BenchmarkId::new("wc-unroll", factor), &pipe, |b, pipe| {
             b.iter(|| evaluate(&wc.source, &wc.args, Model::FullPred, machine, sim, pipe))
         });
@@ -134,15 +157,35 @@ fn bench_ablation(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let pipe = Pipeline::default();
-        let s = evaluate(&qsort.source, &qsort.args, Model::Superblock, machine, sim_p, &pipe)
-            .unwrap();
+        let s = evaluate(
+            &qsort.source,
+            &qsort.args,
+            Model::Superblock,
+            machine,
+            sim_p,
+            &pipe,
+        )
+        .unwrap();
         eprintln!(
             "[ablation] qsort superblock {tag}: {} cycles, {} mispredicts",
             s.cycles, s.mispredicts
         );
-        group.bench_with_input(BenchmarkId::new("qsort-predictor", tag), &sim_p, |b, sim_p| {
-            b.iter(|| evaluate(&qsort.source, &qsort.args, Model::Superblock, machine, *sim_p, &pipe))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qsort-predictor", tag),
+            &sim_p,
+            |b, sim_p| {
+                b.iter(|| {
+                    evaluate(
+                        &qsort.source,
+                        &qsort.args,
+                        Model::Superblock,
+                        machine,
+                        *sim_p,
+                        &pipe,
+                    )
+                })
+            },
+        );
     }
 
     // --- predicate-define-to-use latency (suppression stage) ---------------
@@ -173,7 +216,12 @@ fn bench_ablation(c: &mut Criterion) {
             },
             ..Pipeline::default()
         };
-        report(&format!("wc full min_ratio={ratio}"), &wc, Model::FullPred, &pipe);
+        report(
+            &format!("wc full min_ratio={ratio}"),
+            &wc,
+            Model::FullPred,
+            &pipe,
+        );
         group.bench_with_input(
             BenchmarkId::new("wc-threshold", format!("{ratio}")),
             &pipe,

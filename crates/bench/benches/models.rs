@@ -4,9 +4,9 @@
 //! times measure this library itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred::sched::MachineConfig;
 use hyperpred::sim::SimConfig;
+use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred_workloads::{by_name, Scale};
 
 fn bench_models(c: &mut Criterion) {
@@ -29,9 +29,7 @@ fn bench_models(c: &mut Criterion) {
                 BenchmarkId::new(name, model),
                 &(&w, model),
                 |b, (w, model)| {
-                    b.iter(|| {
-                        evaluate(&w.source, &w.args, *model, machine, sim, &pipe).unwrap()
-                    })
+                    b.iter(|| evaluate(&w.source, &w.args, *model, machine, sim, &pipe).unwrap())
                 },
             );
         }

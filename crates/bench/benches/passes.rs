@@ -42,7 +42,12 @@ fn bench_passes(c: &mut Criterion) {
             |mut m| {
                 for i in 0..m.funcs.len() {
                     let mut f = m.funcs[i].clone();
-                    form_superblocks(&mut f, FuncId(i as u32), &prof, &SuperblockConfig::default());
+                    form_superblocks(
+                        &mut f,
+                        FuncId(i as u32),
+                        &prof,
+                        &SuperblockConfig::default(),
+                    );
                     m.funcs[i] = f;
                 }
             },
@@ -56,7 +61,12 @@ fn bench_passes(c: &mut Criterion) {
             |mut m| {
                 for i in 0..m.funcs.len() {
                     let mut f = m.funcs[i].clone();
-                    form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+                    form_hyperblocks(
+                        &mut f,
+                        FuncId(i as u32),
+                        &prof,
+                        &HyperblockConfig::default(),
+                    );
                     promote(&mut f);
                     m.funcs[i] = f;
                 }
@@ -69,7 +79,12 @@ fn bench_passes(c: &mut Criterion) {
     let mut formed = base.clone();
     for i in 0..formed.funcs.len() {
         let mut f = formed.funcs[i].clone();
-        form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+        form_hyperblocks(
+            &mut f,
+            FuncId(i as u32),
+            &prof,
+            &HyperblockConfig::default(),
+        );
         promote(&mut f);
         formed.funcs[i] = f;
     }

@@ -1,64 +1,157 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p hyperpred-bench --bin figures            # everything
-//! cargo run --release -p hyperpred-bench --bin figures fig8       # one figure
+//! cargo run --release -p hyperpred-bench --bin figures                # everything, parallel
+//! cargo run --release -p hyperpred-bench --bin figures fig8          # one figure
 //! cargo run --release -p hyperpred-bench --bin figures table2
-//! cargo run --release -p hyperpred-bench --bin figures --scale test
+//! cargo run --release -p hyperpred-bench --bin figures -- --scale test
+//! cargo run --release -p hyperpred-bench --bin figures -- --threads 4
+//! cargo run --release -p hyperpred-bench --bin figures -- --serial   # old one-cell-at-a-time loop
 //! ```
+//!
+//! By default the whole requested matrix runs through the parallel
+//! experiment engine (`run_matrix`), which compiles each distinct module
+//! once and simulates the shared 1-issue baseline once; `--serial` keeps
+//! the historical figure-at-a-time loop for A/B timing of the driver
+//! itself.
 
 use hyperpred::{
-    branch_table, instruction_table, run_experiment, speedup_table, Experiment, Pipeline,
+    branch_table, instruction_table, run_experiment, run_matrix_with_stats, speedup_table,
+    Experiment, Pipeline,
 };
 use hyperpred_workloads::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--scale") || args.iter().any(|a| a == "test") {
-        Scale::Test
-    } else {
-        Scale::Full
+struct Options {
+    scale: Scale,
+    threads: usize,
+    serial: bool,
+    verbose: bool,
+    which: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: figures [fig8|fig9|fig10|fig11|table2|table3 ...] \
+         [--scale test|full] [--threads N] [--serial] [--verbose]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        scale: Scale::Full,
+        threads: 0,
+        serial: false,
+        verbose: false,
+        which: Vec::new(),
     };
-    let which: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|s| s.starts_with("fig") || s.starts_with("table"))
-        .collect();
-    let all = which.is_empty();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = match it.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    _ => return Err(usage()),
+                };
+            }
+            // Compatibility with the old invocation: a bare `test` selects
+            // the small inputs.
+            "test" => opts.scale = Scale::Test,
+            "--threads" => {
+                opts.threads = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--serial" => opts.serial = true,
+            "--verbose" => opts.verbose = true,
+            s if s.starts_with("fig") || s.starts_with("table") => opts.which.push(s.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(c) => return c,
+    };
+    let all = opts.which.is_empty();
+    let wants = |name: &str| all || opts.which.iter().any(|w| w == name);
     let pipe = Pipeline::default();
 
-    let fig8 = Experiment::fig8();
     // Figure 8's results also provide Tables 2 and 3.
-    let need_fig8 = all
-        || which.contains(&"fig8")
-        || which.contains(&"table2")
-        || which.contains(&"table3");
-    let fig8_results = if need_fig8 {
-        Some(run_experiment(&fig8, scale, &pipe).expect("fig8"))
+    let need = [
+        (
+            "fig8",
+            Experiment::fig8(),
+            wants("fig8") || wants("table2") || wants("table3"),
+        ),
+        ("fig9", Experiment::fig9(), wants("fig9")),
+        ("fig10", Experiment::fig10(), wants("fig10")),
+        ("fig11", Experiment::fig11(), wants("fig11")),
+    ];
+    let selected: Vec<(&str, Experiment)> = need
+        .iter()
+        .filter(|(_, _, on)| *on)
+        .map(|(n, e, _)| (*n, *e))
+        .collect();
+    if selected.is_empty() {
+        return usage();
+    }
+    let exps: Vec<Experiment> = selected.iter().map(|(_, e)| *e).collect();
+
+    let started = Instant::now();
+    let figures = if opts.serial {
+        let r: Result<Vec<_>, _> = exps
+            .iter()
+            .map(|exp| run_experiment(exp, opts.scale, &pipe))
+            .collect();
+        match r {
+            Ok(f) => {
+                eprintln!("serial loop: {:.2?}", started.elapsed());
+                f
+            }
+            Err(e) => {
+                eprintln!("figures: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
-        None
+        match run_matrix_with_stats(&exps, opts.scale, &pipe, opts.threads) {
+            Ok(out) => {
+                eprintln!("{}", out.stats.summary());
+                if opts.verbose {
+                    for cell in &out.stats.cells {
+                        eprintln!("  {cell}");
+                    }
+                }
+                out.figures
+            }
+            Err(e) => {
+                eprintln!("figures: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
-    if let Some(r) = &fig8_results {
-        if all || which.contains(&"fig8") {
-            println!("{}", speedup_table(&fig8, r));
+
+    let mut fig8_results = None;
+    for ((name, exp), results) in selected.iter().zip(figures.iter()) {
+        if *name == "fig8" {
+            fig8_results = Some(results);
+        }
+        if wants(name) {
+            println!("{}", speedup_table(exp, results));
         }
     }
-    for (name, exp) in [
-        ("fig9", Experiment::fig9()),
-        ("fig10", Experiment::fig10()),
-        ("fig11", Experiment::fig11()),
-    ] {
-        if all || which.contains(&name) {
-            let r = run_experiment(&exp, scale, &pipe).expect(name);
-            println!("{}", speedup_table(&exp, &r));
-        }
-    }
-    if let Some(r) = &fig8_results {
-        if all || which.contains(&"table2") {
+    if let Some(r) = fig8_results {
+        if wants("table2") {
             println!("{}", instruction_table(r));
         }
-        if all || which.contains(&"table3") {
+        if wants("table3") {
             println!("{}", branch_table(r));
         }
     }
+    ExitCode::SUCCESS
 }

@@ -5,13 +5,22 @@
 //! hyperpredc run  prog.c --model full --issue 8 --branches 1 [--args 1,2,3]
 //! hyperpredc sim  prog.c --model all  --issue 8 --caches
 //! hyperpredc dump prog.c --model cmov
+//! hyperpredc report [--threads N] [--scale test|full] [--verbose]
 //! ```
+//!
+//! `report` regenerates the paper's whole figure matrix (Figures 8-11 and
+//! Tables 2-3) through the parallel experiment engine, printing per-run
+//! cache and wall-time counters.
 
-use hyperpred::{evaluate, speedup, Model, Pipeline};
 use hyperpred::emu::{Emulator, NullSink};
 use hyperpred::lang::lower::entry_args;
 use hyperpred::sched::MachineConfig;
 use hyperpred::sim::{CacheConfig, MemoryModel, SimConfig};
+use hyperpred::workloads::Scale;
+use hyperpred::{
+    branch_table, instruction_table, run_matrix_with_stats, speedup_table, Experiment,
+};
+use hyperpred::{evaluate, speedup, Model, Pipeline};
 use std::process::ExitCode;
 
 struct Options {
@@ -27,9 +36,61 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hyperpredc <run|sim|dump> <file.c> \
-         [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]"
+         [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]\n\
+         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose]"
     );
     ExitCode::from(2)
+}
+
+/// Runs the paper's full experiment matrix through the parallel engine.
+fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut threads = 0usize;
+    let mut scale = Scale::Full;
+    let mut verbose = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    _ => return usage(),
+                };
+            }
+            "--verbose" => verbose = true,
+            _ => return usage(),
+        }
+    }
+    let exps = [
+        Experiment::fig8(),
+        Experiment::fig9(),
+        Experiment::fig10(),
+        Experiment::fig11(),
+    ];
+    let out = match run_matrix_with_stats(&exps, scale, &Pipeline::default(), threads) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("hyperpredc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (exp, results) in exps.iter().zip(&out.figures) {
+        println!("{}", speedup_table(exp, results));
+    }
+    println!("{}", instruction_table(&out.figures[0]));
+    println!("{}", branch_table(&out.figures[0]));
+    eprintln!("{}", out.stats.summary());
+    if verbose {
+        for cell in &out.stats.cells {
+            eprintln!("  {cell}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -79,6 +140,14 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    {
+        // `report` takes no input file; dispatch it before the
+        // file-oriented argument parser.
+        let mut it = std::env::args().skip(1);
+        if it.next().as_deref() == Some("report") {
+            return report(it);
+        }
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(c) => return c,
@@ -111,7 +180,10 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                println!("==== {model} (scheduled for {}-issue, {}-branch) ====", opts.issue, opts.branches);
+                println!(
+                    "==== {model} (scheduled for {}-issue, {}-branch) ====",
+                    opts.issue, opts.branches
+                );
                 print!("{m}");
             }
             ExitCode::SUCCESS

@@ -86,14 +86,24 @@ impl Experiment {
         }
     }
 
-    fn machine(&self) -> MachineConfig {
+    pub(crate) fn machine(&self) -> MachineConfig {
         MachineConfig::new(self.issue, self.branches)
     }
 
-    fn sim(&self) -> SimConfig {
+    pub(crate) fn sim(&self) -> SimConfig {
         SimConfig {
             memory: self.memory,
             ..SimConfig::default()
+        }
+    }
+
+    /// Simulation config for the paper's speedup denominator: the 1-issue
+    /// superblock baseline always runs with perfect memory, whatever the
+    /// evaluated machine uses, so every figure divides by the same number.
+    pub(crate) fn baseline_sim(&self) -> SimConfig {
+        SimConfig {
+            memory: MemoryModel::Perfect,
+            ..self.sim()
         }
     }
 }
@@ -114,7 +124,7 @@ pub fn run_workload(
         &w.args,
         Model::Superblock,
         MachineConfig::one_issue(),
-        exp.sim(),
+        exp.baseline_sim(),
         pipe,
     )?;
     let mut models = Vec::with_capacity(3);
@@ -163,11 +173,7 @@ pub fn speedup_table(exp: &Experiment, results: &[BenchResult]) -> String {
         "average",
         sums.iter().map(|s| format!("{:.2}", s / n)).collect(),
     ));
-    format_table(
-        exp.title,
-        &["Superblock", "Cond.Move", "Full Pred."],
-        &rows,
-    )
+    format_table(exp.title, &["Superblock", "Cond.Move", "Full Pred."], &rows)
 }
 
 /// Renders Table 2 (dynamic instruction counts, ratio vs. superblock).

@@ -40,12 +40,16 @@
 //! ```
 
 pub mod experiments;
+pub mod matrix;
 pub mod pipeline;
 pub mod report;
 
 pub use experiments::{
-    branch_table, instruction_table, mean_speedup, run_experiment, run_workload,
-    speedup_table, BenchResult, Experiment,
+    branch_table, instruction_table, mean_speedup, run_experiment, run_workload, speedup_table,
+    BenchResult, Experiment,
+};
+pub use matrix::{
+    run_matrix, run_matrix_with_stats, run_matrix_workloads, CellStat, EngineStats, MatrixOutput,
 };
 pub use pipeline::{compile_model, evaluate, speedup, Model, Pipeline, PipelineError};
 pub use report::{format_table, Row};

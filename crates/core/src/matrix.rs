@@ -1,0 +1,486 @@
+//! Parallel experiment engine: runs the paper's full figure matrix as a
+//! work queue of independent (workload, model, experiment) cells.
+//!
+//! The paper's evaluation is embarrassingly parallel — 15 workloads × 3
+//! models × 4 machine configurations, each an independent compile +
+//! emulate + cycle-simulate job — but a naive loop both serializes the
+//! cells and repeats work across figures:
+//!
+//! * the same (source, model, machine) module is recompiled per figure
+//!   (Figures 8 and 11 share an 8-issue/1-branch machine, and every figure
+//!   compiles the 1-issue superblock baseline), and
+//! * the fixed 1-issue perfect-memory baseline — the denominator of every
+//!   speedup bar — is re-simulated per figure.
+//!
+//! This engine fixes both: a [`CompileCache`] keyed by (workload, model,
+//! machine) hands out `Arc<Module>`s compiled exactly once, a baseline
+//! memo simulates each workload's denominator once, and a
+//! `std::thread::scope` work queue spreads the remaining cells over
+//! `threads` workers. Results are bit-identical to the serial
+//! [`run_experiment`](crate::experiments::run_experiment) path because
+//! every pass and the simulator are deterministic; the engine only
+//! deduplicates and reorders work, it never changes it.
+
+use crate::experiments::{BenchResult, Experiment};
+use crate::pipeline::{Model, Pipeline, PipelineError};
+use hyperpred_ir::Module;
+use hyperpred_lang::lower::entry_args;
+use hyperpred_sched::MachineConfig;
+use hyperpred_sim::{simulate, SimStats};
+use hyperpred_workloads::{Scale, Workload};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Wall-time and cache accounting for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time of the matrix run.
+    pub wall: Duration,
+    /// Compilations served from the cache instead of rerun.
+    pub compile_hits: u64,
+    /// Compilations actually performed (exactly once per distinct
+    /// (workload, model, machine) triple).
+    pub compile_misses: u64,
+    /// Baseline (1-issue superblock, perfect memory) simulations run —
+    /// one per workload, however many figures share them.
+    pub baseline_sims: u64,
+    /// Times a figure reused a memoized baseline instead of re-simulating.
+    pub baseline_reuses: u64,
+    /// Model-cell simulations run.
+    pub model_sims: u64,
+    /// Per-cell wall times, in completion order.
+    pub cells: Vec<CellStat>,
+}
+
+impl EngineStats {
+    /// Cells a serial figure-at-a-time loop would have run (each figure
+    /// recompiling and re-simulating its own baseline).
+    pub fn serial_equivalent_cells(&self) -> u64 {
+        self.baseline_sims + self.baseline_reuses + self.model_sims
+    }
+
+    /// One-paragraph human summary for CLI output.
+    pub fn summary(&self) -> String {
+        let cell_wall: Duration = self.cells.iter().map(|c| c.wall).sum();
+        format!(
+            "engine: {} cells in {:.2?} on {} thread(s) ({:.2?} of cell work; {:.1}x packing)\n\
+             compile cache: {} misses, {} hits; baseline memo: {} simulated, {} reused\n\
+             serial loop would run {} cells; the engine ran {}",
+            self.cells.len(),
+            self.wall,
+            self.threads,
+            cell_wall,
+            cell_wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+            self.compile_misses,
+            self.compile_hits,
+            self.baseline_sims,
+            self.baseline_reuses,
+            self.serial_equivalent_cells(),
+            self.baseline_sims + self.model_sims,
+        )
+    }
+}
+
+/// Wall time of one scheduled cell.
+#[derive(Debug, Clone)]
+pub struct CellStat {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Figure title, or `"baseline"` for the shared denominator cell.
+    pub experiment: &'static str,
+    /// Model simulated (`None` for the baseline cell).
+    pub model: Option<Model>,
+    /// Wall time spent on the cell (compile + simulate).
+    pub wall: Duration,
+}
+
+impl fmt::Display for CellStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.model {
+            Some(m) => write!(
+                f,
+                "{:>9} {:<12} {:>10.1?}  {}",
+                self.workload,
+                m.to_string(),
+                self.wall,
+                self.experiment
+            ),
+            None => write!(
+                f,
+                "{:>9} {:<12} {:>10.1?}  shared denominator",
+                self.workload, "baseline", self.wall
+            ),
+        }
+    }
+}
+
+/// Matrix results plus the engine's own performance counters.
+#[derive(Debug)]
+pub struct MatrixOutput {
+    /// Per-experiment results, in the order the experiments were given;
+    /// within each, per-workload results in workload order.
+    pub figures: Vec<Vec<BenchResult>>,
+    /// Engine accounting (cache hits, per-cell wall times).
+    pub stats: EngineStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CompileKey {
+    workload: usize,
+    model: Model,
+    issue: u32,
+    branches: u32,
+}
+
+/// One shared once-per-key slot; `None` marks a failed compile.
+type CompileSlot = Arc<OnceLock<Option<Arc<Module>>>>;
+
+/// Each distinct (workload, model, machine) module is compiled exactly
+/// once; concurrent requesters block on the same [`OnceLock`] rather than
+/// duplicating the work. A failed compile parks `None` in the slot — the
+/// error itself travels through [`ErrorSlot`] and aborts the run.
+struct CompileCache {
+    slots: Mutex<HashMap<CompileKey, CompileSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    fn new() -> CompileCache {
+        CompileCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_compile(
+        &self,
+        key: CompileKey,
+        w: &Workload,
+        model: Model,
+        machine: &MachineConfig,
+        pipe: &Pipeline,
+        errors: &ErrorSlot,
+    ) -> Option<Arc<Module>> {
+        let cell = {
+            let mut slots = self.slots.lock().expect("compile cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut fresh = false;
+        let module = cell.get_or_init(|| {
+            fresh = true;
+            match pipe.compile(&w.source, &w.args, model, machine) {
+                Ok(m) => Some(Arc::new(m)),
+                Err(e) => {
+                    errors.record(e);
+                    None
+                }
+            }
+        });
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        module.clone()
+    }
+}
+
+/// First pipeline failure wins; everything after it is abandoned.
+struct ErrorSlot {
+    first: Mutex<Option<PipelineError>>,
+    abort: AtomicBool,
+}
+
+impl ErrorSlot {
+    fn new() -> ErrorSlot {
+        ErrorSlot {
+            first: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn record(&self, e: PipelineError) {
+        let mut slot = self.first.lock().expect("error slot poisoned");
+        slot.get_or_insert(e);
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    fn take(self) -> Option<PipelineError> {
+        self.first.into_inner().expect("error slot poisoned")
+    }
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// Simulate workload `w`'s shared 1-issue superblock denominator.
+    Baseline { w: usize },
+    /// Simulate workload `w` under experiment `e`'s machine with model `m`.
+    Model { e: usize, w: usize, m: usize },
+}
+
+/// Runs `exps` over the standard workload suite at `scale` with `threads`
+/// workers (0 = one per available core). See [`run_matrix_workloads`].
+///
+/// # Errors
+/// Propagates the first pipeline failure; remaining cells are abandoned.
+pub fn run_matrix(
+    exps: &[Experiment],
+    scale: Scale,
+    pipe: &Pipeline,
+    threads: usize,
+) -> Result<Vec<Vec<BenchResult>>, PipelineError> {
+    run_matrix_with_stats(exps, scale, pipe, threads).map(|out| out.figures)
+}
+
+/// Like [`run_matrix`], but also returns the engine's cache and wall-time
+/// counters.
+///
+/// # Errors
+/// Propagates the first pipeline failure; remaining cells are abandoned.
+pub fn run_matrix_with_stats(
+    exps: &[Experiment],
+    scale: Scale,
+    pipe: &Pipeline,
+    threads: usize,
+) -> Result<MatrixOutput, PipelineError> {
+    let workloads = hyperpred_workloads::all(scale);
+    run_matrix_workloads(exps, &workloads, pipe, threads)
+}
+
+/// The engine core: runs every (experiment × workload × model) cell of the
+/// matrix over `threads` scoped workers, compiling each distinct module
+/// once and simulating each workload's baseline denominator once.
+///
+/// Results are bit-identical to calling
+/// [`run_experiment`](crate::experiments::run_experiment) per experiment.
+///
+/// # Errors
+/// Propagates the first pipeline failure; remaining cells are abandoned.
+///
+/// # Panics
+/// Panics (like the serial path) if a model's simulated program result
+/// diverges from the baseline's — that is a compiler bug, not an input
+/// error.
+pub fn run_matrix_workloads(
+    exps: &[Experiment],
+    workloads: &[Workload],
+    pipe: &Pipeline,
+    threads: usize,
+) -> Result<MatrixOutput, PipelineError> {
+    let started = Instant::now();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+
+    // Baselines first so the slowest sims start early; then experiment-
+    // major model cells, which keeps the duplicate compile keys of
+    // machine-sharing figures (8 and 11) far apart in the queue.
+    let mut cells: Vec<Cell> = Vec::with_capacity(workloads.len() * (1 + 3 * exps.len()));
+    if !exps.is_empty() {
+        for w in 0..workloads.len() {
+            cells.push(Cell::Baseline { w });
+        }
+    }
+    for e in 0..exps.len() {
+        for w in 0..workloads.len() {
+            for m in 0..Model::ALL.len() {
+                cells.push(Cell::Model { e, w, m });
+            }
+        }
+    }
+
+    let cache = CompileCache::new();
+    let errors = ErrorSlot::new();
+    let next = AtomicUsize::new(0);
+    let baseline: Vec<OnceLock<SimStats>> = (0..workloads.len()).map(|_| OnceLock::new()).collect();
+    let model_stats: Vec<OnceLock<SimStats>> = (0..exps.len() * workloads.len() * 3)
+        .map(|_| OnceLock::new())
+        .collect();
+    let cell_stats: Mutex<Vec<CellStat>> = Mutex::new(Vec::with_capacity(cells.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cells.len()).max(1) {
+            scope.spawn(|| {
+                loop {
+                    if errors.aborted() {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i).copied() else {
+                        return;
+                    };
+                    let t = Instant::now();
+                    match cell {
+                        Cell::Baseline { w } => {
+                            let wl = &workloads[w];
+                            let key = CompileKey {
+                                workload: w,
+                                model: Model::Superblock,
+                                issue: 1,
+                                branches: 1,
+                            };
+                            let Some(module) = cache.get_or_compile(
+                                key,
+                                wl,
+                                Model::Superblock,
+                                &MachineConfig::one_issue(),
+                                pipe,
+                                &errors,
+                            ) else {
+                                continue;
+                            };
+                            // All experiments share one denominator config
+                            // (1-issue, perfect memory, default predictor),
+                            // so any experiment's baseline_sim() works; use
+                            // the first for exactness.
+                            match simulate(
+                                &module,
+                                "main",
+                                &entry_args(&wl.args),
+                                MachineConfig::one_issue(),
+                                exps.first().map_or_else(
+                                    || Experiment::fig8().baseline_sim(),
+                                    Experiment::baseline_sim,
+                                ),
+                            ) {
+                                Ok(stats) => {
+                                    baseline[w].set(stats).expect("baseline cell runs once");
+                                }
+                                Err(e) => {
+                                    errors.record(e.into());
+                                    continue;
+                                }
+                            }
+                            cell_stats
+                                .lock()
+                                .expect("cell stats poisoned")
+                                .push(CellStat {
+                                    workload: wl.name,
+                                    experiment: "baseline",
+                                    model: None,
+                                    wall: t.elapsed(),
+                                });
+                        }
+                        Cell::Model { e, w, m } => {
+                            let wl = &workloads[w];
+                            let exp = &exps[e];
+                            let model = Model::ALL[m];
+                            let key = CompileKey {
+                                workload: w,
+                                model,
+                                issue: exp.issue,
+                                branches: exp.branches,
+                            };
+                            let Some(module) =
+                                cache.get_or_compile(key, wl, model, &exp.machine(), pipe, &errors)
+                            else {
+                                continue;
+                            };
+                            match simulate(
+                                &module,
+                                "main",
+                                &entry_args(&wl.args),
+                                exp.machine(),
+                                exp.sim(),
+                            ) {
+                                Ok(stats) => {
+                                    let idx = (e * workloads.len() + w) * 3 + m;
+                                    model_stats[idx].set(stats).expect("model cell runs once");
+                                }
+                                Err(e) => {
+                                    errors.record(e.into());
+                                    continue;
+                                }
+                            }
+                            cell_stats
+                                .lock()
+                                .expect("cell stats poisoned")
+                                .push(CellStat {
+                                    workload: wl.name,
+                                    experiment: exp.title,
+                                    model: Some(model),
+                                    wall: t.elapsed(),
+                                });
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = errors.take() {
+        return Err(e);
+    }
+
+    // Assemble per-figure results; every slot must be filled by now.
+    let mut figures = Vec::with_capacity(exps.len());
+    for e in 0..exps.len() {
+        let mut results = Vec::with_capacity(workloads.len());
+        for (w, wl) in workloads.iter().enumerate() {
+            let base = baseline[w].get().expect("baseline computed").clone();
+            let models: [SimStats; 3] = std::array::from_fn(|m| {
+                let idx = (e * workloads.len() + w) * 3 + m;
+                let s = model_stats[idx].get().expect("model cell computed").clone();
+                assert_eq!(s.ret, base.ret, "{}: {} diverged", wl.name, Model::ALL[m]);
+                s
+            });
+            results.push(BenchResult {
+                name: wl.name,
+                base,
+                models,
+            });
+        }
+        figures.push(results);
+    }
+
+    let stats = EngineStats {
+        threads,
+        wall: started.elapsed(),
+        compile_hits: cache.hits.load(Ordering::Relaxed),
+        compile_misses: cache.misses.load(Ordering::Relaxed),
+        baseline_sims: workloads.len() as u64,
+        baseline_reuses: (exps.len().saturating_sub(1) * workloads.len()) as u64,
+        model_sims: (exps.len() * workloads.len() * 3) as u64,
+        cells: cell_stats.into_inner().expect("cell stats poisoned"),
+    };
+    Ok(MatrixOutput { figures, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        let out =
+            run_matrix_workloads(&[], &[], &Pipeline::default(), 2).expect("empty matrix runs");
+        assert!(out.figures.is_empty());
+        assert_eq!(out.stats.compile_hits + out.stats.compile_misses, 0);
+    }
+
+    #[test]
+    fn compile_errors_propagate_not_panic() {
+        let bad = Workload {
+            name: "bad",
+            description: "unparseable",
+            source: "int main( {".to_string(),
+            args: Vec::new(),
+        };
+        let err = run_matrix_workloads(&[Experiment::fig8()], &[bad], &Pipeline::default(), 2);
+        assert!(err.is_err(), "syntax error must surface as PipelineError");
+    }
+}

@@ -1,6 +1,6 @@
 //! The per-model compilation pipeline and simulation driver.
 
-use hyperpred_emu::{Emulator, EmuError, Profiler};
+use hyperpred_emu::{EmuError, Emulator, Profiler};
 use hyperpred_hyperblock::{
     form_hyperblocks, form_superblocks, promote, unroll_self_loops, HyperblockConfig,
     SuperblockConfig, UnrollConfig,
@@ -242,13 +242,37 @@ mod tests {
     fn predication_beats_baseline_on_wide_issue() {
         let pipe = Pipeline::default();
         let sim = SimConfig::default();
-        let base = evaluate(SRC, &[], Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
-            .unwrap();
-        let sup = evaluate(SRC, &[], Model::Superblock, MachineConfig::new(8, 1), sim, &pipe)
-            .unwrap();
-        let full = evaluate(SRC, &[], Model::FullPred, MachineConfig::new(8, 1), sim, &pipe)
-            .unwrap();
-        assert!(speedup(&base, &sup) > 1.0, "8-issue superblock beats scalar");
+        let base = evaluate(
+            SRC,
+            &[],
+            Model::Superblock,
+            MachineConfig::one_issue(),
+            sim,
+            &pipe,
+        )
+        .unwrap();
+        let sup = evaluate(
+            SRC,
+            &[],
+            Model::Superblock,
+            MachineConfig::new(8, 1),
+            sim,
+            &pipe,
+        )
+        .unwrap();
+        let full = evaluate(
+            SRC,
+            &[],
+            Model::FullPred,
+            MachineConfig::new(8, 1),
+            sim,
+            &pipe,
+        )
+        .unwrap();
+        assert!(
+            speedup(&base, &sup) > 1.0,
+            "8-issue superblock beats scalar"
+        );
         assert!(
             speedup(&base, &full) > speedup(&base, &sup),
             "full predication beats superblock: {} !> {}",
@@ -265,7 +289,12 @@ mod tests {
         let sup = evaluate(SRC, &[], Model::Superblock, machine, sim, &pipe).unwrap();
         let full = evaluate(SRC, &[], Model::FullPred, machine, sim, &pipe).unwrap();
         let cmov = evaluate(SRC, &[], Model::CondMove, machine, sim, &pipe).unwrap();
-        assert!(full.branches < sup.branches, "{} !< {}", full.branches, sup.branches);
+        assert!(
+            full.branches < sup.branches,
+            "{} !< {}",
+            full.branches,
+            sup.branches
+        );
         assert!(cmov.branches < sup.branches);
     }
 

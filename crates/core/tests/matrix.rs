@@ -1,0 +1,162 @@
+//! Engine correctness: the parallel matrix must be a pure reordering of
+//! the serial path — identical `SimStats` per cell at any thread count —
+//! and its caches must actually deduplicate work.
+//!
+//! Workloads here are small MiniC programs (plus the `wc` mini) so the
+//! debug-build suite stays fast; the full suite runs through the engine in
+//! the CI figures smoke job and the `figures`/`hyperpredc report`
+//! binaries.
+
+use hyperpred::{run_matrix_workloads, run_workload, BenchResult, Experiment, Model, Pipeline};
+use hyperpred_workloads::{by_name, Scale, Workload};
+
+/// A machine-sharing pair: Figures 8 and 11 both schedule for 8-issue,
+/// 1-branch (the compile cache must land hits) but simulate different
+/// memory models.
+fn experiments() -> Vec<Experiment> {
+    vec![Experiment::fig8(), Experiment::fig11()]
+}
+
+/// Small but representative cells: branchy loop, memory traffic, calls,
+/// plus one real mini from the suite.
+fn workloads() -> Vec<Workload> {
+    let branchy = Workload {
+        name: "branchy",
+        description: "if-else ladder in a loop (if-conversion target)",
+        source: "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 400; i += 1) {
+                if (i % 3 == 0) s += 5;
+                else if (i % 5 == 0) s -= 2;
+                else s += 1;
+            }
+            return s;
+        }"
+        .to_string(),
+        args: vec![],
+    };
+    let memory = Workload {
+        name: "memory",
+        description: "array sweep with data-dependent stores (cache traffic)",
+        source: "int t[256];
+        int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 256; i += 1) { t[i] = i * 7 % 51; }
+            for (i = 0; i < 256; i += 1) {
+                if (t[i] > 25) s += t[i];
+                else t[i] = s % 13;
+            }
+            return s + t[17];
+        }"
+        .to_string(),
+        args: vec![],
+    };
+    let calls = Workload {
+        name: "calls",
+        description: "function calls exercising call/return scheduling",
+        source: "int clamp(int v, int lo, int hi) {
+            if (v < lo) return lo;
+            if (v > hi) return hi;
+            return v;
+        }
+        int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 300; i += 1) {
+                s += clamp(i * 3 % 97 - 40, -25, 25);
+            }
+            return s + 1000;
+        }"
+        .to_string(),
+        args: vec![],
+    };
+    vec![
+        branchy,
+        memory,
+        calls,
+        by_name("wc", Scale::Test).expect("workload"),
+    ]
+}
+
+fn assert_same(a: &BenchResult, b: &BenchResult, what: &str) {
+    assert_eq!(a.name, b.name);
+    assert_eq!(a.base, b.base, "{}: baseline stats differ ({what})", a.name);
+    for (i, m) in Model::ALL.iter().enumerate() {
+        assert_eq!(
+            a.models[i], b.models[i],
+            "{}: {m} stats differ ({what})",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn matrix_matches_serial_at_any_thread_count() {
+    let pipe = Pipeline::default();
+    let exps = experiments();
+    let wls = workloads();
+
+    // Ground truth: the historical serial path.
+    let serial: Vec<Vec<BenchResult>> = exps
+        .iter()
+        .map(|exp| {
+            wls.iter()
+                .map(|w| run_workload(w, exp, &pipe).expect("serial cell"))
+                .collect()
+        })
+        .collect();
+
+    for threads in [1, 4] {
+        let out = run_matrix_workloads(&exps, &wls, &pipe, threads).expect("matrix");
+        assert_eq!(out.figures.len(), serial.len());
+        for (fig, ser) in out.figures.iter().zip(&serial) {
+            for (a, b) in fig.iter().zip(ser) {
+                assert_same(a, b, &format!("{threads} thread(s) vs serial"));
+            }
+        }
+    }
+
+    // While we have both figures: Figure 11 evaluates with 64K caches but
+    // its speedup denominator must be the perfect-memory baseline,
+    // identical to Figure 8's (the fixed run_workload bug).
+    let out = run_matrix_workloads(&exps, &wls, &pipe, 2).expect("matrix");
+    for (a, b) in out.figures[0].iter().zip(&out.figures[1]) {
+        assert_eq!(a.base, b.base, "{}: denominators must match", a.name);
+        assert_eq!(
+            a.base.dcache_misses, 0,
+            "{}: perfect-memory baseline cannot miss",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn caches_deduplicate_compiles_and_baselines() {
+    let pipe = Pipeline::default();
+    let exps = experiments();
+    let wls = workloads();
+    let out = run_matrix_workloads(&exps, &wls, &pipe, 2).expect("matrix");
+
+    // Figures 8 and 11 share a machine: each (workload, model) compiles
+    // once and hits once. The baseline compile is shared too but only
+    // requested by its single baseline cell.
+    let w = wls.len() as u64;
+    assert_eq!(
+        out.stats.compile_hits,
+        3 * w,
+        "one hit per shared model cell"
+    );
+    // Distinct compiles per workload: baseline + fig8's three models
+    // (fig11 fully reuses fig8's modules).
+    assert_eq!(out.stats.compile_misses, 4 * w);
+    // The denominator is simulated once per workload, not once per figure.
+    assert_eq!(out.stats.baseline_sims, w);
+    assert_eq!(out.stats.baseline_reuses, (exps.len() as u64 - 1) * w);
+    // Every scheduled cell reported a wall time.
+    assert_eq!(
+        out.stats.cells.len(),
+        wls.len() * (1 + 3 * exps.len()),
+        "per-cell timing recorded"
+    );
+    // Cache counters must show real reuse for the acceptance criterion.
+    assert!(out.stats.compile_hits > 0);
+}

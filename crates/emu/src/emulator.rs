@@ -2,7 +2,7 @@
 
 use crate::memory::Memory;
 use crate::trace::{Event, TraceSink};
-use hyperpred_ir::{Function, FuncId, Inst, Module, Op, Operand};
+use hyperpred_ir::{FuncId, Function, Inst, Module, Op, Operand};
 use std::error::Error;
 use std::fmt;
 
@@ -183,7 +183,7 @@ impl<'m> Emulator<'m> {
                 }
                 self.fetched += 1;
 
-                let guard_val = inst.guard.map_or(true, |p| preds[p.index()]);
+                let guard_val = inst.guard.is_none_or(|p| preds[p.index()]);
                 // Predicate defines are NOT nullified by a false guard: Pin
                 // is an *input* to the Table 1 truth table (a false Pin
                 // still writes 0 to U-type destinations).
@@ -195,7 +195,11 @@ impl<'m> Emulator<'m> {
                         index: idx,
                         inst,
                         nullified: true,
-                        taken: if inst.op.is_branch() { Some(false) } else { None },
+                        taken: if inst.op.is_branch() {
+                            Some(false)
+                        } else {
+                            None
+                        },
                         mem_addr: None,
                     });
                     idx += 1;
@@ -210,8 +214,17 @@ impl<'m> Emulator<'m> {
                     addr,
                 };
                 match inst.op {
-                    Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::AndNot
-                    | Op::OrNot | Op::Shl | Op::Shr | Op::Sra => {
+                    Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::And
+                    | Op::Or
+                    | Op::Xor
+                    | Op::AndNot
+                    | Op::OrNot
+                    | Op::Shl
+                    | Op::Shr
+                    | Op::Sra => {
                         let a = val(&regs, inst.srcs[0]);
                         let b = val(&regs, inst.srcs[1]);
                         let r = match inst.op {
@@ -295,9 +308,8 @@ impl<'m> Emulator<'m> {
                         regs[inst.dst.unwrap().index()] = a as i64;
                     }
                     Op::Ld(w) => {
-                        let addr =
-                            (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
-                                as u64;
+                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                            as u64;
                         mem_addr = Some(addr);
                         let v = self
                             .mem
@@ -306,9 +318,8 @@ impl<'m> Emulator<'m> {
                         regs[inst.dst.unwrap().index()] = v;
                     }
                     Op::St(w) => {
-                        let addr =
-                            (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
-                                as u64;
+                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                            as u64;
                         mem_addr = Some(addr);
                         let v = val(&regs, inst.srcs[2]);
                         self.mem
@@ -540,7 +551,13 @@ mod tests {
         // we need pin false: clear then set only u via define.
         b.pred_clear();
         // u = 1 via unguarded define (0 == 0).
-        b.pred_def(CmpOp::Eq, &[(u, PredType::U)], Operand::Imm(0), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(u, PredType::U)],
+            Operand::Imm(0),
+            Operand::Imm(0),
+            None,
+        );
         // now define u again with a false Pin: must WRITE 0 (not leave 1).
         b.pred_def(
             CmpOp::Eq,
@@ -565,8 +582,20 @@ mod tests {
         let y = b.param();
         let p = b.fresh_pred();
         b.pred_clear();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            y.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(0));
         b.mov_to(out, Operand::Imm(1));
         b.guard_last(p);
@@ -626,7 +655,10 @@ mod tests {
         b.jump(l);
         let m = module_of(vec![b.finish()]);
         let mut emu = Emulator::new(&m).with_fuel(1000);
-        assert_eq!(emu.run("main", &[], &mut NullSink), Err(EmuError::OutOfFuel));
+        assert_eq!(
+            emu.run("main", &[], &mut NullSink),
+            Err(EmuError::OutOfFuel)
+        );
     }
 
     #[test]

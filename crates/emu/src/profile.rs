@@ -56,7 +56,10 @@ impl Profiler {
 
     /// Direction stats of the branch `inst` in `func`.
     pub fn branch(&self, func: FuncId, inst: InstId) -> BranchStat {
-        self.branches.get(&(func, inst)).copied().unwrap_or_default()
+        self.branches
+            .get(&(func, inst))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Computes edge execution counts for a function whose blocks are basic
@@ -120,10 +123,7 @@ impl TraceSink for Profiler {
 
     fn inst(&mut self, ev: &Event<'_>) {
         if let Some(taken) = ev.taken {
-            let stat = self
-                .branches
-                .entry((ev.func, ev.inst.id))
-                .or_default();
+            let stat = self.branches.entry((ev.func, ev.inst.id)).or_default();
             if taken {
                 stat.taken += 1;
             } else {
@@ -183,7 +183,12 @@ mod tests {
         // then-block executes for i = 0,3,6 → 3 times
         assert_eq!(prof.block_count(fid, f.layout[2]), 3);
         // backedge branch: taken 8 of 9
-        let back = f.block(f.layout[3]).insts.iter().find(|i| i.op.is_branch()).unwrap();
+        let back = f
+            .block(f.layout[3])
+            .insts
+            .iter()
+            .find(|i| i.op.is_branch())
+            .unwrap();
         let stat = prof.branch(fid, back.id);
         assert!((stat.taken_ratio() - 8.0 / 9.0).abs() < 1e-9);
     }

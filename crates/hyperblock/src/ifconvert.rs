@@ -20,7 +20,7 @@
 
 use hyperpred_emu::Profiler;
 use hyperpred_ir::{
-    BlockId, Cfg, CmpOp, DomTree, Function, FuncId, Inst, LoopForest, Op, Operand, PredReg,
+    BlockId, Cfg, CmpOp, DomTree, FuncId, Function, Inst, LoopForest, Op, Operand, PredReg,
     PredType,
 };
 use std::collections::HashMap;
@@ -84,9 +84,8 @@ pub fn form_hyperblocks(
         }
         // Innermost (smallest) regions first so inner loops become
         // hyperblocks before their enclosing loops are attempted.
-        regions.sort_by_key(|(h, body, _)| {
-            (body.len(), std::cmp::Reverse(prof.block_count(fid, *h)))
-        });
+        regions
+            .sort_by_key(|(h, body, _)| (body.len(), std::cmp::Reverse(prof.block_count(fid, *h))));
         let mut converted = false;
         for (header, body, nested) in regions {
             if convert_region(f, fid, prof, header, &body, &nested, config) {
@@ -169,7 +168,6 @@ fn hazardous(f: &Function, b: BlockId) -> bool {
         })
 }
 
-
 /// Removes side entrances into `selected` by duplicating the selected
 /// subgraph reachable from entered blocks and rewiring every unselected
 /// predecessor to the copies. Returns false if the region should be
@@ -181,12 +179,7 @@ fn duplicate_side_entrances(f: &mut Function, header: BlockId, selected: &[Block
         let entered: Vec<BlockId> = selected
             .iter()
             .copied()
-            .filter(|&b| {
-                b != header
-                    && preds[b.index()]
-                        .iter()
-                        .any(|p| !selected.contains(p))
-            })
+            .filter(|&b| b != header && preds[b.index()].iter().any(|p| !selected.contains(p)))
             .collect();
         if entered.is_empty() {
             return true;
@@ -388,8 +381,7 @@ fn convert_region(
     // with an empty set is control-equivalent to the header and needs no
     // predicate.
     let n_sel = topo.len();
-    let idx_of: HashMap<BlockId, usize> =
-        topo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let idx_of: HashMap<BlockId, usize> = topo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let sink = n_sel; // virtual exit node
     let mut succs_g: Vec<Vec<usize>> = vec![Vec::new(); n_sel + 1];
     for (i, &b) in topo.iter().enumerate() {
@@ -441,7 +433,9 @@ fn convert_region(
     // Control-dependence sets: (source block index, taken-side?) pairs.
     let mut cd: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n_sel];
     for (i, &b) in topo.iter().enumerate() {
-        let Out::Cond(_, _, t, u) = out_edges(f, b) else { continue };
+        let Out::Cond(_, _, t, u) = out_edges(f, b) else {
+            continue;
+        };
         let stop = ipdom[i].expect("every region block reaches the sink");
         for (dest, kind) in [(t, true), (u, false)] {
             if !in_s(dest) || dest == header {
@@ -590,8 +584,7 @@ fn convert_region(
     }
     f.block_mut(header).insts = out;
     // Remove the other selected blocks from the layout.
-    f.layout
-        .retain(|&b| b == header || !selected.contains(&b));
+    f.layout.retain(|&b| b == header || !selected.contains(&b));
     true
 }
 
@@ -626,10 +619,14 @@ mod tests {
         optimize_module(&mut m);
         let want = {
             let mut emu = Emulator::new(&m);
-            emu.run("main", &entry_args(args), &mut NullSink).unwrap().ret
+            emu.run("main", &entry_args(args), &mut NullSink)
+                .unwrap()
+                .ret
         };
         let mut s0 = DynStats::new();
-        Emulator::new(&m).run("main", &entry_args(args), &mut s0).unwrap();
+        Emulator::new(&m)
+            .run("main", &entry_args(args), &mut s0)
+            .unwrap();
         let prof = profile(&m, args);
         let formed = form_all(&mut m, &prof);
         assert!(formed > 0, "no hyperblocks formed for:\n{src}");

@@ -254,7 +254,9 @@ mod tests {
         assert!(load.speculative, "promoted load must be silent");
         let mov_y = insts
             .iter()
-            .find(|i| i.op == hyperpred_ir::Op::Mov && i.dst == Some(y) && !i.srcs[0].as_imm().is_some())
+            .find(|i| {
+                i.op == hyperpred_ir::Op::Mov && i.dst == Some(y) && i.srcs[0].as_imm().is_none()
+            })
             .unwrap();
         assert!(mov_y.guard.is_some(), "write to live-out y keeps its guard");
     }
@@ -287,7 +289,13 @@ mod tests {
         let mut b = FuncBuilder::new("f");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(7));
         let exit = b.block();
         b.mov_to(out, Operand::Imm(9));
@@ -304,7 +312,13 @@ mod tests {
         let mut b = FuncBuilder::new("f");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         b.store(MemWidth::Word, x.into(), Operand::Imm(0), Operand::Imm(1));
         b.guard_last(p);
         b.ret(None);
@@ -318,7 +332,13 @@ mod tests {
         let x = b.param();
         let y = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], y.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            y.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(0));
         let t = b.op2(hyperpred_ir::Op::Div, x.into(), y.into());
         b.guard_last(p);

@@ -13,7 +13,7 @@
 //!    become mid-block exit branches.
 
 use hyperpred_emu::Profiler;
-use hyperpred_ir::{BlockId, Function, FuncId, Inst, Op};
+use hyperpred_ir::{BlockId, FuncId, Function, Inst, Op};
 use std::collections::HashMap;
 
 /// Tunables for trace selection.
@@ -300,8 +300,7 @@ fn merge_trace(f: &mut Function, trace: &[BlockId]) {
         make_explicit(f, b);
     }
     let head = trace[0];
-    for i in 1..trace.len() {
-        let next = trace[i];
+    for &next in &trace[1..] {
         // Fix the merged tail so "continue to the next instruction" means
         // "enter `next`". The tail is explicit: it ends with Jump, Ret, or
         // Halt, optionally preceded by a conditional branch.
@@ -390,7 +389,11 @@ mod tests {
                 .enumerate()
                 .any(|(i, inst)| inst.op.is_branch() && i + 2 < insts.len())
         });
-        assert!(has_superblock, "expected a mid-block exit branch:\n{}", m.funcs[0]);
+        assert!(
+            has_superblock,
+            "expected a mid-block exit branch:\n{}",
+            m.funcs[0]
+        );
         // Behaviour must be preserved.
         let mut emu = Emulator::new(&m);
         let r = emu.run("main", &entry_args(&[]), &mut NullSink).unwrap();
@@ -413,13 +416,18 @@ mod tests {
         optimize_module(&mut m);
         let want = {
             let mut emu = Emulator::new(&m);
-            emu.run("main", &entry_args(&[]), &mut NullSink).unwrap().ret
+            emu.run("main", &entry_args(&[]), &mut NullSink)
+                .unwrap()
+                .ret
         };
         let prof = profile(&m, &[]);
         form_all(&mut m, &prof);
         m.verify().unwrap();
         let mut emu = Emulator::new(&m);
-        let got = emu.run("main", &entry_args(&[]), &mut NullSink).unwrap().ret;
+        let got = emu
+            .run("main", &entry_args(&[]), &mut NullSink)
+            .unwrap()
+            .ret;
         assert_eq!(got, want);
     }
 
@@ -434,11 +442,15 @@ mod tests {
         optimize_module(&mut m);
         let prof = profile(&m, &[]);
         let mut stats0 = hyperpred_emu::DynStats::new();
-        Emulator::new(&m).run("main", &entry_args(&[]), &mut stats0).unwrap();
+        Emulator::new(&m)
+            .run("main", &entry_args(&[]), &mut stats0)
+            .unwrap();
         form_all(&mut m, &prof);
         optimize_module(&mut m);
         let mut stats1 = hyperpred_emu::DynStats::new();
-        Emulator::new(&m).run("main", &entry_args(&[]), &mut stats1).unwrap();
+        Emulator::new(&m)
+            .run("main", &entry_args(&[]), &mut stats1)
+            .unwrap();
         assert!(
             stats1.branches <= stats0.branches,
             "superblocks should not add dynamic branches ({} > {})",

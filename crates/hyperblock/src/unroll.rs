@@ -19,7 +19,7 @@
 //! registers exactly as across real iterations.
 
 use hyperpred_emu::Profiler;
-use hyperpred_ir::{BlockId, Function, FuncId, Inst, Op};
+use hyperpred_ir::{BlockId, FuncId, Function, Inst, Op};
 
 /// Unrolling configuration.
 #[derive(Debug, Clone, Copy)]
@@ -117,7 +117,9 @@ pub fn unroll_self_loops(
         if self_branches != 1 {
             continue;
         }
-        let Some(tail) = self_loop_tail(f, b) else { continue };
+        let Some(tail) = self_loop_tail(f, b) else {
+            continue;
+        };
         let body: Vec<Inst> = f.block(b).insts.clone();
         let n = body.len();
         let mut out: Vec<Inst> = Vec::with_capacity(n * config.factor as usize);
@@ -219,11 +221,17 @@ mod tests {
             &prof,
             &crate::SuperblockConfig::default(),
         );
-        let want = Emulator::new(&m).run("main", &[], &mut NullSink).unwrap().ret;
+        let want = Emulator::new(&m)
+            .run("main", &[], &mut NullSink)
+            .unwrap()
+            .ret;
         let n = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default());
         assert_eq!(n, 1, "{}", m.funcs[0]);
         m.verify().unwrap();
-        let got = Emulator::new(&m).run("main", &[], &mut NullSink).unwrap().ret;
+        let got = Emulator::new(&m)
+            .run("main", &[], &mut NullSink)
+            .unwrap()
+            .ret;
         assert_eq!(got, want);
         // Dynamic back-edge branches should drop ~4x; check the static
         // shape instead: 4 copies of the add.
@@ -296,7 +304,11 @@ mod tests {
         let mut m = hyperpred_lang::compile(src).unwrap();
         hyperpred_opt::optimize_module(&mut m);
         let want = Emulator::new(&m)
-            .run("main", &hyperpred_lang::lower::entry_args(&[]), &mut NullSink)
+            .run(
+                "main",
+                &hyperpred_lang::lower::entry_args(&[]),
+                &mut NullSink,
+            )
             .unwrap()
             .ret;
         let mut prof = Profiler::new();
@@ -314,7 +326,11 @@ mod tests {
         assert!(n >= 1, "{}", m.funcs[0]);
         m.verify().unwrap();
         let got = Emulator::new(&m)
-            .run("main", &hyperpred_lang::lower::entry_args(&[]), &mut NullSink)
+            .run(
+                "main",
+                &hyperpred_lang::lower::entry_args(&[]),
+                &mut NullSink,
+            )
             .unwrap()
             .ret;
         assert_eq!(got, want);

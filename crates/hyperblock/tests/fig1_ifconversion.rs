@@ -121,7 +121,10 @@ fn figure1_module() -> Module {
 fn figure1_converts_to_the_papers_shape() {
     let m0 = figure1_module();
     let args = [1i64, 1, 0, 40];
-    let want = Emulator::new(&m0).run("main", &args, &mut NullSink).unwrap().ret;
+    let want = Emulator::new(&m0)
+        .run("main", &args, &mut NullSink)
+        .unwrap()
+        .ret;
     let mut prof = Profiler::new();
     Emulator::new(&m0).run("main", &args, &mut prof).unwrap();
 
@@ -135,7 +138,10 @@ fn figure1_converts_to_the_papers_shape() {
     assert!(formed >= 1, "the Fig. 1 region must convert");
     m.verify().unwrap();
     assert_eq!(
-        Emulator::new(&m).run("main", &args, &mut NullSink).unwrap().ret,
+        Emulator::new(&m)
+            .run("main", &args, &mut NullSink)
+            .unwrap()
+            .ret,
         want,
         "behaviour preserved"
     );
@@ -190,9 +196,9 @@ fn figure1_converts_to_the_papers_shape() {
     // The i++ chain: an unguarded add of 1 must exist inside the
     // hyperblock (the paper's final `add i,i,1`).
     assert!(
-        insts
-            .iter()
-            .any(|i| i.op == Op::Add && i.guard.is_none() && i.srcs.get(1) == Some(&Operand::Imm(1))),
+        insts.iter().any(|i| i.op == Op::Add
+            && i.guard.is_none()
+            && i.srcs.get(1) == Some(&Operand::Imm(1))),
         "i++ executes unconditionally:\n{f}"
     );
 
@@ -218,13 +224,24 @@ fn figure1_is_correct_on_all_paths() {
         .run("main", &[1, 1, 0, 40], &mut prof)
         .unwrap();
     let mut m = m0.clone();
-    form_hyperblocks(&mut m.funcs[0], FuncId(0), &prof, &HyperblockConfig::default());
+    form_hyperblocks(
+        &mut m.funcs[0],
+        FuncId(0),
+        &prof,
+        &HyperblockConfig::default(),
+    );
     for a in [0i64, 1] {
         for b in [0i64, 1] {
             for c in [0i64, 1] {
                 let args = [a, b, c, 25];
-                let want = Emulator::new(&m0).run("main", &args, &mut NullSink).unwrap().ret;
-                let got = Emulator::new(&m).run("main", &args, &mut NullSink).unwrap().ret;
+                let want = Emulator::new(&m0)
+                    .run("main", &args, &mut NullSink)
+                    .unwrap()
+                    .ret;
+                let got = Emulator::new(&m)
+                    .run("main", &args, &mut NullSink)
+                    .unwrap()
+                    .ret;
                 assert_eq!(got, want, "a={a} b={b} c={c}");
             }
         }

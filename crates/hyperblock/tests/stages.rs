@@ -33,14 +33,29 @@ fn superblock_stage_preserves_all_workloads() {
         let prof = profile(&m, &w.args);
         for i in 0..m.funcs.len() {
             let mut f = m.funcs[i].clone();
-            form_superblocks(&mut f, FuncId(i as u32), &prof, &SuperblockConfig::default());
+            form_superblocks(
+                &mut f,
+                FuncId(i as u32),
+                &prof,
+                &SuperblockConfig::default(),
+            );
             m.funcs[i] = f;
         }
         m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert_eq!(run(&m, &w.args), want, "{}: superblock formation diverged", w.name);
+        assert_eq!(
+            run(&m, &w.args),
+            want,
+            "{}: superblock formation diverged",
+            w.name
+        );
         // Post-formation cleanup must also be safe.
         hyperpred_opt::optimize_module(&mut m);
-        assert_eq!(run(&m, &w.args), want, "{}: post-superblock opt diverged", w.name);
+        assert_eq!(
+            run(&m, &w.args),
+            want,
+            "{}: post-superblock opt diverged",
+            w.name
+        );
         // Scheduling (the speculation pass) must be safe at several widths.
         for (k, b) in [(1, 1), (4, 1), (8, 1), (8, 2)] {
             let mut sm = m.clone();
@@ -64,7 +79,12 @@ fn hyperblock_stage_preserves_all_workloads() {
         let prof = profile(&m, &w.args);
         for i in 0..m.funcs.len() {
             let mut f = m.funcs[i].clone();
-            form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+            form_hyperblocks(
+                &mut f,
+                FuncId(i as u32),
+                &prof,
+                &HyperblockConfig::default(),
+            );
             m.funcs[i] = f;
         }
         m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -76,7 +96,12 @@ fn hyperblock_stage_preserves_all_workloads() {
         }
         assert_eq!(run(&m, &w.args), want, "{}: promotion diverged", w.name);
         hyperpred_opt::optimize_module(&mut m);
-        assert_eq!(run(&m, &w.args), want, "{}: post-hyperblock opt diverged", w.name);
+        assert_eq!(
+            run(&m, &w.args),
+            want,
+            "{}: post-hyperblock opt diverged",
+            w.name
+        );
         for (k, b) in [(1, 1), (8, 1)] {
             let mut sm = m.clone();
             hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b));
@@ -100,16 +125,31 @@ fn partial_stage_preserves_all_workloads() {
         let prof = profile(&m, &w.args);
         for i in 0..m.funcs.len() {
             let mut f = m.funcs[i].clone();
-            form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+            form_hyperblocks(
+                &mut f,
+                FuncId(i as u32),
+                &prof,
+                &HyperblockConfig::default(),
+            );
             promote(&mut f);
             m.funcs[i] = f;
         }
         to_partial_module(&mut m, &PartialConfig::default());
         m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert_eq!(run(&m, &w.args), want, "{}: partial conversion diverged", w.name);
+        assert_eq!(
+            run(&m, &w.args),
+            want,
+            "{}: partial conversion diverged",
+            w.name
+        );
         hyperpred_opt::optimize_module(&mut m);
         let mut sm = m.clone();
         hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(8, 1));
-        assert_eq!(run(&sm, &w.args), want, "{}: partial scheduling diverged", w.name);
+        assert_eq!(
+            run(&sm, &w.args),
+            want,
+            "{}: partial scheduling diverged",
+            w.name
+        );
     }
 }

@@ -257,7 +257,13 @@ mod tests {
         let x = b.param();
         let p = b.fresh_pred();
         // U-type fully defines p.
-        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let y = b.add(x.into(), Operand::Imm(1));
         b.guard_last(p);
         b.ret(Some(y.into()));
@@ -270,7 +276,13 @@ mod tests {
         let mut b = FuncBuilder::new("g");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let y = b.add(x.into(), Operand::Imm(1));
         b.guard_last(p);
         b.ret(Some(y.into()));

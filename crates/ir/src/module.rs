@@ -208,10 +208,7 @@ impl Function {
 
     /// Total number of instructions across laid-out blocks.
     pub fn size(&self) -> usize {
-        self.layout
-            .iter()
-            .map(|&b| self.block(b).insts.len())
-            .sum()
+        self.layout.iter().map(|&b| self.block(b).insts.len()).sum()
     }
 
     /// Iterates `(block, index, inst)` over the layout.
@@ -272,9 +269,7 @@ impl Function {
                 }
                 // Second-to-last: allowed only for Br followed by an
                 // unconditional ender.
-                i + 2 == n
-                    && matches!(inst.op, Op::Br(_))
-                    && insts[n - 1].op.ends_block()
+                i + 2 == n && matches!(inst.op, Op::Br(_)) && insts[n - 1].op.ends_block()
             })
         })
     }

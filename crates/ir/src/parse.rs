@@ -404,7 +404,9 @@ fn parse_inst(
     let mut max_pred: i64 = -1;
     let mut it = toks.into_iter().peekable();
     while let Some(Tokened::PredDst(_)) = it.peek() {
-        let Some(Tokened::PredDst(pd)) = it.next() else { unreachable!() };
+        let Some(Tokened::PredDst(pd)) = it.next() else {
+            unreachable!()
+        };
         max_pred = max_pred.max(pd.reg.0 as i64);
         inst.pdsts.push(pd);
     }

@@ -171,8 +171,16 @@ mod tests {
     fn table_1() {
         // (pin, cmp, U, UBar, Or, OrBar, And, AndBar)
         let rows: [(bool, bool, [Option<bool>; 6]); 4] = [
-            (false, false, [Some(false), Some(false), None, None, None, None]),
-            (false, true, [Some(false), Some(false), None, None, None, None]),
+            (
+                false,
+                false,
+                [Some(false), Some(false), None, None, None, None],
+            ),
+            (
+                false,
+                true,
+                [Some(false), Some(false), None, None, None, None],
+            ),
             (
                 true,
                 false,

@@ -69,7 +69,11 @@ impl fmt::Display for Inst {
                 write!(f, "{sep}[{} + {}]", self.srcs[0], self.srcs[1])?;
             }
             Op::St(_) => {
-                write!(f, "{sep}[{} + {}], {}", self.srcs[0], self.srcs[1], self.srcs[2])?;
+                write!(
+                    f,
+                    "{sep}[{} + {}], {}",
+                    self.srcs[0], self.srcs[1], self.srcs[2]
+                )?;
             }
             _ => {
                 for s in &self.srcs {

@@ -170,7 +170,10 @@ fn verify_inst(f: &Function, b: BlockId, inst: &Inst) -> Result<(), VerifyError>
             return Err(err(
                 f,
                 Some(b),
-                format!("{inst}: register {r} out of range (reg_count={})", f.reg_count),
+                format!(
+                    "{inst}: register {r} out of range (reg_count={})",
+                    f.reg_count
+                ),
             ));
         }
     }
@@ -270,9 +273,7 @@ impl Module {
                                 ));
                             }
                         }
-                        Some(c) => {
-                            return Err(err(f, Some(b), format!("{inst}: bad callee {c}")))
-                        }
+                        Some(c) => return Err(err(f, Some(b), format!("{inst}: bad callee {c}"))),
                         None => return Err(err(f, Some(b), format!("{inst}: unresolved call"))),
                     }
                 }

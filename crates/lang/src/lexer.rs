@@ -113,7 +113,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 bump!();
             }
             let mut is_float = false;
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
+            {
                 is_float = true;
                 bump!();
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -131,7 +135,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     col: tc,
                 });
             } else {
-                let v = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let v = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
                     i64::from_str_radix(hex, 16)
                 } else {
                     text.parse()
@@ -318,7 +324,10 @@ mod tests {
 
     #[test]
     fn float_and_hex() {
-        assert_eq!(kinds("1.5 0xff"), vec![Tok::Float(1.5), Tok::Int(255), Tok::Eof]);
+        assert_eq!(
+            kinds("1.5 0xff"),
+            vec![Tok::Float(1.5), Tok::Int(255), Tok::Eof]
+        );
     }
 
     #[test]

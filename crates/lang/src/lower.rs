@@ -121,12 +121,12 @@ pub fn lower_program(prog: &Program) -> Result<Module, CompileError> {
         let lowered = FnLower::new(f, &gsyms, &sigs)?.lower(f)?;
         module.push(lowered);
     }
-    module.link().map_err(|name| {
-        CompileError::new(0, 0, format!("call to undefined function {name}"))
-    })?;
-    module.verify().map_err(|e| {
-        CompileError::new(0, 0, format!("internal lowering error: {e}"))
-    })?;
+    module
+        .link()
+        .map_err(|name| CompileError::new(0, 0, format!("call to undefined function {name}")))?;
+    module
+        .verify()
+        .map_err(|e| CompileError::new(0, 0, format!("internal lowering error: {e}")))?;
     Ok(module)
 }
 
@@ -220,12 +220,7 @@ impl<'a> FnLower<'a> {
             self.stmt(s)?;
         }
         // Implicit return at the end of the body.
-        if !self
-            .b
-            .func()
-            .block(self.b.current())
-            .ends_explicitly()
-        {
+        if !self.b.func().block(self.b.current()).ends_explicitly() {
             match self.ret {
                 Type::Void => self.b.ret(None),
                 _ => self.b.ret(Some(Operand::Imm(0))),
@@ -264,7 +259,7 @@ impl<'a> FnLower<'a> {
 
     // ---- type helpers -------------------------------------------------
 
-    fn to_int(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
+    fn coerce_int(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
         match v.ty {
             Ty::I => Ok(v.op),
             Ty::F => {
@@ -279,7 +274,7 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn to_float(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
+    fn coerce_float(&mut self, v: Val, line: u32) -> Result<Operand, CompileError> {
         match v.ty {
             Ty::F => Ok(v.op),
             Ty::I => {
@@ -299,10 +294,10 @@ impl<'a> FnLower<'a> {
 
     fn coerce_to(&mut self, v: Val, ty: Scalar, line: u32) -> Result<Operand, CompileError> {
         match ty {
-            Scalar::Float => self.to_float(v, line),
-            Scalar::Int => self.to_int(v, line),
+            Scalar::Float => self.coerce_float(v, line),
+            Scalar::Int => self.coerce_int(v, line),
             Scalar::Char => {
-                let i = self.to_int(v, line)?;
+                let i = self.coerce_int(v, line)?;
                 // Char registers hold 0..=255; mask on conversion.
                 Ok(self.b.op2(Op::And, i, Operand::Imm(0xFF)).into())
             }
@@ -350,16 +345,16 @@ impl<'a> FnLower<'a> {
                 let va = self.expr(a)?;
                 let vb_probe_ty = va.ty; // unify on the then-branch type
                 let a_op = match vb_probe_ty {
-                    Ty::F => self.to_float(va, e.line)?,
-                    _ => self.to_int(va, e.line)?,
+                    Ty::F => self.coerce_float(va, e.line)?,
+                    _ => self.coerce_int(va, e.line)?,
                 };
                 self.b.mov_to(out, a_op);
                 self.b.jump(join);
                 self.b.switch_to(fb);
                 let vb = self.expr(bx)?;
                 let b_op = match vb_probe_ty {
-                    Ty::F => self.to_float(vb, e.line)?,
-                    _ => self.to_int(vb, e.line)?,
+                    Ty::F => self.coerce_float(vb, e.line)?,
+                    _ => self.coerce_int(vb, e.line)?,
                 };
                 self.b.mov_to(out, b_op);
                 self.b.jump(join);
@@ -396,9 +391,7 @@ impl<'a> FnLower<'a> {
         match self.gsyms.get(name) {
             Some(GSym::Scalar { ty, addr }) => {
                 let w = width_of(*ty);
-                let dst = self
-                    .b
-                    .load(w, Operand::Imm(*addr as i64), Operand::Imm(0));
+                let dst = self.b.load(w, Operand::Imm(*addr as i64), Operand::Imm(0));
                 Ok(Val {
                     op: dst.into(),
                     ty: reg_ty(*ty),
@@ -435,7 +428,7 @@ impl<'a> FnLower<'a> {
     fn element_offset(&mut self, idx: &Expr, scalar: Scalar) -> Result<Operand, CompileError> {
         let line = idx.line;
         let v = self.expr(idx)?;
-        let i = self.to_int(v, line)?;
+        let i = self.coerce_int(v, line)?;
         Ok(match scalar.size() {
             1 => i,
             8 => match i {
@@ -492,7 +485,7 @@ impl<'a> FnLower<'a> {
         match op {
             UnOp::Neg => match v.ty {
                 Ty::F => {
-                    let f = self.to_float(v, line)?;
+                    let f = self.coerce_float(v, line)?;
                     let dst = self.b.op2(Op::FSub, Operand::fimm(0.0), f);
                     Ok(Val {
                         op: dst.into(),
@@ -500,7 +493,7 @@ impl<'a> FnLower<'a> {
                     })
                 }
                 _ => {
-                    let i = self.to_int(v, line)?;
+                    let i = self.coerce_int(v, line)?;
                     if let Operand::Imm(k) = i {
                         return Ok(Val {
                             op: Operand::Imm(k.wrapping_neg()),
@@ -517,18 +510,20 @@ impl<'a> FnLower<'a> {
             UnOp::Not => {
                 let i = match v.ty {
                     Ty::F => {
-                        let f = self.to_float(v, line)?;
-                        self.b.op2(Op::FCmp(CmpOp::Eq), f, Operand::fimm(0.0)).into()
+                        let f = self.coerce_float(v, line)?;
+                        self.b
+                            .op2(Op::FCmp(CmpOp::Eq), f, Operand::fimm(0.0))
+                            .into()
                     }
                     _ => {
-                        let i = self.to_int(v, line)?;
+                        let i = self.coerce_int(v, line)?;
                         self.b.cmp(CmpOp::Eq, i, Operand::Imm(0)).into()
                     }
                 };
                 Ok(Val { op: i, ty: Ty::I })
             }
             UnOp::BitNot => {
-                let i = self.to_int(v, line)?;
+                let i = self.coerce_int(v, line)?;
                 let dst = self.b.op2(Op::Xor, i, Operand::Imm(-1));
                 Ok(Val {
                     op: dst.into(),
@@ -538,19 +533,13 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn binary(
-        &mut self,
-        op: BinOp,
-        a: &Expr,
-        b: &Expr,
-        line: u32,
-    ) -> Result<Val, CompileError> {
+    fn binary(&mut self, op: BinOp, a: &Expr, b: &Expr, line: u32) -> Result<Val, CompileError> {
         let va = self.expr(a)?;
         let vb = self.expr(b)?;
         let float = va.ty == Ty::F || vb.ty == Ty::F;
         if float {
-            let fa = self.to_float(va, line)?;
-            let fb = self.to_float(vb, line)?;
+            let fa = self.coerce_float(va, line)?;
+            let fb = self.coerce_float(vb, line)?;
             let (irop, ty) = match op {
                 BinOp::Add => (Op::FAdd, Ty::F),
                 BinOp::Sub => (Op::FSub, Ty::F),
@@ -565,13 +554,10 @@ impl<'a> FnLower<'a> {
                 _ => return err(line, "operator requires integer operands"),
             };
             let dst = self.b.op2(irop, fa, fb);
-            return Ok(Val {
-                op: dst.into(),
-                ty,
-            });
+            return Ok(Val { op: dst.into(), ty });
         }
-        let ia = self.to_int(va, line)?;
-        let ib = self.to_int(vb, line)?;
+        let ia = self.coerce_int(va, line)?;
+        let ib = self.coerce_int(vb, line)?;
         let irop = match op {
             BinOp::Add => Op::Add,
             BinOp::Sub => Op::Sub,
@@ -681,9 +667,9 @@ impl<'a> FnLower<'a> {
                 let (base, scalar) = self.array_base(&lv.name, line)?;
                 let off = self.element_offset(idx, scalar)?;
                 let v = match scalar {
-                    Scalar::Float => self.to_float(rhs_val, line)?,
+                    Scalar::Float => self.coerce_float(rhs_val, line)?,
                     // Byte stores truncate; no mask needed.
-                    Scalar::Char | Scalar::Int => self.to_int(rhs_val, line)?,
+                    Scalar::Char | Scalar::Int => self.coerce_int(rhs_val, line)?,
                 };
                 self.b.store(width_of(scalar), base, off, v);
                 Ok(Val {
@@ -724,13 +710,13 @@ impl<'a> FnLower<'a> {
                     _ => unreachable!(),
                 };
                 if va.ty == Ty::F || vb.ty == Ty::F {
-                    let fa = self.to_float(va, e.line)?;
-                    let fb2 = self.to_float(vb, e.line)?;
+                    let fa = self.coerce_float(va, e.line)?;
+                    let fb2 = self.coerce_float(vb, e.line)?;
                     let c = self.b.op2(Op::FCmp(cmp), fa, fb2);
                     self.b.br(CmpOp::Ne, c.into(), Operand::Imm(0), tb);
                 } else {
-                    let ia = self.to_int(va, e.line)?;
-                    let ib = self.to_int(vb, e.line)?;
+                    let ia = self.coerce_int(va, e.line)?;
+                    let ib = self.coerce_int(vb, e.line)?;
                     self.b.br(cmp, ia, ib, tb);
                 }
                 self.b.jump(fb);
@@ -740,12 +726,12 @@ impl<'a> FnLower<'a> {
                 let v = self.expr(e)?;
                 match v.ty {
                     Ty::F => {
-                        let f = self.to_float(v, e.line)?;
+                        let f = self.coerce_float(v, e.line)?;
                         let c = self.b.op2(Op::FCmp(CmpOp::Ne), f, Operand::fimm(0.0));
                         self.b.br(CmpOp::Ne, c.into(), Operand::Imm(0), tb);
                     }
                     Ty::I => {
-                        let i = self.to_int(v, e.line)?;
+                        let i = self.coerce_int(v, e.line)?;
                         self.b.br(CmpOp::Ne, i, Operand::Imm(0), tb);
                     }
                     Ty::Addr(_) => return err(e.line, "array used as a condition"),
@@ -876,9 +862,7 @@ impl<'a> FnLower<'a> {
             Stmt::Return(v, line) => {
                 match (self.ret, v) {
                     (Type::Void, None) => self.b.ret(None),
-                    (Type::Void, Some(_)) => {
-                        return err(*line, "void function returns a value")
-                    }
+                    (Type::Void, Some(_)) => return err(*line, "void function returns a value"),
                     (Type::Scalar(s), Some(e)) => {
                         let val = self.expr(e)?;
                         let op = self.coerce_to(val, s, *line)?;

@@ -120,21 +120,17 @@ impl Parser {
         })
     }
 
-    fn global_init(
-        &mut self,
-        ty: Scalar,
-        len: &mut Option<u64>,
-    ) -> Result<Vec<u8>, CompileError> {
+    fn global_init(&mut self, ty: Scalar, len: &mut Option<u64>) -> Result<Vec<u8>, CompileError> {
         let encode = |v: &Tok, neg: bool, line: u32, col: u32| -> Result<Vec<u8>, CompileError> {
             let sign = if neg { -1.0 } else { 1.0 };
             match (ty, v) {
-                (Scalar::Char, Tok::Int(x)) => Ok(vec![if neg { x.wrapping_neg() } else { *x } as u8]),
-                (Scalar::Int, Tok::Int(x)) => {
-                    Ok(if neg { x.wrapping_neg() } else { *x }.to_le_bytes().to_vec())
+                (Scalar::Char, Tok::Int(x)) => {
+                    Ok(vec![if neg { x.wrapping_neg() } else { *x } as u8])
                 }
-                (Scalar::Float, Tok::Float(x)) => {
-                    Ok((sign * x).to_bits().to_le_bytes().to_vec())
-                }
+                (Scalar::Int, Tok::Int(x)) => Ok(if neg { x.wrapping_neg() } else { *x }
+                    .to_le_bytes()
+                    .to_vec()),
+                (Scalar::Float, Tok::Float(x)) => Ok((sign * x).to_bits().to_le_bytes().to_vec()),
                 (Scalar::Float, Tok::Int(x)) => {
                     Ok((sign * *x as f64).to_bits().to_le_bytes().to_vec())
                 }
@@ -282,17 +278,33 @@ impl Parser {
             Tok::Ident(s) if s == "for" => {
                 self.bump();
                 self.expect_punct("(")?;
-                let init = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                let init = if self.at_punct(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_punct(";")?;
-                let cond = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                let cond = if self.at_punct(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_punct(";")?;
-                let step = if self.at_punct(")") { None } else { Some(self.expr()?) };
+                let step = if self.at_punct(")") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_punct(")")?;
                 Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
             }
             Tok::Ident(s) if s == "return" => {
                 self.bump();
-                let v = if self.at_punct(";") { None } else { Some(self.expr()?) };
+                let v = if self.at_punct(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect_punct(";")?;
                 Ok(Stmt::Return(v, t.line))
             }
@@ -320,9 +332,7 @@ impl Parser {
                     let t = self.bump();
                     match t.tok {
                         Tok::Int(v) if v > 0 => len = Some(v as u64),
-                        _ => {
-                            return Err(CompileError::new(t.line, t.col, "expected array length"))
-                        }
+                        _ => return Err(CompileError::new(t.line, t.col, "expected array length")),
                     }
                     self.expect_punct("]")?;
                 }
@@ -595,7 +605,9 @@ mod tests {
     #[test]
     fn assignment_is_right_associative() {
         let p = parse("int main() { int a; int b; a = b = 1; return a; }").unwrap();
-        let Stmt::Expr(e) = &p.funcs[0].body[2] else { panic!() };
+        let Stmt::Expr(e) = &p.funcs[0].body[2] else {
+            panic!()
+        };
         match &e.kind {
             ExprKind::Assign(lv, None, rhs) => {
                 assert_eq!(lv.name, "a");
@@ -608,7 +620,9 @@ mod tests {
     #[test]
     fn compound_assign_to_array_element() {
         let p = parse("int a[4]; int main() { a[1] += 2; return 0; }").unwrap();
-        let Stmt::Expr(e) = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Expr(e) = &p.funcs[0].body[0] else {
+            panic!()
+        };
         match &e.kind {
             ExprKind::Assign(lv, Some(BinOp::Add), _) => {
                 assert_eq!(lv.name, "a");
@@ -649,13 +663,18 @@ mod tests {
         let p = parse("int f(int a[], char b[]) { return a[0] + b[0]; } int main(){ return 0; }")
             .unwrap();
         assert_eq!(p.funcs[0].params.len(), 2);
-        assert!(matches!(p.funcs[0].params[0].0, Type::Array(Scalar::Int, None)));
+        assert!(matches!(
+            p.funcs[0].params[0].0,
+            Type::Array(Scalar::Int, None)
+        ));
     }
 
     #[test]
     fn ternary_parses() {
         let p = parse("int main() { int a; a = 1 < 2 ? 3 : 4; return a; }").unwrap();
-        let Stmt::Expr(e) = &p.funcs[0].body[1] else { panic!() };
+        let Stmt::Expr(e) = &p.funcs[0].body[1] else {
+            panic!()
+        };
         match &e.kind {
             ExprKind::Assign(_, None, rhs) => {
                 assert!(matches!(rhs.kind, ExprKind::Ternary(..)));

@@ -1,8 +1,8 @@
 //! End-to-end: compile MiniC, run on the emulator, check results.
 
 use hyperpred_emu::{Emulator, NullSink};
-use hyperpred_lang::lower::entry_args;
 use hyperpred_lang::compile;
+use hyperpred_lang::lower::entry_args;
 
 fn run(src: &str, args: &[i64]) -> i64 {
     let m = compile(src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
@@ -35,25 +35,40 @@ fn comparisons_yield_01() {
 fn short_circuit_evaluation() {
     // Division by zero on the right side must not execute.
     assert_eq!(
-        run("int main() { int z; z = 0; if (z != 0 && 10 / z > 1) return 1; return 2; }", &[]),
+        run(
+            "int main() { int z; z = 0; if (z != 0 && 10 / z > 1) return 1; return 2; }",
+            &[]
+        ),
         2
     );
     assert_eq!(
-        run("int main() { int z; z = 0; if (z == 0 || 10 / z > 1) return 1; return 2; }", &[]),
+        run(
+            "int main() { int z; z = 0; if (z == 0 || 10 / z > 1) return 1; return 2; }",
+            &[]
+        ),
         1
     );
 }
 
 #[test]
 fn logical_as_value() {
-    assert_eq!(run("int main() { return (1 && 2) + (0 || 0) * 10; }", &[]), 1);
+    assert_eq!(
+        run("int main() { return (1 && 2) + (0 || 0) * 10; }", &[]),
+        1
+    );
     assert_eq!(run("int main() { return (3 > 2) && (2 > 1); }", &[]), 1);
 }
 
 #[test]
 fn ternary() {
-    assert_eq!(run("int main() { int a; a = 7; return a > 5 ? 1 : 2; }", &[]), 1);
-    assert_eq!(run("int main() { int a; a = 3; return a > 5 ? 1 : 2; }", &[]), 2);
+    assert_eq!(
+        run("int main() { int a; a = 7; return a > 5 ? 1 : 2; }", &[]),
+        1
+    );
+    assert_eq!(
+        run("int main() { int a; a = 3; return a > 5 ? 1 : 2; }", &[]),
+        2
+    );
 }
 
 #[test]

@@ -28,9 +28,7 @@ pub fn fold_constant_branches(f: &mut Function) -> bool {
             let inst = &insts[i];
             if inst.guard.is_none() {
                 if let Op::Br(c) = inst.op {
-                    if let (Some(x), Some(y)) =
-                        (inst.srcs[0].as_imm(), inst.srcs[1].as_imm())
-                    {
+                    if let (Some(x), Some(y)) = (inst.srcs[0].as_imm(), inst.srcs[1].as_imm()) {
                         if c.eval(x, y) {
                             let inst = &mut insts[i];
                             inst.op = Op::Jump;

@@ -15,11 +15,8 @@ pub fn run(f: &mut Function) -> bool {
         // are simply never added to the live set.
         let mut keep = vec![true; insts.len()];
         for (i, inst) in insts.iter().enumerate().rev() {
-            let out_dead = inst.dst.map_or(true, |d| !live.regs.contains(&d));
-            let preds_dead = inst
-                .pdsts
-                .iter()
-                .all(|pd| !live.preds.contains(&pd.reg));
+            let out_dead = inst.dst.is_none_or(|d| !live.regs.contains(&d));
+            let preds_dead = inst.pdsts.iter().all(|pd| !live.preds.contains(&pd.reg));
             if is_removable(inst) && out_dead && preds_dead {
                 keep[i] = false;
                 changed = true;
@@ -89,7 +86,13 @@ mod tests {
         let mut b = FuncBuilder::new("t");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         b.ret(Some(x.into()));
         let mut f = b.finish();
         assert!(run(&mut f));
@@ -101,7 +104,13 @@ mod tests {
         let mut b = FuncBuilder::new("t");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(1));
         b.mov_to(out, Operand::Imm(2));
         b.guard_last(p);

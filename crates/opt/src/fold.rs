@@ -37,8 +37,19 @@ pub fn fold_inst(inst: &mut Inst) -> bool {
     let imm = |o: Operand| o.as_imm();
     match inst.op {
         // ---- integer binops -------------------------------------------
-        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
-        | Op::AndNot | Op::OrNot | Op::Shl | Op::Shr | Op::Sra => {
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::AndNot
+        | Op::OrNot
+        | Op::Shl
+        | Op::Shr
+        | Op::Sra => {
             let (a, b) = (inst.srcs[0], inst.srcs[1]);
             if let (Some(x), Some(y)) = (imm(a), imm(b)) {
                 let v = match inst.op {
@@ -71,15 +82,11 @@ pub fn fold_inst(inst: &mut Inst) -> bool {
                 (Op::Add | Op::Sub, _, Some(0)) => to_mov(inst, a),
                 (Op::Mul, _, Some(1)) => to_mov(inst, a),
                 (Op::Mul, Some(1), _) => to_mov(inst, b),
-                (Op::Mul, _, Some(0)) | (Op::Mul, Some(0), _) => {
-                    to_mov(inst, Operand::Imm(0))
-                }
+                (Op::Mul, _, Some(0)) | (Op::Mul, Some(0), _) => to_mov(inst, Operand::Imm(0)),
                 (Op::Div, _, Some(1)) => to_mov(inst, a),
                 (Op::And, _, Some(-1)) => to_mov(inst, a),
                 (Op::And, Some(-1), _) => to_mov(inst, b),
-                (Op::And, _, Some(0)) | (Op::And, Some(0), _) => {
-                    to_mov(inst, Operand::Imm(0))
-                }
+                (Op::And, _, Some(0)) | (Op::And, Some(0), _) => to_mov(inst, Operand::Imm(0)),
                 (Op::Or | Op::Xor, _, Some(0)) => to_mov(inst, a),
                 (Op::Or | Op::Xor, Some(0), _) => to_mov(inst, b),
                 (Op::Shl | Op::Shr | Op::Sra, _, Some(0)) => to_mov(inst, a),
@@ -250,9 +257,15 @@ mod tests {
 
     #[test]
     fn same_reg_compare() {
-        let i = fold_one(Op::Cmp(CmpOp::Eq), vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))]);
+        let i = fold_one(
+            Op::Cmp(CmpOp::Eq),
+            vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))],
+        );
         assert_eq!(i.srcs, vec![Operand::Imm(1)]);
-        let i = fold_one(Op::Cmp(CmpOp::Lt), vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))]);
+        let i = fold_one(
+            Op::Cmp(CmpOp::Lt),
+            vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0))],
+        );
         assert_eq!(i.srcs, vec![Operand::Imm(0)]);
     }
 
@@ -270,7 +283,11 @@ mod tests {
     fn select_with_equal_arms() {
         let i = fold_one(
             Op::Select,
-            vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(0)), Operand::Reg(Reg(0))],
+            vec![
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(0)),
+            ],
         );
         assert_eq!(i.op, Op::Mov);
     }

@@ -39,7 +39,9 @@ pub fn run_module(m: &mut Module, config: &InlineConfig) -> usize {
             loop {
                 // Find the next eligible call site in function `ci`.
                 let site = find_site(m, ci, config);
-                let Some((block, index, callee)) = site else { break };
+                let Some((block, index, callee)) = site else {
+                    break;
+                };
                 let g = m.funcs[callee].clone();
                 inline_at(&mut m.funcs[ci], block, index, &g);
                 round += 1;
@@ -50,7 +52,11 @@ pub fn run_module(m: &mut Module, config: &InlineConfig) -> usize {
         }
         total += round;
     }
-    debug_assert!(m.verify().is_ok(), "inlining broke module: {:?}", m.verify().err());
+    debug_assert!(
+        m.verify().is_ok(),
+        "inlining broke module: {:?}",
+        m.verify().err()
+    );
     total
 }
 
@@ -111,7 +117,7 @@ fn inline_at(f: &mut Function, block: BlockId, index: usize, g: &Function) {
     let mut prefix: Vec<Inst> = f.block(block).insts.clone();
     let suffix: Vec<Inst> = prefix.split_off(index + 1);
     prefix.pop(); // the call itself
-    // Parameter copies.
+                  // Parameter copies.
     for (&p, &arg) in g.params.iter().zip(&call.srcs) {
         let mut mv = f.make_inst(Op::Mov);
         mv.dst = Some(map_reg(p));

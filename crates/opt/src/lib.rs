@@ -22,9 +22,9 @@
 //! [`optimize`] runs the pipeline to a (bounded) fixpoint.
 
 pub mod cfgopt;
-pub mod inline;
 pub mod dce;
 pub mod fold;
+pub mod inline;
 pub mod local;
 
 use hyperpred_ir::{Function, Module};

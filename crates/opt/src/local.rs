@@ -30,7 +30,10 @@ struct Key {
 struct OpKey(Op);
 
 fn commutative(op: Op) -> bool {
-    matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor | Op::FAdd | Op::FMul)
+    matches!(
+        op,
+        Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor | Op::FAdd | Op::FMul
+    )
 }
 
 fn cse_candidate(inst: &Inst) -> bool {
@@ -43,12 +46,12 @@ fn cse_candidate(inst: &Inst) -> bool {
             inst.op,
             Op::Call | Op::Cmov | Op::CmovCom | Op::Nop | Op::PredClear | Op::PredSet
         )
-        // Trapping ops are not safely removable duplicates unless silent;
-        // identical non-speculative loads/divs are still fine to CSE (same
-        // operands, same trap behaviour), so allow them.
+    // Trapping ops are not safely removable duplicates unless silent;
+    // identical non-speculative loads/divs are still fine to CSE (same
+    // operands, same trap behaviour), so allow them.
 }
 
-fn block_pass(insts: &mut Vec<Inst>) -> bool {
+fn block_pass(insts: &mut [Inst]) -> bool {
     let mut changed = false;
     // reg -> known copy source (register or immediate)
     let mut copies: HashMap<Reg, Operand> = HashMap::new();
@@ -200,11 +203,7 @@ mod tests {
         let mut f = b.finish();
         run(&mut f);
         // The second load must survive.
-        let loads = f.blocks[0]
-            .insts
-            .iter()
-            .filter(|i| i.op.is_load())
-            .count();
+        let loads = f.blocks[0].insts.iter().filter(|i| i.op.is_load()).count();
         assert_eq!(loads, 2);
     }
 

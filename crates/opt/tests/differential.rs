@@ -80,7 +80,8 @@ fn optimization_preserves_behaviour() {
         let m0 = compile(src).expect("compile");
         let mut m1 = m0.clone();
         optimize_module(&mut m1);
-        m1.verify().unwrap_or_else(|e| panic!("verify after opt: {e}\n{m1}"));
+        m1.verify()
+            .unwrap_or_else(|e| panic!("verify after opt: {e}\n{m1}"));
 
         let mut e0 = Emulator::new(&m0);
         let r0 = e0.run("main", &entry_args(args), &mut NullSink).unwrap();
@@ -123,9 +124,13 @@ fn optimization_reduces_branches() {
     let mut m1 = m0.clone();
     optimize_module(&mut m1);
     let mut s0 = DynStats::new();
-    Emulator::new(&m0).run("main", &entry_args(args), &mut s0).unwrap();
+    Emulator::new(&m0)
+        .run("main", &entry_args(args), &mut s0)
+        .unwrap();
     let mut s1 = DynStats::new();
-    Emulator::new(&m1).run("main", &entry_args(args), &mut s1).unwrap();
+    Emulator::new(&m1)
+        .run("main", &entry_args(args), &mut s1)
+        .unwrap();
     assert!(
         s1.branches < s0.branches,
         "jump cleanup should reduce dynamic branches ({} !< {})",

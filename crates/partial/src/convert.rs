@@ -381,7 +381,11 @@ mod tests {
             m1.verify().unwrap();
             assert!(is_fully_converted(&m1.funcs[0]), "{}", m1.funcs[0]);
             for x in [0, 5] {
-                assert_eq!(run_module(&m0, &[x]), run_module(&m1, &[x]), "style {style:?}");
+                assert_eq!(
+                    run_module(&m0, &[x]),
+                    run_module(&m1, &[x]),
+                    "style {style:?}"
+                );
             }
         }
     }
@@ -392,8 +396,19 @@ mod tests {
         let x = b.param();
         let addr = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
-        b.store(MemWidth::Word, addr.into(), Operand::Imm(0), Operand::Imm(42));
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.store(
+            MemWidth::Word,
+            addr.into(),
+            Operand::Imm(0),
+            Operand::Imm(42),
+        );
         b.guard_last(p);
         let v = b.load(MemWidth::Word, addr.into(), Operand::Imm(0));
         b.ret(Some(v.into()));
@@ -415,9 +430,7 @@ mod tests {
         // The converted code must contain a store through a cmov_com'd
         // address, never a guarded store.
         assert!(is_fully_converted(&m1.funcs[0]));
-        assert!(m1.funcs[0]
-            .insts()
-            .any(|(_, _, i)| i.op == Op::CmovCom));
+        assert!(m1.funcs[0].insts().any(|(_, _, i)| i.op == Op::CmovCom));
     }
 
     #[test]
@@ -427,8 +440,20 @@ mod tests {
         let y = b.param();
         let p = b.fresh_pred();
         b.pred_clear();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            y.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(0));
         b.mov_to(out, Operand::Imm(1));
         b.guard_last(p);
@@ -457,7 +482,13 @@ mod tests {
         let y = b.param();
         let p = b.fresh_pred();
         let target = b.block();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         b.br(CmpOp::Lt, y.into(), Operand::Imm(10), target);
         b.guard_last(p);
         b.ret(Some(Operand::Imm(1)));
@@ -481,7 +512,13 @@ mod tests {
         let x = b.param();
         let d = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], d.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            d.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(-1));
         let q = b.op2(Op::Div, x.into(), d.into());
         b.guard_last(p);
@@ -515,8 +552,20 @@ mod tests {
         let p = b.fresh_pred(); // OR target
         let q = b.fresh_pred(); // U target
         b.pred_clear();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
-        b.pred_def(CmpOp::Ne, &[(q, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Ne,
+            &[(q, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(0));
         b.mov_to(out, Operand::Imm(1));
         b.guard_last(p);

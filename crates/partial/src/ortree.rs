@@ -62,7 +62,9 @@ fn chain_link(inst: &Inst, acc: Reg, op: Op) -> Option<Operand> {
 fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst>> {
     for op in [Op::Or, Op::And] {
         for start in 0..insts.len() {
-            let Some(acc) = insts[start].dst else { continue };
+            let Some(acc) = insts[start].dst else {
+                continue;
+            };
             if chain_link(&insts[start], acc, op).is_none() {
                 continue;
             }
@@ -82,15 +84,12 @@ fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst
                     continue;
                 }
                 let inst = &insts[i];
-                let touches_acc = inst.src_regs().any(|r| r == acc)
-                    || inst.dst == Some(acc)
-                    || inst.is_exit();
+                let touches_acc =
+                    inst.src_regs().any(|r| r == acc) || inst.dst == Some(acc) || inst.is_exit();
                 // Terms must also not be redefined between their link and
                 // the chain end; requiring "does not define any term
                 // register" keeps it safe.
-                let defines_term = inst
-                    .dst
-                    .is_some_and(|d| terms.contains(&Operand::Reg(d)));
+                let defines_term = inst.dst.is_some_and(|d| terms.contains(&Operand::Reg(d)));
                 if touches_acc || defines_term {
                     break;
                 }
@@ -200,8 +199,14 @@ mod tests {
             m1.funcs[0]
         );
         for seed in [0i64, 1, 0b100000, 0b111111, 37] {
-            let r0 = Emulator::new(&m0).run("main", &[seed], &mut NullSink).unwrap().ret;
-            let r1 = Emulator::new(&m1).run("main", &[seed], &mut NullSink).unwrap().ret;
+            let r0 = Emulator::new(&m0)
+                .run("main", &[seed], &mut NullSink)
+                .unwrap()
+                .ret;
+            let r1 = Emulator::new(&m1)
+                .run("main", &[seed], &mut NullSink)
+                .unwrap()
+                .ret;
             assert_eq!(r0, r1, "seed={seed}");
         }
     }
@@ -233,8 +238,14 @@ mod tests {
         run(&mut m.funcs[0]);
         m.verify().unwrap();
         for x in [0, 1] {
-            let r0 = Emulator::new(&m0).run("main", &[x], &mut NullSink).unwrap().ret;
-            let r1 = Emulator::new(&m).run("main", &[x], &mut NullSink).unwrap().ret;
+            let r0 = Emulator::new(&m0)
+                .run("main", &[x], &mut NullSink)
+                .unwrap()
+                .ret;
+            let r1 = Emulator::new(&m)
+                .run("main", &[x], &mut NullSink)
+                .unwrap()
+                .ret;
             assert_eq!(r0, r1);
         }
     }

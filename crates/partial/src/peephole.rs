@@ -138,7 +138,10 @@ mod tests {
     use hyperpred_ir::{CmpOp, FuncBuilder, Module};
 
     fn run_main(m: &Module, args: &[i64]) -> i64 {
-        Emulator::new(m).run("main", args, &mut NullSink).unwrap().ret
+        Emulator::new(m)
+            .run("main", args, &mut NullSink)
+            .unwrap()
+            .ret
     }
 
     #[test]

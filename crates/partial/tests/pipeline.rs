@@ -4,10 +4,10 @@
 
 use hyperpred_emu::{DynStats, Emulator, Profiler};
 use hyperpred_hyperblock::{form_hyperblocks, promote, HyperblockConfig};
+use hyperpred_ir::FuncId;
 use hyperpred_lang::compile;
 use hyperpred_lang::lower::entry_args;
 use hyperpred_partial::{is_fully_converted, to_partial_module, PartialConfig, PartialStyle};
-use hyperpred_ir::FuncId;
 
 const PROGRAMS: &[(&str, &[i64])] = &[
     (
@@ -71,7 +71,12 @@ fn pipeline(src: &str, args: &[i64], config: &PartialConfig) -> (i64, i64, DynSt
         .unwrap();
     for i in 0..m.funcs.len() {
         let mut f = m.funcs[i].clone();
-        form_hyperblocks(&mut f, FuncId(i as u32), &prof, &HyperblockConfig::default());
+        form_hyperblocks(
+            &mut f,
+            FuncId(i as u32),
+            &prof,
+            &HyperblockConfig::default(),
+        );
         promote(&mut f);
         m.funcs[i] = f;
     }
@@ -79,7 +84,11 @@ fn pipeline(src: &str, args: &[i64], config: &PartialConfig) -> (i64, i64, DynSt
     to_partial_module(&mut m, config);
     m.verify().unwrap_or_else(|e| panic!("verify: {e}\n{m}"));
     for f in &m.funcs {
-        assert!(is_fully_converted(f), "leftover predication in {}:\n{f}", f.name);
+        assert!(
+            is_fully_converted(f),
+            "leftover predication in {}:\n{f}",
+            f.name
+        );
     }
     let mut s_full = DynStats::new();
     let r_full = Emulator::new(&full)
@@ -152,7 +161,10 @@ fn partial_code_executes_more_instructions_than_full() {
 fn partial_code_uses_cmovs_and_no_branér_increase() {
     let (src, args) = PROGRAMS[1];
     let (_, _, sf, sp) = pipeline(src, args, &PartialConfig::default());
-    assert!(sp.cmovs > 0, "converted code must contain conditional moves");
+    assert!(
+        sp.cmovs > 0,
+        "converted code must contain conditional moves"
+    );
     // Both models eliminate the same branches (paper §1: partial predication
     // removes as many branches as full).
     assert_eq!(sf.branches, sp.branches, "branch counts should match");

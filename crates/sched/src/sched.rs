@@ -98,9 +98,7 @@ pub fn schedule_block(
         // Ready list for this cycle, by priority then original order.
         loop {
             let mut ready: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    scheduled[i].is_none() && preds_left[i] == 0 && earliest[i] <= cycle
-                })
+                .filter(|&i| scheduled[i].is_none() && preds_left[i] == 0 && earliest[i] <= cycle)
                 .collect();
             if ready.is_empty() || slots == 0 {
                 break;
@@ -347,8 +345,7 @@ fn build_dag(
         // they are squashed exactly as before — the classic "fill the
         // branch's issue group" freedom of superblock scheduling.
         let target_live = br.target.map(|t| &lv.live_in[t.index()]);
-        for i in j + 1..n {
-            let inst = &insts[i];
+        for (i, inst) in insts.iter().enumerate().take(n).skip(j + 1) {
             let safe = inst.op.can_speculate()
                 && inst.dst.is_some()
                 && match target_live {
@@ -500,8 +497,20 @@ mod tests {
         let y = b.param();
         let p = b.fresh_pred();
         b.pred_clear();
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], x.into(), Operand::Imm(0), None);
-        b.pred_def(CmpOp::Eq, &[(p, PredType::Or)], y.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            y.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(0));
         b.mov_to(out, Operand::Imm(1));
         b.guard_last(p);

@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn never_taken_branch_never_mispredicts() {
-        let mut btb = Btb::new(BtbConfig { entries: 16, ..BtbConfig::default() });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 16,
+            ..BtbConfig::default()
+        });
         for _ in 0..50 {
             assert!(!btb.predict(0x200, false));
         }
@@ -156,7 +159,10 @@ mod tests {
 
     #[test]
     fn two_bit_hysteresis_tolerates_single_flip() {
-        let mut btb = Btb::new(BtbConfig { entries: 16, ..BtbConfig::default() });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 16,
+            ..BtbConfig::default()
+        });
         btb.predict(0x300, true); // allocate at 2
         btb.predict(0x300, true); // 3
         assert!(btb.predict(0x300, false)); // mispredict, 2
@@ -165,10 +171,13 @@ mod tests {
 
     #[test]
     fn aliasing_branches_interfere() {
-        let mut btb = Btb::new(BtbConfig { entries: 4, ..BtbConfig::default() });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 4,
+            ..BtbConfig::default()
+        });
         // Addresses 0x10 and 0x50 map to the same entry (stride 16 insts).
         btb.predict(0x10, true);
-        assert_eq!(btb.predict(0x10, true), false);
+        assert!(!btb.predict(0x10, true));
         // Conflicting tag evicts on allocate.
         assert!(btb.predict(0x50, true)); // miss (tag differs), taken -> realloc
         assert!(btb.predict(0x10, true)); // evicted: miss again
@@ -177,14 +186,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "2^k")]
     fn non_power_of_two_rejected() {
-        Btb::new(BtbConfig { entries: 1000, ..BtbConfig::default() });
+        Btb::new(BtbConfig {
+            entries: 1000,
+            ..BtbConfig::default()
+        });
     }
 
     #[test]
     fn gshare_separates_correlated_aliases() {
         // A branch whose direction alternates is hopeless for a bimodal
         // 2-bit counter but perfectly predictable from 1+ history bits.
-        let mut bimodal = Btb::new(BtbConfig { entries: 64, ..BtbConfig::default() });
+        let mut bimodal = Btb::new(BtbConfig {
+            entries: 64,
+            ..BtbConfig::default()
+        });
         let mut gshare = Btb::new(BtbConfig {
             entries: 64,
             predictor: Predictor::Gshare { history_bits: 4 },

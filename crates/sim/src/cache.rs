@@ -39,7 +39,10 @@ pub struct Cache {
 impl Cache {
     /// Creates a cold cache.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.size % config.line == 0, "size must be a multiple of line");
+        assert!(
+            config.size.is_multiple_of(config.line),
+            "size must be a multiple of line"
+        );
         let lines = (config.size / config.line) as usize;
         assert!(lines.is_power_of_two(), "line count must be 2^k");
         Cache {

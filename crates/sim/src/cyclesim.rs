@@ -23,7 +23,7 @@
 
 use crate::btb::{Btb, BtbConfig};
 use crate::cache::{Cache, CacheConfig};
-use hyperpred_emu::{Emulator, EmuError, Event, TraceSink};
+use hyperpred_emu::{EmuError, Emulator, Event, TraceSink};
 use hyperpred_ir::{BlockId, FuncId, Module, Op, PredType};
 use hyperpred_sched::MachineConfig;
 use std::collections::HashMap;
@@ -60,7 +60,7 @@ impl Default for SimConfig {
 }
 
 /// Results of a timing simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total execution cycles.
     pub cycles: u64,
@@ -207,11 +207,8 @@ impl TraceSink for CycleSim {
         if let Some(ic) = &mut self.icache {
             if ic.read(addr) {
                 // Fetch stalls while the line fills.
-                self.fetch_ready = self
-                    .fetch_ready
-                    .max(self.cycle)
-                    .max(earliest)
-                    + ic.miss_penalty() as u64;
+                self.fetch_ready =
+                    self.fetch_ready.max(self.cycle).max(earliest) + ic.miss_penalty() as u64;
                 earliest = self.fetch_ready;
             }
         }
@@ -389,13 +386,25 @@ mod tests {
     fn wider_issue_takes_fewer_cycles() {
         let mut m1 = simple_loop_module(1000);
         schedule_module(&mut m1, &MachineConfig::one_issue());
-        let s1 = simulate(&m1, "main", &[], MachineConfig::one_issue(), SimConfig::default())
-            .unwrap();
+        let s1 = simulate(
+            &m1,
+            "main",
+            &[],
+            MachineConfig::one_issue(),
+            SimConfig::default(),
+        )
+        .unwrap();
 
         let mut m8 = simple_loop_module(1000);
         schedule_module(&mut m8, &MachineConfig::new(8, 1));
-        let s8 =
-            simulate(&m8, "main", &[], MachineConfig::new(8, 1), SimConfig::default()).unwrap();
+        let s8 = simulate(
+            &m8,
+            "main",
+            &[],
+            MachineConfig::new(8, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
 
         assert_eq!(s1.ret, s8.ret);
         assert!(
@@ -413,8 +422,14 @@ mod tests {
     fn one_issue_charges_at_least_one_cycle_per_inst() {
         let mut m = simple_loop_module(100);
         schedule_module(&mut m, &MachineConfig::one_issue());
-        let s = simulate(&m, "main", &[], MachineConfig::one_issue(), SimConfig::default())
-            .unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::one_issue(),
+            SimConfig::default(),
+        )
+        .unwrap();
         assert!(s.cycles >= s.insts);
     }
 
@@ -422,18 +437,34 @@ mod tests {
     fn biased_loop_branch_mispredicts_rarely() {
         let mut m = simple_loop_module(500);
         schedule_module(&mut m, &MachineConfig::new(4, 1));
-        let s =
-            simulate(&m, "main", &[], MachineConfig::new(4, 1), SimConfig::default()).unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::new(4, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
         assert!(s.branches >= 500);
-        assert!(s.mispredicts <= 4, "biased branch: {} mispredicts", s.mispredicts);
+        assert!(
+            s.mispredicts <= 4,
+            "biased branch: {} mispredicts",
+            s.mispredicts
+        );
     }
 
     #[test]
     fn perfect_memory_has_no_cache_misses() {
         let mut m = simple_loop_module(10);
         schedule_module(&mut m, &MachineConfig::new(4, 1));
-        let s =
-            simulate(&m, "main", &[], MachineConfig::new(4, 1), SimConfig::default()).unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::new(4, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(s.icache_misses, 0);
         assert_eq!(s.dcache_misses, 0);
     }
@@ -534,7 +565,13 @@ mod tests {
         let mut b = FuncBuilder::new("main");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(5));
         b.mov_to(out, Operand::Imm(7));
         b.guard_last(p);
@@ -543,8 +580,14 @@ mod tests {
         m.push(b.finish());
         m.link().unwrap();
         schedule_module(&mut m, &MachineConfig::new(4, 1));
-        let s = simulate(&m, "main", &[0], MachineConfig::new(4, 1), SimConfig::default())
-            .unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[0],
+            MachineConfig::new(4, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(s.ret, 5);
         assert_eq!(s.nullified, 1);
         assert_eq!(s.insts, 4);
@@ -558,7 +601,13 @@ mod tests {
         let mut b = FuncBuilder::new("main");
         let x = b.param();
         let p = b.fresh_pred();
-        b.pred_def(CmpOp::Ne, &[(p, PredType::U)], x.into(), Operand::Imm(0), None);
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
         let out = b.mov(Operand::Imm(1));
         b.mov_to(out, Operand::Imm(2));
         b.guard_last(p);
@@ -567,8 +616,14 @@ mod tests {
         m.push(b.finish());
         m.link().unwrap();
         schedule_module(&mut m, &MachineConfig::new(8, 1));
-        let s = simulate(&m, "main", &[1], MachineConfig::new(8, 1), SimConfig::default())
-            .unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[1],
+            MachineConfig::new(8, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
         // define @0 (+mov @0), guarded mov @1, ret @2 -> 3 cycles.
         assert!(s.cycles >= 3, "{}", s.cycles);
     }
@@ -606,8 +661,14 @@ mod tests {
         m.push(b.finish());
         m.link().unwrap();
         schedule_module(&mut m, &MachineConfig::new(8, 2));
-        let s = simulate(&m, "main", &[], MachineConfig::new(8, 2), SimConfig::default())
-            .unwrap();
+        let s = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::new(8, 2),
+            SimConfig::default(),
+        )
+        .unwrap();
         // In-order issue lets independent work fill the slots while the
         // reduction chain drains; the whole 15-instruction body completes
         // in ~7 cycles per iteration.

@@ -27,7 +27,7 @@ fn eqn_text(n: usize, seed: u64) -> Vec<u8> {
                     out.push(b'0' + r.gen_range(0..10u8));
                 }
             }
-            5 => out.push(*[b'+', b'-', b'=', b'/'].iter().nth(r.gen_range(0..4)).unwrap()),
+            5 => out.push([b'+', b'-', b'=', b'/'][r.gen_range(0..4)]),
             6 => out.push(b'\n'),
             _ => {
                 for _ in 0..r.gen_range(1..6) {
@@ -37,9 +37,7 @@ fn eqn_text(n: usize, seed: u64) -> Vec<u8> {
             }
         }
     }
-    for _ in 0..depth {
-        out.push(b'}');
-    }
+    out.extend(std::iter::repeat_n(b'}', depth));
     out
 }
 

@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn escape_round_trips_through_the_lexer() {
         let bytes = b"a\"b\\c\nd\te";
-        let src = format!("char s[{}] = \"{}\"; int main() {{ return 0; }}", bytes.len() + 1, escape(bytes));
+        let src = format!(
+            "char s[{}] = \"{}\"; int main() {{ return 0; }}",
+            bytes.len() + 1,
+            escape(bytes)
+        );
         let m = hyperpred_lang::compile(&src).unwrap();
         let g = m.global("s").unwrap();
         assert_eq!(&g.init[..bytes.len()], bytes);
@@ -143,7 +147,10 @@ mod tests {
 
     #[test]
     fn int_array_embeds() {
-        let src = format!("{} int main() {{ return t[2]; }}", int_array("t", &[5, -6, 7]));
+        let src = format!(
+            "{} int main() {{ return t[2]; }}",
+            int_array("t", &[5, -6, 7])
+        );
         let m = hyperpred_lang::compile(&src).unwrap();
         assert!(m.verify().is_ok());
     }

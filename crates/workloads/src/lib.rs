@@ -144,7 +144,10 @@ mod tests {
                 let out = Emulator::new(&m)
                     .run("main", &entry_args(&w.args), &mut NullSink)
                     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-                println!("{scale:?} {:>10}: {:>12} insts ret={}", w.name, out.fetched, out.ret);
+                println!(
+                    "{scale:?} {:>10}: {:>12} insts ret={}",
+                    w.name, out.fetched, out.ret
+                );
             }
         }
     }

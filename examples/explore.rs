@@ -30,8 +30,15 @@ fn main() {
     };
     let pipe = Pipeline::default();
     let sim = SimConfig::default();
-    let base = evaluate(&src, &args, Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
-        .expect("baseline");
+    let base = evaluate(
+        &src,
+        &args,
+        Model::Superblock,
+        MachineConfig::one_issue(),
+        sim,
+        &pipe,
+    )
+    .expect("baseline");
     println!(
         "baseline 1-issue: {} cycles, {} insts, ipc {:.2}",
         base.cycles,

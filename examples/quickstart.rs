@@ -4,10 +4,10 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use hyperpred::{evaluate, speedup, Model, Pipeline};
 use hyperpred::ir::PredType;
 use hyperpred::sched::MachineConfig;
 use hyperpred::sim::SimConfig;
+use hyperpred::{evaluate, speedup, Model, Pipeline};
 
 const SRC: &str = "
 // A branchy kernel: per-element classification with unbalanced paths.
@@ -56,8 +56,15 @@ fn main() {
     let pipe = Pipeline::default();
     let sim = SimConfig::default();
     let args = [7i64];
-    let base = evaluate(SRC, &args, Model::Superblock, MachineConfig::one_issue(), sim, &pipe)
-        .expect("baseline");
+    let base = evaluate(
+        SRC,
+        &args,
+        Model::Superblock,
+        MachineConfig::one_issue(),
+        sim,
+        &pipe,
+    )
+    .expect("baseline");
     println!(
         "baseline (1-issue superblock): {} cycles for {} instructions",
         base.cycles, base.insts
@@ -68,8 +75,8 @@ fn main() {
         "model (8-issue)", "cycles", "insts", "branches", "mispred", "speedup"
     );
     for model in Model::ALL {
-        let s = evaluate(SRC, &args, model, MachineConfig::new(8, 1), sim, &pipe)
-            .expect("model run");
+        let s =
+            evaluate(SRC, &args, model, MachineConfig::new(8, 1), sim, &pipe).expect("model run");
         assert_eq!(s.ret, base.ret, "all models must agree");
         println!(
             "{:<22}{:>10}{:>10}{:>10}{:>10}{:>8.2}x",

@@ -10,9 +10,9 @@
 //!
 //! Run with `cargo run --release --example wc_loop`.
 
-use hyperpred::{evaluate, speedup, Model, Pipeline};
 use hyperpred::sched::MachineConfig;
 use hyperpred::sim::SimConfig;
+use hyperpred::{evaluate, speedup, Model, Pipeline};
 use hyperpred_workloads::{by_name, Scale};
 
 fn main() {
@@ -50,8 +50,15 @@ fn main() {
         (Model::CondMove, 8),
         (Model::FullPred, 8),
     ] {
-        let s = evaluate(&w.source, &w.args, model, MachineConfig::new(issue, 1), sim, &pipe)
-            .unwrap();
+        let s = evaluate(
+            &w.source,
+            &w.args,
+            model,
+            MachineConfig::new(issue, 1),
+            sim,
+            &pipe,
+        )
+        .unwrap();
         println!(
             "  {model:<11} {issue}-issue: {:>6} cycles  speedup {:.2}",
             s.cycles,
@@ -78,7 +85,10 @@ fn print_hot_block(m: &hyperpred::ir::Module) {
         .map(|i| i + 1)
         .unwrap_or(insts.len())
         .min(40);
-    println!("{hot}: ({} instructions total; first iteration shown)", insts.len());
+    println!(
+        "{hot}: ({} instructions total; first iteration shown)",
+        insts.len()
+    );
     let mut last_cycle = u32::MAX;
     for inst in &insts[..end] {
         let marker = if inst.cycle != last_cycle {

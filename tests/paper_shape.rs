@@ -26,9 +26,9 @@ fn all_models_agree_on_every_benchmark() {
 #[test]
 fn predication_order_holds_on_average() {
     let results = fig8_results();
-    let sup = mean_speedup(&results, Model::Superblock);
-    let cmov = mean_speedup(&results, Model::CondMove);
-    let full = mean_speedup(&results, Model::FullPred);
+    let sup = mean_speedup(results, Model::Superblock);
+    let cmov = mean_speedup(results, Model::CondMove);
+    let full = mean_speedup(results, Model::FullPred);
     assert!(sup > 1.0, "8-issue superblock must beat 1-issue ({sup:.2})");
     assert!(
         cmov > sup,
@@ -68,7 +68,10 @@ fn cmov_model_runs_more_instructions_than_full() {
     let sup = total(Model::Superblock);
     let cmov = total(Model::CondMove);
     let full = total(Model::FullPred);
-    assert!(cmov > full, "cmov executes more instructions ({cmov} !> {full})");
+    assert!(
+        cmov > full,
+        "cmov executes more instructions ({cmov} !> {full})"
+    );
     assert!(
         cmov > sup,
         "cmov executes more instructions than superblock ({cmov} !> {sup})"

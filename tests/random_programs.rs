@@ -69,9 +69,7 @@ impl Gen {
                 let i = format!("i{}", self.loops);
                 self.loops += 1;
                 let n = self.r.gen_range(1..8);
-                out.push_str(&format!(
-                    "{pad}for ({i} = 0; {i} < {n}; {i} += 1) {{\n"
-                ));
+                out.push_str(&format!("{pad}for ({i} = 0; {i} < {n}; {i} += 1) {{\n"));
                 self.stmt(depth - 1, out, indent + 1);
                 out.push_str(&format!("{pad}}}\n"));
             }
@@ -112,10 +110,7 @@ fn check_seed(seed: u64) {
     let src = g.program();
     let pipe = Pipeline::default();
     let sim = SimConfig::default();
-    let args = [
-        (seed % 17) as i64 - 8,
-        ((seed / 17) % 13) as i64 - 6,
-    ];
+    let args = [(seed % 17) as i64 - 8, ((seed / 17) % 13) as i64 - 6];
     let mut results = Vec::new();
     for model in Model::ALL {
         for machine in [MachineConfig::one_issue(), MachineConfig::new(8, 2)] {

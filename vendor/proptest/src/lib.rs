@@ -1,0 +1,248 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`any`], integer-range strategies, [`prop_assert!`],
+//! [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! Semantics differ from upstream in two deliberate ways: cases are drawn
+//! from a fixed seeded stream (derived from the test's module path and
+//! name), so every run explores the same cases — there is no persistence
+//! file and no OS entropy — and failing cases are not shrunk; the panic
+//! message reports the raw generated values instead.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Test-runner configuration (the used subset: case count, plus the
+/// shrink-iteration knob kept so `..ProptestConfig::default()` updates
+/// behave as upstream).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Upstream-compatible knob; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one test, derived from the test's identity so
+    /// adding tests elsewhere never shifts this test's stream.
+    pub fn for_case(test_id: &str, case: u32) -> TestRng {
+        // FNV-1a over the test identity, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_id.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ (u64::from(case) << 32 | u64::from(case)),
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator bound in a `proptest!` signature via `arg in strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Weight edge values: property tests care about extremes.
+                match rng.next_u64() % 16 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for an unconstrained value of `T` (use as `any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the `any`-value strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..) { .. }`
+/// item becomes a test that runs the body over `cases` generated bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let id = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::for_case(id, case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let run = || $body;
+                #[allow(clippy::redundant_closure_call)]
+                run();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its generated inputs don't satisfy `cond`.
+/// Only valid directly inside a `proptest!` body (it returns from the
+/// per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..7, y in -3i64..3) {
+            prop_assert!(x < 7);
+            prop_assert!((-3..3).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(v in any::<u64>()) {
+            prop_assume!(v.is_multiple_of(2));
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_test() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("mod::test_a", 5);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("mod::test_a", 5);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = TestRng::for_case("mod::test_b", 5);
+        let c: Vec<u64> = (0..8).map(|_| other.next_u64()).collect();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the small, fully deterministic subset of `rand`'s API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range`, `gen_bool`, and `gen_ratio`. The generator is
+//! SplitMix64, which passes the statistical bar these uses need (synthetic
+//! workload inputs and property-test case generation) while keeping every
+//! stream reproducible from its seed.
+//!
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`;
+//! everything in this workspace treats seeded streams as opaque, so only
+//! determinism matters, not the exact bytes.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core randomness source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring the used subset of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio: {numerator}/{denominator} is not a probability"
+        );
+        self.next_u64() % u64::from(denominator) < u64::from(numerator)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can be sampled from, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample, mirroring `SampleUniform`. The blanket
+/// [`SampleRange`] impls below route both range forms here; keeping them
+/// blanket (one impl per range shape) is what lets integer-literal ranges
+/// unify with the call site's expected type, exactly as upstream does.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample_between<R: RngCore>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                let off = (u128::from(rng.next_u64()) % span as u128) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_between<R: RngCore>(lo: $t, hi: $t, _inclusive: bool, rng: &mut R) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // One scramble round so nearby seeds diverge immediately.
+            let mut r = StdRng { state: seed };
+            r.next_u64();
+            r
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let a_run: Vec<i64> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let c_run: Vec<i64> = (0..16).map(|_| c.gen_range(0..1_000_000)).collect();
+        assert_ne!(a_run, c_run);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+            let w = r.gen_range(1..=9usize);
+            assert!((1..=9).contains(&w));
+            let f = r.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+            let b = r.gen_range(0..26u8);
+            assert!(b < 26);
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_hit_both_sides() {
+        let mut r = StdRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "{trues}");
+        let hits = (0..1200).filter(|_| r.gen_ratio(1, 12)).count();
+        assert!((30..300).contains(&hits), "{hits}");
+    }
+}
