@@ -7,6 +7,7 @@
 //! cargo run --release -p hyperpred-bench --bin figures -- --scale test
 //! cargo run --release -p hyperpred-bench --bin figures -- --threads 4
 //! cargo run --release -p hyperpred-bench --bin figures -- --serial   # old one-cell-at-a-time loop
+//! cargo run --release -p hyperpred-bench --bin figures -- --keep-going
 //! ```
 //!
 //! By default the whole requested matrix runs through the parallel
@@ -14,27 +15,43 @@
 //! once and simulates the shared 1-issue baseline once; `--serial` keeps
 //! the historical figure-at-a-time loop for A/B timing of the driver
 //! itself.
+//!
+//! `--keep-going` switches the engine to `FailurePolicy::KeepGoing`:
+//! failed cells are contained and summarized on stderr, every healthy cell
+//! still appears in the tables, and the exit code is nonzero iff any cell
+//! failed. `--inject-faults` (implies `--keep-going`) appends the two
+//! fault fixtures — a compile-stage panic and a cycle-budget buster — to
+//! the workload list; CI uses it to prove containment end to end.
 
+use hyperpred::faults::{cycle_hog_fixture, panic_fixture};
 use hyperpred::{
-    branch_table, instruction_table, run_experiment, run_matrix_with_stats, speedup_table,
-    Experiment, Pipeline,
+    branch_table, instruction_table, run_experiment, run_matrix_with_stats,
+    run_matrix_workloads_policy, speedup_table, BenchResult, Experiment, FailurePolicy, Pipeline,
 };
 use hyperpred_workloads::Scale;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Cycle budget used with `--inject-faults`: far above any test-scale
+/// workload (tens of thousands of cycles) and far below the hog fixture
+/// (tens of millions), so exactly the injected cell trips it.
+const INJECT_MAX_CYCLES: u64 = 2_000_000;
 
 struct Options {
     scale: Scale,
     threads: usize,
     serial: bool,
     verbose: bool,
+    keep_going: bool,
+    inject_faults: bool,
     which: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: figures [fig8|fig9|fig10|fig11|table2|table3 ...] \
-         [--scale test|full] [--threads N] [--serial] [--verbose]"
+         [--scale test|full] [--threads N] [--serial] [--verbose] \
+         [--keep-going] [--inject-faults]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +62,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         threads: 0,
         serial: false,
         verbose: false,
+        keep_going: false,
+        inject_faults: false,
         which: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -65,6 +84,11 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--serial" => opts.serial = true,
             "--verbose" => opts.verbose = true,
+            "--keep-going" => opts.keep_going = true,
+            "--inject-faults" => {
+                opts.inject_faults = true;
+                opts.keep_going = true;
+            }
             s if s.starts_with("fig") || s.starts_with("table") => opts.which.push(s.to_string()),
             _ => return Err(usage()),
         }
@@ -103,7 +127,42 @@ fn main() -> ExitCode {
     let exps: Vec<Experiment> = selected.iter().map(|(_, e)| *e).collect();
 
     let started = Instant::now();
-    let figures = if opts.serial {
+    let mut any_failed = false;
+    let figures: Vec<Vec<BenchResult>> = if opts.keep_going {
+        let mut pipe = pipe;
+        let mut exps = exps.clone();
+        let mut workloads = hyperpred::workloads::all(opts.scale);
+        if opts.inject_faults {
+            pipe.fault_injection = true;
+            for e in &mut exps {
+                e.max_cycles = INJECT_MAX_CYCLES;
+            }
+            workloads.push(panic_fixture());
+            workloads.push(cycle_hog_fixture(4_000_000));
+        }
+        let run = run_matrix_workloads_policy(
+            &exps,
+            &workloads,
+            &pipe,
+            opts.threads,
+            FailurePolicy::KeepGoing,
+        );
+        eprintln!("{}", run.stats.summary());
+        if opts.verbose {
+            for cell in &run.stats.cells {
+                eprintln!("  {cell}");
+            }
+        }
+        if !run.report.is_empty() {
+            any_failed = true;
+            eprint!("{}", run.report);
+        }
+        // Tables are rendered from the healthy slots only.
+        run.outcomes
+            .iter()
+            .map(|row| row.iter().filter_map(|o| o.ok().cloned()).collect())
+            .collect()
+    } else if opts.serial {
         let r: Result<Vec<_>, _> = exps
             .iter()
             .map(|exp| run_experiment(exp, opts.scale, &pipe))
@@ -152,6 +211,10 @@ fn main() -> ExitCode {
         if wants("table3") {
             println!("{}", branch_table(r));
         }
+    }
+    if any_failed {
+        eprintln!("figures: some cells failed; tables above are partial");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -5,12 +5,15 @@
 //! hyperpredc run  prog.c --model full --issue 8 --branches 1 [--args 1,2,3]
 //! hyperpredc sim  prog.c --model all  --issue 8 --caches
 //! hyperpredc dump prog.c --model cmov
-//! hyperpredc report [--threads N] [--scale test|full] [--verbose]
+//! hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]
 //! ```
 //!
 //! `report` regenerates the paper's whole figure matrix (Figures 8-11 and
 //! Tables 2-3) through the parallel experiment engine, printing per-run
-//! cache and wall-time counters.
+//! cache and wall-time counters. With `--keep-going` the engine contains
+//! per-cell failures: the tables render every healthy cell, a failure
+//! summary goes to stderr, and the exit code is nonzero iff any cell
+//! failed.
 
 use hyperpred::emu::{Emulator, NullSink};
 use hyperpred::lang::lower::entry_args;
@@ -18,7 +21,8 @@ use hyperpred::sched::MachineConfig;
 use hyperpred::sim::{CacheConfig, MemoryModel, SimConfig};
 use hyperpred::workloads::Scale;
 use hyperpred::{
-    branch_table, instruction_table, run_matrix_with_stats, speedup_table, Experiment,
+    branch_table, instruction_table, run_matrix_policy, run_matrix_with_stats, speedup_table,
+    BenchResult, EngineStats, Experiment, FailurePolicy,
 };
 use hyperpred::{evaluate, speedup, Model, Pipeline};
 use std::process::ExitCode;
@@ -37,7 +41,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hyperpredc <run|sim|dump> <file.c> \
          [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]\n\
-         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose]"
+         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]"
     );
     ExitCode::from(2)
 }
@@ -47,6 +51,7 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut threads = 0usize;
     let mut scale = Scale::Full;
     let mut verbose = false;
+    let mut keep_going = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--threads" => {
@@ -63,6 +68,7 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
                 };
             }
             "--verbose" => verbose = true,
+            "--keep-going" => keep_going = true,
             _ => return usage(),
         }
     }
@@ -72,23 +78,48 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
         Experiment::fig10(),
         Experiment::fig11(),
     ];
-    let out = match run_matrix_with_stats(&exps, scale, &Pipeline::default(), threads) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("hyperpredc: {e}");
-            return ExitCode::FAILURE;
+    let mut any_failed = false;
+    let (figures, stats): (Vec<Vec<BenchResult>>, EngineStats) = if keep_going {
+        let run = run_matrix_policy(
+            &exps,
+            scale,
+            &Pipeline::default(),
+            threads,
+            FailurePolicy::KeepGoing,
+        );
+        if !run.report.is_empty() {
+            any_failed = true;
+            eprint!("{}", run.report);
+        }
+        let figures = run
+            .outcomes
+            .iter()
+            .map(|row| row.iter().filter_map(|o| o.ok().cloned()).collect())
+            .collect();
+        (figures, run.stats)
+    } else {
+        match run_matrix_with_stats(&exps, scale, &Pipeline::default(), threads) {
+            Ok(out) => (out.figures, out.stats),
+            Err(e) => {
+                eprintln!("hyperpredc: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    for (exp, results) in exps.iter().zip(&out.figures) {
+    for (exp, results) in exps.iter().zip(&figures) {
         println!("{}", speedup_table(exp, results));
     }
-    println!("{}", instruction_table(&out.figures[0]));
-    println!("{}", branch_table(&out.figures[0]));
-    eprintln!("{}", out.stats.summary());
+    println!("{}", instruction_table(&figures[0]));
+    println!("{}", branch_table(&figures[0]));
+    eprintln!("{}", stats.summary());
     if verbose {
-        for cell in &out.stats.cells {
+        for cell in &stats.cells {
             eprintln!("  {cell}");
         }
+    }
+    if any_failed {
+        eprintln!("hyperpredc: some cells failed; tables above are partial");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -3,7 +3,7 @@
 use crate::pipeline::{evaluate, speedup, Model, Pipeline, PipelineError};
 use crate::report::{format_table, human_count, Row};
 use hyperpred_sched::MachineConfig;
-use hyperpred_sim::{CacheConfig, MemoryModel, SimConfig, SimStats};
+use hyperpred_sim::{CacheConfig, MemoryModel, SimConfig, SimStats, DEFAULT_CYCLE_LIMIT};
 use hyperpred_workloads::{Scale, Workload};
 
 /// Results of one benchmark under the three models plus the scalar
@@ -43,6 +43,11 @@ pub struct Experiment {
     pub branches: u32,
     /// Memory model.
     pub memory: MemoryModel,
+    /// Watchdog: cycle budget per simulated cell; a cell exceeding it
+    /// fails with [`hyperpred_sim::SimError::CycleLimit`] instead of
+    /// monopolizing a worker. The default is effectively unbounded for
+    /// the paper's workloads.
+    pub max_cycles: u64,
 }
 
 impl Experiment {
@@ -53,6 +58,7 @@ impl Experiment {
             issue: 8,
             branches: 1,
             memory: MemoryModel::Perfect,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
         }
     }
 
@@ -63,6 +69,7 @@ impl Experiment {
             issue: 8,
             branches: 2,
             memory: MemoryModel::Perfect,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
         }
     }
 
@@ -73,6 +80,7 @@ impl Experiment {
             issue: 4,
             branches: 1,
             memory: MemoryModel::Perfect,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
         }
     }
 
@@ -83,6 +91,7 @@ impl Experiment {
             issue: 8,
             branches: 1,
             memory: MemoryModel::Caches(CacheConfig::default()),
+            max_cycles: DEFAULT_CYCLE_LIMIT,
         }
     }
 
@@ -93,6 +102,7 @@ impl Experiment {
     pub(crate) fn sim(&self) -> SimConfig {
         SimConfig {
             memory: self.memory,
+            max_cycles: self.max_cycles,
             ..SimConfig::default()
         }
     }

@@ -1,0 +1,83 @@
+//! Fault-injection fixtures for exercising the matrix engine's
+//! containment guarantees (panic isolation, watchdog budgets) end to end.
+//!
+//! Two fixture workloads are provided:
+//!
+//! * [`panic_fixture`] — its source carries [`PANIC_MARKER`]; when a
+//!   [`Pipeline`](crate::Pipeline) has `fault_injection` enabled, compiling
+//!   it panics deliberately, standing in for the 100+ `unwrap`/`assert`
+//!   sites a pathological program could trip inside a pass.
+//! * [`cycle_hog_fixture`] — a legitimate program whose simulated run is
+//!   far longer than its neighbors', tripping the cycle-budget watchdog
+//!   ([`SimError::CycleLimit`](hyperpred_sim::SimError::CycleLimit)) when
+//!   an experiment's `max_cycles` is set below its runtime.
+//!
+//! Both are inert in normal operation: the panic fixture is valid MiniC
+//! (the marker lives in a comment) and compiles cleanly when
+//! `fault_injection` is off, and the hog completes under the default
+//! 10-billion-cycle budget. They are wired into `figures
+//! --keep-going --inject-faults` (the CI chaos smoke) and the
+//! fault-injection test suite.
+
+use hyperpred_workloads::Workload;
+
+/// Source marker the pipeline panics on when fault injection is enabled.
+pub const PANIC_MARKER: &str = "__hyperpred_fault_panic__";
+
+/// A workload whose compilation panics under
+/// [`Pipeline::fault_injection`](crate::Pipeline::fault_injection).
+/// Without injection it is an ordinary small program.
+pub fn panic_fixture() -> Workload {
+    Workload {
+        name: "inject-panic",
+        description: "fault fixture: compile-stage panic when injection is enabled",
+        source: format!(
+            "/* {PANIC_MARKER} */\n\
+             int main() {{\n\
+             \x20   int i; int s; s = 0;\n\
+             \x20   for (i = 0; i < 50; i += 1) {{ if (i % 2 == 0) s += i; }}\n\
+             \x20   return s;\n}}"
+        ),
+        args: vec![],
+    }
+}
+
+/// A terminating but long-running workload: roughly `6 * iters` dynamic
+/// instructions, so its simulated cycle count exceeds any budget set
+/// below that. Used with a lowered
+/// [`Experiment::max_cycles`](crate::Experiment::max_cycles) to trip the
+/// watchdog while healthy cells finish untouched.
+pub fn cycle_hog_fixture(iters: i64) -> Workload {
+    Workload {
+        name: "inject-spin",
+        description: "fault fixture: exceeds a lowered cycle budget",
+        source: format!(
+            "int main() {{\n\
+             \x20   int i; int s; s = 0;\n\
+             \x20   for (i = 0; i < {iters}; i += 1) {{\n\
+             \x20       if (i % 4 == 0) s += 3; else s -= 1;\n\
+             \x20   }}\n\
+             \x20   return s;\n}}"
+        ),
+        args: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Pipeline};
+    use hyperpred_sched::MachineConfig;
+
+    #[test]
+    fn fixtures_are_inert_without_injection() {
+        let pipe = Pipeline::default();
+        let machine = MachineConfig::new(8, 1);
+        let w = panic_fixture();
+        pipe.compile(&w.source, &w.args, Model::FullPred, &machine)
+            .expect("panic fixture compiles cleanly when injection is off");
+        let w = cycle_hog_fixture(100);
+        pipe.compile(&w.source, &w.args, Model::Superblock, &machine)
+            .expect("hog fixture is an ordinary program");
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod experiments;
+pub mod faults;
 pub mod matrix;
 pub mod pipeline;
 pub mod report;
@@ -49,7 +50,9 @@ pub use experiments::{
     BenchResult, Experiment,
 };
 pub use matrix::{
-    run_matrix, run_matrix_with_stats, run_matrix_workloads, CellStat, EngineStats, MatrixOutput,
+    run_matrix, run_matrix_policy, run_matrix_with_stats, run_matrix_workloads,
+    run_matrix_workloads_policy, CellFailure, CellOutcome, CellStat, EngineStats, FailurePayload,
+    FailurePolicy, FailureReport, FailureStage, MatrixOutput, MatrixRun,
 };
 pub use pipeline::{compile_model, evaluate, speedup, Model, Pipeline, PipelineError};
 pub use report::{format_table, Row};

@@ -1,5 +1,6 @@
-//! Parallel experiment engine: runs the paper's full figure matrix as a
-//! work queue of independent (workload, model, experiment) cells.
+//! Parallel, fault-isolated experiment engine: runs the paper's full
+//! figure matrix as a work queue of independent (workload, model,
+//! experiment) cells, containing per-cell failures.
 //!
 //! The paper's evaluation is embarrassingly parallel — 15 workloads × 3
 //! models × 4 machine configurations, each an independent compile +
@@ -20,6 +21,22 @@
 //! [`run_experiment`](crate::experiments::run_experiment) path because
 //! every pass and the simulator are deterministic; the engine only
 //! deduplicates and reorders work, it never changes it.
+//!
+//! # Fault isolation
+//!
+//! Every cell runs inside `std::panic::catch_unwind` with a panic-hook
+//! capture of the message, location, and cell identity, so a
+//! `panic!`/`unwrap` deep inside a compiler pass, the emulator, or the
+//! cycle simulator costs exactly one cell, never the run. A failed or
+//! panicking compile is memoized as failed in the shared cache, so cells
+//! depending on the same module skip it cheaply instead of re-panicking.
+//! The timing simulator's cycle-budget watchdog
+//! ([`SimError::CycleLimit`](hyperpred_sim::SimError)) bounds how long any
+//! one cell can hold a worker. Under [`FailurePolicy::KeepGoing`] the
+//! engine finishes every healthy cell and returns partial results plus a
+//! structured [`FailureReport`]; [`FailurePolicy::FailFast`] (the
+//! default-compatible mode) abandons remaining cells after the first
+//! failure, as the pre-isolation engine did.
 
 use crate::experiments::{BenchResult, Experiment};
 use crate::pipeline::{Model, Pipeline, PipelineError};
@@ -31,8 +48,16 @@ use hyperpred_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, tolerating poison: a panic contained in one worker must not
+/// cascade into every later lock of the shared accounting structures. The
+/// guarded data here (counters, append-only vectors) stays consistent
+/// because each push/increment is atomic with respect to the lock.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Wall-time and cache accounting for one engine run.
 #[derive(Debug, Clone, Default)]
@@ -53,7 +78,7 @@ pub struct EngineStats {
     pub baseline_reuses: u64,
     /// Model-cell simulations run.
     pub model_sims: u64,
-    /// Per-cell wall times, in completion order.
+    /// Per-cell wall times of successful cells, in completion order.
     pub cells: Vec<CellStat>,
 }
 
@@ -119,7 +144,161 @@ impl fmt::Display for CellStat {
     }
 }
 
-/// Matrix results plus the engine's own performance counters.
+/// What the engine does after a cell fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abandon remaining cells after the first failure (the historical
+    /// behavior; [`run_matrix`] uses this and surfaces the error).
+    #[default]
+    FailFast,
+    /// Finish every remaining cell; failed cells are reported in the
+    /// [`FailureReport`] and healthy cells stay bit-identical to a clean
+    /// run.
+    KeepGoing,
+}
+
+/// The pipeline stage a cell failed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureStage {
+    /// MiniC frontend, optimizer, region formation, or scheduling.
+    Compile,
+    /// The profiling emulation run inside compilation.
+    Emulate,
+    /// The timing simulation (including its cycle-budget watchdog) and
+    /// result cross-checks.
+    Simulate,
+}
+
+impl fmt::Display for FailureStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureStage::Compile => "compile",
+            FailureStage::Emulate => "emulate",
+            FailureStage::Simulate => "simulate",
+        })
+    }
+}
+
+/// Why a cell failed.
+#[derive(Debug, Clone)]
+pub enum FailurePayload {
+    /// A typed pipeline error (compile, emulation, or watchdog).
+    Error(PipelineError),
+    /// A contained panic; the captured message plus source location.
+    Panic(String),
+}
+
+impl fmt::Display for FailurePayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailurePayload::Error(e) => write!(f, "{e}"),
+            FailurePayload::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// One failed cell: everything needed to reproduce it from the report
+/// line alone.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Figure title, or `"baseline"` for the shared denominator cell.
+    pub experiment: &'static str,
+    /// Model of the failed cell (`None` for the baseline cell).
+    pub model: Option<Model>,
+    /// Stage the failure occurred in.
+    pub stage: FailureStage,
+    /// The error or captured panic.
+    pub payload: FailurePayload,
+    /// Wall time spent before the cell failed.
+    pub wall: Duration,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let model = self
+            .model
+            .map_or_else(|| "baseline".to_string(), |m| m.to_string());
+        write!(
+            f,
+            "{} / {} / {} [{} stage, {:.1?}]: {}",
+            self.workload, self.experiment, model, self.stage, self.wall, self.payload
+        )
+    }
+}
+
+/// Structured summary of every failed cell in a run.
+#[derive(Debug, Clone, Default)]
+pub struct FailureReport {
+    /// Failures in completion order.
+    pub failures: Vec<CellFailure>,
+}
+
+impl FailureReport {
+    /// True when every cell completed.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of failed cells.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.failures.is_empty() {
+            return writeln!(f, "failure report: all cells completed");
+        }
+        writeln!(f, "failure report: {} cell(s) failed", self.failures.len())?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One (experiment, workload) slot of the assembled matrix.
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// Baseline and all three model cells completed.
+    Ok(BenchResult),
+    /// At least one underlying cell failed; the first recorded failure
+    /// for this slot.
+    Failed(CellFailure),
+    /// Abandoned without running after an earlier failure under
+    /// [`FailurePolicy::FailFast`].
+    Skipped,
+}
+
+impl CellOutcome {
+    /// The completed result, if any.
+    pub fn ok(&self) -> Option<&BenchResult> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A full engine run: per-slot outcomes, engine counters, and the
+/// failure report.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// Per-experiment outcomes, in the order the experiments were given;
+    /// within each, per-workload outcomes in workload order.
+    pub outcomes: Vec<Vec<CellOutcome>>,
+    /// Engine accounting (cache hits, per-cell wall times).
+    pub stats: EngineStats,
+    /// Every contained failure.
+    pub report: FailureReport,
+}
+
+/// Matrix results plus the engine's own performance counters (the
+/// all-cells-succeeded view; see [`MatrixRun`] for the fault-tolerant
+/// one).
 #[derive(Debug)]
 pub struct MatrixOutput {
     /// Per-experiment results, in the order the experiments were given;
@@ -129,6 +308,81 @@ pub struct MatrixOutput {
     pub stats: EngineStats,
 }
 
+// ---------------------------------------------------------------------------
+// Panic containment: per-cell catch_unwind with a hook-captured message.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Identity of the cell this worker thread is currently running;
+    /// included in captured panic messages.
+    static CELL_IDENTITY: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+    /// Nesting depth of [`catch_cell`] on this thread; the hook only
+    /// captures (and silences) panics while it is nonzero.
+    static CAPTURE_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    /// Message + location captured by the hook for the most recent panic.
+    static CAPTURED_PANIC: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Renders a panic payload (the `&str`/`String` cases panics overwhelmingly
+/// carry).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Installs (once, process-wide) a panic hook that, while a worker is
+/// inside [`catch_cell`], records the message, source location, and cell
+/// identity instead of printing a backtrace; panics on all other threads
+/// go to the previous hook untouched.
+fn install_capture_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CAPTURE_DEPTH.with(std::cell::Cell::get) == 0 {
+                prev(info);
+                return;
+            }
+            let mut msg = payload_message(info.payload());
+            if let Some(loc) = info.location() {
+                msg.push_str(&format!(
+                    " (at {}:{}:{})",
+                    loc.file(),
+                    loc.line(),
+                    loc.column()
+                ));
+            }
+            if let Some(cell) = CELL_IDENTITY.with(|c| c.borrow().clone()) {
+                msg.push_str(&format!(" [cell {cell}]"));
+            }
+            CAPTURED_PANIC.with(|p| *p.borrow_mut() = Some(msg));
+        }));
+    });
+}
+
+/// Runs `f`, containing any panic and returning its captured message.
+fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_capture_hook();
+    CAPTURE_DEPTH.with(|d| d.set(d.get() + 1));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CAPTURE_DEPTH.with(|d| d.set(d.get() - 1));
+    r.map_err(|payload| {
+        CAPTURED_PANIC
+            .with(|p| p.borrow_mut().take())
+            .unwrap_or_else(|| payload_message(&*payload))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared compile cache with failure memoization.
+// ---------------------------------------------------------------------------
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CompileKey {
     workload: usize,
@@ -137,17 +391,33 @@ struct CompileKey {
     branches: u32,
 }
 
-/// One shared once-per-key slot; `None` marks a failed compile.
-type CompileSlot = Arc<OnceLock<Option<Arc<Module>>>>;
+/// A memoized compile failure, replayed cheaply for every dependent cell.
+#[derive(Debug, Clone)]
+struct SharedFailure {
+    stage: FailureStage,
+    payload: FailurePayload,
+}
+
+/// One shared once-per-key slot; `Err` marks a memoized failed compile.
+type CompileSlot = Arc<OnceLock<Result<Arc<Module>, SharedFailure>>>;
 
 /// Each distinct (workload, model, machine) module is compiled exactly
 /// once; concurrent requesters block on the same [`OnceLock`] rather than
-/// duplicating the work. A failed compile parks `None` in the slot — the
-/// error itself travels through [`ErrorSlot`] and aborts the run.
+/// duplicating the work. A failed — or panicking — compile is memoized as
+/// failed, so dependent cells skip it instead of re-running (or
+/// re-panicking) it.
 struct CompileCache {
     slots: Mutex<HashMap<CompileKey, CompileSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+fn stage_of(e: &PipelineError) -> FailureStage {
+    match e {
+        PipelineError::Compile(_) => FailureStage::Compile,
+        PipelineError::Emu(_) => FailureStage::Emulate,
+        PipelineError::Sim(_) => FailureStage::Simulate,
+    }
 }
 
 impl CompileCache {
@@ -166,21 +436,26 @@ impl CompileCache {
         model: Model,
         machine: &MachineConfig,
         pipe: &Pipeline,
-        errors: &ErrorSlot,
-    ) -> Option<Arc<Module>> {
+    ) -> Result<Arc<Module>, SharedFailure> {
         let cell = {
-            let mut slots = self.slots.lock().expect("compile cache poisoned");
+            let mut slots = lock_tolerant(&self.slots);
             Arc::clone(slots.entry(key).or_default())
         };
         let mut fresh = false;
         let module = cell.get_or_init(|| {
             fresh = true;
-            match pipe.compile(&w.source, &w.args, model, machine) {
-                Ok(m) => Some(Arc::new(m)),
-                Err(e) => {
-                    errors.record(e);
-                    None
-                }
+            // Panics inside the pipeline are contained *here* so the slot
+            // is still initialized (as failed) for everyone waiting on it.
+            match catch_cell(|| pipe.compile(&w.source, &w.args, model, machine)) {
+                Ok(Ok(m)) => Ok(Arc::new(m)),
+                Ok(Err(e)) => Err(SharedFailure {
+                    stage: stage_of(&e),
+                    payload: FailurePayload::Error(e),
+                }),
+                Err(panic_msg) => Err(SharedFailure {
+                    stage: FailureStage::Compile,
+                    payload: FailurePayload::Panic(panic_msg),
+                }),
             }
         });
         if fresh {
@@ -192,32 +467,38 @@ impl CompileCache {
     }
 }
 
-/// First pipeline failure wins; everything after it is abandoned.
-struct ErrorSlot {
-    first: Mutex<Option<PipelineError>>,
+/// Shared failure log; under [`FailurePolicy::FailFast`] the first record
+/// also aborts the queue.
+struct FailureLog {
+    failures: Mutex<Vec<CellFailure>>,
     abort: AtomicBool,
+    policy: FailurePolicy,
 }
 
-impl ErrorSlot {
-    fn new() -> ErrorSlot {
-        ErrorSlot {
-            first: Mutex::new(None),
+impl FailureLog {
+    fn new(policy: FailurePolicy) -> FailureLog {
+        FailureLog {
+            failures: Mutex::new(Vec::new()),
             abort: AtomicBool::new(false),
+            policy,
         }
     }
 
-    fn record(&self, e: PipelineError) {
-        let mut slot = self.first.lock().expect("error slot poisoned");
-        slot.get_or_insert(e);
-        self.abort.store(true, Ordering::Release);
+    fn record(&self, f: CellFailure) {
+        lock_tolerant(&self.failures).push(f);
+        if self.policy == FailurePolicy::FailFast {
+            self.abort.store(true, Ordering::Release);
+        }
     }
 
     fn aborted(&self) -> bool {
         self.abort.load(Ordering::Acquire)
     }
 
-    fn take(self) -> Option<PipelineError> {
-        self.first.into_inner().expect("error slot poisoned")
+    fn into_failures(self) -> Vec<CellFailure> {
+        self.failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -259,26 +540,90 @@ pub fn run_matrix_with_stats(
     run_matrix_workloads(exps, &workloads, pipe, threads)
 }
 
-/// The engine core: runs every (experiment × workload × model) cell of the
-/// matrix over `threads` scoped workers, compiling each distinct module
-/// once and simulating each workload's baseline denominator once.
-///
-/// Results are bit-identical to calling
-/// [`run_experiment`](crate::experiments::run_experiment) per experiment.
+/// Fault-isolated engine run over the standard suite at `scale` under
+/// `policy`. Never returns an error: failed cells are contained and
+/// reported in [`MatrixRun::report`].
+pub fn run_matrix_policy(
+    exps: &[Experiment],
+    scale: Scale,
+    pipe: &Pipeline,
+    threads: usize,
+    policy: FailurePolicy,
+) -> MatrixRun {
+    let workloads = hyperpred_workloads::all(scale);
+    run_matrix_workloads_policy(exps, &workloads, pipe, threads, policy)
+}
+
+/// Compatibility wrapper over [`run_matrix_workloads_policy`]: runs under
+/// [`FailurePolicy::FailFast`] and surfaces the first failure.
 ///
 /// # Errors
 /// Propagates the first pipeline failure; remaining cells are abandoned.
 ///
 /// # Panics
-/// Panics (like the serial path) if a model's simulated program result
-/// diverges from the baseline's — that is a compiler bug, not an input
-/// error.
+/// Panics (like the serial path) if a cell *panicked* — the contained
+/// message is re-raised — or if a model's simulated program result
+/// diverges from the baseline's; both are compiler bugs, not input
+/// errors.
 pub fn run_matrix_workloads(
     exps: &[Experiment],
     workloads: &[Workload],
     pipe: &Pipeline,
     threads: usize,
 ) -> Result<MatrixOutput, PipelineError> {
+    let run = run_matrix_workloads_policy(exps, workloads, pipe, threads, FailurePolicy::FailFast);
+    let MatrixRun {
+        outcomes,
+        stats,
+        mut report,
+    } = run;
+    if let Some(first) = report.failures.drain(..).next() {
+        match first.payload {
+            FailurePayload::Error(e) => return Err(e),
+            FailurePayload::Panic(msg) => panic!(
+                "matrix cell {} / {} panicked: {msg}",
+                first.workload, first.experiment
+            ),
+        }
+    }
+    let figures = outcomes
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|o| match o {
+                    CellOutcome::Ok(r) => r,
+                    CellOutcome::Failed(_) | CellOutcome::Skipped => {
+                        unreachable!("empty failure report implies all cells completed")
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(MatrixOutput { figures, stats })
+}
+
+/// The engine core: runs every (experiment × workload × model) cell of the
+/// matrix over `threads` scoped workers, compiling each distinct module
+/// once and simulating each workload's baseline denominator once. Each
+/// cell is wrapped in `catch_unwind` and the watchdog budget of
+/// [`Experiment::max_cycles`], so one sick cell cannot take down the run.
+///
+/// Successful cells are bit-identical to calling
+/// [`run_experiment`](crate::experiments::run_experiment) per experiment,
+/// whatever other cells do.
+///
+/// # Panics
+/// Under [`FailurePolicy::FailFast`] only: if a model's simulated program
+/// result diverges from the baseline's — that is a compiler bug, not an
+/// input error. [`FailurePolicy::KeepGoing`] reports divergence as a cell
+/// failure instead.
+pub fn run_matrix_workloads_policy(
+    exps: &[Experiment],
+    workloads: &[Workload],
+    pipe: &Pipeline,
+    threads: usize,
+    policy: FailurePolicy,
+) -> MatrixRun {
     let started = Instant::now();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -304,7 +649,7 @@ pub fn run_matrix_workloads(
     }
 
     let cache = CompileCache::new();
-    let errors = ErrorSlot::new();
+    let log = FailureLog::new(policy);
     let next = AtomicUsize::new(0);
     let baseline: Vec<OnceLock<SimStats>> = (0..workloads.len()).map(|_| OnceLock::new()).collect();
     let model_stats: Vec<OnceLock<SimStats>> = (0..exps.len() * workloads.len() * 3)
@@ -312,152 +657,218 @@ pub fn run_matrix_workloads(
         .collect();
     let cell_stats: Mutex<Vec<CellStat>> = Mutex::new(Vec::with_capacity(cells.len()));
 
+    // Executes one cell; typed failures come back as Err, panics unwind to
+    // the catch_cell wrapper in the worker loop.
+    let exec_cell = |cell: Cell| -> Result<(), (FailureStage, FailurePayload)> {
+        match cell {
+            Cell::Baseline { w } => {
+                let wl = &workloads[w];
+                let key = CompileKey {
+                    workload: w,
+                    model: Model::Superblock,
+                    issue: 1,
+                    branches: 1,
+                };
+                let module = cache
+                    .get_or_compile(
+                        key,
+                        wl,
+                        Model::Superblock,
+                        &MachineConfig::one_issue(),
+                        pipe,
+                    )
+                    .map_err(|f| (f.stage, f.payload))?;
+                // All experiments share one denominator config (1-issue,
+                // perfect memory, default predictor), so any experiment's
+                // baseline_sim() works; use the first for exactness.
+                let stats = simulate(
+                    &module,
+                    "main",
+                    &entry_args(&wl.args),
+                    MachineConfig::one_issue(),
+                    exps.first().map_or_else(
+                        || Experiment::fig8().baseline_sim(),
+                        Experiment::baseline_sim,
+                    ),
+                )
+                .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
+                baseline[w].set(stats).expect("baseline cell runs once");
+                Ok(())
+            }
+            Cell::Model { e, w, m } => {
+                let wl = &workloads[w];
+                let exp = &exps[e];
+                let model = Model::ALL[m];
+                let key = CompileKey {
+                    workload: w,
+                    model,
+                    issue: exp.issue,
+                    branches: exp.branches,
+                };
+                let module = cache
+                    .get_or_compile(key, wl, model, &exp.machine(), pipe)
+                    .map_err(|f| (f.stage, f.payload))?;
+                let stats = simulate(
+                    &module,
+                    "main",
+                    &entry_args(&wl.args),
+                    exp.machine(),
+                    exp.sim(),
+                )
+                .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
+                let idx = (e * workloads.len() + w) * 3 + m;
+                model_stats[idx].set(stats).expect("model cell runs once");
+                Ok(())
+            }
+        }
+    };
+
     std::thread::scope(|scope| {
         for _ in 0..threads.min(cells.len()).max(1) {
             scope.spawn(|| {
                 loop {
-                    if errors.aborted() {
+                    if log.aborted() {
                         return;
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i).copied() else {
                         return;
                     };
-                    let t = Instant::now();
-                    match cell {
-                        Cell::Baseline { w } => {
-                            let wl = &workloads[w];
-                            let key = CompileKey {
-                                workload: w,
-                                model: Model::Superblock,
-                                issue: 1,
-                                branches: 1,
-                            };
-                            let Some(module) = cache.get_or_compile(
-                                key,
-                                wl,
-                                Model::Superblock,
-                                &MachineConfig::one_issue(),
-                                pipe,
-                                &errors,
-                            ) else {
-                                continue;
-                            };
-                            // All experiments share one denominator config
-                            // (1-issue, perfect memory, default predictor),
-                            // so any experiment's baseline_sim() works; use
-                            // the first for exactness.
-                            match simulate(
-                                &module,
-                                "main",
-                                &entry_args(&wl.args),
-                                MachineConfig::one_issue(),
-                                exps.first().map_or_else(
-                                    || Experiment::fig8().baseline_sim(),
-                                    Experiment::baseline_sim,
-                                ),
-                            ) {
-                                Ok(stats) => {
-                                    baseline[w].set(stats).expect("baseline cell runs once");
-                                }
-                                Err(e) => {
-                                    errors.record(e.into());
-                                    continue;
-                                }
-                            }
-                            cell_stats
-                                .lock()
-                                .expect("cell stats poisoned")
-                                .push(CellStat {
-                                    workload: wl.name,
-                                    experiment: "baseline",
-                                    model: None,
-                                    wall: t.elapsed(),
-                                });
-                        }
+                    let (workload, experiment, model) = match cell {
+                        Cell::Baseline { w } => (workloads[w].name, "baseline", None),
                         Cell::Model { e, w, m } => {
-                            let wl = &workloads[w];
-                            let exp = &exps[e];
-                            let model = Model::ALL[m];
-                            let key = CompileKey {
-                                workload: w,
-                                model,
-                                issue: exp.issue,
-                                branches: exp.branches,
-                            };
-                            let Some(module) =
-                                cache.get_or_compile(key, wl, model, &exp.machine(), pipe, &errors)
-                            else {
-                                continue;
-                            };
-                            match simulate(
-                                &module,
-                                "main",
-                                &entry_args(&wl.args),
-                                exp.machine(),
-                                exp.sim(),
-                            ) {
-                                Ok(stats) => {
-                                    let idx = (e * workloads.len() + w) * 3 + m;
-                                    model_stats[idx].set(stats).expect("model cell runs once");
-                                }
-                                Err(e) => {
-                                    errors.record(e.into());
-                                    continue;
-                                }
-                            }
-                            cell_stats
-                                .lock()
-                                .expect("cell stats poisoned")
-                                .push(CellStat {
-                                    workload: wl.name,
-                                    experiment: exp.title,
-                                    model: Some(model),
-                                    wall: t.elapsed(),
-                                });
+                            (workloads[w].name, exps[e].title, Some(Model::ALL[m]))
                         }
+                    };
+                    CELL_IDENTITY.with(|c| {
+                        *c.borrow_mut() = Some(match model {
+                            Some(m) => format!("{workload} / {experiment} / {m}"),
+                            None => format!("{workload} / baseline"),
+                        });
+                    });
+                    let t = Instant::now();
+                    let caught = catch_cell(|| exec_cell(cell));
+                    let wall = t.elapsed();
+                    CELL_IDENTITY.with(|c| *c.borrow_mut() = None);
+                    match caught {
+                        Ok(Ok(())) => {
+                            lock_tolerant(&cell_stats).push(CellStat {
+                                workload,
+                                experiment,
+                                model,
+                                wall,
+                            });
+                        }
+                        Ok(Err((stage, payload))) => log.record(CellFailure {
+                            workload,
+                            experiment,
+                            model,
+                            stage,
+                            payload,
+                            wall,
+                        }),
+                        // A panic that escaped the compile cache's own
+                        // containment happened after compilation — in the
+                        // simulator or its sink.
+                        Err(panic_msg) => log.record(CellFailure {
+                            workload,
+                            experiment,
+                            model,
+                            stage: FailureStage::Simulate,
+                            payload: FailurePayload::Panic(panic_msg),
+                            wall,
+                        }),
                     }
                 }
             });
         }
     });
 
-    if let Some(e) = errors.take() {
-        return Err(e);
-    }
+    let mut failures = log.into_failures();
 
-    // Assemble per-figure results; every slot must be filled by now.
-    let mut figures = Vec::with_capacity(exps.len());
-    for e in 0..exps.len() {
-        let mut results = Vec::with_capacity(workloads.len());
+    // Assemble per-figure outcomes. Slots whose four cells all completed
+    // become `Ok`; slots touched by a failure reference it; slots
+    // abandoned by FailFast become `Skipped`.
+    let mut outcomes = Vec::with_capacity(exps.len());
+    for (e, exp) in exps.iter().enumerate() {
+        let mut row: Vec<CellOutcome> = Vec::with_capacity(workloads.len());
         for (w, wl) in workloads.iter().enumerate() {
-            let base = baseline[w].get().expect("baseline computed").clone();
-            let models: [SimStats; 3] = std::array::from_fn(|m| {
-                let idx = (e * workloads.len() + w) * 3 + m;
-                let s = model_stats[idx].get().expect("model cell computed").clone();
-                assert_eq!(s.ret, base.ret, "{}: {} diverged", wl.name, Model::ALL[m]);
-                s
-            });
-            results.push(BenchResult {
-                name: wl.name,
-                base,
-                models,
-            });
+            let base = baseline[w].get();
+            let models: Vec<Option<&SimStats>> = (0..3)
+                .map(|m| model_stats[(e * workloads.len() + w) * 3 + m].get())
+                .collect();
+            let outcome = match (base, models.iter().all(|m| m.is_some())) {
+                (Some(base), true) => {
+                    let models: [SimStats; 3] =
+                        std::array::from_fn(|m| models[m].expect("checked").clone());
+                    match models
+                        .iter()
+                        .enumerate()
+                        .find(|(_, s)| s.ret != base.ret)
+                        .map(|(m, s)| (Model::ALL[m], s.ret))
+                    {
+                        None => CellOutcome::Ok(BenchResult {
+                            name: wl.name,
+                            base: base.clone(),
+                            models,
+                        }),
+                        Some((m, got)) if policy == FailurePolicy::FailFast => {
+                            panic!("{}: {m} diverged (ret {got} vs {})", wl.name, base.ret)
+                        }
+                        Some((m, got)) => {
+                            let failure = CellFailure {
+                                workload: wl.name,
+                                experiment: exp.title,
+                                model: Some(m),
+                                stage: FailureStage::Simulate,
+                                payload: FailurePayload::Panic(format!(
+                                    "result divergence: {m} returned {got}, baseline {}",
+                                    base.ret
+                                )),
+                                wall: Duration::ZERO,
+                            };
+                            failures.push(failure.clone());
+                            CellOutcome::Failed(failure)
+                        }
+                    }
+                }
+                _ => {
+                    // Reference the first failure belonging to this slot
+                    // (its own cells or the shared baseline).
+                    let owned = failures.iter().find(|f| {
+                        f.workload == wl.name
+                            && (f.experiment == exp.title || f.experiment == "baseline")
+                    });
+                    match owned {
+                        Some(f) => CellOutcome::Failed(f.clone()),
+                        None => CellOutcome::Skipped,
+                    }
+                }
+            };
+            row.push(outcome);
         }
-        figures.push(results);
+        outcomes.push(row);
     }
 
+    let baseline_sims = baseline.iter().filter(|b| b.get().is_some()).count() as u64;
+    let model_sims = model_stats.iter().filter(|m| m.get().is_some()).count() as u64;
     let stats = EngineStats {
         threads,
         wall: started.elapsed(),
         compile_hits: cache.hits.load(Ordering::Relaxed),
         compile_misses: cache.misses.load(Ordering::Relaxed),
-        baseline_sims: workloads.len() as u64,
-        baseline_reuses: (exps.len().saturating_sub(1) * workloads.len()) as u64,
-        model_sims: (exps.len() * workloads.len() * 3) as u64,
-        cells: cell_stats.into_inner().expect("cell stats poisoned"),
+        baseline_sims,
+        baseline_reuses: (exps.len().saturating_sub(1) as u64) * baseline_sims,
+        model_sims,
+        cells: cell_stats
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
     };
-    Ok(MatrixOutput { figures, stats })
+    MatrixRun {
+        outcomes,
+        stats,
+        report: FailureReport { failures },
+    }
 }
 
 #[cfg(test)]
@@ -482,5 +893,38 @@ mod tests {
         };
         let err = run_matrix_workloads(&[Experiment::fig8()], &[bad], &Pipeline::default(), 2);
         assert!(err.is_err(), "syntax error must surface as PipelineError");
+    }
+
+    #[test]
+    fn keep_going_reports_instead_of_erroring() {
+        let bad = Workload {
+            name: "bad",
+            description: "unparseable",
+            source: "int main( {".to_string(),
+            args: Vec::new(),
+        };
+        let good = Workload {
+            name: "good",
+            description: "healthy neighbor",
+            source: "int main() { int i; int s; s = 0;
+                     for (i = 0; i < 50; i += 1) { s += i; } return s; }"
+                .to_string(),
+            args: Vec::new(),
+        };
+        let run = run_matrix_workloads_policy(
+            &[Experiment::fig8()],
+            &[bad, good],
+            &Pipeline::default(),
+            2,
+            FailurePolicy::KeepGoing,
+        );
+        assert!(!run.report.is_empty());
+        assert!(run
+            .report
+            .failures
+            .iter()
+            .all(|f| f.workload == "bad" && f.stage == FailureStage::Compile));
+        assert!(run.outcomes[0][0].ok().is_none(), "bad slot failed");
+        assert!(run.outcomes[0][1].ok().is_some(), "good slot completed");
     }
 }

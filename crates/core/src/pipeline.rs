@@ -10,7 +10,7 @@ use hyperpred_lang::lower::entry_args;
 use hyperpred_lang::CompileError;
 use hyperpred_partial::{to_partial_module, PartialConfig};
 use hyperpred_sched::{schedule_module, MachineConfig};
-use hyperpred_sim::{simulate, SimConfig, SimStats};
+use hyperpred_sim::{simulate, SimConfig, SimError, SimStats};
 use std::error::Error;
 use std::fmt;
 
@@ -42,12 +42,14 @@ impl fmt::Display for Model {
 }
 
 /// A pipeline failure.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
     /// MiniC frontend error.
     Compile(CompileError),
     /// Emulation error (in profiling or simulation).
     Emu(EmuError),
+    /// Timing-simulation watchdog error (cycle budget).
+    Sim(SimError),
 }
 
 impl fmt::Display for PipelineError {
@@ -55,6 +57,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Compile(e) => write!(f, "compile error: {e}"),
             PipelineError::Emu(e) => write!(f, "execution error: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
         }
     }
 }
@@ -70,6 +73,17 @@ impl From<CompileError> for PipelineError {
 impl From<EmuError> for PipelineError {
     fn from(e: EmuError) -> Self {
         PipelineError::Emu(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        match e {
+            // Plain emulation failures keep their historical shape so
+            // callers matching on `PipelineError::Emu` still work.
+            SimError::Emu(e) => PipelineError::Emu(e),
+            e @ SimError::CycleLimit { .. } => PipelineError::Sim(e),
+        }
     }
 }
 
@@ -90,6 +104,15 @@ pub struct Pipeline {
     pub inline: bool,
     /// Loop unrolling applied to formed regions.
     pub unroll: UnrollConfig,
+    /// Instruction budget for the profiling run (the emulator's fuel);
+    /// a non-terminating input fails with `OutOfFuel` instead of hanging.
+    pub profile_fuel: u64,
+    /// Honor fault-injection markers in workload sources (see
+    /// [`crate::faults`]). Off by default: production compiles never
+    /// scan for markers semantically — this exists so the fault-injection
+    /// fixtures and the `figures --inject-faults` chaos path can exercise
+    /// panic containment end to end.
+    pub fault_injection: bool,
 }
 
 impl Default for Pipeline {
@@ -102,6 +125,8 @@ impl Default for Pipeline {
             classic_opt: true,
             inline: true,
             unroll: UnrollConfig::default(),
+            profile_fuel: hyperpred_emu::DEFAULT_FUEL,
+            fault_injection: false,
         }
     }
 }
@@ -121,6 +146,12 @@ impl Pipeline {
         model: Model,
         machine: &MachineConfig,
     ) -> Result<Module, PipelineError> {
+        if self.fault_injection && source.contains(crate::faults::PANIC_MARKER) {
+            panic!(
+                "injected compile-stage panic ({} fixture)",
+                crate::faults::PANIC_MARKER
+            );
+        }
         let mut module = hyperpred_lang::compile(source)?;
         if self.inline {
             hyperpred_opt::inline::run_module(
@@ -133,7 +164,7 @@ impl Pipeline {
         }
         // Profile (the paper profiles the measured run itself).
         let mut prof = Profiler::new();
-        let mut emu = Emulator::new(&module);
+        let mut emu = Emulator::new(&module).with_fuel(self.profile_fuel);
         emu.run("main", &entry_args(args), &mut prof)?;
 
         for i in 0..module.funcs.len() {

@@ -1,0 +1,164 @@
+//! Fault-injection suite: proves the matrix engine's containment
+//! guarantees end to end. A deliberately panicking cell and a
+//! watchdog-tripping cell run inside a small matrix next to healthy
+//! workloads; under `KeepGoing` every healthy cell must come out
+//! bit-identical to a clean serial run, and the failure report must name
+//! exactly the injected cells with the right stage and payload.
+
+use hyperpred::faults::{cycle_hog_fixture, panic_fixture};
+use hyperpred::sim::SimError;
+use hyperpred::{
+    run_matrix_workloads_policy, run_workload, CellOutcome, Experiment, FailurePayload,
+    FailurePolicy, FailureStage, Pipeline, PipelineError,
+};
+use hyperpred_workloads::Workload;
+
+/// Cycle budget for the injected experiment: far above the healthy
+/// workloads (a few thousand cycles each) and far below the hog fixture.
+const TEST_MAX_CYCLES: u64 = 50_000;
+
+fn experiment() -> Experiment {
+    let mut exp = Experiment::fig8();
+    exp.max_cycles = TEST_MAX_CYCLES;
+    exp
+}
+
+fn healthy() -> Vec<Workload> {
+    let branchy = Workload {
+        name: "branchy",
+        description: "if-else ladder in a loop",
+        source: "int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 400; i += 1) {
+                if (i % 3 == 0) s += 5;
+                else if (i % 5 == 0) s -= 2;
+                else s += 1;
+            }
+            return s;
+        }"
+        .to_string(),
+        args: vec![],
+    };
+    let calls = Workload {
+        name: "calls",
+        description: "call/return scheduling",
+        source: "int clamp(int v, int lo, int hi) {
+            if (v < lo) return lo;
+            if (v > hi) return hi;
+            return v;
+        }
+        int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 300; i += 1) {
+                s += clamp(i * 3 % 97 - 40, -25, 25);
+            }
+            return s + 1000;
+        }"
+        .to_string(),
+        args: vec![],
+    };
+    vec![branchy, calls]
+}
+
+#[test]
+fn keep_going_contains_injected_faults() {
+    let pipe = Pipeline {
+        fault_injection: true,
+        ..Pipeline::default()
+    };
+    let exp = experiment();
+
+    let mut wls = healthy();
+    let n_healthy = wls.len();
+    wls.push(panic_fixture());
+    wls.push(cycle_hog_fixture(100_000));
+
+    let run = run_matrix_workloads_policy(&[exp], &wls, &pipe, 3, FailurePolicy::KeepGoing);
+
+    // The report names exactly the injected workloads — never a healthy one.
+    assert!(!run.report.is_empty(), "injected faults must be reported");
+    for f in &run.report.failures {
+        assert!(
+            f.workload == "inject-panic" || f.workload == "inject-spin",
+            "healthy cell {} must not appear in the report",
+            f.workload
+        );
+        match f.workload {
+            "inject-panic" => {
+                assert_eq!(f.stage, FailureStage::Compile);
+                match &f.payload {
+                    FailurePayload::Panic(msg) => {
+                        assert!(
+                            msg.contains("injected compile-stage panic"),
+                            "captured message should carry the panic text: {msg}"
+                        );
+                    }
+                    other => panic!("inject-panic must fail as a captured panic, got {other}"),
+                }
+            }
+            "inject-spin" => {
+                assert_eq!(f.stage, FailureStage::Simulate);
+                match &f.payload {
+                    FailurePayload::Error(PipelineError::Sim(SimError::CycleLimit {
+                        limit,
+                        ..
+                    })) => assert_eq!(*limit, TEST_MAX_CYCLES),
+                    other => panic!("inject-spin must trip the watchdog, got {other}"),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    let mut failed: Vec<&str> = run.report.failures.iter().map(|f| f.workload).collect();
+    failed.sort_unstable();
+    failed.dedup();
+    assert_eq!(failed, ["inject-panic", "inject-spin"]);
+
+    // Both injected slots are marked failed in the assembled matrix.
+    for (w, wl) in wls.iter().enumerate().skip(n_healthy) {
+        assert!(
+            matches!(run.outcomes[0][w], CellOutcome::Failed(_)),
+            "{} slot must be Failed",
+            wl.name
+        );
+    }
+
+    // Every healthy cell is bit-identical to a clean serial run: the
+    // injected neighbors may not perturb results in any way.
+    let clean_pipe = Pipeline::default();
+    for (w, wl) in wls.iter().take(n_healthy).enumerate() {
+        let clean = run_workload(wl, &exp, &clean_pipe).expect("clean serial run");
+        let got = run.outcomes[0][w]
+            .ok()
+            .unwrap_or_else(|| panic!("{} must complete despite injected neighbors", wl.name));
+        assert_eq!(got.base, clean.base, "{}: baseline stats differ", wl.name);
+        assert_eq!(got.models, clean.models, "{}: model stats differ", wl.name);
+    }
+}
+
+#[test]
+fn fail_fast_aborts_after_first_failure() {
+    let pipe = Pipeline {
+        fault_injection: true,
+        ..Pipeline::default()
+    };
+    let exp = experiment();
+
+    // The panic fixture is workload 0, so its baseline compile is the
+    // first queued cell; with one worker the abort is deterministic.
+    let mut wls = vec![panic_fixture()];
+    wls.extend(healthy());
+
+    let run = run_matrix_workloads_policy(&[exp], &wls, &pipe, 1, FailurePolicy::FailFast);
+
+    assert_eq!(run.report.len(), 1, "fail-fast stops at the first failure");
+    assert_eq!(run.report.failures[0].workload, "inject-panic");
+    assert!(matches!(run.outcomes[0][0], CellOutcome::Failed(_)));
+    for (w, wl) in wls.iter().enumerate().skip(1) {
+        assert!(
+            matches!(run.outcomes[0][w], CellOutcome::Skipped),
+            "{} must be abandoned, not run",
+            wl.name
+        );
+    }
+}

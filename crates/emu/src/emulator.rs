@@ -11,29 +11,81 @@ pub const DEFAULT_FUEL: u64 = 2_000_000_000;
 /// Maximum call depth.
 pub const MAX_DEPTH: usize = 8192;
 
+/// Where an [`EmuError`] happened: enough context to reproduce the trap
+/// from a failure-report line alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmuContext {
+    /// The executing function's name.
+    pub func: String,
+    /// Rendered current instruction.
+    pub inst: String,
+    /// Instructions fetched before the failure (this run).
+    pub fetched: u64,
+}
+
+impl EmuContext {
+    fn new(func: &str, inst: impl ToString, fetched: u64) -> EmuContext {
+        EmuContext {
+            func: func.to_string(),
+            inst: inst.to_string(),
+            fetched,
+        }
+    }
+}
+
+impl fmt::Display for EmuContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in {} after {} fetched insts, at `{}`",
+            self.func, self.fetched, self.inst
+        )
+    }
+}
+
 /// An execution failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EmuError {
     /// Non-speculative memory access to an invalid address.
     Trap {
-        /// The faulting function name.
-        func: String,
-        /// Rendered faulting instruction.
-        inst: String,
+        /// Where it happened.
+        ctx: EmuContext,
         /// The bad address.
         addr: u64,
     },
     /// Non-speculative integer or float division by zero.
     DivByZero {
-        /// The faulting function name.
-        func: String,
-        /// Rendered faulting instruction.
-        inst: String,
+        /// Where it happened.
+        ctx: EmuContext,
     },
     /// The instruction budget was exhausted.
-    OutOfFuel,
+    OutOfFuel {
+        /// Where it happened.
+        ctx: EmuContext,
+        /// The budget that ran out.
+        fuel: u64,
+    },
     /// Call stack exceeded [`MAX_DEPTH`].
-    CallDepth,
+    CallDepth {
+        /// Where it happened (the `call` instruction).
+        ctx: EmuContext,
+    },
+    /// Structurally invalid instruction reached the interpreter (the
+    /// verifier should reject these; this is the typed backstop so a bad
+    /// module errors instead of panicking a worker).
+    Malformed {
+        /// Where it happened.
+        ctx: EmuContext,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The trace sink asked the run to stop (see
+    /// [`TraceSink::aborted`](crate::TraceSink::aborted)); used by cycle
+    /// watchdogs in the timing simulator.
+    SinkAbort {
+        /// Where it happened.
+        ctx: EmuContext,
+    },
     /// The requested entry function does not exist.
     NoFunc(String),
 }
@@ -41,20 +93,53 @@ pub enum EmuError {
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmuError::Trap { func, inst, addr } => {
-                write!(f, "memory trap at {addr:#x} in {func}: {inst}")
+            EmuError::Trap { ctx, addr } => {
+                write!(f, "memory trap at {addr:#x} {ctx}")
             }
-            EmuError::DivByZero { func, inst } => {
-                write!(f, "division by zero in {func}: {inst}")
+            EmuError::DivByZero { ctx } => {
+                write!(f, "division by zero {ctx}")
             }
-            EmuError::OutOfFuel => write!(f, "instruction budget exhausted"),
-            EmuError::CallDepth => write!(f, "call stack overflow"),
+            EmuError::OutOfFuel { ctx, fuel } => {
+                write!(f, "instruction budget of {fuel} exhausted {ctx}")
+            }
+            EmuError::CallDepth { ctx } => {
+                write!(f, "call stack overflow (depth {MAX_DEPTH}) {ctx}")
+            }
+            EmuError::Malformed { ctx, reason } => {
+                write!(f, "malformed instruction ({reason}) {ctx}")
+            }
+            EmuError::SinkAbort { ctx } => {
+                write!(f, "trace sink aborted the run {ctx}")
+            }
             EmuError::NoFunc(n) => write!(f, "no function named {n}"),
         }
     }
 }
 
 impl Error for EmuError {}
+
+/// Builds a [`EmuError::Malformed`] for the current instruction.
+fn malformed(func: &str, inst: &Inst, fetched: u64, reason: &'static str) -> EmuError {
+    EmuError::Malformed {
+        ctx: EmuContext::new(func, inst, fetched),
+        reason,
+    }
+}
+
+/// Checked destination-register slot: a missing or out-of-range `dst` is a
+/// typed error, not an `unwrap` panic.
+fn dst_slot<'r>(
+    regs: &'r mut [i64],
+    func: &str,
+    inst: &Inst,
+    fetched: u64,
+) -> Result<&'r mut i64, EmuError> {
+    let d = inst
+        .dst
+        .ok_or_else(|| malformed(func, inst, fetched, "missing destination register"))?;
+    regs.get_mut(d.index())
+        .ok_or_else(|| malformed(func, inst, fetched, "destination register out of range"))
+}
 
 /// Result of a successful run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,9 +236,6 @@ impl<'m> Emulator<'m> {
         sink: &mut S,
         depth: usize,
     ) -> Result<Flow, EmuError> {
-        if depth >= MAX_DEPTH {
-            return Err(EmuError::CallDepth);
-        }
         let module = self.module;
         let f: &Function = module.func(fid);
         debug_assert_eq!(args.len(), f.params.len(), "arity checked by verifier");
@@ -179,9 +261,18 @@ impl<'m> Emulator<'m> {
             while idx < insts.len() {
                 let inst: &Inst = &insts[idx];
                 if self.fetched >= self.fuel {
-                    return Err(EmuError::OutOfFuel);
+                    return Err(EmuError::OutOfFuel {
+                        ctx: EmuContext::new(&f.name, inst, self.fetched),
+                        fuel: self.fuel,
+                    });
+                }
+                if sink.aborted() {
+                    return Err(EmuError::SinkAbort {
+                        ctx: EmuContext::new(&f.name, inst, self.fetched),
+                    });
                 }
                 self.fetched += 1;
+                let fetched = self.fetched;
 
                 let guard_val = inst.guard.is_none_or(|p| preds[p.index()]);
                 // Predicate defines are NOT nullified by a false guard: Pin
@@ -209,8 +300,7 @@ impl<'m> Emulator<'m> {
                 let mut taken = None;
                 let mut mem_addr = None;
                 let trap = |addr: u64| EmuError::Trap {
-                    func: f.name.clone(),
-                    inst: inst.to_string(),
+                    ctx: EmuContext::new(&f.name, inst, fetched),
                     addr,
                 };
                 match inst.op {
@@ -241,7 +331,7 @@ impl<'m> Emulator<'m> {
                             Op::Sra => a.wrapping_shr(b as u32 & 63),
                             _ => unreachable!(),
                         };
-                        regs[inst.dst.unwrap().index()] = r;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
                     }
                     Op::Div | Op::Rem => {
                         let a = val(&regs, inst.srcs[0]);
@@ -251,8 +341,7 @@ impl<'m> Emulator<'m> {
                                 0
                             } else {
                                 return Err(EmuError::DivByZero {
-                                    func: f.name.clone(),
-                                    inst: inst.to_string(),
+                                    ctx: EmuContext::new(&f.name, inst, fetched),
                                 });
                             }
                         } else if inst.op == Op::Div {
@@ -260,23 +349,22 @@ impl<'m> Emulator<'m> {
                         } else {
                             a.wrapping_rem(b)
                         };
-                        regs[inst.dst.unwrap().index()] = r;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
                     }
                     Op::Cmp(c) => {
                         let a = val(&regs, inst.srcs[0]);
                         let b = val(&regs, inst.srcs[1]);
-                        regs[inst.dst.unwrap().index()] = c.eval(a, b) as i64;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval(a, b) as i64;
                     }
                     Op::Mov => {
-                        regs[inst.dst.unwrap().index()] = val(&regs, inst.srcs[0]);
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = val(&regs, inst.srcs[0]);
                     }
                     Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
                         let a = fval(&regs, inst.srcs[0]);
                         let b = fval(&regs, inst.srcs[1]);
                         if inst.op == Op::FDiv && b == 0.0 && !inst.speculative {
                             return Err(EmuError::DivByZero {
-                                func: f.name.clone(),
-                                inst: inst.to_string(),
+                                ctx: EmuContext::new(&f.name, inst, fetched),
                             });
                         }
                         let r = match inst.op {
@@ -292,20 +380,20 @@ impl<'m> Emulator<'m> {
                             }
                             _ => unreachable!(),
                         };
-                        regs[inst.dst.unwrap().index()] = r.to_bits() as i64;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r.to_bits() as i64;
                     }
                     Op::FCmp(c) => {
                         let a = fval(&regs, inst.srcs[0]);
                         let b = fval(&regs, inst.srcs[1]);
-                        regs[inst.dst.unwrap().index()] = c.eval_f(a, b) as i64;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval_f(a, b) as i64;
                     }
                     Op::IToF => {
                         let a = val(&regs, inst.srcs[0]);
-                        regs[inst.dst.unwrap().index()] = (a as f64).to_bits() as i64;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = (a as f64).to_bits() as i64;
                     }
                     Op::FToI => {
                         let a = fval(&regs, inst.srcs[0]);
-                        regs[inst.dst.unwrap().index()] = a as i64;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = a as i64;
                     }
                     Op::Ld(w) => {
                         let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
@@ -315,7 +403,7 @@ impl<'m> Emulator<'m> {
                             .mem
                             .load(addr, w, inst.speculative)
                             .map_err(|t| trap(t.addr))?;
-                        regs[inst.dst.unwrap().index()] = v;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
                     }
                     Op::St(w) => {
                         let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
@@ -335,7 +423,14 @@ impl<'m> Emulator<'m> {
                         taken = Some(true);
                     }
                     Op::Call => {
-                        let callee = inst.callee.expect("linked module");
+                        let callee = inst
+                            .callee
+                            .ok_or_else(|| malformed(&f.name, inst, fetched, "unlinked call"))?;
+                        if depth + 1 >= MAX_DEPTH {
+                            return Err(EmuError::CallDepth {
+                                ctx: EmuContext::new(&f.name, inst, fetched),
+                            });
+                        }
                         let argv: Vec<i64> = inst.srcs.iter().map(|&s| val(&regs, s)).collect();
                         sink.inst(&Event {
                             func: fid,
@@ -347,7 +442,7 @@ impl<'m> Emulator<'m> {
                             mem_addr: None,
                         });
                         match self.exec(callee, &argv, sink, depth + 1)? {
-                            Flow::Ret(v) => regs[inst.dst.unwrap().index()] = v,
+                            Flow::Ret(v) => *dst_slot(&mut regs, &f.name, inst, fetched)? = v,
                             Flow::Halt => return Ok(Flow::Halt),
                         }
                         // Re-establish block context for the trace consumer:
@@ -407,14 +502,14 @@ impl<'m> Emulator<'m> {
                         let cond = val(&regs, inst.srcs[1]) != 0;
                         let fire = if inst.op == Op::Cmov { cond } else { !cond };
                         if fire {
-                            regs[inst.dst.unwrap().index()] = v;
+                            *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
                         }
                     }
                     Op::Select => {
                         let t = val(&regs, inst.srcs[0]);
                         let e = val(&regs, inst.srcs[1]);
                         let cond = val(&regs, inst.srcs[2]) != 0;
-                        regs[inst.dst.unwrap().index()] = if cond { t } else { e };
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = if cond { t } else { e };
                     }
                     Op::Nop => {}
                 }
@@ -430,15 +525,26 @@ impl<'m> Emulator<'m> {
                 });
 
                 if taken == Some(true) {
-                    let t = inst.target.expect("verified branch");
-                    bpos = f.layout_pos(t).expect("verified target");
+                    let t = inst.target.ok_or_else(|| {
+                        malformed(&f.name, inst, fetched, "branch without target")
+                    })?;
+                    bpos = f.layout_pos(t).ok_or_else(|| {
+                        malformed(&f.name, inst, fetched, "branch target not in layout")
+                    })?;
                     continue 'blocks;
                 }
                 idx += 1;
             }
             // Fall through to the next block in layout.
             bpos += 1;
-            debug_assert!(bpos < f.layout.len(), "verifier prevents falling off end");
+            if bpos >= f.layout.len() {
+                // The verifier rejects functions whose last block can fall
+                // through; error instead of indexing out of bounds.
+                return Err(EmuError::Malformed {
+                    ctx: EmuContext::new(&f.name, "<end of function>", self.fetched),
+                    reason: "control fell off the end of the function",
+                });
+            }
         }
     }
 }
@@ -655,10 +761,49 @@ mod tests {
         b.jump(l);
         let m = module_of(vec![b.finish()]);
         let mut emu = Emulator::new(&m).with_fuel(1000);
-        assert_eq!(
+        match emu.run("main", &[], &mut NullSink) {
+            Err(EmuError::OutOfFuel { ctx, fuel }) => {
+                assert_eq!(fuel, 1000);
+                assert_eq!(ctx.fetched, 1000);
+                assert_eq!(ctx.func, "main");
+            }
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_reproduction_context() {
+        // A trap's Display alone must identify function, instruction, and
+        // fetch position.
+        let mut b = FuncBuilder::new("main");
+        let v = b.load(MemWidth::Word, Operand::Imm(0), Operand::Imm(0));
+        b.ret(Some(v.into()));
+        let m = module_of(vec![b.finish()]);
+        let mut emu = Emulator::new(&m);
+        let err = emu.run("main", &[], &mut NullSink).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("main"), "{msg}");
+        assert!(msg.contains("fetched insts"), "{msg}");
+        assert!(msg.contains("ld"), "instruction op missing: {msg}");
+    }
+
+    #[test]
+    fn missing_dst_is_typed_error_not_panic() {
+        // Hand-build an `add` with no destination; the interpreter must
+        // return Malformed instead of unwrapping.
+        let mut b = FuncBuilder::new("main");
+        let x = b.add(Operand::Imm(1), Operand::Imm(2));
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        f.blocks[0].insts[0].dst = None;
+        let mut m = Module::new();
+        m.push(f);
+        m.link().unwrap();
+        let mut emu = Emulator::new(&m);
+        assert!(matches!(
             emu.run("main", &[], &mut NullSink),
-            Err(EmuError::OutOfFuel)
-        );
+            Err(EmuError::Malformed { .. })
+        ));
     }
 
     #[test]

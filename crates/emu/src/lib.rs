@@ -26,7 +26,7 @@ pub mod memory;
 pub mod profile;
 pub mod trace;
 
-pub use emulator::{EmuError, Emulator, RunOutcome};
+pub use emulator::{EmuContext, EmuError, Emulator, RunOutcome, DEFAULT_FUEL, MAX_DEPTH};
 pub use memory::Memory;
 pub use profile::{BranchStat, Profiler};
 pub use trace::{DynStats, Event, NullSink, TraceSink};

@@ -43,6 +43,15 @@ pub trait TraceSink {
     fn inst(&mut self, ev: &Event<'_>) {
         let _ = ev;
     }
+
+    /// Asks the emulator to stop the run. Checked once per fetched
+    /// instruction; when it returns `true` the emulator returns
+    /// [`EmuError::SinkAbort`](crate::EmuError::SinkAbort). Watchdog sinks
+    /// (e.g. the timing simulator's cycle budget) override this so a
+    /// pathological program cannot hang a worker forever.
+    fn aborted(&self) -> bool {
+        false
+    }
 }
 
 /// A sink that ignores everything (pure functional execution).
@@ -136,5 +145,9 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
     fn inst(&mut self, ev: &Event<'_>) {
         self.a.inst(ev);
         self.b.inst(ev);
+    }
+
+    fn aborted(&self) -> bool {
+        self.a.aborted() || self.b.aborted()
     }
 }

@@ -27,6 +27,49 @@ use hyperpred_emu::{EmuError, Emulator, Event, TraceSink};
 use hyperpred_ir::{BlockId, FuncId, Module, Op, PredType};
 use hyperpred_sched::MachineConfig;
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default cycle budget: far above any real workload (the full-scale
+/// suite peaks in the tens of millions of cycles) but finite, so a
+/// pathological program aborts instead of hanging a worker forever.
+pub const DEFAULT_CYCLE_LIMIT: u64 = 10_000_000_000;
+
+/// A timing-simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The underlying functional emulation failed (trap, fuel, ...).
+    Emu(EmuError),
+    /// The cycle-budget watchdog fired: simulated time passed
+    /// [`SimConfig::max_cycles`] (mirrors the emulator's instruction
+    /// fuel, but in cycles, so schedule blowups are bounded too).
+    CycleLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+        /// Instructions fetched before the watchdog fired.
+        insts: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Emu(e) => write!(f, "{e}"),
+            SimError::CycleLimit { limit, insts } => write!(
+                f,
+                "cycle budget of {limit} exhausted after {insts} fetched insts"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<EmuError> for SimError {
+    fn from(e: EmuError) -> SimError {
+        SimError::Emu(e)
+    }
+}
 
 /// Memory hierarchy model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +90,9 @@ pub struct SimConfig {
     pub btb: BtbConfig,
     /// Cycles lost per mispredicted branch.
     pub mispredict_penalty: u32,
+    /// Watchdog budget: the run aborts with [`SimError::CycleLimit`] once
+    /// the simulated clock reaches this many cycles.
+    pub max_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -55,6 +101,7 @@ impl Default for SimConfig {
             memory: MemoryModel::Perfect,
             btb: BtbConfig::default(),
             mispredict_penalty: 2,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
         }
     }
 }
@@ -126,6 +173,9 @@ pub struct CycleSim {
     pred_ready: HashMap<(u32, u32), u64>,
     /// Cycle the last `pred_clear`/`pred_set` per function takes effect.
     pred_clear_time: HashMap<u32, u64>,
+    /// Set once the simulated clock passes the watchdog budget; the
+    /// emulator polls it via [`TraceSink::aborted`].
+    over_budget: bool,
 }
 
 impl CycleSim {
@@ -159,6 +209,7 @@ impl CycleSim {
             reg_ready: HashMap::new(),
             pred_ready: HashMap::new(),
             pred_clear_time: HashMap::new(),
+            over_budget: false,
         }
     }
 
@@ -329,6 +380,15 @@ impl TraceSink for CycleSim {
             // Calls and returns redirect fetch like taken branches.
             self.fetch_ready = self.fetch_ready.max(issue + 1);
         }
+
+        // --- watchdog --------------------------------------------------------
+        if self.cycle >= self.config.max_cycles {
+            self.over_budget = true;
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.over_budget
     }
 }
 
@@ -336,20 +396,33 @@ impl TraceSink for CycleSim {
 /// model, returning cycle counts and statistics.
 ///
 /// # Errors
-/// Propagates emulator failures (traps, fuel).
+/// Propagates emulator failures (traps, fuel) and reports
+/// [`SimError::CycleLimit`] when the simulated clock exceeds
+/// [`SimConfig::max_cycles`].
 pub fn simulate(
     module: &Module,
     entry: &str,
     args: &[i64],
     machine: MachineConfig,
     config: SimConfig,
-) -> Result<SimStats, EmuError> {
+) -> Result<SimStats, SimError> {
     let mut sink = CycleSim::new(module, machine, config);
     let mut emu = Emulator::new(module);
-    let out = emu.run(entry, args, &mut sink)?;
-    let mut stats = sink.finish();
-    stats.ret = out.ret;
-    Ok(stats)
+    match emu.run(entry, args, &mut sink) {
+        Ok(out) => {
+            let mut stats = sink.finish();
+            stats.ret = out.ret;
+            Ok(stats)
+        }
+        Err(EmuError::SinkAbort { ctx }) => {
+            debug_assert!(sink.over_budget, "only the watchdog aborts this sink");
+            Err(SimError::CycleLimit {
+                limit: config.max_cycles,
+                insts: ctx.fetched,
+            })
+        }
+        Err(e) => Err(SimError::Emu(e)),
+    }
 }
 
 #[cfg(test)]
@@ -677,5 +750,43 @@ mod tests {
             "wide issue should overlap independent work: ipc {:.2}",
             s.ipc()
         );
+    }
+
+    #[test]
+    fn cycle_watchdog_stops_runaway_runs() {
+        // A long loop under a tiny cycle budget must abort with CycleLimit
+        // promptly (within one instruction of the budget) instead of
+        // simulating to completion.
+        let mut m = simple_loop_module(1_000_000);
+        schedule_module(&mut m, &MachineConfig::one_issue());
+        let err = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::one_issue(),
+            SimConfig {
+                max_cycles: 5_000,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            SimError::CycleLimit { limit, insts } => {
+                assert_eq!(limit, 5_000);
+                assert!(insts < 10_000, "aborted promptly, not at {insts} insts");
+            }
+            other => panic!("expected CycleLimit, got {other}"),
+        }
+        // The same program under the default budget completes.
+        let mut m2 = simple_loop_module(1000);
+        schedule_module(&mut m2, &MachineConfig::one_issue());
+        simulate(
+            &m2,
+            "main",
+            &[],
+            MachineConfig::one_issue(),
+            SimConfig::default(),
+        )
+        .expect("default budget is generous");
     }
 }

@@ -20,4 +20,6 @@ pub mod cyclesim;
 
 pub use btb::{Btb, BtbConfig, Predictor};
 pub use cache::{Cache, CacheConfig};
-pub use cyclesim::{simulate, CycleSim, MemoryModel, SimConfig, SimStats};
+pub use cyclesim::{
+    simulate, CycleSim, MemoryModel, SimConfig, SimError, SimStats, DEFAULT_CYCLE_LIMIT,
+};

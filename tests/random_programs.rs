@@ -143,6 +143,83 @@ fn check_seed(seed: u64) {
     }
 }
 
+/// The frontend must be total: any string — arbitrary Unicode noise,
+/// C-flavored character soup, or near-miss token streams — produces
+/// either a module or a typed `CompileError`. A panic fails the test.
+/// Bytes are drawn from a seeded generator so proptest can shrink on the
+/// seed (the vendored proptest has no byte-vector strategy).
+fn check_frontend_total(seed: u64) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let len = r.gen_range(0..400usize);
+
+    // Flavor 1: arbitrary Unicode scalar values (exercises the lexer's
+    // char handling).
+    let noise: String = (0..len)
+        .filter_map(|_| char::from_u32(r.gen_range(0i64..0x11_0000) as u32))
+        .collect();
+
+    // Flavor 2: soup from the language's own alphabet (lexes further,
+    // fails deeper).
+    const ALPHABET: &[u8] = b"abi{}()[];=+-*/%<>!&|^?:, \n0123456789\"'#.~$@\\";
+    let soup: String = (0..len)
+        .map(|_| ALPHABET[r.gen_range(0..ALPHABET.len())] as char)
+        .collect();
+
+    // Flavor 3: random token streams (syntactically plausible fragments
+    // that stress the parser's error paths, not just the lexer's).
+    const TOKENS: &[&str] = &[
+        "int",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "main",
+        "x",
+        "i0",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "=",
+        "+=",
+        "-=",
+        "^=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "<",
+        ">",
+        "==",
+        "!=",
+        "&&",
+        "||",
+        "!",
+        "?",
+        ":",
+        "0",
+        "7",
+        "-3",
+        "12345678901234567890",
+    ];
+    let tokens: String = (0..len)
+        .map(|_| TOKENS[r.gen_range(0..TOKENS.len())])
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    for src in [noise, soup, tokens] {
+        // Ok or Err are both fine; reaching this statement's end is the
+        // property under test.
+        let _ = hyperpred::lang::compile(&src);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
@@ -152,6 +229,11 @@ proptest! {
     #[test]
     fn every_model_agrees_on_random_programs(seed in any::<u64>()) {
         check_seed(seed);
+    }
+
+    #[test]
+    fn frontend_never_panics_on_garbage(seed in any::<u64>()) {
+        check_frontend_total(seed);
     }
 }
 
