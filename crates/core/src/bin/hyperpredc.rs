@@ -6,6 +6,7 @@
 //! hyperpredc sim  prog.c --model all  --issue 8 --caches
 //! hyperpredc dump prog.c --model cmov
 //! hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]
+//! hyperpredc lint <workload|all|file.c> [--model all] [--sabotage ifconvert]
 //! ```
 //!
 //! `report` regenerates the paper's whole figure matrix (Figures 8-11 and
@@ -14,6 +15,14 @@
 //! per-cell failures: the tables render every healthy cell, a failure
 //! summary goes to stderr, and the exit code is nonzero iff any cell
 //! failed.
+//!
+//! `lint` compiles with the semantic checkpoint runner forced on: after
+//! every pass the IR is re-verified against the dataflow checkers
+//! (def-before-use, predicate well-formedness, speculation safety, model
+//! conformance), and the first offending pass is named. Exit status is
+//! nonzero iff any target fails. `--sabotage <pass>` deliberately
+//! corrupts the IR after the named pass — a self-test that the
+//! checkpoints catch miscompiles and blame the right stage.
 
 use hyperpred::emu::{Emulator, NullSink};
 use hyperpred::lang::lower::entry_args;
@@ -24,7 +33,7 @@ use hyperpred::{
     branch_table, instruction_table, run_matrix_policy, run_matrix_with_stats, speedup_table,
     BenchResult, EngineStats, Experiment, FailurePolicy,
 };
-use hyperpred::{evaluate, speedup, Model, Pipeline};
+use hyperpred::{evaluate, speedup, Model, Pipeline, PipelineError, Stage};
 use std::process::ExitCode;
 
 struct Options {
@@ -41,9 +50,130 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hyperpredc <run|sim|dump> <file.c> \
          [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]\n\
-         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]"
+         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]\n\
+         \x20      hyperpredc lint <workload|all|file.c> [--model sup|cmov|full|all] \
+         [--scale test|full] [--sabotage <pass>] [--issue K] [--branches B] [--args a,b,c]"
     );
     ExitCode::from(2)
+}
+
+/// Compiles each target with per-pass semantic checkpoints forced on and
+/// reports every violation with the offending pass named.
+fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(target) = args.next().filter(|t| !t.starts_with("--")) else {
+        return usage();
+    };
+    let mut models = Model::ALL.to_vec();
+    let mut scale = Scale::Test;
+    let mut sabotage = None;
+    let mut issue = 8;
+    let mut branches = 1;
+    let mut prog_args: Vec<i64> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--model" => {
+                models = match args.next().as_deref() {
+                    Some("sup" | "superblock") => vec![Model::Superblock],
+                    Some("cmov" | "partial") => vec![Model::CondMove],
+                    Some("full") => vec![Model::FullPred],
+                    Some("all") => Model::ALL.to_vec(),
+                    _ => return usage(),
+                };
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    _ => return usage(),
+                };
+            }
+            "--sabotage" => {
+                let Some(s) = args.next().and_then(|v| v.parse::<Stage>().ok()) else {
+                    return usage();
+                };
+                sabotage = Some(s);
+            }
+            "--issue" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                issue = n;
+            }
+            "--branches" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                branches = n;
+            }
+            "--args" => {
+                let Some(v) = args.next() else { return usage() };
+                let Ok(parsed) = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect::<Result<Vec<i64>, _>>()
+                else {
+                    return usage();
+                };
+                prog_args = parsed;
+            }
+            _ => return usage(),
+        }
+    }
+    // A target is a known workload name, `all` of them, or a source file.
+    let targets: Vec<(String, String, Vec<i64>)> = if target == "all" {
+        hyperpred::workloads::all(scale)
+            .into_iter()
+            .map(|w| (w.name.to_string(), w.source, w.args))
+            .collect()
+    } else if let Some(w) = hyperpred::workloads::by_name(&target, scale) {
+        vec![(w.name.to_string(), w.source, w.args)]
+    } else {
+        match std::fs::read_to_string(&target) {
+            Ok(source) => vec![(target.clone(), source, prog_args.clone())],
+            Err(e) => {
+                eprintln!("hyperpredc: `{target}` is neither a workload nor a readable file: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let pipe = Pipeline {
+        checks: true,
+        sabotage,
+        ..Pipeline::default()
+    };
+    let machine = MachineConfig::new(issue, branches);
+    let mut failed = 0usize;
+    for (name, source, wargs) in &targets {
+        for model in &models {
+            match pipe.compile(source, wargs, *model, &machine) {
+                Ok(_) => println!("{name} [{model}]: ok"),
+                Err(PipelineError::Lint(e)) => {
+                    failed += 1;
+                    println!(
+                        "{name} [{model}]: FAIL after pass `{}` ({} violations)",
+                        e.pass,
+                        e.violations.len()
+                    );
+                    for v in &e.violations {
+                        println!("  {v}");
+                    }
+                }
+                Err(e) => {
+                    failed += 1;
+                    println!("{name} [{model}]: FAIL ({e})");
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "hyperpredc: {failed}/{} lint targets failed",
+            targets.len() * models.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the paper's full experiment matrix through the parallel engine.
@@ -172,11 +302,13 @@ fn parse_args() -> Result<Options, ExitCode> {
 
 fn main() -> ExitCode {
     {
-        // `report` takes no input file; dispatch it before the
-        // file-oriented argument parser.
+        // `report` and `lint` take workload names rather than an input
+        // file; dispatch them before the file-oriented argument parser.
         let mut it = std::env::args().skip(1);
-        if it.next().as_deref() == Some("report") {
-            return report(it);
+        match it.next().as_deref() {
+            Some("report") => return report(it),
+            Some("lint") => return lint(it),
+            _ => {}
         }
     }
     let opts = match parse_args() {

@@ -54,7 +54,9 @@ pub use matrix::{
     run_matrix_workloads_policy, CellFailure, CellOutcome, CellStat, EngineStats, FailurePayload,
     FailurePolicy, FailureReport, FailureStage, MatrixOutput, MatrixRun,
 };
-pub use pipeline::{compile_model, evaluate, speedup, Model, Pipeline, PipelineError};
+pub use pipeline::{
+    compile_model, evaluate, speedup, LintError, Model, Pipeline, PipelineError, Stage,
+};
 pub use report::{format_table, Row};
 
 // Re-export the workspace layers so downstream users need one dependency.

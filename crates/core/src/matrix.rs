@@ -414,7 +414,7 @@ struct CompileCache {
 
 fn stage_of(e: &PipelineError) -> FailureStage {
     match e {
-        PipelineError::Compile(_) => FailureStage::Compile,
+        PipelineError::Compile(_) | PipelineError::Lint(_) => FailureStage::Compile,
         PipelineError::Emu(_) => FailureStage::Emulate,
         PipelineError::Sim(_) => FailureStage::Simulate,
     }

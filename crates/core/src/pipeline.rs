@@ -1,10 +1,17 @@
 //! The per-model compilation pipeline and simulation driver.
+//!
+//! Compilation runs as a sequence of named [`Stage`]s. After every stage a
+//! *checkpoint* runs the structural verifier plus the semantic checkers in
+//! [`hyperpred_ir::analysis`] (always in debug builds and tests, opt-in via
+//! [`Pipeline::checks`] in release); a failure is reported as
+//! [`PipelineError::Lint`] naming the pass that introduced it.
 
 use hyperpred_emu::{EmuError, Emulator, Profiler};
 use hyperpred_hyperblock::{
     form_hyperblocks, form_superblocks, promote, unroll_self_loops, HyperblockConfig,
     SuperblockConfig, UnrollConfig,
 };
+use hyperpred_ir::analysis::{self, ModelClass, Snapshot, Violation};
 use hyperpred_ir::{FuncId, Module};
 use hyperpred_lang::lower::entry_args;
 use hyperpred_lang::CompileError;
@@ -13,6 +20,7 @@ use hyperpred_sched::{schedule_module, MachineConfig};
 use hyperpred_sim::{simulate, SimConfig, SimError, SimStats};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// The three architecture/compiler models the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +49,101 @@ impl fmt::Display for Model {
     }
 }
 
+/// A named pipeline pass, as used for checkpoint blame and the
+/// `--sabotage` chaos hook. The order here is the order the passes run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// MiniC lowering to IR.
+    Frontend,
+    /// Function inlining.
+    Inline,
+    /// Classic optimization before profiling.
+    OptPre,
+    /// Hyperblock if-conversion (cmov and full-predication models).
+    IfConvert,
+    /// Predicate promotion.
+    Promote,
+    /// Superblock formation.
+    Superblock,
+    /// Loop unrolling over formed regions.
+    Unroll,
+    /// Full-to-partial conversion (cmov model only).
+    PartialConvert,
+    /// Classic optimization after formation/conversion.
+    OptPost,
+    /// List scheduling for the target machine.
+    Schedule,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 10] = [
+        Stage::Frontend,
+        Stage::Inline,
+        Stage::OptPre,
+        Stage::IfConvert,
+        Stage::Promote,
+        Stage::Superblock,
+        Stage::Unroll,
+        Stage::PartialConvert,
+        Stage::OptPost,
+        Stage::Schedule,
+    ];
+
+    /// The stage's canonical name (also accepted by [`Stage::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::Inline => "inline",
+            Stage::OptPre => "opt-pre",
+            Stage::IfConvert => "ifconvert",
+            Stage::Promote => "promote",
+            Stage::Superblock => "superblock",
+            Stage::Unroll => "unroll",
+            Stage::PartialConvert => "partial-convert",
+            Stage::OptPost => "opt-post",
+            Stage::Schedule => "schedule",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Stage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Stage, String> {
+        Stage::ALL
+            .into_iter()
+            .find(|st| st.name() == s)
+            .ok_or_else(|| format!("unknown stage `{s}`"))
+    }
+}
+
+/// A semantic-checkpoint failure: which pass left the module broken, and
+/// every violation the checkers found in its output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// The pass after which the checkpoint fired.
+    pub pass: Stage,
+    /// The violations, in discovery order (never empty).
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "after pass `{}`: {}", self.pass, self.violations[0])?;
+        if self.violations.len() > 1 {
+            write!(f, " (+{} more)", self.violations.len() - 1)?;
+        }
+        Ok(())
+    }
+}
+
 /// A pipeline failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
@@ -50,6 +153,8 @@ pub enum PipelineError {
     Emu(EmuError),
     /// Timing-simulation watchdog error (cycle budget).
     Sim(SimError),
+    /// A per-pass semantic checkpoint found a miscompile.
+    Lint(LintError),
 }
 
 impl fmt::Display for PipelineError {
@@ -58,6 +163,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Compile(e) => write!(f, "compile error: {e}"),
             PipelineError::Emu(e) => write!(f, "execution error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
+            PipelineError::Lint(e) => write!(f, "lint error: {e}"),
         }
     }
 }
@@ -113,6 +219,15 @@ pub struct Pipeline {
     /// fixtures and the `figures --inject-faults` chaos path can exercise
     /// panic containment end to end.
     pub fault_injection: bool,
+    /// Run the semantic checkpoint (structural verify + the checkers in
+    /// [`hyperpred_ir::analysis`]) after every pass. Defaults to on in
+    /// debug builds — so the test suite always exercises it — and off in
+    /// release, where `hyperpredc lint` and CI turn it on explicitly.
+    pub checks: bool,
+    /// Chaos hook: deliberately corrupt the module right after the named
+    /// stage runs, so tests and CI can assert the *next* checkpoint
+    /// catches the miscompile and blames that stage.
+    pub sabotage: Option<Stage>,
 }
 
 impl Default for Pipeline {
@@ -127,8 +242,83 @@ impl Default for Pipeline {
             unroll: UnrollConfig::default(),
             profile_fuel: hyperpred_emu::DEFAULT_FUEL,
             fault_injection: false,
+            checks: cfg!(debug_assertions),
+            sabotage: None,
         }
     }
+}
+
+/// Runs the per-pass semantic checkpoint and threads the speculation
+/// snapshot from one checkpoint to the next.
+struct Checkpointer<'a> {
+    pipe: &'a Pipeline,
+    model: Model,
+    /// True once `to_partial_module` has run (cmov model).
+    converted: bool,
+    spec: Option<Snapshot>,
+}
+
+impl Checkpointer<'_> {
+    fn new(pipe: &Pipeline, model: Model) -> Checkpointer<'_> {
+        Checkpointer {
+            pipe,
+            model,
+            converted: false,
+            spec: None,
+        }
+    }
+
+    /// The predication discipline the module must conform to right now.
+    fn class(&self) -> ModelClass {
+        match self.model {
+            Model::Superblock => ModelClass::NoPred,
+            Model::CondMove if self.converted => ModelClass::PartialPred,
+            Model::CondMove | Model::FullPred => ModelClass::FullPred,
+        }
+    }
+
+    /// Checkpoint after `stage`; fails with that stage named if the module
+    /// no longer verifies or lints clean.
+    fn check(&mut self, module: &mut Module, stage: Stage) -> Result<(), PipelineError> {
+        if self.pipe.sabotage == Some(stage) {
+            sabotage_module(module);
+        }
+        if !self.pipe.checks {
+            return Ok(());
+        }
+        // Structural soundness gates the semantic checkers: they assume
+        // in-range registers and laid-out branch targets.
+        let violations = match module.verify() {
+            Err(e) => vec![Violation::from(e)],
+            Ok(()) => analysis::check_module(module, self.class(), self.spec.as_ref()),
+        };
+        if !violations.is_empty() {
+            return Err(PipelineError::Lint(LintError {
+                pass: stage,
+                violations,
+            }));
+        }
+        self.spec = Some(Snapshot::of(module));
+        Ok(())
+    }
+}
+
+/// Deliberately miscompiles the module for the `sabotage` chaos hook:
+/// guards the first instruction of `main`'s entry block with a fresh,
+/// never-defined predicate register — a use-before-def (and, outside the
+/// full-predication model, a conformance break) the next checkpoint must
+/// catch.
+fn sabotage_module(module: &mut Module) {
+    let Some(f) = module
+        .funcs
+        .iter_mut()
+        .find(|f| !f.block(f.entry()).insts.is_empty())
+    else {
+        return;
+    };
+    let p = f.fresh_pred();
+    let entry = f.entry();
+    f.block_mut(entry).insts[0].guard = Some(p);
 }
 
 impl Pipeline {
@@ -152,49 +342,80 @@ impl Pipeline {
                 crate::faults::PANIC_MARKER
             );
         }
+        let mut ck = Checkpointer::new(self, model);
         let mut module = hyperpred_lang::compile(source)?;
+        ck.check(&mut module, Stage::Frontend)?;
         if self.inline {
             hyperpred_opt::inline::run_module(
                 &mut module,
                 &hyperpred_opt::inline::InlineConfig::default(),
             );
+            ck.check(&mut module, Stage::Inline)?;
         }
         if self.classic_opt {
             hyperpred_opt::optimize_module(&mut module);
+            ck.check(&mut module, Stage::OptPre)?;
         }
         // Profile (the paper profiles the measured run itself).
         let mut prof = Profiler::new();
         let mut emu = Emulator::new(&module).with_fuel(self.profile_fuel);
         emu.run("main", &entry_args(args), &mut prof)?;
 
-        for i in 0..module.funcs.len() {
-            let fid = FuncId(i as u32);
-            let mut f = module.funcs[i].clone();
-            match model {
-                Model::Superblock => {
-                    form_superblocks(&mut f, fid, &prof, &self.superblock);
-                }
-                Model::CondMove | Model::FullPred => {
-                    form_hyperblocks(&mut f, fid, &prof, &self.hyperblock);
-                    if self.promote {
-                        promote(&mut f);
-                    }
-                    // Code the if-converter left alone (call-heavy regions)
-                    // still gets superblock treatment, as in IMPACT.
-                    form_superblocks(&mut f, fid, &prof, &self.superblock);
-                }
+        // Region formation runs one stage at a time across all functions
+        // (functions are independent), so each checkpoint sees the whole
+        // module as one named pass left it.
+        let each = |module: &mut Module, apply: &dyn Fn(&mut hyperpred_ir::Function, FuncId)| {
+            for (i, f) in module.funcs.iter_mut().enumerate() {
+                apply(f, FuncId(i as u32));
             }
-            unroll_self_loops(&mut f, fid, &prof, &self.unroll);
-            module.funcs[i] = f;
+        };
+        match model {
+            Model::Superblock => {
+                each(&mut module, &|f, fid| {
+                    form_superblocks(f, fid, &prof, &self.superblock);
+                });
+                ck.check(&mut module, Stage::Superblock)?;
+            }
+            Model::CondMove | Model::FullPred => {
+                each(&mut module, &|f, fid| {
+                    form_hyperblocks(f, fid, &prof, &self.hyperblock);
+                });
+                ck.check(&mut module, Stage::IfConvert)?;
+                if self.promote {
+                    each(&mut module, &|f, _| {
+                        promote(f);
+                    });
+                    ck.check(&mut module, Stage::Promote)?;
+                }
+                // Code the if-converter left alone (call-heavy regions)
+                // still gets superblock treatment, as in IMPACT.
+                each(&mut module, &|f, fid| {
+                    form_superblocks(f, fid, &prof, &self.superblock);
+                });
+                ck.check(&mut module, Stage::Superblock)?;
+            }
         }
+        each(&mut module, &|f, fid| {
+            unroll_self_loops(f, fid, &prof, &self.unroll);
+        });
+        ck.check(&mut module, Stage::Unroll)?;
         if model == Model::CondMove {
             to_partial_module(&mut module, &self.partial);
+            ck.converted = true;
+            ck.check(&mut module, Stage::PartialConvert)?;
         }
         if self.classic_opt {
             hyperpred_opt::optimize_module(&mut module);
+            ck.check(&mut module, Stage::OptPost)?;
         }
         schedule_module(&mut module, machine);
-        debug_assert!(module.verify().is_ok(), "{:?}", module.verify().err());
+        ck.check(&mut module, Stage::Schedule)?;
+        if !self.checks {
+            // Cheap structural backstop for debug builds running with
+            // checkpoints disabled (evaluated once, reported once).
+            let verified = module.verify();
+            debug_assert!(verified.is_ok(), "{:?}", verified.err());
+        }
         Ok(module)
     }
 }

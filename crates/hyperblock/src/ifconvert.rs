@@ -105,6 +105,14 @@ pub fn form_hyperblocks(
         f.name,
         hyperpred_ir::verify::verify_function(f).err()
     );
+    // In debug builds, also hold the converted function to the semantic
+    // rules: every read defined on all paths, predicates well-formed.
+    #[cfg(debug_assertions)]
+    {
+        use hyperpred_ir::analysis::{check_function, ModelClass};
+        let vs = check_function(f, ModelClass::FullPred);
+        assert!(vs.is_empty(), "if-conversion broke {}: {vs:#?}", f.name);
+    }
     formed
 }
 

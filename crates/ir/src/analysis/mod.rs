@@ -1,0 +1,701 @@
+//! Semantic static analysis over predicated IR.
+//!
+//! [`crate::verify`] checks *structure* (operand counts, dangling targets);
+//! this module checks *meaning*. Four checker families, run together by
+//! [`check_function`] / [`check_module`]:
+//!
+//! 1. **Def-before-use** — every general-register source and every guard
+//!    predicate is defined on *all* paths from the entry, via the
+//!    predicate-aware [`dataflow::MustDefined`] forward analysis (a
+//!    guarded definition satisfies reads under the same or an implying
+//!    guard, as in Psi-SSA). Because the meet is an intersection over
+//!    predecessors, a predicate whose define neither dominates a use nor
+//!    merges into it on every path is reported here.
+//! 2. **Predicate well-formedness** — OR/AND-type predicate destinations
+//!    (which accumulate into their register, paper Table 1) only ever
+//!    write a predicate previously initialized by `pred_clear`/`pred_set`
+//!    or an unconditional-type define, and dual-destination defines pair
+//!    two distinct registers with complementary senses, as if-conversion
+//!    constructs them.
+//! 3. **Speculation safety** — the `speculative` (silent) marker appears
+//!    only on opcodes that may legally speculate, and — differentially,
+//!    via [`Snapshot`] — no pass moves a potentially-excepting op
+//!    (div/rem/fdiv/load) above a branch it used to follow without
+//!    marking it silent.
+//! 4. **Model conformance** — under [`ModelClass::NoPred`] (the paper's
+//!    superblock baseline) no predicate registers, defines, or
+//!    conditional moves exist at all; under [`ModelClass::PartialPred`]
+//!    (after `convert_to_partial`) no guards or predicate defines remain,
+//!    only the cmov family.
+//!
+//! Violations carry function/block/instruction coordinates in the same
+//! shape as [`crate::VerifyError`], so pipeline checkpoints can blame the
+//! pass that introduced them.
+
+pub mod dataflow;
+
+pub use dataflow::{
+    forward, walk_block, BitSet, DefState, ForwardAnalysis, ForwardResult, MustDefined,
+};
+
+use crate::cfg::Cfg;
+use crate::module::{Function, Module};
+use crate::types::{BlockId, InstId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Which checker family produced a [`Violation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// A structural problem reported by [`crate::verify`] (checkpoint
+    /// runners fold those into the same diagnostic stream).
+    Structure,
+    /// A register or predicate may be read before it is defined.
+    UseBeforeDef,
+    /// A predicate define violates the Table 1 accumulation discipline.
+    PredWellFormed,
+    /// An illegal or unmarked speculation.
+    Speculation,
+    /// Code that does not conform to the compilation model in force.
+    ModelConformance,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckKind::Structure => "structure",
+            CheckKind::UseBeforeDef => "use-before-def",
+            CheckKind::PredWellFormed => "pred-wellformed",
+            CheckKind::Speculation => "speculation",
+            CheckKind::ModelConformance => "model-conformance",
+        })
+    }
+}
+
+/// A semantic problem found by the checkers, with coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The checker family that fired.
+    pub kind: CheckKind,
+    /// Function the problem is in.
+    pub func: String,
+    /// Block the problem is in, when attributable to one.
+    pub block: Option<BlockId>,
+    /// Description, including the offending instruction.
+    pub message: String,
+}
+
+impl From<crate::VerifyError> for Violation {
+    fn from(e: crate::VerifyError) -> Violation {
+        Violation {
+            kind: CheckKind::Structure,
+            func: e.func.unwrap_or_default(),
+            block: e.block,
+            message: e.message,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] in {}: ", self.kind, self.func)?;
+        if let Some(b) = self.block {
+            write!(f, "{b}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// The predication discipline a function must conform to at a given point
+/// in the pipeline. Unlike the driver's model enum this lives in `ir` so
+/// every layer (passes, tests, the CLI) can name it without a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelClass {
+    /// Superblock baseline: no predicate state and no conditional moves.
+    NoPred,
+    /// Partial predication after conversion: cmov family only — no
+    /// guards, predicate defines, or predicate-file ops remain.
+    PartialPred,
+    /// Full predication: guards and typed predicate defines are legal.
+    FullPred,
+}
+
+/// Per-module positional snapshot used by the differential speculation
+/// check: for every *non-speculative* potentially-excepting instruction,
+/// the set of branches that textually precede it inside its block. A later
+/// pass that reorders the two without setting the silent marker is caught
+/// by comparing a fresh snapshot against this one.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Function name → trap-op id → ids of branches before it in its block.
+    funcs: HashMap<String, HashMap<InstId, HashSet<InstId>>>,
+}
+
+impl Snapshot {
+    /// Records the current branch/trap-op ordering of every function.
+    pub fn of(m: &Module) -> Snapshot {
+        let mut funcs = HashMap::new();
+        for f in &m.funcs {
+            let mut ops: HashMap<InstId, HashSet<InstId>> = HashMap::new();
+            for &b in &f.layout {
+                let mut branches_above: HashSet<InstId> = HashSet::new();
+                for inst in &f.block(b).insts {
+                    if inst.op.may_trap() && !inst.speculative {
+                        ops.insert(inst.id, branches_above.clone());
+                    }
+                    if inst.op.is_branch() {
+                        branches_above.insert(inst.id);
+                    }
+                }
+            }
+            funcs.insert(f.name.clone(), ops);
+        }
+        Snapshot { funcs }
+    }
+}
+
+/// Runs every checker on one function.
+pub fn check_function(f: &Function, class: ModelClass) -> Vec<Violation> {
+    let cfg = Cfg::new(f);
+    let flow = forward(f, &cfg, &MustDefined);
+    let mut out = Vec::new();
+    check_def_before_use(f, &flow, &mut out);
+    check_pred_wellformed(f, &flow, &mut out);
+    check_speculation_flags(f, &mut out);
+    check_model(f, class, &mut out);
+    out
+}
+
+/// Runs every checker on every function, plus the differential speculation
+/// check against `prev` (a [`Snapshot`] taken before the pass under test).
+pub fn check_module(m: &Module, class: ModelClass, prev: Option<&Snapshot>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &m.funcs {
+        out.extend(check_function(f, class));
+    }
+    if let Some(prev) = prev {
+        check_speculation_moves(m, prev, &mut out);
+    }
+    out
+}
+
+/// Family 1: every read sees a definition on all paths.
+///
+/// Reads are general-register sources and guard predicates. A register
+/// read is also accepted when it is defined *under* the reading
+/// instruction's own guard (or one it implies) — the Psi-SSA discipline
+/// if-conversion produces. Blocks the flow never reaches are skipped —
+/// they cannot execute.
+pub fn check_def_before_use(
+    f: &Function,
+    flow: &ForwardResult<DefState>,
+    out: &mut Vec<Violation>,
+) {
+    for &b in &f.layout {
+        let Some(entry) = &flow.entry[b.index()] else {
+            continue;
+        };
+        walk_block(f, b, entry, &MustDefined, |_, inst, state| {
+            for r in inst.src_regs() {
+                if !state.reg_ok(r, inst.guard) {
+                    out.push(violation(
+                        CheckKind::UseBeforeDef,
+                        f,
+                        b,
+                        format!("{inst}: {r} may be read before it is defined"),
+                    ));
+                }
+            }
+            if let Some(g) = inst.guard {
+                if !state.pred(g) {
+                    out.push(violation(
+                        CheckKind::UseBeforeDef,
+                        f,
+                        b,
+                        format!("{inst}: guard {g} may be read before it is defined"),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+/// Family 2: Table 1 accumulation discipline for predicate defines.
+pub fn check_pred_wellformed(
+    f: &Function,
+    flow: &ForwardResult<DefState>,
+    out: &mut Vec<Violation>,
+) {
+    for &b in &f.layout {
+        let Some(entry) = &flow.entry[b.index()] else {
+            continue;
+        };
+        walk_block(f, b, entry, &MustDefined, |_, inst, state| {
+            for pd in &inst.pdsts {
+                if pd.ty.is_partial() && !state.pred(pd.reg) {
+                    out.push(violation(
+                        CheckKind::PredWellFormed,
+                        f,
+                        b,
+                        format!(
+                            "{inst}: {}-type destination accumulates into {} \
+                             before it is initialized",
+                            pd.ty, pd.reg
+                        ),
+                    ));
+                }
+            }
+            if let [a, c] = inst.pdsts[..] {
+                if a.reg == c.reg {
+                    out.push(violation(
+                        CheckKind::PredWellFormed,
+                        f,
+                        b,
+                        format!("{inst}: dual define writes {} twice", a.reg),
+                    ));
+                }
+                if a.ty.is_complemented() == c.ty.is_complemented() {
+                    out.push(violation(
+                        CheckKind::PredWellFormed,
+                        f,
+                        b,
+                        format!(
+                            "{inst}: dual define must pair complementary senses, \
+                             found <{}> and <{}>",
+                            a.ty, c.ty
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+/// Family 3a: the silent marker appears only where it is meaningful.
+pub fn check_speculation_flags(f: &Function, out: &mut Vec<Violation>) {
+    for (b, _, inst) in f.insts() {
+        if inst.speculative && !inst.op.can_speculate() {
+            out.push(violation(
+                CheckKind::Speculation,
+                f,
+                b,
+                format!("{inst}: opcode may not be speculated yet carries the silent marker"),
+            ));
+        }
+    }
+}
+
+/// Family 3b: differential hoist check. An instruction that may trap and
+/// was below a branch in `prev` but sits above that same branch now was
+/// hoisted past it — legal only in silent form.
+pub fn check_speculation_moves(m: &Module, prev: &Snapshot, out: &mut Vec<Violation>) {
+    for f in &m.funcs {
+        let Some(ops) = prev.funcs.get(&f.name) else {
+            continue;
+        };
+        for &b in &f.layout {
+            let insts = &f.block(b).insts;
+            for (i, inst) in insts.iter().enumerate() {
+                if !inst.op.may_trap() || inst.speculative {
+                    continue;
+                }
+                let Some(was_above) = ops.get(&inst.id) else {
+                    continue;
+                };
+                for later in &insts[i + 1..] {
+                    if later.op.is_branch() && was_above.contains(&later.id) {
+                        out.push(violation(
+                            CheckKind::Speculation,
+                            f,
+                            b,
+                            format!(
+                                "{inst}: potentially-excepting op hoisted above \
+                                 `{later}` without the silent marker"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Family 4: the function uses only the machinery its model provides.
+pub fn check_model(f: &Function, class: ModelClass, out: &mut Vec<Violation>) {
+    if class == ModelClass::FullPred {
+        return;
+    }
+    for (b, _, inst) in f.insts() {
+        let mut bad = |what: &str| {
+            out.push(violation(
+                CheckKind::ModelConformance,
+                f,
+                b,
+                format!("{inst}: {what} is illegal under {class:?}"),
+            ));
+        };
+        if inst.guard.is_some() {
+            bad("a guard predicate");
+        }
+        if !inst.pdsts.is_empty() || inst.defines_all_preds() {
+            bad("predicate definition");
+        }
+        if class == ModelClass::NoPred
+            && matches!(
+                inst.op,
+                crate::Op::Cmov | crate::Op::CmovCom | crate::Op::Select
+            )
+        {
+            bad("a conditional move");
+        }
+    }
+}
+
+fn violation(kind: CheckKind, f: &Function, b: BlockId, message: String) -> Violation {
+    Violation {
+        kind,
+        func: f.name.clone(),
+        block: Some(b),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredType;
+    use crate::types::{CmpOp, Operand, Reg};
+    use crate::{FuncBuilder, Op};
+
+    fn kinds(vs: &[Violation]) -> Vec<CheckKind> {
+        vs.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn clean_function_has_no_violations() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        assert!(check_function(&b.finish(), ModelClass::NoPred).is_empty());
+    }
+
+    #[test]
+    fn catches_use_before_def_on_one_path() {
+        // Diamond where `r` is defined on only the fall-through arm.
+        let mut b = FuncBuilder::new("f");
+        let c = b.param();
+        let skip = b.block();
+        let join = b.block();
+        let r = b.fresh();
+        b.br(CmpOp::Ne, c.into(), Operand::Imm(0), skip);
+        b.mov_to(r, Operand::Imm(1));
+        b.jump(join);
+        b.switch_to(skip);
+        b.jump(join);
+        b.switch_to(join);
+        let s = b.add(r.into(), Operand::Imm(1));
+        b.ret(Some(s.into()));
+        let vs = check_function(&b.finish(), ModelClass::NoPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::UseBeforeDef], "{vs:?}");
+        assert!(vs[0].message.contains("may be read before"), "{}", vs[0]);
+    }
+
+    /// The if-converter's nested then/else shape: p4/p5 split every path,
+    /// p6/p7 split p5, so writes under {p4, p6, p7} cover all paths and
+    /// an unguarded read is fine. Dropping any leg reopens the hole.
+    fn nested_partition(drop_last_leg: bool) -> Vec<Violation> {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let (p4, p5) = (b.fresh_pred(), b.fresh_pred());
+        let (p6, p7) = (b.fresh_pred(), b.fresh_pred());
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p4, PredType::U), (p5, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let r = b.mov(Operand::Imm(2));
+        b.guard_last(p4);
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p6, PredType::U), (p7, PredType::UBar)],
+            x.into(),
+            Operand::Imm(1),
+            Some(p5),
+        );
+        b.mov_to(r, Operand::Imm(1));
+        b.guard_last(p6);
+        if !drop_last_leg {
+            b.mov_to(r, Operand::Imm(0));
+            b.guard_last(p7);
+        }
+        b.ret(Some(r.into()));
+        check_function(&b.finish(), ModelClass::FullPred)
+    }
+
+    #[test]
+    fn nested_then_else_partition_covers_unguarded_read() {
+        assert!(nested_partition(false).is_empty());
+    }
+
+    #[test]
+    fn incomplete_partition_is_still_a_hole() {
+        let vs = nested_partition(true);
+        assert_eq!(kinds(&vs), vec![CheckKind::UseBeforeDef], "{vs:?}");
+    }
+
+    #[test]
+    fn or_accumulated_else_chain_covers_unguarded_read() {
+        // The guarded-dual OR shape: p2 accumulates ¬c1 then p0 ∧ ¬c2,
+        // while p1 gets p0 ∧ c2 — so p1 ∨ p2 spans every path.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let (p0, p1, p2) = (b.fresh_pred(), b.fresh_pred(), b.fresh_pred());
+        b.pred_clear();
+        b.pred_def(
+            CmpOp::Ge,
+            &[(p0, PredType::U), (p2, PredType::OrBar)],
+            x.into(),
+            Operand::Imm(97),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Le,
+            &[(p1, PredType::U), (p2, PredType::OrBar)],
+            x.into(),
+            Operand::Imm(122),
+            Some(p0),
+        );
+        let r = b.mov(Operand::Imm(1));
+        b.guard_last(p1);
+        b.mov_to(r, Operand::Imm(0));
+        b.guard_last(p2);
+        b.ret(Some(r.into()));
+        assert!(check_function(&b.finish(), ModelClass::FullPred).is_empty());
+    }
+
+    /// A guarded branch proves its guard on the taken edge, so the target
+    /// may read registers defined under that guard.
+    fn guarded_exit(guard_the_branch: bool) -> Vec<Violation> {
+        let mut b = FuncBuilder::new("f");
+        let c = b.param();
+        let t = b.block();
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            c.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let r = b.mov(Operand::Imm(1));
+        b.guard_last(p);
+        b.br(CmpOp::Eq, c.into(), Operand::Imm(5), t);
+        if guard_the_branch {
+            b.guard_last(p);
+        }
+        b.ret(None);
+        b.switch_to(t);
+        b.ret(Some(r.into()));
+        check_function(&b.finish(), ModelClass::FullPred)
+    }
+
+    #[test]
+    fn taken_guarded_branch_proves_its_guard() {
+        assert!(guarded_exit(true).is_empty());
+    }
+
+    #[test]
+    fn unguarded_branch_proves_nothing() {
+        let vs = guarded_exit(false);
+        assert_eq!(kinds(&vs), vec![CheckKind::UseBeforeDef], "{vs:?}");
+    }
+
+    #[test]
+    fn catches_undefined_guard() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.store(crate::MemWidth::Word, x.into(), Operand::Imm(0), x.into());
+        b.guard_last(p); // p never defined
+        b.ret(None);
+        let vs = check_function(&b.finish(), ModelClass::FullPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::UseBeforeDef], "{vs:?}");
+        assert!(vs[0].message.contains("guard"), "{}", vs[0]);
+    }
+
+    #[test]
+    fn catches_uninitialized_or_accumulation() {
+        // An OR-type define into a predicate never cleared first.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        let vs = check_function(&b.finish(), ModelClass::FullPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::PredWellFormed], "{vs:?}");
+        assert!(vs[0].message.contains("accumulates"), "{}", vs[0]);
+    }
+
+    #[test]
+    fn pred_clear_initializes_or_accumulation() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_clear();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::Or)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        assert!(check_function(&b.finish(), ModelClass::FullPred).is_empty());
+    }
+
+    #[test]
+    fn catches_same_sense_dual_define() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U), (q, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        let vs = check_function(&b.finish(), ModelClass::FullPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::PredWellFormed], "{vs:?}");
+        assert!(vs[0].message.contains("complementary"), "{}", vs[0]);
+    }
+
+    #[test]
+    fn catches_illegal_speculative_marker() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        b.emit_with(Op::St(crate::MemWidth::Word), |i| {
+            i.srcs = vec![x.into(), Operand::Imm(0), Operand::Imm(1)];
+            i.speculative = true;
+        });
+        b.ret(None);
+        let vs = check_function(&b.finish(), ModelClass::NoPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::Speculation], "{vs:?}");
+    }
+
+    /// Builds `main` with a div and a branch in the given textual order.
+    fn div_branch_module(div_first: bool) -> Module {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let out = b.block();
+        let emit_div = |b: &mut FuncBuilder| {
+            let q = b.op2(Op::Div, x.into(), Operand::Imm(3));
+            b.ret(Some(q.into()));
+        };
+        if div_first {
+            emit_div(&mut b);
+        } else {
+            b.br(CmpOp::Eq, x.into(), Operand::Imm(0), out);
+            emit_div(&mut b);
+        }
+        b.switch_to(out);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push(b.finish());
+        m
+    }
+
+    #[test]
+    fn catches_unsilent_hoist_of_trapping_op() {
+        // Before: `br; div`. After: the same instructions with the div
+        // moved above the branch, still non-speculative.
+        let before = div_branch_module(false);
+        let snap = Snapshot::of(&before);
+        let mut after = before.clone();
+        let insts = &mut after.funcs[0].blocks[0].insts;
+        insts.swap(0, 1);
+        let mut vs = Vec::new();
+        check_speculation_moves(&after, &snap, &mut vs);
+        assert_eq!(kinds(&vs), vec![CheckKind::Speculation], "{vs:?}");
+        assert!(vs[0].message.contains("hoisted above"), "{}", vs[0]);
+
+        // Marking the hoisted div silent makes the motion legal.
+        after.funcs[0].blocks[0].insts[0].speculative = true;
+        let mut vs = Vec::new();
+        check_speculation_moves(&after, &snap, &mut vs);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn unmoved_trapping_op_below_branch_is_fine() {
+        let m = div_branch_module(false);
+        let snap = Snapshot::of(&m);
+        let mut vs = Vec::new();
+        check_speculation_moves(&m, &snap, &mut vs);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn model_conformance_rejects_leftover_guard() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let d = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d, x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        b.ret(None);
+        let f = b.finish();
+        assert!(check_function(&f, ModelClass::FullPred).is_empty());
+        let vs = check_function(&f, ModelClass::PartialPred);
+        assert!(
+            vs.iter().all(|v| v.kind == CheckKind::ModelConformance) && vs.len() == 2,
+            "guard + pred define each flagged: {vs:?}"
+        );
+    }
+
+    #[test]
+    fn model_conformance_rejects_cmov_in_superblock() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let d = b.mov(Operand::Imm(0));
+        b.cmov(d, Operand::Imm(1), x.into());
+        b.ret(Some(d.into()));
+        let f = b.finish();
+        assert!(check_function(&f, ModelClass::PartialPred).is_empty());
+        let vs = check_function(&f, ModelClass::NoPred);
+        assert_eq!(kinds(&vs), vec![CheckKind::ModelConformance], "{vs:?}");
+        assert!(vs[0].message.contains("conditional move"), "{}", vs[0]);
+    }
+
+    #[test]
+    fn violation_display_has_coordinates() {
+        let v = Violation {
+            kind: CheckKind::UseBeforeDef,
+            func: "main".into(),
+            block: Some(BlockId(3)),
+            message: format!("{} may be read before it is defined", Reg(7)),
+        };
+        let s = v.to_string();
+        assert!(s.contains("use-before-def"), "{s}");
+        assert!(s.contains("main"), "{s}");
+        assert!(s.contains("B3"), "{s}");
+    }
+}

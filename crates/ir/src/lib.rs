@@ -42,6 +42,7 @@
 //! assert!(module.verify().is_ok());
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod inst;
@@ -53,6 +54,7 @@ pub mod printer;
 pub mod types;
 pub mod verify;
 
+pub use analysis::{check_function, check_module, CheckKind, ModelClass, Snapshot, Violation};
 pub use builder::FuncBuilder;
 pub use cfg::{Cfg, DomTree, Loop, LoopForest};
 pub use inst::{Inst, Op};

@@ -1,0 +1,119 @@
+//! Property-based tests for the predicate-define semantics (paper
+//! Table 1): random define sequences must respect the algebraic laws the
+//! compiler relies on — wired-OR order independence, monotonicity of the
+//! OR/AND families, complement symmetry, and nullification under a false
+//! input predicate.
+
+use hyperpred_ir::PredType;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A random (Pin, cmp) event stream for one destination register.
+struct Events;
+
+impl Strategy for Events {
+    type Value = Vec<(bool, bool)>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<(bool, bool)> {
+        let n = (rng.next_u64() % 12) as usize;
+        (0..n)
+            .map(|_| (rng.next_u64() & 1 == 1, rng.next_u64() & 1 == 1))
+            .collect()
+    }
+}
+
+fn events() -> Events {
+    Events
+}
+
+fn ty(idx: usize) -> PredType {
+    PredType::ALL[idx % PredType::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// A false input predicate nullifies OR/AND defines entirely (they
+    /// leave the destination untouched) and makes U-types write 0 — no
+    /// type may ever *set* a predicate from a squashed define.
+    #[test]
+    fn false_pin_never_sets(idx in 0usize..6, cmp in any::<bool>(), old in any::<bool>()) {
+        let t = ty(idx);
+        let got = t.eval(false, cmp, old);
+        if t.is_partial() {
+            prop_assert_eq!(got, old, "{:?} must hold under Pin=0", t);
+        } else {
+            prop_assert!(!got, "{:?} must write 0 under Pin=0", t);
+        }
+    }
+
+    /// OR-family defines only ever raise the destination; AND-family
+    /// defines only ever lower it (monotone in both directions).
+    #[test]
+    fn or_raises_and_lowers(idx in 0usize..6, pin in any::<bool>(), cmp in any::<bool>(), old in any::<bool>()) {
+        let t = ty(idx);
+        let got = t.eval(pin, cmp, old);
+        if t.is_or_family() {
+            prop_assert!(got >= old, "{:?} cleared a set predicate", t);
+        }
+        if t.is_and_family() {
+            prop_assert!(got <= old, "{:?} set a cleared predicate", t);
+        }
+    }
+
+    /// The complement type computes the same function with the
+    /// comparison sense flipped, for every input combination.
+    #[test]
+    fn complement_flips_sense(idx in 0usize..6, pin in any::<bool>(), cmp in any::<bool>(), old in any::<bool>()) {
+        let t = ty(idx);
+        prop_assert_eq!(t.eval(pin, cmp, old), t.complement().eval(pin, !cmp, old));
+        prop_assert_eq!(t.complement().complement(), t);
+    }
+
+    /// Wired-OR: a sequence of OR-type defines to one register computes
+    /// `old ∨ ⋁(Pinᵢ ∧ cmpᵢ)` — so the result is order-independent, which
+    /// is what lets the converter's OR-tree reassociate accumulations.
+    #[test]
+    fn or_sequence_is_a_disjunction(seq in events(), old in any::<bool>()) {
+        let folded = seq.iter().fold(old, |acc, &(pin, cmp)| PredType::Or.eval(pin, cmp, acc));
+        let expect = old || seq.iter().any(|&(pin, cmp)| pin && cmp);
+        prop_assert_eq!(folded, expect);
+        let mut rev = seq.clone();
+        rev.reverse();
+        let backwards = rev.iter().fold(old, |acc, &(pin, cmp)| PredType::Or.eval(pin, cmp, acc));
+        prop_assert_eq!(folded, backwards, "OR accumulation must commute");
+    }
+
+    /// Dually, a sequence of AND-type defines computes
+    /// `old ∧ ⋀¬(Pinᵢ ∧ ¬cmpᵢ)` and commutes.
+    #[test]
+    fn and_sequence_is_a_conjunction(seq in events(), old in any::<bool>()) {
+        let folded = seq.iter().fold(old, |acc, &(pin, cmp)| PredType::And.eval(pin, cmp, acc));
+        let expect = old && !seq.iter().any(|&(pin, cmp)| pin && !cmp);
+        prop_assert_eq!(folded, expect);
+        let mut rev = seq.clone();
+        rev.reverse();
+        let backwards = rev.iter().fold(old, |acc, &(pin, cmp)| PredType::And.eval(pin, cmp, acc));
+        prop_assert_eq!(folded, backwards, "AND accumulation must commute");
+    }
+
+    /// Every define is idempotent: re-executing the same define (same
+    /// Pin, cmp) cannot change the result — re-evaluation inside an
+    /// unrolled loop body is safe.
+    #[test]
+    fn defines_are_idempotent(idx in 0usize..6, pin in any::<bool>(), cmp in any::<bool>(), old in any::<bool>()) {
+        let t = ty(idx);
+        let once = t.eval(pin, cmp, old);
+        prop_assert_eq!(t.eval(pin, cmp, once), once);
+    }
+
+    /// A dual define with opposite senses under a true input predicate
+    /// partitions it: exactly one of the U/U̅ pair ends up true. This is
+    /// the invariant the semantic checker's partition facts rest on.
+    #[test]
+    fn opposite_u_defines_partition(cmp in any::<bool>(), old_a in any::<bool>(), old_c in any::<bool>()) {
+        let a = PredType::U.eval(true, cmp, old_a);
+        let c = PredType::UBar.eval(true, cmp, old_c);
+        prop_assert!(a ^ c, "exactly one side of a U/U̅ pair holds");
+    }
+}

@@ -49,6 +49,17 @@ pub fn optimize(f: &mut Function) {
         f.name,
         hyperpred_ir::verify::verify_function(f).err()
     );
+    // In debug builds, also hold the output to the semantic rules under
+    // the weakest model class (the optimizer runs both on fully
+    // predicated IR and on converted partial code, so it may not assume
+    // either conformance profile — but it must never manufacture an
+    // undefined read or a malformed predicate define).
+    #[cfg(debug_assertions)]
+    {
+        use hyperpred_ir::analysis::{check_function, ModelClass};
+        let vs = check_function(f, ModelClass::FullPred);
+        assert!(vs.is_empty(), "optimizer broke {}: {vs:#?}", f.name);
+    }
 }
 
 /// Optimizes every function in a module.

@@ -35,6 +35,19 @@ pub fn to_partial(f: &mut Function, config: &PartialConfig) {
         f.name,
         hyperpred_ir::verify::verify_function(f).err()
     );
+    // In debug builds, also hold the output to the partial model's
+    // semantic rules: no guards or predicate writes may survive, and
+    // every read must still be defined on all paths.
+    #[cfg(debug_assertions)]
+    {
+        use hyperpred_ir::analysis::{check_function, ModelClass};
+        let vs = check_function(f, ModelClass::PartialPred);
+        assert!(
+            vs.is_empty(),
+            "partial conversion broke {}: {vs:#?}",
+            f.name
+        );
+    }
 }
 
 /// Converts every function in a module.
