@@ -16,6 +16,14 @@
 //! the historical figure-at-a-time loop for A/B timing of the driver
 //! itself.
 //!
+//! `--bench N` switches to the hot-path benchmark harness instead of
+//! printing tables: every (workload, model) simulation is timed for `N`
+//! reps after a warmup, the full matrix is timed the same way, and the
+//! report is written as JSON (default `BENCH_hotpath.json`).
+//! `--bench-baseline FILE` additionally applies the coarse regression
+//! guard: exit nonzero if aggregate emulated insts/sec fell more than
+//! 2x below the committed baseline.
+//!
 //! `--keep-going` switches the engine to `FailurePolicy::KeepGoing`:
 //! failed cells are contained and summarized on stderr, every healthy cell
 //! still appears in the tables, and the exit code is nonzero iff any cell
@@ -28,6 +36,7 @@ use hyperpred::{
     branch_table, instruction_table, run_experiment, run_matrix_with_stats,
     run_matrix_workloads_policy, speedup_table, BenchResult, Experiment, FailurePolicy, Pipeline,
 };
+use hyperpred_bench::hotpath::{check_regression, run_bench, BenchConfig};
 use hyperpred_workloads::Scale;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -44,6 +53,9 @@ struct Options {
     verbose: bool,
     keep_going: bool,
     inject_faults: bool,
+    bench: Option<usize>,
+    bench_out: String,
+    bench_baseline: Option<String>,
     which: Vec<String>,
 }
 
@@ -51,7 +63,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: figures [fig8|fig9|fig10|fig11|table2|table3 ...] \
          [--scale test|full] [--threads N] [--serial] [--verbose] \
-         [--keep-going] [--inject-faults]"
+         [--keep-going] [--inject-faults] \
+         [--bench N [--bench-out FILE] [--bench-baseline FILE]]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +77,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         verbose: false,
         keep_going: false,
         inject_faults: false,
+        bench: None,
+        bench_out: "BENCH_hotpath.json".to_string(),
+        bench_baseline: None,
         which: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +105,15 @@ fn parse_args() -> Result<Options, ExitCode> {
                 opts.inject_faults = true;
                 opts.keep_going = true;
             }
+            "--bench" => {
+                opts.bench = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--bench-out" => {
+                opts.bench_out = it.next().ok_or_else(usage)?;
+            }
+            "--bench-baseline" => {
+                opts.bench_baseline = Some(it.next().ok_or_else(usage)?);
+            }
             s if s.starts_with("fig") || s.starts_with("table") => opts.which.push(s.to_string()),
             _ => return Err(usage()),
         }
@@ -96,11 +121,55 @@ fn parse_args() -> Result<Options, ExitCode> {
     Ok(opts)
 }
 
+/// `--bench N` mode: run the hot-path harness, write the JSON report,
+/// and (optionally) apply the regression guard against a baseline file.
+fn run_bench_mode(opts: &Options, reps: usize) -> ExitCode {
+    let cfg = BenchConfig {
+        reps,
+        scale: opts.scale,
+        threads: opts.threads,
+    };
+    let report = match run_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("figures --bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", report.summary());
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&opts.bench_out, &json) {
+        eprintln!("figures --bench: writing {}: {e}", opts.bench_out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", opts.bench_out);
+    if let Some(path) = &opts.bench_baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("figures --bench: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_regression(&report, &baseline) {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(msg) => {
+                eprintln!("figures --bench: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(c) => return c,
     };
+    if let Some(reps) = opts.bench {
+        return run_bench_mode(&opts, reps);
+    }
     let all = opts.which.is_empty();
     let wants = |name: &str| all || opts.which.iter().any(|w| w == name);
     let pipe = Pipeline::default();

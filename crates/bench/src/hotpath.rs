@@ -1,0 +1,432 @@
+//! Wall-clock benchmark harness for the emulation-driven hot path.
+//!
+//! Two measurements, both behind `figures --bench N`:
+//!
+//! 1. **Per-cell simulation rate.** Every (workload, model) pair is
+//!    compiled once on the Figure 8 machine, then its timing simulation
+//!    runs `N` timed repetitions after one warmup. The report records
+//!    median and minimum wall time plus the derived throughput rates:
+//!    emulated instructions per second (fetched-instruction events
+//!    streamed through the [`simulate`] sink) and simulated cycles per
+//!    second. Compilation is deliberately outside the timed region — the
+//!    hot path under test is emulate+simulate.
+//! 2. **Full-matrix wall time.** The complete figures run (all four
+//!    experiments over every workload at the requested scale) through
+//!    the parallel engine, again warmup + `N` reps, median/min.
+//!
+//! [`BenchReport::to_json`] serializes the result (hand-rolled JSON, no
+//! serde in the tree); the committed `BENCH_hotpath.json` at the repo
+//! root is the regression baseline. [`check_regression`] implements the
+//! CI guard: the run fails if aggregate emulated insts/sec drops more
+//! than [`REGRESSION_FACTOR`]× below the baseline. The factor is coarse
+//! on purpose — it absorbs host-speed variance between the machine that
+//! committed the baseline and the CI runner while still catching
+//! order-of-magnitude hot-path regressions (an accidental allocation or
+//! hash lookup back in the per-event path).
+
+use hyperpred::lang::lower::entry_args;
+use hyperpred::sched::MachineConfig;
+use hyperpred::sim::{simulate, SimConfig, SimStats};
+use hyperpred::workloads::Scale;
+use hyperpred::{run_matrix_with_stats, Experiment, Model, Pipeline, PipelineError};
+use std::time::Instant;
+
+/// The guard trips when current insts/sec × factor < baseline insts/sec.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Schema version stamped into the JSON so future shape changes can be
+/// detected instead of silently mis-parsed.
+pub const BENCH_JSON_VERSION: u64 = 1;
+
+/// Harness knobs (from the `figures` command line).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Timed repetitions per measurement (after one untimed warmup).
+    pub reps: usize,
+    /// Workload scale for both the per-cell sweep and the matrix timing.
+    pub scale: Scale,
+    /// Worker threads for the matrix timing (0 = all cores).
+    pub threads: usize,
+}
+
+/// Timing for one (workload, model) simulation cell.
+#[derive(Debug, Clone)]
+pub struct CellBench {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Evaluated model.
+    pub model: Model,
+    /// Dynamic (fetched) instruction count of one simulation.
+    pub insts: u64,
+    /// Simulated cycles of one simulation.
+    pub cycles: u64,
+    /// Median wall time of the timed reps, seconds.
+    pub median_secs: f64,
+    /// Fastest rep, seconds.
+    pub min_secs: f64,
+}
+
+impl CellBench {
+    /// Emulated instructions per wall-clock second (median rep).
+    pub fn insts_per_sec(&self) -> f64 {
+        per_sec(self.insts, self.median_secs)
+    }
+
+    /// Simulated cycles per wall-clock second (median rep).
+    pub fn cycles_per_sec(&self) -> f64 {
+        per_sec(self.cycles, self.median_secs)
+    }
+}
+
+/// One harness run: per-cell timings plus the full-matrix wall time.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale the run used.
+    pub scale: Scale,
+    /// Timed repetitions per measurement.
+    pub reps: usize,
+    /// Worker threads for the matrix timing (0 = all cores).
+    pub threads: usize,
+    /// Median wall time of the full figures matrix, seconds.
+    pub matrix_median_secs: f64,
+    /// Fastest matrix rep, seconds.
+    pub matrix_min_secs: f64,
+    /// Per-(workload, model) timings on the Figure 8 machine.
+    pub cells: Vec<CellBench>,
+}
+
+impl BenchReport {
+    /// Total fetched instructions across all cells (one rep each).
+    pub fn total_insts(&self) -> u64 {
+        self.cells.iter().map(|c| c.insts).sum()
+    }
+
+    /// Total simulated cycles across all cells (one rep each).
+    pub fn total_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Sum of the per-cell median wall times, seconds.
+    pub fn total_median_secs(&self) -> f64 {
+        self.cells.iter().map(|c| c.median_secs).sum()
+    }
+
+    /// Aggregate emulated instructions per second over the whole sweep.
+    pub fn insts_per_sec(&self) -> f64 {
+        per_sec(self.total_insts(), self.total_median_secs())
+    }
+
+    /// Aggregate simulated cycles per second over the whole sweep.
+    pub fn cycles_per_sec(&self) -> f64 {
+        per_sec(self.total_cycles(), self.total_median_secs())
+    }
+
+    /// One-paragraph human summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "bench: {} cells ({} scale, {} reps): {:.0} emulated insts/s, \
+             {:.0} simulated cycles/s aggregate; full matrix median {:.3}s \
+             (min {:.3}s)",
+            self.cells.len(),
+            scale_slug(self.scale),
+            self.reps,
+            self.insts_per_sec(),
+            self.cycles_per_sec(),
+            self.matrix_median_secs,
+            self.matrix_min_secs,
+        )
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + 256 * self.cells.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {BENCH_JSON_VERSION},\n"));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", scale_slug(self.scale)));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"matrix\": {{ \"median_secs\": {:.6}, \"min_secs\": {:.6} }},\n",
+            self.matrix_median_secs, self.matrix_min_secs
+        ));
+        out.push_str("  \"aggregate\": {\n");
+        out.push_str(&format!(
+            "    \"total_insts\": {},\n    \"total_cycles\": {},\n",
+            self.total_insts(),
+            self.total_cycles()
+        ));
+        out.push_str(&format!(
+            "    \"total_median_secs\": {:.6},\n",
+            self.total_median_secs()
+        ));
+        out.push_str(&format!(
+            "    \"emulated_insts_per_sec\": {:.1},\n    \"simulated_cycles_per_sec\": {:.1}\n",
+            self.insts_per_sec(),
+            self.cycles_per_sec()
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"model\": \"{}\", \
+                 \"insts\": {}, \"cycles\": {}, \
+                 \"median_secs\": {:.6}, \"min_secs\": {:.6}, \
+                 \"insts_per_sec\": {:.1}, \"cycles_per_sec\": {:.1} }}{sep}\n",
+                c.workload,
+                model_slug(c.model),
+                c.insts,
+                c.cycles,
+                c.median_secs,
+                c.min_secs,
+                c.insts_per_sec(),
+                c.cycles_per_sec(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn per_sec(count: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn scale_slug(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Full => "full",
+    }
+}
+
+fn model_slug(m: Model) -> &'static str {
+    match m {
+        Model::Superblock => "superblock",
+        Model::CondMove => "condmove",
+        Model::FullPred => "fullpred",
+    }
+}
+
+/// Median of the timed samples: midpoint average of the sorted list.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn min(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Runs the harness: per-cell simulation sweep plus matrix wall time.
+///
+/// # Errors
+/// Propagates pipeline or simulation failures (the harness only times
+/// healthy runs; a failing cell is a bug to fix, not a number to report).
+pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, PipelineError> {
+    let reps = cfg.reps.max(1);
+    let pipe = Pipeline::default();
+    // Per-cell sweep on the Figure 8 machine (8-issue, 1-branch,
+    // perfect memory): the configuration every table in the paper uses.
+    let machine = MachineConfig::new(8, 1);
+    let sim_cfg = SimConfig::default();
+
+    let mut cells = Vec::new();
+    for w in hyperpred::workloads::all(cfg.scale) {
+        // The model-independent front half (parse, classic opt, profile)
+        // runs once per workload, mirroring the matrix engine's memo.
+        let front = pipe.front(&w.source, &w.args)?;
+        let args = entry_args(&w.args);
+        for model in Model::ALL {
+            let module = pipe.finish(&front, model, &machine)?;
+            // Warmup rep: faults the code/data into cache and gives us
+            // the (deterministic) instruction and cycle counts.
+            let stats: SimStats = simulate(&module, "main", &args, machine, sim_cfg)?;
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                let s = simulate(&module, "main", &args, machine, sim_cfg)?;
+                samples.push(t.elapsed().as_secs_f64());
+                debug_assert_eq!(s.cycles, stats.cycles, "simulation must be deterministic");
+            }
+            cells.push(CellBench {
+                workload: w.name,
+                model,
+                insts: stats.insts,
+                cycles: stats.cycles,
+                median_secs: median(&mut samples),
+                min_secs: min(&samples),
+            });
+        }
+    }
+
+    // Full figures matrix through the parallel engine: all four
+    // experiments, shared compile/baseline/front caches, warmup + reps.
+    let exps = [
+        Experiment::fig8(),
+        Experiment::fig9(),
+        Experiment::fig10(),
+        Experiment::fig11(),
+    ];
+    let mut matrix_samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let t = Instant::now();
+        run_matrix_with_stats(&exps, cfg.scale, &pipe, cfg.threads)?;
+        let dt = t.elapsed().as_secs_f64();
+        if rep > 0 {
+            matrix_samples.push(dt);
+        }
+    }
+
+    Ok(BenchReport {
+        scale: cfg.scale,
+        reps,
+        threads: cfg.threads,
+        matrix_median_secs: median(&mut matrix_samples),
+        matrix_min_secs: min(&matrix_samples),
+        cells,
+    })
+}
+
+/// Extracts a top-level-unique numeric field from hand-rolled JSON.
+/// Good enough for our own schema; not a general JSON parser.
+fn json_number_field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field (first occurrence) from hand-rolled JSON.
+fn json_string_field(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The CI regression guard: compares a fresh report against the
+/// committed baseline JSON.
+///
+/// Returns a human-readable verdict on success.
+///
+/// # Errors
+/// Fails (with the message the CI log should show) when the baseline is
+/// unreadable, was recorded at a different scale, or when aggregate
+/// emulated insts/sec dropped more than [`REGRESSION_FACTOR`]× below it.
+pub fn check_regression(report: &BenchReport, baseline_json: &str) -> Result<String, String> {
+    let version = json_number_field(baseline_json, "version")
+        .ok_or_else(|| "baseline JSON has no \"version\" field".to_string())?;
+    if version as u64 != BENCH_JSON_VERSION {
+        return Err(format!(
+            "baseline schema version {version} != supported {BENCH_JSON_VERSION}; \
+             regenerate the baseline"
+        ));
+    }
+    let base_scale = json_string_field(baseline_json, "scale")
+        .ok_or_else(|| "baseline JSON has no \"scale\" field".to_string())?;
+    if base_scale != scale_slug(report.scale) {
+        return Err(format!(
+            "baseline was recorded at scale \"{base_scale}\" but this run used \
+             \"{}\"; rates are not comparable across scales",
+            scale_slug(report.scale)
+        ));
+    }
+    let base_ips = json_number_field(baseline_json, "emulated_insts_per_sec")
+        .ok_or_else(|| "baseline JSON has no \"emulated_insts_per_sec\" field".to_string())?;
+    let cur_ips = report.insts_per_sec();
+    if cur_ips * REGRESSION_FACTOR < base_ips {
+        return Err(format!(
+            "hot-path regression: {cur_ips:.0} emulated insts/s is more than \
+             {REGRESSION_FACTOR}x below the committed baseline ({base_ips:.0})"
+        ));
+    }
+    Ok(format!(
+        "hot path within budget: {cur_ips:.0} emulated insts/s vs baseline \
+         {base_ips:.0} (guard trips below {:.0})",
+        base_ips / REGRESSION_FACTOR
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_rate(insts: u64, secs: f64) -> BenchReport {
+        BenchReport {
+            scale: Scale::Test,
+            reps: 1,
+            threads: 1,
+            matrix_median_secs: 0.5,
+            matrix_min_secs: 0.4,
+            cells: vec![CellBench {
+                workload: "wl",
+                model: Model::FullPred,
+                insts,
+                cycles: insts * 2,
+                median_secs: secs,
+                min_secs: secs,
+            }],
+        }
+    }
+
+    #[test]
+    fn median_is_midpoint_of_sorted_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_guard_parsers() {
+        let r = report_with_rate(1_000_000, 0.25);
+        let json = r.to_json();
+        assert_eq!(json_number_field(&json, "version"), Some(1.0));
+        assert_eq!(json_string_field(&json, "scale").as_deref(), Some("test"));
+        let ips = json_number_field(&json, "emulated_insts_per_sec").expect("aggregate rate");
+        assert!((ips - r.insts_per_sec()).abs() < 1.0, "{ips}");
+        // Per-cell fields are present and the cell list is well-formed.
+        assert!(json.contains("\"workload\": \"wl\""));
+        assert!(json.contains("\"model\": \"fullpred\""));
+    }
+
+    #[test]
+    fn guard_passes_within_factor_and_trips_beyond_it() {
+        let baseline = report_with_rate(1_000_000, 0.25).to_json(); // 4M insts/s
+        let fine = report_with_rate(1_000_000, 0.45); // ~2.2M, within 2x
+        assert!(check_regression(&fine, &baseline).is_ok());
+        let slow = report_with_rate(1_000_000, 0.55); // ~1.8M, beyond 2x
+        let err = check_regression(&slow, &baseline).unwrap_err();
+        assert!(err.contains("hot-path regression"), "{err}");
+    }
+
+    #[test]
+    fn guard_rejects_cross_scale_and_wrong_version_baselines() {
+        let mut full = report_with_rate(1_000_000, 0.25);
+        full.scale = Scale::Full;
+        let baseline = full.to_json();
+        let test_run = report_with_rate(1_000_000, 0.25);
+        let err = check_regression(&test_run, &baseline).unwrap_err();
+        assert!(err.contains("not comparable"), "{err}");
+
+        let bumped = baseline.replace("\"version\": 1", "\"version\": 99");
+        let mut full_run = report_with_rate(1_000_000, 0.25);
+        full_run.scale = Scale::Full;
+        let err = check_regression(&full_run, &bumped).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+}

@@ -3,3 +3,5 @@
 
 /// Re-exported so the benches and the `figures` binary share one facade.
 pub use hyperpred::*;
+
+pub mod hotpath;

@@ -140,7 +140,17 @@ pub fn run_workload(
     let mut models = Vec::with_capacity(3);
     for model in Model::ALL {
         let s = evaluate(&w.source, &w.args, model, exp.machine(), exp.sim(), pipe)?;
-        assert_eq!(s.ret, base.ret, "{}: {model} diverged", w.name);
+        if s.ret != base.ret {
+            // A model disagreeing with the baseline is a miscompile;
+            // report it as a typed error so matrix drivers can contain it
+            // to the cell instead of unwinding through the whole run.
+            return Err(PipelineError::Diverged {
+                workload: w.name,
+                model,
+                got: s.ret,
+                want: base.ret,
+            });
+        }
         models.push(s);
     }
     Ok(BenchResult {

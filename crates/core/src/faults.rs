@@ -19,10 +19,60 @@
 //! --keep-going --inject-faults` (the CI chaos smoke) and the
 //! fault-injection test suite.
 
+use hyperpred_ir::{Module, Op, Operand};
 use hyperpred_workloads::Workload;
 
 /// Source marker the pipeline panics on when fault injection is enabled.
 pub const PANIC_MARKER: &str = "__hyperpred_fault_panic__";
+
+/// Function-name marker for the result-divergence fixture. The marker is
+/// a *function name* (not a comment) so it survives lowering into the IR:
+/// [`Pipeline::finish`](crate::Pipeline::finish) recognizes it in the
+/// compiled module under the full-predication model and skews `main`'s
+/// return value, standing in for a model-specific miscompile.
+pub const DIVERGE_MARKER: &str = "__hyperpred_fault_diverge__";
+
+/// The wrong answer the skewed fixture returns (distinctive on sight).
+pub const DIVERGE_RESULT: i64 = 24601;
+
+/// A workload whose full-predication compile is deliberately miscompiled
+/// under [`Pipeline::fault_injection`](crate::Pipeline::fault_injection):
+/// its simulated result diverges from the baseline's, which the matrix
+/// must report as a typed [`PipelineError::Diverged`](crate::PipelineError)
+/// cell failure rather than a panic. Inert without injection.
+pub fn diverge_fixture() -> Workload {
+    Workload {
+        name: "inject-diverge",
+        description: "fault fixture: full-pred model result diverges when injection is enabled",
+        source: format!(
+            "int {DIVERGE_MARKER}(int x) {{ return x * 2 + 1; }}\n\
+             int main() {{\n\
+             \x20   int i; int s; s = 0;\n\
+             \x20   for (i = 0; i < 40; i += 1) {{\n\
+             \x20       if (i % 3 == 0) s += {DIVERGE_MARKER}(i);\n\
+             \x20   }}\n\
+             \x20   return s;\n}}"
+        ),
+        args: vec![],
+    }
+}
+
+/// Skews every `ret` in `main` to return [`DIVERGE_RESULT`] — the
+/// injected miscompile behind [`diverge_fixture`]. Structurally legal IR
+/// (an immediate return operand), so it sails through the verifier and
+/// surfaces only as a result mismatch, exactly like a real codegen bug.
+pub(crate) fn skew_main_result(module: &mut Module) {
+    let Some(main) = module.funcs.iter_mut().find(|f| f.name == "main") else {
+        return;
+    };
+    for block in &mut main.blocks {
+        for inst in &mut block.insts {
+            if inst.op == Op::Ret && !inst.srcs.is_empty() {
+                inst.srcs = vec![Operand::Imm(DIVERGE_RESULT)];
+            }
+        }
+    }
+}
 
 /// A workload whose compilation panics under
 /// [`Pipeline::fault_injection`](crate::Pipeline::fault_injection).

@@ -39,7 +39,7 @@
 //! failure, as the pre-isolation engine did.
 
 use crate::experiments::{BenchResult, Experiment};
-use crate::pipeline::{Model, Pipeline, PipelineError};
+use crate::pipeline::{FrontOutput, Model, Pipeline, PipelineError};
 use hyperpred_ir::Module;
 use hyperpred_lang::lower::entry_args;
 use hyperpred_sched::MachineConfig;
@@ -78,6 +78,12 @@ pub struct EngineStats {
     pub baseline_reuses: u64,
     /// Model-cell simulations run.
     pub model_sims: u64,
+    /// Model-independent front halves (frontend through the profiling
+    /// run) actually computed — once per workload.
+    pub front_computes: u64,
+    /// Compiles that reused a memoized front half instead of re-lowering
+    /// and re-profiling the workload.
+    pub front_reuses: u64,
     /// Per-cell wall times of successful cells, in completion order.
     pub cells: Vec<CellStat>,
 }
@@ -95,6 +101,7 @@ impl EngineStats {
         format!(
             "engine: {} cells in {:.2?} on {} thread(s) ({:.2?} of cell work; {:.1}x packing)\n\
              compile cache: {} misses, {} hits; baseline memo: {} simulated, {} reused\n\
+             profile memo: {} front halves computed, {} reused\n\
              serial loop would run {} cells; the engine ran {}",
             self.cells.len(),
             self.wall,
@@ -105,6 +112,8 @@ impl EngineStats {
             self.compile_hits,
             self.baseline_sims,
             self.baseline_reuses,
+            self.front_computes,
+            self.front_reuses,
             self.serial_equivalent_cells(),
             self.baseline_sims + self.model_sims,
         )
@@ -401,22 +410,35 @@ struct SharedFailure {
 /// One shared once-per-key slot; `Err` marks a memoized failed compile.
 type CompileSlot = Arc<OnceLock<Result<Arc<Module>, SharedFailure>>>;
 
+/// One shared per-workload slot for the model-independent front half
+/// (frontend → pre-formation optimization → profiling run).
+type FrontSlot = Arc<OnceLock<Result<Arc<FrontOutput>, SharedFailure>>>;
+
 /// Each distinct (workload, model, machine) module is compiled exactly
 /// once; concurrent requesters block on the same [`OnceLock`] rather than
 /// duplicating the work. A failed — or panicking — compile is memoized as
 /// failed, so dependent cells skip it instead of re-running (or
 /// re-panicking) it.
+///
+/// Compiles are additionally split at the [`Pipeline::front`] /
+/// [`Pipeline::finish`] seam: the front half (including the profiling
+/// emulation run, the most expensive pass for emulation-heavy workloads)
+/// depends only on the workload, so it runs once per workload and every
+/// (model, machine) compile shares it.
 struct CompileCache {
     slots: Mutex<HashMap<CompileKey, CompileSlot>>,
+    fronts: Mutex<HashMap<usize, FrontSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    front_computes: AtomicU64,
+    front_reuses: AtomicU64,
 }
 
 fn stage_of(e: &PipelineError) -> FailureStage {
     match e {
         PipelineError::Compile(_) | PipelineError::Lint(_) => FailureStage::Compile,
         PipelineError::Emu(_) => FailureStage::Emulate,
-        PipelineError::Sim(_) => FailureStage::Simulate,
+        PipelineError::Sim(_) | PipelineError::Diverged { .. } => FailureStage::Simulate,
     }
 }
 
@@ -424,9 +446,46 @@ impl CompileCache {
     fn new() -> CompileCache {
         CompileCache {
             slots: Mutex::new(HashMap::new()),
+            fronts: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            front_computes: AtomicU64::new(0),
+            front_reuses: AtomicU64::new(0),
         }
+    }
+
+    /// The front half for workload index `w`, computed once per workload.
+    fn get_or_front(
+        &self,
+        workload: usize,
+        w: &Workload,
+        pipe: &Pipeline,
+    ) -> Result<Arc<FrontOutput>, SharedFailure> {
+        let slot = {
+            let mut fronts = lock_tolerant(&self.fronts);
+            Arc::clone(fronts.entry(workload).or_default())
+        };
+        let mut fresh = false;
+        let front = slot.get_or_init(|| {
+            fresh = true;
+            match catch_cell(|| pipe.front(&w.source, &w.args)) {
+                Ok(Ok(f)) => Ok(Arc::new(f)),
+                Ok(Err(e)) => Err(SharedFailure {
+                    stage: stage_of(&e),
+                    payload: FailurePayload::Error(e),
+                }),
+                Err(panic_msg) => Err(SharedFailure {
+                    stage: FailureStage::Compile,
+                    payload: FailurePayload::Panic(panic_msg),
+                }),
+            }
+        });
+        if fresh {
+            self.front_computes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.front_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        front.clone()
     }
 
     fn get_or_compile(
@@ -444,9 +503,14 @@ impl CompileCache {
         let mut fresh = false;
         let module = cell.get_or_init(|| {
             fresh = true;
+            // The shared front half: once per workload, then each
+            // (model, machine) runs only formation → scheduling. A failed
+            // front (frontend error, profiling fault, injected panic) is
+            // memoized once and replayed to every dependent key.
+            let front = self.get_or_front(key.workload, w, pipe)?;
             // Panics inside the pipeline are contained *here* so the slot
             // is still initialized (as failed) for everyone waiting on it.
-            match catch_cell(|| pipe.compile(&w.source, &w.args, model, machine)) {
+            match catch_cell(|| pipe.finish(&front, model, machine)) {
                 Ok(Ok(m)) => Ok(Arc::new(m)),
                 Ok(Err(e)) => Err(SharedFailure {
                     stage: stage_of(&e),
@@ -559,12 +623,12 @@ pub fn run_matrix_policy(
 ///
 /// # Errors
 /// Propagates the first pipeline failure; remaining cells are abandoned.
+/// A model whose simulated result diverges from the baseline's comes back
+/// as [`PipelineError::Diverged`].
 ///
 /// # Panics
 /// Panics (like the serial path) if a cell *panicked* — the contained
-/// message is re-raised — or if a model's simulated program result
-/// diverges from the baseline's; both are compiler bugs, not input
-/// errors.
+/// message is re-raised. That is a compiler bug, not an input error.
 pub fn run_matrix_workloads(
     exps: &[Experiment],
     workloads: &[Workload],
@@ -612,11 +676,10 @@ pub fn run_matrix_workloads(
 /// [`run_experiment`](crate::experiments::run_experiment) per experiment,
 /// whatever other cells do.
 ///
-/// # Panics
-/// Under [`FailurePolicy::FailFast`] only: if a model's simulated program
-/// result diverges from the baseline's — that is a compiler bug, not an
-/// input error. [`FailurePolicy::KeepGoing`] reports divergence as a cell
-/// failure instead.
+/// A model whose simulated result diverges from the baseline's is a
+/// compiler bug, not an input error; it is reported as a typed
+/// [`PipelineError::Diverged`] cell failure under either policy (never a
+/// panic), so a KeepGoing chaos run keeps every healthy cell.
 pub fn run_matrix_workloads_policy(
     exps: &[Experiment],
     workloads: &[Workload],
@@ -812,19 +875,22 @@ pub fn run_matrix_workloads_policy(
                             base: base.clone(),
                             models,
                         }),
-                        Some((m, got)) if policy == FailurePolicy::FailFast => {
-                            panic!("{}: {m} diverged (ret {got} vs {})", wl.name, base.ret)
-                        }
                         Some((m, got)) => {
+                            // A typed failure under either policy:
+                            // FailFast surfaces it as `Err(Diverged)`
+                            // through the compatibility wrapper, KeepGoing
+                            // contains it to this cell.
                             let failure = CellFailure {
                                 workload: wl.name,
                                 experiment: exp.title,
                                 model: Some(m),
                                 stage: FailureStage::Simulate,
-                                payload: FailurePayload::Panic(format!(
-                                    "result divergence: {m} returned {got}, baseline {}",
-                                    base.ret
-                                )),
+                                payload: FailurePayload::Error(PipelineError::Diverged {
+                                    workload: wl.name,
+                                    model: m,
+                                    got,
+                                    want: base.ret,
+                                }),
                                 wall: Duration::ZERO,
                             };
                             failures.push(failure.clone());
@@ -860,6 +926,8 @@ pub fn run_matrix_workloads_policy(
         baseline_sims,
         baseline_reuses: (exps.len().saturating_sub(1) as u64) * baseline_sims,
         model_sims,
+        front_computes: cache.front_computes.load(Ordering::Relaxed),
+        front_reuses: cache.front_reuses.load(Ordering::Relaxed),
         cells: cell_stats
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner),

@@ -155,6 +155,20 @@ pub enum PipelineError {
     Sim(SimError),
     /// A per-pass semantic checkpoint found a miscompile.
     Lint(LintError),
+    /// A model's simulated program result disagreed with the baseline's
+    /// for the same workload — a miscompile in that model's pipeline, not
+    /// an input error. Reported as a typed failure so drivers can contain
+    /// it per cell instead of panicking the whole run.
+    Diverged {
+        /// Workload whose results disagree.
+        workload: &'static str,
+        /// The model that produced the wrong answer.
+        model: Model,
+        /// The diverging model's program result.
+        got: i64,
+        /// The baseline's program result.
+        want: i64,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -164,6 +178,15 @@ impl fmt::Display for PipelineError {
             PipelineError::Emu(e) => write!(f, "execution error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
             PipelineError::Lint(e) => write!(f, "lint error: {e}"),
+            PipelineError::Diverged {
+                workload,
+                model,
+                got,
+                want,
+            } => write!(
+                f,
+                "result divergence: {workload}: {model} returned {got}, baseline {want}"
+            ),
         }
     }
 }
@@ -321,11 +344,30 @@ fn sabotage_module(module: &mut Module) {
     f.block_mut(entry).insts[0].guard = Some(p);
 }
 
+/// The model- and machine-independent first half of a compile: frontend,
+/// inlining, pre-formation optimization, and the profiling training run.
+///
+/// Everything up to region formation depends only on the source and the
+/// training arguments, so this output is byte-identical across all
+/// (model, machine) combinations of one workload. Drivers that compile a
+/// workload many times — the matrix engine compiles each one up to ten
+/// times across the figures — compute this once with [`Pipeline::front`]
+/// and fan it out through [`Pipeline::finish`].
+#[derive(Debug, Clone)]
+pub struct FrontOutput {
+    /// The optimized pre-formation module (unpredicated, basic blocks).
+    pub module: Module,
+    /// The training-run profile that drives region formation.
+    pub profile: Profiler,
+}
+
 impl Pipeline {
     /// Compiles MiniC `source` for `model` on `machine`: frontend, classic
     /// optimization, profiling (one training run on `args`), region
     /// formation, model-specific conversion, and scheduling. The returned
     /// module is verified and ready for [`hyperpred_sim::simulate`].
+    ///
+    /// Equivalent to [`Pipeline::front`] followed by [`Pipeline::finish`].
     ///
     /// # Errors
     /// Fails on frontend errors or if the profiling run faults.
@@ -336,13 +378,28 @@ impl Pipeline {
         model: Model,
         machine: &MachineConfig,
     ) -> Result<Module, PipelineError> {
+        let front = self.front(source, args)?;
+        self.finish(&front, model, machine)
+    }
+
+    /// Runs the model-independent pipeline half: frontend, inlining,
+    /// pre-formation optimization, and the profiling run on `args`.
+    ///
+    /// Checkpoints here use [`ModelClass::NoPred`]: before region
+    /// formation the IR is unpredicated under every model, so a predicate
+    /// appearing this early is a miscompile regardless of what the
+    /// back half will build.
+    ///
+    /// # Errors
+    /// Fails on frontend errors or if the profiling run faults.
+    pub fn front(&self, source: &str, args: &[i64]) -> Result<FrontOutput, PipelineError> {
         if self.fault_injection && source.contains(crate::faults::PANIC_MARKER) {
             panic!(
                 "injected compile-stage panic ({} fixture)",
                 crate::faults::PANIC_MARKER
             );
         }
-        let mut ck = Checkpointer::new(self, model);
+        let mut ck = Checkpointer::new(self, Model::Superblock);
         let mut module = hyperpred_lang::compile(source)?;
         ck.check(&mut module, Stage::Frontend)?;
         if self.inline {
@@ -360,6 +417,33 @@ impl Pipeline {
         let mut prof = Profiler::new();
         let mut emu = Emulator::new(&module).with_fuel(self.profile_fuel);
         emu.run("main", &entry_args(args), &mut prof)?;
+        Ok(FrontOutput {
+            module,
+            profile: prof,
+        })
+    }
+
+    /// Runs the model- and machine-specific pipeline half on a
+    /// [`FrontOutput`]: region formation, model conversion, post
+    /// optimization, and scheduling. `front` is not consumed — the same
+    /// front half fans out to every (model, machine) combination.
+    ///
+    /// # Errors
+    /// Fails if a semantic checkpoint rejects a pass's output.
+    pub fn finish(
+        &self,
+        front: &FrontOutput,
+        model: Model,
+        machine: &MachineConfig,
+    ) -> Result<Module, PipelineError> {
+        let mut module = front.module.clone();
+        let prof = &front.profile;
+        let mut ck = Checkpointer::new(self, model);
+        if self.checks {
+            // Re-seed the speculation snapshot the front half's last
+            // checkpoint would have handed over.
+            ck.spec = Some(Snapshot::of(&module));
+        }
 
         // Region formation runs one stage at a time across all functions
         // (functions are independent), so each checkpoint sees the whole
@@ -372,13 +456,13 @@ impl Pipeline {
         match model {
             Model::Superblock => {
                 each(&mut module, &|f, fid| {
-                    form_superblocks(f, fid, &prof, &self.superblock);
+                    form_superblocks(f, fid, prof, &self.superblock);
                 });
                 ck.check(&mut module, Stage::Superblock)?;
             }
             Model::CondMove | Model::FullPred => {
                 each(&mut module, &|f, fid| {
-                    form_hyperblocks(f, fid, &prof, &self.hyperblock);
+                    form_hyperblocks(f, fid, prof, &self.hyperblock);
                 });
                 ck.check(&mut module, Stage::IfConvert)?;
                 if self.promote {
@@ -390,13 +474,13 @@ impl Pipeline {
                 // Code the if-converter left alone (call-heavy regions)
                 // still gets superblock treatment, as in IMPACT.
                 each(&mut module, &|f, fid| {
-                    form_superblocks(f, fid, &prof, &self.superblock);
+                    form_superblocks(f, fid, prof, &self.superblock);
                 });
                 ck.check(&mut module, Stage::Superblock)?;
             }
         }
         each(&mut module, &|f, fid| {
-            unroll_self_loops(f, fid, &prof, &self.unroll);
+            unroll_self_loops(f, fid, prof, &self.unroll);
         });
         ck.check(&mut module, Stage::Unroll)?;
         if model == Model::CondMove {
@@ -410,6 +494,15 @@ impl Pipeline {
         }
         schedule_module(&mut module, machine);
         ck.check(&mut module, Stage::Schedule)?;
+        if self.fault_injection
+            && model == Model::FullPred
+            && module
+                .funcs
+                .iter()
+                .any(|f| f.name == crate::faults::DIVERGE_MARKER)
+        {
+            crate::faults::skew_main_result(&mut module);
+        }
         if !self.checks {
             // Cheap structural backstop for debug builds running with
             // checkpoints disabled (evaluated once, reported once).

@@ -5,8 +5,9 @@
 //! bit-identical to a clean serial run, and the failure report must name
 //! exactly the injected cells with the right stage and payload.
 
-use hyperpred::faults::{cycle_hog_fixture, panic_fixture};
+use hyperpred::faults::{cycle_hog_fixture, diverge_fixture, panic_fixture, DIVERGE_RESULT};
 use hyperpred::sim::SimError;
+use hyperpred::Model;
 use hyperpred::{
     run_matrix_workloads_policy, run_workload, CellOutcome, Experiment, FailurePayload,
     FailurePolicy, FailureStage, Pipeline, PipelineError,
@@ -133,6 +134,68 @@ fn keep_going_contains_injected_faults() {
             .unwrap_or_else(|| panic!("{} must complete despite injected neighbors", wl.name));
         assert_eq!(got.base, clean.base, "{}: baseline stats differ", wl.name);
         assert_eq!(got.models, clean.models, "{}: model stats differ", wl.name);
+    }
+}
+
+/// A model whose simulated result disagrees with the baseline's must be
+/// contained as a *typed* `Diverged` cell failure — historically this was
+/// an `assert_eq!` that panicked straight through the fault isolation.
+#[test]
+fn keep_going_reports_divergence_as_cell_failure_not_panic() {
+    let pipe = Pipeline {
+        fault_injection: true,
+        ..Pipeline::default()
+    };
+    let exp = experiment();
+
+    let mut wls = healthy();
+    let n_healthy = wls.len();
+    wls.push(diverge_fixture());
+
+    let run = run_matrix_workloads_policy(&[exp], &wls, &pipe, 2, FailurePolicy::KeepGoing);
+
+    // Exactly the injected workload fails, with the typed payload naming
+    // the diverging model and both results.
+    assert!(!run.report.is_empty(), "divergence must be reported");
+    for f in &run.report.failures {
+        assert_eq!(f.workload, "inject-diverge");
+        assert_eq!(f.stage, FailureStage::Simulate);
+        match &f.payload {
+            FailurePayload::Error(PipelineError::Diverged {
+                workload,
+                model,
+                got,
+                want,
+            }) => {
+                assert_eq!(*workload, "inject-diverge");
+                assert_eq!(*model, Model::FullPred);
+                assert_eq!(*got, DIVERGE_RESULT);
+                assert_ne!(*got, *want);
+            }
+            other => panic!("divergence must surface as Diverged, got {other}"),
+        }
+    }
+    assert!(
+        matches!(run.outcomes[0][n_healthy], CellOutcome::Failed(_)),
+        "diverged slot must be Failed"
+    );
+
+    // Healthy neighbors still complete, bit-identical to a clean run.
+    let clean_pipe = Pipeline::default();
+    for (w, wl) in wls.iter().take(n_healthy).enumerate() {
+        let clean = run_workload(wl, &exp, &clean_pipe).expect("clean serial run");
+        let got = run.outcomes[0][w]
+            .ok()
+            .unwrap_or_else(|| panic!("{} must complete despite the diverging neighbor", wl.name));
+        assert_eq!(got.base, clean.base, "{}: baseline stats differ", wl.name);
+        assert_eq!(got.models, clean.models, "{}: model stats differ", wl.name);
+    }
+
+    // The fixture is inert without injection: all three models agree.
+    let clean =
+        run_workload(&diverge_fixture(), &exp, &clean_pipe).expect("fixture is inert by default");
+    for s in &clean.models {
+        assert_eq!(s.ret, clean.base.ret);
     }
 }
 

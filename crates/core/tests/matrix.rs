@@ -8,7 +8,7 @@
 //! binaries.
 
 use hyperpred::{run_matrix_workloads, run_workload, BenchResult, Experiment, Model, Pipeline};
-use hyperpred_workloads::{by_name, Scale, Workload};
+use hyperpred_workloads::{all, by_name, Scale, Workload};
 
 /// A machine-sharing pair: Figures 8 and 11 both schedule for 8-issue,
 /// 1-branch (the compile cache must land hits) but simulate different
@@ -127,6 +127,34 @@ fn matrix_matches_serial_at_any_thread_count() {
             a.name
         );
     }
+}
+
+/// The acceptance sweep: every benchmark in the suite, all three models,
+/// through the engine — bit-identical to the serial path. One experiment
+/// keeps the debug-build cost bounded; machine-sharing reuse across
+/// experiments is covered above.
+#[test]
+fn full_suite_matrix_matches_serial() {
+    let pipe = Pipeline::default();
+    let exp = Experiment::fig8();
+    let wls = all(Scale::Test);
+
+    let serial: Vec<BenchResult> = wls
+        .iter()
+        .map(|w| run_workload(w, &exp, &pipe).expect("serial cell"))
+        .collect();
+
+    let out = run_matrix_workloads(&[exp], &wls, &pipe, 4).expect("matrix");
+    assert_eq!(out.figures[0].len(), wls.len());
+    for (a, b) in out.figures[0].iter().zip(&serial) {
+        assert_same(a, b, "full suite, 4 threads vs serial");
+    }
+
+    // The model-independent front half is computed once per workload and
+    // reused by the other three compiles (baseline + remaining models).
+    let w = wls.len() as u64;
+    assert_eq!(out.stats.front_computes, w);
+    assert_eq!(out.stats.front_reuses, 3 * w);
 }
 
 #[test]

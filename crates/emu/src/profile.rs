@@ -35,12 +35,29 @@ impl BranchStat {
 /// for the exact IR they were measured on — formation passes consume the
 /// profile immediately after measuring it, matching the paper's
 /// profile-guided compilation flow.
+///
+/// Counts live in dense per-function tables (`table[func][index]`), grown
+/// on first touch, so the per-event sink methods index instead of hashing
+/// — the profiling emulation run is part of every compile's hot path.
 #[derive(Debug, Default, Clone)]
 pub struct Profiler {
-    /// Entry count per (function, block).
-    pub blocks: HashMap<(FuncId, BlockId), u64>,
-    /// Direction counts per (function, branch instruction).
-    pub branches: HashMap<(FuncId, InstId), BranchStat>,
+    /// Entry count per (function, block): `blocks[func][block]`.
+    blocks: Vec<Vec<u64>>,
+    /// Direction counts per (function, branch instruction id).
+    branches: Vec<Vec<BranchStat>>,
+}
+
+/// Dense-table slot access, growing the table to cover `(f, i)`.
+#[inline]
+fn grown<T: Clone + Default>(table: &mut Vec<Vec<T>>, f: usize, i: usize) -> &mut T {
+    if table.len() <= f {
+        table.resize_with(f + 1, Vec::new);
+    }
+    let row = &mut table[f];
+    if row.len() <= i {
+        row.resize(i + 1, T::default());
+    }
+    &mut row[i]
 }
 
 impl Profiler {
@@ -51,13 +68,18 @@ impl Profiler {
 
     /// Entry count of `block` in `func`.
     pub fn block_count(&self, func: FuncId, block: BlockId) -> u64 {
-        self.blocks.get(&(func, block)).copied().unwrap_or(0)
+        self.blocks
+            .get(func.0 as usize)
+            .and_then(|row| row.get(block.0 as usize))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Direction stats of the branch `inst` in `func`.
     pub fn branch(&self, func: FuncId, inst: InstId) -> BranchStat {
         self.branches
-            .get(&(func, inst))
+            .get(func.0 as usize)
+            .and_then(|row| row.get(inst.0 as usize))
             .copied()
             .unwrap_or_default()
     }
@@ -118,12 +140,16 @@ impl Profiler {
 
 impl TraceSink for Profiler {
     fn enter_block(&mut self, func: FuncId, block: BlockId) {
-        *self.blocks.entry((func, block)).or_insert(0) += 1;
+        *grown(&mut self.blocks, func.0 as usize, block.0 as usize) += 1;
     }
 
     fn inst(&mut self, ev: &Event<'_>) {
         if let Some(taken) = ev.taken {
-            let stat = self.branches.entry((ev.func, ev.inst.id)).or_default();
+            let stat = grown(
+                &mut self.branches,
+                ev.func.0 as usize,
+                ev.inst.id.0 as usize,
+            );
             if taken {
                 stat.taken += 1;
             } else {

@@ -1,7 +1,6 @@
 //! Trace events and sinks.
 
 use hyperpred_ir::{BlockId, FuncId, Inst, Op};
-use std::collections::HashMap;
 
 /// One dynamic instruction instance, delivered to a [`TraceSink`].
 ///
@@ -81,8 +80,9 @@ pub struct DynStats {
     pub pred_defs: u64,
     /// Conditional move / select instructions fetched.
     pub cmovs: u64,
-    /// Block entries per (function, block).
-    pub block_entries: HashMap<(FuncId, BlockId), u64>,
+    /// Block entries: `block_entries[func][block]`, dense per-function
+    /// rows grown on first touch (no per-event hashing).
+    block_entries: Vec<Vec<u64>>,
 }
 
 impl DynStats {
@@ -90,11 +90,28 @@ impl DynStats {
     pub fn new() -> DynStats {
         DynStats::default()
     }
+
+    /// Times control entered `block` of `func`.
+    pub fn block_entries(&self, func: FuncId, block: BlockId) -> u64 {
+        self.block_entries
+            .get(func.0 as usize)
+            .and_then(|row| row.get(block.0 as usize))
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 impl TraceSink for DynStats {
     fn enter_block(&mut self, func: FuncId, block: BlockId) {
-        *self.block_entries.entry((func, block)).or_insert(0) += 1;
+        let (f, b) = (func.0 as usize, block.0 as usize);
+        if self.block_entries.len() <= f {
+            self.block_entries.resize_with(f + 1, Vec::new);
+        }
+        let row = &mut self.block_entries[f];
+        if row.len() <= b {
+            row.resize(b + 1, 0);
+        }
+        row[b] += 1;
     }
 
     fn inst(&mut self, ev: &Event<'_>) {

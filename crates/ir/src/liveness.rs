@@ -10,15 +10,134 @@ use crate::cfg::Cfg;
 use crate::inst::{Inst, Op};
 use crate::module::Function;
 use crate::types::{BlockId, PredReg, Reg};
-use std::collections::HashSet;
+use std::marker::PhantomData;
+
+/// An id addressable by [`DenseIdSet`] (a `u32`-indexed register file id).
+pub trait LiveId: Copy {
+    /// The id's dense index.
+    fn live_index(self) -> usize;
+}
+
+impl LiveId for Reg {
+    fn live_index(self) -> usize {
+        self.index()
+    }
+}
+
+impl LiveId for PredReg {
+    fn live_index(self) -> usize {
+        self.index()
+    }
+}
+
+/// A grow-on-insert bit set over one register file.
+///
+/// Liveness sets are the inner loop of every global pass (DCE recomputes
+/// them each round, the scheduler and promoter query them per candidate),
+/// so membership is a word index instead of a hash probe. Word vectors
+/// grow lazily; equality and union treat missing high words as zero, so
+/// sets over the same function compare consistently regardless of their
+/// high-water marks.
+#[derive(Debug, Clone)]
+pub struct DenseIdSet<T> {
+    words: Vec<u64>,
+    _ids: PhantomData<T>,
+}
+
+impl<T> Default for DenseIdSet<T> {
+    fn default() -> DenseIdSet<T> {
+        DenseIdSet {
+            words: Vec::new(),
+            _ids: PhantomData,
+        }
+    }
+}
+
+impl<T: LiveId> DenseIdSet<T> {
+    /// Empty set.
+    pub fn new() -> DenseIdSet<T> {
+        DenseIdSet {
+            words: Vec::new(),
+            _ids: PhantomData,
+        }
+    }
+
+    /// True if `id` is present.
+    #[inline]
+    pub fn contains(&self, id: &T) -> bool {
+        let i = id.live_index();
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Inserts `id`.
+    #[inline]
+    pub fn insert(&mut self, id: T) {
+        let i = id.live_index();
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `id`.
+    #[inline]
+    pub fn remove(&mut self, id: &T) {
+        let i = id.live_index();
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Removes every id.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Inserts every id `iter` yields.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+
+    /// Unions `other` into `self`; true if anything was added.
+    pub fn union_with(&mut self, other: &DenseIdSet<T>) -> bool {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+}
+
+impl<T: LiveId> PartialEq for DenseIdSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl<T: LiveId> Eq for DenseIdSet<T> {}
 
 /// A set of live registers and predicates.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LiveSet {
     /// Live general registers.
-    pub regs: HashSet<Reg>,
+    pub regs: DenseIdSet<Reg>,
     /// Live predicate registers.
-    pub preds: HashSet<PredReg>,
+    pub preds: DenseIdSet<PredReg>,
 }
 
 impl LiveSet {
@@ -29,10 +148,8 @@ impl LiveSet {
 
     /// Unions `other` into `self`; true if anything was added.
     pub fn union_with(&mut self, other: &LiveSet) -> bool {
-        let before = self.regs.len() + self.preds.len();
-        self.regs.extend(other.regs.iter().copied());
-        self.preds.extend(other.preds.iter().copied());
-        before != self.regs.len() + self.preds.len()
+        let r = self.regs.union_with(&other.regs);
+        self.preds.union_with(&other.preds) || r
     }
 }
 

@@ -26,14 +26,25 @@ impl Default for CacheConfig {
 }
 
 /// A direct-mapped cache with per-line valid+tag state.
+///
+/// Counter discipline: `hits`/`misses` classify *demand reads* only
+/// (loads and instruction fetches — the accesses that can stall the
+/// pipeline). Write-through writes that find their line present are
+/// tallied separately in `write_hits`; mixing them into `hits` would
+/// dilute [`Cache::miss_rate`] with accesses that never miss by
+/// construction (write-no-allocate writes to absent lines are not
+/// demand misses — they retire through the write buffer).
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     tags: Vec<Option<u64>>,
-    /// Demand accesses that hit.
-    pub hits: u64,
-    /// Demand accesses that missed (and filled, for reads).
-    pub misses: u64,
+    /// Demand reads that hit.
+    hits: u64,
+    /// Demand reads that missed (and filled the line).
+    misses: u64,
+    /// Write-through writes that found their line present (updated in
+    /// place). Not part of the demand-read miss rate.
+    write_hits: u64,
 }
 
 impl Cache {
@@ -50,6 +61,7 @@ impl Cache {
             tags: vec![None; lines],
             hits: 0,
             misses: 0,
+            write_hits: 0,
         }
     }
 
@@ -81,7 +93,7 @@ impl Cache {
         // Write-through keeps a present line up to date; an absent line is
         // not allocated.
         if self.tags[idx] == Some(tag) {
-            self.hits += 1;
+            self.write_hits += 1;
         }
     }
 
@@ -90,7 +102,22 @@ impl Cache {
         self.config.miss_penalty
     }
 
-    /// Miss rate over demand reads.
+    /// Demand reads that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand reads that missed (and filled the line).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Write-through writes that found their line present.
+    pub fn write_hits(&self) -> u64 {
+        self.write_hits
+    }
+
+    /// Miss rate over demand reads (write traffic excluded).
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -137,6 +164,24 @@ mod tests {
         let mut c = small();
         c.write(0);
         assert!(c.read(0), "write-no-allocate: line still cold");
+    }
+
+    #[test]
+    fn write_hits_do_not_dilute_read_miss_rate() {
+        let mut c = small();
+        assert!(c.read(0)); // miss, fills the line
+        assert!(!c.read(8)); // hit
+                             // A storm of write hits to the cached line must not change the
+                             // demand-read miss rate (historically each one bumped `hits`,
+                             // shrinking miss_rate toward 0).
+        for _ in 0..1000 {
+            c.write(16);
+        }
+        c.write(512); // absent line: no allocate, no counter
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.write_hits(), 1000);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

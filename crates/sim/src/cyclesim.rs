@@ -24,9 +24,8 @@
 use crate::btb::{Btb, BtbConfig};
 use crate::cache::{Cache, CacheConfig};
 use hyperpred_emu::{EmuError, Emulator, Event, TraceSink};
-use hyperpred_ir::{BlockId, FuncId, Module, Op, PredType};
+use hyperpred_ir::{Module, Op, PredType};
 use hyperpred_sched::MachineConfig;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -152,10 +151,35 @@ impl SimStats {
 }
 
 /// The in-order issue model as a trace sink.
+///
+/// # Hot-path layout
+///
+/// This sink receives one [`Event`] per fetched instruction — hundreds of
+/// millions per full-scale sweep — so all per-event state lives in dense,
+/// flat `Vec`s sized once in [`CycleSim::new`] from the module's
+/// per-function block/register/predicate counts. Every lookup is
+/// `table[offset[func] + index]`: no hashing, no allocation, no branching
+/// on map residency. A whole-file `pred_clear`/`pred_set` bumps a
+/// per-function *clear epoch* instead of walking the predicate slots; a
+/// slot whose stamp is stale reads as "no pending write".
+///
+/// # Scoreboard model (per function, not per activation)
+///
+/// Register and predicate ready-times are keyed by *(function,
+/// register)* — by architectural register, not by dynamic activation.
+/// Re-entering a function (a call inside a loop, recursion) therefore
+/// observes the pending write times of the previous activation. That is
+/// the intended model: the simulated machine issues in order with no
+/// register renaming, so consecutive activations reuse the same physical
+/// registers and a fresh activation's reads and writes genuinely
+/// interlock against the previous one's in-flight results, exactly like
+/// back-to-back iterations of a loop inside one function. (Clearing the
+/// scoreboard at call boundaries would instead model a zero-cost rename
+/// of the whole file on every call.) Pinned by the
+/// `reentry_scoreboard_is_per_function_not_per_activation` test.
 pub struct CycleSim {
     machine: MachineConfig,
     config: SimConfig,
-    block_base: HashMap<(FuncId, BlockId), u64>,
     btb: Btb,
     icache: Option<Cache>,
     dcache: Option<Cache>,
@@ -167,12 +191,29 @@ pub struct CycleSim {
     /// Earliest cycle the next instruction may issue (fetch redirects,
     /// misprediction penalties, blocking-cache stalls).
     fetch_ready: u64,
-    /// Cycle each (function, register) value becomes available.
-    reg_ready: HashMap<(u32, u32), u64>,
-    /// Cycle each (function, predicate) value becomes available.
-    pred_ready: HashMap<(u32, u32), u64>,
+    /// Code-layout base address per block, flat over all functions:
+    /// `block_base[block_off[f] + b]`. Blocks outside a layout keep 0.
+    block_base: Vec<u64>,
+    /// Start of each function's slice of `block_base`.
+    block_off: Vec<usize>,
+    /// Cycle each (function, register) value becomes available, flat:
+    /// `reg_ready[reg_off[f] + r]`; 0 = no pending write.
+    reg_ready: Vec<u64>,
+    /// Start of each function's slice of `reg_ready`.
+    reg_off: Vec<usize>,
+    /// Cycle each (function, predicate) value becomes available, flat:
+    /// `pred_ready[pred_off[f] + p]` — meaningful only while the slot's
+    /// stamp in `pred_epoch` matches the function's `clear_epoch`.
+    pred_ready: Vec<u64>,
+    /// Clear-epoch stamp per predicate slot (see `clear_epoch`).
+    pred_epoch: Vec<u64>,
+    /// Start of each function's slice of `pred_ready`/`pred_epoch`.
+    pred_off: Vec<usize>,
+    /// Current clear generation per function; bumped by `pred_clear`/
+    /// `pred_set` so stale per-predicate entries die in O(1).
+    clear_epoch: Vec<u64>,
     /// Cycle the last `pred_clear`/`pred_set` per function takes effect.
-    pred_clear_time: HashMap<u32, u64>,
+    pred_clear_time: Vec<u64>,
     /// Set once the simulated clock passes the watchdog budget; the
     /// emulator polls it via [`TraceSink::aborted`].
     over_budget: bool,
@@ -182,11 +223,24 @@ impl CycleSim {
     /// Builds a sink for `module`. Instruction addresses follow code
     /// layout: 4 bytes per instruction, functions and blocks in order.
     pub fn new(module: &Module, machine: MachineConfig, config: SimConfig) -> CycleSim {
-        let mut block_base = HashMap::new();
+        let nf = module.funcs.len();
+        let mut block_off = Vec::with_capacity(nf);
+        let mut reg_off = Vec::with_capacity(nf);
+        let mut pred_off = Vec::with_capacity(nf);
+        let (mut blocks, mut regs, mut preds) = (0usize, 0usize, 0usize);
+        for f in &module.funcs {
+            block_off.push(blocks);
+            reg_off.push(regs);
+            pred_off.push(preds);
+            blocks += f.blocks.len();
+            regs += f.reg_count as usize;
+            preds += f.pred_count as usize;
+        }
+        let mut block_base = vec![0u64; blocks];
         let mut addr = 0x10000u64; // text base
         for (fi, f) in module.funcs.iter().enumerate() {
             for &b in &f.layout {
-                block_base.insert((FuncId(fi as u32), b), addr);
+                block_base[block_off[fi] + b.0 as usize] = addr;
                 addr += 4 * f.block(b).insts.len() as u64;
             }
         }
@@ -197,7 +251,6 @@ impl CycleSim {
         CycleSim {
             machine,
             config,
-            block_base,
             btb: Btb::new(config.btb),
             icache,
             dcache,
@@ -206,11 +259,32 @@ impl CycleSim {
             slots: machine.issue_width,
             branch_slots: machine.branches_per_cycle,
             fetch_ready: 0,
-            reg_ready: HashMap::new(),
-            pred_ready: HashMap::new(),
-            pred_clear_time: HashMap::new(),
+            block_base,
+            block_off,
+            reg_ready: vec![0; regs],
+            reg_off,
+            pred_ready: vec![0; preds],
+            // Slots start one epoch behind `clear_epoch`, i.e. "absent".
+            pred_epoch: vec![0; preds],
+            pred_off,
+            clear_epoch: vec![1; nf],
+            pred_clear_time: vec![0; nf],
             over_budget: false,
         }
+    }
+
+    /// Cycle predicate `p` of function `fk` is readable: its last define
+    /// if still live in the current clear epoch, floored by the last
+    /// whole-file write's completion time.
+    #[inline]
+    fn pred_time(&self, fk: usize, p: usize) -> u64 {
+        let slot = self.pred_off[fk] + p;
+        let defined = if self.pred_epoch[slot] == self.clear_epoch[fk] {
+            self.pred_ready[slot]
+        } else {
+            0
+        };
+        defined.max(self.pred_clear_time[fk])
     }
 
     #[inline]
@@ -228,10 +302,10 @@ impl CycleSim {
         self.stats.branches = self.btb.branches;
         self.stats.mispredicts = self.btb.mispredicts;
         if let Some(ic) = &self.icache {
-            self.stats.icache_misses = ic.misses;
+            self.stats.icache_misses = ic.misses();
         }
         if let Some(dc) = &self.dcache {
-            self.stats.dcache_misses = dc.misses;
+            self.stats.dcache_misses = dc.misses();
         }
         self.stats
     }
@@ -244,16 +318,11 @@ impl TraceSink for CycleSim {
             self.stats.nullified += 1;
         }
         let inst = ev.inst;
-        let fk = ev.func.0;
+        let fk = ev.func.0 as usize;
         let lat = self.machine.latency;
 
         // --- fetch ------------------------------------------------------
-        let addr = self
-            .block_base
-            .get(&(ev.func, ev.block))
-            .copied()
-            .unwrap_or(0)
-            + 4 * ev.index as u64;
+        let addr = self.block_base[self.block_off[fk] + ev.block.0 as usize] + 4 * ev.index as u64;
         let mut earliest = self.fetch_ready;
         if let Some(ic) = &mut self.icache {
             if ic.read(addr) {
@@ -265,27 +334,18 @@ impl TraceSink for CycleSim {
         }
 
         // --- register / predicate interlocks ------------------------------
+        let ro = self.reg_off[fk];
         for r in inst.src_regs() {
-            if let Some(&t) = self.reg_ready.get(&(fk, r.0)) {
-                earliest = earliest.max(t);
-            }
+            earliest = earliest.max(self.reg_ready[ro + r.0 as usize]);
         }
         if inst.is_partial_reg_def() {
             if let Some(d) = inst.dst {
-                if let Some(&t) = self.reg_ready.get(&(fk, d.0)) {
-                    earliest = earliest.max(t);
-                }
+                earliest = earliest.max(self.reg_ready[ro + d.0 as usize]);
             }
         }
         // The guard must be ready at decode/issue.
         if let Some(g) = inst.guard {
-            let t = self
-                .pred_ready
-                .get(&(fk, g.0))
-                .copied()
-                .unwrap_or(0)
-                .max(self.pred_clear_time.get(&fk).copied().unwrap_or(0));
-            earliest = earliest.max(t);
+            earliest = earliest.max(self.pred_time(fk, g.0 as usize));
         }
         // OR/AND-type destinations are wired, not read-modify-write: defines
         // to the same predicate may issue together, so no interlock on the
@@ -334,33 +394,26 @@ impl TraceSink for CycleSim {
         }
         if !ev.nullified {
             if let Some(d) = inst.dst {
-                self.reg_ready.insert((fk, d.0), issue + result_lat);
+                self.reg_ready[ro + d.0 as usize] = issue + result_lat;
             }
             if matches!(inst.op, Op::PredClear | Op::PredSet) {
                 // Writes the whole file; everything becomes (re)available
-                // one cycle later.
-                self.pred_ready.retain(|&(f2, _), _| f2 != fk);
-                self.pred_clear_time.insert(fk, issue + result_lat);
+                // one cycle later. Bumping the epoch retires every
+                // per-predicate entry of this function in O(1).
+                self.clear_epoch[fk] += 1;
+                self.pred_clear_time[fk] = issue + result_lat;
             }
             for pd in &inst.pdsts {
-                let key = (fk, pd.reg.0);
                 let t = issue + lat.of(inst.op) as u64;
-                match pd.ty {
-                    PredType::U | PredType::UBar => {
-                        self.pred_ready.insert(key, t);
-                    }
+                let ready = match pd.ty {
+                    PredType::U | PredType::UBar => t,
                     // Wired-OR/AND: the value settles once the *latest*
                     // contributing define executes.
-                    _ => {
-                        let cur = self
-                            .pred_ready
-                            .get(&key)
-                            .copied()
-                            .unwrap_or(0)
-                            .max(self.pred_clear_time.get(&fk).copied().unwrap_or(0));
-                        self.pred_ready.insert(key, cur.max(t));
-                    }
-                }
+                    _ => self.pred_time(fk, pd.reg.0 as usize).max(t),
+                };
+                let slot = self.pred_off[fk] + pd.reg.0 as usize;
+                self.pred_ready[slot] = ready;
+                self.pred_epoch[slot] = self.clear_epoch[fk];
             }
         }
 
@@ -749,6 +802,163 @@ mod tests {
             s.ipc() > 1.8,
             "wide issue should overlap independent work: ipc {:.2}",
             s.ipc()
+        );
+    }
+
+    /// Builds `main` calling a div-tailed helper twice. With `shared`,
+    /// both calls target one helper function; otherwise each call gets
+    /// its own identical copy. The helper *reads* its second parameter
+    /// register first and *writes* it last with a 10-cycle divide that no
+    /// later instruction of the same activation consumes — so any stall
+    /// on that register is strictly cross-activation.
+    fn double_call_module(shared: bool) -> Module {
+        let helper = |name: &str| {
+            let mut b = FuncBuilder::new(name);
+            let x = b.param();
+            let d = b.param();
+            let z = b.add(d.into(), Operand::Imm(1));
+            b.op2_to(hyperpred_ir::Op::Div, d, x.into(), Operand::Imm(3));
+            b.ret(Some(z.into()));
+            b.finish()
+        };
+        let mut b = FuncBuilder::new("main");
+        let a = b.call("slow", vec![Operand::Imm(9), Operand::Imm(0)]);
+        let second = if shared { "slow" } else { "slow_copy" };
+        let c = b.call(second, vec![Operand::Imm(9), Operand::Imm(0)]);
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.push(helper("slow"));
+        if !shared {
+            m.push(helper("slow_copy"));
+        }
+        m.link().unwrap();
+        m.verify().unwrap();
+        m
+    }
+
+    /// Pins the scoreboard keying documented on [`CycleSim`]: ready times
+    /// are per (function, architectural register), NOT per dynamic
+    /// activation. Re-entering a function observes the previous
+    /// activation's in-flight writes — the machine has no renaming, so a
+    /// second call really does interlock on the first call's divide still
+    /// in the pipe. Calling two *identical but distinct* functions (same
+    /// dynamic instruction sequence, disjoint scoreboard slices) must be
+    /// faster than calling one function twice.
+    #[test]
+    fn reentry_scoreboard_is_per_function_not_per_activation() {
+        let machine = MachineConfig::one_issue();
+        let mut same = double_call_module(true);
+        schedule_module(&mut same, &machine);
+        let mut distinct = double_call_module(false);
+        schedule_module(&mut distinct, &machine);
+        let s_same = simulate(&same, "main", &[], machine, SimConfig::default()).unwrap();
+        let s_distinct = simulate(&distinct, "main", &[], machine, SimConfig::default()).unwrap();
+        assert_eq!(s_same.ret, s_distinct.ret, "identical computation");
+        assert_eq!(s_same.insts, s_distinct.insts, "identical dynamic stream");
+        assert!(
+            s_same.cycles > s_distinct.cycles,
+            "re-entry must interlock on the prior activation's pending div: \
+             {} !> {} cycles",
+            s_same.cycles,
+            s_distinct.cycles
+        );
+        // The stall is the div latency minus the instructions between the
+        // write and the re-entrant read (ret/call/add) — several cycles.
+        assert!(
+            s_same.cycles - s_distinct.cycles >= 4,
+            "expected a multi-cycle cross-activation stall, got {}",
+            s_same.cycles - s_distinct.cycles
+        );
+    }
+
+    /// A branch whose guard is sometimes false: i even -> executed and
+    /// taken, i odd -> nullified (fetched, suppressed, reported as
+    /// fall-through per the trace contract).
+    fn guarded_branch_module(n: i64) -> Module {
+        use hyperpred_ir::PredType;
+        let mut b = FuncBuilder::new("main");
+        let i = b.mov(Operand::Imm(0));
+        let body = b.block();
+        let t = b.block();
+        let join = b.block();
+        let exit = b.block();
+        b.jump(body);
+        b.switch_to(body);
+        let r = b.op2(hyperpred_ir::Op::And, i.into(), Operand::Imm(1));
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Eq,
+            &[(p, PredType::U)],
+            r.into(),
+            Operand::Imm(0),
+            None,
+        );
+        // Condition is constant-true: every *executed* instance is taken.
+        b.br(CmpOp::Eq, Operand::Imm(0), Operand::Imm(0), t);
+        b.guard_last(p);
+        b.jump(join);
+        b.switch_to(t);
+        b.jump(join);
+        b.switch_to(join);
+        let i2 = b.add(i.into(), Operand::Imm(1));
+        b.mov_to(i, i2.into());
+        b.br(CmpOp::Lt, i.into(), Operand::Imm(n), body);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(Some(i.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        m.verify().unwrap();
+        m
+    }
+
+    /// Pins how nullified predicated branches meet the branch machinery:
+    /// a nullified branch is still a fetched branch-class instruction, so
+    /// it counts toward [`SimStats::branches`] and it consults AND
+    /// updates the BTB with its architectural outcome `taken = false`
+    /// (the trace contract reports nullified branches as fall-through).
+    /// This matches the paper's Table 2 accounting — fetched predicated
+    /// instructions occupy fetch/issue (and branch-unit) resources whether
+    /// or not they execute — and models a sequencer that resolves every
+    /// fetched branch.
+    ///
+    /// The observable: an execute-taken / nullified alternation looks
+    /// like a taken/not-taken alternation to the 2-bit counter, which is
+    /// its worst case (~every instance mispredicts). If nullified
+    /// branches skipped the BTB, the branch would look always-taken and
+    /// mispredict about once.
+    #[test]
+    fn nullified_branches_count_and_train_the_btb() {
+        let n = 200u64;
+        let mut m = guarded_branch_module(n as i64);
+        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        let s = simulate(
+            &m,
+            "main",
+            &[],
+            MachineConfig::new(4, 1),
+            SimConfig::default(),
+        )
+        .unwrap();
+        // Odd i: guard false, branch fetched but suppressed.
+        assert_eq!(s.nullified, n / 2);
+        // Every fetch of the guarded branch counts, nullified included:
+        // n guarded-branch fetches + n backedge fetches at minimum.
+        assert!(
+            s.branches >= 2 * n,
+            "nullified branch fetches must count toward branches: {}",
+            s.branches
+        );
+        // The nullified instances update the counter as not-taken, so the
+        // alternation defeats the 2-bit hysteresis on the guarded branch.
+        assert!(
+            s.mispredicts >= n * 3 / 4,
+            "nullified branches must train the BTB toward not-taken \
+             (expected ~{n} mispredicts on the alternating branch, got {})",
+            s.mispredicts
         );
     }
 
