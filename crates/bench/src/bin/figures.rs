@@ -30,16 +30,30 @@
 //! failed. `--inject-faults` (implies `--keep-going`) appends the two
 //! fault fixtures — a compile-stage panic and a cycle-budget buster — to
 //! the workload list; CI uses it to prove containment end to end.
+//!
+//! The durability flags (each implies `--keep-going`):
+//!
+//! * `--resume FILE` — journal every completed cell to `FILE` (JSONL) and
+//!   reuse journaled cells on a later run, so a killed run resumes where
+//!   it left off with bit-identical stats;
+//! * `--retries N` — re-run transiently failing cells up to `N` attempts;
+//! * `--deadline SECS` — per-cell wall-clock watchdog alongside the cycle
+//!   budget;
+//! * `--triage DIR` — write a self-contained repro bundle per permanent
+//!   failure (replay with `hyperpredc repro`);
+//! * `--max-cells N` — stop claiming cells past queue index `N` (chaos
+//!   hook: a deterministic "killed mid-run" for the resume tests).
 
 use hyperpred::faults::{cycle_hog_fixture, panic_fixture};
 use hyperpred::{
-    branch_table, instruction_table, run_experiment, run_matrix_with_stats,
-    run_matrix_workloads_policy, speedup_table, BenchResult, Experiment, FailurePolicy, Pipeline,
+    branch_table, instruction_table, run_experiment, run_matrix_configured, run_matrix_with_stats,
+    speedup_table, summarize_run, BenchResult, Experiment, FailurePolicy, MatrixConfig, Pipeline,
+    RetryPolicy, RunJournal, TriageConfig,
 };
 use hyperpred_bench::hotpath::{check_regression, run_bench, BenchConfig};
 use hyperpred_workloads::Scale;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cycle budget used with `--inject-faults`: far above any test-scale
 /// workload (tens of thousands of cycles) and far below the hog fixture
@@ -53,6 +67,11 @@ struct Options {
     verbose: bool,
     keep_going: bool,
     inject_faults: bool,
+    resume: Option<String>,
+    retries: u32,
+    deadline: Option<f64>,
+    triage: Option<String>,
+    max_cells: Option<usize>,
     bench: Option<usize>,
     bench_out: String,
     bench_baseline: Option<String>,
@@ -64,6 +83,8 @@ fn usage() -> ExitCode {
         "usage: figures [fig8|fig9|fig10|fig11|table2|table3 ...] \
          [--scale test|full] [--threads N] [--serial] [--verbose] \
          [--keep-going] [--inject-faults] \
+         [--resume journal.jsonl] [--retries N] [--deadline SECS] \
+         [--triage DIR] [--max-cells N] \
          [--bench N [--bench-out FILE] [--bench-baseline FILE]]"
     );
     ExitCode::from(2)
@@ -77,6 +98,11 @@ fn parse_args() -> Result<Options, ExitCode> {
         verbose: false,
         keep_going: false,
         inject_faults: false,
+        resume: None,
+        retries: 1,
+        deadline: None,
+        triage: None,
+        max_cells: None,
         bench: None,
         bench_out: "BENCH_hotpath.json".to_string(),
         bench_baseline: None,
@@ -103,6 +129,32 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--keep-going" => opts.keep_going = true,
             "--inject-faults" => {
                 opts.inject_faults = true;
+                opts.keep_going = true;
+            }
+            // The durability flags only make sense when partial progress
+            // is kept, so each implies --keep-going.
+            "--resume" => {
+                opts.resume = Some(it.next().ok_or_else(usage)?);
+                opts.keep_going = true;
+            }
+            "--retries" => {
+                opts.retries = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+                opts.keep_going = true;
+            }
+            "--deadline" => {
+                let secs: f64 = it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(usage());
+                }
+                opts.deadline = Some(secs);
+                opts.keep_going = true;
+            }
+            "--triage" => {
+                opts.triage = Some(it.next().ok_or_else(usage)?);
+                opts.keep_going = true;
+            }
+            "--max-cells" => {
+                opts.max_cells = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
                 opts.keep_going = true;
             }
             "--bench" => {
@@ -209,23 +261,42 @@ fn main() -> ExitCode {
             workloads.push(panic_fixture());
             workloads.push(cycle_hog_fixture(4_000_000));
         }
-        let run = run_matrix_workloads_policy(
+        let journal = match &opts.resume {
+            Some(p) => match RunJournal::open(p) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("figures: cannot open journal {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let triage = opts.triage.as_ref().map(TriageConfig::new);
+        let run = run_matrix_configured(
             &exps,
             &workloads,
             &pipe,
-            opts.threads,
-            FailurePolicy::KeepGoing,
+            &MatrixConfig {
+                threads: opts.threads,
+                policy: FailurePolicy::KeepGoing,
+                retry: RetryPolicy {
+                    max_attempts: opts.retries.max(1),
+                    backoff: Duration::from_millis(50),
+                },
+                deadline: opts.deadline.map(Duration::from_secs_f64),
+                journal: journal.as_ref(),
+                triage: triage.as_ref(),
+                cell_limit: opts.max_cells,
+            },
         );
-        eprintln!("{}", run.stats.summary());
+        let summary = summarize_run(&run);
+        eprintln!("{}", summary.text);
         if opts.verbose {
             for cell in &run.stats.cells {
                 eprintln!("  {cell}");
             }
         }
-        if !run.report.is_empty() {
-            any_failed = true;
-            eprint!("{}", run.report);
-        }
+        any_failed = summary.failed;
         // Tables are rendered from the healthy slots only.
         run.outcomes
             .iter()
@@ -282,7 +353,7 @@ fn main() -> ExitCode {
         }
     }
     if any_failed {
-        eprintln!("figures: some cells failed; tables above are partial");
+        eprintln!("figures: run incomplete (failed or unclaimed cells); tables above are partial");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -6,6 +6,8 @@
 //! hyperpredc sim  prog.c --model all  --issue 8 --caches
 //! hyperpredc dump prog.c --model cmov
 //! hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]
+//!                   [--resume journal.jsonl] [--retries N] [--triage DIR]
+//! hyperpredc repro <bundle-dir> [--minimize]
 //! hyperpredc lint <workload|all|file.c> [--model all] [--sabotage ifconvert]
 //! ```
 //!
@@ -14,7 +16,16 @@
 //! cache and wall-time counters. With `--keep-going` the engine contains
 //! per-cell failures: the tables render every healthy cell, a failure
 //! summary goes to stderr, and the exit code is nonzero iff any cell
-//! failed.
+//! failed. `--resume` journals every completed cell to (and reuses
+//! already-journaled cells from) an append-only JSONL file, so a killed
+//! run resumes where it left off; `--retries` re-runs transient failures;
+//! `--triage` writes a repro bundle per permanent failure. Each of these
+//! implies `--keep-going`.
+//!
+//! `repro` replays a triage bundle: exit 1 when the recorded failure
+//! reproduces with the same signature, 0 when the cell now passes, 3 when
+//! it fails differently. `--minimize` additionally delta-debugs the
+//! source and writes `minimized.c` into the bundle.
 //!
 //! `lint` compiles with the semantic checkpoint runner forced on: after
 //! every pass the IR is re-verified against the dataflow checkers
@@ -30,11 +41,13 @@ use hyperpred::sched::MachineConfig;
 use hyperpred::sim::{CacheConfig, MemoryModel, SimConfig};
 use hyperpred::workloads::Scale;
 use hyperpred::{
-    branch_table, instruction_table, run_matrix_policy, run_matrix_with_stats, speedup_table,
-    BenchResult, EngineStats, Experiment, FailurePolicy,
+    branch_table, instruction_table, run_matrix_configured, run_matrix_with_stats, speedup_table,
+    summarize_run, BenchResult, Experiment, FailurePolicy, MatrixConfig, RetryPolicy, RunJournal,
+    TriageConfig,
 };
 use hyperpred::{evaluate, speedup, Model, Pipeline, PipelineError, Stage};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     command: String,
@@ -50,7 +63,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hyperpredc <run|sim|dump> <file.c> \
          [--model sup|cmov|full|all] [--issue K] [--branches B] [--caches] [--args a,b,c]\n\
-         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going]\n\
+         \x20      hyperpredc report [--threads N] [--scale test|full] [--verbose] [--keep-going] \
+         [--resume journal.jsonl] [--retries N] [--triage DIR]\n\
+         \x20      hyperpredc repro <bundle-dir> [--minimize]\n\
          \x20      hyperpredc lint <workload|all|file.c> [--model sup|cmov|full|all] \
          [--scale test|full] [--sabotage <pass>] [--issue K] [--branches B] [--args a,b,c]"
     );
@@ -182,6 +197,9 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut scale = Scale::Full;
     let mut verbose = false;
     let mut keep_going = false;
+    let mut resume: Option<String> = None;
+    let mut retries = 1u32;
+    let mut triage_dir: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--threads" => {
@@ -199,8 +217,26 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
             }
             "--verbose" => verbose = true,
             "--keep-going" => keep_going = true,
+            "--resume" => {
+                let Some(p) = args.next() else { return usage() };
+                resume = Some(p);
+            }
+            "--retries" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                retries = n;
+            }
+            "--triage" => {
+                let Some(d) = args.next() else { return usage() };
+                triage_dir = Some(d);
+            }
             _ => return usage(),
         }
+    }
+    // The durability flags only make sense when partial progress is kept.
+    if resume.is_some() || triage_dir.is_some() || retries > 1 {
+        keep_going = true;
     }
     let exps = [
         Experiment::fig8(),
@@ -208,32 +244,63 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
         Experiment::fig10(),
         Experiment::fig11(),
     ];
-    let mut any_failed = false;
-    let (figures, stats): (Vec<Vec<BenchResult>>, EngineStats) = if keep_going {
-        let run = run_matrix_policy(
+    if keep_going {
+        let journal = match &resume {
+            Some(p) => match RunJournal::open(p) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("hyperpredc: cannot open journal {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let triage = triage_dir.map(TriageConfig::new);
+        let workloads = hyperpred::workloads::all(scale);
+        let run = run_matrix_configured(
             &exps,
-            scale,
+            &workloads,
             &Pipeline::default(),
-            threads,
-            FailurePolicy::KeepGoing,
+            &MatrixConfig {
+                threads,
+                policy: FailurePolicy::KeepGoing,
+                retry: RetryPolicy {
+                    max_attempts: retries.max(1),
+                    backoff: Duration::from_millis(50),
+                },
+                journal: journal.as_ref(),
+                triage: triage.as_ref(),
+                ..MatrixConfig::default()
+            },
         );
-        if !run.report.is_empty() {
-            any_failed = true;
-            eprint!("{}", run.report);
-        }
-        let figures = run
+        let figures: Vec<Vec<BenchResult>> = run
             .outcomes
             .iter()
             .map(|row| row.iter().filter_map(|o| o.ok().cloned()).collect())
             .collect();
-        (figures, run.stats)
-    } else {
-        match run_matrix_with_stats(&exps, scale, &Pipeline::default(), threads) {
-            Ok(out) => (out.figures, out.stats),
-            Err(e) => {
-                eprintln!("hyperpredc: {e}");
-                return ExitCode::FAILURE;
+        for (exp, results) in exps.iter().zip(&figures) {
+            println!("{}", speedup_table(exp, results));
+        }
+        println!("{}", instruction_table(&figures[0]));
+        println!("{}", branch_table(&figures[0]));
+        let summary = summarize_run(&run);
+        eprintln!("{}", summary.text);
+        if verbose {
+            for cell in &run.stats.cells {
+                eprintln!("  {cell}");
             }
+        }
+        if summary.failed {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    let (figures, stats) = match run_matrix_with_stats(&exps, scale, &Pipeline::default(), threads)
+    {
+        Ok(out) => (out.figures, out.stats),
+        Err(e) => {
+            eprintln!("hyperpredc: {e}");
+            return ExitCode::FAILURE;
         }
     };
     for (exp, results) in exps.iter().zip(&figures) {
@@ -247,11 +314,78 @@ fn report(mut args: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("  {cell}");
         }
     }
-    if any_failed {
-        eprintln!("hyperpredc: some cells failed; tables above are partial");
-        return ExitCode::FAILURE;
-    }
     ExitCode::SUCCESS
+}
+
+/// Replays a triage bundle and compares failure signatures.
+///
+/// Exit codes: 1 = the recorded failure reproduced (same signature),
+/// 0 = the cell now passes, 3 = it failed with a *different* signature,
+/// 2 = the bundle could not be loaded.
+fn repro(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(dir) = args.next().filter(|d| !d.starts_with("--")) else {
+        return usage();
+    };
+    let mut minimize = false;
+    for flag in args {
+        match flag.as_str() {
+            "--minimize" => minimize = true,
+            _ => return usage(),
+        }
+    }
+    // Exit 2 like other bad-input paths: 1 would read as "reproduced".
+    let bundle = match hyperpred::load_bundle(&dir) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hyperpredc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bundle: {} / {} / {} ({} stage, {} attempt(s))",
+        bundle.cell.workload,
+        bundle.cell.experiment,
+        hyperpred::journal::model_slug(bundle.cell.model),
+        bundle.cell.stage,
+        bundle.cell.attempts,
+    );
+    println!("recorded signature: {}", bundle.cell.signature);
+    let outcome = match hyperpred::triage::replay(&bundle.cell, &bundle.source) {
+        Some(sig) if sig == bundle.cell.signature => {
+            println!("reproduced: {sig}");
+            ExitCode::from(1)
+        }
+        Some(sig) => {
+            println!("different failure: {sig}");
+            ExitCode::from(3)
+        }
+        None => {
+            println!("cell now passes; recorded failure did not reproduce");
+            ExitCode::SUCCESS
+        }
+    };
+    if minimize {
+        if !hyperpred::triage::minimizable(&bundle.cell.signature) {
+            println!("minimizer: budget failures are not minimized");
+        } else {
+            match hyperpred::minimize_source(&bundle.cell, &bundle.source) {
+                Some(min) => {
+                    let path = bundle.dir.join("minimized.c");
+                    match std::fs::write(&path, &min.source) {
+                        Ok(()) => println!(
+                            "minimized: {} -> {} source lines ({})",
+                            min.original_lines,
+                            min.minimized_lines,
+                            path.display()
+                        ),
+                        Err(e) => eprintln!("hyperpredc: cannot write {}: {e}", path.display()),
+                    }
+                }
+                None => println!("minimizer: failure does not reproduce, nothing to shrink"),
+            }
+        }
+    }
+    outcome
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -307,6 +441,7 @@ fn main() -> ExitCode {
         let mut it = std::env::args().skip(1);
         match it.next().as_deref() {
             Some("report") => return report(it),
+            Some("repro") => return repro(it),
             Some("lint") => return lint(it),
             _ => {}
         }

@@ -21,14 +21,12 @@ pub struct BenchResult {
 impl BenchResult {
     /// Speedup of model `m` versus the scalar baseline.
     pub fn speedup(&self, m: Model) -> f64 {
-        let i = Model::ALL.iter().position(|&x| x == m).expect("model");
-        speedup(&self.base, &self.models[i])
+        speedup(&self.base, &self.models[m.index()])
     }
 
     /// Statistics of model `m`.
     pub fn stats(&self, m: Model) -> &SimStats {
-        let i = Model::ALL.iter().position(|&x| x == m).expect("model");
-        &self.models[i]
+        &self.models[m.index()]
     }
 }
 
@@ -137,7 +135,7 @@ pub fn run_workload(
         exp.baseline_sim(),
         pipe,
     )?;
-    let mut models = Vec::with_capacity(3);
+    let mut models: [SimStats; 3] = Default::default();
     for model in Model::ALL {
         let s = evaluate(&w.source, &w.args, model, exp.machine(), exp.sim(), pipe)?;
         if s.ret != base.ret {
@@ -151,12 +149,12 @@ pub fn run_workload(
                 want: base.ret,
             });
         }
-        models.push(s);
+        models[model.index()] = s;
     }
     Ok(BenchResult {
         name: w.name,
         base,
-        models: models.try_into().expect("three models"),
+        models,
     })
 }
 

@@ -21,9 +21,40 @@
 
 use hyperpred_ir::{Module, Op, Operand};
 use hyperpred_workloads::Workload;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Source marker the pipeline panics on when fault injection is enabled.
 pub const PANIC_MARKER: &str = "__hyperpred_fault_panic__";
+
+/// Source marker for the *transient* panic fixture: compiling a source
+/// carrying it panics only while the process-wide budget armed by
+/// [`arm_flaky`] is nonzero, standing in for flaky infrastructure (OOM
+/// kills, bit flips) that a retry policy should absorb.
+pub const FLAKY_MARKER: &str = "__hyperpred_fault_flaky__";
+
+/// Function-name marker for the simulate-stage panic fixture. Like
+/// [`DIVERGE_MARKER`] it is a function *name*, so it survives lowering:
+/// drivers that honor fault injection call
+/// [`maybe_injected_sim_panic`] on the compiled module right before
+/// simulating it, which panics after compilation succeeded — giving the
+/// failure a lowered-IR artifact to dump and minimize.
+pub const SIM_PANIC_MARKER: &str = "__hyperpred_fault_simpanic__";
+
+/// Remaining deliberate failures of the flaky fixture (process-wide).
+static FLAKY_BUDGET: AtomicU32 = AtomicU32::new(0);
+
+/// Arms the flaky fixture: the next `n` compiles of a source carrying
+/// [`FLAKY_MARKER`] (under fault injection) panic, then it heals.
+pub fn arm_flaky(n: u32) {
+    FLAKY_BUDGET.store(n, Ordering::SeqCst);
+}
+
+/// Consumes one unit of the flaky budget; true while failures remain.
+pub(crate) fn flaky_should_panic() -> bool {
+    FLAKY_BUDGET
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+}
 
 /// Function-name marker for the result-divergence fixture. The marker is
 /// a *function name* (not a comment) so it survives lowering into the IR:
@@ -92,6 +123,59 @@ pub fn panic_fixture() -> Workload {
     }
 }
 
+/// A workload whose compile fails transiently: with fault injection on
+/// and [`arm_flaky`] armed, each compile attempt panics and consumes one
+/// unit of the budget, after which the workload compiles cleanly. Used to
+/// prove the matrix retry policy re-runs (and un-memoizes) transient
+/// failures. Inert without injection or with an exhausted budget.
+pub fn flaky_fixture() -> Workload {
+    Workload {
+        name: "inject-flaky",
+        description: "fault fixture: transient compile panic while the flaky budget lasts",
+        source: format!(
+            "/* {FLAKY_MARKER} */\n\
+             int main() {{\n\
+             \x20   int i; int s; s = 0;\n\
+             \x20   for (i = 0; i < 60; i += 1) {{ if (i % 3 == 0) s += 2; }}\n\
+             \x20   return s;\n}}"
+        ),
+        args: vec![],
+    }
+}
+
+/// A workload whose *simulation* panics under fault injection: the marker
+/// is a function name, so it rides through compilation into the scheduled
+/// module, and [`maybe_injected_sim_panic`] trips on it just before the
+/// timing run. Because compilation has succeeded by then, the failure has
+/// lowered IR to dump into a repro bundle and minimize. Inert without
+/// injection.
+pub fn sim_panic_fixture() -> Workload {
+    Workload {
+        name: "inject-simpanic",
+        description: "fault fixture: simulate-stage panic when injection is enabled",
+        source: format!(
+            "int {SIM_PANIC_MARKER}(int x) {{ return x + 7; }}\n\
+             int main() {{\n\
+             \x20   int i; int s; s = 0;\n\
+             \x20   for (i = 0; i < 30; i += 1) {{\n\
+             \x20       if (i % 2 == 0) s += {SIM_PANIC_MARKER}(i);\n\
+             \x20   }}\n\
+             \x20   return s;\n}}"
+        ),
+        args: vec![],
+    }
+}
+
+/// Panics iff `module` carries [`SIM_PANIC_MARKER`] — the simulate-stage
+/// injection point. Drivers honoring
+/// [`Pipeline::fault_injection`](crate::Pipeline::fault_injection) call
+/// this on the compiled module right before simulating it.
+pub fn maybe_injected_sim_panic(module: &Module) {
+    if module.funcs.iter().any(|f| f.name == SIM_PANIC_MARKER) {
+        panic!("injected simulate-stage panic ({SIM_PANIC_MARKER} fixture)");
+    }
+}
+
 /// A terminating but long-running workload: roughly `6 * iters` dynamic
 /// instructions, so its simulated cycle count exceeds any budget set
 /// below that. Used with a lowered
@@ -129,5 +213,15 @@ mod tests {
         let w = cycle_hog_fixture(100);
         pipe.compile(&w.source, &w.args, Model::Superblock, &machine)
             .expect("hog fixture is an ordinary program");
+        let w = flaky_fixture();
+        pipe.compile(&w.source, &w.args, Model::FullPred, &machine)
+            .expect("flaky fixture compiles cleanly when injection is off");
+        let w = sim_panic_fixture();
+        let m = pipe
+            .compile(&w.source, &w.args, Model::FullPred, &machine)
+            .expect("sim-panic fixture compiles cleanly");
+        // The marker function must survive lowering — the simulate-stage
+        // injection point keys on it.
+        assert!(m.funcs.iter().any(|f| f.name == SIM_PANIC_MARKER));
     }
 }

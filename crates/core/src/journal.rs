@@ -1,0 +1,432 @@
+//! Durable run journal: crash-safe resume for matrix runs.
+//!
+//! A [`RunJournal`] is an append-only JSONL file (hand-rolled, like
+//! `BENCH_hotpath.json` — no serde in the tree) recording the exact
+//! [`SimStats`] of every completed matrix cell, keyed by a *config
+//! fingerprint*. A run handed a journal skips already-journaled cells by
+//! copying their stats back bit-identically and re-runs only missing or
+//! previously-failed cells, so a killed process loses at most the cells
+//! that were in flight.
+//!
+//! # Fingerprints
+//!
+//! The fingerprint is an FNV-1a 64-bit hash over a canonical string of
+//! everything that determines a cell's stats: the crate version, a hash
+//! of the full pipeline configuration, the workload name, a hash of its
+//! *source text* (which also covers the scale — test and full inputs are
+//! different sources), its arguments, the experiment title, the model,
+//! and the machine/simulation parameters (issue width, branch slots,
+//! memory model, cycle budget). Any change to any of these produces a
+//! different fingerprint, so stale entries are ignored — never silently
+//! reused. The cost of a false mismatch is only a recompute; the cost of
+//! a false match would be wrong numbers, so the key is deliberately
+//! conservative.
+//!
+//! # File format
+//!
+//! One JSON object per line. The first line is a `meta` record; every
+//! completed cell appends a `cell` record:
+//!
+//! ```text
+//! {"kind":"meta","version":1,"crate_version":"0.1.0"}
+//! {"kind":"cell","version":1,"fp":"92ab...","workload":"wc","experiment":"Figure 8: ...","model":"fullpred","cycles":123,...,"ret":42}
+//! ```
+//!
+//! Only successful cells are journaled — failures re-run on resume.
+//! Loading tolerates a torn trailing line (a crash mid-append) and skips
+//! records whose per-line `version` does not match [`JOURNAL_VERSION`];
+//! both simply fall back to re-running the cell.
+
+use hyperpred_sim::SimStats;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use crate::pipeline::Model;
+
+/// Schema version stamped into every record so future shape changes are
+/// detected (and skipped) instead of silently mis-parsed.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit hash — small, dependency-free, and stable across runs
+/// and platforms (unlike `DefaultHasher`, which is randomly seeded).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One completed cell, ready to append.
+#[derive(Debug, Clone)]
+pub struct JournalEntry<'a> {
+    /// Config fingerprint the stats are keyed by.
+    pub fingerprint: &'a str,
+    /// Workload name (human context; the fingerprint is the key).
+    pub workload: &'a str,
+    /// Figure title, or `"baseline"` for the shared denominator cell.
+    pub experiment: &'a str,
+    /// Model simulated (`None` for the baseline cell).
+    pub model: Option<Model>,
+    /// The cell's exact simulation statistics.
+    pub stats: &'a SimStats,
+}
+
+/// The durable journal: an in-memory fingerprint → stats map backed by an
+/// append-only JSONL file. Appends are a single `write` + flush under a
+/// mutex, so concurrent workers interleave whole lines, never bytes.
+pub struct RunJournal {
+    path: PathBuf,
+    cells: Mutex<HashMap<String, SimStats>>,
+    file: Mutex<File>,
+}
+
+impl std::fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("path", &self.path)
+            .field("cells", &self.len())
+            .finish()
+    }
+}
+
+impl RunJournal {
+    /// Opens (creating if absent) the journal at `path` and loads every
+    /// valid `cell` record. A torn trailing line or a record with a
+    /// mismatched schema version is skipped, not an error.
+    ///
+    /// # Errors
+    /// Fails only on I/O errors (unreadable file, uncreatable path).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<RunJournal> {
+        let path = path.as_ref().to_path_buf();
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut cells = HashMap::new();
+        for line in existing.lines() {
+            if let Some((fp, stats)) = parse_cell_line(line) {
+                cells.insert(fp, stats);
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if existing.is_empty() {
+            let meta = format!(
+                "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
+                env!("CARGO_PKG_VERSION")
+            );
+            file.write_all(meta.as_bytes())?;
+            file.flush()?;
+        }
+        Ok(RunJournal {
+            path,
+            cells: Mutex::new(cells),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The file backing this journal.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of journaled cells.
+    pub fn len(&self) -> usize {
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no cells are journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The journaled stats for `fingerprint`, if any.
+    pub fn lookup(&self, fingerprint: &str) -> Option<SimStats> {
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(fingerprint)
+            .cloned()
+    }
+
+    /// Appends one completed cell: a single line written and flushed
+    /// atomically with respect to other appends, then mirrored into the
+    /// in-memory map.
+    ///
+    /// # Errors
+    /// Fails on I/O errors; the in-memory map is updated regardless, so a
+    /// full disk degrades durability, not correctness, of the current run.
+    pub fn record(&self, entry: &JournalEntry<'_>) -> io::Result<()> {
+        let line = cell_line(entry);
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(entry.fingerprint.to_string(), entry.stats.clone());
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// The journal slug for a model slot (`"baseline"` when `None`).
+pub fn model_slug(model: Option<Model>) -> &'static str {
+    match model {
+        None => "baseline",
+        Some(Model::Superblock) => "superblock",
+        Some(Model::CondMove) => "condmove",
+        Some(Model::FullPred) => "fullpred",
+    }
+}
+
+/// Serializes one cell record as a JSONL line (trailing newline included).
+fn cell_line(entry: &JournalEntry<'_>) -> String {
+    let s = entry.stats;
+    format!(
+        "{{\"kind\":\"cell\",\"version\":{JOURNAL_VERSION},\"fp\":\"{}\",\
+         \"workload\":\"{}\",\"experiment\":\"{}\",\"model\":\"{}\",\
+         \"cycles\":{},\"insts\":{},\"nullified\":{},\"branches\":{},\
+         \"mispredicts\":{},\"loads\":{},\"stores\":{},\
+         \"icache_misses\":{},\"dcache_misses\":{},\"ret\":{}}}\n",
+        escape(entry.fingerprint),
+        escape(entry.workload),
+        escape(entry.experiment),
+        model_slug(entry.model),
+        s.cycles,
+        s.insts,
+        s.nullified,
+        s.branches,
+        s.mispredicts,
+        s.loads,
+        s.stores,
+        s.icache_misses,
+        s.dcache_misses,
+        s.ret,
+    )
+}
+
+/// Parses one line; `None` for meta records, foreign versions, torn or
+/// malformed lines (all of which just mean "re-run that cell").
+fn parse_cell_line(line: &str) -> Option<(String, SimStats)> {
+    if !line.trim_end().ends_with('}') {
+        return None; // torn trailing line from a crash mid-append
+    }
+    if field_str(line, "kind")? != "cell" || field_u64(line, "version")? != JOURNAL_VERSION {
+        return None;
+    }
+    let fp = field_str(line, "fp")?;
+    let stats = SimStats {
+        cycles: field_u64(line, "cycles")?,
+        insts: field_u64(line, "insts")?,
+        nullified: field_u64(line, "nullified")?,
+        branches: field_u64(line, "branches")?,
+        mispredicts: field_u64(line, "mispredicts")?,
+        loads: field_u64(line, "loads")?,
+        stores: field_u64(line, "stores")?,
+        icache_misses: field_u64(line, "icache_misses")?,
+        dcache_misses: field_u64(line, "dcache_misses")?,
+        ret: field_i64(line, "ret")?,
+    };
+    Some((fp, stats))
+}
+
+/// Escapes a string for our JSON writer (backslash, quote, newline).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+pub(crate) fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c == '\\' {
+            match it.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts `"key":"value"` (escape-aware) from a hand-rolled JSON line.
+pub(crate) fn field_str(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(unescape(&rest[..end?]))
+}
+
+/// Extracts an unsigned integer field from a hand-rolled JSON line.
+pub(crate) fn field_u64(json: &str, key: &str) -> Option<u64> {
+    field_number(json, key)?.parse().ok()
+}
+
+/// Extracts a signed integer field from a hand-rolled JSON line.
+pub(crate) fn field_i64(json: &str, key: &str) -> Option<i64> {
+    field_number(json, key)?.parse().ok()
+}
+
+fn field_number<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(seed: u64) -> SimStats {
+        SimStats {
+            cycles: seed,
+            insts: seed + 1,
+            nullified: seed + 2,
+            branches: seed + 3,
+            mispredicts: seed + 4,
+            loads: seed + 5,
+            stores: seed + 6,
+            icache_misses: seed + 7,
+            dcache_misses: seed + 8,
+            ret: -(seed as i64),
+        }
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // Pinned reference values: the fingerprint scheme depends on this
+        // hash never changing across versions or platforms.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+
+    #[test]
+    fn cell_lines_round_trip_exactly() {
+        let s = stats(1000);
+        let entry = JournalEntry {
+            fingerprint: "deadbeef00112233",
+            workload: "wc",
+            experiment: "Figure 8: 8-issue, 1-branch, perfect caches",
+            model: Some(Model::FullPred),
+            stats: &s,
+        };
+        let line = cell_line(&entry);
+        let (fp, parsed) = parse_cell_line(line.trim_end()).expect("parses");
+        assert_eq!(fp, "deadbeef00112233");
+        assert_eq!(parsed, s, "stats must round-trip bit-identically");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let ugly = "quote \" backslash \\ newline \n done";
+        assert_eq!(unescape(&escape(ugly)), ugly);
+        let line = format!("{{\"kind\":\"x\",\"name\":\"{}\"}}", escape(ugly));
+        assert_eq!(field_str(&line, "name").as_deref(), Some(ugly));
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_are_skipped() {
+        // Torn line: a crash mid-append leaves no closing brace.
+        assert!(
+            parse_cell_line("{\"kind\":\"cell\",\"version\":1,\"fp\":\"ab\",\"cycles\":4")
+                .is_none()
+        );
+        // Meta record and foreign schema versions are not cells.
+        assert!(parse_cell_line("{\"kind\":\"meta\",\"version\":1}").is_none());
+        let s = stats(5);
+        let line = cell_line(&JournalEntry {
+            fingerprint: "ff",
+            workload: "w",
+            experiment: "baseline",
+            model: None,
+            stats: &s,
+        });
+        let foreign = line.replace("\"version\":1", "\"version\":99");
+        assert!(parse_cell_line(foreign.trim_end()).is_none());
+        assert!(parse_cell_line(line.trim_end()).is_some());
+    }
+
+    #[test]
+    fn journal_persists_and_reloads() {
+        let dir = std::env::temp_dir().join("hyperpred-journal-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        let s1 = stats(10);
+        let s2 = stats(20);
+        {
+            let j = RunJournal::open(&path).unwrap();
+            assert!(j.is_empty());
+            j.record(&JournalEntry {
+                fingerprint: "aa",
+                workload: "w1",
+                experiment: "baseline",
+                model: None,
+                stats: &s1,
+            })
+            .unwrap();
+            j.record(&JournalEntry {
+                fingerprint: "bb",
+                workload: "w2",
+                experiment: "Figure 8",
+                model: Some(Model::CondMove),
+                stats: &s2,
+            })
+            .unwrap();
+            assert_eq!(j.lookup("aa"), Some(s1.clone()));
+        }
+        // Simulate a crash mid-append: a torn half-line at the tail.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"kind\":\"cell\",\"version\":1,\"fp\":\"cc\",\"cyc").unwrap();
+        }
+        let j = RunJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 2, "torn tail must be dropped, not fatal");
+        assert_eq!(j.lookup("aa"), Some(s1));
+        assert_eq!(j.lookup("bb"), Some(s2));
+        assert_eq!(j.lookup("cc"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,23 +41,28 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod journal;
 pub mod matrix;
 pub mod pipeline;
 pub mod report;
+pub mod triage;
 
 pub use experiments::{
     branch_table, instruction_table, mean_speedup, run_experiment, run_workload, speedup_table,
     BenchResult, Experiment,
 };
+pub use journal::{fnv64, JournalEntry, RunJournal};
 pub use matrix::{
-    run_matrix, run_matrix_policy, run_matrix_with_stats, run_matrix_workloads,
-    run_matrix_workloads_policy, CellFailure, CellOutcome, CellStat, EngineStats, FailurePayload,
-    FailurePolicy, FailureReport, FailureStage, MatrixOutput, MatrixRun,
+    run_matrix, run_matrix_configured, run_matrix_policy, run_matrix_with_stats,
+    run_matrix_workloads, run_matrix_workloads_policy, CellFailure, CellOutcome, CellStat,
+    EngineStats, FailurePayload, FailurePolicy, FailureReport, FailureStage, MatrixConfig,
+    MatrixOutput, MatrixRun, RetryPolicy,
 };
 pub use pipeline::{
     compile_model, evaluate, speedup, LintError, Model, Pipeline, PipelineError, Stage,
 };
-pub use report::{format_table, Row};
+pub use report::{format_table, summarize_run, Row, RunSummary};
+pub use triage::{load_bundle, minimize_module, minimize_source, Bundle, ReproCell, TriageConfig};
 
 // Re-export the workspace layers so downstream users need one dependency.
 pub use hyperpred_emu as emu;

@@ -37,13 +37,37 @@
 //! structured [`FailureReport`]; [`FailurePolicy::FailFast`] (the
 //! default-compatible mode) abandons remaining cells after the first
 //! failure, as the pre-isolation engine did.
+//!
+//! # Durability
+//!
+//! [`run_matrix_configured`] layers crash-safety on top of isolation via
+//! a [`MatrixConfig`]:
+//!
+//! * a [`RunJournal`] makes runs *resumable*: every completed cell is
+//!   appended (fingerprint-keyed) to an append-only JSONL file, and a
+//!   later run handed the same journal copies journaled stats back
+//!   bit-identically instead of re-running the cell — at any thread
+//!   count, since cells are independent;
+//! * a [`RetryPolicy`] re-runs cells whose failure is plausibly
+//!   transient (contained panics, watchdog trips) a bounded number of
+//!   times, un-memoizing the compile cache's failure slots in between so
+//!   a retry actually recompiles;
+//! * a per-cell wall-clock *deadline* complements the cycle budget: the
+//!   cycle budget bounds simulated work, the deadline bounds host time
+//!   (a cell stuck outside the cycle loop still ends);
+//! * a [`TriageConfig`] turns each *permanent* failure into a
+//!   self-contained repro bundle (config + source + lowered IR + a
+//!   delta-debugged minimal reproducer) replayable with
+//!   `hyperpredc repro`.
 
 use crate::experiments::{BenchResult, Experiment};
+use crate::journal::{fnv64, model_slug, JournalEntry, RunJournal};
 use crate::pipeline::{FrontOutput, Model, Pipeline, PipelineError};
+use crate::triage::{self, ReproCell, TriageConfig};
 use hyperpred_ir::Module;
 use hyperpred_lang::lower::entry_args;
 use hyperpred_sched::MachineConfig;
-use hyperpred_sim::{simulate, SimStats};
+use hyperpred_sim::{simulate, MemoryModel, SimError, SimStats, DEFAULT_CYCLE_LIMIT};
 use hyperpred_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -84,6 +108,14 @@ pub struct EngineStats {
     /// Compiles that reused a memoized front half instead of re-lowering
     /// and re-profiling the workload.
     pub front_reuses: u64,
+    /// Cells whose stats were copied back from the run journal instead of
+    /// re-run.
+    pub journal_hits: u64,
+    /// Cells appended to the run journal this run.
+    pub journal_appends: u64,
+    /// Extra cell attempts spent by the retry policy (beyond each cell's
+    /// first).
+    pub retries: u64,
     /// Per-cell wall times of successful cells, in completion order.
     pub cells: Vec<CellStat>,
 }
@@ -98,7 +130,7 @@ impl EngineStats {
     /// One-paragraph human summary for CLI output.
     pub fn summary(&self) -> String {
         let cell_wall: Duration = self.cells.iter().map(|c| c.wall).sum();
-        format!(
+        let mut s = format!(
             "engine: {} cells in {:.2?} on {} thread(s) ({:.2?} of cell work; {:.1}x packing)\n\
              compile cache: {} misses, {} hits; baseline memo: {} simulated, {} reused\n\
              profile memo: {} front halves computed, {} reused\n\
@@ -116,7 +148,20 @@ impl EngineStats {
             self.front_reuses,
             self.serial_equivalent_cells(),
             self.baseline_sims + self.model_sims,
-        )
+        );
+        if self.journal_hits > 0 || self.journal_appends > 0 {
+            s.push_str(&format!(
+                "\njournal: {} cell(s) reused, {} appended",
+                self.journal_hits, self.journal_appends
+            ));
+        }
+        if self.retries > 0 {
+            s.push_str(&format!(
+                "\nretries: {} extra cell attempt(s)",
+                self.retries
+            ));
+        }
+        s
     }
 }
 
@@ -220,8 +265,11 @@ pub struct CellFailure {
     pub stage: FailureStage,
     /// The error or captured panic.
     pub payload: FailurePayload,
-    /// Wall time spent before the cell failed.
+    /// Wall time spent before the cell failed (across all attempts).
     pub wall: Duration,
+    /// Attempts spent before the failure became permanent (1 when no
+    /// retry policy is in effect).
+    pub attempts: u32,
 }
 
 impl fmt::Display for CellFailure {
@@ -229,10 +277,15 @@ impl fmt::Display for CellFailure {
         let model = self
             .model
             .map_or_else(|| "baseline".to_string(), |m| m.to_string());
+        let attempts = if self.attempts > 1 {
+            format!(", {} attempts", self.attempts)
+        } else {
+            String::new()
+        };
         write!(
             f,
-            "{} / {} / {} [{} stage, {:.1?}]: {}",
-            self.workload, self.experiment, model, self.stage, self.wall, self.payload
+            "{} / {} / {} [{} stage, {:.1?}{}]: {}",
+            self.workload, self.experiment, model, self.stage, self.wall, attempts, self.payload
         )
     }
 }
@@ -303,6 +356,55 @@ pub struct MatrixRun {
     pub stats: EngineStats,
     /// Every contained failure.
     pub report: FailureReport,
+    /// True when the run stopped before claiming every cell
+    /// ([`MatrixConfig::cell_limit`]); resume from the journal to finish.
+    pub interrupted: bool,
+}
+
+/// How often (and how patiently) a failing cell is re-run before its
+/// failure becomes permanent. Only *plausibly transient* failures are
+/// retried: contained panics and watchdog trips
+/// ([`SimError::CycleLimit`] / [`SimError::Deadline`]). Typed compile
+/// and emulation errors are deterministic and fail immediately.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per cell, including the first (values below 1 are
+    /// treated as 1).
+    pub max_attempts: u32,
+    /// Sleep between attempts of the same cell.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Full configuration of a durable engine run; the zero-cost default is
+/// exactly the plain fault-isolated engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatrixConfig<'a> {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// What to do after a cell fails permanently.
+    pub policy: FailurePolicy,
+    /// Bounded re-running of transient failures.
+    pub retry: RetryPolicy,
+    /// Per-cell, per-attempt wall-clock budget, enforced cooperatively by
+    /// the simulator alongside its cycle budget.
+    pub deadline: Option<Duration>,
+    /// Durable journal: completed cells are appended, journaled cells are
+    /// reused instead of re-run.
+    pub journal: Option<&'a RunJournal>,
+    /// Emit a repro bundle for every permanent failure.
+    pub triage: Option<&'a TriageConfig>,
+    /// Stop claiming cells past this queue index (test/chaos hook: makes
+    /// "killed mid-run" deterministic; the run reports `interrupted`).
+    pub cell_limit: Option<usize>,
 }
 
 /// Matrix results plus the engine's own performance counters (the
@@ -332,13 +434,18 @@ thread_local! {
     /// Message + location captured by the hook for the most recent panic.
     static CAPTURED_PANIC: std::cell::RefCell<Option<String>> =
         const { std::cell::RefCell::new(None) };
+    /// The last module this worker compiled for its current cell; taken by
+    /// failure triage so a simulate-stage repro bundle can dump the
+    /// lowered IR that actually failed.
+    static LAST_MODULE: std::cell::RefCell<Option<Arc<Module>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 static INSTALL_HOOK: Once = Once::new();
 
 /// Renders a panic payload (the `&str`/`String` cases panics overwhelmingly
 /// carry).
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -376,7 +483,7 @@ fn install_capture_hook() {
 }
 
 /// Runs `f`, containing any panic and returning its captured message.
-fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+pub(crate) fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     install_capture_hook();
     CAPTURE_DEPTH.with(|d| d.set(d.get() + 1));
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
@@ -529,6 +636,37 @@ impl CompileCache {
         }
         module.clone()
     }
+
+    /// Drops memoized *failures* for `key` (and its workload's front half)
+    /// so a retry actually recompiles instead of replaying the memo.
+    /// Successful slots are kept: concurrent holders of the old `Arc`s
+    /// stay valid, and nothing succeeded that a retry should redo.
+    fn forget_failed(&self, key: CompileKey) {
+        let mut slots = lock_tolerant(&self.slots);
+        if slots
+            .get(&key)
+            .and_then(|s| s.get())
+            .is_some_and(Result::is_err)
+        {
+            slots.remove(&key);
+        }
+        drop(slots);
+        let mut fronts = lock_tolerant(&self.fronts);
+        if fronts
+            .get(&key.workload)
+            .and_then(|s| s.get())
+            .is_some_and(Result::is_err)
+        {
+            fronts.remove(&key.workload);
+        }
+    }
+
+    /// The successfully compiled module for `key`, if the cache holds one.
+    fn module_of(&self, key: CompileKey) -> Option<Arc<Module>> {
+        let slot = Arc::clone(lock_tolerant(&self.slots).get(&key)?);
+        let module = slot.get()?.as_ref().ok().cloned();
+        module
+    }
 }
 
 /// Shared failure log; under [`FailurePolicy::FailFast`] the first record
@@ -573,6 +711,103 @@ enum Cell {
     Baseline { w: usize },
     /// Simulate workload `w` under experiment `e`'s machine with model `m`.
     Model { e: usize, w: usize, m: usize },
+}
+
+impl Cell {
+    fn workload(self) -> usize {
+        match self {
+            Cell::Baseline { w } | Cell::Model { w, .. } => w,
+        }
+    }
+}
+
+/// The machine/simulation parameters a cell runs under — the part of its
+/// identity shared by fingerprinting and triage.
+struct CellParams {
+    experiment: &'static str,
+    model: Option<Model>,
+    issue: u32,
+    branches: u32,
+    memory: MemoryModel,
+    max_cycles: u64,
+}
+
+fn params_of(cell: Cell, exps: &[Experiment]) -> CellParams {
+    match cell {
+        // The shared denominator: 1-issue, perfect memory, whatever cycle
+        // budget the figures agree on (they all use the same default).
+        Cell::Baseline { .. } => CellParams {
+            experiment: "baseline",
+            model: None,
+            issue: 1,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+            max_cycles: exps.first().map_or(DEFAULT_CYCLE_LIMIT, |e| e.max_cycles),
+        },
+        Cell::Model { e, m, .. } => CellParams {
+            experiment: exps[e].title,
+            model: Some(Model::ALL[m]),
+            issue: exps[e].issue,
+            branches: exps[e].branches,
+            memory: exps[e].memory,
+            max_cycles: exps[e].max_cycles,
+        },
+    }
+}
+
+fn key_of(cell: Cell, exps: &[Experiment]) -> CompileKey {
+    match cell {
+        Cell::Baseline { w } => CompileKey {
+            workload: w,
+            model: Model::Superblock,
+            issue: 1,
+            branches: 1,
+        },
+        Cell::Model { e, w, m } => CompileKey {
+            workload: w,
+            model: Model::ALL[m],
+            issue: exps[e].issue,
+            branches: exps[e].branches,
+        },
+    }
+}
+
+/// The journal key of a cell: an FNV-1a hash over a canonical string of
+/// everything that determines its stats (crate version, the full pipeline
+/// config, workload name + source hash + args, experiment, model, and the
+/// machine/simulation parameters). See the [`crate::journal`] docs for
+/// why the key is deliberately conservative.
+fn fingerprint(cell: Cell, exps: &[Experiment], workloads: &[Workload], pipe: &Pipeline) -> String {
+    let wl = &workloads[cell.workload()];
+    let p = params_of(cell, exps);
+    let canonical = format!(
+        "v{}|pipe{:016x}|{}|src{:016x}|args{:?}|{}|{}|issue{}|br{}|{:?}|cycles{}",
+        env!("CARGO_PKG_VERSION"),
+        fnv64(format!("{pipe:?}").as_bytes()),
+        wl.name,
+        fnv64(wl.source.as_bytes()),
+        wl.args,
+        p.experiment,
+        model_slug(p.model),
+        p.issue,
+        p.branches,
+        p.memory,
+        p.max_cycles,
+    );
+    format!("{:016x}", fnv64(canonical.as_bytes()))
+}
+
+/// Whether a failure is plausibly transient (worth a retry): contained
+/// panics and watchdog trips. Typed compile/emulation errors are
+/// deterministic — retrying them wastes the budget.
+fn retryable(payload: &FailurePayload) -> bool {
+    match payload {
+        FailurePayload::Panic(_) => true,
+        FailurePayload::Error(PipelineError::Sim(
+            SimError::CycleLimit { .. } | SimError::Deadline { .. },
+        )) => true,
+        FailurePayload::Error(_) => false,
+    }
 }
 
 /// Runs `exps` over the standard workload suite at `scale` with `threads`
@@ -640,6 +875,7 @@ pub fn run_matrix_workloads(
         outcomes,
         stats,
         mut report,
+        ..
     } = run;
     if let Some(first) = report.failures.drain(..).next() {
         match first.payload {
@@ -687,11 +923,33 @@ pub fn run_matrix_workloads_policy(
     threads: usize,
     policy: FailurePolicy,
 ) -> MatrixRun {
+    run_matrix_configured(
+        exps,
+        workloads,
+        pipe,
+        &MatrixConfig {
+            threads,
+            policy,
+            ..MatrixConfig::default()
+        },
+    )
+}
+
+/// The durable engine entry point: [`run_matrix_workloads_policy`] plus
+/// the journal/retry/deadline/triage layers of [`MatrixConfig`]. With a
+/// default config it is exactly the plain engine.
+pub fn run_matrix_configured(
+    exps: &[Experiment],
+    workloads: &[Workload],
+    pipe: &Pipeline,
+    cfg: &MatrixConfig<'_>,
+) -> MatrixRun {
     let started = Instant::now();
-    let threads = if threads == 0 {
+    let policy = cfg.policy;
+    let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        threads
+        cfg.threads
     };
 
     // Baselines first so the slowest sims start early; then experiment-
@@ -711,9 +969,24 @@ pub fn run_matrix_workloads_policy(
         }
     }
 
+    // Fingerprints are only needed when a journal is wired in; they are
+    // precomputed here (aligned with `cells`) so workers never hash.
+    let fps: Option<Vec<String>> = cfg.journal.map(|_| {
+        cells
+            .iter()
+            .map(|&c| fingerprint(c, exps, workloads, pipe))
+            .collect()
+    });
+
     let cache = CompileCache::new();
     let log = FailureLog::new(policy);
     let next = AtomicUsize::new(0);
+    let interrupted = AtomicBool::new(false);
+    let journal_hits = AtomicU64::new(0);
+    let journal_appends = AtomicU64::new(0);
+    let prefilled_baseline = AtomicU64::new(0);
+    let prefilled_model = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
     let baseline: Vec<OnceLock<SimStats>> = (0..workloads.len()).map(|_| OnceLock::new()).collect();
     let model_stats: Vec<OnceLock<SimStats>> = (0..exps.len() * workloads.len() * 3)
         .map(|_| OnceLock::new())
@@ -741,18 +1014,26 @@ pub fn run_matrix_workloads_policy(
                         pipe,
                     )
                     .map_err(|f| (f.stage, f.payload))?;
+                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&module)));
+                if pipe.fault_injection {
+                    crate::faults::maybe_injected_sim_panic(&module);
+                }
                 // All experiments share one denominator config (1-issue,
                 // perfect memory, default predictor), so any experiment's
                 // baseline_sim() works; use the first for exactness.
+                let mut sim_cfg = exps.first().map_or_else(
+                    || Experiment::fig8().baseline_sim(),
+                    Experiment::baseline_sim,
+                );
+                if let Some(d) = cfg.deadline {
+                    sim_cfg.deadline = Some(Instant::now() + d);
+                }
                 let stats = simulate(
                     &module,
                     "main",
                     &entry_args(&wl.args),
                     MachineConfig::one_issue(),
-                    exps.first().map_or_else(
-                        || Experiment::fig8().baseline_sim(),
-                        Experiment::baseline_sim,
-                    ),
+                    sim_cfg,
                 )
                 .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
                 baseline[w].set(stats).expect("baseline cell runs once");
@@ -771,18 +1052,63 @@ pub fn run_matrix_workloads_policy(
                 let module = cache
                     .get_or_compile(key, wl, model, &exp.machine(), pipe)
                     .map_err(|f| (f.stage, f.payload))?;
+                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&module)));
+                if pipe.fault_injection {
+                    crate::faults::maybe_injected_sim_panic(&module);
+                }
+                let mut sim_cfg = exp.sim();
+                if let Some(d) = cfg.deadline {
+                    sim_cfg.deadline = Some(Instant::now() + d);
+                }
                 let stats = simulate(
                     &module,
                     "main",
                     &entry_args(&wl.args),
                     exp.machine(),
-                    exp.sim(),
+                    sim_cfg,
                 )
                 .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
                 let idx = (e * workloads.len() + w) * 3 + m;
                 model_stats[idx].set(stats).expect("model cell runs once");
                 Ok(())
             }
+        }
+    };
+
+    // Writes a repro bundle for a permanently failed cell; bundle errors
+    // are reported, never fatal (triage must not take down the run).
+    let emit_triage = |cell: Cell, stage: FailureStage, payload: &FailurePayload, attempts: u32| {
+        let Some(tcfg) = cfg.triage else { return };
+        let wl = &workloads[cell.workload()];
+        let p = params_of(cell, exps);
+        let module = LAST_MODULE.with(|m| m.borrow_mut().take());
+        let repro = ReproCell {
+            workload: wl.name.to_string(),
+            args: wl.args.clone(),
+            experiment: p.experiment.to_string(),
+            model: p.model,
+            issue: p.issue,
+            branches: p.branches,
+            memory: p.memory,
+            max_cycles: p.max_cycles,
+            fault_injection: pipe.fault_injection,
+            stage,
+            signature: triage::signature(payload),
+            fingerprint: fingerprint(cell, exps, workloads, pipe),
+            attempts,
+        };
+        match triage::write_bundle(
+            tcfg,
+            &repro,
+            &wl.source,
+            &payload.to_string(),
+            module.as_deref(),
+        ) {
+            Ok(dir) => eprintln!("triage: wrote repro bundle {}", dir.display()),
+            Err(e) => eprintln!(
+                "triage: could not write bundle for {} / {}: {e}",
+                wl.name, p.experiment
+            ),
         }
     };
 
@@ -797,12 +1123,35 @@ pub fn run_matrix_workloads_policy(
                     let Some(cell) = cells.get(i).copied() else {
                         return;
                     };
+                    if cfg.cell_limit.is_some_and(|limit| i >= limit) {
+                        interrupted.store(true, Ordering::Release);
+                        return;
+                    }
                     let (workload, experiment, model) = match cell {
                         Cell::Baseline { w } => (workloads[w].name, "baseline", None),
                         Cell::Model { e, w, m } => {
                             (workloads[w].name, exps[e].title, Some(Model::ALL[m]))
                         }
                     };
+                    // Resume: a journaled cell's stats are copied back
+                    // bit-identically; nothing about it re-runs.
+                    if let (Some(journal), Some(fps)) = (cfg.journal, fps.as_deref()) {
+                        if let Some(stats) = journal.lookup(&fps[i]) {
+                            match cell {
+                                Cell::Baseline { w } => {
+                                    baseline[w].set(stats).expect("baseline cell runs once");
+                                    prefilled_baseline.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Cell::Model { e, w, m } => {
+                                    let idx = (e * workloads.len() + w) * 3 + m;
+                                    model_stats[idx].set(stats).expect("model cell runs once");
+                                    prefilled_model.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            journal_hits.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
                     CELL_IDENTITY.with(|c| {
                         *c.borrow_mut() = Some(match model {
                             Some(m) => format!("{workload} / {experiment} / {m}"),
@@ -810,7 +1159,28 @@ pub fn run_matrix_workloads_policy(
                         });
                     });
                     let t = Instant::now();
-                    let caught = catch_cell(|| exec_cell(cell));
+                    let mut attempts = 0u32;
+                    let caught = loop {
+                        attempts += 1;
+                        LAST_MODULE.with(|m| *m.borrow_mut() = None);
+                        let caught = catch_cell(|| exec_cell(cell));
+                        let transient = match &caught {
+                            Ok(Ok(())) => break caught,
+                            Ok(Err((_, payload))) => retryable(payload),
+                            // Contained panics are presumed transient-capable.
+                            Err(_) => true,
+                        };
+                        if !transient || attempts >= cfg.retry.max_attempts.max(1) {
+                            break caught;
+                        }
+                        // A memoized failure must be forgotten, or the
+                        // retry would just replay the memo.
+                        cache.forget_failed(key_of(cell, exps));
+                        retries.fetch_add(1, Ordering::Relaxed);
+                        if !cfg.retry.backoff.is_zero() {
+                            std::thread::sleep(cfg.retry.backoff);
+                        }
+                    };
                     let wall = t.elapsed();
                     CELL_IDENTITY.with(|c| *c.borrow_mut() = None);
                     match caught {
@@ -821,26 +1191,60 @@ pub fn run_matrix_workloads_policy(
                                 model,
                                 wall,
                             });
+                            if let (Some(journal), Some(fps)) = (cfg.journal, fps.as_deref()) {
+                                let stats = match cell {
+                                    Cell::Baseline { w } => baseline[w].get(),
+                                    Cell::Model { e, w, m } => {
+                                        model_stats[(e * workloads.len() + w) * 3 + m].get()
+                                    }
+                                };
+                                if let Some(stats) = stats {
+                                    let appended = journal.record(&JournalEntry {
+                                        fingerprint: &fps[i],
+                                        workload,
+                                        experiment,
+                                        model,
+                                        stats,
+                                    });
+                                    match appended {
+                                        Ok(()) => {
+                                            journal_appends.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        // Durability degrades, the run
+                                        // continues (e.g. disk full).
+                                        Err(e) => eprintln!("journal: append failed: {e}"),
+                                    }
+                                }
+                            }
                         }
-                        Ok(Err((stage, payload))) => log.record(CellFailure {
-                            workload,
-                            experiment,
-                            model,
-                            stage,
-                            payload,
-                            wall,
-                        }),
+                        Ok(Err((stage, payload))) => {
+                            emit_triage(cell, stage, &payload, attempts);
+                            log.record(CellFailure {
+                                workload,
+                                experiment,
+                                model,
+                                stage,
+                                payload,
+                                wall,
+                                attempts,
+                            });
+                        }
                         // A panic that escaped the compile cache's own
                         // containment happened after compilation — in the
                         // simulator or its sink.
-                        Err(panic_msg) => log.record(CellFailure {
-                            workload,
-                            experiment,
-                            model,
-                            stage: FailureStage::Simulate,
-                            payload: FailurePayload::Panic(panic_msg),
-                            wall,
-                        }),
+                        Err(panic_msg) => {
+                            let payload = FailurePayload::Panic(panic_msg);
+                            emit_triage(cell, FailureStage::Simulate, &payload, attempts);
+                            log.record(CellFailure {
+                                workload,
+                                experiment,
+                                model,
+                                stage: FailureStage::Simulate,
+                                payload,
+                                wall,
+                                attempts,
+                            });
+                        }
                     }
                 }
             });
@@ -892,7 +1296,17 @@ pub fn run_matrix_workloads_policy(
                                     want: base.ret,
                                 }),
                                 wall: Duration::ZERO,
+                                attempts: 1,
                             };
+                            // Divergence is only detectable here, after
+                            // both sides ran; its bundle gets the module
+                            // straight from the compile cache.
+                            let midx = Model::ALL.iter().position(|&x| x == m).unwrap_or(0);
+                            let cell = Cell::Model { e, w, m: midx };
+                            if let Some(module) = cache.module_of(key_of(cell, exps)) {
+                                LAST_MODULE.with(|slot| *slot.borrow_mut() = Some(module));
+                            }
+                            emit_triage(cell, FailureStage::Simulate, &failure.payload, 1);
                             failures.push(failure.clone());
                             CellOutcome::Failed(failure)
                         }
@@ -916,8 +1330,12 @@ pub fn run_matrix_workloads_policy(
         outcomes.push(row);
     }
 
-    let baseline_sims = baseline.iter().filter(|b| b.get().is_some()).count() as u64;
-    let model_sims = model_stats.iter().filter(|m| m.get().is_some()).count() as u64;
+    // Journal-prefilled slots hold results too, but nothing was simulated
+    // for them — they count as journal hits, not sims.
+    let baseline_sims = baseline.iter().filter(|b| b.get().is_some()).count() as u64
+        - prefilled_baseline.load(Ordering::Relaxed);
+    let model_sims = model_stats.iter().filter(|m| m.get().is_some()).count() as u64
+        - prefilled_model.load(Ordering::Relaxed);
     let stats = EngineStats {
         threads,
         wall: started.elapsed(),
@@ -928,6 +1346,9 @@ pub fn run_matrix_workloads_policy(
         model_sims,
         front_computes: cache.front_computes.load(Ordering::Relaxed),
         front_reuses: cache.front_reuses.load(Ordering::Relaxed),
+        journal_hits: journal_hits.load(Ordering::Relaxed),
+        journal_appends: journal_appends.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
         cells: cell_stats
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner),
@@ -936,6 +1357,7 @@ pub fn run_matrix_workloads_policy(
         outcomes,
         stats,
         report: FailureReport { failures },
+        interrupted: interrupted.load(Ordering::Acquire),
     }
 }
 
@@ -994,5 +1416,36 @@ mod tests {
             .all(|f| f.workload == "bad" && f.stage == FailureStage::Compile));
         assert!(run.outcomes[0][0].ok().is_none(), "bad slot failed");
         assert!(run.outcomes[0][1].ok().is_some(), "good slot completed");
+    }
+
+    #[test]
+    fn cell_limit_marks_run_interrupted() {
+        let good = Workload {
+            name: "good",
+            description: "healthy",
+            source: "int main() { int i; int s; s = 0;
+                     for (i = 0; i < 50; i += 1) { s += i; } return s; }"
+                .to_string(),
+            args: Vec::new(),
+        };
+        let run = run_matrix_configured(
+            &[Experiment::fig8()],
+            &[good],
+            &Pipeline::default(),
+            &MatrixConfig {
+                threads: 1,
+                policy: FailurePolicy::KeepGoing,
+                cell_limit: Some(2),
+                ..MatrixConfig::default()
+            },
+        );
+        assert!(
+            run.interrupted,
+            "hitting the cell limit reports interruption"
+        );
+        assert!(
+            run.stats.cells.len() <= 2,
+            "no cell past the limit may have run"
+        );
     }
 }

@@ -36,6 +36,18 @@ pub enum Model {
 impl Model {
     /// The three models in the paper's presentation order.
     pub const ALL: [Model; 3] = [Model::Superblock, Model::CondMove, Model::FullPred];
+
+    /// Position of this model in [`Model::ALL`] (and in every
+    /// `[SimStats; 3]` the experiment layer hands out). Infallible by
+    /// construction — the match is exhaustive, so no edit to `ALL` can
+    /// turn this into a runtime panic.
+    pub fn index(self) -> usize {
+        match self {
+            Model::Superblock => 0,
+            Model::CondMove => 1,
+            Model::FullPred => 2,
+        }
+    }
 }
 
 impl fmt::Display for Model {
@@ -211,7 +223,9 @@ impl From<SimError> for PipelineError {
             // Plain emulation failures keep their historical shape so
             // callers matching on `PipelineError::Emu` still work.
             SimError::Emu(e) => PipelineError::Emu(e),
-            e @ SimError::CycleLimit { .. } => PipelineError::Sim(e),
+            // Watchdogs (cycle budget, wall-clock deadline) stay typed as
+            // simulation failures.
+            e => PipelineError::Sim(e),
         }
     }
 }
@@ -397,6 +411,15 @@ impl Pipeline {
             panic!(
                 "injected compile-stage panic ({} fixture)",
                 crate::faults::PANIC_MARKER
+            );
+        }
+        if self.fault_injection
+            && source.contains(crate::faults::FLAKY_MARKER)
+            && crate::faults::flaky_should_panic()
+        {
+            panic!(
+                "injected flaky compile-stage panic ({} fixture)",
+                crate::faults::FLAKY_MARKER
             );
         }
         let mut ck = Checkpointer::new(self, Model::Superblock);

@@ -1,4 +1,7 @@
-//! Plain-text table formatting for experiment output.
+//! Plain-text table formatting for experiment output, and the shared
+//! end-of-run summary for keep-going matrix drivers.
+
+use crate::matrix::MatrixRun;
 
 /// One row of a report table: a label and its cell values.
 #[derive(Debug, Clone)]
@@ -52,6 +55,40 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Row]) -> String {
     out
 }
 
+/// The end-of-run verdict every keep-going driver prints: one text block
+/// for stderr and the process's exit decision, computed in exactly one
+/// place so `figures` and `hyperpredc report` cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// True iff the process should exit nonzero: some cell permanently
+    /// failed, or the run stopped before claiming every cell.
+    pub failed: bool,
+    /// Human-readable summary (engine counters, the failure report when
+    /// nonempty, and resume/partial notes).
+    pub text: String,
+}
+
+/// Summarizes a fault-tolerant engine run: engine counters, the failure
+/// report (iff any cell failed), and what that means for the tables and
+/// the exit code.
+pub fn summarize_run(run: &MatrixRun) -> RunSummary {
+    let mut text = run.stats.summary();
+    if !run.report.is_empty() {
+        text.push('\n');
+        text.push_str(&run.report.to_string());
+        text.push_str("some cells failed; tables are partial");
+    }
+    if run.interrupted {
+        text.push_str(
+            "\nrun interrupted before every cell was claimed; resume from the journal to finish",
+        );
+    }
+    RunSummary {
+        failed: !run.report.is_empty() || run.interrupted,
+        text,
+    }
+}
+
 /// Formats a large count the way the paper does (`1526K`, `11225M`).
 pub fn human_count(v: u64) -> String {
     if v >= 10_000_000 {
@@ -87,5 +124,50 @@ mod tests {
         assert_eq!(human_count(123), "123");
         assert_eq!(human_count(45_600), "45K");
         assert_eq!(human_count(11_225_000_000), "11225M");
+    }
+
+    #[test]
+    fn run_summary_pins_exit_semantics() {
+        use crate::matrix::{
+            CellFailure, EngineStats, FailurePayload, FailureReport, FailureStage, MatrixRun,
+        };
+        let clean = MatrixRun {
+            outcomes: Vec::new(),
+            stats: EngineStats::default(),
+            report: FailureReport::default(),
+            interrupted: false,
+        };
+        let s = summarize_run(&clean);
+        assert!(!s.failed, "clean run exits zero");
+        assert!(!s.text.contains("failure report"));
+
+        let failed = MatrixRun {
+            report: FailureReport {
+                failures: vec![CellFailure {
+                    workload: "wc",
+                    experiment: "Figure 8",
+                    model: None,
+                    stage: FailureStage::Compile,
+                    payload: FailurePayload::Panic("boom".into()),
+                    wall: std::time::Duration::ZERO,
+                    attempts: 1,
+                }],
+            },
+            ..clean
+        };
+        let s = summarize_run(&failed);
+        assert!(s.failed, "any permanent failure exits nonzero");
+        assert!(s.text.contains("failure report"));
+        assert!(s.text.contains("tables are partial"));
+
+        let interrupted = MatrixRun {
+            outcomes: Vec::new(),
+            stats: EngineStats::default(),
+            report: FailureReport::default(),
+            interrupted: true,
+        };
+        let s = summarize_run(&interrupted);
+        assert!(s.failed, "an interrupted run exits nonzero");
+        assert!(s.text.contains("resume"));
     }
 }

@@ -1,0 +1,661 @@
+//! Failure triage: self-contained repro bundles and a delta-debugging
+//! minimizer for permanently failed matrix cells.
+//!
+//! When a cell exhausts its retries, the engine (given a [`TriageConfig`])
+//! emits a *repro bundle*: a directory holding everything needed to
+//! replay the failure on another machine with nothing but this repo —
+//!
+//! * `cell.json` — the cell's exact configuration (workload, model,
+//!   machine and simulation parameters, fault-injection flag), the
+//!   failure stage, the normalized *signature*, and the full payload;
+//! * `workload.c` — the MiniC source (replay recompiles from source:
+//!   the IR text dump does not carry global initializers, so source is
+//!   the only self-contained input);
+//! * `ir.txt` — the lowered, scheduled IR via [`hyperpred_ir`]'s printer,
+//!   when compilation got far enough to produce a module;
+//! * `minimized.txt` / `minimized.c` + `minimize.json` — the greedy
+//!   delta-debugged reduction, when minimization applies (see below).
+//!
+//! `hyperpredc repro <bundle>` replays a bundle and compares signatures:
+//! exit 1 when the same failure reproduces, 0 when the cell now passes,
+//! 3 when it fails differently.
+//!
+//! # Signatures
+//!
+//! A signature is a short, stable normalization of a failure — stable
+//! across replays and across minimization steps, which means it must
+//! exclude anything incidental: instruction counts, source locations,
+//! concrete trap addresses, diverging return values. Two failures with
+//! the same signature are treated as the same bug.
+//!
+//! # Minimization
+//!
+//! The minimizer is greedy delta debugging over the failing program:
+//! for simulate-stage failures it operates on the compiled [`Module`]
+//! in memory (drop a block from a function's layout, then drop single
+//! instructions, keeping each removal iff the replayed signature is
+//! unchanged); for compile-stage failures, where no module exists, it
+//! drops source lines the same way. Budget failures (`sim: cycle-limit`,
+//! `sim: deadline`) are not minimized — every probe would cost a full
+//! budget's worth of simulation, and a smaller program usually stops
+//! tripping the budget anyway.
+
+use crate::faults;
+use crate::journal::{escape, field_str, field_u64};
+use crate::matrix::{catch_cell, FailurePayload, FailureStage};
+use crate::pipeline::{Model, Pipeline, PipelineError};
+use hyperpred_ir::Module;
+use hyperpred_lang::lower::entry_args;
+use hyperpred_sched::MachineConfig;
+use hyperpred_sim::{simulate, CacheConfig, MemoryModel, SimConfig, SimError, SimStats};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into `cell.json` and `minimize.json`.
+pub const BUNDLE_VERSION: u64 = 1;
+
+/// Upper bound on minimizer replays per bundle, so triage of a large
+/// failing program stays bounded.
+const MAX_PROBES: usize = 4096;
+
+/// Where (and whether) the engine emits repro bundles.
+#[derive(Debug, Clone)]
+pub struct TriageConfig {
+    /// Directory bundles are created under (one subdirectory per cell).
+    pub dir: PathBuf,
+    /// Run the delta-debugging minimizer on each bundle.
+    pub minimize: bool,
+}
+
+impl TriageConfig {
+    /// Bundles under `dir`, with minimization on.
+    pub fn new(dir: impl Into<PathBuf>) -> TriageConfig {
+        TriageConfig {
+            dir: dir.into(),
+            minimize: true,
+        }
+    }
+}
+
+/// Everything `hyperpredc repro` needs to replay one cell, as stored in
+/// (and parsed back from) `cell.json`.
+#[derive(Debug, Clone)]
+pub struct ReproCell {
+    /// Workload name.
+    pub workload: String,
+    /// Workload arguments.
+    pub args: Vec<i64>,
+    /// Figure title, or `"baseline"` for the shared denominator cell.
+    pub experiment: String,
+    /// Model of the failed cell (`None` for the baseline cell).
+    pub model: Option<Model>,
+    /// Issue width of the simulated machine.
+    pub issue: u32,
+    /// Branch slots per cycle.
+    pub branches: u32,
+    /// Memory model (cache geometry is the default one; the experiment
+    /// layer never uses another).
+    pub memory: MemoryModel,
+    /// Cycle budget the cell ran under.
+    pub max_cycles: u64,
+    /// Whether fault-injection markers were honored.
+    pub fault_injection: bool,
+    /// Stage the failure occurred in.
+    pub stage: FailureStage,
+    /// Normalized failure signature (see [`signature`]).
+    pub signature: String,
+    /// Config fingerprint (matches the run journal's key).
+    pub fingerprint: String,
+    /// Attempts spent before the failure became permanent.
+    pub attempts: u32,
+}
+
+/// A loaded repro bundle.
+#[derive(Debug)]
+pub struct Bundle {
+    /// Directory the bundle lives in.
+    pub dir: PathBuf,
+    /// The parsed cell configuration.
+    pub cell: ReproCell,
+    /// The workload source.
+    pub source: String,
+}
+
+// ---------------------------------------------------------------------------
+// Signatures
+// ---------------------------------------------------------------------------
+
+/// Normalizes a failure payload into a stable signature: the same bug
+/// replayed (or minimized) yields the same string, while incidental
+/// detail — instruction counts, panic locations, trap addresses,
+/// diverging values — is stripped.
+pub fn signature(payload: &FailurePayload) -> String {
+    match payload {
+        FailurePayload::Panic(msg) => {
+            // Captured panics carry " (at file:line:col) [cell ...]";
+            // keep only the message proper.
+            let msg = msg.split(" (at ").next().unwrap_or(msg);
+            format!("panic: {msg}")
+        }
+        FailurePayload::Error(e) => signature_of_error(e),
+    }
+}
+
+fn signature_of_error(e: &PipelineError) -> String {
+    match e {
+        PipelineError::Compile(c) => format!("compile: {c}"),
+        PipelineError::Emu(e) => format!("emulate: {}", emu_kind(e)),
+        PipelineError::Sim(SimError::CycleLimit { .. }) => "sim: cycle-limit".to_string(),
+        PipelineError::Sim(SimError::Deadline { .. }) => "sim: deadline".to_string(),
+        PipelineError::Sim(SimError::Emu(e)) => format!("emulate: {}", emu_kind(e)),
+        PipelineError::Lint(l) => format!("lint: after pass `{}`", l.pass),
+        // got/want are excluded on purpose: minimization changes the
+        // concrete values while the bug (this model diverges) persists.
+        PipelineError::Diverged { model, .. } => format!("diverged: {model}"),
+    }
+}
+
+fn emu_kind(e: &hyperpred_emu::EmuError) -> &'static str {
+    use hyperpred_emu::EmuError;
+    match e {
+        EmuError::Trap { .. } => "trap",
+        EmuError::DivByZero { .. } => "div-by-zero",
+        EmuError::OutOfFuel { .. } => "out-of-fuel",
+        EmuError::CallDepth { .. } => "call-depth",
+        EmuError::Malformed { .. } => "malformed",
+        EmuError::SinkAbort { .. } => "sink-abort",
+        EmuError::NoFunc(_) => "no-func",
+    }
+}
+
+/// Whether the minimizer should run for this signature. Budget failures
+/// are excluded: each probe would simulate a full budget, and shrinking
+/// the program changes the very thing that trips it.
+pub fn minimizable(sig: &str) -> bool {
+    sig != "sim: cycle-limit" && sig != "sim: deadline"
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+fn machine_of(cell: &ReproCell) -> MachineConfig {
+    MachineConfig::new(cell.issue.max(1), cell.branches.max(1))
+}
+
+fn sim_of(cell: &ReproCell) -> SimConfig {
+    SimConfig {
+        memory: cell.memory,
+        max_cycles: cell.max_cycles,
+        ..SimConfig::default()
+    }
+}
+
+fn pipe_of(cell: &ReproCell) -> Pipeline {
+    Pipeline {
+        fault_injection: cell.fault_injection,
+        ..Pipeline::default()
+    }
+}
+
+/// Replays one cell from source exactly as the matrix engine runs it:
+/// compile, (optionally) trip the simulate-stage injection point, then
+/// the timing simulation. Returns the failure signature, or `None` when
+/// the cell completes — for a cell recorded as diverged, "completes"
+/// additionally means the model's result matches a fresh baseline run.
+pub fn replay(cell: &ReproCell, source: &str) -> Option<String> {
+    let pipe = pipe_of(cell);
+    let machine = machine_of(cell);
+    let sim_cfg = sim_of(cell);
+    let model = cell.model.unwrap_or(Model::Superblock);
+    let caught = catch_cell(|| -> Result<SimStats, PipelineError> {
+        let module = pipe.compile(source, &cell.args, model, &machine)?;
+        if pipe.fault_injection {
+            faults::maybe_injected_sim_panic(&module);
+        }
+        let stats = simulate(&module, "main", &entry_args(&cell.args), machine, sim_cfg)?;
+        Ok(stats)
+    });
+    let stats = match caught {
+        Err(panic_msg) => return Some(signature(&FailurePayload::Panic(panic_msg))),
+        Ok(Err(e)) => return Some(signature(&FailurePayload::Error(e))),
+        Ok(Ok(stats)) => stats,
+    };
+    if cell.signature.starts_with("diverged:") {
+        if let Some(model) = cell.model {
+            let base = catch_cell(|| -> Result<SimStats, PipelineError> {
+                let module = pipe.compile(
+                    source,
+                    &cell.args,
+                    Model::Superblock,
+                    &MachineConfig::one_issue(),
+                )?;
+                let base_sim = SimConfig {
+                    memory: MemoryModel::Perfect,
+                    max_cycles: cell.max_cycles,
+                    ..SimConfig::default()
+                };
+                Ok(simulate(
+                    &module,
+                    "main",
+                    &entry_args(&cell.args),
+                    MachineConfig::one_issue(),
+                    base_sim,
+                )?)
+            });
+            if let Ok(Ok(base)) = base {
+                if base.ret != stats.ret {
+                    return Some(format!("diverged: {model}"));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Replays an already-compiled module (the simulate half only): the
+/// injection point, then the timing simulation. Used by the module-level
+/// minimizer, whose candidates exist only in memory.
+fn replay_module(cell: &ReproCell, module: &Module) -> Option<String> {
+    let machine = machine_of(cell);
+    let sim_cfg = sim_of(cell);
+    let caught = catch_cell(|| -> Result<SimStats, SimError> {
+        if cell.fault_injection {
+            faults::maybe_injected_sim_panic(module);
+        }
+        simulate(module, "main", &entry_args(&cell.args), machine, sim_cfg)
+    });
+    match caught {
+        Err(panic_msg) => Some(signature(&FailurePayload::Panic(panic_msg))),
+        Ok(Err(e)) => Some(signature(&FailurePayload::Error(e.into()))),
+        Ok(Ok(_)) => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+/// Result of module-level minimization.
+#[derive(Debug)]
+pub struct MinimizedModule {
+    /// The shrunken module (same failure signature as the original).
+    pub module: Module,
+    /// Total laid-out instructions before.
+    pub original_insts: usize,
+    /// Total laid-out instructions after.
+    pub minimized_insts: usize,
+    /// The preserved failure signature.
+    pub signature: String,
+}
+
+fn module_insts(m: &Module) -> usize {
+    m.funcs.iter().map(hyperpred_ir::Function::size).sum()
+}
+
+/// Greedy delta debugging on a compiled module: first drop whole blocks
+/// from each function's layout, then single instructions, keeping each
+/// removal iff the replayed failure signature is unchanged. Returns
+/// `None` when the original module does not fail to begin with.
+pub fn minimize_module(cell: &ReproCell, module: &Module) -> Option<MinimizedModule> {
+    let target = replay_module(cell, module)?;
+    let mut best = module.clone();
+    let mut probes = 0usize;
+    let mut shrunk = true;
+    while shrunk && probes < MAX_PROBES {
+        shrunk = false;
+        // Pass 1: drop non-entry blocks from layouts.
+        for f in 0..best.funcs.len() {
+            let mut i = 1; // layout[0] is the entry; never dropped
+            while i < best.funcs[f].layout.len() && probes < MAX_PROBES {
+                let mut cand = best.clone();
+                cand.funcs[f].layout.remove(i);
+                probes += 1;
+                if replay_module(cell, &cand).as_deref() == Some(&target) {
+                    best = cand;
+                    shrunk = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Pass 2: drop single instructions from laid-out blocks.
+        for f in 0..best.funcs.len() {
+            for li in 0..best.funcs[f].layout.len() {
+                let b = best.funcs[f].layout[li];
+                let mut j = 0;
+                while j < best.funcs[f].block(b).insts.len() && probes < MAX_PROBES {
+                    let mut cand = best.clone();
+                    cand.funcs[f].block_mut(b).insts.remove(j);
+                    probes += 1;
+                    if replay_module(cell, &cand).as_deref() == Some(&target) {
+                        best = cand;
+                        shrunk = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    Some(MinimizedModule {
+        original_insts: module_insts(module),
+        minimized_insts: module_insts(&best),
+        module: best,
+        signature: target,
+    })
+}
+
+/// Result of source-level minimization.
+#[derive(Debug)]
+pub struct MinimizedSource {
+    /// The shrunken source (same failure signature as the original).
+    pub source: String,
+    /// Source lines before.
+    pub original_lines: usize,
+    /// Source lines after.
+    pub minimized_lines: usize,
+    /// The preserved failure signature.
+    pub signature: String,
+}
+
+/// Greedy delta debugging on source lines, for failures with no compiled
+/// module (compile-stage panics and errors). Returns `None` when the
+/// original source does not fail.
+pub fn minimize_source(cell: &ReproCell, source: &str) -> Option<MinimizedSource> {
+    let target = replay(cell, source)?;
+    let original_lines = source.lines().count();
+    let mut lines: Vec<&str> = source.lines().collect();
+    let mut probes = 0usize;
+    let mut i = 0;
+    while i < lines.len() && probes < MAX_PROBES {
+        let mut cand = lines.clone();
+        cand.remove(i);
+        probes += 1;
+        if replay(cell, &cand.join("\n")).as_deref() == Some(&target) {
+            lines.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Some(MinimizedSource {
+        source: lines.join("\n"),
+        original_lines,
+        minimized_lines: lines.len(),
+        signature: target,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Bundle I/O
+// ---------------------------------------------------------------------------
+
+/// Filesystem-safe slug: alphanumerics kept, everything else `-`,
+/// truncated so directory names stay reasonable.
+fn slug(s: &str, max: usize) -> String {
+    let mut out = String::with_capacity(max);
+    for c in s.chars() {
+        if out.len() >= max {
+            break;
+        }
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// The bundle directory for a cell, under the triage root.
+pub fn bundle_dir(root: &Path, cell: &ReproCell) -> PathBuf {
+    root.join(format!(
+        "{}-{}-{}",
+        slug(&cell.workload, 24),
+        slug(&cell.experiment, 24),
+        crate::journal::model_slug(cell.model),
+    ))
+}
+
+fn cell_json(cell: &ReproCell, payload_text: &str) -> String {
+    let args = cell
+        .args
+        .iter()
+        .map(i64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let memory = match cell.memory {
+        MemoryModel::Perfect => "perfect",
+        MemoryModel::Caches(_) => "caches",
+    };
+    format!(
+        "{{\n  \"version\": {BUNDLE_VERSION},\n  \"fingerprint\": \"{}\",\n  \
+         \"workload\": \"{}\",\n  \"experiment\": \"{}\",\n  \"model\": \"{}\",\n  \
+         \"args\": \"{}\",\n  \"issue\": {},\n  \"branches\": {},\n  \
+         \"memory\": \"{}\",\n  \"max_cycles\": {},\n  \"fault_injection\": {},\n  \
+         \"stage\": \"{}\",\n  \"attempts\": {},\n  \"signature\": \"{}\",\n  \
+         \"payload\": \"{}\"\n}}\n",
+        escape(&cell.fingerprint),
+        escape(&cell.workload),
+        escape(&cell.experiment),
+        crate::journal::model_slug(cell.model),
+        args,
+        cell.issue,
+        cell.branches,
+        memory,
+        cell.max_cycles,
+        cell.fault_injection,
+        cell.stage,
+        cell.attempts,
+        escape(&cell.signature),
+        escape(payload_text),
+    )
+}
+
+fn parse_stage(s: &str) -> FailureStage {
+    match s {
+        "compile" => FailureStage::Compile,
+        "emulate" => FailureStage::Emulate,
+        _ => FailureStage::Simulate,
+    }
+}
+
+fn parse_model(s: &str) -> Option<Model> {
+    match s {
+        "superblock" => Some(Model::Superblock),
+        "condmove" => Some(Model::CondMove),
+        "fullpred" => Some(Model::FullPred),
+        _ => None, // "baseline"
+    }
+}
+
+fn parse_cell_json(json: &str) -> Result<ReproCell, String> {
+    let version = field_u64(json, "version").ok_or("cell.json: missing version")?;
+    if version != BUNDLE_VERSION {
+        return Err(format!(
+            "cell.json: bundle version {version} != supported {BUNDLE_VERSION}"
+        ));
+    }
+    let need = |key: &str| field_str(json, key).ok_or(format!("cell.json: missing {key}"));
+    let args_text = need("args")?;
+    let args = args_text
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("cell.json: bad arg `{s}`")))
+        .collect::<Result<Vec<i64>, String>>()?;
+    let memory = match need("memory")?.as_str() {
+        "caches" => MemoryModel::Caches(CacheConfig::default()),
+        _ => MemoryModel::Perfect,
+    };
+    Ok(ReproCell {
+        workload: need("workload")?,
+        args,
+        experiment: need("experiment")?,
+        model: parse_model(&need("model")?),
+        issue: field_u64(json, "issue").ok_or("cell.json: missing issue")? as u32,
+        branches: field_u64(json, "branches").ok_or("cell.json: missing branches")? as u32,
+        memory,
+        max_cycles: field_u64(json, "max_cycles").ok_or("cell.json: missing max_cycles")?,
+        fault_injection: json.contains("\"fault_injection\": true"),
+        stage: parse_stage(&need("stage")?),
+        signature: need("signature")?,
+        fingerprint: need("fingerprint")?,
+        attempts: field_u64(json, "attempts").unwrap_or(1) as u32,
+    })
+}
+
+/// Writes one repro bundle. `module` is the compiled module when the
+/// failure happened after compilation (its IR is dumped, and module-level
+/// minimization applies); `source` is always stored, because replay
+/// recompiles from source.
+///
+/// # Errors
+/// Fails on I/O errors only; minimization failures degrade to "no
+/// minimized artifact", never to a write error.
+pub fn write_bundle(
+    cfg: &TriageConfig,
+    cell: &ReproCell,
+    source: &str,
+    payload_text: &str,
+    module: Option<&Module>,
+) -> io::Result<PathBuf> {
+    let dir = bundle_dir(&cfg.dir, cell);
+    std::fs::create_dir_all(&dir)?;
+    write_file(&dir.join("cell.json"), &cell_json(cell, payload_text))?;
+    write_file(&dir.join("workload.c"), source)?;
+    if let Some(m) = module {
+        write_file(&dir.join("ir.txt"), &format!("{m}"))?;
+    }
+    if cfg.minimize && minimizable(&cell.signature) {
+        match module {
+            Some(m) => {
+                if let Some(min) = minimize_module(cell, m) {
+                    write_file(&dir.join("minimized.txt"), &format!("{}", min.module))?;
+                    write_file(
+                        &dir.join("minimize.json"),
+                        &format!(
+                            "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"module\", \
+                             \"original_insts\": {}, \"minimized_insts\": {}, \
+                             \"signature\": \"{}\"}}\n",
+                            min.original_insts,
+                            min.minimized_insts,
+                            escape(&min.signature)
+                        ),
+                    )?;
+                }
+            }
+            None => {
+                if let Some(min) = minimize_source(cell, source) {
+                    write_file(&dir.join("minimized.c"), &min.source)?;
+                    write_file(
+                        &dir.join("minimize.json"),
+                        &format!(
+                            "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"source\", \
+                             \"original_lines\": {}, \"minimized_lines\": {}, \
+                             \"signature\": \"{}\"}}\n",
+                            min.original_lines,
+                            min.minimized_lines,
+                            escape(&min.signature)
+                        ),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(dir)
+}
+
+fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())
+}
+
+/// Loads a bundle directory written by [`write_bundle`].
+///
+/// # Errors
+/// Fails with a human-readable message when `cell.json` or `workload.c`
+/// is missing or malformed.
+pub fn load_bundle(dir: impl AsRef<Path>) -> Result<Bundle, String> {
+    let dir = dir.as_ref().to_path_buf();
+    let json = std::fs::read_to_string(dir.join("cell.json"))
+        .map_err(|e| format!("{}: cannot read cell.json: {e}", dir.display()))?;
+    let cell = parse_cell_json(&json)?;
+    let source = std::fs::read_to_string(dir.join("workload.c"))
+        .map_err(|e| format!("{}: cannot read workload.c: {e}", dir.display()))?;
+    Ok(Bundle { dir, cell, source })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(signature: &str) -> ReproCell {
+        ReproCell {
+            workload: "inject-panic".to_string(),
+            args: vec![3, -4],
+            experiment: "Figure 8: 8-issue, 1-branch, perfect caches".to_string(),
+            model: Some(Model::FullPred),
+            issue: 8,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+            max_cycles: 2_000_000,
+            fault_injection: true,
+            stage: FailureStage::Compile,
+            signature: signature.to_string(),
+            fingerprint: "abc123".to_string(),
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn signatures_strip_incidental_detail() {
+        let p = FailurePayload::Panic(
+            "boom happened (at crates/core/src/x.rs:1:2) [cell wc / Figure 8 / Full Pred.]"
+                .to_string(),
+        );
+        assert_eq!(signature(&p), "panic: boom happened");
+        let e = FailurePayload::Error(PipelineError::Sim(SimError::CycleLimit {
+            limit: 99,
+            insts: 1234,
+        }));
+        assert_eq!(signature(&e), "sim: cycle-limit");
+        let d = FailurePayload::Error(PipelineError::Diverged {
+            workload: "w",
+            model: Model::FullPred,
+            got: 1,
+            want: 2,
+        });
+        assert_eq!(signature(&d), "diverged: Full Pred.");
+        assert!(!minimizable("sim: cycle-limit"));
+        assert!(!minimizable("sim: deadline"));
+        assert!(minimizable("panic: boom"));
+    }
+
+    #[test]
+    fn cell_json_round_trips() {
+        let c = cell("panic: injected compile-stage panic");
+        let json = cell_json(&c, "panic: full text with \"quotes\"");
+        let back = parse_cell_json(&json).expect("parses");
+        assert_eq!(back.workload, c.workload);
+        assert_eq!(back.args, c.args);
+        assert_eq!(back.experiment, c.experiment);
+        assert_eq!(back.model, c.model);
+        assert_eq!(back.issue, c.issue);
+        assert_eq!(back.branches, c.branches);
+        assert_eq!(back.max_cycles, c.max_cycles);
+        assert!(back.fault_injection);
+        assert_eq!(back.stage, c.stage);
+        assert_eq!(back.signature, c.signature);
+        assert_eq!(back.fingerprint, c.fingerprint);
+        assert_eq!(back.attempts, 2);
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(
+            slug("Figure 8: 8-issue, 1-branch, perfect caches", 24),
+            "figure-8-8-issue-1-branc"
+        );
+        assert_eq!(slug("inject-panic", 24), "inject-panic");
+    }
+}

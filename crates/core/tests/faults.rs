@@ -5,14 +5,18 @@
 //! bit-identical to a clean serial run, and the failure report must name
 //! exactly the injected cells with the right stage and payload.
 
-use hyperpred::faults::{cycle_hog_fixture, diverge_fixture, panic_fixture, DIVERGE_RESULT};
+use hyperpred::faults::{
+    arm_flaky, cycle_hog_fixture, diverge_fixture, flaky_fixture, panic_fixture, DIVERGE_RESULT,
+};
 use hyperpred::sim::SimError;
 use hyperpred::Model;
 use hyperpred::{
-    run_matrix_workloads_policy, run_workload, CellOutcome, Experiment, FailurePayload,
-    FailurePolicy, FailureStage, Pipeline, PipelineError,
+    run_matrix_configured, run_matrix_workloads_policy, run_workload, CellOutcome, Experiment,
+    FailurePayload, FailurePolicy, FailureStage, MatrixConfig, Pipeline, PipelineError,
+    RetryPolicy,
 };
 use hyperpred_workloads::Workload;
+use std::time::Duration;
 
 /// Cycle budget for the injected experiment: far above the healthy
 /// workloads (a few thousand cycles each) and far below the hog fixture.
@@ -197,6 +201,122 @@ fn keep_going_reports_divergence_as_cell_failure_not_panic() {
     for s in &clean.models {
         assert_eq!(s.ret, clean.base.ret);
     }
+}
+
+/// Transient failures are absorbed by the retry policy; failures that
+/// outlive the retry budget become permanent and report their attempt
+/// count. Both phases share one test because the flaky fixture's panic
+/// budget is process-global.
+#[test]
+fn retry_policy_absorbs_transient_failures() {
+    let pipe = Pipeline {
+        fault_injection: true,
+        ..Pipeline::default()
+    };
+    let exp = experiment();
+    let wls = [flaky_fixture()];
+
+    // Phase 1: two injected panics, three attempts allowed — the run must
+    // come out clean, with the retries visible in the engine stats.
+    arm_flaky(2);
+    let run = run_matrix_configured(
+        &[exp],
+        &wls,
+        &pipe,
+        &MatrixConfig {
+            threads: 1,
+            policy: FailurePolicy::KeepGoing,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::ZERO,
+            },
+            ..MatrixConfig::default()
+        },
+    );
+    assert!(
+        run.report.is_empty(),
+        "retries must absorb the transient panics: {}",
+        run.report
+    );
+    assert!(
+        run.outcomes[0][0].ok().is_some(),
+        "the flaky cell must complete once the fault budget is spent"
+    );
+    assert!(
+        run.stats.retries >= 2,
+        "both injected panics cost an extra attempt, got {}",
+        run.stats.retries
+    );
+
+    // Phase 2: more injected panics than the retry budget — the failure
+    // becomes permanent and records how many attempts were spent.
+    arm_flaky(100);
+    let run = run_matrix_configured(
+        &[experiment()],
+        &wls,
+        &pipe,
+        &MatrixConfig {
+            threads: 1,
+            policy: FailurePolicy::KeepGoing,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::ZERO,
+            },
+            ..MatrixConfig::default()
+        },
+    );
+    arm_flaky(0); // disarm: no budget may leak into other tests
+    assert!(!run.report.is_empty(), "exhausted retries must be reported");
+    for f in &run.report.failures {
+        assert_eq!(f.workload, "inject-flaky");
+        assert_eq!(
+            f.attempts, 2,
+            "a permanent failure records every attempt spent"
+        );
+        assert!(
+            f.to_string().contains("2 attempts"),
+            "the report surfaces the attempt count: {f}"
+        );
+    }
+}
+
+/// A runaway cell with an effectively unlimited *cycle* budget must still
+/// be stopped by the per-cell wall-clock deadline, surfacing as a typed
+/// `Deadline` failure rather than a hang.
+#[test]
+fn wall_clock_deadline_stops_runaway_cells() {
+    let pipe = Pipeline {
+        fault_injection: true,
+        ..Pipeline::default()
+    };
+    // Default fig8 cycle budget (effectively unlimited here): only the
+    // wall-clock deadline can stop the hog.
+    let exp = Experiment::fig8();
+    let wls = [cycle_hog_fixture(8_000_000)];
+
+    let run = run_matrix_configured(
+        &[exp],
+        &wls,
+        &pipe,
+        &MatrixConfig {
+            threads: 2,
+            policy: FailurePolicy::KeepGoing,
+            deadline: Some(Duration::from_millis(100)),
+            ..MatrixConfig::default()
+        },
+    );
+    assert!(!run.report.is_empty(), "the hog must trip the deadline");
+    for f in &run.report.failures {
+        assert_eq!(f.workload, "inject-spin");
+        assert_eq!(f.stage, FailureStage::Simulate);
+        match &f.payload {
+            FailurePayload::Error(PipelineError::Sim(SimError::Deadline { insts })) => {
+                assert!(*insts > 0, "the deadline fired mid-simulation");
+            }
+            other => panic!("the hog must fail with a Deadline payload, got {other}"),
+        }
+    }
+    assert!(matches!(run.outcomes[0][0], CellOutcome::Failed(_)));
 }
 
 #[test]

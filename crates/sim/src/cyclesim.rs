@@ -48,6 +48,14 @@ pub enum SimError {
         /// Instructions fetched before the watchdog fired.
         insts: u64,
     },
+    /// The wall-clock watchdog fired: real time passed
+    /// [`SimConfig::deadline`]. Complements the cycle budget: a cell can
+    /// stay within its simulated-cycle budget yet still hold a worker for
+    /// too much real time (huge module, slow host), and this bounds that.
+    Deadline {
+        /// Instructions fetched before the deadline passed.
+        insts: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,10 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit, insts } => write!(
                 f,
                 "cycle budget of {limit} exhausted after {insts} fetched insts"
+            ),
+            SimError::Deadline { insts } => write!(
+                f,
+                "wall-clock deadline exceeded after {insts} fetched insts"
             ),
         }
     }
@@ -92,6 +104,11 @@ pub struct SimConfig {
     /// Watchdog budget: the run aborts with [`SimError::CycleLimit`] once
     /// the simulated clock reaches this many cycles.
     pub max_cycles: u64,
+    /// Wall-clock watchdog: the run aborts with [`SimError::Deadline`]
+    /// once real time passes this instant. Checked cooperatively every
+    /// 1024 fetched instructions, so the overrun is bounded by one check
+    /// interval. `None` (the default) disables the deadline.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SimConfig {
@@ -101,6 +118,7 @@ impl Default for SimConfig {
             btb: BtbConfig::default(),
             mispredict_penalty: 2,
             max_cycles: DEFAULT_CYCLE_LIMIT,
+            deadline: None,
         }
     }
 }
@@ -217,6 +235,10 @@ pub struct CycleSim {
     /// Set once the simulated clock passes the watchdog budget; the
     /// emulator polls it via [`TraceSink::aborted`].
     over_budget: bool,
+    /// Set once real time passes [`SimConfig::deadline`]; polled the same
+    /// way. Sampled only every 1024 fetched instructions to keep
+    /// `Instant::now()` off the per-event hot path.
+    past_deadline: bool,
 }
 
 impl CycleSim {
@@ -270,6 +292,7 @@ impl CycleSim {
             clear_epoch: vec![1; nf],
             pred_clear_time: vec![0; nf],
             over_budget: false,
+            past_deadline: false,
         }
     }
 
@@ -438,10 +461,17 @@ impl TraceSink for CycleSim {
         if self.cycle >= self.config.max_cycles {
             self.over_budget = true;
         }
+        if let Some(deadline) = self.config.deadline {
+            // Sample the clock once per 1024 events: cheap enough for the
+            // hot path, tight enough that an overrun is bounded.
+            if self.stats.insts & 1023 == 0 && std::time::Instant::now() >= deadline {
+                self.past_deadline = true;
+            }
+        }
     }
 
     fn aborted(&self) -> bool {
-        self.over_budget
+        self.over_budget || self.past_deadline
     }
 }
 
@@ -468,11 +498,18 @@ pub fn simulate(
             Ok(stats)
         }
         Err(EmuError::SinkAbort { ctx }) => {
-            debug_assert!(sink.over_budget, "only the watchdog aborts this sink");
-            Err(SimError::CycleLimit {
-                limit: config.max_cycles,
-                insts: ctx.fetched,
-            })
+            debug_assert!(
+                sink.over_budget || sink.past_deadline,
+                "only the watchdogs abort this sink"
+            );
+            if sink.over_budget {
+                Err(SimError::CycleLimit {
+                    limit: config.max_cycles,
+                    insts: ctx.fetched,
+                })
+            } else {
+                Err(SimError::Deadline { insts: ctx.fetched })
+            }
         }
         Err(e) => Err(SimError::Emu(e)),
     }
@@ -542,6 +579,41 @@ mod tests {
         assert!(s8.ipc() > s1.ipc());
         // 1-issue can never exceed IPC 1.
         assert!(s1.ipc() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_deadline_error() {
+        // An already-passed deadline trips at the first cooperative check
+        // (event 1024), long before this 6000-event loop finishes.
+        let mut m = simple_loop_module(1000);
+        schedule_module(&mut m, &MachineConfig::one_issue());
+        let cfg = SimConfig {
+            deadline: Some(std::time::Instant::now()),
+            ..SimConfig::default()
+        };
+        let err = simulate(&m, "main", &[], MachineConfig::one_issue(), cfg).unwrap_err();
+        match err {
+            SimError::Deadline { insts } => assert!(insts >= 1000, "tripped too early: {insts}"),
+            other => panic!("expected Deadline, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_wins_over_deadline_when_both_fire() {
+        // Both watchdogs are armed and expired; the cycle budget is the
+        // one reported (it is checked first and is deterministic).
+        let mut m = simple_loop_module(1000);
+        schedule_module(&mut m, &MachineConfig::one_issue());
+        let cfg = SimConfig {
+            max_cycles: 10,
+            deadline: Some(std::time::Instant::now()),
+            ..SimConfig::default()
+        };
+        let err = simulate(&m, "main", &[], MachineConfig::one_issue(), cfg).unwrap_err();
+        assert!(
+            matches!(err, SimError::CycleLimit { limit: 10, .. }),
+            "expected CycleLimit, got {err}"
+        );
     }
 
     #[test]
