@@ -181,6 +181,20 @@ fn run_bench_mode(opts: &Options, reps: usize) -> ExitCode {
         scale: opts.scale,
         threads: opts.threads,
     };
+    // Read the baseline before running or writing anything: the guard is
+    // normally pointed at the same path as `--bench-out` (refresh the file,
+    // compare against the committed state), and reading it after the write
+    // would compare the new report against itself.
+    let baseline = match &opts.bench_baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("figures --bench: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let report = match run_bench(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -195,14 +209,7 @@ fn run_bench_mode(opts: &Options, reps: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", opts.bench_out);
-    if let Some(path) = &opts.bench_baseline {
-        let baseline = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("figures --bench: reading baseline {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    if let Some(baseline) = baseline {
         match check_regression(&report, &baseline) {
             Ok(msg) => eprintln!("{msg}"),
             Err(msg) => {

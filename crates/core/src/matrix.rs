@@ -64,10 +64,11 @@ use crate::experiments::{BenchResult, Experiment};
 use crate::journal::{fnv64, model_slug, JournalEntry, RunJournal};
 use crate::pipeline::{FrontOutput, Model, Pipeline, PipelineError};
 use crate::triage::{self, ReproCell, TriageConfig};
+use hyperpred_emu::DecodedModule;
 use hyperpred_ir::Module;
 use hyperpred_lang::lower::entry_args;
 use hyperpred_sched::MachineConfig;
-use hyperpred_sim::{simulate, MemoryModel, SimError, SimStats, DEFAULT_CYCLE_LIMIT};
+use hyperpred_sim::{simulate_decoded, MemoryModel, SimError, SimStats, DEFAULT_CYCLE_LIMIT};
 use hyperpred_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -514,8 +515,19 @@ struct SharedFailure {
     payload: FailurePayload,
 }
 
+/// A successfully compiled cell: the scheduled module plus its
+/// pre-decoded execution stream, produced once right after the compile
+/// and shared by every simulation of the same (workload, model, machine)
+/// key — the decode cost is paid once per compiled module, not once per
+/// simulated cell.
+#[derive(Clone)]
+struct CompiledUnit {
+    module: Arc<Module>,
+    decoded: Arc<DecodedModule>,
+}
+
 /// One shared once-per-key slot; `Err` marks a memoized failed compile.
-type CompileSlot = Arc<OnceLock<Result<Arc<Module>, SharedFailure>>>;
+type CompileSlot = Arc<OnceLock<Result<CompiledUnit, SharedFailure>>>;
 
 /// One shared per-workload slot for the model-independent front half
 /// (frontend → pre-formation optimization → profiling run).
@@ -602,7 +614,7 @@ impl CompileCache {
         model: Model,
         machine: &MachineConfig,
         pipe: &Pipeline,
-    ) -> Result<Arc<Module>, SharedFailure> {
+    ) -> Result<CompiledUnit, SharedFailure> {
         let cell = {
             let mut slots = lock_tolerant(&self.slots);
             Arc::clone(slots.entry(key).or_default())
@@ -618,7 +630,11 @@ impl CompileCache {
             // Panics inside the pipeline are contained *here* so the slot
             // is still initialized (as failed) for everyone waiting on it.
             match catch_cell(|| pipe.finish(&front, model, machine)) {
-                Ok(Ok(m)) => Ok(Arc::new(m)),
+                Ok(Ok(m)) => {
+                    let module = Arc::new(m);
+                    let decoded = Arc::new(DecodedModule::decode(&module));
+                    Ok(CompiledUnit { module, decoded })
+                }
                 Ok(Err(e)) => Err(SharedFailure {
                     stage: stage_of(&e),
                     payload: FailurePayload::Error(e),
@@ -664,7 +680,7 @@ impl CompileCache {
     /// The successfully compiled module for `key`, if the cache holds one.
     fn module_of(&self, key: CompileKey) -> Option<Arc<Module>> {
         let slot = Arc::clone(lock_tolerant(&self.slots).get(&key)?);
-        let module = slot.get()?.as_ref().ok().cloned();
+        let module = slot.get()?.as_ref().ok().map(|u| Arc::clone(&u.module));
         module
     }
 }
@@ -1005,7 +1021,7 @@ pub fn run_matrix_configured(
                     issue: 1,
                     branches: 1,
                 };
-                let module = cache
+                let unit = cache
                     .get_or_compile(
                         key,
                         wl,
@@ -1014,9 +1030,9 @@ pub fn run_matrix_configured(
                         pipe,
                     )
                     .map_err(|f| (f.stage, f.payload))?;
-                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&module)));
+                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&unit.module)));
                 if pipe.fault_injection {
-                    crate::faults::maybe_injected_sim_panic(&module);
+                    crate::faults::maybe_injected_sim_panic(&unit.module);
                 }
                 // All experiments share one denominator config (1-issue,
                 // perfect memory, default predictor), so any experiment's
@@ -1028,8 +1044,9 @@ pub fn run_matrix_configured(
                 if let Some(d) = cfg.deadline {
                     sim_cfg.deadline = Some(Instant::now() + d);
                 }
-                let stats = simulate(
-                    &module,
+                let stats = simulate_decoded(
+                    &unit.module,
+                    &unit.decoded,
                     "main",
                     &entry_args(&wl.args),
                     MachineConfig::one_issue(),
@@ -1049,19 +1066,20 @@ pub fn run_matrix_configured(
                     issue: exp.issue,
                     branches: exp.branches,
                 };
-                let module = cache
+                let unit = cache
                     .get_or_compile(key, wl, model, &exp.machine(), pipe)
                     .map_err(|f| (f.stage, f.payload))?;
-                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&module)));
+                LAST_MODULE.with(|m| *m.borrow_mut() = Some(Arc::clone(&unit.module)));
                 if pipe.fault_injection {
-                    crate::faults::maybe_injected_sim_panic(&module);
+                    crate::faults::maybe_injected_sim_panic(&unit.module);
                 }
                 let mut sim_cfg = exp.sim();
                 if let Some(d) = cfg.deadline {
                     sim_cfg.deadline = Some(Instant::now() + d);
                 }
-                let stats = simulate(
-                    &module,
+                let stats = simulate_decoded(
+                    &unit.module,
+                    &unit.decoded,
                     "main",
                     &entry_args(&wl.args),
                     exp.machine(),

@@ -1,10 +1,27 @@
-//! The IR interpreter.
+//! The IR interpreter: pre-decoded, direct-dispatch execution.
+//!
+//! [`Emulator::run`] does not walk [`Inst`] structs. The module is decoded
+//! once (see [`crate::decode`]) into flat per-function op streams, and the
+//! hot loop dispatches on a dense discriminant with all operands resolved
+//! to register-file slots. Trace events still carry the original `&Inst`,
+//! so every [`TraceSink`] (profiler, cycle simulator, dynamic stats) sees
+//! a stream bit-identical to the struct-walking reference interpreter
+//! ([`crate::reference::ReferenceEmulator`]).
+//!
+//! Error context is *lazy*: the hot loop never touches strings. On the
+//! cold error path the original instruction is looked up via the decoded
+//! op's `(block, index)` provenance and rendered then.
 
+use crate::decode::{
+    DCode, DOp, DecodedFunc, DecodedModule, DST_OOR, F_BRANCH, F_SPEC, MALFORMED_REASONS, NONE,
+    TARGET_MISSING, TARGET_NOT_LAID,
+};
 use crate::memory::Memory;
 use crate::trace::{Event, TraceSink};
-use hyperpred_ir::{FuncId, Function, Inst, Module, Op, Operand};
+use hyperpred_ir::{BlockId, FuncId, Function, Inst, InstId, MemWidth, Module};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default instruction budget; guards against non-terminating test inputs.
 pub const DEFAULT_FUEL: u64 = 2_000_000_000;
@@ -13,6 +30,10 @@ pub const MAX_DEPTH: usize = 8192;
 
 /// Where an [`EmuError`] happened: enough context to reproduce the trap
 /// from a failure-report line alone.
+///
+/// Constructed only on cold error paths — building one renders the
+/// faulting instruction to a `String`, which must never happen per
+/// fetched instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmuContext {
     /// The executing function's name.
@@ -24,7 +45,8 @@ pub struct EmuContext {
 }
 
 impl EmuContext {
-    fn new(func: &str, inst: impl ToString, fetched: u64) -> EmuContext {
+    #[cold]
+    pub(crate) fn new(func: &str, inst: impl ToString, fetched: u64) -> EmuContext {
         EmuContext {
             func: func.to_string(),
             inst: inst.to_string(),
@@ -119,7 +141,8 @@ impl fmt::Display for EmuError {
 impl Error for EmuError {}
 
 /// Builds a [`EmuError::Malformed`] for the current instruction.
-fn malformed(func: &str, inst: &Inst, fetched: u64, reason: &'static str) -> EmuError {
+#[cold]
+pub(crate) fn malformed(func: &str, inst: &Inst, fetched: u64, reason: &'static str) -> EmuError {
     EmuError::Malformed {
         ctx: EmuContext::new(func, inst, fetched),
         reason,
@@ -127,8 +150,9 @@ fn malformed(func: &str, inst: &Inst, fetched: u64, reason: &'static str) -> Emu
 }
 
 /// Checked destination-register slot: a missing or out-of-range `dst` is a
-/// typed error, not an `unwrap` panic.
-fn dst_slot<'r>(
+/// typed error, not an `unwrap` panic. (Reference-interpreter path only;
+/// the decoded stream bakes these checks at decode time.)
+pub(crate) fn dst_slot<'r>(
     regs: &'r mut [i64],
     func: &str,
     inst: &Inst,
@@ -150,13 +174,121 @@ pub struct RunOutcome {
     pub fetched: u64,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Ret(i64),
     Halt,
 }
 
+/// Reconstructs error context from a decoded op's provenance. Fully
+/// bounds-checked: error paths must stay panic-free even for ops whose
+/// provenance is synthetic.
+#[cold]
+#[inline(never)]
+fn op_ctx(f: &Function, op: &DOp, fetched: u64) -> EmuContext {
+    let rendered = f
+        .blocks
+        .get(op.block as usize)
+        .and_then(|b| b.insts.get(op.index as usize))
+        .map_or_else(|| "<unknown>".to_string(), |i| i.to_string());
+    EmuContext {
+        func: f.name.clone(),
+        inst: rendered,
+        fetched,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn fuel_err(f: &Function, op: &DOp, fetched: u64, fuel: u64) -> EmuError {
+    EmuError::OutOfFuel {
+        ctx: op_ctx(f, op, fetched),
+        fuel,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn abort_err(f: &Function, op: &DOp, fetched: u64) -> EmuError {
+    EmuError::SinkAbort {
+        ctx: op_ctx(f, op, fetched),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn trap_err(f: &Function, op: &DOp, fetched: u64, addr: u64) -> EmuError {
+    EmuError::Trap {
+        ctx: op_ctx(f, op, fetched),
+        addr,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn div_err(f: &Function, op: &DOp, fetched: u64) -> EmuError {
+    EmuError::DivByZero {
+        ctx: op_ctx(f, op, fetched),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn depth_err(f: &Function, op: &DOp, fetched: u64) -> EmuError {
+    EmuError::CallDepth {
+        ctx: op_ctx(f, op, fetched),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn mal_err(f: &Function, op: &DOp, fetched: u64, reason: &'static str) -> EmuError {
+    EmuError::Malformed {
+        ctx: op_ctx(f, op, fetched),
+        reason,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn lazy_dst_err(f: &Function, op: &DOp, fetched: u64) -> EmuError {
+    let reason = if op.dst == NONE {
+        "missing destination register"
+    } else {
+        "destination register out of range"
+    };
+    mal_err(f, op, fetched, reason)
+}
+
+#[cold]
+#[inline(never)]
+fn target_err(f: &Function, op: &DOp, fetched: u64) -> EmuError {
+    let reason = if op.imm == TARGET_MISSING {
+        "branch without target"
+    } else {
+        "branch target not in layout"
+    };
+    mal_err(f, op, fetched, reason)
+}
+
+#[cold]
+#[inline(never)]
+fn end_err(f: &Function, fetched: u64) -> EmuError {
+    EmuError::Malformed {
+        ctx: EmuContext {
+            func: f.name.clone(),
+            inst: "<end of function>".to_string(),
+            fetched,
+        },
+        reason: "control fell off the end of the function",
+    }
+}
+
 /// Interprets a [`Module`], streaming the dynamic trace to a
 /// [`TraceSink`].
+///
+/// The module is pre-decoded into flat op streams on first use; pass a
+/// cached decode via [`Emulator::with_decoded`] to share that work across
+/// runs (the matrix engine caches one decode per compiled module).
 ///
 /// # Example
 ///
@@ -183,6 +315,7 @@ pub struct Emulator<'m> {
     pub mem: Memory,
     fuel: u64,
     fetched: u64,
+    decoded: Option<Arc<DecodedModule>>,
 }
 
 impl<'m> Emulator<'m> {
@@ -193,7 +326,19 @@ impl<'m> Emulator<'m> {
             mem: Memory::new(module),
             fuel: DEFAULT_FUEL,
             fetched: 0,
+            decoded: None,
         }
+    }
+
+    /// Creates an emulator reusing an existing decode of `module`, so
+    /// repeated short runs (profiling, matrix cells) skip re-decoding.
+    ///
+    /// If `decoded` does not match the module's current shape it is
+    /// discarded and the module is re-decoded on first run.
+    pub fn with_decoded(module: &'m Module, decoded: Arc<DecodedModule>) -> Emulator<'m> {
+        let mut emu = Emulator::new(module);
+        emu.decoded = Some(decoded);
+        emu
     }
 
     /// Overrides the instruction budget.
@@ -217,8 +362,19 @@ impl<'m> Emulator<'m> {
             .module
             .func_by_name(func)
             .ok_or_else(|| EmuError::NoFunc(func.to_string()))?;
+        // The shape check is the once-per-run safety argument for the
+        // unchecked (block, index) instruction fetches in the hot loop: a
+        // stale or foreign decode is silently replaced, never trusted.
+        let decoded = match &self.decoded {
+            Some(d) if d.matches(self.module) => Arc::clone(d),
+            _ => {
+                let d = Arc::new(DecodedModule::decode(self.module));
+                self.decoded = Some(Arc::clone(&d));
+                d
+            }
+        };
         self.fetched = 0;
-        let flow = self.exec(fid, args, sink, 0)?;
+        let flow = self.exec(fid, args, sink, 0, &decoded)?;
         let ret = match flow {
             Flow::Ret(v) => v,
             Flow::Halt => 0,
@@ -235,316 +391,324 @@ impl<'m> Emulator<'m> {
         args: &[i64],
         sink: &mut S,
         depth: usize,
+        decoded: &DecodedModule,
     ) -> Result<Flow, EmuError> {
         let module = self.module;
-        let f: &Function = module.func(fid);
+        let f: &'m Function = module.func(fid);
+        let df: &DecodedFunc = &decoded.funcs[fid.index()];
         debug_assert_eq!(args.len(), f.params.len(), "arity checked by verifier");
-        let mut regs = vec![0i64; f.reg_count.max(1) as usize];
-        let mut preds = vec![false; f.pred_count.max(1) as usize];
-        for (&p, &v) in f.params.iter().zip(args) {
-            regs[p.index()] = v;
+
+        // Activation: registers, then the constant pool in the slots past
+        // `reg_count` so immediates read like registers, then parameters.
+        let mut regs = vec![0i64; df.slot_count as usize];
+        regs[df.reg_count as usize..].copy_from_slice(&df.pool);
+        let mut preds = vec![false; df.pred_count as usize];
+        for (&slot, &v) in df.params.iter().zip(args) {
+            regs[slot as usize] = v;
         }
-        let val = |regs: &[i64], s: Operand| -> i64 {
-            match s {
-                Operand::Reg(r) => regs[r.index()],
-                Operand::Imm(v) => v,
-            }
-        };
-        let fval = |regs: &[i64], s: Operand| -> f64 { f64::from_bits(val(regs, s) as u64) };
 
-        let mut bpos = 0usize;
-        'blocks: loop {
-            let bid = f.layout[bpos];
-            sink.enter_block(fid, bid);
-            let insts = &f.block(bid).insts;
-            let mut idx = 0usize;
-            while idx < insts.len() {
-                let inst: &Inst = &insts[idx];
-                if self.fetched >= self.fuel {
-                    return Err(EmuError::OutOfFuel {
-                        ctx: EmuContext::new(&f.name, inst, self.fetched),
-                        fuel: self.fuel,
-                    });
-                }
-                if sink.aborted() {
-                    return Err(EmuError::SinkAbort {
-                        ctx: EmuContext::new(&f.name, inst, self.fetched),
-                    });
-                }
-                self.fetched += 1;
-                let fetched = self.fetched;
+        let ops: &[DOp] = &df.ops;
+        // SAFETY (for every `get_unchecked` below): decode guarantees all
+        // register slots < slot_count, all predicate slots < pred_count,
+        // all pool ranges in bounds, every stream terminated by `End`, and
+        // every baked branch target < ops.len(). `run` re-validated that
+        // the module still has the decoded shape, so the `(block, index)`
+        // provenance carried for cold error paths stays in bounds.
+        macro_rules! rd {
+            ($s:expr) => {
+                unsafe { *regs.get_unchecked($s as usize) }
+            };
+        }
+        macro_rules! wr {
+            ($s:expr, $v:expr) => {{
+                let v = $v;
+                unsafe { *regs.get_unchecked_mut($s as usize) = v }
+            }};
+        }
+        macro_rules! frd {
+            ($s:expr) => {
+                f64::from_bits(rd!($s) as u64)
+            };
+        }
 
-                let guard_val = inst.guard.is_none_or(|p| preds[p.index()]);
-                // Predicate defines are NOT nullified by a false guard: Pin
-                // is an *input* to the Table 1 truth table (a false Pin
-                // still writes 0 to U-type destinations).
-                let is_pdef = inst.op.is_pred_def();
-                if !guard_val && !is_pdef {
-                    sink.inst(&Event {
-                        func: fid,
-                        block: bid,
-                        index: idx,
-                        inst,
-                        nullified: true,
-                        taken: if inst.op.is_branch() {
-                            Some(false)
-                        } else {
-                            None
-                        },
-                        mem_addr: None,
-                    });
-                    idx += 1;
-                    continue;
-                }
+        let mut pc = 0usize;
+        loop {
+            let op = unsafe { ops.get_unchecked(pc) };
 
-                let mut taken = None;
-                let mut mem_addr = None;
-                let trap = |addr: u64| EmuError::Trap {
-                    ctx: EmuContext::new(&f.name, inst, fetched),
-                    addr,
-                };
-                match inst.op {
-                    Op::Add
-                    | Op::Sub
-                    | Op::Mul
-                    | Op::And
-                    | Op::Or
-                    | Op::Xor
-                    | Op::AndNot
-                    | Op::OrNot
-                    | Op::Shl
-                    | Op::Shr
-                    | Op::Sra => {
-                        let a = val(&regs, inst.srcs[0]);
-                        let b = val(&regs, inst.srcs[1]);
-                        let r = match inst.op {
-                            Op::Add => a.wrapping_add(b),
-                            Op::Sub => a.wrapping_sub(b),
-                            Op::Mul => a.wrapping_mul(b),
-                            Op::And => a & b,
-                            Op::Or => a | b,
-                            Op::Xor => a ^ b,
-                            Op::AndNot => a & !b,
-                            Op::OrNot => a | !b,
-                            Op::Shl => a.wrapping_shl(b as u32 & 63),
-                            Op::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
-                            Op::Sra => a.wrapping_shr(b as u32 & 63),
-                            _ => unreachable!(),
-                        };
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
-                    }
-                    Op::Div | Op::Rem => {
-                        let a = val(&regs, inst.srcs[0]);
-                        let b = val(&regs, inst.srcs[1]);
-                        let r = if b == 0 {
-                            if inst.speculative {
-                                0
-                            } else {
-                                return Err(EmuError::DivByZero {
-                                    ctx: EmuContext::new(&f.name, inst, fetched),
-                                });
-                            }
-                        } else if inst.op == Op::Div {
-                            a.wrapping_div(b)
-                        } else {
-                            a.wrapping_rem(b)
-                        };
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
-                    }
-                    Op::Cmp(c) => {
-                        let a = val(&regs, inst.srcs[0]);
-                        let b = val(&regs, inst.srcs[1]);
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval(a, b) as i64;
-                    }
-                    Op::Mov => {
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = val(&regs, inst.srcs[0]);
-                    }
-                    Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
-                        let a = fval(&regs, inst.srcs[0]);
-                        let b = fval(&regs, inst.srcs[1]);
-                        if inst.op == Op::FDiv && b == 0.0 && !inst.speculative {
-                            return Err(EmuError::DivByZero {
-                                ctx: EmuContext::new(&f.name, inst, fetched),
-                            });
-                        }
-                        let r = match inst.op {
-                            Op::FAdd => a + b,
-                            Op::FSub => a - b,
-                            Op::FMul => a * b,
-                            Op::FDiv => {
-                                if b == 0.0 {
-                                    0.0
-                                } else {
-                                    a / b
-                                }
-                            }
-                            _ => unreachable!(),
-                        };
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r.to_bits() as i64;
-                    }
-                    Op::FCmp(c) => {
-                        let a = fval(&regs, inst.srcs[0]);
-                        let b = fval(&regs, inst.srcs[1]);
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval_f(a, b) as i64;
-                    }
-                    Op::IToF => {
-                        let a = val(&regs, inst.srcs[0]);
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = (a as f64).to_bits() as i64;
-                    }
-                    Op::FToI => {
-                        let a = fval(&regs, inst.srcs[0]);
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = a as i64;
-                    }
-                    Op::Ld(w) => {
-                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
-                            as u64;
-                        mem_addr = Some(addr);
-                        let v = self
-                            .mem
-                            .load(addr, w, inst.speculative)
-                            .map_err(|t| trap(t.addr))?;
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
-                    }
-                    Op::St(w) => {
-                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
-                            as u64;
-                        mem_addr = Some(addr);
-                        let v = val(&regs, inst.srcs[2]);
-                        self.mem
-                            .store(addr, w, v, inst.speculative)
-                            .map_err(|t| trap(t.addr))?;
-                    }
-                    Op::Br(c) => {
-                        let a = val(&regs, inst.srcs[0]);
-                        let b = val(&regs, inst.srcs[1]);
-                        taken = Some(c.eval(a, b));
-                    }
-                    Op::Jump => {
-                        taken = Some(true);
-                    }
-                    Op::Call => {
-                        let callee = inst
-                            .callee
-                            .ok_or_else(|| malformed(&f.name, inst, fetched, "unlinked call"))?;
-                        if depth + 1 >= MAX_DEPTH {
-                            return Err(EmuError::CallDepth {
-                                ctx: EmuContext::new(&f.name, inst, fetched),
-                            });
-                        }
-                        let argv: Vec<i64> = inst.srcs.iter().map(|&s| val(&regs, s)).collect();
-                        sink.inst(&Event {
-                            func: fid,
-                            block: bid,
-                            index: idx,
-                            inst,
-                            nullified: false,
-                            taken: None,
-                            mem_addr: None,
-                        });
-                        match self.exec(callee, &argv, sink, depth + 1)? {
-                            Flow::Ret(v) => *dst_slot(&mut regs, &f.name, inst, fetched)? = v,
-                            Flow::Halt => return Ok(Flow::Halt),
-                        }
-                        // Re-establish block context for the trace consumer:
-                        // the callee's events interleaved; the sim treats a
-                        // call as a block boundary.
-                        sink.enter_block(fid, bid);
-                        idx += 1;
+            // Pseudo-ops are not fetched instructions: no fuel, no events.
+            if (op.code as u8) <= DCode::BadParams as u8 {
+                match op.code {
+                    DCode::EnterBlock => {
+                        sink.enter_block(fid, BlockId(op.block));
+                        pc += 1;
                         continue;
                     }
-                    Op::Ret => {
-                        let v = inst.srcs.first().map_or(0, |&s| val(&regs, s));
-                        sink.inst(&Event {
-                            func: fid,
-                            block: bid,
-                            index: idx,
-                            inst,
-                            nullified: false,
-                            taken: None,
-                            mem_addr: None,
-                        });
-                        return Ok(Flow::Ret(v));
+                    DCode::End => return Err(end_err(f, self.fetched)),
+                    _ => {
+                        return Err(EmuError::Malformed {
+                            ctx: EmuContext {
+                                func: f.name.clone(),
+                                inst: "<params>".to_string(),
+                                fetched: self.fetched,
+                            },
+                            reason: "parameter register out of range",
+                        })
                     }
-                    Op::Halt => {
-                        sink.inst(&Event {
-                            func: fid,
-                            block: bid,
-                            index: idx,
-                            inst,
-                            nullified: false,
-                            taken: None,
-                            mem_addr: None,
-                        });
-                        return Ok(Flow::Halt);
-                    }
-                    Op::PredDef(c) | Op::FPredDef(c) => {
-                        let cmp = match inst.op {
-                            Op::PredDef(_) => {
-                                let a = val(&regs, inst.srcs[0]);
-                                let b = val(&regs, inst.srcs[1]);
-                                c.eval(a, b)
-                            }
-                            _ => {
-                                let a = fval(&regs, inst.srcs[0]);
-                                let b = fval(&regs, inst.srcs[1]);
-                                c.eval_f(a, b)
-                            }
-                        };
-                        for pd in &inst.pdsts {
-                            let old = preds[pd.reg.index()];
-                            preds[pd.reg.index()] = pd.ty.eval(guard_val, cmp, old);
-                        }
-                    }
-                    Op::PredClear => preds.fill(false),
-                    Op::PredSet => preds.fill(true),
-                    Op::Cmov | Op::CmovCom => {
-                        let v = val(&regs, inst.srcs[0]);
-                        let cond = val(&regs, inst.srcs[1]) != 0;
-                        let fire = if inst.op == Op::Cmov { cond } else { !cond };
-                        if fire {
-                            *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
-                        }
-                    }
-                    Op::Select => {
-                        let t = val(&regs, inst.srcs[0]);
-                        let e = val(&regs, inst.srcs[1]);
-                        let cond = val(&regs, inst.srcs[2]) != 0;
-                        *dst_slot(&mut regs, &f.name, inst, fetched)? = if cond { t } else { e };
-                    }
-                    Op::Nop => {}
                 }
+            }
 
+            if self.fetched >= self.fuel {
+                return Err(fuel_err(f, op, self.fetched, self.fuel));
+            }
+            if sink.aborted() {
+                return Err(abort_err(f, op, self.fetched));
+            }
+            self.fetched += 1;
+
+            if op.nullify != NONE && !unsafe { *preds.get_unchecked(op.nullify as usize) } {
                 sink.inst(&Event {
                     func: fid,
-                    block: bid,
-                    index: idx,
-                    inst,
-                    nullified: false,
-                    taken,
-                    mem_addr,
+                    block: BlockId(op.block),
+                    index: op.index as usize,
+                    id: InstId(op.id),
+                    code: op.code,
+                    nullified: true,
+                    taken: if op.flags & F_BRANCH != 0 {
+                        Some(false)
+                    } else {
+                        None
+                    },
+                    mem_addr: None,
                 });
+                pc += 1;
+                continue;
+            }
 
-                if taken == Some(true) {
-                    let t = inst.target.ok_or_else(|| {
-                        malformed(&f.name, inst, fetched, "branch without target")
-                    })?;
-                    bpos = f.layout_pos(t).ok_or_else(|| {
-                        malformed(&f.name, inst, fetched, "branch target not in layout")
-                    })?;
-                    continue 'blocks;
+            macro_rules! pdef {
+                ($cmp:expr) => {{
+                    let cmp = $cmp;
+                    let pin = op.c == NONE || unsafe { *preds.get_unchecked(op.c as usize) };
+                    let lo = op.dst as usize;
+                    for pd in unsafe { df.pdsts.get_unchecked(lo..lo + op.imm as usize) } {
+                        let slot = pd.slot as usize;
+                        let old = unsafe { *preds.get_unchecked(slot) };
+                        unsafe { *preds.get_unchecked_mut(slot) = pd.ty.eval(pin, cmp, old) };
+                    }
+                }};
+            }
+
+            let mut taken = None;
+            let mut mem_addr = None;
+            match op.code {
+                DCode::Add => wr!(op.dst, rd!(op.a).wrapping_add(rd!(op.b))),
+                DCode::Sub => wr!(op.dst, rd!(op.a).wrapping_sub(rd!(op.b))),
+                DCode::Mul => wr!(op.dst, rd!(op.a).wrapping_mul(rd!(op.b))),
+                DCode::And => wr!(op.dst, rd!(op.a) & rd!(op.b)),
+                DCode::Or => wr!(op.dst, rd!(op.a) | rd!(op.b)),
+                DCode::Xor => wr!(op.dst, rd!(op.a) ^ rd!(op.b)),
+                DCode::AndNot => wr!(op.dst, rd!(op.a) & !rd!(op.b)),
+                DCode::OrNot => wr!(op.dst, rd!(op.a) | !rd!(op.b)),
+                DCode::Shl => wr!(op.dst, rd!(op.a).wrapping_shl(rd!(op.b) as u32 & 63)),
+                DCode::Shr => wr!(
+                    op.dst,
+                    ((rd!(op.a) as u64).wrapping_shr(rd!(op.b) as u32 & 63)) as i64
+                ),
+                DCode::Sra => wr!(op.dst, rd!(op.a).wrapping_shr(rd!(op.b) as u32 & 63)),
+                DCode::Div | DCode::Rem => {
+                    let b = rd!(op.b);
+                    let r = if b == 0 {
+                        if op.flags & F_SPEC != 0 {
+                            0
+                        } else {
+                            return Err(div_err(f, op, self.fetched));
+                        }
+                    } else if op.code == DCode::Div {
+                        rd!(op.a).wrapping_div(b)
+                    } else {
+                        rd!(op.a).wrapping_rem(b)
+                    };
+                    wr!(op.dst, r);
                 }
-                idx += 1;
+                DCode::CmpEq => wr!(op.dst, (rd!(op.a) == rd!(op.b)) as i64),
+                DCode::CmpNe => wr!(op.dst, (rd!(op.a) != rd!(op.b)) as i64),
+                DCode::CmpLt => wr!(op.dst, (rd!(op.a) < rd!(op.b)) as i64),
+                DCode::CmpLe => wr!(op.dst, (rd!(op.a) <= rd!(op.b)) as i64),
+                DCode::CmpGt => wr!(op.dst, (rd!(op.a) > rd!(op.b)) as i64),
+                DCode::CmpGe => wr!(op.dst, (rd!(op.a) >= rd!(op.b)) as i64),
+                DCode::Mov => wr!(op.dst, rd!(op.a)),
+                DCode::FAdd => wr!(op.dst, (frd!(op.a) + frd!(op.b)).to_bits() as i64),
+                DCode::FSub => wr!(op.dst, (frd!(op.a) - frd!(op.b)).to_bits() as i64),
+                DCode::FMul => wr!(op.dst, (frd!(op.a) * frd!(op.b)).to_bits() as i64),
+                DCode::FDiv => {
+                    let b = frd!(op.b);
+                    let r = if b == 0.0 {
+                        if op.flags & F_SPEC != 0 {
+                            0.0
+                        } else {
+                            return Err(div_err(f, op, self.fetched));
+                        }
+                    } else {
+                        frd!(op.a) / b
+                    };
+                    wr!(op.dst, r.to_bits() as i64);
+                }
+                DCode::FCmpEq => wr!(op.dst, (frd!(op.a) == frd!(op.b)) as i64),
+                DCode::FCmpNe => wr!(op.dst, (frd!(op.a) != frd!(op.b)) as i64),
+                DCode::FCmpLt => wr!(op.dst, (frd!(op.a) < frd!(op.b)) as i64),
+                DCode::FCmpLe => wr!(op.dst, (frd!(op.a) <= frd!(op.b)) as i64),
+                DCode::FCmpGt => wr!(op.dst, (frd!(op.a) > frd!(op.b)) as i64),
+                DCode::FCmpGe => wr!(op.dst, (frd!(op.a) >= frd!(op.b)) as i64),
+                DCode::IToF => wr!(op.dst, (rd!(op.a) as f64).to_bits() as i64),
+                DCode::FToI => wr!(op.dst, frd!(op.a) as i64),
+                DCode::LdByte | DCode::LdWord => {
+                    let addr = rd!(op.a).wrapping_add(rd!(op.b)) as u64;
+                    mem_addr = Some(addr);
+                    let w = if op.code == DCode::LdByte {
+                        MemWidth::Byte
+                    } else {
+                        MemWidth::Word
+                    };
+                    match self.mem.load(addr, w, op.flags & F_SPEC != 0) {
+                        Ok(v) => wr!(op.dst, v),
+                        Err(t) => return Err(trap_err(f, op, self.fetched, t.addr)),
+                    }
+                }
+                DCode::StByte | DCode::StWord => {
+                    let addr = rd!(op.a).wrapping_add(rd!(op.b)) as u64;
+                    mem_addr = Some(addr);
+                    let w = if op.code == DCode::StByte {
+                        MemWidth::Byte
+                    } else {
+                        MemWidth::Word
+                    };
+                    if let Err(t) = self.mem.store(addr, w, rd!(op.c), op.flags & F_SPEC != 0) {
+                        return Err(trap_err(f, op, self.fetched, t.addr));
+                    }
+                }
+                DCode::BrEq => taken = Some(rd!(op.a) == rd!(op.b)),
+                DCode::BrNe => taken = Some(rd!(op.a) != rd!(op.b)),
+                DCode::BrLt => taken = Some(rd!(op.a) < rd!(op.b)),
+                DCode::BrLe => taken = Some(rd!(op.a) <= rd!(op.b)),
+                DCode::BrGt => taken = Some(rd!(op.a) > rd!(op.b)),
+                DCode::BrGe => taken = Some(rd!(op.a) >= rd!(op.b)),
+                DCode::Jump => taken = Some(true),
+                DCode::Call => {
+                    if depth + 1 >= MAX_DEPTH {
+                        return Err(depth_err(f, op, self.fetched));
+                    }
+                    let lo = op.a as usize;
+                    let argv: Vec<i64> = df.call_args[lo..lo + op.b as usize]
+                        .iter()
+                        .map(|&s| rd!(s))
+                        .collect();
+                    sink.inst(&Event {
+                        func: fid,
+                        block: BlockId(op.block),
+                        index: op.index as usize,
+                        id: InstId(op.id),
+                        code: op.code,
+                        nullified: false,
+                        taken: None,
+                        mem_addr: None,
+                    });
+                    match self.exec(FuncId(op.imm), &argv, sink, depth + 1, decoded)? {
+                        Flow::Ret(v) => {
+                            if op.dst >= DST_OOR {
+                                return Err(lazy_dst_err(f, op, self.fetched));
+                            }
+                            wr!(op.dst, v);
+                        }
+                        Flow::Halt => return Ok(Flow::Halt),
+                    }
+                    // Re-establish block context for the trace consumer:
+                    // the callee's events interleaved; the sim treats a
+                    // call as a block boundary.
+                    sink.enter_block(fid, BlockId(op.block));
+                    pc += 1;
+                    continue;
+                }
+                DCode::Ret => {
+                    let v = if op.a == NONE { 0 } else { rd!(op.a) };
+                    sink.inst(&Event {
+                        func: fid,
+                        block: BlockId(op.block),
+                        index: op.index as usize,
+                        id: InstId(op.id),
+                        code: op.code,
+                        nullified: false,
+                        taken: None,
+                        mem_addr: None,
+                    });
+                    return Ok(Flow::Ret(v));
+                }
+                DCode::Halt => {
+                    sink.inst(&Event {
+                        func: fid,
+                        block: BlockId(op.block),
+                        index: op.index as usize,
+                        id: InstId(op.id),
+                        code: op.code,
+                        nullified: false,
+                        taken: None,
+                        mem_addr: None,
+                    });
+                    return Ok(Flow::Halt);
+                }
+                DCode::PdEq => pdef!(rd!(op.a) == rd!(op.b)),
+                DCode::PdNe => pdef!(rd!(op.a) != rd!(op.b)),
+                DCode::PdLt => pdef!(rd!(op.a) < rd!(op.b)),
+                DCode::PdLe => pdef!(rd!(op.a) <= rd!(op.b)),
+                DCode::PdGt => pdef!(rd!(op.a) > rd!(op.b)),
+                DCode::PdGe => pdef!(rd!(op.a) >= rd!(op.b)),
+                DCode::FPdEq => pdef!(frd!(op.a) == frd!(op.b)),
+                DCode::FPdNe => pdef!(frd!(op.a) != frd!(op.b)),
+                DCode::FPdLt => pdef!(frd!(op.a) < frd!(op.b)),
+                DCode::FPdLe => pdef!(frd!(op.a) <= frd!(op.b)),
+                DCode::FPdGt => pdef!(frd!(op.a) > frd!(op.b)),
+                DCode::FPdGe => pdef!(frd!(op.a) >= frd!(op.b)),
+                DCode::PredClear => preds.fill(false),
+                DCode::PredSet => preds.fill(true),
+                DCode::Cmov | DCode::CmovCom => {
+                    let cond = rd!(op.b) != 0;
+                    if (op.code == DCode::Cmov) == cond {
+                        if op.dst >= DST_OOR {
+                            return Err(lazy_dst_err(f, op, self.fetched));
+                        }
+                        wr!(op.dst, rd!(op.a));
+                    }
+                }
+                DCode::Select => wr!(op.dst, if rd!(op.c) != 0 { rd!(op.a) } else { rd!(op.b) }),
+                DCode::Nop => {}
+                DCode::Malformed => {
+                    return Err(mal_err(
+                        f,
+                        op,
+                        self.fetched,
+                        MALFORMED_REASONS[op.imm as usize],
+                    ))
+                }
+                DCode::EnterBlock | DCode::End | DCode::BadParams => unreachable!(),
             }
-            // Fall through to the next block in layout.
-            bpos += 1;
-            if bpos >= f.layout.len() {
-                // The verifier rejects functions whose last block can fall
-                // through; error instead of indexing out of bounds.
-                return Err(EmuError::Malformed {
-                    ctx: EmuContext::new(&f.name, "<end of function>", self.fetched),
-                    reason: "control fell off the end of the function",
-                });
+
+            sink.inst(&Event {
+                func: fid,
+                block: BlockId(op.block),
+                index: op.index as usize,
+                id: InstId(op.id),
+                code: op.code,
+                nullified: false,
+                taken,
+                mem_addr,
+            });
+
+            if taken == Some(true) {
+                if op.imm >= TARGET_NOT_LAID {
+                    return Err(target_err(f, op, self.fetched));
+                }
+                pc = op.imm as usize;
+                continue;
             }
+            pc += 1;
         }
     }
 }
@@ -553,7 +717,8 @@ impl<'m> Emulator<'m> {
 mod tests {
     use super::*;
     use crate::trace::{DynStats, NullSink};
-    use hyperpred_ir::{CmpOp, MemWidth};
+    use hyperpred_ir::Operand;
+    use hyperpred_ir::{CmpOp, MemWidth, Op};
     use hyperpred_ir::{FuncBuilder, PredType};
 
     fn module_of(funcs: Vec<hyperpred_ir::Function>) -> Module {
@@ -870,5 +1035,27 @@ mod tests {
         m.link().unwrap();
         let mut emu = Emulator::new(&m);
         assert_eq!(emu.run("main", &[], &mut NullSink).unwrap().ret, 777);
+    }
+
+    #[test]
+    fn shared_decode_is_reused_and_stale_decode_is_replaced() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param();
+        let y = b.add(x.into(), Operand::Imm(1));
+        b.ret(Some(y.into()));
+        let m = module_of(vec![b.finish()]);
+        let decoded = Arc::new(DecodedModule::decode(&m));
+        let mut emu = Emulator::with_decoded(&m, Arc::clone(&decoded));
+        assert_eq!(emu.run("main", &[41], &mut NullSink).unwrap().ret, 42);
+
+        // A decode of a *different* module must be rejected, not trusted.
+        let mut b2 = FuncBuilder::new("main");
+        let p = b2.param();
+        let q = b2.mul(p.into(), Operand::Imm(10));
+        let q2 = b2.mul(q.into(), Operand::Imm(10));
+        b2.ret(Some(q2.into()));
+        let m2 = module_of(vec![b2.finish()]);
+        let mut emu2 = Emulator::with_decoded(&m2, decoded);
+        assert_eq!(emu2.run("main", &[1], &mut NullSink).unwrap().ret, 100);
     }
 }

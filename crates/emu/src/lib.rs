@@ -13,20 +13,33 @@
 //! and exactly (the Table 1 truth table), which produces an equivalent
 //! trace.
 //!
+//! Execution is *pre-decoded*: [`DecodedModule::decode`] translates each
+//! function once into a flat stream of fixed-width ops (dense opcodes,
+//! operand slots, baked guards and branch targets), and [`Emulator::run`]
+//! dispatches directly over that stream. The original struct-walking
+//! interpreter survives as [`ReferenceEmulator`], the oracle for the
+//! differential fuzz suite.
+//!
 //! Main entry points:
 //!
 //! * [`Emulator::run`] — execute a module's function with a [`TraceSink`].
+//! * [`DecodedModule`] — the cacheable pre-decoded form; share one per
+//!   compiled module via [`Emulator::with_decoded`].
 //! * [`Profiler`] — a sink recording block and branch-direction profiles
 //!   used by superblock/hyperblock formation.
 //! * [`DynStats`] — a sink computing the paper's dynamic instruction and
 //!   branch counts (Tables 2 and 3 inputs).
 
+pub mod decode;
 pub mod emulator;
 pub mod memory;
 pub mod profile;
+pub mod reference;
 pub mod trace;
 
+pub use decode::{DecodedFunc, DecodedModule};
 pub use emulator::{EmuContext, EmuError, Emulator, RunOutcome, DEFAULT_FUEL, MAX_DEPTH};
 pub use memory::Memory;
 pub use profile::{BranchStat, Profiler};
+pub use reference::ReferenceEmulator;
 pub use trace::{DynStats, Event, NullSink, TraceSink};

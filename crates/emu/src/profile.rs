@@ -143,13 +143,9 @@ impl TraceSink for Profiler {
         *grown(&mut self.blocks, func.0 as usize, block.0 as usize) += 1;
     }
 
-    fn inst(&mut self, ev: &Event<'_>) {
+    fn inst(&mut self, ev: &Event) {
         if let Some(taken) = ev.taken {
-            let stat = grown(
-                &mut self.branches,
-                ev.func.0 as usize,
-                ev.inst.id.0 as usize,
-            );
+            let stat = grown(&mut self.branches, ev.func.0 as usize, ev.id.0 as usize);
             if taken {
                 stat.taken += 1;
             } else {

@@ -1,0 +1,404 @@
+//! The original struct-walking interpreter, kept as the executable
+//! specification of emulation semantics.
+//!
+//! [`ReferenceEmulator`] walks [`Inst`] structs directly, matching on enum
+//! payloads per fetched instruction — exactly the loop the pre-decoded
+//! [`Emulator`](crate::Emulator) replaced. It is deliberately *not*
+//! `#[cfg(test)]`: the differential fuzz suite in `tests/` drives random
+//! programs through both interpreters and asserts identical results, trace
+//! events, and error classifications, so this module must stay byte-for-
+//! byte faithful to the semantics the decoded stream bakes in. Do not
+//! optimize it.
+
+use crate::decode::DCode;
+use crate::emulator::{
+    dst_slot, malformed, EmuContext, EmuError, Flow, RunOutcome, DEFAULT_FUEL, MAX_DEPTH,
+};
+use crate::memory::Memory;
+use crate::trace::{Event, TraceSink};
+use hyperpred_ir::{FuncId, Function, Inst, Module, Op, Operand};
+
+/// Interprets a [`Module`] by walking instruction structs, one `match` on
+/// the full [`Op`] enum per fetched instruction.
+///
+/// Semantically identical to [`Emulator`](crate::Emulator) on every
+/// verifier-accepted module (and on most malformed ones — see
+/// `decode.rs` for the documented divergences on invalid input), but
+/// several times slower. Use it only as a differential-testing oracle.
+#[derive(Debug)]
+pub struct ReferenceEmulator<'m> {
+    module: &'m Module,
+    /// Simulated memory; inspect after a run for output checks.
+    pub mem: Memory,
+    fuel: u64,
+    fetched: u64,
+}
+
+impl<'m> ReferenceEmulator<'m> {
+    /// Creates a reference emulator with fresh memory for `module`.
+    pub fn new(module: &'m Module) -> ReferenceEmulator<'m> {
+        ReferenceEmulator {
+            module,
+            mem: Memory::new(module),
+            fuel: DEFAULT_FUEL,
+            fetched: 0,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> ReferenceEmulator<'m> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `func(args...)`, streaming events to `sink`.
+    ///
+    /// # Errors
+    /// Fails on memory traps, division by zero (non-speculative), fuel
+    /// exhaustion, call overflow, or an unknown function name.
+    pub fn run<S: TraceSink>(
+        &mut self,
+        func: &str,
+        args: &[i64],
+        sink: &mut S,
+    ) -> Result<RunOutcome, EmuError> {
+        let fid = self
+            .module
+            .func_by_name(func)
+            .ok_or_else(|| EmuError::NoFunc(func.to_string()))?;
+        self.fetched = 0;
+        let flow = self.exec(fid, args, sink, 0)?;
+        let ret = match flow {
+            Flow::Ret(v) => v,
+            Flow::Halt => 0,
+        };
+        Ok(RunOutcome {
+            ret,
+            fetched: self.fetched,
+        })
+    }
+
+    fn exec<S: TraceSink>(
+        &mut self,
+        fid: FuncId,
+        args: &[i64],
+        sink: &mut S,
+        depth: usize,
+    ) -> Result<Flow, EmuError> {
+        let module = self.module;
+        let f: &Function = module.func(fid);
+        debug_assert_eq!(args.len(), f.params.len(), "arity checked by verifier");
+        let mut regs = vec![0i64; f.reg_count.max(1) as usize];
+        let mut preds = vec![false; f.pred_count.max(1) as usize];
+        for (&p, &v) in f.params.iter().zip(args) {
+            regs[p.index()] = v;
+        }
+        let val = |regs: &[i64], s: Operand| -> i64 {
+            match s {
+                Operand::Reg(r) => regs[r.index()],
+                Operand::Imm(v) => v,
+            }
+        };
+        let fval = |regs: &[i64], s: Operand| -> f64 { f64::from_bits(val(regs, s) as u64) };
+
+        let mut bpos = 0usize;
+        'blocks: loop {
+            let bid = f.layout[bpos];
+            sink.enter_block(fid, bid);
+            let insts = &f.block(bid).insts;
+            let mut idx = 0usize;
+            while idx < insts.len() {
+                let inst: &Inst = &insts[idx];
+                if self.fetched >= self.fuel {
+                    return Err(EmuError::OutOfFuel {
+                        ctx: EmuContext::new(&f.name, inst, self.fetched),
+                        fuel: self.fuel,
+                    });
+                }
+                if sink.aborted() {
+                    return Err(EmuError::SinkAbort {
+                        ctx: EmuContext::new(&f.name, inst, self.fetched),
+                    });
+                }
+                self.fetched += 1;
+                let fetched = self.fetched;
+
+                let guard_val = inst.guard.is_none_or(|p| preds[p.index()]);
+                // Predicate defines are NOT nullified by a false guard: Pin
+                // is an *input* to the Table 1 truth table (a false Pin
+                // still writes 0 to U-type destinations).
+                let is_pdef = inst.op.is_pred_def();
+                if !guard_val && !is_pdef {
+                    sink.inst(&Event {
+                        func: fid,
+                        block: bid,
+                        index: idx,
+                        id: inst.id,
+                        code: DCode::of(inst.op),
+                        nullified: true,
+                        taken: if inst.op.is_branch() {
+                            Some(false)
+                        } else {
+                            None
+                        },
+                        mem_addr: None,
+                    });
+                    idx += 1;
+                    continue;
+                }
+
+                let mut taken = None;
+                let mut mem_addr = None;
+                let trap = |addr: u64| EmuError::Trap {
+                    ctx: EmuContext::new(&f.name, inst, fetched),
+                    addr,
+                };
+                match inst.op {
+                    Op::Add
+                    | Op::Sub
+                    | Op::Mul
+                    | Op::And
+                    | Op::Or
+                    | Op::Xor
+                    | Op::AndNot
+                    | Op::OrNot
+                    | Op::Shl
+                    | Op::Shr
+                    | Op::Sra => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        let r = match inst.op {
+                            Op::Add => a.wrapping_add(b),
+                            Op::Sub => a.wrapping_sub(b),
+                            Op::Mul => a.wrapping_mul(b),
+                            Op::And => a & b,
+                            Op::Or => a | b,
+                            Op::Xor => a ^ b,
+                            Op::AndNot => a & !b,
+                            Op::OrNot => a | !b,
+                            Op::Shl => a.wrapping_shl(b as u32 & 63),
+                            Op::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                            Op::Sra => a.wrapping_shr(b as u32 & 63),
+                            _ => unreachable!(),
+                        };
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
+                    }
+                    Op::Div | Op::Rem => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        let r = if b == 0 {
+                            if inst.speculative {
+                                0
+                            } else {
+                                return Err(EmuError::DivByZero {
+                                    ctx: EmuContext::new(&f.name, inst, fetched),
+                                });
+                            }
+                        } else if inst.op == Op::Div {
+                            a.wrapping_div(b)
+                        } else {
+                            a.wrapping_rem(b)
+                        };
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r;
+                    }
+                    Op::Cmp(c) => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval(a, b) as i64;
+                    }
+                    Op::Mov => {
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = val(&regs, inst.srcs[0]);
+                    }
+                    Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        let b = fval(&regs, inst.srcs[1]);
+                        if inst.op == Op::FDiv && b == 0.0 && !inst.speculative {
+                            return Err(EmuError::DivByZero {
+                                ctx: EmuContext::new(&f.name, inst, fetched),
+                            });
+                        }
+                        let r = match inst.op {
+                            Op::FAdd => a + b,
+                            Op::FSub => a - b,
+                            Op::FMul => a * b,
+                            Op::FDiv => {
+                                if b == 0.0 {
+                                    0.0
+                                } else {
+                                    a / b
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = r.to_bits() as i64;
+                    }
+                    Op::FCmp(c) => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        let b = fval(&regs, inst.srcs[1]);
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = c.eval_f(a, b) as i64;
+                    }
+                    Op::IToF => {
+                        let a = val(&regs, inst.srcs[0]);
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = (a as f64).to_bits() as i64;
+                    }
+                    Op::FToI => {
+                        let a = fval(&regs, inst.srcs[0]);
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = a as i64;
+                    }
+                    Op::Ld(w) => {
+                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                            as u64;
+                        mem_addr = Some(addr);
+                        let v = self
+                            .mem
+                            .load(addr, w, inst.speculative)
+                            .map_err(|t| trap(t.addr))?;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
+                    }
+                    Op::St(w) => {
+                        let addr = (val(&regs, inst.srcs[0]).wrapping_add(val(&regs, inst.srcs[1])))
+                            as u64;
+                        mem_addr = Some(addr);
+                        let v = val(&regs, inst.srcs[2]);
+                        self.mem
+                            .store(addr, w, v, inst.speculative)
+                            .map_err(|t| trap(t.addr))?;
+                    }
+                    Op::Br(c) => {
+                        let a = val(&regs, inst.srcs[0]);
+                        let b = val(&regs, inst.srcs[1]);
+                        taken = Some(c.eval(a, b));
+                    }
+                    Op::Jump => {
+                        taken = Some(true);
+                    }
+                    Op::Call => {
+                        let callee = inst
+                            .callee
+                            .ok_or_else(|| malformed(&f.name, inst, fetched, "unlinked call"))?;
+                        if depth + 1 >= MAX_DEPTH {
+                            return Err(EmuError::CallDepth {
+                                ctx: EmuContext::new(&f.name, inst, fetched),
+                            });
+                        }
+                        let argv: Vec<i64> = inst.srcs.iter().map(|&s| val(&regs, s)).collect();
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            id: inst.id,
+                            code: DCode::of(inst.op),
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        match self.exec(callee, &argv, sink, depth + 1)? {
+                            Flow::Ret(v) => *dst_slot(&mut regs, &f.name, inst, fetched)? = v,
+                            Flow::Halt => return Ok(Flow::Halt),
+                        }
+                        // Re-establish block context for the trace consumer:
+                        // the callee's events interleaved; the sim treats a
+                        // call as a block boundary.
+                        sink.enter_block(fid, bid);
+                        idx += 1;
+                        continue;
+                    }
+                    Op::Ret => {
+                        let v = inst.srcs.first().map_or(0, |&s| val(&regs, s));
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            id: inst.id,
+                            code: DCode::of(inst.op),
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        return Ok(Flow::Ret(v));
+                    }
+                    Op::Halt => {
+                        sink.inst(&Event {
+                            func: fid,
+                            block: bid,
+                            index: idx,
+                            id: inst.id,
+                            code: DCode::of(inst.op),
+                            nullified: false,
+                            taken: None,
+                            mem_addr: None,
+                        });
+                        return Ok(Flow::Halt);
+                    }
+                    Op::PredDef(c) | Op::FPredDef(c) => {
+                        let cmp = match inst.op {
+                            Op::PredDef(_) => {
+                                let a = val(&regs, inst.srcs[0]);
+                                let b = val(&regs, inst.srcs[1]);
+                                c.eval(a, b)
+                            }
+                            _ => {
+                                let a = fval(&regs, inst.srcs[0]);
+                                let b = fval(&regs, inst.srcs[1]);
+                                c.eval_f(a, b)
+                            }
+                        };
+                        for pd in &inst.pdsts {
+                            let old = preds[pd.reg.index()];
+                            preds[pd.reg.index()] = pd.ty.eval(guard_val, cmp, old);
+                        }
+                    }
+                    Op::PredClear => preds.fill(false),
+                    Op::PredSet => preds.fill(true),
+                    Op::Cmov | Op::CmovCom => {
+                        let v = val(&regs, inst.srcs[0]);
+                        let cond = val(&regs, inst.srcs[1]) != 0;
+                        let fire = if inst.op == Op::Cmov { cond } else { !cond };
+                        if fire {
+                            *dst_slot(&mut regs, &f.name, inst, fetched)? = v;
+                        }
+                    }
+                    Op::Select => {
+                        let t = val(&regs, inst.srcs[0]);
+                        let e = val(&regs, inst.srcs[1]);
+                        let cond = val(&regs, inst.srcs[2]) != 0;
+                        *dst_slot(&mut regs, &f.name, inst, fetched)? = if cond { t } else { e };
+                    }
+                    Op::Nop => {}
+                }
+
+                sink.inst(&Event {
+                    func: fid,
+                    block: bid,
+                    index: idx,
+                    id: inst.id,
+                    code: DCode::of(inst.op),
+                    nullified: false,
+                    taken,
+                    mem_addr,
+                });
+
+                if taken == Some(true) {
+                    let t = inst.target.ok_or_else(|| {
+                        malformed(&f.name, inst, fetched, "branch without target")
+                    })?;
+                    bpos = f.layout_pos(t).ok_or_else(|| {
+                        malformed(&f.name, inst, fetched, "branch target not in layout")
+                    })?;
+                    continue 'blocks;
+                }
+                idx += 1;
+            }
+            // Fall through to the next block in layout.
+            bpos += 1;
+            if bpos >= f.layout.len() {
+                // The verifier rejects functions whose last block can fall
+                // through; error instead of indexing out of bounds.
+                return Err(EmuError::Malformed {
+                    ctx: EmuContext::new(&f.name, "<end of function>", self.fetched),
+                    reason: "control fell off the end of the function",
+                });
+            }
+        }
+    }
+}

@@ -1,22 +1,32 @@
 //! Trace events and sinks.
 
-use hyperpred_ir::{BlockId, FuncId, Inst, Op};
+use crate::decode::DCode;
+use hyperpred_ir::{BlockId, FuncId, InstId};
 
 /// One dynamic instruction instance, delivered to a [`TraceSink`].
 ///
 /// Every *fetched* instruction produces an event, including nullified
 /// predicated instructions: the paper's dynamic instruction counts (Table 2)
 /// count fetched instructions since they consume fetch and issue resources.
-#[derive(Debug)]
-pub struct Event<'a> {
+///
+/// Events carry the decoded opcode and the instruction's stable id — plain
+/// values, not an `&Inst` — so delivering one costs no loads from the IR
+/// structs. Sinks that need static fields beyond the opcode (latency
+/// classes, operand lists) index their own pre-baked tables by
+/// `(block, index)` or by `id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
     /// Function being executed.
     pub func: FuncId,
     /// Block within the function.
     pub block: BlockId,
     /// Index of the instruction within the block.
     pub index: usize,
-    /// The static instruction.
-    pub inst: &'a Inst,
+    /// Stable id of the static instruction.
+    pub id: InstId,
+    /// Decoded opcode ([`DCode::Malformed`] for structurally invalid
+    /// instructions, which only ever reach a sink nullified).
+    pub code: DCode,
     /// True when the guard predicate evaluated false (instruction fetched
     /// but suppressed).
     pub nullified: bool,
@@ -39,7 +49,7 @@ pub trait TraceSink {
     }
 
     /// An instruction was fetched (and executed unless `ev.nullified`).
-    fn inst(&mut self, ev: &Event<'_>) {
+    fn inst(&mut self, ev: &Event) {
         let _ = ev;
     }
 
@@ -114,21 +124,32 @@ impl TraceSink for DynStats {
         row[b] += 1;
     }
 
-    fn inst(&mut self, ev: &Event<'_>) {
+    fn inst(&mut self, ev: &Event) {
         self.insts += 1;
         if ev.nullified {
             self.nullified += 1;
         }
-        match ev.inst.op {
-            Op::Br(_) => {
+        match ev.code {
+            DCode::BrEq | DCode::BrNe | DCode::BrLt | DCode::BrLe | DCode::BrGt | DCode::BrGe => {
                 self.branches += 1;
                 self.cond_branches += 1;
             }
-            Op::Jump => self.branches += 1,
-            Op::Ld(_) if !ev.nullified => self.loads += 1,
-            Op::St(_) if !ev.nullified => self.stores += 1,
-            Op::PredDef(_) | Op::FPredDef(_) => self.pred_defs += 1,
-            Op::Cmov | Op::CmovCom | Op::Select => self.cmovs += 1,
+            DCode::Jump => self.branches += 1,
+            DCode::LdByte | DCode::LdWord if !ev.nullified => self.loads += 1,
+            DCode::StByte | DCode::StWord if !ev.nullified => self.stores += 1,
+            DCode::PdEq
+            | DCode::PdNe
+            | DCode::PdLt
+            | DCode::PdLe
+            | DCode::PdGt
+            | DCode::PdGe
+            | DCode::FPdEq
+            | DCode::FPdNe
+            | DCode::FPdLt
+            | DCode::FPdLe
+            | DCode::FPdGt
+            | DCode::FPdGe => self.pred_defs += 1,
+            DCode::Cmov | DCode::CmovCom | DCode::Select => self.cmovs += 1,
             _ => {}
         }
         if ev.taken == Some(true) {
@@ -159,7 +180,7 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
         self.b.enter_block(func, block);
     }
 
-    fn inst(&mut self, ev: &Event<'_>) {
+    fn inst(&mut self, ev: &Event) {
         self.a.inst(ev);
         self.b.inst(ev);
     }

@@ -23,11 +23,12 @@
 
 use crate::btb::{Btb, BtbConfig};
 use crate::cache::{Cache, CacheConfig};
-use hyperpred_emu::{EmuError, Emulator, Event, TraceSink};
+use hyperpred_emu::{DecodedModule, EmuError, Emulator, Event, TraceSink};
 use hyperpred_ir::{Module, Op, PredType};
 use hyperpred_sched::MachineConfig;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default cycle budget: far above any real workload (the full-scale
 /// suite peaks in the tens of millions of cycles) but finite, so a
@@ -168,18 +169,75 @@ impl SimStats {
     }
 }
 
+/// Per-static-instruction timing facts, baked once in [`CycleSim::new`]
+/// so the per-event hot path never touches the [`Inst`] struct: no
+/// `src_regs()` iterator over `Operand` enums, no latency `match` on the
+/// opcode, no per-event `func`-relative offset arithmetic. Register and
+/// predicate operands are stored as *global* scoreboard slots
+/// (`reg_off[f] + r` resolved at build time); the fetch address and the
+/// machine latency are baked outright.
+///
+/// [`Inst`]: hyperpred_ir::Inst
+#[derive(Clone, Copy)]
+struct InstInfo {
+    /// Code-layout fetch address (blocks outside a layout base at 0).
+    addr: u64,
+    /// Machine latency of this opcode (the `Latencies::of` result).
+    lat: u32,
+    /// Global destination-register slot, or [`SLOT_NONE`].
+    dst: u32,
+    /// Global guard-predicate slot, or [`SLOT_NONE`].
+    guard: u32,
+    /// Start of this instruction's register sources in `src_slots`.
+    src_off: u32,
+    /// Start of this instruction's predicate destinations in `pdsts`.
+    pdst_off: u32,
+    /// First two source slots inlined for the [`F_FAST`] path (the
+    /// read-only dummy slot when the instruction has fewer sources).
+    s0: u32,
+    s1: u32,
+    nsrcs: u8,
+    npdsts: u8,
+    flags: u8,
+}
+
+/// "No slot" sentinel for [`InstInfo::dst`] / [`InstInfo::guard`].
+const SLOT_NONE: u32 = u32::MAX;
+/// Branch-class opcode: consumes a branch issue slot.
+const F_BRANCH: u8 = 1;
+/// Partial register define with a destination: interlocks on `dst`.
+const F_PARTIAL: u8 = 2;
+/// `pred_clear`/`pred_set`: bumps the whole-file clear epoch.
+const F_PREDFILE: u8 = 4;
+/// `call`/`ret`/`halt`: redirects fetch when executed.
+const F_REDIRECT: u8 = 8;
+/// Load / store opcode (mem-addr events charge the data cache).
+const F_LD: u8 = 16;
+const F_ST: u8 = 32;
+/// Eligible for the reduced issue path: unguarded, not a branch/memory/
+/// predicate/redirect op, no partial define, at most two register
+/// sources. Only baked under perfect memory (no I-cache to model), so
+/// the fast path can skip the fetch-stall check entirely. Such an
+/// instruction can never be nullified (no guard), never carries
+/// `taken`/`mem_addr`, and writes at most one register — its complete
+/// timing effect is: interlock on two sources, take one issue slot,
+/// post the destination ready time.
+const F_FAST: u8 = 64;
+
 /// The in-order issue model as a trace sink.
 ///
 /// # Hot-path layout
 ///
 /// This sink receives one [`Event`] per fetched instruction — hundreds of
-/// millions per full-scale sweep — so all per-event state lives in dense,
-/// flat `Vec`s sized once in [`CycleSim::new`] from the module's
-/// per-function block/register/predicate counts. Every lookup is
-/// `table[offset[func] + index]`: no hashing, no allocation, no branching
-/// on map residency. A whole-file `pred_clear`/`pred_set` bumps a
-/// per-function *clear epoch* instead of walking the predicate slots; a
-/// slot whose stamp is stale reads as "no pending write".
+/// millions per full-scale sweep — so everything the hot path needs per
+/// event is pre-baked in [`CycleSim::new`] into one flat [`InstInfo`]
+/// record per *static* instruction, found by
+/// `info[inst_base[block_off[func] + block] + index]`. Every per-event
+/// lookup is a dense-array read: no hashing, no allocation, no enum
+/// payload matching, no branching on map residency. A whole-file
+/// `pred_clear`/`pred_set` bumps a per-function *clear epoch* instead of
+/// walking the predicate slots; a slot whose stamp is stale reads as "no
+/// pending write".
 ///
 /// # Scoreboard model (per function, not per activation)
 ///
@@ -209,24 +267,28 @@ pub struct CycleSim {
     /// Earliest cycle the next instruction may issue (fetch redirects,
     /// misprediction penalties, blocking-cache stalls).
     fetch_ready: u64,
-    /// Code-layout base address per block, flat over all functions:
-    /// `block_base[block_off[f] + b]`. Blocks outside a layout keep 0.
-    block_base: Vec<u64>,
-    /// Start of each function's slice of `block_base`.
+    /// Baked per-static-instruction timing facts, all functions flat.
+    info: Vec<InstInfo>,
+    /// Index into `info` of instruction 0 of each block, flat over all
+    /// functions: `inst_base[block_off[f] + b]`.
+    inst_base: Vec<u32>,
+    /// Start of each function's slice of `inst_base`.
     block_off: Vec<usize>,
-    /// Cycle each (function, register) value becomes available, flat:
-    /// `reg_ready[reg_off[f] + r]`; 0 = no pending write.
+    /// Global register-source slots, sliced per instruction by
+    /// `InstInfo::{src_off, nsrcs}`.
+    src_slots: Vec<u32>,
+    /// Global predicate-destination slots + types, sliced per instruction
+    /// by `InstInfo::{pdst_off, npdsts}`.
+    pdsts: Vec<(u32, PredType)>,
+    /// Cycle each (function, register) value becomes available, flat by
+    /// global slot; 0 = no pending write.
     reg_ready: Vec<u64>,
-    /// Start of each function's slice of `reg_ready`.
-    reg_off: Vec<usize>,
-    /// Cycle each (function, predicate) value becomes available, flat:
-    /// `pred_ready[pred_off[f] + p]` — meaningful only while the slot's
-    /// stamp in `pred_epoch` matches the function's `clear_epoch`.
+    /// Cycle each (function, predicate) value becomes available, flat by
+    /// global slot — meaningful only while the slot's stamp in
+    /// `pred_epoch` matches the function's `clear_epoch`.
     pred_ready: Vec<u64>,
     /// Clear-epoch stamp per predicate slot (see `clear_epoch`).
     pred_epoch: Vec<u64>,
-    /// Start of each function's slice of `pred_ready`/`pred_epoch`.
-    pred_off: Vec<usize>,
     /// Current clear generation per function; bumped by `pred_clear`/
     /// `pred_set` so stale per-predicate entries die in O(1).
     clear_epoch: Vec<u64>,
@@ -270,6 +332,87 @@ impl CycleSim {
             MemoryModel::Perfect => (None, None),
             MemoryModel::Caches(c) => (Some(Cache::new(c)), Some(Cache::new(c))),
         };
+        // The two scoreboard dummies past the real register slots: reads
+        // of absent fast-path sources hit `rd_dummy` (never written, so
+        // always "ready at 0"); writes of absent fast-path destinations
+        // land in `wr_dummy` (never read).
+        let rd_dummy = regs as u32;
+        let wr_dummy = regs as u32 + 1;
+        // F_FAST elides the fetch-stall check, so it may only be baked
+        // when there is no I-cache to model.
+        let fast_ok = icache.is_none();
+        // Bake one InstInfo per static instruction: global scoreboard
+        // slots, fetch address, machine latency and classification flags.
+        let lat = machine.latency;
+        let mut info = Vec::new();
+        let mut inst_base = vec![0u32; blocks];
+        let mut src_slots = Vec::new();
+        let mut pdsts: Vec<(u32, PredType)> = Vec::new();
+        for (fi, f) in module.funcs.iter().enumerate() {
+            let ro = reg_off[fi] as u32;
+            let po = pred_off[fi] as u32;
+            for (bi, blk) in f.blocks.iter().enumerate() {
+                inst_base[block_off[fi] + bi] = info.len() as u32;
+                let base = block_base[block_off[fi] + bi];
+                for (k, inst) in blk.insts.iter().enumerate() {
+                    let mut flags = 0u8;
+                    if MachineConfig::is_branch_class(inst.op) {
+                        flags |= F_BRANCH;
+                    }
+                    if inst.is_partial_reg_def() && inst.dst.is_some() {
+                        flags |= F_PARTIAL;
+                    }
+                    if matches!(inst.op, Op::PredClear | Op::PredSet) {
+                        flags |= F_PREDFILE;
+                    }
+                    if matches!(inst.op, Op::Call | Op::Ret | Op::Halt) {
+                        flags |= F_REDIRECT;
+                    }
+                    if matches!(inst.op, Op::Ld(_)) {
+                        flags |= F_LD;
+                    }
+                    if matches!(inst.op, Op::St(_)) {
+                        flags |= F_ST;
+                    }
+                    let src_off = src_slots.len() as u32;
+                    for r in inst.src_regs() {
+                        src_slots.push(ro + r.0);
+                    }
+                    let nsrcs = (src_slots.len() as u32 - src_off) as u8;
+                    let pdst_off = pdsts.len() as u32;
+                    for pd in &inst.pdsts {
+                        pdsts.push((po + pd.reg.0, pd.ty));
+                    }
+                    let mut dst = inst.dst.map_or(SLOT_NONE, |d| ro + d.0);
+                    if fast_ok
+                        && flags == 0
+                        && inst.guard.is_none()
+                        && !inst.is_partial_reg_def()
+                        && inst.pdsts.is_empty()
+                        && nsrcs <= 2
+                    {
+                        flags |= F_FAST;
+                        if dst == SLOT_NONE {
+                            dst = wr_dummy;
+                        }
+                    }
+                    let s = &src_slots[src_off as usize..];
+                    info.push(InstInfo {
+                        addr: base + 4 * k as u64,
+                        lat: lat.of(inst.op),
+                        dst,
+                        guard: inst.guard.map_or(SLOT_NONE, |g| po + g.0),
+                        src_off,
+                        pdst_off,
+                        s0: s.first().copied().unwrap_or(rd_dummy),
+                        s1: s.get(1).copied().unwrap_or(rd_dummy),
+                        nsrcs,
+                        npdsts: inst.pdsts.len() as u8,
+                        flags,
+                    });
+                }
+            }
+        }
         CycleSim {
             machine,
             config,
@@ -281,14 +424,16 @@ impl CycleSim {
             slots: machine.issue_width,
             branch_slots: machine.branches_per_cycle,
             fetch_ready: 0,
-            block_base,
+            info,
+            inst_base,
             block_off,
-            reg_ready: vec![0; regs],
-            reg_off,
+            src_slots,
+            pdsts,
+            // +2: the read-only and write-absorber dummy slots.
+            reg_ready: vec![0; regs + 2],
             pred_ready: vec![0; preds],
             // Slots start one epoch behind `clear_epoch`, i.e. "absent".
             pred_epoch: vec![0; preds],
-            pred_off,
             clear_epoch: vec![1; nf],
             pred_clear_time: vec![0; nf],
             over_budget: false,
@@ -296,12 +441,11 @@ impl CycleSim {
         }
     }
 
-    /// Cycle predicate `p` of function `fk` is readable: its last define
-    /// if still live in the current clear epoch, floored by the last
-    /// whole-file write's completion time.
+    /// Cycle the predicate in global `slot` of function `fk` is readable:
+    /// its last define if still live in the current clear epoch, floored
+    /// by the last whole-file write's completion time.
     #[inline]
-    fn pred_time(&self, fk: usize, p: usize) -> u64 {
-        let slot = self.pred_off[fk] + p;
+    fn pred_time(&self, fk: usize, slot: usize) -> u64 {
         let defined = if self.pred_epoch[slot] == self.clear_epoch[fk] {
             self.pred_ready[slot]
         } else {
@@ -335,17 +479,47 @@ impl CycleSim {
 }
 
 impl TraceSink for CycleSim {
-    fn inst(&mut self, ev: &Event<'_>) {
+    fn inst(&mut self, ev: &Event) {
         self.stats.insts += 1;
+        let fk = ev.func.0 as usize;
+        let ii = self.inst_base[self.block_off[fk] + ev.block.0 as usize] as usize + ev.index;
+        let info = self.info[ii];
+
+        // Reduced path for the common case (see [`F_FAST`]): the
+        // instruction's entire timing effect is two source interlocks,
+        // one issue slot, one destination ready time. Bit-identical to
+        // the full path below, which for such an instruction does the
+        // same things plus many no-op checks.
+        if info.flags & F_FAST != 0 {
+            let earliest = self
+                .fetch_ready
+                .max(self.reg_ready[info.s0 as usize])
+                .max(self.reg_ready[info.s1 as usize]);
+            self.advance_to(earliest);
+            if self.slots == 0 {
+                // After an advance the full width is free, so one step
+                // always yields a slot.
+                self.advance_to(self.cycle + 1);
+            }
+            self.slots -= 1;
+            self.reg_ready[info.dst as usize] = self.cycle + info.lat as u64;
+            if self.cycle >= self.config.max_cycles {
+                self.over_budget = true;
+            }
+            if let Some(deadline) = self.config.deadline {
+                if self.stats.insts & 1023 == 0 && std::time::Instant::now() >= deadline {
+                    self.past_deadline = true;
+                }
+            }
+            return;
+        }
+
         if ev.nullified {
             self.stats.nullified += 1;
         }
-        let inst = ev.inst;
-        let fk = ev.func.0 as usize;
-        let lat = self.machine.latency;
 
         // --- fetch ------------------------------------------------------
-        let addr = self.block_base[self.block_off[fk] + ev.block.0 as usize] + 4 * ev.index as u64;
+        let addr = info.addr;
         let mut earliest = self.fetch_ready;
         if let Some(ic) = &mut self.icache {
             if ic.read(addr) {
@@ -357,18 +531,16 @@ impl TraceSink for CycleSim {
         }
 
         // --- register / predicate interlocks ------------------------------
-        let ro = self.reg_off[fk];
-        for r in inst.src_regs() {
-            earliest = earliest.max(self.reg_ready[ro + r.0 as usize]);
+        let so = info.src_off as usize;
+        for k in 0..info.nsrcs as usize {
+            earliest = earliest.max(self.reg_ready[self.src_slots[so + k] as usize]);
         }
-        if inst.is_partial_reg_def() {
-            if let Some(d) = inst.dst {
-                earliest = earliest.max(self.reg_ready[ro + d.0 as usize]);
-            }
+        if info.flags & F_PARTIAL != 0 {
+            earliest = earliest.max(self.reg_ready[info.dst as usize]);
         }
         // The guard must be ready at decode/issue.
-        if let Some(g) = inst.guard {
-            earliest = earliest.max(self.pred_time(fk, g.0 as usize));
+        if info.guard != SLOT_NONE {
+            earliest = earliest.max(self.pred_time(fk, info.guard as usize));
         }
         // OR/AND-type destinations are wired, not read-modify-write: defines
         // to the same predicate may issue together, so no interlock on the
@@ -376,7 +548,7 @@ impl TraceSink for CycleSim {
 
         // --- issue ---------------------------------------------------------
         self.advance_to(earliest);
-        let is_branch = MachineConfig::is_branch_class(inst.op);
+        let is_branch = info.flags & F_BRANCH != 0;
         loop {
             if self.slots == 0 || (is_branch && self.branch_slots == 0) {
                 let next = self.cycle + 1;
@@ -392,51 +564,49 @@ impl TraceSink for CycleSim {
         let issue = self.cycle;
 
         // --- execute -------------------------------------------------------
-        let mut result_lat = lat.of(inst.op) as u64;
+        let lat = info.lat as u64;
+        let mut result_lat = lat;
         if let Some(maddr) = ev.mem_addr {
-            match inst.op {
-                Op::Ld(_) => {
-                    self.stats.loads += 1;
-                    if let Some(dc) = &mut self.dcache {
-                        if dc.read(maddr) {
-                            // Blocking cache: issue stalls until the fill.
-                            let pen = dc.miss_penalty() as u64;
-                            result_lat += pen;
-                            self.fetch_ready = self.fetch_ready.max(issue + pen);
-                        }
+            if info.flags & F_LD != 0 {
+                self.stats.loads += 1;
+                if let Some(dc) = &mut self.dcache {
+                    if dc.read(maddr) {
+                        // Blocking cache: issue stalls until the fill.
+                        let pen = dc.miss_penalty() as u64;
+                        result_lat += pen;
+                        self.fetch_ready = self.fetch_ready.max(issue + pen);
                     }
                 }
-                Op::St(_) => {
-                    self.stats.stores += 1;
-                    if let Some(dc) = &mut self.dcache {
-                        dc.write(maddr);
-                    }
+            } else if info.flags & F_ST != 0 {
+                self.stats.stores += 1;
+                if let Some(dc) = &mut self.dcache {
+                    dc.write(maddr);
                 }
-                _ => {}
             }
         }
         if !ev.nullified {
-            if let Some(d) = inst.dst {
-                self.reg_ready[ro + d.0 as usize] = issue + result_lat;
+            if info.dst != SLOT_NONE {
+                self.reg_ready[info.dst as usize] = issue + result_lat;
             }
-            if matches!(inst.op, Op::PredClear | Op::PredSet) {
+            if info.flags & F_PREDFILE != 0 {
                 // Writes the whole file; everything becomes (re)available
                 // one cycle later. Bumping the epoch retires every
                 // per-predicate entry of this function in O(1).
                 self.clear_epoch[fk] += 1;
                 self.pred_clear_time[fk] = issue + result_lat;
             }
-            for pd in &inst.pdsts {
-                let t = issue + lat.of(inst.op) as u64;
-                let ready = match pd.ty {
+            let po = info.pdst_off as usize;
+            for k in 0..info.npdsts as usize {
+                let (slot, ty) = self.pdsts[po + k];
+                let t = issue + lat;
+                let ready = match ty {
                     PredType::U | PredType::UBar => t,
                     // Wired-OR/AND: the value settles once the *latest*
                     // contributing define executes.
-                    _ => self.pred_time(fk, pd.reg.0 as usize).max(t),
+                    _ => self.pred_time(fk, slot as usize).max(t),
                 };
-                let slot = self.pred_off[fk] + pd.reg.0 as usize;
-                self.pred_ready[slot] = ready;
-                self.pred_epoch[slot] = self.clear_epoch[fk];
+                self.pred_ready[slot as usize] = ready;
+                self.pred_epoch[slot as usize] = self.clear_epoch[fk];
             }
         }
 
@@ -452,7 +622,7 @@ impl TraceSink for CycleSim {
                 // younger instructions start next cycle.
                 self.fetch_ready = self.fetch_ready.max(issue + 1);
             }
-        } else if matches!(inst.op, Op::Call | Op::Ret | Op::Halt) && !ev.nullified {
+        } else if info.flags & F_REDIRECT != 0 && !ev.nullified {
             // Calls and returns redirect fetch like taken branches.
             self.fetch_ready = self.fetch_ready.max(issue + 1);
         }
@@ -489,8 +659,37 @@ pub fn simulate(
     machine: MachineConfig,
     config: SimConfig,
 ) -> Result<SimStats, SimError> {
-    let mut sink = CycleSim::new(module, machine, config);
-    let mut emu = Emulator::new(module);
+    let sink = CycleSim::new(module, machine, config);
+    let emu = Emulator::new(module);
+    drive(emu, sink, entry, args, config)
+}
+
+/// [`simulate`] with a pre-decoded module: the emulator reuses `decoded`
+/// instead of decoding `module` on entry. `decoded` must come from
+/// [`DecodedModule::decode`] on this `module` (a stale decode is detected
+/// and silently replaced, costing one re-decode). This is the entry point
+/// the experiment matrix uses — each compiled module is decoded once and
+/// simulated under many machine configurations.
+pub fn simulate_decoded(
+    module: &Module,
+    decoded: &Arc<DecodedModule>,
+    entry: &str,
+    args: &[i64],
+    machine: MachineConfig,
+    config: SimConfig,
+) -> Result<SimStats, SimError> {
+    let sink = CycleSim::new(module, machine, config);
+    let emu = Emulator::with_decoded(module, Arc::clone(decoded));
+    drive(emu, sink, entry, args, config)
+}
+
+fn drive(
+    mut emu: Emulator<'_>,
+    mut sink: CycleSim,
+    entry: &str,
+    args: &[i64],
+    config: SimConfig,
+) -> Result<SimStats, SimError> {
     match emu.run(entry, args, &mut sink) {
         Ok(out) => {
             let mut stats = sink.finish();

@@ -21,5 +21,6 @@ pub mod cyclesim;
 pub use btb::{Btb, BtbConfig, Predictor};
 pub use cache::{Cache, CacheConfig};
 pub use cyclesim::{
-    simulate, CycleSim, MemoryModel, SimConfig, SimError, SimStats, DEFAULT_CYCLE_LIMIT,
+    simulate, simulate_decoded, CycleSim, MemoryModel, SimConfig, SimError, SimStats,
+    DEFAULT_CYCLE_LIMIT,
 };

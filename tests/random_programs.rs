@@ -5,18 +5,29 @@
 //! only by nonzero literals), so every generated program terminates and
 //! never traps. proptest drives the seed, giving reproducible failures.
 
+use hyperpred::emu::{
+    DecodedModule, EmuError, Emulator, Event, NullSink, ReferenceEmulator, TraceSink,
+};
+use hyperpred::ir::{BlockId, FuncId, Module};
+use hyperpred::lang::lower::entry_args;
 use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred_sched::MachineConfig;
 use hyperpred_sim::SimConfig;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 const VARS: [&str; 5] = ["a", "b", "c", "d", "e"];
 
 struct Gen {
     r: StdRng,
     loops: usize,
+    /// Allow division/modulo by a variable (may be zero at run time).
+    /// The base grammar divides only by nonzero literals so every program
+    /// is total; the differential suite flips this on to exercise the
+    /// emulators' fault paths with programs that really do trap.
+    div_by_var: bool,
 }
 
 impl Gen {
@@ -34,7 +45,9 @@ impl Gen {
                 0 => format!("({a} + {b})"),
                 1 => format!("({a} - {b})"),
                 2 => format!("({a} * {b})"),
+                3 if self.div_by_var && self.r.gen_bool(0.5) => format!("({a} / {b})"),
                 3 => format!("({a} / {})", self.r.gen_range(1..9)),
+                4 if self.div_by_var && self.r.gen_bool(0.5) => format!("({a} % {b})"),
                 4 => format!("({a} % {})", self.r.gen_range(1..9)),
                 5 => format!("({a} < {b})"),
                 6 => format!("({a} == {b})"),
@@ -87,6 +100,13 @@ impl Gen {
         for _ in 0..nstmt {
             self.stmt(2, &mut body, 1);
         }
+        if self.div_by_var {
+            // Divisors that are nonzero for every profiling argument the
+            // suite uses (a0 in -8..9, b0 in -6..7) but zero for some run
+            // arguments (a0 in -11..12, b0 in -9..10) — so the fault paths
+            // under test fire at run time on trained, verified modules.
+            body.push_str("    d += (17 / (a0 + 11)) + (b0 / (b0 + 9));\n");
+        }
         // Declare enough loop variables up front.
         let mut decls = String::new();
         for k in 0..self.loops.max(1) {
@@ -106,6 +126,7 @@ fn check_seed(seed: u64) {
     let mut g = Gen {
         r: StdRng::seed_from_u64(seed),
         loops: 0,
+        div_by_var: false,
     };
     let src = g.program();
     let pipe = Pipeline::default();
@@ -220,6 +241,160 @@ fn check_frontend_total(seed: u64) {
     }
 }
 
+/// Records every sink callback, making two emulators' traces directly
+/// comparable (`Event` is `PartialEq`).
+#[derive(Default)]
+struct Recorder {
+    blocks: Vec<(FuncId, BlockId)>,
+    events: Vec<Event>,
+}
+
+impl TraceSink for Recorder {
+    fn enter_block(&mut self, func: FuncId, block: BlockId) {
+        self.blocks.push((func, block));
+    }
+
+    fn inst(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+}
+
+/// Error classification for cross-emulator comparison. Payloads are
+/// compared separately where they matter (fuel boundaries).
+fn error_kind(e: &EmuError) -> &'static str {
+    match e {
+        EmuError::Trap { .. } => "trap",
+        EmuError::DivByZero { .. } => "div-by-zero",
+        EmuError::OutOfFuel { .. } => "out-of-fuel",
+        EmuError::CallDepth { .. } => "call-depth",
+        EmuError::Malformed { .. } => "malformed",
+        EmuError::SinkAbort { .. } => "sink-abort",
+        EmuError::NoFunc(_) => "no-func",
+    }
+}
+
+/// Fuel is an exact boundary, not a heuristic: a budget of exactly the
+/// run's fetch count completes, while one instruction less fails with
+/// `OutOfFuel` reporting the exhausted budget — on both emulators.
+fn check_fuel_boundary(
+    seed: u64,
+    model: Model,
+    module: &Module,
+    decoded: &Arc<DecodedModule>,
+    args: &[i64],
+    fetched: u64,
+) {
+    let mut r = ReferenceEmulator::new(module).with_fuel(fetched);
+    assert!(
+        r.run("main", args, &mut NullSink).is_ok(),
+        "seed {seed}: {model}: reference failed with exactly enough fuel ({fetched})"
+    );
+    let mut d = Emulator::with_decoded(module, Arc::clone(decoded)).with_fuel(fetched);
+    assert!(
+        d.run("main", args, &mut NullSink).is_ok(),
+        "seed {seed}: {model}: decoded failed with exactly enough fuel ({fetched})"
+    );
+
+    let short = fetched - 1; // every run fetches at least a return
+    let mut r = ReferenceEmulator::new(module).with_fuel(short);
+    let r_err = r.run("main", args, &mut NullSink).unwrap_err();
+    let mut d = Emulator::with_decoded(module, Arc::clone(decoded)).with_fuel(short);
+    let d_err = d.run("main", args, &mut NullSink).unwrap_err();
+    for (who, err) in [("reference", &r_err), ("decoded", &d_err)] {
+        match err {
+            EmuError::OutOfFuel { ctx, fuel } => {
+                assert_eq!(*fuel, short, "seed {seed}: {model}: {who} wrong budget");
+                assert_eq!(
+                    ctx.fetched, short,
+                    "seed {seed}: {model}: {who} stopped at the wrong instruction"
+                );
+            }
+            other => panic!("seed {seed}: {model}: {who} with fuel {short}: {other:?}"),
+        }
+    }
+}
+
+/// Differential oracle: the pre-decoded emulator must be observationally
+/// identical to [`ReferenceEmulator`] — same return value and fetch count,
+/// same event and block-entry streams, same error classification when the
+/// program faults, and fuel exhaustion at the same exact boundary.
+///
+/// `div_by_var` admits division by possibly-zero variables so some runs
+/// genuinely fault; the run args differ from the profiled args so faults
+/// the profiling run never saw still occur here.
+fn check_differential(seed: u64, div_by_var: bool) {
+    let mut g = Gen {
+        r: StdRng::seed_from_u64(seed),
+        loops: 0,
+        div_by_var,
+    };
+    let src = g.program();
+    let pipe = Pipeline::default();
+    let profile_args = [(seed % 17) as i64 - 8, ((seed / 17) % 13) as i64 - 6];
+    let run_args = [(seed % 23) as i64 - 11, ((seed / 23) % 19) as i64 - 9];
+    let machine = MachineConfig::new(8, 2);
+    for model in Model::ALL {
+        let module = match pipe.compile(&src, &profile_args, model, &machine) {
+            Ok(m) => m,
+            // A hazardous program may fault its own profiling run; with no
+            // compiled module there is nothing to compare.
+            Err(_) if div_by_var => continue,
+            Err(e) => panic!("seed {seed}: {model} failed to compile: {e}\n{src}"),
+        };
+        let decoded = Arc::new(DecodedModule::decode(&module));
+        let args = entry_args(&run_args);
+
+        let mut r_trace = Recorder::default();
+        let mut r_emu = ReferenceEmulator::new(&module);
+        let r_out = r_emu.run("main", &args, &mut r_trace);
+        let mut d_trace = Recorder::default();
+        let mut d_emu = Emulator::with_decoded(&module, Arc::clone(&decoded));
+        let d_out = d_emu.run("main", &args, &mut d_trace);
+
+        // Traces must agree even for faulting runs: both emulators deliver
+        // the same events up to the same failure point.
+        assert_eq!(
+            r_trace.blocks, d_trace.blocks,
+            "seed {seed}: {model}: block-entry streams diverge\n{src}"
+        );
+        for (i, (a, b)) in r_trace.events.iter().zip(&d_trace.events).enumerate() {
+            assert_eq!(a, b, "seed {seed}: {model}: event {i} diverges\n{src}");
+        }
+        assert_eq!(
+            r_trace.events.len(),
+            d_trace.events.len(),
+            "seed {seed}: {model}: event counts diverge\n{src}"
+        );
+
+        match (&r_out, &d_out) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.ret, b.ret, "seed {seed}: {model}: return values\n{src}");
+                assert_eq!(
+                    a.fetched, b.fetched,
+                    "seed {seed}: {model}: fetch counts\n{src}"
+                );
+                assert_eq!(
+                    a.fetched,
+                    r_trace.events.len() as u64,
+                    "seed {seed}: {model}: fetch count disagrees with event count\n{src}"
+                );
+                check_fuel_boundary(seed, model, &module, &decoded, &args, a.fetched);
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    error_kind(a),
+                    error_kind(b),
+                    "seed {seed}: {model}: error classes diverge: {a:?} vs {b:?}\n{src}"
+                );
+            }
+            _ => panic!(
+                "seed {seed}: {model}: outcomes diverge: reference {r_out:?} \
+                 vs decoded {d_out:?}\n{src}"
+            ),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
@@ -237,10 +412,29 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn decoded_emulator_matches_reference(seed in any::<u64>()) {
+        check_differential(seed, false);
+    }
+
+    #[test]
+    fn decoded_emulator_matches_reference_on_faulting_programs(seed in any::<u64>()) {
+        check_differential(seed, true);
+    }
+}
+
 #[test]
 fn known_seeds_regression() {
     // A handful of fixed seeds so CI always covers the same ground too.
     for seed in [0, 1, 2, 42, 0xDEADBEEF, u64::MAX] {
         check_seed(seed);
+        check_differential(seed, false);
+        check_differential(seed, true);
     }
 }
