@@ -66,7 +66,8 @@ fn bench_passes(c: &mut Criterion) {
                         FuncId(i as u32),
                         &prof,
                         &HyperblockConfig::default(),
-                    );
+                    )
+                    .unwrap();
                     promote(&mut f);
                     m.funcs[i] = f;
                 }
@@ -84,7 +85,8 @@ fn bench_passes(c: &mut Criterion) {
             FuncId(i as u32),
             &prof,
             &HyperblockConfig::default(),
-        );
+        )
+        .unwrap();
         promote(&mut f);
         formed.funcs[i] = f;
     }
@@ -100,13 +102,13 @@ fn bench_passes(c: &mut Criterion) {
     group.bench_function("scheduling", |b| {
         b.iter_batched(
             || formed.clone(),
-            |mut m| schedule_module(&mut m, &MachineConfig::new(8, 1)),
+            |mut m| schedule_module(&mut m, &MachineConfig::new(8, 1)).unwrap(),
             criterion::BatchSize::SmallInput,
         )
     });
 
     let mut sched = formed.clone();
-    schedule_module(&mut sched, &MachineConfig::new(8, 1));
+    schedule_module(&mut sched, &MachineConfig::new(8, 1)).unwrap();
     group.bench_function("emulation", |b| {
         b.iter(|| {
             Emulator::new(&sched)

@@ -9,6 +9,9 @@
 //!                   [--resume journal.jsonl] [--retries N] [--triage DIR]
 //! hyperpredc repro <bundle-dir> [--minimize]
 //! hyperpredc lint <workload|all|file.c> [--model all] [--sabotage ifconvert]
+//! hyperpredc soak --seed 1 --cells 500 [--resume journal.jsonl] [--triage DIR]
+//!                 [--profiles branchy,nasty] [--widths 1x1,4x1,8x2]
+//!                 [--max-cells N] [--sabotage promote]
 //! ```
 //!
 //! `report` regenerates the paper's whole figure matrix (Figures 8-11 and
@@ -34,6 +37,17 @@
 //! nonzero iff any target fails. `--sabotage <pass>` deliberately
 //! corrupts the IR after the named pass — a self-test that the
 //! checkpoints catch miscompiles and blame the right stage.
+//!
+//! `soak` generates seeded adversarial MiniC programs and runs each one
+//! through the full cross-model differential oracle battery (see
+//! [`hyperpred::soak`]): decoded-vs-reference emulation, cross-model
+//! return values and store streams, simulator/trace consistency, and
+//! per-pass lint checkpoints. `--resume` journals completed programs so
+//! a killed soak picks up where it left off; `--triage` writes a
+//! minimized repro bundle per failure; `--sabotage <pass>` is the
+//! self-test hook that proves the oracles catch a miscompile. Exit
+//! status is nonzero iff any program failed or the run was cut short by
+//! `--max-cells`.
 
 use hyperpred::emu::{Emulator, NullSink};
 use hyperpred::lang::lower::entry_args;
@@ -67,7 +81,10 @@ fn usage() -> ExitCode {
          [--resume journal.jsonl] [--retries N] [--triage DIR]\n\
          \x20      hyperpredc repro <bundle-dir> [--minimize]\n\
          \x20      hyperpredc lint <workload|all|file.c> [--model sup|cmov|full|all] \
-         [--scale test|full] [--sabotage <pass>] [--issue K] [--branches B] [--args a,b,c]"
+         [--scale test|full] [--sabotage <pass>] [--issue K] [--branches B] [--args a,b,c]\n\
+         \x20      hyperpredc soak --seed S --cells N [--resume journal.jsonl] [--triage DIR] \
+         [--profiles p,q] [--widths IxB,...] [--max-cells N] [--sabotage <pass>] \
+         [--max-cycles N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -388,6 +405,146 @@ fn repro(mut args: impl Iterator<Item = String>) -> ExitCode {
     outcome
 }
 
+/// Runs the adversarial generated-workload soak battery.
+///
+/// Exit codes: 0 = every program passed the oracle battery, 1 = at
+/// least one failure (or the run stopped early at `--max-cells`),
+/// 2 = bad arguments or an unopenable journal.
+fn soak(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut cfg = hyperpred::SoakConfig::new(0, 100);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = n;
+            }
+            "--cells" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.cells = n;
+            }
+            "--resume" => {
+                let Some(p) = args.next() else { return usage() };
+                cfg.journal = Some(p.into());
+            }
+            "--triage" => {
+                let Some(d) = args.next() else { return usage() };
+                cfg.triage = Some(hyperpred::TriageConfig::new(d));
+            }
+            "--profiles" => {
+                let Some(v) = args.next() else { return usage() };
+                let Some(parsed) = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(hyperpred::workloads::gen::Profile::from_name)
+                    .collect::<Option<Vec<_>>>()
+                else {
+                    eprintln!(
+                        "hyperpredc: unknown profile in `{v}` (known: {})",
+                        hyperpred::workloads::gen::Profile::ALL
+                            .map(|p| p.name())
+                            .join(", ")
+                    );
+                    return usage();
+                };
+                cfg.profiles = parsed;
+            }
+            "--widths" => {
+                let Some(v) = args.next() else { return usage() };
+                let Some(parsed) = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|pair| {
+                        let (i, b) = pair.split_once('x')?;
+                        Some((
+                            i.parse().ok().filter(|&n| n >= 1)?,
+                            b.parse().ok().filter(|&n| n >= 1)?,
+                        ))
+                    })
+                    .collect::<Option<Vec<(u32, u32)>>>()
+                else {
+                    eprintln!(
+                        "hyperpredc: --widths wants comma-separated IxB pairs, e.g. 1x1,4x1,8x2"
+                    );
+                    return usage();
+                };
+                cfg.widths = parsed;
+            }
+            "--max-cells" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.cell_limit = Some(n);
+            }
+            "--sabotage" => {
+                let Some(s) = args.next().and_then(|v| v.parse::<Stage>().ok()) else {
+                    return usage();
+                };
+                cfg.sabotage = Some(s);
+            }
+            "--max-cycles" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_cycles = n;
+            }
+            "--fuel" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.fuel = n;
+            }
+            _ => return usage(),
+        }
+    }
+    let report = match hyperpred::run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hyperpredc: soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.journal_corrupt > 0 {
+        eprintln!(
+            "hyperpredc: warning: skipped {} corrupt journal record(s)",
+            report.journal_corrupt
+        );
+    }
+    for f in &report.failures {
+        match &f.bundle {
+            Some(dir) => eprintln!(
+                "FAIL {} ({}): {} [bundle: {}]",
+                f.workload,
+                f.profile,
+                f.signature,
+                dir.display()
+            ),
+            None => eprintln!("FAIL {} ({}): {}", f.workload, f.profile, f.signature),
+        }
+    }
+    println!(
+        "soak: {} program(s) requested, {} ran, {} journaled-skipped, {} degraded, {} failed{}",
+        report.programs,
+        report.ran,
+        report.skipped,
+        report.degraded,
+        report.failures.len(),
+        if report.interrupted {
+            " (interrupted at --max-cells)"
+        } else {
+            ""
+        }
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn parse_args() -> Result<Options, ExitCode> {
     let mut it = std::env::args().skip(1);
     let command = it.next().ok_or_else(usage)?;
@@ -443,6 +600,7 @@ fn main() -> ExitCode {
             Some("report") => return report(it),
             Some("repro") => return repro(it),
             Some("lint") => return lint(it),
+            Some("soak") => return soak(it),
             _ => {}
         }
     }

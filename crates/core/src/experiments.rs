@@ -143,7 +143,7 @@ pub fn run_workload(
             // report it as a typed error so matrix drivers can contain it
             // to the cell instead of unwinding through the whole run.
             return Err(PipelineError::Diverged {
-                workload: w.name,
+                workload: w.name.to_string(),
                 model,
                 got: s.ret,
                 want: base.ret,

@@ -83,6 +83,8 @@ pub struct RunJournal {
     path: PathBuf,
     cells: Mutex<HashMap<String, SimStats>>,
     file: Mutex<File>,
+    /// Corrupt records skipped while loading (see [`RunJournal::corrupt`]).
+    corrupt: usize,
 }
 
 impl std::fmt::Debug for RunJournal {
@@ -109,9 +111,28 @@ impl RunJournal {
             Err(e) => return Err(e),
         };
         let mut cells = HashMap::new();
-        for line in existing.lines() {
+        let mut corrupt = 0usize;
+        let lines: Vec<&str> = existing.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
             if let Some((fp, stats)) = parse_cell_line(line) {
                 cells.insert(fp, stats);
+                continue;
+            }
+            // Expected skips: meta records, a torn *final* line (crash
+            // mid-append), and foreign-version cells (schema change).
+            // Anything else is corruption — skipped, but counted, so
+            // drivers can report a damaged journal instead of silently
+            // re-running an unexpected number of cells.
+            let kind = field_str(line, "kind");
+            let is_meta = kind.as_deref() == Some("meta");
+            let is_foreign_cell = kind.as_deref() == Some("cell")
+                && field_u64(line, "version").is_some_and(|v| v != JOURNAL_VERSION);
+            let is_torn_tail = idx + 1 == lines.len() && !line.trim_end().ends_with('}');
+            if !is_meta && !is_foreign_cell && !is_torn_tail {
+                corrupt += 1;
             }
         }
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -127,12 +148,20 @@ impl RunJournal {
             path,
             cells: Mutex::new(cells),
             file: Mutex::new(file),
+            corrupt,
         })
     }
 
     /// The file backing this journal.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Number of corrupt (unparseable, non-torn-tail) records skipped
+    /// while loading. A nonzero count means the file was damaged — every
+    /// intact record is still used; the damaged cells simply re-run.
+    pub fn corrupt(&self) -> usize {
+        self.corrupt
     }
 
     /// Number of journaled cells.
@@ -424,9 +453,120 @@ mod tests {
         }
         let j = RunJournal::open(&path).unwrap();
         assert_eq!(j.len(), 2, "torn tail must be dropped, not fatal");
+        assert_eq!(j.corrupt(), 0, "a torn tail is expected, not corruption");
         assert_eq!(j.lookup("aa"), Some(s1));
         assert_eq!(j.lookup("bb"), Some(s2));
         assert_eq!(j.lookup("cc"), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes `lines` to a fresh journal file and opens it.
+    fn open_with(name: &str, content: &[u8]) -> RunJournal {
+        let dir = std::env::temp_dir().join(format!("hyperpred-journal-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        std::fs::write(&path, content).unwrap();
+        RunJournal::open(&path).unwrap()
+    }
+
+    #[test]
+    fn mid_file_garbage_is_skipped_and_counted() {
+        let s = stats(3);
+        let good = cell_line(&JournalEntry {
+            fingerprint: "aa",
+            workload: "w",
+            experiment: "baseline",
+            model: None,
+            stats: &s,
+        });
+        let good2 = good.replace("\"fp\":\"aa\"", "\"fp\":\"bb\"");
+        let content = format!(
+            "{{\"kind\":\"meta\",\"version\":1,\"crate_version\":\"0.0.0\"}}\n\
+             {good}\
+             not json at all\n\
+             {{\"kind\":\"cell\",\"version\":1,\"fp\":\"tr\",\"cycles\":9\n\
+             {{\"kind\":\"cell\",\"version\":99,\"fp\":\"zz\",\"cycles\":1}}\n\
+             {good2}"
+        );
+        let j = open_with("garbage", content.as_bytes());
+        assert_eq!(j.len(), 2, "both intact cells survive");
+        assert_eq!(j.lookup("aa"), Some(s.clone()));
+        assert!(j.lookup("bb").is_some());
+        // "not json at all" and the *mid-file* truncated cell are corrupt;
+        // the meta record and the foreign-version cell are expected skips.
+        assert_eq!(j.corrupt(), 2);
+    }
+
+    #[test]
+    fn fuzzed_corruption_never_errors_and_keeps_intact_records() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut r = StdRng::seed_from_u64(0x10ad_f00d);
+        for case in 0..64u32 {
+            // Build a valid journal of a few cells...
+            let n = r.gen_range(1..6usize);
+            let mut lines: Vec<String> = vec![format!(
+                "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"x\"}}\n"
+            )];
+            let mut fps = Vec::new();
+            for i in 0..n {
+                let s = stats(r.gen_range(0..1000));
+                let fp = format!("fp{case}-{i}");
+                lines.push(cell_line(&JournalEntry {
+                    fingerprint: &fp,
+                    workload: "w",
+                    experiment: "baseline",
+                    model: Some(Model::Superblock),
+                    stats: &s,
+                }));
+                fps.push(fp);
+            }
+            // ...then smash it: mutate, truncate, or inject garbage lines.
+            let mut damaged: Vec<String> = Vec::new();
+            let mut intact: Vec<usize> = Vec::new();
+            for (idx, line) in lines.iter().enumerate() {
+                match r.gen_range(0..4u32) {
+                    // Keep the line intact.
+                    0 | 1 => {
+                        if idx > 0 {
+                            intact.push(idx - 1);
+                        }
+                        damaged.push(line.clone());
+                    }
+                    // Truncate it mid-record.
+                    2 => {
+                        let cut = r.gen_range(1..line.len());
+                        let mut cut_at = cut;
+                        while !line.is_char_boundary(cut_at) {
+                            cut_at -= 1;
+                        }
+                        damaged.push(format!("{}\n", &line[..cut_at].trim_end()));
+                    }
+                    // Replace it with random bytes (printable, so the
+                    // line structure survives; binary junk is covered by
+                    // the truncation arm losing the closing brace).
+                    _ => {
+                        let len = r.gen_range(1..40usize);
+                        let junk: String =
+                            (0..len).map(|_| r.gen_range(b'#'..b'z') as char).collect();
+                        damaged.push(format!("{junk}\n"));
+                    }
+                }
+            }
+            let content = damaged.concat();
+            // Opening must never error, and every intact cell must load.
+            let j = open_with(&format!("fuzz-{case}"), content.as_bytes());
+            for &i in &intact {
+                if i < fps.len() {
+                    assert!(
+                        j.lookup(&fps[i]).is_some(),
+                        "case {case}: intact cell {} must survive corruption",
+                        fps[i]
+                    );
+                }
+            }
+            assert!(j.len() <= n, "case {case}: no phantom cells");
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod journal;
 pub mod matrix;
 pub mod pipeline;
 pub mod report;
+pub mod soak;
 pub mod triage;
 
 pub use experiments::{
@@ -59,9 +60,10 @@ pub use matrix::{
     MatrixOutput, MatrixRun, RetryPolicy,
 };
 pub use pipeline::{
-    compile_model, evaluate, speedup, LintError, Model, Pipeline, PipelineError, Stage,
+    compile_model, evaluate, speedup, Degradation, LintError, Model, Pipeline, PipelineError, Stage,
 };
 pub use report::{format_table, summarize_run, Row, RunSummary};
+pub use soak::{run_soak, SoakConfig, SoakFailure, SoakReport, SOAK_EXPERIMENT};
 pub use triage::{load_bundle, minimize_module, minimize_source, Bundle, ReproCell, TriageConfig};
 
 // Re-export the workspace layers so downstream users need one dependency.

@@ -553,11 +553,16 @@ struct CompileCache {
     front_reuses: AtomicU64,
 }
 
-fn stage_of(e: &PipelineError) -> FailureStage {
+pub(crate) fn stage_of(e: &PipelineError) -> FailureStage {
     match e {
-        PipelineError::Compile(_) | PipelineError::Lint(_) => FailureStage::Compile,
+        PipelineError::Compile(_)
+        | PipelineError::Lint(_)
+        | PipelineError::Sched(_)
+        | PipelineError::Budget { .. } => FailureStage::Compile,
         PipelineError::Emu(_) => FailureStage::Emulate,
-        PipelineError::Sim(_) | PipelineError::Diverged { .. } => FailureStage::Simulate,
+        PipelineError::Sim(_) | PipelineError::Diverged { .. } | PipelineError::Oracle { .. } => {
+            FailureStage::Simulate
+        }
     }
 }
 
@@ -1110,6 +1115,7 @@ pub fn run_matrix_configured(
             memory: p.memory,
             max_cycles: p.max_cycles,
             fault_injection: pipe.fault_injection,
+            sabotage: pipe.sabotage,
             stage,
             signature: triage::signature(payload),
             fingerprint: fingerprint(cell, exps, workloads, pipe),
@@ -1308,7 +1314,7 @@ pub fn run_matrix_configured(
                                 model: Some(m),
                                 stage: FailureStage::Simulate,
                                 payload: FailurePayload::Error(PipelineError::Diverged {
-                                    workload: wl.name,
+                                    workload: wl.name.to_string(),
                                     model: m,
                                     got,
                                     want: base.ret,

@@ -8,15 +8,15 @@
 
 use hyperpred_emu::{EmuError, Emulator, Profiler};
 use hyperpred_hyperblock::{
-    form_hyperblocks, form_superblocks, promote, unroll_self_loops, HyperblockConfig,
-    SuperblockConfig, UnrollConfig,
+    form_hyperblocks, form_superblocks, promote_bounded, unroll_self_loops, GrowthBudget,
+    HyperblockConfig, SuperblockConfig, UnrollConfig,
 };
 use hyperpred_ir::analysis::{self, ModelClass, Snapshot, Violation};
 use hyperpred_ir::{FuncId, Module};
 use hyperpred_lang::lower::entry_args;
 use hyperpred_lang::CompileError;
 use hyperpred_partial::{to_partial_module, PartialConfig};
-use hyperpred_sched::{schedule_module, MachineConfig};
+use hyperpred_sched::{schedule_module, MachineConfig, SchedError};
 use hyperpred_sim::{simulate, SimConfig, SimError, SimStats};
 use std::error::Error;
 use std::fmt;
@@ -167,13 +167,46 @@ pub enum PipelineError {
     Sim(SimError),
     /// A per-pass semantic checkpoint found a miscompile.
     Lint(LintError),
+    /// List scheduling failed (malformed dependence structure).
+    Sched(SchedError),
+    /// A transformation refused to proceed because it would exceed a
+    /// configured growth budget (see [`UnrollConfig::max_growth_insts`]
+    /// and friends). Pathological inputs degrade to this typed error —
+    /// never a hang or OOM — and the [`Pipeline::finish_degraded`] ladder
+    /// can retry with the offending pass disabled.
+    Budget {
+        /// The pass whose budget tripped.
+        pass: Stage,
+        /// What was being bounded (e.g. `grown-insts`).
+        metric: &'static str,
+        /// The value the metric reached.
+        value: u64,
+        /// The configured limit it exceeded.
+        limit: u64,
+    },
+    /// An end-to-end soak oracle failed: the decoded and reference
+    /// emulators disagreed on one module, a model's architectural
+    /// side-effect stream diverged from the baseline's, or the timing
+    /// simulator's statistics broke a sanity invariant. Like
+    /// [`PipelineError::Diverged`], this is a miscompile (or simulator
+    /// bug), not an input error.
+    Oracle {
+        /// Workload the oracle was checking.
+        workload: String,
+        /// The model under test when the oracle fired.
+        model: Model,
+        /// Which oracle failed (stable; part of the failure signature).
+        check: &'static str,
+        /// Human-readable mismatch detail (excluded from the signature).
+        detail: String,
+    },
     /// A model's simulated program result disagreed with the baseline's
     /// for the same workload — a miscompile in that model's pipeline, not
     /// an input error. Reported as a typed failure so drivers can contain
     /// it per cell instead of panicking the whole run.
     Diverged {
         /// Workload whose results disagree.
-        workload: &'static str,
+        workload: String,
         /// The model that produced the wrong answer.
         model: Model,
         /// The diverging model's program result.
@@ -190,6 +223,25 @@ impl fmt::Display for PipelineError {
             PipelineError::Emu(e) => write!(f, "execution error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
             PipelineError::Lint(e) => write!(f, "lint error: {e}"),
+            PipelineError::Sched(e) => write!(f, "schedule error: {e}"),
+            PipelineError::Budget {
+                pass,
+                metric,
+                value,
+                limit,
+            } => write!(
+                f,
+                "budget exceeded in pass `{pass}`: {metric} = {value} > limit {limit}"
+            ),
+            PipelineError::Oracle {
+                workload,
+                model,
+                check,
+                detail,
+            } => write!(
+                f,
+                "oracle `{check}` failed: {workload} under {model}: {detail}"
+            ),
             PipelineError::Diverged {
                 workload,
                 model,
@@ -214,6 +266,29 @@ impl From<CompileError> for PipelineError {
 impl From<EmuError> for PipelineError {
     fn from(e: EmuError) -> Self {
         PipelineError::Emu(e)
+    }
+}
+
+impl From<SchedError> for PipelineError {
+    fn from(e: SchedError) -> Self {
+        PipelineError::Sched(e)
+    }
+}
+
+impl From<GrowthBudget> for PipelineError {
+    fn from(b: GrowthBudget) -> Self {
+        let pass = match b.pass {
+            "unroll" => Stage::Unroll,
+            "promote" => Stage::Promote,
+            // "ifconvert" and anything a future pass reports.
+            _ => Stage::IfConvert,
+        };
+        PipelineError::Budget {
+            pass,
+            metric: b.metric,
+            value: b.value,
+            limit: b.limit,
+        }
     }
 }
 
@@ -247,6 +322,9 @@ pub struct Pipeline {
     pub inline: bool,
     /// Loop unrolling applied to formed regions.
     pub unroll: UnrollConfig,
+    /// Budget on predicate-promotion fixpoint rounds per function;
+    /// exceeding it fails with [`PipelineError::Budget`].
+    pub promote_rounds: usize,
     /// Instruction budget for the profiling run (the emulator's fuel);
     /// a non-terminating input fails with `OutOfFuel` instead of hanging.
     pub profile_fuel: u64,
@@ -277,6 +355,7 @@ impl Default for Pipeline {
             classic_opt: true,
             inline: true,
             unroll: UnrollConfig::default(),
+            promote_rounds: 64,
             profile_fuel: hyperpred_emu::DEFAULT_FUEL,
             fault_injection: false,
             checks: cfg!(debug_assertions),
@@ -471,40 +550,49 @@ impl Pipeline {
         // Region formation runs one stage at a time across all functions
         // (functions are independent), so each checkpoint sees the whole
         // module as one named pass left it.
-        let each = |module: &mut Module, apply: &dyn Fn(&mut hyperpred_ir::Function, FuncId)| {
-            for (i, f) in module.funcs.iter_mut().enumerate() {
-                apply(f, FuncId(i as u32));
-            }
-        };
+        let each =
+            |module: &mut Module,
+             apply: &dyn Fn(&mut hyperpred_ir::Function, FuncId) -> Result<(), PipelineError>|
+             -> Result<(), PipelineError> {
+                for (i, f) in module.funcs.iter_mut().enumerate() {
+                    apply(f, FuncId(i as u32))?;
+                }
+                Ok(())
+            };
         match model {
             Model::Superblock => {
                 each(&mut module, &|f, fid| {
                     form_superblocks(f, fid, prof, &self.superblock);
-                });
+                    Ok(())
+                })?;
                 ck.check(&mut module, Stage::Superblock)?;
             }
             Model::CondMove | Model::FullPred => {
                 each(&mut module, &|f, fid| {
-                    form_hyperblocks(f, fid, prof, &self.hyperblock);
-                });
+                    form_hyperblocks(f, fid, prof, &self.hyperblock)?;
+                    Ok(())
+                })?;
                 ck.check(&mut module, Stage::IfConvert)?;
                 if self.promote {
                     each(&mut module, &|f, _| {
-                        promote(f);
-                    });
+                        promote_bounded(f, self.promote_rounds)?;
+                        Ok(())
+                    })?;
                     ck.check(&mut module, Stage::Promote)?;
                 }
                 // Code the if-converter left alone (call-heavy regions)
                 // still gets superblock treatment, as in IMPACT.
                 each(&mut module, &|f, fid| {
                     form_superblocks(f, fid, prof, &self.superblock);
-                });
+                    Ok(())
+                })?;
                 ck.check(&mut module, Stage::Superblock)?;
             }
         }
         each(&mut module, &|f, fid| {
-            unroll_self_loops(f, fid, prof, &self.unroll);
-        });
+            unroll_self_loops(f, fid, prof, &self.unroll)?;
+            Ok(())
+        })?;
         ck.check(&mut module, Stage::Unroll)?;
         if model == Model::CondMove {
             to_partial_module(&mut module, &self.partial);
@@ -515,7 +603,7 @@ impl Pipeline {
             hyperpred_opt::optimize_module(&mut module);
             ck.check(&mut module, Stage::OptPost)?;
         }
-        schedule_module(&mut module, machine);
+        schedule_module(&mut module, machine)?;
         ck.check(&mut module, Stage::Schedule)?;
         if self.fault_injection
             && model == Model::FullPred
@@ -533,6 +621,112 @@ impl Pipeline {
             debug_assert!(verified.is_ok(), "{:?}", verified.err());
         }
         Ok(module)
+    }
+
+    /// Like [`Pipeline::finish`], but with a *degradation ladder*: when a
+    /// pass trips its growth budget ([`PipelineError::Budget`]), the
+    /// compile retries with that transformation disabled instead of
+    /// failing the cell outright. Fallback order mirrors optimization
+    /// aggressiveness — unrolling drops to factor 1, promotion turns off,
+    /// hyperblock formation falls back to superblock-only (still valid
+    /// under every model's conformance class). Only the budget that
+    /// actually tripped is disabled per step, so a well-behaved program
+    /// never loses a transformation it could afford. Non-budget errors
+    /// propagate unchanged; a budget that trips again after its pass was
+    /// already disabled is returned as the permanent failure.
+    ///
+    /// # Errors
+    /// Same as [`Pipeline::finish`] for non-budget failures, or the final
+    /// [`PipelineError::Budget`] if the ladder is exhausted.
+    pub fn finish_degraded(
+        &self,
+        front: &FrontOutput,
+        model: Model,
+        machine: &MachineConfig,
+    ) -> Result<(Module, Degradation), PipelineError> {
+        let mut pipe = *self;
+        let mut disabled: Vec<Stage> = Vec::new();
+        loop {
+            match pipe.finish(front, model, machine) {
+                Ok(module) => return Ok((module, Degradation { disabled })),
+                Err(PipelineError::Budget {
+                    pass,
+                    metric,
+                    value,
+                    limit,
+                }) if !disabled.contains(&pass) => {
+                    match pass {
+                        Stage::Unroll => pipe.unroll.factor = 1,
+                        Stage::Promote => pipe.promote = false,
+                        Stage::IfConvert => {
+                            // Rejecting every candidate region disables
+                            // formation; the finish path then applies its
+                            // usual superblock fallback to the whole
+                            // function.
+                            pipe.hyperblock.max_blocks = 0;
+                        }
+                        // A budget blamed on a stage with no knob to turn
+                        // off is permanent.
+                        other => {
+                            return Err(PipelineError::Budget {
+                                pass: other,
+                                metric,
+                                value,
+                                limit,
+                            })
+                        }
+                    }
+                    disabled.push(pass);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Pipeline::compile`] with the [`Pipeline::finish_degraded`]
+    /// degradation ladder applied to the back half.
+    ///
+    /// # Errors
+    /// See [`Pipeline::finish_degraded`].
+    pub fn compile_degraded(
+        &self,
+        source: &str,
+        args: &[i64],
+        model: Model,
+        machine: &MachineConfig,
+    ) -> Result<(Module, Degradation), PipelineError> {
+        let front = self.front(source, args)?;
+        self.finish_degraded(&front, model, machine)
+    }
+}
+
+/// What the degradation ladder had to give up to finish a compile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Passes disabled by the ladder, in the order their budgets tripped.
+    /// Empty for a clean (non-degraded) compile.
+    pub disabled: Vec<Stage>,
+}
+
+impl Degradation {
+    /// True when at least one transformation was disabled.
+    pub fn is_degraded(&self) -> bool {
+        !self.disabled.is_empty()
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disabled.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, s) in self.disabled.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
     }
 }
 

@@ -43,7 +43,7 @@
 use crate::faults;
 use crate::journal::{escape, field_str, field_u64};
 use crate::matrix::{catch_cell, FailurePayload, FailureStage};
-use crate::pipeline::{Model, Pipeline, PipelineError};
+use crate::pipeline::{Model, Pipeline, PipelineError, Stage};
 use hyperpred_ir::Module;
 use hyperpred_lang::lower::entry_args;
 use hyperpred_sched::MachineConfig;
@@ -100,6 +100,9 @@ pub struct ReproCell {
     pub max_cycles: u64,
     /// Whether fault-injection markers were honored.
     pub fault_injection: bool,
+    /// Chaos sabotage applied after this pass, if any (soak's sabotage
+    /// mode records it so replay rebreaks the build the same way).
+    pub sabotage: Option<Stage>,
     /// Stage the failure occurred in.
     pub stage: FailureStage,
     /// Normalized failure signature (see [`signature`]).
@@ -149,9 +152,18 @@ fn signature_of_error(e: &PipelineError) -> String {
         PipelineError::Sim(SimError::Deadline { .. }) => "sim: deadline".to_string(),
         PipelineError::Sim(SimError::Emu(e)) => format!("emulate: {}", emu_kind(e)),
         PipelineError::Lint(l) => format!("lint: after pass `{}`", l.pass),
+        PipelineError::Sched(s) => format!("sched: {}", s.func),
+        // value/limit are excluded on purpose: minimization changes the
+        // concrete counts while the bug (this pass blows its budget)
+        // persists.
+        PipelineError::Budget { pass, metric, .. } => {
+            format!("budget: {} {metric}", pass.name())
+        }
         // got/want are excluded on purpose: minimization changes the
         // concrete values while the bug (this model diverges) persists.
         PipelineError::Diverged { model, .. } => format!("diverged: {model}"),
+        // detail is excluded for the same reason; `check` is stable.
+        PipelineError::Oracle { check, .. } => format!("oracle: {check}"),
     }
 }
 
@@ -165,6 +177,7 @@ fn emu_kind(e: &hyperpred_emu::EmuError) -> &'static str {
         EmuError::Malformed { .. } => "malformed",
         EmuError::SinkAbort { .. } => "sink-abort",
         EmuError::NoFunc(_) => "no-func",
+        EmuError::BadGlobal(_) => "bad-global",
     }
 }
 
@@ -194,6 +207,7 @@ fn sim_of(cell: &ReproCell) -> SimConfig {
 fn pipe_of(cell: &ReproCell) -> Pipeline {
     Pipeline {
         fault_injection: cell.fault_injection,
+        sabotage: cell.sabotage,
         ..Pipeline::default()
     }
 }
@@ -204,6 +218,14 @@ fn pipe_of(cell: &ReproCell) -> Pipeline {
 /// the cell completes — for a cell recorded as diverged, "completes"
 /// additionally means the model's result matches a fresh baseline run.
 pub fn replay(cell: &ReproCell, source: &str) -> Option<String> {
+    // Soak cells replay through the soak battery itself: their failure
+    // may live in a cross-model or decoded-vs-reference oracle that a
+    // plain compile+simulate replay can never reproduce — and soak
+    // compiles with the degradation ladder, so its budget failures are
+    // the *permanent* ones, not the first budget a plain compile trips.
+    if cell.experiment == crate::soak::SOAK_EXPERIMENT {
+        return crate::soak::replay_cell(cell, source);
+    }
     let pipe = pipe_of(cell);
     let machine = machine_of(cell);
     let sim_cfg = sim_of(cell);
@@ -359,14 +381,57 @@ pub struct MinimizedSource {
     pub signature: String,
 }
 
-/// Greedy delta debugging on source lines, for failures with no compiled
-/// module (compile-stage panics and errors). Returns `None` when the
-/// original source does not fail.
+/// The index of the line that closes the brace block opened on
+/// `lines[i]`, when that line leaves net brace depth positive (an `if`,
+/// loop, or function header). Lines that don't open a block — or whose
+/// block never closes — yield `None`.
+fn block_end(lines: &[&str], i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, line) in lines.iter().enumerate().skip(i) {
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if j == i && depth <= 0 {
+            return None; // opens nothing (or is self-contained)
+        }
+        if depth <= 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Greedy delta debugging on MiniC source, for failures with no compiled
+/// module (compile-stage panics and errors). Two passes: first drop
+/// whole brace-delimited chunks (a statement opening a block through its
+/// matching close — removes an `if`/loop/function in one probe instead
+/// of leaving unbalanced braces behind), then single lines. Each removal
+/// is kept iff the replayed signature is unchanged. Returns `None` when
+/// the original source does not fail.
 pub fn minimize_source(cell: &ReproCell, source: &str) -> Option<MinimizedSource> {
     let target = replay(cell, source)?;
     let original_lines = source.lines().count();
     let mut lines: Vec<&str> = source.lines().collect();
     let mut probes = 0usize;
+    // Pass 1: brace-aware chunks.
+    let mut i = 0;
+    while i < lines.len() && probes < MAX_PROBES {
+        if let Some(end) = block_end(&lines, i) {
+            let mut cand = lines.clone();
+            cand.drain(i..=end);
+            probes += 1;
+            if replay(cell, &cand.join("\n")).as_deref() == Some(&target) {
+                lines.drain(i..=end);
+                continue; // a new chunk may now start at i
+            }
+        }
+        i += 1;
+    }
+    // Pass 2: single lines.
     let mut i = 0;
     while i < lines.len() && probes < MAX_PROBES {
         let mut cand = lines.clone();
@@ -433,6 +498,7 @@ fn cell_json(cell: &ReproCell, payload_text: &str) -> String {
          \"workload\": \"{}\",\n  \"experiment\": \"{}\",\n  \"model\": \"{}\",\n  \
          \"args\": \"{}\",\n  \"issue\": {},\n  \"branches\": {},\n  \
          \"memory\": \"{}\",\n  \"max_cycles\": {},\n  \"fault_injection\": {},\n  \
+         \"sabotage\": \"{}\",\n  \
          \"stage\": \"{}\",\n  \"attempts\": {},\n  \"signature\": \"{}\",\n  \
          \"payload\": \"{}\"\n}}\n",
         escape(&cell.fingerprint),
@@ -445,6 +511,7 @@ fn cell_json(cell: &ReproCell, payload_text: &str) -> String {
         memory,
         cell.max_cycles,
         cell.fault_injection,
+        cell.sabotage.map_or("none", Stage::name),
         cell.stage,
         cell.attempts,
         escape(&cell.signature),
@@ -497,6 +564,9 @@ fn parse_cell_json(json: &str) -> Result<ReproCell, String> {
         memory,
         max_cycles: field_u64(json, "max_cycles").ok_or("cell.json: missing max_cycles")?,
         fault_injection: json.contains("\"fault_injection\": true"),
+        // "none", a garbled value, and a missing key (pre-soak bundles)
+        // all read back as no sabotage.
+        sabotage: field_str(json, "sabotage").and_then(|s| s.parse().ok()),
         stage: parse_stage(&need("stage")?),
         signature: need("signature")?,
         fingerprint: need("fingerprint")?,
@@ -527,38 +597,39 @@ pub fn write_bundle(
         write_file(&dir.join("ir.txt"), &format!("{m}"))?;
     }
     if cfg.minimize && minimizable(&cell.signature) {
-        match module {
-            Some(m) => {
-                if let Some(min) = minimize_module(cell, m) {
-                    write_file(&dir.join("minimized.txt"), &format!("{}", min.module))?;
-                    write_file(
-                        &dir.join("minimize.json"),
-                        &format!(
-                            "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"module\", \
-                             \"original_insts\": {}, \"minimized_insts\": {}, \
-                             \"signature\": \"{}\"}}\n",
-                            min.original_insts,
-                            min.minimized_insts,
-                            escape(&min.signature)
-                        ),
-                    )?;
-                }
+        if let Some(m) = module {
+            if let Some(min) = minimize_module(cell, m) {
+                write_file(&dir.join("minimized.txt"), &format!("{}", min.module))?;
+                write_file(
+                    &dir.join("minimize.json"),
+                    &format!(
+                        "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"module\", \
+                         \"original_insts\": {}, \"minimized_insts\": {}, \
+                         \"signature\": \"{}\"}}\n",
+                        min.original_insts,
+                        min.minimized_insts,
+                        escape(&min.signature)
+                    ),
+                )?;
             }
-            None => {
-                if let Some(min) = minimize_source(cell, source) {
-                    write_file(&dir.join("minimized.c"), &min.source)?;
-                    write_file(
-                        &dir.join("minimize.json"),
-                        &format!(
-                            "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"source\", \
-                             \"original_lines\": {}, \"minimized_lines\": {}, \
-                             \"signature\": \"{}\"}}\n",
-                            min.original_lines,
-                            min.minimized_lines,
-                            escape(&min.signature)
-                        ),
-                    )?;
-                }
+        }
+        // Source-level minimization runs regardless of whether a module
+        // exists: `minimized.c` is the artifact a human reads, and the
+        // only one that replays end-to-end from nothing but the bundle.
+        if let Some(min) = minimize_source(cell, source) {
+            write_file(&dir.join("minimized.c"), &min.source)?;
+            if module.is_none() {
+                write_file(
+                    &dir.join("minimize.json"),
+                    &format!(
+                        "{{\"version\": {BUNDLE_VERSION}, \"kind\": \"source\", \
+                         \"original_lines\": {}, \"minimized_lines\": {}, \
+                         \"signature\": \"{}\"}}\n",
+                        min.original_lines,
+                        min.minimized_lines,
+                        escape(&min.signature)
+                    ),
+                )?;
             }
         }
     }
@@ -600,6 +671,7 @@ mod tests {
             memory: MemoryModel::Perfect,
             max_cycles: 2_000_000,
             fault_injection: true,
+            sabotage: Some(crate::pipeline::Stage::Promote),
             stage: FailureStage::Compile,
             signature: signature.to_string(),
             fingerprint: "abc123".to_string(),
@@ -620,7 +692,7 @@ mod tests {
         }));
         assert_eq!(signature(&e), "sim: cycle-limit");
         let d = FailurePayload::Error(PipelineError::Diverged {
-            workload: "w",
+            workload: "w".to_string(),
             model: Model::FullPred,
             got: 1,
             want: 2,
@@ -644,7 +716,11 @@ mod tests {
         assert_eq!(back.branches, c.branches);
         assert_eq!(back.max_cycles, c.max_cycles);
         assert!(back.fault_injection);
+        assert_eq!(back.sabotage, c.sabotage);
         assert_eq!(back.stage, c.stage);
+        // Pre-soak bundles have no sabotage key at all.
+        let legacy = json.replace("  \"sabotage\": \"promote\",\n", "");
+        assert_eq!(parse_cell_json(&legacy).expect("parses").sabotage, None);
         assert_eq!(back.signature, c.signature);
         assert_eq!(back.fingerprint, c.fingerprint);
         assert_eq!(back.attempts, 2);

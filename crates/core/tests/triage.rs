@@ -150,6 +150,7 @@ fn minimize_module_shrinks_while_preserving_the_signature() {
         memory: MemoryModel::Perfect,
         max_cycles: TEST_MAX_CYCLES,
         fault_injection: true,
+        sabotage: None,
         stage: FailureStage::Simulate,
         signature: String::new(), // established by the minimizer itself
         fingerprint: String::new(),

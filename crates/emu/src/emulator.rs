@@ -110,6 +110,10 @@ pub enum EmuError {
     },
     /// The requested entry function does not exist.
     NoFunc(String),
+    /// A global's initializer does not fit the simulated address space
+    /// (see [`Memory::poison`](crate::Memory::poison)); the module is
+    /// malformed at the data-segment level, before any instruction runs.
+    BadGlobal(crate::memory::GlobalError),
 }
 
 impl fmt::Display for EmuError {
@@ -134,6 +138,7 @@ impl fmt::Display for EmuError {
                 write!(f, "trace sink aborted the run {ctx}")
             }
             EmuError::NoFunc(n) => write!(f, "no function named {n}"),
+            EmuError::BadGlobal(g) => write!(f, "malformed data segment: {g}"),
         }
     }
 }
@@ -362,6 +367,9 @@ impl<'m> Emulator<'m> {
             .module
             .func_by_name(func)
             .ok_or_else(|| EmuError::NoFunc(func.to_string()))?;
+        if let Some(p) = self.mem.poison() {
+            return Err(EmuError::BadGlobal(p.clone()));
+        }
         // The shape check is the once-per-run safety argument for the
         // unchecked (block, index) instruction fetches in the hot loop: a
         // stale or foreign decode is silently replaced, never trusted.

@@ -39,7 +39,7 @@ pub mod trace;
 
 pub use decode::{DecodedFunc, DecodedModule};
 pub use emulator::{EmuContext, EmuError, Emulator, RunOutcome, DEFAULT_FUEL, MAX_DEPTH};
-pub use memory::Memory;
+pub use memory::{GlobalError, Memory};
 pub use profile::{BranchStat, Profiler};
 pub use reference::ReferenceEmulator;
 pub use trace::{DynStats, Event, NullSink, TraceSink};

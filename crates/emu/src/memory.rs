@@ -2,6 +2,7 @@
 
 use hyperpred_ir::module::{MEM_SIZE, NULL_GUARD, SAFE_ADDR};
 use hyperpred_ir::{MemWidth, Module};
+use std::fmt;
 
 /// A memory access violation (non-speculative access outside the valid
 /// range).
@@ -10,6 +11,25 @@ pub struct Trap {
     /// The offending address.
     pub addr: u64,
 }
+
+/// A named-global access that cannot be satisfied: the global does not
+/// exist, or its initializer or the requested range does not fit the
+/// simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalError {
+    /// The global's name.
+    pub name: String,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for GlobalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global `{}`: {}", self.name, self.detail)
+    }
+}
+
+impl std::error::Error for GlobalError {}
 
 /// Flat simulated memory, preloaded with a module's data segment.
 ///
@@ -26,17 +46,50 @@ pub struct Trap {
 #[derive(Debug, Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// The first global whose initializer did not fit the address space,
+    /// if any. Construction stays infallible — emulators check this at the
+    /// start of a run and surface it as a typed error instead of the
+    /// historical slice panic.
+    poison: Option<GlobalError>,
 }
 
 impl Memory {
     /// Creates memory for `module`, copying every global's initializer.
+    ///
+    /// Modules built through [`Module::add_global`] always fit; a
+    /// hand-built global whose initializer falls outside the address
+    /// space is skipped and recorded as [`Memory::poison`].
     pub fn new(module: &Module) -> Memory {
         let mut bytes = vec![0u8; MEM_SIZE as usize];
+        let mut poison = None;
         for g in &module.globals {
-            let start = g.addr as usize;
-            bytes[start..start + g.init.len()].copy_from_slice(&g.init);
+            let end = g.addr.checked_add(g.init.len() as u64);
+            match end {
+                Some(end) if end <= MEM_SIZE => {
+                    let start = g.addr as usize;
+                    bytes[start..start + g.init.len()].copy_from_slice(&g.init);
+                }
+                _ => {
+                    if poison.is_none() {
+                        poison = Some(GlobalError {
+                            name: g.name.clone(),
+                            detail: format!(
+                                "initializer of {} bytes at {:#x} falls outside memory \
+                                 of {MEM_SIZE:#x} bytes",
+                                g.init.len(),
+                                g.addr
+                            ),
+                        });
+                    }
+                }
+            }
         }
-        Memory { bytes }
+        Memory { bytes, poison }
+    }
+
+    /// The first malformed global encountered at construction, if any.
+    pub fn poison(&self) -> Option<&GlobalError> {
+        self.poison.as_ref()
     }
 
     #[inline]
@@ -79,32 +132,56 @@ impl Memory {
         Ok(())
     }
 
+    /// Looks up `name` and bounds-checks an access of `len` bytes.
+    fn global_range(
+        &self,
+        module: &Module,
+        name: &str,
+        len: u64,
+        what: &str,
+    ) -> Result<usize, GlobalError> {
+        let g = module.global(name).ok_or_else(|| GlobalError {
+            name: name.to_string(),
+            detail: "no such global".to_string(),
+        })?;
+        if len > g.size || g.addr.checked_add(len).is_none_or(|end| end > MEM_SIZE) {
+            return Err(GlobalError {
+                name: name.to_string(),
+                detail: format!("{what} of {len} bytes exceeds its {} bytes", g.size),
+            });
+        }
+        Ok(g.addr as usize)
+    }
+
     /// Copies `data` into the global named `name`.
     ///
-    /// # Panics
-    /// Panics if the global does not exist or `data` exceeds its size.
-    pub fn write_global(&mut self, module: &Module, name: &str, data: &[u8]) {
-        let g = module
-            .global(name)
-            .unwrap_or_else(|| panic!("no global named {name}"));
-        assert!(
-            data.len() as u64 <= g.size,
-            "data too large for global {name}"
-        );
-        let start = g.addr as usize;
+    /// # Errors
+    /// Returns a [`GlobalError`] if the global does not exist or `data`
+    /// exceeds its size.
+    pub fn write_global(
+        &mut self,
+        module: &Module,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(), GlobalError> {
+        let start = self.global_range(module, name, data.len() as u64, "write")?;
         self.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads `len` bytes starting at the global named `name`.
     ///
-    /// # Panics
-    /// Panics if the global does not exist or the read exceeds its size.
-    pub fn read_global<'a>(&'a self, module: &Module, name: &str, len: u64) -> &'a [u8] {
-        let g = module
-            .global(name)
-            .unwrap_or_else(|| panic!("no global named {name}"));
-        assert!(len <= g.size, "read exceeds global {name}");
-        &self.bytes[g.addr as usize..(g.addr + len) as usize]
+    /// # Errors
+    /// Returns a [`GlobalError`] if the global does not exist or the read
+    /// exceeds its size.
+    pub fn read_global<'a>(
+        &'a self,
+        module: &Module,
+        name: &str,
+        len: u64,
+    ) -> Result<&'a [u8], GlobalError> {
+        let start = self.global_range(module, name, len, "read")?;
+        Ok(&self.bytes[start..start + len as usize])
     }
 
     /// Raw view of a byte range (for checksumming in tests).
@@ -174,7 +251,36 @@ mod tests {
     #[test]
     fn write_and_read_global() {
         let (m, mut mem) = mem();
-        mem.write_global(&m, "g", &[9, 9]);
-        assert_eq!(mem.read_global(&m, "g", 3), &[9, 9, 3]);
+        mem.write_global(&m, "g", &[9, 9]).unwrap();
+        assert_eq!(mem.read_global(&m, "g", 3).unwrap(), &[9, 9, 3]);
+    }
+
+    #[test]
+    fn global_access_errors_are_typed() {
+        let (m, mut mem) = mem();
+        let missing = mem.write_global(&m, "nope", &[1]).unwrap_err();
+        assert_eq!(missing.name, "nope");
+        let too_big = mem.read_global(&m, "g", 17).unwrap_err();
+        assert!(too_big.detail.contains("exceeds"), "{too_big}");
+        assert!(mem.write_global(&m, "g", &[0; 17]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_initializer_poisons_instead_of_panicking() {
+        let mut m = Module::new();
+        m.add_global("ok", 8, vec![1]);
+        // Hand-built global that bypasses `add_global`'s bounds check.
+        m.globals.push(hyperpred_ir::module::Global {
+            name: "huge".to_string(),
+            addr: MEM_SIZE - 4,
+            size: 16,
+            init: vec![0xAA; 16],
+        });
+        let mem = Memory::new(&m);
+        let p = mem.poison().expect("bad global must poison the memory");
+        assert_eq!(p.name, "huge");
+        // The well-formed global is still loaded.
+        let addr = m.global("ok").unwrap().addr;
+        assert_eq!(mem.load(addr, MemWidth::Byte, false), Ok(1));
     }
 }

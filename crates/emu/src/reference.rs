@@ -66,6 +66,9 @@ impl<'m> ReferenceEmulator<'m> {
             .module
             .func_by_name(func)
             .ok_or_else(|| EmuError::NoFunc(func.to_string()))?;
+        if let Some(p) = self.mem.poison() {
+            return Err(EmuError::BadGlobal(p.clone()));
+        }
         self.fetched = 0;
         let flow = self.exec(fid, args, sink, 0)?;
         let ret = match flow {

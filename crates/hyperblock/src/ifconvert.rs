@@ -34,6 +34,14 @@ pub struct HyperblockConfig {
     pub max_insts: usize,
     /// Maximum number of blocks considered per region.
     pub max_blocks: usize,
+    /// Maximum regions converted per function before the pass refuses with
+    /// a typed [`GrowthBudget`](crate::GrowthBudget) error (each conversion
+    /// restarts CFG/dominator/loop analysis, so this bounds compile time).
+    pub max_regions: usize,
+    /// Total instructions formation may add to one function (tail
+    /// duplication of side entrances) before refusing with a typed
+    /// [`GrowthBudget`](crate::GrowthBudget) error.
+    pub max_growth_insts: usize,
 }
 
 impl Default for HyperblockConfig {
@@ -42,21 +50,43 @@ impl Default for HyperblockConfig {
             min_exec_ratio: 0.04,
             max_insts: 400,
             max_blocks: 48,
+            max_regions: 256,
+            max_growth_insts: 20_000,
         }
     }
 }
 
-/// Forms hyperblocks in `f`, returning how many regions were converted.
+/// Forms hyperblocks in `f`, returning how many regions were converted, or
+/// a typed [`GrowthBudget`](crate::GrowthBudget) error when formation
+/// exceeds the configured region-count or code-growth budgets.
 pub fn form_hyperblocks(
     f: &mut Function,
     fid: FuncId,
     prof: &Profiler,
     config: &HyperblockConfig,
-) -> usize {
+) -> Result<usize, crate::GrowthBudget> {
     debug_assert!(f.is_basic(), "hyperblock formation requires basic blocks");
-    let mut formed = 0;
+    let start_size = f.size();
+    let mut formed = 0usize;
     // Convert one region at a time; each conversion invalidates the CFG.
     loop {
+        if formed >= config.max_regions {
+            return Err(crate::GrowthBudget {
+                pass: "ifconvert",
+                metric: "formed-regions",
+                value: formed as u64 + 1,
+                limit: config.max_regions as u64,
+            });
+        }
+        let size = f.size();
+        if size > start_size + config.max_growth_insts {
+            return Err(crate::GrowthBudget {
+                pass: "ifconvert",
+                metric: "grown-insts",
+                value: (size - start_size) as u64,
+                limit: config.max_growth_insts as u64,
+            });
+        }
         let cfg = Cfg::new(f);
         let doms = DomTree::new(&cfg);
         let loops = LoopForest::new(&cfg, &doms);
@@ -113,7 +143,7 @@ pub fn form_hyperblocks(
         let vs = check_function(f, ModelClass::FullPred);
         assert!(vs.is_empty(), "if-conversion broke {}: {vs:#?}", f.name);
     }
-    formed
+    Ok(formed)
 }
 
 /// The outgoing edges of a basic block.
@@ -616,7 +646,7 @@ mod tests {
         for i in 0..m.funcs.len() {
             let fid = FuncId(i as u32);
             let mut f = m.funcs[i].clone();
-            formed += form_hyperblocks(&mut f, fid, prof, &HyperblockConfig::default());
+            formed += form_hyperblocks(&mut f, fid, prof, &HyperblockConfig::default()).unwrap();
             m.funcs[i] = f;
         }
         formed

@@ -22,6 +22,36 @@ pub mod superblock;
 pub mod unroll;
 
 pub use ifconvert::{form_hyperblocks, HyperblockConfig};
-pub use promote::promote;
+pub use promote::{promote, promote_bounded};
 pub use superblock::{form_superblocks, SuperblockConfig};
 pub use unroll::{unroll_self_loops, UnrollConfig};
+
+use std::fmt;
+
+/// A transformation stopped because it would exceed a configured growth
+/// budget. Budgets bound compile-time and code-size blowup on adversarial
+/// inputs: the caller can retry with the offending transformation disabled
+/// (the pipeline's degradation ladder) instead of hanging or exploding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowthBudget {
+    /// Transformation that tripped ("unroll", "ifconvert", "promote").
+    pub pass: &'static str,
+    /// What was being bounded (e.g. "grown-insts", "formed-regions").
+    pub metric: &'static str,
+    /// The value the metric reached.
+    pub value: u64,
+    /// The configured limit it exceeded.
+    pub limit: u64,
+}
+
+impl fmt::Display for GrowthBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} growth budget exceeded: {} = {} > limit {}",
+            self.pass, self.metric, self.value, self.limit
+        )
+    }
+}
+
+impl std::error::Error for GrowthBudget {}

@@ -24,108 +24,165 @@
 //!    compiler temporary of this hyperblock).
 //! 4. `p` is not redefined between `I` and the last such use (guard
 //!    equality would otherwise be meaningless).
+//! 5. Every general-register source of `I` is must-defined for an
+//!    *unguarded* read at `I` — a promoted instruction executes on paths
+//!    where `p` is false, and a source written only under `p` (common
+//!    when `I` consumes an earlier guarded def of the same hyperblock)
+//!    would be read before it is defined there. Promotion walks the
+//!    block in order, so a guarded producer promoted earlier in the same
+//!    round immediately unblocks its consumers.
 
+use crate::GrowthBudget;
+use hyperpred_ir::analysis::{forward, ForwardAnalysis, MustDefined};
 use hyperpred_ir::liveness::Liveness;
 use hyperpred_ir::{Cfg, Function, Op};
 
 /// Runs promotion over every block of `f` to a fixpoint. Returns the number
 /// of instructions promoted.
 pub fn promote(f: &mut Function) -> usize {
+    // The fixpoint terminates unconditionally (each round removes at least
+    // one guard and no pass adds guards), so an unbounded run cannot trip.
+    promote_bounded(f, usize::MAX).expect("unbounded promotion cannot exceed a budget")
+}
+
+/// Like [`promote`], but refuses with a typed [`GrowthBudget`] error after
+/// `max_rounds` fixpoint rounds. Each round recomputes CFG + liveness, so
+/// the bound caps compile time on adversarial hyperblocks where every
+/// round promotes a single straggler.
+pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, GrowthBudget> {
     let mut total = 0;
+    let mut rounds = 0usize;
     loop {
+        rounds += 1;
+        if rounds > max_rounds {
+            return Err(GrowthBudget {
+                pass: "promote",
+                metric: "fixpoint-rounds",
+                value: rounds as u64,
+                limit: max_rounds as u64,
+            });
+        }
         let cfg = Cfg::new(f);
         let lv = Liveness::compute(f, &cfg);
+        let flow = forward(f, &cfg, &MustDefined);
         let mut promoted = 0;
         for &b in &f.layout.clone() {
+            // Blocks the dataflow never reached cannot execute; there is
+            // nothing to win by promoting in them, and no entry state to
+            // judge candidate sources against.
+            let Some(mut defs) = flow.entry[b.index()].clone() else {
+                continue;
+            };
             let block_succs = cfg.succs[b.index()].clone();
             let n = f.block(b).insts.len();
             for i in 0..n {
-                let cand = {
-                    let inst = &f.block(b).insts[i];
-                    let Some(p) = inst.guard else { continue };
-                    if !inst.op.can_speculate() {
-                        continue;
-                    }
-                    // Conditional moves stay partial definitions even when
-                    // unguarded, so promoting them can launder junk across
-                    // iterations; only full definitions are candidates.
-                    if matches!(inst.op, Op::Cmov | Op::CmovCom) {
-                        continue;
-                    }
-                    let Some(d) = inst.dst else { continue };
-                    (p, d, inst.id)
-                };
-                let (p, d, cand_id) = cand;
-                // Scan the span from the candidate to the next full
-                // redefinition of d (or the end of the block), collecting
-                // the exit targets through which a junk value could
-                // escape.
-                let mut ok = true;
-                let mut exit_targets: Vec<hyperpred_ir::BlockId> = Vec::new();
-                let mut reaches_end = true;
-                {
-                    let insts = &f.block(b).insts;
-                    for (j, later) in insts[i + 1..].iter().enumerate() {
-                        // p redefined: any remaining use of d would compare
-                        // against a *different* p value.
-                        if later.defines_all_preds() || later.pred_defs().any(|q| q == p) {
-                            if uses_reg(later, d) || remaining_uses(&insts[i + 1 + j + 1..], d) {
-                                ok = false;
+                // `defs` holds the must-defined state immediately before
+                // instruction `i`; the transfer at the bottom of this loop
+                // advances it over the (possibly just-promoted) form.
+                'decide: {
+                    let cand = {
+                        let inst = &f.block(b).insts[i];
+                        let Some(p) = inst.guard else { break 'decide };
+                        if !inst.op.can_speculate() {
+                            break 'decide;
+                        }
+                        // Conditional moves stay partial definitions even
+                        // when unguarded, so promoting them can launder
+                        // junk across iterations; only full definitions
+                        // are candidates.
+                        if matches!(inst.op, Op::Cmov | Op::CmovCom) {
+                            break 'decide;
+                        }
+                        let Some(d) = inst.dst else { break 'decide };
+                        // Condition 5: promoted, the sources are read
+                        // unguarded on every path, so each must be
+                        // must-defined without the guard's help.
+                        if !inst.src_regs().all(|r| defs.reg_ok(r, None)) {
+                            break 'decide;
+                        }
+                        (p, d, inst.id)
+                    };
+                    let (p, d, cand_id) = cand;
+                    // Scan the span from the candidate to the next full
+                    // redefinition of d (or the end of the block),
+                    // collecting the exit targets through which a junk
+                    // value could escape.
+                    let mut ok = true;
+                    let mut exit_targets: Vec<hyperpred_ir::BlockId> = Vec::new();
+                    let mut reaches_end = true;
+                    {
+                        let insts = &f.block(b).insts;
+                        for (j, later) in insts[i + 1..].iter().enumerate() {
+                            // p redefined: any remaining use of d would
+                            // compare against a *different* p value.
+                            if later.defines_all_preds() || later.pred_defs().any(|q| q == p) {
+                                if uses_reg(later, d) || remaining_uses(&insts[i + 1 + j + 1..], d)
+                                {
+                                    ok = false;
+                                }
+                                // The rest of the span is use-free; the
+                                // junk can still escape through later
+                                // exits, so keep collecting them.
+                                if !ok {
+                                    break;
+                                }
                             }
-                            // The rest of the span is use-free; the junk
-                            // can still escape through later exits, so keep
-                            // collecting them.
-                            if !ok {
+                            if uses_reg(later, d) && later.guard != Some(p) {
+                                ok = false;
                                 break;
                             }
-                        }
-                        if uses_reg(later, d) && later.guard != Some(p) {
-                            ok = false;
-                            break;
-                        }
-                        if later.op.is_branch() {
-                            if let Some(t) = later.target {
-                                exit_targets.push(t);
+                            if later.op.is_branch() {
+                                if let Some(t) = later.target {
+                                    exit_targets.push(t);
+                                }
+                                if later.op == Op::Jump && later.guard.is_none() {
+                                    // Unconditional transfer: nothing
+                                    // after it in this block executes.
+                                    reaches_end = false;
+                                    break;
+                                }
                             }
-                            if later.op == Op::Jump && later.guard.is_none() {
-                                // Unconditional transfer: nothing after it
-                                // in this block executes.
+                            if matches!(later.op, Op::Ret | Op::Halt) && later.guard.is_none() {
+                                reaches_end = false;
+                                break;
+                            }
+                            if later.dst == Some(d) && !later.is_partial_reg_def() {
                                 reaches_end = false;
                                 break;
                             }
                         }
-                        if matches!(later.op, Op::Ret | Op::Halt) && later.guard.is_none() {
-                            reaches_end = false;
-                            break;
-                        }
-                        if later.dst == Some(d) && !later.is_partial_reg_def() {
-                            reaches_end = false;
-                            break;
-                        }
                     }
+                    if !ok {
+                        break 'decide;
+                    }
+                    if reaches_end {
+                        exit_targets.extend(block_succs.iter().copied());
+                    }
+                    // The junk value must be unobservable at every escape
+                    // target. `exposed` walks the target: a use of d
+                    // before a full redefinition observes it; the
+                    // candidate itself becomes a full (killing)
+                    // definition once promoted.
+                    if exit_targets
+                        .iter()
+                        .any(|&t| exposed(f, &lv, t, d, cand_id, b))
+                    {
+                        break 'decide;
+                    }
+                    let inst = &mut f.block_mut(b).insts[i];
+                    inst.guard = None;
+                    if inst.op.may_trap() {
+                        inst.speculative = true;
+                    }
+                    promoted += 1;
                 }
-                if !ok {
-                    continue;
+                let inst = &f.block(b).insts[i];
+                MustDefined.transfer(inst, &mut defs);
+                if inst.ends_block() {
+                    // Anything after an unconditional terminator is dead;
+                    // the dataflow carries no state for it.
+                    break;
                 }
-                if reaches_end {
-                    exit_targets.extend(block_succs.iter().copied());
-                }
-                // The junk value must be unobservable at every escape
-                // target. `exposed` walks the target: a use of d before a
-                // full redefinition observes it; the candidate itself
-                // becomes a full (killing) definition once promoted.
-                if exit_targets
-                    .iter()
-                    .any(|&t| exposed(f, &lv, t, d, cand_id, b))
-                {
-                    continue;
-                }
-                let inst = &mut f.block_mut(b).insts[i];
-                inst.guard = None;
-                if inst.op.may_trap() {
-                    inst.speculative = true;
-                }
-                promoted += 1;
             }
         }
         total += promoted;
@@ -138,7 +195,7 @@ pub fn promote(f: &mut Function) -> usize {
         "promotion broke {}",
         f.name
     );
-    total
+    Ok(total)
 }
 
 /// Is `d` observable on entry to block `t`?
@@ -305,6 +362,55 @@ mod tests {
         b.ret(Some(out.into()));
         let mut f = b.finish();
         assert_eq!(promote(&mut f), 0, "out is live in the exit block");
+    }
+
+    /// Condition 5: a candidate reading a register that is defined only
+    /// under a *different* guard must keep its own guard — promoted, it
+    /// would read the source on paths where the producer never executed.
+    /// (Same-guard producer/consumer chains still promote: the producer
+    /// goes first in the block walk and becomes a full definition, as
+    /// `figure2_promotes_temporaries_only` pins.)
+    #[test]
+    fn does_not_promote_reader_of_foreign_guarded_def() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Gt,
+            &[(q, PredType::U)],
+            x.into(),
+            Operand::Imm(5),
+            None,
+        );
+        let out = b.mov(Operand::Imm(0));
+        let s = b.add(x.into(), Operand::Imm(1));
+        b.guard_last(q); // s exists only where q held; s is read under p,
+                         // so the producer cannot promote (condition 2)
+        let t = b.add(s.into(), Operand::Imm(2));
+        b.guard_last(p);
+        b.mov_to(out, t.into());
+        b.guard_last(p);
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        promote(&mut f);
+        let consumer = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.src_regs().any(|r| r == s))
+            .expect("the s-consumer survives");
+        assert_eq!(
+            consumer.guard,
+            Some(p),
+            "reader of a q-guarded def must stay guarded:\n{f}"
+        );
     }
 
     #[test]

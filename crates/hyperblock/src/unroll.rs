@@ -18,6 +18,7 @@
 //! recomputes its temporaries; loop-carried values flow through the same
 //! registers exactly as across real iterations.
 
+use crate::GrowthBudget;
 use hyperpred_emu::Profiler;
 use hyperpred_ir::{BlockId, FuncId, Function, Inst, Op};
 
@@ -32,6 +33,10 @@ pub struct UnrollConfig {
     /// Formation-created clones carry no profile, so the default is 0 (the
     /// self-loop pattern itself proves a loop).
     pub min_count: u64,
+    /// Total instructions unrolling may *add* to one function before the
+    /// pass refuses with a typed [`GrowthBudget`] error. Bounds code-size
+    /// blowup on adversarial inputs with many eligible self-loops.
+    pub max_growth_insts: usize,
 }
 
 impl Default for UnrollConfig {
@@ -40,6 +45,7 @@ impl Default for UnrollConfig {
             factor: 4,
             max_body_insts: 80,
             min_count: 0,
+            max_growth_insts: 8192,
         }
     }
 }
@@ -87,17 +93,19 @@ fn self_loop_tail(f: &Function, b: BlockId) -> Option<Tail> {
 }
 
 /// Unrolls every eligible self-loop block of `f`. Returns how many loops
-/// were unrolled.
+/// were unrolled, or a typed [`GrowthBudget`] error when the copies would
+/// add more than [`UnrollConfig::max_growth_insts`] instructions.
 pub fn unroll_self_loops(
     f: &mut Function,
     fid: FuncId,
     prof: &Profiler,
     config: &UnrollConfig,
-) -> usize {
+) -> Result<usize, GrowthBudget> {
     if config.factor <= 1 {
-        return 0;
+        return Ok(0);
     }
     let mut done = 0;
+    let mut grown = 0usize;
     for &b in &f.layout.clone() {
         let insts_len = f.block(b).insts.len();
         if insts_len == 0 || insts_len > config.max_body_insts {
@@ -120,6 +128,17 @@ pub fn unroll_self_loops(
         let Some(tail) = self_loop_tail(f, b) else {
             continue;
         };
+        // Each extra copy adds (up to) one body's worth of instructions.
+        let added = insts_len * (config.factor as usize - 1);
+        if grown + added > config.max_growth_insts {
+            return Err(GrowthBudget {
+                pass: "unroll",
+                metric: "grown-insts",
+                value: (grown + added) as u64,
+                limit: config.max_growth_insts as u64,
+            });
+        }
+        grown += added;
         let body: Vec<Inst> = f.block(b).insts.clone();
         let n = body.len();
         let mut out: Vec<Inst> = Vec::with_capacity(n * config.factor as usize);
@@ -172,7 +191,7 @@ pub fn unroll_self_loops(
         f.name,
         hyperpred_ir::verify::verify_function(f).err()
     );
-    done
+    Ok(done)
 }
 
 #[cfg(test)]
@@ -225,7 +244,8 @@ mod tests {
             .run("main", &[], &mut NullSink)
             .unwrap()
             .ret;
-        let n = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default());
+        let n =
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default()).unwrap();
         assert_eq!(n, 1, "{}", m.funcs[0]);
         m.verify().unwrap();
         let got = Emulator::new(&m)
@@ -252,7 +272,7 @@ mod tests {
             ..UnrollConfig::default()
         };
         assert_eq!(
-            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config).unwrap(),
             0
         );
         assert_eq!(m.funcs[0].size(), before);
@@ -267,7 +287,7 @@ mod tests {
             ..UnrollConfig::default()
         };
         assert_eq!(
-            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config).unwrap(),
             0
         );
     }
@@ -287,9 +307,30 @@ mod tests {
             ..UnrollConfig::default()
         };
         assert_eq!(
-            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config),
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config).unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn growth_budget_trips_typed_error() {
+        let mut m = loop_module();
+        let prof = profile(&m);
+        crate::form_superblocks(
+            &mut m.funcs[0],
+            FuncId(0),
+            &prof,
+            &crate::SuperblockConfig::default(),
+        );
+        let config = UnrollConfig {
+            max_growth_insts: 2,
+            ..UnrollConfig::default()
+        };
+        let err = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &config).unwrap_err();
+        assert_eq!(err.pass, "unroll");
+        assert_eq!(err.metric, "grown-insts");
+        assert_eq!(err.limit, 2);
+        assert!(err.value > err.limit, "{err}");
     }
 
     #[test]
@@ -320,9 +361,11 @@ mod tests {
             FuncId(0),
             &prof,
             &crate::HyperblockConfig::default(),
-        );
+        )
+        .unwrap();
         crate::promote(&mut m.funcs[0]);
-        let n = unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default());
+        let n =
+            unroll_self_loops(&mut m.funcs[0], FuncId(0), &prof, &UnrollConfig::default()).unwrap();
         assert!(n >= 1, "{}", m.funcs[0]);
         m.verify().unwrap();
         let got = Emulator::new(&m)

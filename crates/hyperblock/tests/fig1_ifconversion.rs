@@ -134,7 +134,8 @@ fn figure1_converts_to_the_papers_shape() {
         FuncId(0),
         &prof,
         &HyperblockConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(formed >= 1, "the Fig. 1 region must convert");
     m.verify().unwrap();
     assert_eq!(
@@ -229,7 +230,8 @@ fn figure1_is_correct_on_all_paths() {
         FuncId(0),
         &prof,
         &HyperblockConfig::default(),
-    );
+    )
+    .unwrap();
     for a in [0i64, 1] {
         for b in [0i64, 1] {
             for c in [0i64, 1] {

@@ -59,7 +59,8 @@ fn superblock_stage_preserves_all_workloads() {
         // Scheduling (the speculation pass) must be safe at several widths.
         for (k, b) in [(1, 1), (4, 1), (8, 1), (8, 2)] {
             let mut sm = m.clone();
-            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b));
+            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b))
+                .unwrap();
             assert_eq!(
                 run(&sm, &w.args),
                 want,
@@ -84,7 +85,8 @@ fn hyperblock_stage_preserves_all_workloads() {
                 FuncId(i as u32),
                 &prof,
                 &HyperblockConfig::default(),
-            );
+            )
+            .unwrap();
             m.funcs[i] = f;
         }
         m.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -104,7 +106,8 @@ fn hyperblock_stage_preserves_all_workloads() {
         );
         for (k, b) in [(1, 1), (8, 1)] {
             let mut sm = m.clone();
-            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b));
+            hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(k, b))
+                .unwrap();
             assert_eq!(
                 run(&sm, &w.args),
                 want,
@@ -130,7 +133,8 @@ fn partial_stage_preserves_all_workloads() {
                 FuncId(i as u32),
                 &prof,
                 &HyperblockConfig::default(),
-            );
+            )
+            .unwrap();
             promote(&mut f);
             m.funcs[i] = f;
         }
@@ -144,7 +148,8 @@ fn partial_stage_preserves_all_workloads() {
         );
         hyperpred_opt::optimize_module(&mut m);
         let mut sm = m.clone();
-        hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(8, 1));
+        hyperpred_sched::schedule_module(&mut sm, &hyperpred_sched::MachineConfig::new(8, 1))
+            .unwrap();
         assert_eq!(
             run(&sm, &w.args),
             want,

@@ -338,19 +338,38 @@ impl Module {
     ///
     /// # Panics
     /// Panics if `init` is longer than `size` or the data segment overflows
-    /// into the stack region.
+    /// into the stack region. Frontends lowering untrusted source should
+    /// use [`Module::try_add_global`] and report a compile error instead.
     pub fn add_global(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> u64 {
-        assert!(init.len() as u64 <= size, "global initializer too long");
+        self.try_add_global(name, size, init)
+            .expect("global initializer too long or data segment overflow")
+    }
+
+    /// Non-panicking [`Module::add_global`]: returns `None` (leaving the
+    /// module unchanged) when `init` is longer than `size` or the data
+    /// segment would overflow into the stack region.
+    pub fn try_add_global(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        init: Vec<u8>,
+    ) -> Option<u64> {
+        if init.len() as u64 > size {
+            return None;
+        }
         let addr = self.data_end;
-        self.data_end = (self.data_end + size + 7) & !7;
-        assert!(self.data_end < MEM_SIZE / 2, "data segment overflow");
+        let end = addr.checked_add(size)?.checked_add(7)? & !7;
+        if end >= MEM_SIZE / 2 {
+            return None;
+        }
+        self.data_end = end;
         self.globals.push(Global {
             name: name.into(),
             addr,
             size,
             init,
         });
-        addr
+        Some(addr)
     }
 
     /// Finds a global by name.

@@ -90,13 +90,21 @@ pub fn lower_program(prog: &Program) -> Result<Module, CompileError> {
         if gsyms.contains_key(&g.name) {
             return err(g.line, format!("duplicate global {}", g.name));
         }
-        let size = g.len.unwrap_or(1) * g.ty.size();
-        if let Some(len) = g.len {
-            if (g.init.len() as u64) > len * g.ty.size() {
-                return err(g.line, format!("initializer too long for {}", g.name));
-            }
+        let Some(size) = g.len.unwrap_or(1).checked_mul(g.ty.size()) else {
+            return err(g.line, format!("global {} is too large", g.name));
+        };
+        if (g.init.len() as u64) > size {
+            return err(g.line, format!("initializer too long for {}", g.name));
         }
-        let addr = module.add_global(g.name.clone(), size, g.init.clone());
+        let Some(addr) = module.try_add_global(g.name.clone(), size, g.init.clone()) else {
+            return err(
+                g.line,
+                format!(
+                    "global {} of {size} bytes overflows the data segment",
+                    g.name
+                ),
+            );
+        };
         let sym = if g.len.is_some() {
             GSym::Array { ty: g.ty, addr }
         } else {
@@ -151,7 +159,11 @@ fn collect_arrays(stmts: &[Stmt], sizes: &mut Vec<u64>) {
         match s {
             Stmt::Decl {
                 ty, len: Some(n), ..
-            } => sizes.push((n * ty.size() + 7) & !7),
+            } => sizes.push(
+                n.checked_mul(ty.size())
+                    .and_then(|b| b.checked_add(7))
+                    .map_or(u64::MAX, |b| b & !7),
+            ),
             Stmt::If(_, a, b) => {
                 collect_arrays(std::slice::from_ref(a), sizes);
                 if let Some(b) = b {
@@ -190,7 +202,13 @@ impl<'a> FnLower<'a> {
         }
         let mut sizes = Vec::new();
         collect_arrays(&f.body, &mut sizes);
-        let frame_size: u64 = sizes.iter().sum();
+        let frame_size: u64 = sizes.iter().fold(0u64, |a, s| a.saturating_add(*s));
+        if frame_size >= hyperpred_ir::module::MEM_SIZE / 2 {
+            return err(
+                f.line,
+                format!("stack frame of {} needs {frame_size} bytes", f.name),
+            );
+        }
         let mut offsets = Vec::with_capacity(sizes.len());
         let mut acc = 0;
         for s in &sizes {

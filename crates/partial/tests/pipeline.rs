@@ -76,7 +76,8 @@ fn pipeline(src: &str, args: &[i64], config: &PartialConfig) -> (i64, i64, DynSt
             FuncId(i as u32),
             &prof,
             &HyperblockConfig::default(),
-        );
+        )
+        .unwrap();
         promote(&mut f);
         m.funcs[i] = f;
     }

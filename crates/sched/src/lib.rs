@@ -18,4 +18,4 @@ pub mod machine;
 pub mod sched;
 
 pub use machine::{Latencies, MachineConfig};
-pub use sched::{schedule_block, schedule_function, schedule_module, BlockSchedule};
+pub use sched::{schedule_block, schedule_function, schedule_module, BlockSchedule, SchedError};

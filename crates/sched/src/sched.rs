@@ -22,6 +22,7 @@ use crate::machine::MachineConfig;
 use hyperpred_ir::liveness::Liveness;
 use hyperpred_ir::{BlockId, Cfg, Function, Inst, Module, Op};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Summary of one block's schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,26 +31,60 @@ pub struct BlockSchedule {
     pub len: u32,
 }
 
-/// Schedules every block of every function in `m`.
-pub fn schedule_module(m: &mut Module, config: &MachineConfig) {
-    for f in &mut m.funcs {
-        schedule_function(f, config);
+/// A typed scheduling failure.
+///
+/// The list scheduler is total on well-formed input (the dependence DAG is
+/// acyclic by construction, edges always point forward in original order),
+/// so these errors are defensive: they bound the issue loop and surface
+/// internal inconsistencies — a machine config that can never issue some
+/// instruction, or a malformed block from an upstream pass — as data
+/// instead of a panic or a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedError {
+    /// Function being scheduled.
+    pub func: String,
+    /// Block being scheduled.
+    pub block: BlockId,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scheduling `{}` block b{}: {}",
+            self.func,
+            self.block.index(),
+            self.detail
+        )
     }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Schedules every block of every function in `m`.
+pub fn schedule_module(m: &mut Module, config: &MachineConfig) -> Result<(), SchedError> {
+    for f in &mut m.funcs {
+        schedule_function(f, config)?;
+    }
+    Ok(())
 }
 
 /// Schedules every block of `f`, reordering instructions into issue order
 /// and assigning [`Inst::cycle`].
-pub fn schedule_function(f: &mut Function, config: &MachineConfig) {
+pub fn schedule_function(f: &mut Function, config: &MachineConfig) -> Result<(), SchedError> {
     let cfg = Cfg::new(f);
     let lv = Liveness::compute(f, &cfg);
     for &b in &f.layout.clone() {
-        schedule_block(f, b, &lv, config);
+        schedule_block(f, b, &lv, config)?;
     }
     debug_assert!(
         hyperpred_ir::verify::verify_function(f).is_ok(),
         "scheduler broke {}",
         f.name
     );
+    Ok(())
 }
 
 /// Dependence edge: `to` may issue no earlier than `cycle(from) + delay`.
@@ -65,12 +100,12 @@ pub fn schedule_block(
     b: BlockId,
     lv: &Liveness,
     config: &MachineConfig,
-) -> BlockSchedule {
+) -> Result<BlockSchedule, SchedError> {
     let insts = std::mem::take(&mut f.block_mut(b).insts);
     let n = insts.len();
     if n == 0 {
         f.block_mut(b).insts = insts;
-        return BlockSchedule { len: 0 };
+        return Ok(BlockSchedule { len: 0 });
     }
     let succs: Vec<(usize, Vec<Edge>)> = build_dag(f, &insts, lv, config);
     let mut preds_left: Vec<usize> = vec![0; n];
@@ -95,6 +130,7 @@ pub fn schedule_block(
     while unscheduled > 0 {
         let mut slots = config.issue_width;
         let mut branch_slots = config.branches_per_cycle;
+        let mut placed_this_cycle = 0usize;
         // Ready list for this cycle, by priority then original order.
         loop {
             let mut ready: Vec<usize> = (0..n)
@@ -120,6 +156,7 @@ pub fn schedule_block(
                     branch_slots -= 1;
                 }
                 placed_any = true;
+                placed_this_cycle += 1;
                 for e in &succs[i].1 {
                     preds_left[e.to] -= 1;
                     earliest[e.to] = earliest[e.to].max(cycle + e.delay);
@@ -129,20 +166,68 @@ pub fn schedule_block(
                 break;
             }
         }
-        cycle += 1;
+        if placed_this_cycle == 0 {
+            // Nothing issued this cycle: either every dependence-ready
+            // instruction is waiting on a future earliest-cycle (skip
+            // ahead), or nothing can ever issue — a machine config with no
+            // usable slot for some instruction class, or a dependence
+            // deadlock. Report the latter instead of spinning forever.
+            let next = (0..n)
+                .filter(|&i| scheduled[i].is_none() && preds_left[i] == 0)
+                .map(|i| earliest[i])
+                .min();
+            match next {
+                Some(e) if e > cycle => cycle = e,
+                _ => {
+                    let detail = format!(
+                        "issue deadlock at cycle {cycle}: {unscheduled} of {n} \
+                         instruction(s) can never become ready \
+                         (issue width {}, branch slots {})",
+                        config.issue_width, config.branches_per_cycle
+                    );
+                    let func = f.name.clone();
+                    f.block_mut(b).insts = insts;
+                    return Err(SchedError {
+                        func,
+                        block: b,
+                        detail,
+                    });
+                }
+            }
+        } else {
+            cycle += 1;
+        }
+    }
+
+    // Every instruction has an issue cycle now; the loop above only exits
+    // with `unscheduled == 0`.
+    let mut cycles: Vec<u32> = Vec::with_capacity(n);
+    for (i, s) in scheduled.iter().enumerate() {
+        match s {
+            Some(c) => cycles.push(*c),
+            None => {
+                let detail = format!("instruction {i} of {n} left without an issue cycle");
+                let func = f.name.clone();
+                f.block_mut(b).insts = insts;
+                return Err(SchedError {
+                    func,
+                    block: b,
+                    detail,
+                });
+            }
+        }
     }
 
     // Reorder: (cycle, original index) keeps same-cycle instructions in
     // original relative order, which preserves sequential-execution
     // semantics for delay-0 dependences.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| (scheduled[i].unwrap(), i));
+    order.sort_by_key(|&i| (cycles[i], i));
     let mut len = 0;
     let mut out: Vec<Inst> = Vec::with_capacity(n);
     // Mark trap-capable instructions that were hoisted above a branch as
     // silent: on the taken path they now execute where they previously did
     // not.
-    let cycles: Vec<u32> = (0..n).map(|i| scheduled[i].unwrap()).collect();
     for &i in &order {
         let mut inst = insts[i].clone();
         inst.cycle = cycles[i];
@@ -159,16 +244,25 @@ pub fn schedule_block(
             // squashed on the taken path).
             if cycles[i] < cycles[bi] && insts[i].op.may_trap() {
                 // Find it in `out` and silence it.
-                let pos = out
-                    .iter()
-                    .position(|x| x.id == insts[i].id)
-                    .expect("instruction present");
+                let pos = match out.iter().position(|x| x.id == insts[i].id) {
+                    Some(p) => p,
+                    None => {
+                        let detail = format!("instruction {:?} lost while reordering", insts[i].id);
+                        let func = f.name.clone();
+                        f.block_mut(b).insts = insts;
+                        return Err(SchedError {
+                            func,
+                            block: b,
+                            detail,
+                        });
+                    }
+                };
                 out[pos].speculative = true;
             }
         }
     }
     f.block_mut(b).insts = out;
-    BlockSchedule { len }
+    Ok(BlockSchedule { len })
 }
 
 /// Builds the dependence DAG. Edges always point from a smaller original
@@ -409,7 +503,7 @@ mod tests {
     use hyperpred_ir::{CmpOp, FuncBuilder, MemWidth, Operand, PredType};
 
     fn sched(f: &mut Function, k: u32, b: u32) -> Vec<u32> {
-        schedule_function(f, &MachineConfig::new(k, b));
+        schedule_function(f, &MachineConfig::new(k, b)).unwrap();
         f.blocks[f.entry().index()]
             .insts
             .iter()
@@ -516,7 +610,7 @@ mod tests {
         b.guard_last(p);
         b.ret(Some(out.into()));
         let mut f = b.finish();
-        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        schedule_function(&mut f, &MachineConfig::new(8, 1)).unwrap();
         let insts = &f.blocks[0].insts;
         let defs: Vec<u32> = insts
             .iter()
@@ -539,7 +633,7 @@ mod tests {
         b.cmov_com(out, Operand::Imm(2), c.into());
         b.ret(Some(out.into()));
         let mut f = b.finish();
-        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        schedule_function(&mut f, &MachineConfig::new(8, 1)).unwrap();
         let insts = &f.blocks[0].insts;
         let cm: Vec<u32> = insts
             .iter()
@@ -565,7 +659,7 @@ mod tests {
         b.switch_to(exit);
         b.ret(Some(Operand::Imm(-1)));
         let mut f = b.finish();
-        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        schedule_function(&mut f, &MachineConfig::new(8, 1)).unwrap();
         let insts = &f.blocks[0].insts;
         let br_cycle = insts.iter().find(|i| i.op.is_branch()).unwrap().cycle;
         let ld = insts.iter().find(|i| i.op.is_load()).unwrap();
@@ -585,7 +679,7 @@ mod tests {
         b.switch_to(exit);
         b.ret(None);
         let mut f = b.finish();
-        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        schedule_function(&mut f, &MachineConfig::new(8, 1)).unwrap();
         let insts = &f.blocks[0].insts;
         let br_pos = insts.iter().position(|i| i.op.is_branch()).unwrap();
         let st_pos = insts.iter().position(|i| i.op.is_store()).unwrap();
@@ -609,7 +703,7 @@ mod tests {
         b.switch_to(exit);
         b.ret(Some(v.into()));
         let mut f = b.finish();
-        schedule_function(&mut f, &MachineConfig::new(8, 1));
+        schedule_function(&mut f, &MachineConfig::new(8, 1)).unwrap();
         let insts = &f.blocks[0].insts;
         let br_cycle = insts.iter().find(|i| i.op.is_branch()).unwrap().cycle;
         let mov9 = insts
@@ -617,6 +711,29 @@ mod tests {
             .find(|i| i.op == Op::Mov && i.srcs[0] == Operand::Imm(9))
             .unwrap();
         assert!(mov9.cycle > br_cycle, "{f}");
+    }
+
+    #[test]
+    fn unissuable_config_is_a_typed_error_not_a_hang() {
+        // A machine with no branch slots can never issue the return: the
+        // issue loop must detect the deadlock and report it instead of
+        // spinning forever.
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let s = b.add(x.into(), Operand::Imm(1));
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        let before = f.blocks[f.entry().index()].insts.len();
+        let cfg = MachineConfig {
+            issue_width: 8,
+            branches_per_cycle: 0,
+            latency: crate::machine::Latencies::default(),
+        };
+        let err = schedule_function(&mut f, &cfg).unwrap_err();
+        assert!(err.detail.contains("deadlock"), "{err}");
+        assert_eq!(err.func, "t");
+        // The block is restored intact on failure.
+        assert_eq!(f.blocks[f.entry().index()].insts.len(), before);
     }
 
     #[test]
@@ -634,7 +751,7 @@ mod tests {
             .run("main", &entry_args(&[]), &mut NullSink)
             .unwrap()
             .ret;
-        schedule_module(&mut m, &MachineConfig::new(8, 1));
+        schedule_module(&mut m, &MachineConfig::new(8, 1)).unwrap();
         m.verify().unwrap();
         let got = Emulator::new(&m)
             .run("main", &entry_args(&[]), &mut NullSink)

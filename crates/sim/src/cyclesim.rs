@@ -747,7 +747,7 @@ mod tests {
     #[test]
     fn wider_issue_takes_fewer_cycles() {
         let mut m1 = simple_loop_module(1000);
-        schedule_module(&mut m1, &MachineConfig::one_issue());
+        schedule_module(&mut m1, &MachineConfig::one_issue()).unwrap();
         let s1 = simulate(
             &m1,
             "main",
@@ -758,7 +758,7 @@ mod tests {
         .unwrap();
 
         let mut m8 = simple_loop_module(1000);
-        schedule_module(&mut m8, &MachineConfig::new(8, 1));
+        schedule_module(&mut m8, &MachineConfig::new(8, 1)).unwrap();
         let s8 = simulate(
             &m8,
             "main",
@@ -785,7 +785,7 @@ mod tests {
         // An already-passed deadline trips at the first cooperative check
         // (event 1024), long before this 6000-event loop finishes.
         let mut m = simple_loop_module(1000);
-        schedule_module(&mut m, &MachineConfig::one_issue());
+        schedule_module(&mut m, &MachineConfig::one_issue()).unwrap();
         let cfg = SimConfig {
             deadline: Some(std::time::Instant::now()),
             ..SimConfig::default()
@@ -802,7 +802,7 @@ mod tests {
         // Both watchdogs are armed and expired; the cycle budget is the
         // one reported (it is checked first and is deterministic).
         let mut m = simple_loop_module(1000);
-        schedule_module(&mut m, &MachineConfig::one_issue());
+        schedule_module(&mut m, &MachineConfig::one_issue()).unwrap();
         let cfg = SimConfig {
             max_cycles: 10,
             deadline: Some(std::time::Instant::now()),
@@ -818,7 +818,7 @@ mod tests {
     #[test]
     fn one_issue_charges_at_least_one_cycle_per_inst() {
         let mut m = simple_loop_module(100);
-        schedule_module(&mut m, &MachineConfig::one_issue());
+        schedule_module(&mut m, &MachineConfig::one_issue()).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -833,7 +833,7 @@ mod tests {
     #[test]
     fn biased_loop_branch_mispredicts_rarely() {
         let mut m = simple_loop_module(500);
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -853,7 +853,7 @@ mod tests {
     #[test]
     fn perfect_memory_has_no_cache_misses() {
         let mut m = simple_loop_module(10);
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -892,7 +892,7 @@ mod tests {
         m.add_global("arr", 0x8000, vec![]);
         m.push(b.finish());
         m.link().unwrap();
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
 
         let machine = MachineConfig::new(4, 1);
         let perfect = simulate(&m, "main", &[], machine, SimConfig::default()).unwrap();
@@ -938,7 +938,7 @@ mod tests {
         let mut m = Module::new();
         m.push(b.finish());
         m.link().unwrap();
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
         let machine = MachineConfig::new(4, 1);
         let cheap = simulate(&m, "main", &[], machine, SimConfig::default()).unwrap();
         let dear = simulate(
@@ -976,7 +976,7 @@ mod tests {
         let mut m = Module::new();
         m.push(b.finish());
         m.link().unwrap();
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -1012,7 +1012,7 @@ mod tests {
         let mut m = Module::new();
         m.push(b.finish());
         m.link().unwrap();
-        schedule_module(&mut m, &MachineConfig::new(8, 1));
+        schedule_module(&mut m, &MachineConfig::new(8, 1)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -1057,7 +1057,7 @@ mod tests {
         let mut m = Module::new();
         m.push(b.finish());
         m.link().unwrap();
-        schedule_module(&mut m, &MachineConfig::new(8, 2));
+        schedule_module(&mut m, &MachineConfig::new(8, 2)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -1121,9 +1121,9 @@ mod tests {
     fn reentry_scoreboard_is_per_function_not_per_activation() {
         let machine = MachineConfig::one_issue();
         let mut same = double_call_module(true);
-        schedule_module(&mut same, &machine);
+        schedule_module(&mut same, &machine).unwrap();
         let mut distinct = double_call_module(false);
-        schedule_module(&mut distinct, &machine);
+        schedule_module(&mut distinct, &machine).unwrap();
         let s_same = simulate(&same, "main", &[], machine, SimConfig::default()).unwrap();
         let s_distinct = simulate(&distinct, "main", &[], machine, SimConfig::default()).unwrap();
         assert_eq!(s_same.ret, s_distinct.ret, "identical computation");
@@ -1205,7 +1205,7 @@ mod tests {
     fn nullified_branches_count_and_train_the_btb() {
         let n = 200u64;
         let mut m = guarded_branch_module(n as i64);
-        schedule_module(&mut m, &MachineConfig::new(4, 1));
+        schedule_module(&mut m, &MachineConfig::new(4, 1)).unwrap();
         let s = simulate(
             &m,
             "main",
@@ -1239,7 +1239,7 @@ mod tests {
         // promptly (within one instruction of the budget) instead of
         // simulating to completion.
         let mut m = simple_loop_module(1_000_000);
-        schedule_module(&mut m, &MachineConfig::one_issue());
+        schedule_module(&mut m, &MachineConfig::one_issue()).unwrap();
         let err = simulate(
             &m,
             "main",
@@ -1260,7 +1260,7 @@ mod tests {
         }
         // The same program under the default budget completes.
         let mut m2 = simple_loop_module(1000);
-        schedule_module(&mut m2, &MachineConfig::one_issue());
+        schedule_module(&mut m2, &MachineConfig::one_issue()).unwrap();
         simulate(
             &m2,
             "main",

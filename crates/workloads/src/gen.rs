@@ -1,0 +1,510 @@
+//! Seeded, profile-driven MiniC workload generator.
+//!
+//! Extends the bounded grammar of `tests/random_programs.rs` into a
+//! property-based *workload* generator: each [`Profile`] biases the
+//! statement and expression mix toward a different hardware stressor
+//! (branch resolution, reduction chains, memory traffic, call overhead,
+//! or pathological transformation growth). Every generated program is
+//! total by construction — loops are bounded with unique induction
+//! variables, division and modulo use nonzero literal divisors only, and
+//! array indices are masked into bounds — so any divergence between
+//! compilation models observed on one is a compiler bug, not undefined
+//! behavior.
+//!
+//! Generation is deterministic: `generate(profile, seed)` always returns
+//! byte-identical source, which is what lets the soak journal fingerprint
+//! and resume over program indices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Statement-mix profile for generated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Dense data-dependent control flow: if/else trees, ternaries, and
+    /// opposite-sense guard pairs — the shapes if-conversion feeds on.
+    Branchy,
+    /// Long accumulation chains in loops with few branches; stresses
+    /// scheduling of dependence chains rather than control flow.
+    Reduction,
+    /// Global arrays read and written inside loops; stresses the memory
+    /// pipeline and the cache model.
+    Memory,
+    /// Helper functions invoked from loops; stresses call/return overhead
+    /// and inlining decisions.
+    CallHeavy,
+    /// Adversarial: deep nesting, opposite-sense guard chains, and many
+    /// small constant-trip-count loops that invite aggressive unrolling
+    /// and hyperblock growth.
+    Nasty,
+}
+
+impl Profile {
+    /// All profiles, in a stable order.
+    pub const ALL: [Profile; 5] = [
+        Profile::Branchy,
+        Profile::Reduction,
+        Profile::Memory,
+        Profile::CallHeavy,
+        Profile::Nasty,
+    ];
+
+    /// Stable lowercase name (used in CLI flags, journal keys, and
+    /// generated workload names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Branchy => "branchy",
+            Profile::Reduction => "reduction",
+            Profile::Memory => "memory",
+            Profile::CallHeavy => "callheavy",
+            Profile::Nasty => "nasty",
+        }
+    }
+
+    /// Inverse of [`Profile::name`].
+    pub fn from_name(s: &str) -> Option<Profile> {
+        Profile::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated workload: MiniC source plus default arguments for `main`.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// `gen-<profile>-<seed>`, unique per (profile, seed).
+    pub name: String,
+    /// The profile this program was drawn from.
+    pub profile: Profile,
+    /// The seed that produced it (regenerate with `generate(profile, seed)`).
+    pub seed: u64,
+    /// MiniC source text.
+    pub source: String,
+    /// Arguments to `main` (two small integers derived from the seed).
+    pub args: Vec<i64>,
+}
+
+/// Statement weights (percent, summing to ≤ 100; remainder is xor-assign).
+struct Weights {
+    assign: u32,
+    branch: u32,
+    opposite_pair: u32,
+    bounded_loop: u32,
+    tiny_loop: u32,
+    store: u32,
+    call: u32,
+}
+
+impl Weights {
+    fn for_profile(p: Profile) -> Weights {
+        match p {
+            Profile::Branchy => Weights {
+                assign: 20,
+                branch: 40,
+                opposite_pair: 15,
+                bounded_loop: 10,
+                tiny_loop: 0,
+                store: 0,
+                call: 0,
+            },
+            Profile::Reduction => Weights {
+                assign: 60,
+                branch: 5,
+                opposite_pair: 0,
+                bounded_loop: 25,
+                tiny_loop: 0,
+                store: 0,
+                call: 0,
+            },
+            Profile::Memory => Weights {
+                assign: 15,
+                branch: 10,
+                opposite_pair: 0,
+                bounded_loop: 25,
+                tiny_loop: 0,
+                store: 35,
+                call: 0,
+            },
+            Profile::CallHeavy => Weights {
+                assign: 20,
+                branch: 10,
+                opposite_pair: 0,
+                bounded_loop: 20,
+                tiny_loop: 0,
+                store: 0,
+                call: 40,
+            },
+            Profile::Nasty => Weights {
+                assign: 10,
+                branch: 20,
+                opposite_pair: 20,
+                bounded_loop: 5,
+                tiny_loop: 30,
+                store: 5,
+                call: 0,
+            },
+        }
+    }
+}
+
+const VARS: [&str; 5] = ["a", "b", "c", "d", "e"];
+/// Global array length; indices are masked with `& (ARRAY_LEN - 1)` so any
+/// integer expression indexes in bounds.
+const ARRAY_LEN: usize = 64;
+
+struct Gen {
+    r: StdRng,
+    profile: Profile,
+    w: Weights,
+    /// Number of loop induction variables handed out so far.
+    loops: usize,
+    /// Number of global arrays (`t0..`).
+    arrays: usize,
+    /// Number of helper functions (`h0..`).
+    helpers: usize,
+    /// Maximum statement nesting depth.
+    max_depth: usize,
+    /// Variables in the current scope (main's locals, or a helper's
+    /// parameters while its body is being generated).
+    vars: Vec<&'static str>,
+    /// Helpers callable from the current scope: `h0..h<callable>`. While
+    /// generating `h<k>` this is `k`, keeping the call graph acyclic.
+    callable: usize,
+}
+
+impl Gen {
+    fn new(profile: Profile, seed: u64) -> Gen {
+        let mut r = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let arrays = match profile {
+            Profile::Memory => r.gen_range(1..=3usize),
+            Profile::Nasty => 1,
+            _ => 0,
+        };
+        let helpers = match profile {
+            Profile::CallHeavy => r.gen_range(2..=4usize),
+            _ => 0,
+        };
+        let max_depth = match profile {
+            Profile::Nasty => 5,
+            Profile::Branchy => 4,
+            _ => 3,
+        };
+        Gen {
+            r,
+            profile,
+            w: Weights::for_profile(profile),
+            loops: 0,
+            arrays,
+            helpers,
+            max_depth,
+            vars: VARS.to_vec(),
+            callable: helpers,
+        }
+    }
+
+    /// A variable from the current scope.
+    fn var(&mut self) -> &'static str {
+        self.vars[self.r.gen_range(0..self.vars.len())]
+    }
+
+    /// A condition suitable for `if (...)`.
+    fn cond(&mut self) -> String {
+        let a = self.expr(1);
+        let b = self.expr(1);
+        match self.r.gen_range(0..6) {
+            0 => format!("{a} < {b}"),
+            1 => format!("{a} > {b}"),
+            2 => format!("{a} == {b}"),
+            3 => format!("{a} != {b}"),
+            4 => format!("({a} < {b}) && ({a} != 0)"),
+            _ => format!("({a} > {b}) || ({b} < 0)"),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.r.gen_ratio(1, 3) {
+            return self.leaf();
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        match self.r.gen_range(0..13) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / {})", self.r.gen_range(1..9)),
+            4 => format!("({a} % {})", self.r.gen_range(1..9)),
+            5 => format!("({a} < {b})"),
+            6 => format!("({a} == {b})"),
+            7 => format!("({a} && {b})"),
+            8 => format!("({a} || {b})"),
+            9 => format!("({a} > {b} ? {a} : {b})"),
+            10 => format!("({a} & {b})"),
+            11 => format!("({a} ^ {b})"),
+            _ => format!("(!{a})"),
+        }
+    }
+
+    fn leaf(&mut self) -> String {
+        // Array reads and helper calls are leaves so every profile's
+        // expressions stay shallow and readable.
+        if self.arrays > 0 && self.r.gen_ratio(1, 4) {
+            let t = self.r.gen_range(0..self.arrays);
+            let v = self.var();
+            return format!("t{t}[({v} & {})]", ARRAY_LEN - 1);
+        }
+        if self.callable > 0 && self.r.gen_ratio(1, 4) {
+            let h = self.r.gen_range(0..self.callable);
+            let x = self.var();
+            let y = self.var();
+            return format!("h{h}({x}, {y})");
+        }
+        if self.r.gen_bool(0.5) {
+            format!("{}", self.r.gen_range(-20..20))
+        } else {
+            self.var().to_string()
+        }
+    }
+
+    fn stmt(&mut self, depth: usize, out: &mut String, indent: usize) {
+        let pad = "    ".repeat(indent);
+        let mut roll = self.r.gen_range(0..100u32);
+        let mut pick = |w: u32| {
+            if roll < w {
+                true
+            } else {
+                roll -= w;
+                false
+            }
+        };
+        if pick(self.w.assign) {
+            let v = self.var();
+            let e = self.expr(2);
+            let op = ["=", "+=", "-=", "*="][self.r.gen_range(0..4)];
+            out.push_str(&format!("{pad}{v} {op} {e};\n"));
+        } else if pick(self.w.branch) && depth > 0 {
+            let c = self.cond();
+            out.push_str(&format!("{pad}if ({c}) {{\n"));
+            self.stmt(depth - 1, out, indent + 1);
+            if self.r.gen_bool(0.7) {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                self.stmt(depth - 1, out, indent + 1);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        } else if pick(self.w.opposite_pair) && depth > 0 {
+            // Opposite-sense guard pair: the same comparison guarded both
+            // ways, the shape that exercises U/U̅ predicate partitions.
+            let c = self.cond();
+            out.push_str(&format!("{pad}if ({c}) {{\n"));
+            self.stmt(depth - 1, out, indent + 1);
+            out.push_str(&format!("{pad}}}\n"));
+            out.push_str(&format!("{pad}if (!({c})) {{\n"));
+            self.stmt(depth - 1, out, indent + 1);
+            out.push_str(&format!("{pad}}}\n"));
+        } else if pick(self.w.bounded_loop) && depth > 0 {
+            let i = format!("i{}", self.loops);
+            self.loops += 1;
+            let n = self.r.gen_range(2..10);
+            out.push_str(&format!("{pad}for ({i} = 0; {i} < {n}; {i} += 1) {{\n"));
+            self.stmt(depth - 1, out, indent + 1);
+            if self.profile == Profile::Reduction {
+                let v = self.var();
+                let u = self.var();
+                out.push_str(&format!(
+                    "{}{v} += ({u} * {}) + {i};\n",
+                    "    ".repeat(indent + 1),
+                    self.r.gen_range(1..6),
+                ));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        } else if pick(self.w.tiny_loop) {
+            // Small constant-trip self-loop with a fat straight-line body:
+            // prime unrolling bait.
+            let i = format!("i{}", self.loops);
+            self.loops += 1;
+            let n = self.r.gen_range(2..=6);
+            let body_len = self.r.gen_range(2..=5usize);
+            out.push_str(&format!("{pad}for ({i} = 0; {i} < {n}; {i} += 1) {{\n"));
+            let inner = "    ".repeat(indent + 1);
+            for _ in 0..body_len {
+                let v = self.var();
+                let e = self.expr(1);
+                out.push_str(&format!("{inner}{v} += {e} + {i};\n"));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        } else if pick(self.w.store) && self.arrays > 0 {
+            let t = self.r.gen_range(0..self.arrays);
+            let v = self.var();
+            let e = self.expr(2);
+            let op = ["=", "+="][self.r.gen_range(0..2)];
+            out.push_str(&format!("{pad}t{t}[({v} & {})] {op} {e};\n", ARRAY_LEN - 1));
+        } else if pick(self.w.call) && self.callable > 0 {
+            let h = self.r.gen_range(0..self.callable);
+            let v = self.var();
+            let x = self.expr(1);
+            let y = self.expr(1);
+            out.push_str(&format!("{pad}{v} += h{h}({x}, {y});\n"));
+        } else {
+            let v = self.var();
+            let e = self.expr(1);
+            out.push_str(&format!("{pad}{v} ^= {e};\n"));
+        }
+    }
+
+    /// Helper function `h<k>`. Helpers only call lower-numbered helpers,
+    /// so the call graph is acyclic and every program terminates.
+    fn helper(&mut self, k: usize) -> String {
+        // Inside `h<k>` only the parameters are in scope and only
+        // lower-numbered helpers are callable.
+        let outer_vars = std::mem::replace(&mut self.vars, vec!["x", "y"]);
+        let outer_callable = std::mem::replace(&mut self.callable, k);
+        let mut body = String::new();
+        let n = self.r.gen_range(1..=3usize);
+        for _ in 0..n {
+            let e = self.expr(2);
+            let v = ["x", "y"][self.r.gen_range(0..2)];
+            let op = ["+=", "-=", "^="][self.r.gen_range(0..3)];
+            body.push_str(&format!("    {v} {op} {e};\n"));
+        }
+        if k > 0 && self.r.gen_bool(0.5) {
+            let callee = self.r.gen_range(0..k);
+            body.push_str(&format!("    x += h{callee}(y, x - 1);\n"));
+        }
+        let ret = self.expr(1);
+        self.vars = outer_vars;
+        self.callable = outer_callable;
+        format!("int h{k}(int x, int y) {{\n{body}    return x + y * 3 + {ret};\n}}\n\n")
+    }
+
+    fn program(&mut self) -> String {
+        // Helpers reference only x/y/lower helpers; generate them first so
+        // their RNG draws precede main's.
+        let mut helpers = String::new();
+        for k in 0..self.helpers {
+            helpers.push_str(&self.helper(k));
+        }
+
+        let mut globals = String::new();
+        for t in 0..self.arrays {
+            let mut init = String::new();
+            for j in 0..ARRAY_LEN {
+                if j > 0 {
+                    init.push_str(", ");
+                }
+                init.push_str(&format!("{}", self.r.gen_range(-50..50)));
+            }
+            globals.push_str(&format!("int t{t}[{ARRAY_LEN}] = {{{init}}};\n"));
+        }
+        if !globals.is_empty() {
+            globals.push('\n');
+        }
+
+        let mut body = String::new();
+        let nstmt = match self.profile {
+            Profile::Nasty => self.r.gen_range(8..14),
+            _ => self.r.gen_range(5..11),
+        };
+        let depth = self.max_depth;
+        for _ in 0..nstmt {
+            self.stmt(depth, &mut body, 1);
+        }
+
+        // Fold array contents into the checksum so stores are observable
+        // in the architectural result, not just the trace.
+        let mut sums = String::new();
+        for t in 0..self.arrays {
+            let i = format!("i{}", self.loops);
+            self.loops += 1;
+            sums.push_str(&format!(
+                "    for ({i} = 0; {i} < {ARRAY_LEN}; {i} += 1) {{ e += t{t}[{i}]; }}\n"
+            ));
+        }
+
+        let mut decls = String::new();
+        for k in 0..self.loops.max(1) {
+            decls.push_str(&format!("    int i{k}; i{k} = 0;\n"));
+        }
+        format!(
+            "{globals}{helpers}int main(int a0, int b0) {{\n\
+             \x20   int a; int b; int c; int d; int e;\n\
+             \x20   a = a0; b = b0; c = a0 - b0; d = 7; e = -3;\n\
+             {decls}{body}{sums}\
+             \x20   return a + b * 3 + c * 5 + d * 7 + e * 11;\n}}"
+        )
+    }
+}
+
+/// Generates the program for `(profile, seed)`. Deterministic: the same
+/// pair always yields byte-identical source and arguments.
+pub fn generate(profile: Profile, seed: u64) -> GenProgram {
+    let mut g = Gen::new(profile, seed);
+    let source = g.program();
+    let args = vec![(seed % 17) as i64 - 8, ((seed / 17) % 13) as i64 - 6];
+    GenProgram {
+        name: format!("gen-{}-{seed}", profile.name()),
+        profile,
+        seed,
+        source,
+        args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in Profile::ALL {
+            for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+                let a = generate(p, seed);
+                let b = generate(p, seed);
+                assert_eq!(a.source, b.source, "{p} seed {seed}");
+                assert_eq!(a.args, b.args, "{p} seed {seed}");
+                assert_eq!(a.name, format!("gen-{}-{seed}", p.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_differ() {
+        let srcs: Vec<_> = Profile::ALL
+            .iter()
+            .map(|&p| generate(p, 7).source)
+            .collect();
+        for i in 0..srcs.len() {
+            for j in i + 1..srcs.len() {
+                assert_ne!(srcs[i], srcs[j], "profiles {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in Profile::ALL {
+            assert_eq!(Profile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Profile::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_profile_compiles_and_terminates() {
+        use hyperpred_emu::{Emulator, NullSink};
+        use hyperpred_lang::lower::entry_args;
+        for p in Profile::ALL {
+            for seed in 0..12u64 {
+                let g = generate(p, seed);
+                let m = hyperpred_lang::compile(&g.source)
+                    .unwrap_or_else(|e| panic!("{}: compile error {e}\n{}", g.name, g.source));
+                m.verify().unwrap();
+                let mut emu = Emulator::new(&m).with_fuel(50_000_000);
+                emu.run("main", &entry_args(&g.args), &mut NullSink)
+                    .unwrap_or_else(|e| panic!("{}: runtime error {e}\n{}", g.name, g.source));
+            }
+        }
+    }
+}

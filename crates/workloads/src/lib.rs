@@ -26,6 +26,7 @@
 //! | `alvinn` | 052.alvinn | FP matrix-vector forward pass with clamping |
 //! | `ear` | 056.ear | FP filterbank with conditional rectification |
 
+pub mod gen;
 pub mod inputs;
 
 mod alvinn;

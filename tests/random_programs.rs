@@ -270,6 +270,7 @@ fn error_kind(e: &EmuError) -> &'static str {
         EmuError::Malformed { .. } => "malformed",
         EmuError::SinkAbort { .. } => "sink-abort",
         EmuError::NoFunc(_) => "no-func",
+        EmuError::BadGlobal(_) => "bad-global",
     }
 }
 
