@@ -9,6 +9,8 @@
 //!                   [--resume journal.jsonl] [--retries N] [--triage DIR]
 //! hyperpredc repro <bundle-dir> [--minimize]
 //! hyperpredc lint <workload|all|file.c> [--model all] [--sabotage ifconvert]
+//! hyperpredc analyze <workload|all|file.c> [--model full] [--scale test|full]
+//!                    [--check] [--issue K] [--branches B] [--args a,b,c]
 //! hyperpredc soak --seed 1 --cells 500 [--resume journal.jsonl] [--triage DIR]
 //!                 [--profiles branchy,nasty] [--widths 1x1,4x1,8x2]
 //!                 [--max-cells N] [--sabotage promote]
@@ -37,6 +39,15 @@
 //! nonzero iff any target fails. `--sabotage <pass>` deliberately
 //! corrupts the IR after the named pass — a self-test that the
 //! checkpoints catch miscompiles and blame the right stage.
+//!
+//! `analyze` compiles each target and dumps the predicate partition
+//! graph the relation analysis derives for it: per block, which
+//! predicates are provably disjoint, nested (subset), known-true/false,
+//! and which pairs partition their parent (Table 1 dual defines). With
+//! `--check` it validates every built graph with the relation-soundness
+//! checker family instead of printing — a CI canary that the analysis
+//! stays closed over every workload. Exit status is nonzero iff a
+//! compile or a check fails.
 //!
 //! `soak` generates seeded adversarial MiniC programs and runs each one
 //! through the full cross-model differential oracle battery (see
@@ -82,6 +93,8 @@ fn usage() -> ExitCode {
          \x20      hyperpredc repro <bundle-dir> [--minimize]\n\
          \x20      hyperpredc lint <workload|all|file.c> [--model sup|cmov|full|all] \
          [--scale test|full] [--sabotage <pass>] [--issue K] [--branches B] [--args a,b,c]\n\
+         \x20      hyperpredc analyze <workload|all|file.c> [--model sup|cmov|full|all] \
+         [--scale test|full] [--check] [--issue K] [--branches B] [--args a,b,c]\n\
          \x20      hyperpredc soak --seed S --cells N [--resume journal.jsonl] [--triage DIR] \
          [--profiles p,q] [--widths IxB,...] [--max-cells N] [--sabotage <pass>] \
          [--max-cycles N] [--fuel N]"
@@ -201,6 +214,193 @@ fn lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     if failed > 0 {
         eprintln!(
             "hyperpredc: {failed}/{} lint targets failed",
+            targets.len() * models.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compiles each target and dumps (or, with `--check`, validates) the
+/// predicate partition graph the relation analysis derives for it.
+fn analyze(mut args: impl Iterator<Item = String>) -> ExitCode {
+    use hyperpred::ir::analysis::relations::TOP;
+    use hyperpred::ir::analysis::{check_relation_soundness, ForwardAnalysis};
+    use hyperpred::ir::{Cfg, PredReg, RelAnalysis, RelState, RelationDb};
+
+    let Some(target) = args.next().filter(|t| !t.starts_with("--")) else {
+        return usage();
+    };
+    let mut models = vec![Model::FullPred];
+    let mut scale = Scale::Test;
+    let mut check = false;
+    let mut issue = 8;
+    let mut branches = 1;
+    let mut prog_args: Vec<i64> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--model" => {
+                models = match args.next().as_deref() {
+                    Some("sup" | "superblock") => vec![Model::Superblock],
+                    Some("cmov" | "partial") => vec![Model::CondMove],
+                    Some("full") => vec![Model::FullPred],
+                    Some("all") => Model::ALL.to_vec(),
+                    _ => return usage(),
+                };
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("full") => Scale::Full,
+                    _ => return usage(),
+                };
+            }
+            "--check" => check = true,
+            "--issue" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                issue = n;
+            }
+            "--branches" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                branches = n;
+            }
+            "--args" => {
+                let Some(v) = args.next() else { return usage() };
+                let Ok(parsed) = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect::<Result<Vec<i64>, _>>()
+                else {
+                    return usage();
+                };
+                prog_args = parsed;
+            }
+            _ => return usage(),
+        }
+    }
+    let targets: Vec<(String, String, Vec<i64>)> = if target == "all" {
+        hyperpred::workloads::all(scale)
+            .into_iter()
+            .map(|w| (w.name.to_string(), w.source, w.args))
+            .collect()
+    } else if let Some(w) = hyperpred::workloads::by_name(&target, scale) {
+        vec![(w.name.to_string(), w.source, w.args)]
+    } else {
+        match std::fs::read_to_string(&target) {
+            Ok(source) => vec![(target.clone(), source, prog_args.clone())],
+            Err(e) => {
+                eprintln!("hyperpredc: `{target}` is neither a workload nor a readable file: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    /// One line of facts for a non-vacuous relation state.
+    fn fmt_state(s: &RelState) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let np = s.pred_count();
+        for i in 0..np {
+            let p = PredReg(i as u32);
+            for q in s.disjoint_of(p) {
+                if p.0 < q.0 {
+                    parts.push(format!("{p} ⟂ {q}"));
+                }
+            }
+            for q in s.subset_of(p) {
+                parts.push(format!("{p} ⊆ {q}"));
+            }
+            if s.known_true(p) {
+                parts.push(format!("{p} = 1"));
+            }
+            if s.known_false(p) {
+                parts.push(format!("{p} = 0"));
+            }
+        }
+        for &[a, b, t] in s.partitions() {
+            let rhs = if t == TOP {
+                "⊤".to_string()
+            } else {
+                PredReg(t).to_string()
+            };
+            parts.push(format!("p{a} ∨ p{b} ⊇ {rhs}"));
+        }
+        parts.join(", ")
+    }
+
+    let pipe = Pipeline::default();
+    let machine = MachineConfig::new(issue, branches);
+    let mut failed = 0usize;
+    for (name, source, wargs) in &targets {
+        for model in &models {
+            let module = match pipe.compile(source, wargs, *model, &machine) {
+                Ok(m) => m,
+                Err(e) => {
+                    failed += 1;
+                    println!("{name} [{model}]: FAIL ({e})");
+                    continue;
+                }
+            };
+            let mut violations = Vec::new();
+            let mut printed = 0usize;
+            for f in &module.funcs {
+                let cfg = Cfg::new(f);
+                let db = RelationDb::build(f, &cfg);
+                if check {
+                    check_relation_soundness(f, &db, &mut violations);
+                    continue;
+                }
+                // The graph at block entry, plus the state in force at
+                // block exit (where dual-define partitions and nesting
+                // facts derived inside a hyperblock are visible).
+                let mut facts: Vec<String> = Vec::new();
+                for (b, s) in db.entry.iter().enumerate() {
+                    let Some(s) = s else { continue };
+                    if !s.is_vacuous() {
+                        facts.push(format!("  B{b} entry: {}", fmt_state(s)));
+                    }
+                    let mut exit = s.clone();
+                    for inst in &f.blocks[b].insts {
+                        RelAnalysis.transfer(inst, &mut exit);
+                        if inst.ends_block() {
+                            break;
+                        }
+                    }
+                    if !exit.is_vacuous() && exit != *s {
+                        facts.push(format!("  B{b} exit:  {}", fmt_state(&exit)));
+                    }
+                }
+                if facts.is_empty() {
+                    continue;
+                }
+                println!("{name} [{model}] {}:", f.name);
+                for line in facts {
+                    println!("{line}");
+                    printed += 1;
+                }
+            }
+            if check {
+                if violations.is_empty() {
+                    println!("{name} [{model}]: ok");
+                } else {
+                    failed += 1;
+                    println!("{name} [{model}]: FAIL ({} violations)", violations.len());
+                    for v in &violations {
+                        println!("  {v}");
+                    }
+                }
+            } else if printed == 0 {
+                println!("{name} [{model}]: no predicate relations (unpredicated code)");
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "hyperpredc: {failed}/{} analyze targets failed",
             targets.len() * models.len()
         );
         return ExitCode::FAILURE;
@@ -600,6 +800,7 @@ fn main() -> ExitCode {
             Some("report") => return report(it),
             Some("repro") => return repro(it),
             Some("lint") => return lint(it),
+            Some("analyze") => return analyze(it),
             Some("soak") => return soak(it),
             _ => {}
         }

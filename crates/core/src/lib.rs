@@ -44,6 +44,7 @@ pub mod faults;
 pub mod journal;
 pub mod matrix;
 pub mod pipeline;
+pub mod predoracle;
 pub mod report;
 pub mod soak;
 pub mod triage;

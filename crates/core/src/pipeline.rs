@@ -12,7 +12,7 @@ use hyperpred_hyperblock::{
     HyperblockConfig, SuperblockConfig, UnrollConfig,
 };
 use hyperpred_ir::analysis::{self, ModelClass, Snapshot, Violation};
-use hyperpred_ir::{FuncId, Module};
+use hyperpred_ir::{Cfg, FuncId, Module, RelationDb};
 use hyperpred_lang::lower::entry_args;
 use hyperpred_lang::CompileError;
 use hyperpred_partial::{to_partial_module, PartialConfig};
@@ -73,6 +73,14 @@ pub enum Stage {
     OptPre,
     /// Hyperblock if-conversion (cmov and full-predication models).
     IfConvert,
+    /// Predicate relation analysis: builds the per-function partition
+    /// graph ([`hyperpred_ir::RelationDb`]) over the freshly
+    /// if-converted module and validates it with the relation-soundness
+    /// checker family. Analysis-only — the module is untouched — but a
+    /// corrupted or unclosed graph fails the compile blamed on this
+    /// stage, and the `--sabotage relations` chaos hook corrupts the
+    /// held database (not the IR) to prove that path fires.
+    Relations,
     /// Predicate promotion.
     Promote,
     /// Superblock formation.
@@ -89,11 +97,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in pipeline order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Frontend,
         Stage::Inline,
         Stage::OptPre,
         Stage::IfConvert,
+        Stage::Relations,
         Stage::Promote,
         Stage::Superblock,
         Stage::Unroll,
@@ -109,6 +118,7 @@ impl Stage {
             Stage::Inline => "inline",
             Stage::OptPre => "opt-pre",
             Stage::IfConvert => "ifconvert",
+            Stage::Relations => "relations",
             Stage::Promote => "promote",
             Stage::Superblock => "superblock",
             Stage::Unroll => "unroll",
@@ -372,6 +382,11 @@ struct Checkpointer<'a> {
     /// True once `to_partial_module` has run (cmov model).
     converted: bool,
     spec: Option<Snapshot>,
+    /// Per-function predicate relation databases built by the
+    /// [`Stage::Relations`] analysis stage (the *held* artifact the
+    /// sabotage hook corrupts). Dropped at the next transforming
+    /// checkpoint: any pass that reshapes blocks makes it stale.
+    relations: Option<Vec<RelationDb>>,
 }
 
 impl Checkpointer<'_> {
@@ -381,6 +396,7 @@ impl Checkpointer<'_> {
             model,
             converted: false,
             spec: None,
+            relations: None,
         }
     }
 
@@ -393,9 +409,54 @@ impl Checkpointer<'_> {
         }
     }
 
+    /// The [`Stage::Relations`] analysis stage: builds the per-function
+    /// relation database over the current module, holds it, and
+    /// validates it with the relation-soundness checker family. The
+    /// `--sabotage relations` chaos hook corrupts the *held database*
+    /// rather than the IR — the checker must catch the graph itself
+    /// lying, independent of the module being well formed.
+    fn check_relations(&mut self, module: &Module) -> Result<(), PipelineError> {
+        if !self.pipe.checks && self.pipe.sabotage != Some(Stage::Relations) {
+            return Ok(());
+        }
+        self.relations = Some(
+            module
+                .funcs
+                .iter()
+                .map(|f| RelationDb::build(f, &Cfg::new(f)))
+                .collect(),
+        );
+        let dbs = self.relations.as_mut().expect("just stored");
+        if self.pipe.sabotage == Some(Stage::Relations) {
+            'corrupt: for db in dbs.iter_mut() {
+                for state in db.entry.iter_mut().flatten() {
+                    if state.sabotage() {
+                        break 'corrupt;
+                    }
+                }
+            }
+        }
+        if self.pipe.checks {
+            let mut violations = Vec::new();
+            for (f, db) in module.funcs.iter().zip(dbs.iter()) {
+                analysis::check_relation_soundness(f, db, &mut violations);
+            }
+            if !violations.is_empty() {
+                return Err(PipelineError::Lint(LintError {
+                    pass: Stage::Relations,
+                    violations,
+                }));
+            }
+        }
+        Ok(())
+    }
+
     /// Checkpoint after `stage`; fails with that stage named if the module
     /// no longer verifies or lints clean.
     fn check(&mut self, module: &mut Module, stage: Stage) -> Result<(), PipelineError> {
+        // Any transforming pass reshapes blocks and predicates; the
+        // relation databases held from the analysis stage are stale.
+        self.relations = None;
         if self.pipe.sabotage == Some(stage) {
             sabotage_module(module);
         }
@@ -573,6 +634,7 @@ impl Pipeline {
                     Ok(())
                 })?;
                 ck.check(&mut module, Stage::IfConvert)?;
+                ck.check_relations(&module)?;
                 if self.promote {
                     each(&mut module, &|f, _| {
                         promote_bounded(f, self.promote_rounds)?;

@@ -1,0 +1,251 @@
+//! Dynamic oracle for the predicate relation analysis.
+//!
+//! The relation analysis ([`RelAnalysis`]) makes *universal* claims:
+//! "whenever control reaches this point, `p` and `q` are never both
+//! true". Those claims are exactly checkable at runtime — every concrete
+//! execution is a witness. This module builds, from a *final* compiled
+//! module, the relation state in force immediately after every
+//! predicate-writing instruction, and provides a [`TraceSink`] that
+//! audits each such point against the emulator's actual predicate file
+//! (delivered through [`TraceSink::pred_write`]).
+//!
+//! The claims are rebuilt on the module the emulator runs — not reused
+//! from the pipeline's `relations` checkpoint — so the oracle also
+//! covers every transformation downstream of that checkpoint: if the
+//! scheduler or a late pass reorders a predicate define in a way the
+//! transfer function mis-models, the claim goes wrong *here*, on a
+//! concrete run, with the offending program point named.
+
+use hyperpred_emu::TraceSink;
+use hyperpred_ir::analysis::relations::TOP;
+use hyperpred_ir::analysis::{ForwardAnalysis, RelAnalysis};
+use hyperpred_ir::{Cfg, FuncId, Module, Op, PredReg, RelState, RelationDb};
+use std::collections::HashMap;
+
+/// Static relation claims for every predicate-writing point of a module:
+/// `(block, index)` → the [`RelState`] in force *after* that instruction
+/// executes, per function.
+pub struct PredClaims {
+    per_func: Vec<HashMap<(u32, u32), RelState>>,
+}
+
+impl PredClaims {
+    /// Replays the relation transfer function over every reachable block
+    /// of every function, snapshotting the state after each predicate
+    /// define, `pred_clear`, and `pred_set` — the exact set of points the
+    /// emulators report through [`TraceSink::pred_write`].
+    pub fn build(module: &Module) -> PredClaims {
+        let per_func = module
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut points = HashMap::new();
+                if f.pred_count == 0 {
+                    return points;
+                }
+                let cfg = Cfg::new(f);
+                let db = RelationDb::build(f, &cfg);
+                for (b, entry) in db.entry.iter().enumerate() {
+                    let Some(entry) = entry else { continue };
+                    let mut st = entry.clone();
+                    for (i, inst) in f.blocks[b].insts.iter().enumerate() {
+                        RelAnalysis.transfer(inst, &mut st);
+                        if writes_preds(inst.op) {
+                            points.insert((b as u32, i as u32), st.clone());
+                        }
+                        if inst.ends_block() {
+                            break;
+                        }
+                    }
+                }
+                points
+            })
+            .collect();
+        PredClaims { per_func }
+    }
+
+    /// True when no function has any predicate-writing point (nothing
+    /// for the oracle to audit — e.g. an unpredicated model).
+    pub fn is_empty(&self) -> bool {
+        self.per_func.iter().all(HashMap::is_empty)
+    }
+}
+
+fn writes_preds(op: Op) -> bool {
+    op.is_pred_def() || matches!(op, Op::PredClear | Op::PredSet)
+}
+
+/// A [`TraceSink`] that checks every observed predicate-file write
+/// against the static claims. The first violation is retained with the
+/// program point and the refuted fact; `checked` counts audited writes
+/// so callers can assert the oracle actually engaged.
+pub struct PredOracleSink<'a> {
+    claims: &'a PredClaims,
+    /// Dynamic predicate writes audited so far.
+    pub checked: u64,
+    /// First refuted claim, as "B{block}[{index}]: {fact}".
+    pub violation: Option<String>,
+}
+
+impl<'a> PredOracleSink<'a> {
+    /// A fresh auditor over `claims`.
+    pub fn new(claims: &'a PredClaims) -> PredOracleSink<'a> {
+        PredOracleSink {
+            claims,
+            checked: 0,
+            violation: None,
+        }
+    }
+}
+
+impl TraceSink for PredOracleSink<'_> {
+    fn pred_write(
+        &mut self,
+        func: FuncId,
+        block: hyperpred_ir::BlockId,
+        index: usize,
+        preds: &[bool],
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let fact = self
+            .claims
+            .per_func
+            .get(func.index())
+            .and_then(|points| points.get(&(block.0, index as u32)));
+        let Some(st) = fact else {
+            self.violation = Some(format!(
+                "B{}[{index}]: predicate write with no static claim \
+                 (analysis thought this point unreachable)",
+                block.0
+            ));
+            return;
+        };
+        self.checked += 1;
+        if let Some(v) = refute(st, preds) {
+            self.violation = Some(format!("B{}[{index}]: {v}", block.0));
+        }
+    }
+
+    fn audits_preds(&self) -> bool {
+        true
+    }
+}
+
+/// Checks one claimed state against one observed predicate file,
+/// returning the first refuted fact.
+fn refute(st: &RelState, preds: &[bool]) -> Option<String> {
+    let np = st.pred_count().min(preds.len());
+    for i in 0..np {
+        let p = PredReg(i as u32);
+        if st.known_true(p) && !preds[i] {
+            return Some(format!("claimed p{i} = 1 but observed false"));
+        }
+        if st.known_false(p) && preds[i] {
+            return Some(format!("claimed p{i} = 0 but observed true"));
+        }
+        if !preds[i] {
+            continue;
+        }
+        for q in st.disjoint_of(p) {
+            if preds.get(q.index()).copied().unwrap_or(false) {
+                return Some(format!("claimed p{i} ⟂ p{} but observed both true", q.0));
+            }
+        }
+        for q in st.subset_of(p) {
+            if !preds.get(q.index()).copied().unwrap_or(false) {
+                return Some(format!(
+                    "claimed p{i} ⊆ p{} but observed p{i} ∧ ¬p{}",
+                    q.0, q.0
+                ));
+            }
+        }
+    }
+    for &[a, b, t] in st.partitions() {
+        let active = t == TOP || preds.get(t as usize).copied().unwrap_or(false);
+        let spanned = preds.get(a as usize).copied().unwrap_or(false)
+            || preds.get(b as usize).copied().unwrap_or(false);
+        if active && !spanned {
+            let rhs = if t == TOP {
+                "⊤".to_string()
+            } else {
+                format!("p{t}")
+            };
+            return Some(format!(
+                "claimed p{a} ∨ p{b} ⊇ {rhs} but observed neither true"
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Model, Pipeline};
+    use hyperpred_emu::Emulator;
+    use hyperpred_lang::lower::entry_args;
+    use hyperpred_sched::MachineConfig;
+    use hyperpred_workloads::{by_name, Scale};
+
+    fn compiled_wc() -> (Module, Vec<i64>) {
+        let w = by_name("wc", Scale::Test).unwrap();
+        let pipe = Pipeline {
+            checks: true,
+            ..Pipeline::default()
+        };
+        let module = pipe
+            .compile(
+                &w.source,
+                &w.args,
+                Model::FullPred,
+                &MachineConfig::new(8, 1),
+            )
+            .unwrap();
+        (module, entry_args(&w.args))
+    }
+
+    /// A clean full-predication compile runs with zero refuted claims and
+    /// a nonzero audit count (the oracle genuinely engaged).
+    #[test]
+    fn clean_module_passes_the_dynamic_audit() {
+        let (module, args) = compiled_wc();
+        let claims = PredClaims::build(&module);
+        assert!(!claims.is_empty(), "wc must produce predicated code");
+        let mut sink = PredOracleSink::new(&claims);
+        Emulator::new(&module)
+            .run("main", &args, &mut sink)
+            .expect("wc runs");
+        assert!(sink.checked > 0, "no predicate writes were audited");
+        assert_eq!(sink.violation, None);
+    }
+
+    /// Corrupting one claimed state (an extra disjointness bit the code
+    /// never established) is refuted by the first dynamic witness.
+    #[test]
+    fn corrupted_claim_is_refuted_by_execution() {
+        let (module, args) = compiled_wc();
+        let mut claims = PredClaims::build(&module);
+        let mut corrupted = 0;
+        for points in &mut claims.per_func {
+            for st in points.values_mut() {
+                // `sabotage` asserts p0 ⟂ p1 (one-sided); on states where
+                // the program makes both true the oracle must object.
+                if st.sabotage() {
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(corrupted > 0, "wc claims must be corruptible");
+        let mut sink = PredOracleSink::new(&claims);
+        let _ = Emulator::new(&module).run("main", &args, &mut sink);
+        assert!(
+            sink.violation
+                .as_deref()
+                .is_some_and(|v| v.contains("⟂") || v.contains("= 0") || v.contains("= 1")),
+            "expected a refuted claim, got {:?}",
+            sink.violation
+        );
+    }
+}

@@ -37,9 +37,10 @@
 use crate::journal::{fnv64, JournalEntry, RunJournal};
 use crate::matrix::{catch_cell, stage_of, FailurePayload, FailureStage};
 use crate::pipeline::{FrontOutput, Model, Pipeline, PipelineError, Stage};
+use crate::predoracle::{PredClaims, PredOracleSink};
 use crate::triage::{self, ReproCell, TriageConfig};
 use hyperpred_emu::decode::DCode;
-use hyperpred_emu::{DynStats, Emulator, Event, ReferenceEmulator, TraceSink};
+use hyperpred_emu::{DynStats, Emulator, Event, ReferenceEmulator, Tee, TraceSink};
 use hyperpred_ir::module::SAFE_ADDR;
 use hyperpred_ir::{BlockId, FuncId, Module};
 use hyperpred_lang::lower::entry_args;
@@ -268,17 +269,28 @@ fn run_config(
     let eargs = entry_args(args);
 
     // Differential emulation: decoded vs reference, full event stream.
+    // Both runs are additionally audited by the predicate-relation
+    // oracle: every dynamic predicate write must satisfy the claims the
+    // relation analysis makes about the final module.
+    let claims = PredClaims::build(&module);
+    let mut pred_sink = PredOracleSink::new(&claims);
     let mut decoded_sink = SoakSink::new();
-    let out = Emulator::new(&module)
-        .with_fuel(fuel)
-        .run("main", &eargs, &mut decoded_sink);
+    let out = Emulator::new(&module).with_fuel(fuel).run(
+        "main",
+        &eargs,
+        &mut Tee::new(&mut decoded_sink, &mut pred_sink),
+    );
     let mut reference_sink = SoakSink::new();
-    let ref_out =
-        ReferenceEmulator::new(&module)
-            .with_fuel(fuel)
-            .run("main", &eargs, &mut reference_sink);
+    let ref_out = ReferenceEmulator::new(&module).with_fuel(fuel).run(
+        "main",
+        &eargs,
+        &mut Tee::new(&mut reference_sink, &mut pred_sink),
+    );
     // Keep the module for triage *before* any oracle can fail.
     *module_slot.borrow_mut() = Some(module.clone());
+    if let Some(v) = pred_sink.violation.take() {
+        return Err(oracle(workload, model, "pred-relations", v));
+    }
     let (out, ref_out) = match (out, ref_out) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(a), Err(b)) if format!("{a}") == format!("{b}") => return Err(a.into()),
@@ -436,8 +448,10 @@ fn baseline_machine() -> MachineConfig {
 /// journal from a different seed, width set, sabotage mode, or crate
 /// version never short-circuits a cell.
 fn fingerprint(cfg: &SoakConfig, prog: &GenProgram) -> String {
+    // `battery` names the oracle set; bump it when a new check joins so
+    // journals written before the check never short-circuit past it.
     let mut key = format!(
-        "soak|crate={}|profile={}|seed={}|src={:016x}|args={:?}|sabotage={}|max_cycles={}|fuel={}|widths=",
+        "soak|crate={}|battery=predrel|profile={}|seed={}|src={:016x}|args={:?}|sabotage={}|max_cycles={}|fuel={}|widths=",
         env!("CARGO_PKG_VERSION"),
         prog.profile,
         prog.seed,

@@ -5,7 +5,7 @@
 
 use hyperpred::ir::analysis::CheckKind;
 use hyperpred::sched::MachineConfig;
-use hyperpred::workloads::{all, Scale};
+use hyperpred::workloads::{all, by_name, Scale};
 use hyperpred::{Model, Pipeline, PipelineError, Stage};
 
 fn checked_pipeline() -> Pipeline {
@@ -102,6 +102,38 @@ fn sabotaged_partial_convert_is_blamed_by_name() {
         .violations
         .iter()
         .any(|v| v.kind == CheckKind::ModelConformance));
+}
+
+/// The `relations` stage sabotage corrupts the *held partition graph*
+/// (an asymmetric disjointness bit), not the IR — the module itself
+/// still verifies, so only the relation-soundness checker family can
+/// catch it, and it must blame the relations stage by name.
+#[test]
+fn sabotaged_relations_graph_is_caught_and_blamed() {
+    let pipe = Pipeline {
+        sabotage: Some(Stage::Relations),
+        ..checked_pipeline()
+    };
+    let machine = MachineConfig::new(8, 1);
+    // `wc` reliably if-converts into a multi-predicate hyperblock at
+    // test scale (the corruption needs at least two predicate regs).
+    let w = by_name("wc", Scale::Test).unwrap();
+    let err = pipe
+        .compile(&w.source, &w.args, Model::FullPred, &machine)
+        .expect_err("corrupted relation graph must fail the compile");
+    let PipelineError::Lint(ref lint) = err else {
+        panic!("expected a lint error, got {err}");
+    };
+    assert_eq!(lint.pass, Stage::Relations);
+    assert!(
+        lint.violations
+            .iter()
+            .all(|v| v.kind == CheckKind::Relations),
+        "only the relation-soundness family can see a corrupted graph: {:?}",
+        lint.violations
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("after pass `relations`"), "{msg}");
 }
 
 /// With checks off, sabotage corrupts silently — proving the checkpoints

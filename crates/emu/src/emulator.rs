@@ -439,6 +439,10 @@ impl<'m> Emulator<'m> {
             };
         }
 
+        // Hoisted out of the fetch loop: for non-auditing sinks the
+        // constant false folds the whole predicate-event branch away.
+        let audits_preds = sink.audits_preds();
+
         let mut pc = 0usize;
         loop {
             let op = unsafe { ops.get_unchecked(pc) };
@@ -708,6 +712,28 @@ impl<'m> Emulator<'m> {
                 taken,
                 mem_addr,
             });
+
+            if audits_preds
+                && matches!(
+                    op.code,
+                    DCode::PdEq
+                        | DCode::PdNe
+                        | DCode::PdLt
+                        | DCode::PdLe
+                        | DCode::PdGt
+                        | DCode::PdGe
+                        | DCode::FPdEq
+                        | DCode::FPdNe
+                        | DCode::FPdLt
+                        | DCode::FPdLe
+                        | DCode::FPdGt
+                        | DCode::FPdGe
+                        | DCode::PredClear
+                        | DCode::PredSet
+                )
+            {
+                sink.pred_write(fid, BlockId(op.block), op.index as usize, &preds);
+            }
 
             if taken == Some(true) {
                 if op.imm >= TARGET_NOT_LAID {

@@ -42,4 +42,4 @@ pub use emulator::{EmuContext, EmuError, Emulator, RunOutcome, DEFAULT_FUEL, MAX
 pub use memory::{GlobalError, Memory};
 pub use profile::{BranchStat, Profiler};
 pub use reference::ReferenceEmulator;
-pub use trace::{DynStats, Event, NullSink, TraceSink};
+pub use trace::{DynStats, Event, NullSink, Tee, TraceSink};

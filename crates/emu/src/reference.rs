@@ -381,6 +381,10 @@ impl<'m> ReferenceEmulator<'m> {
                     mem_addr,
                 });
 
+                if is_pdef || matches!(inst.op, Op::PredClear | Op::PredSet) {
+                    sink.pred_write(fid, bid, idx, &preds);
+                }
+
                 if taken == Some(true) {
                     let t = inst.target.ok_or_else(|| {
                         malformed(&f.name, inst, fetched, "branch without target")

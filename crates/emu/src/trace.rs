@@ -53,6 +53,25 @@ pub trait TraceSink {
         let _ = ev;
     }
 
+    /// The predicate file just changed: a predicate define, `pred_clear`,
+    /// or `pred_set` executed (pred defines always execute — a false
+    /// guard is the Table 1 Pin input, not nullification). Delivered
+    /// right after the instruction's [`TraceSink::inst`] event; `preds[i]`
+    /// is the post-write value of predicate register `i`. Default no-op,
+    /// so sinks that don't audit predicates pay only a dead branch.
+    fn pred_write(&mut self, func: FuncId, block: BlockId, index: usize, preds: &[bool]) {
+        let _ = (func, block, index, preds);
+    }
+
+    /// Whether this sink wants [`TraceSink::pred_write`] events at all.
+    /// The emulators hoist this answer out of the fetch loop, so a
+    /// non-auditing sink (the common case — stats, recording, null)
+    /// pays nothing per instruction; the generic `run` specializes the
+    /// constant `false` away entirely.
+    fn audits_preds(&self) -> bool {
+        false
+    }
+
     /// Asks the emulator to stop the run. Checked once per fetched
     /// instruction; when it returns `true` the emulator returns
     /// [`EmuError::SinkAbort`](crate::EmuError::SinkAbort). Watchdog sinks
@@ -183,6 +202,15 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
     fn inst(&mut self, ev: &Event) {
         self.a.inst(ev);
         self.b.inst(ev);
+    }
+
+    fn pred_write(&mut self, func: FuncId, block: BlockId, index: usize, preds: &[bool]) {
+        self.a.pred_write(func, block, index, preds);
+        self.b.pred_write(func, block, index, preds);
+    }
+
+    fn audits_preds(&self) -> bool {
+        self.a.audits_preds() || self.b.audits_preds()
     }
 
     fn aborted(&self) -> bool {

@@ -18,8 +18,13 @@
 //! 1. `I` can execute silently (no stores, branches, calls, or predicate
 //!    defines).
 //! 2. Every use of `d` reachable from `I` before `d` is fully redefined is
-//!    itself guarded by `p` — so when `p` is false the junk value is never
-//!    observed.
+//!    guarded by `p` itself, or by a predicate `q` the relation analysis
+//!    proves is a *subset* of `p` at the use point (`q` true ⇒ `p` true,
+//!    so the use firing proves `I` executed for real) — when `p` is false
+//!    the junk value is never observed either way. Predicate defines are
+//!    excluded from the relaxation: they read their comparison operands
+//!    unconditionally (the guard only feeds `Pin`), so only literal
+//!    `p`-guarded pred defines are tolerated, as before.
 //! 3. `d` is not live into any successor block of the region (it is a
 //!    compiler temporary of this hyperblock).
 //! 4. `p` is not redefined between `I` and the last such use (guard
@@ -33,9 +38,9 @@
 //!    round immediately unblocks its consumers.
 
 use crate::GrowthBudget;
-use hyperpred_ir::analysis::{forward, ForwardAnalysis, MustDefined};
+use hyperpred_ir::analysis::{forward, ForwardAnalysis, MustDefined, RelAnalysis};
 use hyperpred_ir::liveness::Liveness;
-use hyperpred_ir::{Cfg, Function, Op};
+use hyperpred_ir::{Cfg, Function, Op, PredReg, RelState};
 
 /// Runs promotion over every block of `f` to a fixpoint. Returns the number
 /// of instructions promoted.
@@ -65,6 +70,9 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
         let cfg = Cfg::new(f);
         let lv = Liveness::compute(f, &cfg);
         let flow = forward(f, &cfg, &MustDefined);
+        // Promotion never touches predicate defines, so the relation
+        // fixpoint stays valid across every promotion of this round.
+        let relflow = forward(f, &cfg, &RelAnalysis);
         let mut promoted = 0;
         for &b in &f.layout.clone() {
             // Blocks the dataflow never reached cannot execute; there is
@@ -73,6 +81,9 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
             let Some(mut defs) = flow.entry[b.index()].clone() else {
                 continue;
             };
+            let mut rels = relflow.entry[b.index()]
+                .clone()
+                .expect("reachable block has relation state");
             let block_succs = cfg.succs[b.index()].clone();
             let n = f.block(b).insts.len();
             for i in 0..n {
@@ -108,14 +119,26 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
                     // collecting the exit targets through which a junk
                     // value could escape.
                     let mut ok = true;
-                    let mut exit_targets: Vec<hyperpred_ir::BlockId> = Vec::new();
+                    // Exit targets paired with whether p was still
+                    // stable (un-redefined since the candidate) when
+                    // control could leave through them — the subset
+                    // relaxation in `exposed` is only meaningful while
+                    // p still holds the value the candidate saw.
+                    let mut exit_targets: Vec<(hyperpred_ir::BlockId, bool)> = Vec::new();
                     let mut reaches_end = true;
+                    let mut p_stable = true;
                     {
                         let insts = &f.block(b).insts;
+                        // Relation state immediately after the candidate,
+                        // advanced over the span to answer subset queries
+                        // at each use point.
+                        let mut span_rels = rels.clone();
+                        RelAnalysis.transfer(&insts[i], &mut span_rels);
                         for (j, later) in insts[i + 1..].iter().enumerate() {
                             // p redefined: any remaining use of d would
                             // compare against a *different* p value.
                             if later.defines_all_preds() || later.pred_defs().any(|q| q == p) {
+                                p_stable = false;
                                 if uses_reg(later, d) || remaining_uses(&insts[i + 1 + j + 1..], d)
                                 {
                                     ok = false;
@@ -127,13 +150,16 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
                                     break;
                                 }
                             }
-                            if uses_reg(later, d) && later.guard != Some(p) {
+                            if uses_reg(later, d)
+                                && later.guard != Some(p)
+                                && !subset_guarded_read(later, p, &span_rels)
+                            {
                                 ok = false;
                                 break;
                             }
                             if later.op.is_branch() {
                                 if let Some(t) = later.target {
-                                    exit_targets.push(t);
+                                    exit_targets.push((t, p_stable));
                                 }
                                 if later.op == Op::Jump && later.guard.is_none() {
                                     // Unconditional transfer: nothing
@@ -150,13 +176,14 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
                                 reaches_end = false;
                                 break;
                             }
+                            RelAnalysis.transfer(later, &mut span_rels);
                         }
                     }
                     if !ok {
                         break 'decide;
                     }
                     if reaches_end {
-                        exit_targets.extend(block_succs.iter().copied());
+                        exit_targets.extend(block_succs.iter().map(|&t| (t, p_stable)));
                     }
                     // The junk value must be unobservable at every escape
                     // target. `exposed` walks the target: a use of d
@@ -165,7 +192,7 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
                     // definition once promoted.
                     if exit_targets
                         .iter()
-                        .any(|&t| exposed(f, &lv, t, d, cand_id, b))
+                        .any(|&(t, ps)| exposed(f, &lv, t, d, cand_id, b, p, ps, &relflow.entry))
                     {
                         break 'decide;
                     }
@@ -178,6 +205,7 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
                 }
                 let inst = &f.block(b).insts[i];
                 MustDefined.transfer(inst, &mut defs);
+                RelAnalysis.transfer(inst, &mut rels);
                 if inst.ends_block() {
                     // Anything after an unconditional terminator is dead;
                     // the dataflow carries no state for it.
@@ -198,6 +226,15 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
     Ok(total)
 }
 
+/// True when `inst` reads `d` only under a guard `q` that the relation
+/// state proves is a subset of `p` — the read firing proves `p` held,
+/// so a junk value (present only when `p` was false) is unobservable.
+/// Predicate defines never qualify: they read their comparison operands
+/// regardless of their guard.
+fn subset_guarded_read(inst: &hyperpred_ir::Inst, p: PredReg, rels: &RelState) -> bool {
+    !inst.op.is_pred_def() && inst.guard.is_some_and(|q| rels.subset(q, p))
+}
+
 /// Is `d` observable on entry to block `t`?
 ///
 /// For blocks other than the candidate's own, the liveness fixpoint
@@ -208,6 +245,13 @@ pub fn promote_bounded(f: &mut Function, max_rounds: usize) -> Result<usize, Gro
 /// junk; the candidate itself counts as a full (killing) definition since
 /// it will be one once promoted; a branch passed along the way leaks the
 /// junk into its target's live-in.
+///
+/// A read under a guard `q ⊆ p` is tolerated like a `p`-guarded read in
+/// the candidate's span — but only while `p` is *stable*: un-redefined
+/// from the candidate to the exit (`p_stable`) and from the block top to
+/// the read, so `q ⊆ p` still speaks about the value of `p` that decided
+/// whether the junk exists.
+#[allow(clippy::too_many_arguments)]
 fn exposed(
     f: &Function,
     lv: &Liveness,
@@ -215,16 +259,27 @@ fn exposed(
     d: hyperpred_ir::Reg,
     cand_id: hyperpred_ir::InstId,
     self_block: hyperpred_ir::BlockId,
+    p: PredReg,
+    p_stable: bool,
+    rel_entry: &[Option<RelState>],
 ) -> bool {
     if t != self_block {
         return lv.live_in[t.index()].regs.contains(&d);
     }
+    let mut rels = rel_entry[t.index()].clone();
+    let mut p_ok = p_stable && rels.is_some();
     for inst in &f.block(t).insts {
         if inst.id == cand_id {
             return false; // the promoted candidate fully redefines d
         }
         if uses_reg(inst, d) {
-            return true;
+            let tolerated = p_ok
+                && rels
+                    .as_ref()
+                    .is_some_and(|r| subset_guarded_read(inst, p, r));
+            if !tolerated {
+                return true;
+            }
         }
         if inst.op.is_branch() {
             if let Some(u) = inst.target {
@@ -237,6 +292,12 @@ fn exposed(
         }
         if inst.dst == Some(d) && !inst.is_partial_reg_def() {
             return false;
+        }
+        if inst.defines_all_preds() || inst.pred_defs().any(|q| q == p) {
+            p_ok = false;
+        }
+        if let Some(r) = rels.as_mut() {
+            RelAnalysis.transfer(inst, r);
         }
     }
     lv.live_out[t.index()].regs.contains(&d)
@@ -339,6 +400,48 @@ mod tests {
         b.ret(Some(out.into()));
         let mut f = b.finish();
         assert_eq!(promote(&mut f), 0);
+    }
+
+    /// The relation relaxation of condition 2: a use guarded by a
+    /// *nested* predicate `q ⊆ p` (a U-define under `p`) no longer
+    /// blocks promotion — if the use fires, `p` held, so the promoted
+    /// producer computed a real value. Before the relation DB this
+    /// candidate was skipped outright (guard mismatch `q ≠ p`).
+    #[test]
+    fn promotes_when_use_guard_is_nested_subset() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let y = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Gt,
+            &[(q, PredType::U)],
+            y.into(),
+            Operand::Imm(0),
+            Some(p), // q ⊆ p
+        );
+        let out = b.mov(Operand::Imm(0));
+        let t = b.add(x.into(), Operand::Imm(1));
+        b.guard_last(p);
+        b.mov_to(out, t.into());
+        b.guard_last(q); // uses t under the nested q, not p itself
+        b.ret(Some(out.into()));
+        let mut f = b.finish();
+        assert_eq!(promote(&mut f), 1, "the p-guarded add promotes:\n{f}");
+        let add = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.op == hyperpred_ir::Op::Add && i.dst == Some(t))
+            .unwrap();
+        assert!(add.guard.is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Semantic static analysis over predicated IR.
 //!
 //! [`crate::verify`] checks *structure* (operand counts, dangling targets);
-//! this module checks *meaning*. Four checker families, run together by
+//! this module checks *meaning*. Five checker families, run together by
 //! [`check_function`] / [`check_module`]:
 //!
 //! 1. **Def-before-use** — every general-register source and every guard
@@ -27,16 +27,23 @@
 //!    conditional moves exist at all; under [`ModelClass::PartialPred`]
 //!    (after `convert_to_partial`) no guards or predicate defines remain,
 //!    only the cmov family.
+//! 5. **Relation soundness** — the predicate relation database built by
+//!    [`relations::RelationDb`] (the PQS partition graph: disjointness,
+//!    subset, complement facts from Table 1 define shapes) satisfies its
+//!    structural invariants and is closed under the transfer relation, so
+//!    a corrupted or stale partition graph held by a checkpoint is caught.
 //!
 //! Violations carry function/block/instruction coordinates in the same
 //! shape as [`crate::VerifyError`], so pipeline checkpoints can blame the
 //! pass that introduced them.
 
 pub mod dataflow;
+pub mod relations;
 
 pub use dataflow::{
     forward, walk_block, BitSet, DefState, ForwardAnalysis, ForwardResult, MustDefined,
 };
+pub use relations::{check_relations, RelAnalysis, RelState, RelationDb};
 
 use crate::cfg::Cfg;
 use crate::module::{Function, Module};
@@ -58,6 +65,9 @@ pub enum CheckKind {
     Speculation,
     /// Code that does not conform to the compilation model in force.
     ModelConformance,
+    /// The predicate relation database (partition graph) violates its
+    /// structural invariants — see [`relations::check_relations`].
+    Relations,
 }
 
 impl fmt::Display for CheckKind {
@@ -68,6 +78,7 @@ impl fmt::Display for CheckKind {
             CheckKind::PredWellFormed => "pred-wellformed",
             CheckKind::Speculation => "speculation",
             CheckKind::ModelConformance => "model-conformance",
+            CheckKind::Relations => "relation-soundness",
         })
     }
 }
@@ -163,7 +174,20 @@ pub fn check_function(f: &Function, class: ModelClass) -> Vec<Violation> {
     check_pred_wellformed(f, &flow, &mut out);
     check_speculation_flags(f, &mut out);
     check_model(f, class, &mut out);
+    let rel = RelationDb::build(f, &cfg);
+    check_relation_soundness(f, &rel, &mut out);
     out
+}
+
+/// Family 5: the predicate relation database built from `f` satisfies its
+/// structural invariants (disjointness symmetric and irreflexive, partition
+/// facts in range, graph closed under the transfer relation). Exposed
+/// separately so pipeline checkpoints can validate a *held* database — a
+/// corrupted or stale partition graph is blamed like any other violation.
+pub fn check_relation_soundness(f: &Function, db: &RelationDb, out: &mut Vec<Violation>) {
+    check_relations(f, db, |b, msg| {
+        out.push(violation(CheckKind::Relations, f, b, msg))
+    });
 }
 
 /// Runs every checker on every function, plus the differential speculation

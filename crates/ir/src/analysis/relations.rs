@@ -1,0 +1,811 @@
+//! Predicate relation analysis — the Predicate Query System (PQS).
+//!
+//! The paper's Table 1 define semantics give every predicate write an
+//! algebraic shape: an unconditional define computes `Pin ∧ ±cmp` outright,
+//! an OR-type only raises its target, an AND-type only lowers it, and a
+//! complemented type flips the comparison sense. From those shapes alone a
+//! forward dataflow can derive *relations between predicate values* at each
+//! program point:
+//!
+//! * **disjoint(p, q)** — `p` and `q` are never simultaneously true,
+//! * **subset(p, q)** — `p == true` implies `q == true` (`p ⊆ q`),
+//! * **complement(p, q)** — disjoint *and* jointly exhaustive (`p ∨ q = ⊤`),
+//! * **implied_true(p, ctx)** — `p` is guaranteed true in a context guarded
+//!   by `ctx` (or unconditionally).
+//!
+//! This is the relation database de Ferrière's Psi-SSA work identifies as
+//! the enabler for optimizing predicated code: a dual `U`/`U̅` define under
+//! guard `g` carves `g` into two disjoint halves that jointly span it, an
+//! OR-accumulation chain under `g` stays inside `g`, and a complement pair
+//! that spans ⊤ lets passes reason about else-paths without re-deriving
+//! control flow. Queries are O(1) bit tests after a single fixpoint build.
+//!
+//! Soundness is value-level: every fact is a claim about the *current boolean
+//! values* of the predicate file at that point, independent of whether the
+//! registers are formally initialized (an unconditional define writes
+//! `Pin ∧ ±cmp` even when `Pin` is 0, so `q ⊆ g` holds the instant the
+//! define executes, junk inputs included). Facts are killed or narrowed on
+//! redefinition according to the target's family: a fresh `U` value drops
+//! everything known about the register, OR growth keeps only facts valid
+//! for both the old value and the freshly-merged `Pin ∧ ±cmp` part, AND
+//! shrinkage keeps facts monotone under lowering. Joins intersect. The
+//! companion checker [`check_relations`] validates the structural invariants
+//! (symmetry, irreflexivity, transfer closure) of a built database, so a
+//! corrupted partition graph is caught at the pipeline checkpoint.
+
+use super::dataflow::{forward, BitSet, ForwardAnalysis};
+use crate::cfg::Cfg;
+use crate::inst::{Inst, Op};
+use crate::module::Function;
+use crate::types::{BlockId, PredReg};
+
+/// The `t` of a partition fact spanning every path (`a ∨ b = ⊤`).
+pub const TOP: u32 = u32::MAX;
+
+/// Relation facts over the predicate file at one program point.
+///
+/// `disjoint` rows are kept symmetric and irreflexive; `subset` rows are
+/// irreflexive (`p ⊆ p` is implicit). `partitions` holds sorted facts
+/// `[a, b, t]` meaning `a ∨ b ⊇ t` (with `t == TOP` for "spans every
+/// path"), in the same shape the `MustDefined` analysis uses for its
+/// write-coverage saturation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelState {
+    disjoint: Vec<BitSet>,
+    subset: Vec<BitSet>,
+    known: BitSet,
+    fals: BitSet,
+    partitions: Vec<[u32; 3]>,
+}
+
+impl RelState {
+    fn empty(np: usize) -> RelState {
+        RelState {
+            disjoint: vec![BitSet::empty(np); np],
+            subset: vec![BitSet::empty(np); np],
+            known: BitSet::empty(np),
+            fals: BitSet::empty(np),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Number of predicate registers covered.
+    pub fn pred_count(&self) -> usize {
+        self.known.capacity()
+    }
+
+    /// True if `p` and `q` are never simultaneously true here.
+    pub fn disjoint(&self, p: PredReg, q: PredReg) -> bool {
+        if self.fals.contains(p.index()) || self.fals.contains(q.index()) {
+            return true;
+        }
+        p != q && self.disjoint[p.index()].contains(q.index())
+    }
+
+    /// True if `p == true` implies `q == true` here (`p ⊆ q`).
+    pub fn subset(&self, p: PredReg, q: PredReg) -> bool {
+        p == q
+            || self.subset[p.index()].contains(q.index())
+            || self.known.contains(q.index())
+            || self.fals.contains(p.index())
+    }
+
+    /// True if `p` and `q` are disjoint and jointly span every path.
+    pub fn complement(&self, p: PredReg, q: PredReg) -> bool {
+        self.disjoint(p, q)
+            && (self.known.contains(p.index()) || self.known.contains(q.index()) || {
+                let (a, b) = (p.index() as u32, q.index() as u32);
+                self.partitions.binary_search(&[a, b, TOP]).is_ok()
+                    || self.partitions.binary_search(&[b, a, TOP]).is_ok()
+            })
+    }
+
+    /// True if `p` is guaranteed true whenever a context guarded by `ctx`
+    /// executes (`ctx == None` asks for unconditional truth).
+    pub fn implied_true(&self, p: PredReg, ctx: Option<PredReg>) -> bool {
+        self.known.contains(p.index()) || ctx.is_some_and(|g| self.subset(g, p))
+    }
+
+    /// True if `p` is known true on every path to this point.
+    pub fn known_true(&self, p: PredReg) -> bool {
+        self.known.contains(p.index())
+    }
+
+    /// True if `p` is known false on every path to this point.
+    pub fn known_false(&self, p: PredReg) -> bool {
+        self.fals.contains(p.index())
+    }
+
+    /// Predicates disjoint from `p` (for dumps and oracles).
+    pub fn disjoint_of(&self, p: PredReg) -> impl Iterator<Item = PredReg> + '_ {
+        self.disjoint[p.index()].ones().map(|i| PredReg(i as u32))
+    }
+
+    /// Predicates `q` with `p ⊆ q`, excluding `p` itself.
+    pub fn subset_of(&self, p: PredReg) -> impl Iterator<Item = PredReg> + '_ {
+        self.subset[p.index()].ones().map(|i| PredReg(i as u32))
+    }
+
+    /// The partition facts `[a, b, t]` in force (`t == TOP` spans ⊤).
+    pub fn partitions(&self) -> &[[u32; 3]] {
+        &self.partitions
+    }
+
+    /// Chaos-testing hook: breaks the disjointness *symmetry* invariant
+    /// by setting one half of a pair, so [`check_relations`] must
+    /// reject this state. Used by the pipeline's `--sabotage relations`
+    /// hook to prove a corrupted held graph is caught and blamed; no
+    /// real pass calls this. Returns false when the predicate file is
+    /// too small to corrupt (fewer than two registers).
+    pub fn sabotage(&mut self) -> bool {
+        if self.disjoint.len() < 2 {
+            return false;
+        }
+        self.disjoint[0].insert(1);
+        self.disjoint[1].remove(0);
+        true
+    }
+
+    /// True if no fact of any kind is in force.
+    pub fn is_vacuous(&self) -> bool {
+        self.partitions.is_empty()
+            && self.known.ones().next().is_none()
+            && self.fals.ones().next().is_none()
+            && self.disjoint.iter().all(|r| r.ones().next().is_none())
+            && self.subset.iter().all(|r| r.ones().next().is_none())
+    }
+
+    /// Drops every fact (the conservative unknown state).
+    fn clear_all(&mut self) {
+        self.disjoint.iter_mut().for_each(BitSet::clear);
+        self.subset.iter_mut().for_each(BitSet::clear);
+        self.known.clear();
+        self.fals.clear();
+        self.partitions.clear();
+    }
+
+    /// Forgets everything known about `q`: its own rows, its bit in every
+    /// other disjoint row (symmetry), and its bit in every subset row
+    /// (`x ⊆ q` facts).
+    fn kill(&mut self, q: usize) {
+        for x in self.disjoint[q].clone().ones() {
+            self.disjoint[x].remove(q);
+        }
+        self.disjoint[q].clear();
+        self.subset[q].clear();
+        for row in &mut self.subset {
+            row.remove(q);
+        }
+        self.known.remove(q);
+        self.fals.remove(q);
+    }
+
+    fn insert_partition(&mut self, fact: [u32; 3]) {
+        if let Err(i) = self.partitions.binary_search(&fact) {
+            self.partitions.insert(i, fact);
+        }
+    }
+}
+
+/// The predicate relation dataflow (plug into [`forward`] / `walk_block`).
+///
+/// Transfer rules, by the target's Table 1 family:
+///
+/// * `pred_clear` (unguarded): every predicate is false — all pairs are
+///   disjoint and every subset holds vacuously. `pred_set`: every predicate
+///   is true — every subset holds, nothing is disjoint. A *guarded* whole-
+///   file define may or may not execute, so all facts drop.
+/// * **U-family** target `q` under guard `g`: `q` takes the fresh value
+///   `g ∧ ±cmp`, so everything known about `q` dies, then `q ⊆ g` (plus
+///   `g`'s own subset closure) and `q` inherits `g`'s disjointness.
+/// * **OR-family**: `q` grows by a part inside `g`; facts `q ⊆ x` survive
+///   only when the new part is also inside `x`, `q ⟂ x` only when `g ⟂ x`;
+///   facts `x ⊆ q` and `q`'s known-truth survive growth.
+/// * **AND-family**: `q` shrinks; `q ⊆ x` and `q ⟂ x` survive, `x ⊆ q`
+///   and known-truth die.
+/// * A **dual define** writing complementary senses `a`/`c` (neither
+///   AND-family) adds the partition fact `a ∨ c ⊇ g` (⊤ when unguarded) —
+///   sound for OR accumulators too, old contents only add coverage — and,
+///   when both halves are unconditional, `a ⟂ c`.
+///
+/// A define whose guard register is among its own targets derives no
+/// guard-based facts (the old guard value is unrecoverable after the
+/// write); the kills still apply.
+pub struct RelAnalysis;
+
+impl ForwardAnalysis for RelAnalysis {
+    type State = RelState;
+
+    fn boundary(&self, f: &Function) -> RelState {
+        RelState::empty(f.pred_count as usize)
+    }
+
+    fn meet(&self, into: &mut RelState, other: &RelState) -> bool {
+        let mut changed = into.known.intersect_with(&other.known);
+        changed |= into.fals.intersect_with(&other.fals);
+        for (a, b) in into.disjoint.iter_mut().zip(&other.disjoint) {
+            changed |= a.intersect_with(b);
+        }
+        for (a, b) in into.subset.iter_mut().zip(&other.subset) {
+            changed |= a.intersect_with(b);
+        }
+        let before = into.partitions.len();
+        into.partitions
+            .retain(|p| other.partitions.binary_search(p).is_ok());
+        changed | (into.partitions.len() != before)
+    }
+
+    fn transfer(&self, inst: &Inst, state: &mut RelState) {
+        if inst.defines_all_preds() {
+            if inst.guard.is_some() {
+                // May or may not have executed: no fact survives both
+                // outcomes in general.
+                state.clear_all();
+                return;
+            }
+            state.clear_all();
+            match inst.op {
+                // All false: every pair disjoint, every subset vacuous.
+                Op::PredClear => state.fals.set_all(),
+                // All true: every subset holds, nothing is disjoint.
+                Op::PredSet => state.known.set_all(),
+                _ => {}
+            }
+            return;
+        }
+        if inst.pdsts.is_empty() {
+            return;
+        }
+        // Guard-derived facts are only sound while the guard register keeps
+        // the value the define read as Pin; a define overwriting its own
+        // guard forfeits them.
+        let guard = inst
+            .guard
+            .filter(|g| inst.pdsts.iter().all(|pd| pd.reg != *g));
+        let guard_hazard = inst.guard.is_some() && guard.is_none();
+        for pd in &inst.pdsts {
+            let q = pd.reg.index();
+            if !pd.ty.is_partial() {
+                // U-family: a fresh `g ∧ ±cmp` value.
+                state.kill(q);
+                if let Some(g) = guard {
+                    let gi = g.index();
+                    let mut sub = state.subset[gi].clone();
+                    sub.insert(gi);
+                    sub.remove(q);
+                    state.subset[q] = sub;
+                    for x in state.disjoint[gi].clone().ones() {
+                        state.disjoint[q].insert(x);
+                        state.disjoint[x].insert(q);
+                    }
+                    if state.fals.contains(gi) {
+                        // Pin is false on every path: the define writes 0.
+                        state.fals.insert(q);
+                    }
+                }
+            } else if pd.ty.is_or_family() {
+                // q := q ∨ (g ∧ ±cmp).
+                if state.fals.contains(q) {
+                    // The accumulator is known false (fresh off pred_clear):
+                    // the first deposit behaves exactly like an
+                    // unconditional define of the deposited part.
+                    state.kill(q);
+                    if let Some(g) = guard {
+                        let gi = g.index();
+                        let mut sub = state.subset[gi].clone();
+                        sub.insert(gi);
+                        sub.remove(q);
+                        state.subset[q] = sub;
+                        for x in state.disjoint[gi].clone().ones() {
+                            state.disjoint[q].insert(x);
+                            state.disjoint[x].insert(q);
+                        }
+                        if state.fals.contains(gi) {
+                            state.fals.insert(q);
+                        }
+                    }
+                } else {
+                    // Only facts valid for both the old value and the new
+                    // part survive; `x ⊆ q` and known-truth survive growth.
+                    match guard {
+                        Some(g) => {
+                            let gi = g.index();
+                            let mut keep = state.subset[gi].clone();
+                            keep.insert(gi);
+                            state.subset[q].intersect_with(&keep);
+                            let gdis = state.disjoint[gi].clone();
+                            for x in state.disjoint[q].clone().ones() {
+                                if !gdis.contains(x) {
+                                    state.disjoint[q].remove(x);
+                                    state.disjoint[x].remove(q);
+                                }
+                            }
+                        }
+                        _ => {
+                            state.subset[q].clear();
+                            for x in state.disjoint[q].clone().ones() {
+                                state.disjoint[x].remove(q);
+                            }
+                            state.disjoint[q].clear();
+                        }
+                    }
+                }
+            } else {
+                // AND-family: q only shrinks. `q ⊆ x` / `q ⟂ x` and
+                // known-falsity survive; `x ⊆ q` and known-truth die.
+                for row in &mut state.subset {
+                    row.remove(q);
+                }
+                state.known.remove(q);
+            }
+            // Partition facts: an operand slot survives growth (OR-family),
+            // the target slot survives shrinkage (AND-family).
+            let qw = q as u32;
+            state.partitions.retain(|&[a, b, t]| {
+                ((a != qw && b != qw) || pd.ty.is_or_family()) && (t != qw || pd.ty.is_and_family())
+            });
+        }
+        if let [a, c] = inst.pdsts[..] {
+            if a.reg != c.reg
+                && a.ty.is_complemented() != c.ty.is_complemented()
+                && !a.ty.is_and_family()
+                && !c.ty.is_and_family()
+            {
+                if !guard_hazard {
+                    let t = guard.map_or(TOP, |g| g.index() as u32);
+                    state.insert_partition([a.reg.0, c.reg.0, t]);
+                }
+                if !a.ty.is_partial() && !c.ty.is_partial() {
+                    state.disjoint[a.reg.index()].insert(c.reg.index());
+                    state.disjoint[c.reg.index()].insert(a.reg.index());
+                }
+            }
+        }
+    }
+}
+
+/// The per-function relation database: block-entry fixpoint states.
+///
+/// Build once, query everywhere: `entry(b)` gives the state at the top of
+/// `b`; replay [`RelAnalysis::transfer`](ForwardAnalysis::transfer) (or
+/// `walk_block`) to reach any interior point.
+pub struct RelationDb {
+    /// Entry state per block (`None` for unreachable blocks).
+    pub entry: Vec<Option<RelState>>,
+}
+
+impl RelationDb {
+    /// Runs the relation fixpoint over `f`.
+    pub fn build(f: &Function, cfg: &Cfg) -> RelationDb {
+        RelationDb {
+            entry: forward(f, cfg, &RelAnalysis).entry,
+        }
+    }
+
+    /// The relation state at the top of `b`, if reachable.
+    pub fn entry(&self, b: BlockId) -> Option<&RelState> {
+        self.entry.get(b.index()).and_then(|s| s.as_ref())
+    }
+}
+
+/// Validates the structural invariants of a built relation database against
+/// its function: disjoint rows symmetric and irreflexive, subset rows
+/// irreflexive, partition facts in range, and the whole graph *closed*
+/// under the transfer relation (pushing any block's entry state across its
+/// edges must refine into — never add to — the recorded successor states).
+/// A fresh [`RelationDb::build`] satisfies all of these by construction;
+/// the checks exist so a corrupted or stale graph held by a pipeline
+/// checkpoint is caught and blamed, and as an audit of the derivation
+/// rules themselves.
+pub fn check_relations(
+    f: &Function,
+    db: &RelationDb,
+    mut report: impl FnMut(BlockId, String),
+) -> bool {
+    let np = f.pred_count as usize;
+    let mut clean = true;
+    for &b in &f.layout {
+        let Some(state) = db.entry(b) else { continue };
+        for p in 0..np {
+            for q in state.disjoint[p].ones() {
+                if q == p {
+                    clean = false;
+                    report(b, format!("p{p} claimed disjoint from itself"));
+                } else if !state.disjoint[q].contains(p) {
+                    clean = false;
+                    report(b, format!("asymmetric disjointness claim p{p} ⟂ p{q}"));
+                }
+            }
+            if state.subset[p].contains(p) {
+                clean = false;
+                report(b, format!("reflexive subset claim stored for p{p}"));
+            }
+        }
+        for &[a, c, t] in &state.partitions {
+            if a as usize >= np || c as usize >= np || (t != TOP && t as usize >= np) {
+                clean = false;
+                report(b, format!("partition fact [{a}, {c}, {t}] out of range"));
+            }
+        }
+        // Closure: replay the block and require every outgoing edge's state
+        // to be no stronger than what is recorded at the target.
+        let mut state = state.clone();
+        let mut fell_through = true;
+        for inst in &f.block(b).insts {
+            if inst.op.is_branch() {
+                if let Some(t) = inst.target {
+                    let mut taken = state.clone();
+                    RelAnalysis.assume_taken(inst, &mut taken);
+                    clean &= check_edge(db, b, t, &taken, &mut report);
+                }
+            }
+            RelAnalysis.transfer(inst, &mut state);
+            if inst.ends_block() {
+                fell_through = false;
+                break;
+            }
+        }
+        if fell_through {
+            if let Some(next) = f.layout_next(b) {
+                clean &= check_edge(db, b, next, &state, &mut report);
+            }
+        }
+    }
+    clean
+}
+
+fn check_edge(
+    db: &RelationDb,
+    from: BlockId,
+    to: BlockId,
+    along: &RelState,
+    report: &mut impl FnMut(BlockId, String),
+) -> bool {
+    let Some(target) = db.entry(to) else {
+        report(
+            from,
+            format!("edge to {to} reaches a block with no recorded relation state"),
+        );
+        return false;
+    };
+    let mut met = target.clone();
+    if RelAnalysis.meet(&mut met, along) {
+        report(
+            from,
+            format!("relation graph not closed over the edge {from} → {to}"),
+        );
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredType;
+    use crate::types::{CmpOp, Operand};
+    use crate::FuncBuilder;
+
+    /// Walks `f`'s entry block to its end and returns the final state.
+    fn end_of_entry(f: &Function) -> RelState {
+        let cfg = Cfg::new(f);
+        let db = RelationDb::build(f, &cfg);
+        let mut s = db.entry(f.entry()).unwrap().clone();
+        for inst in &f.block(f.entry()).insts {
+            RelAnalysis.transfer(inst, &mut s);
+            if inst.ends_block() {
+                break;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn dual_unconditional_define_is_a_complement() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pt = b.fresh_pred();
+        let pf = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pt, PredType::U), (pf, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(s.disjoint(pt, pf) && s.disjoint(pf, pt));
+        assert!(s.complement(pt, pf) && s.complement(pf, pt));
+        assert!(!s.subset(pt, pf));
+        assert!(s.subset(pt, pt), "subset is reflexive");
+    }
+
+    #[test]
+    fn guarded_dual_define_nests_inside_its_guard() {
+        // p partitions ⊤; p6/p7 partition p. Nested facts: p6 ⊆ p,
+        // p6 ⟂ p7, p6 ⟂ p̄ (disjointness inherited through the guard),
+        // but p6 and p7 are not a ⊤-complement.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pp = b.fresh_pred();
+        let pbar = b.fresh_pred();
+        let p6 = b.fresh_pred();
+        let p7 = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pp, PredType::U), (pbar, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Lt,
+            &[(p6, PredType::U), (p7, PredType::UBar)],
+            x.into(),
+            Operand::Imm(10),
+            Some(pp),
+        );
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(s.subset(p6, pp) && s.subset(p7, pp));
+        assert!(s.disjoint(p6, p7));
+        assert!(s.disjoint(p6, pbar), "inherited from the guard");
+        assert!(s.disjoint(p7, pbar));
+        assert!(s.complement(pp, pbar));
+        assert!(!s.complement(p6, p7), "they span p, not ⊤");
+        assert!(s.implied_true(pp, Some(p6)), "p6 executing forces p");
+        assert!(!s.implied_true(pp, None));
+    }
+
+    #[test]
+    fn redefinition_kills_stale_facts() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pt = b.fresh_pred();
+        let pf = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pt, PredType::U), (pf, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        // Unrelated single redefinition of pt severs it from pf.
+        b.pred_def(
+            CmpOp::Gt,
+            &[(pt, PredType::U)],
+            x.into(),
+            Operand::Imm(5),
+            None,
+        );
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(!s.disjoint(pt, pf));
+        assert!(!s.complement(pt, pf));
+    }
+
+    #[test]
+    fn or_growth_narrows_but_keeps_guard_bound_facts() {
+        // pred_clear; dual U/U̅ on (pp, pbar); then an OR deposit into po
+        // under pp. po starts known-false (all-false file), so po ⊆ pp
+        // after growing only by a part inside pp... the all-false subset
+        // fact po ⊆ pp survives the OR exactly because the new part is
+        // inside pp, and po stays disjoint from pbar.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pp = b.fresh_pred();
+        let pbar = b.fresh_pred();
+        let po = b.fresh_pred();
+        b.pred_clear();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pp, PredType::U), (pbar, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Lt,
+            &[(po, PredType::Or)],
+            x.into(),
+            Operand::Imm(3),
+            Some(pp),
+        );
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(s.subset(po, pp), "grown only inside pp from known-false");
+        assert!(s.disjoint(po, pbar));
+        // A second deposit under pbar leaves only facts common to both.
+        let mut b2 = FuncBuilder::new("g");
+        let y = b2.param();
+        let _q0 = b2.fresh_pred();
+        let q1 = b2.fresh_pred();
+        let q2 = b2.fresh_pred();
+        b2.pred_def(
+            CmpOp::Gt,
+            &[(q2, PredType::Or)],
+            y.into(),
+            Operand::Imm(7),
+            Some(q1),
+        );
+        b2.ret(None);
+        let g = b2.finish();
+        let dep = &g.block(g.entry()).insts[0];
+        assert_eq!((q1, q2), (pbar, po), "same indices as in f");
+        let mut s2 = s.clone();
+        RelAnalysis.transfer(dep, &mut s2);
+        assert!(!s2.subset(po, pp), "now straddles both halves");
+        assert!(!s2.disjoint(po, pbar));
+    }
+
+    #[test]
+    fn pred_clear_and_set_extremes() {
+        let mut b = FuncBuilder::new("f");
+        let _ = b.param();
+        let a = b.fresh_pred();
+        let c = b.fresh_pred();
+        b.pred_clear();
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(s.disjoint(a, c), "all-false file: vacuously disjoint");
+        assert!(s.subset(a, c), "vacuous subset");
+        assert!(!s.known_true(a));
+        assert!(!s.complement(a, c), "neither is ever true");
+
+        let mut b = FuncBuilder::new("g");
+        let _ = b.param();
+        let a = b.fresh_pred();
+        let c = b.fresh_pred();
+        b.emit_with(Op::PredSet, |_| {});
+        b.ret(None);
+        let g = b.finish();
+        let s = end_of_entry(&g);
+        assert!(!s.disjoint(a, c));
+        assert!(s.subset(a, c) && s.subset(c, a));
+        assert!(s.known_true(a));
+        assert!(s.implied_true(a, None));
+    }
+
+    #[test]
+    fn meet_keeps_only_common_facts() {
+        // Diamond: both arms derive a dual define, but onto different
+        // pred pairs; at the join nothing survives. Arms deriving the
+        // *same* facts keep them.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let a = b.fresh_pred();
+        let c = b.fresh_pred();
+        let d = b.fresh_pred();
+        let t = b.block();
+        let join = b.block();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(a, PredType::U), (c, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.br(CmpOp::Ne, x.into(), Operand::Imm(1), t);
+        // fall arm: redefine a, breaking the pair.
+        b.pred_def(
+            CmpOp::Gt,
+            &[(a, PredType::U), (d, PredType::UBar)],
+            x.into(),
+            Operand::Imm(4),
+            None,
+        );
+        b.jump(join);
+        b.switch_to(t);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let db = RelationDb::build(&f, &cfg);
+        let s = db.entry(join).unwrap();
+        assert!(!s.disjoint(a, c), "pair broken on the fall arm");
+        assert!(!s.disjoint(a, d), "pair only formed on the fall arm");
+        assert!(!s.disjoint(c, d), "never related on any arm");
+    }
+
+    #[test]
+    fn self_guarding_define_derives_no_guard_facts() {
+        // A define overwriting its own guard must not claim q ⊆ g about
+        // the *new* g value.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let g = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(g, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Lt,
+            &[(g, PredType::U), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(3),
+            Some(g),
+        );
+        b.ret(None);
+        let f = b.finish();
+        let s = end_of_entry(&f);
+        assert!(!s.subset(q, g), "old guard value is gone");
+        assert!(s.disjoint(g, q), "the dual halves are still disjoint");
+        assert!(!s.complement(g, q), "they span the old guard, not ⊤");
+    }
+
+    #[test]
+    fn checker_accepts_fresh_builds_and_catches_corruption() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pt = b.fresh_pred();
+        let pf = b.fresh_pred();
+        let t = b.block();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pt, PredType::U), (pf, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.jump(t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let mut db = RelationDb::build(&f, &cfg);
+        let mut msgs = Vec::new();
+        assert!(check_relations(&f, &db, |_, m| msgs.push(m)));
+        assert!(msgs.is_empty());
+        // Corrupt: claim pt ⟂ pt at the successor block (reflexive) and
+        // drop one direction of a symmetric pair.
+        let s = db.entry[t.index()].as_mut().unwrap();
+        s.disjoint[pt.index()].insert(pt.index());
+        s.disjoint[pf.index()].remove(pt.index());
+        assert!(!check_relations(&f, &db, |_, m| msgs.push(m)));
+        assert!(msgs.iter().any(|m| m.contains("disjoint from itself")));
+        assert!(msgs.iter().any(|m| m.contains("asymmetric")));
+    }
+
+    #[test]
+    fn checker_catches_unclosed_graph() {
+        // Weaken a successor's entry below what the edge carries — the
+        // closure check must flag the edge... wait, weaker (fewer facts)
+        // is *allowed*. Strengthen it instead: record a fact the edge
+        // cannot justify.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param();
+        let pt = b.fresh_pred();
+        let pf = b.fresh_pred();
+        let t = b.block();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(pt, PredType::U)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.jump(t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let mut db = RelationDb::build(&f, &cfg);
+        let s = db.entry[t.index()].as_mut().unwrap();
+        s.disjoint[pt.index()].insert(pf.index());
+        s.disjoint[pf.index()].insert(pt.index());
+        let mut msgs = Vec::new();
+        assert!(!check_relations(&f, &db, |_, m| msgs.push(m)));
+        assert!(msgs.iter().any(|m| m.contains("not closed")));
+    }
+}

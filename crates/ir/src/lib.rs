@@ -54,7 +54,10 @@ pub mod printer;
 pub mod types;
 pub mod verify;
 
-pub use analysis::{check_function, check_module, CheckKind, ModelClass, Snapshot, Violation};
+pub use analysis::{
+    check_function, check_module, CheckKind, ModelClass, RelAnalysis, RelState, RelationDb,
+    Snapshot, Violation,
+};
 pub use builder::FuncBuilder;
 pub use cfg::{Cfg, DomTree, Loop, LoopForest};
 pub use inst::{Inst, Op};

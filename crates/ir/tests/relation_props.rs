@@ -1,0 +1,304 @@
+//! Property-based tests for the predicate relation analysis: random
+//! straight-line define sequences must yield states whose structural
+//! laws hold (disjointness symmetry, subset reflexivity/transitivity,
+//! complement symmetry and involution, checker cleanliness) and whose
+//! claims are *sound* — refuted by no concrete execution of the same
+//! sequence over random comparison outcomes.
+
+use hyperpred_ir::analysis::relations::TOP;
+use hyperpred_ir::analysis::{check_relation_soundness, forward, ForwardAnalysis, RelAnalysis};
+use hyperpred_ir::{
+    Cfg, CmpOp, FuncBuilder, Function, Op, Operand, PredReg, PredType, RelState, RelationDb,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// One step of a generated predicate program.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `p,p̄ = (x_cmp != 0) <U,U̅>` under an optional guard — the dual
+    /// define shape if-conversion emits, and the partition source.
+    Dual {
+        pair: usize,
+        cmp: usize,
+        guard: Option<usize>,
+    },
+    /// A single-destination define of any Table 1 type.
+    Single {
+        pred: usize,
+        ty: usize,
+        cmp: usize,
+        guard: Option<usize>,
+    },
+    /// `pred_clear` / `pred_set`, optionally guarded (the guarded form
+    /// must drop every fact: it may or may not have executed).
+    Clear {
+        guard: Option<usize>,
+    },
+    Set {
+        guard: Option<usize>,
+    },
+}
+
+/// A generated program plus the random comparison-outcome vectors it is
+/// concretely executed over.
+#[derive(Debug, Clone)]
+struct Prog {
+    pairs: usize,
+    cmps: usize,
+    steps: Vec<Step>,
+    inputs: Vec<Vec<bool>>,
+}
+
+struct Progs;
+
+impl Strategy for Progs {
+    type Value = Prog;
+
+    fn generate(&self, rng: &mut TestRng) -> Prog {
+        let pairs = 2 + (rng.next_u64() % 2) as usize; // 4 or 6 predicates
+        let np = pairs * 2;
+        let cmps = 2 + (rng.next_u64() % 3) as usize;
+        let n = 1 + (rng.next_u64() % 10) as usize;
+        let guard = |rng: &mut TestRng| -> Option<usize> {
+            if rng.next_u64().is_multiple_of(3) {
+                Some((rng.next_u64() as usize) % np)
+            } else {
+                None
+            }
+        };
+        let steps = (0..n)
+            .map(|_| match rng.next_u64() % 8 {
+                0..=4 => Step::Dual {
+                    pair: (rng.next_u64() as usize) % pairs,
+                    cmp: (rng.next_u64() as usize) % cmps,
+                    guard: guard(rng),
+                },
+                5..=6 => Step::Single {
+                    pred: (rng.next_u64() as usize) % np,
+                    ty: (rng.next_u64() as usize) % PredType::ALL.len(),
+                    cmp: (rng.next_u64() as usize) % cmps,
+                    guard: guard(rng),
+                },
+                7 if rng.next_u64() & 1 == 0 => Step::Clear { guard: guard(rng) },
+                _ => Step::Set { guard: guard(rng) },
+            })
+            .collect();
+        let inputs = (0..8)
+            .map(|_| (0..cmps).map(|_| rng.next_u64() & 1 == 1).collect())
+            .collect();
+        Prog {
+            pairs,
+            cmps,
+            steps,
+            inputs,
+        }
+    }
+}
+
+fn progs() -> Progs {
+    Progs
+}
+
+/// Lowers the step list to a single-block function (comparison outcome
+/// `c` is parameter register `c` tested `!= 0`).
+fn build(prog: &Prog) -> Function {
+    let mut b = FuncBuilder::new("prop");
+    let params: Vec<_> = (0..prog.cmps).map(|_| b.param()).collect();
+    let preds: Vec<PredReg> = (0..prog.pairs * 2).map(|_| b.fresh_pred()).collect();
+    for step in &prog.steps {
+        match *step {
+            Step::Dual { pair, cmp, guard } => b.pred_def(
+                CmpOp::Ne,
+                &[
+                    (preds[pair * 2], PredType::U),
+                    (preds[pair * 2 + 1], PredType::UBar),
+                ],
+                params[cmp].into(),
+                Operand::Imm(0),
+                guard.map(|g| preds[g]),
+            ),
+            Step::Single {
+                pred,
+                ty,
+                cmp,
+                guard,
+            } => b.pred_def(
+                CmpOp::Ne,
+                &[(preds[pred], PredType::ALL[ty])],
+                params[cmp].into(),
+                Operand::Imm(0),
+                guard.map(|g| preds[g]),
+            ),
+            Step::Clear { guard } => {
+                b.pred_clear();
+                if let Some(g) = guard {
+                    b.guard_last(preds[g]);
+                }
+            }
+            Step::Set { guard } => {
+                b.emit_with(Op::PredSet, |_| {});
+                if let Some(g) = guard {
+                    b.guard_last(preds[g]);
+                }
+            }
+        }
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// Reference-emulator predicate semantics for the generated shape: pred
+/// defines always execute with Pin = guard value; everything else is
+/// nullified by a false guard.
+fn exec_step(inst: &hyperpred_ir::Inst, inputs: &[bool], preds: &mut [bool]) {
+    let guard_val = inst.guard.is_none_or(|p| preds[p.index()]);
+    match inst.op {
+        Op::PredDef(_) => {
+            let cmp = match inst.srcs[0] {
+                Operand::Reg(r) => inputs[r.index()],
+                Operand::Imm(v) => v != 0,
+            };
+            for pd in &inst.pdsts {
+                let old = preds[pd.reg.index()];
+                preds[pd.reg.index()] = pd.ty.eval(guard_val, cmp, old);
+            }
+        }
+        Op::PredClear if guard_val => preds.fill(false),
+        Op::PredSet if guard_val => preds.fill(true),
+        _ => {}
+    }
+}
+
+/// Returns the first claim in `st` the concrete file `preds` refutes.
+fn refuted(st: &RelState, preds: &[bool]) -> Option<String> {
+    for i in 0..preds.len() {
+        let p = PredReg(i as u32);
+        if st.known_true(p) && !preds[i] {
+            return Some(format!("p{i} claimed true, observed false"));
+        }
+        if st.known_false(p) && preds[i] {
+            return Some(format!("p{i} claimed false, observed true"));
+        }
+        if !preds[i] {
+            continue;
+        }
+        for q in st.disjoint_of(p) {
+            if preds[q.index()] {
+                return Some(format!("p{i} ⟂ p{} refuted", q.0));
+            }
+        }
+        for q in st.subset_of(p) {
+            if !preds[q.index()] {
+                return Some(format!("p{i} ⊆ p{} refuted", q.0));
+            }
+        }
+    }
+    for &[a, b, t] in st.partitions() {
+        if (t == TOP || preds[t as usize]) && !(preds[a as usize] || preds[b as usize]) {
+            return Some(format!("p{a} ∨ p{b} ⊇ {t} refuted"));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Soundness: no claim at any program point is refuted by any
+    /// concrete execution of the block.
+    #[test]
+    fn claims_hold_on_every_execution(prog in progs()) {
+        let f = build(&prog);
+        let flow = forward(&f, &Cfg::new(&f), &RelAnalysis);
+        let entry = flow.entry[f.entry().index()].clone().expect("entry reachable");
+        for inputs in &prog.inputs {
+            let mut st = entry.clone();
+            let mut preds = vec![false; f.pred_count as usize];
+            for inst in &f.blocks[f.entry().index()].insts {
+                exec_step(inst, inputs, &mut preds);
+                RelAnalysis.transfer(inst, &mut st);
+                if let Some(v) = refuted(&st, &preds) {
+                    prop_assert!(false, "after {inst:?}: {v} (inputs {inputs:?})");
+                }
+            }
+        }
+    }
+
+    /// Structural laws of every intermediate state: disjointness is
+    /// symmetric, subset is reflexive and transitive, complement is
+    /// symmetric, and `implied_true` agrees with its definition.
+    #[test]
+    fn states_obey_the_relation_algebra(prog in progs()) {
+        let f = build(&prog);
+        let flow = forward(&f, &Cfg::new(&f), &RelAnalysis);
+        let mut st = flow.entry[f.entry().index()].clone().expect("entry reachable");
+        let np = f.pred_count as usize;
+        for inst in &f.blocks[f.entry().index()].insts {
+            RelAnalysis.transfer(inst, &mut st);
+            for i in 0..np {
+                let p = PredReg(i as u32);
+                prop_assert!(st.subset(p, p), "⊆ must be reflexive");
+                prop_assert!(
+                    !st.disjoint(p, p) || st.known_false(p),
+                    "p ⟂ p only for known-false p"
+                );
+                prop_assert_eq!(st.implied_true(p, None), st.known_true(p));
+                for j in 0..np {
+                    let q = PredReg(j as u32);
+                    prop_assert_eq!(st.disjoint(p, q), st.disjoint(q, p), "⟂ symmetry");
+                    prop_assert_eq!(st.complement(p, q), st.complement(q, p), "complement symmetry");
+                    prop_assert_eq!(
+                        st.implied_true(p, Some(q)),
+                        st.known_true(p) || st.subset(q, p)
+                    );
+                    for k in 0..np {
+                        let r = PredReg(k as u32);
+                        if st.subset(p, q) && st.subset(q, r) {
+                            prop_assert!(st.subset(p, r), "⊆ transitivity p{i} p{j} p{k}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shipped relation-soundness checker accepts every analysis
+    /// result the generator can produce (it must only ever fire on
+    /// genuinely corrupted graphs).
+    #[test]
+    fn checker_accepts_generated_graphs(prog in progs()) {
+        let f = build(&prog);
+        let db = RelationDb::build(&f, &Cfg::new(&f));
+        let mut violations = Vec::new();
+        check_relation_soundness(&f, &db, &mut violations);
+        prop_assert!(violations.is_empty(), "spurious violations: {violations:?}");
+    }
+
+    /// Dual U/U̅ defines under a true guard partition the guard: the
+    /// state must prove complementarity, and a concrete run must agree.
+    #[test]
+    fn dual_defines_prove_complement(cmp in any::<bool>()) {
+        let mut b = FuncBuilder::new("dual");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U), (q, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.ret(None);
+        let f = b.finish();
+        let flow = forward(&f, &Cfg::new(&f), &RelAnalysis);
+        let mut st = flow.entry[f.entry().index()].clone().unwrap();
+        RelAnalysis.transfer(&f.blocks[f.entry().index()].insts[0], &mut st);
+        prop_assert!(st.disjoint(p, q));
+        prop_assert!(st.complement(p, q), "unguarded dual define spans ⊤");
+        let mut preds = vec![false; 2];
+        exec_step(&f.blocks[f.entry().index()].insts[0], &[cmp], &mut preds);
+        prop_assert!(preds[0] ^ preds[1]);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`dce`] — global liveness-based dead code elimination.
 //! * [`cfgopt`] — branch folding, jump threading, block merging,
 //!   unreachable-code removal.
+//! * [`relopt`] — relation-driven guarded CSE, copy propagation and
+//!   dead-define removal, powered by the predicate partition graph
+//!   ([`hyperpred_ir::RelationDb`]).
 //!
 //! All passes understand predication: guarded definitions are *partial*
 //! (they do not kill their destination), OR/AND-type predicate destinations
@@ -26,6 +29,7 @@ pub mod dce;
 pub mod fold;
 pub mod inline;
 pub mod local;
+pub mod relopt;
 
 use hyperpred_ir::{Function, Module};
 
@@ -37,6 +41,7 @@ pub fn optimize(f: &mut Function) {
         let mut changed = false;
         changed |= fold::run(f);
         changed |= local::run(f);
+        changed |= relopt::run(f);
         changed |= dce::run(f);
         changed |= cfgopt::run(f);
         if !changed {

@@ -4,7 +4,7 @@
 //! superblock/hyperblock formation, so local scope captures most of the
 //! opportunity — the same choice the paper's peephole framework makes.
 
-use hyperpred_ir::{Function, Inst, Op, Operand, Reg};
+use hyperpred_ir::{Function, Inst, Op, Operand, PredReg, Reg};
 use std::collections::HashMap;
 
 /// Runs copy propagation then CSE on every block. Returns true on change.
@@ -17,12 +17,17 @@ pub fn run(f: &mut Function) -> bool {
 }
 
 /// Expression key for CSE. `epoch` serializes loads against stores/calls.
+/// `guard` lets *identically guarded* pairs merge: when the second copy
+/// fires, so did the first, with the same operand values (the guard's
+/// redefinition drops the entry). Cross-guard merging is the job of the
+/// relation-aware pass (`crate::relopt`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
     op: OpKey,
     srcs: Vec<Operand>,
     speculative: bool,
     epoch: u64,
+    guard: Option<PredReg>,
 }
 
 /// Hashable stand-in for `Op` (which contains enums already `Hash`).
@@ -37,9 +42,8 @@ fn commutative(op: Op) -> bool {
 }
 
 fn cse_candidate(inst: &Inst) -> bool {
-    // Pure value-producing ops, unguarded. Loads participate with an epoch.
-    inst.guard.is_none()
-        && inst.dst.is_some()
+    // Pure value-producing ops. Loads participate with an epoch.
+    inst.dst.is_some()
         && !inst.op.has_side_effects()
         && !inst.op.is_pred_def()
         && !matches!(
@@ -88,6 +92,7 @@ fn block_pass(insts: &mut [Inst]) -> bool {
                 srcs,
                 speculative: inst.speculative,
                 epoch: e,
+                guard: inst.guard,
             };
             if let Some(&prev) = avail.get(&key) {
                 if Some(prev) != inst.dst {
@@ -104,6 +109,17 @@ fn block_pass(insts: &mut [Inst]) -> bool {
         // 3. Memory/calls advance the load epoch.
         if inst.op.is_store() || inst.op == Op::Call {
             epoch += 1;
+        }
+
+        // 3b. Redefining a predicate invalidates expressions guarded by
+        //     it — including OR/AND-type growth: the new guard value
+        //     firing says nothing about whether the old one did.
+        if inst.defines_all_preds() {
+            avail.retain(|k, _| k.guard.is_none());
+        } else {
+            for p in inst.pred_defs() {
+                avail.retain(|k, _| k.guard != Some(p));
+            }
         }
 
         // 4. Invalidate facts mentioning the defined register, then record
@@ -265,6 +281,86 @@ mod tests {
         let mut f = b.finish();
         assert!(run(&mut f));
         assert_eq!(f.blocks[0].insts[2].srcs[0], Operand::Reg(x));
+    }
+
+    #[test]
+    fn cse_merges_identically_guarded_pair() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let a = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, a, x.into(), Operand::Imm(3));
+        b.guard_last(p);
+        let c = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, c, x.into(), Operand::Imm(3));
+        b.guard_last(p);
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        let second = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.dst == Some(c) && i.guard == Some(p))
+            .unwrap();
+        assert_eq!(second.op, Op::Mov, "same guard, same operands: merged");
+        assert_eq!(second.srcs, vec![Operand::Reg(a)]);
+    }
+
+    #[test]
+    fn cse_does_not_merge_differently_guarded_pair() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        let a = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, a, x.into(), Operand::Imm(3));
+        b.guard_last(p);
+        let c = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, c, x.into(), Operand::Imm(3));
+        b.guard_last(q);
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        let second = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.dst == Some(c) && i.guard == Some(q))
+            .unwrap();
+        assert_eq!(second.op, Op::Add, "guard tokens differ: local CSE skips");
+    }
+
+    #[test]
+    fn guard_redefinition_splits_guarded_cse() {
+        use hyperpred_ir::PredType;
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let p = b.fresh_pred();
+        let a = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, a, x.into(), Operand::Imm(3));
+        b.guard_last(p);
+        // p changes value between the twins.
+        b.pred_def(
+            CmpOp::Lt,
+            &[(p, PredType::U)],
+            x.into(),
+            Operand::Imm(9),
+            None,
+        );
+        let c = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, c, x.into(), Operand::Imm(3));
+        b.guard_last(p);
+        let s = b.add(a.into(), c.into());
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        run(&mut f);
+        let second = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.dst == Some(c) && i.guard == Some(p))
+            .unwrap();
+        assert_eq!(second.op, Op::Add, "the first add ran under the old p");
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Relation-driven global optimizations over predicated code.
+//!
+//! The classic passes in [`crate::local`] and [`crate::dce`] treat a
+//! guard predicate as an opaque token: two guarded instructions relate
+//! only when their guards are literally equal. After if-conversion the
+//! interesting redundancy is *between* guards — a computation under `p`
+//! repeated under a nested predicate `q ⊆ p`, or a define under `p`
+//! whose only readers run under predicates disjoint from `p`. This
+//! module asks the predicate partition graph
+//! ([`hyperpred_ir::RelationDb`]) those questions and performs three
+//! transformations:
+//!
+//! * **Guarded CSE** — `p: d1 = a ⊕ b` followed by `q: d2 = a ⊕ b`
+//!   rewrites the second to `q: mov d2, d1`: whenever the copy fires
+//!   (`q` true), `q ⊆ p` says the first define also fired, with the
+//!   same operand values.
+//! * **Guarded copy propagation** — after `p: mov d, s`, a use of `d`
+//!   guarded by `q ⊆ p` reads `s` directly.
+//! * **Relation DCE** — a guarded define whose destination is fully
+//!   redefined later in the same block is deleted when every
+//!   intervening reader executes under a guard *disjoint* from the
+//!   define's: a reader that fires proves the define was nullified, so
+//!   it observes the pre-define value either way.
+//!
+//! Every block is walked forward replaying the [`RelAnalysis`] and
+//! [`MustDefined`] transfer functions from the block-entry fixpoint,
+//! so each query is asked of the relation state in force at that exact
+//! program point; a fact is only used while the predicates it names
+//! are stable (invalidated on any redefinition of them, like the
+//! register facts).
+
+use hyperpred_ir::analysis::{forward, DefState, ForwardAnalysis, MustDefined, RelAnalysis};
+use hyperpred_ir::{Block, Cfg, Function, Inst, Op, Operand, PredReg, Reg, RelState};
+use std::collections::HashMap;
+
+/// Runs all three relation-driven passes on every block. Returns true
+/// on change.
+pub fn run(f: &mut Function) -> bool {
+    // Relations only exist while the code is predicated; partially
+    // converted or plain code skips the fixpoints entirely.
+    if !f
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|i| i.guard.is_some()))
+    {
+        return false;
+    }
+    let cfg = Cfg::new(f);
+    let rel = forward(f, &cfg, &RelAnalysis);
+    let def = forward(f, &cfg, &MustDefined);
+    let mut changed = false;
+    for &b in &f.layout.clone() {
+        let (Some(rs), Some(ds)) = (rel.entry[b.index()].as_ref(), def.entry[b.index()].as_ref())
+        else {
+            continue;
+        };
+        changed |= block_pass(f.block_mut(b), rs.clone(), ds.clone());
+    }
+    changed
+}
+
+/// Expression key for the guarded CSE table (guard deliberately *not*
+/// part of the key — matches are resolved through the relation state).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    op: Op,
+    srcs: Vec<Operand>,
+    speculative: bool,
+}
+
+/// A recorded available expression: the register holding it and the
+/// guard it was computed under.
+#[derive(Debug, Clone, Copy)]
+struct Avail {
+    reg: Reg,
+    guard: Option<PredReg>,
+}
+
+/// A guarded define awaiting a relation-DCE verdict.
+struct DeadCand {
+    /// Index of the define in the block.
+    index: usize,
+    /// Its destination register.
+    dst: Reg,
+    /// Its guard.
+    guard: PredReg,
+    /// False once the guard has been redefined — later readers can no
+    /// longer be compared against the value the define saw.
+    guard_clean: bool,
+}
+
+fn commutative(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor | Op::FAdd | Op::FMul
+    )
+}
+
+/// Pure value-producing instructions whose result depends only on the
+/// listed operands (guarded or not).
+///
+/// Loads and `mov` are deliberately not candidates. A load's value can
+/// change across stores, and on this in-order machine rewriting a
+/// redundant load into a `mov` trades a (perfect-cache) load for a
+/// dependence on the earlier destination — measurably worse on grep
+/// and sc. CSE-ing a `mov` is strictly a renaming: it turns parallel
+/// copies of one source into a serial copy *chain* and leaves extra
+/// copies behind after scheduling (wc's inner loop grew by one `mov`
+/// per iteration); copy propagation is the profitable transformation
+/// for moves and is handled separately above.
+fn cse_candidate(inst: &Inst) -> bool {
+    inst.dst.is_some()
+        && !inst.op.has_side_effects()
+        && !inst.op.is_pred_def()
+        && !inst.op.is_load()
+        && !matches!(
+            inst.op,
+            Op::Call
+                | Op::Cmov
+                | Op::CmovCom
+                | Op::Select
+                | Op::Nop
+                | Op::Mov
+                | Op::PredClear
+                | Op::PredSet
+        )
+}
+
+/// The guard under which this instruction *reads* its sources.
+/// Predicate defines always execute (the guard becomes the `Pin`
+/// input, Table 1), so their comparison operands are read
+/// unconditionally.
+fn read_guard(inst: &Inst) -> Option<PredReg> {
+    if inst.op.is_pred_def() {
+        None
+    } else {
+        inst.guard
+    }
+}
+
+/// True when, at relation state `st`, an expression computed under
+/// `avail_guard` is certainly up to date for a reader under `q`.
+fn available_under(st: &RelState, avail_guard: Option<PredReg>, q: Option<PredReg>) -> bool {
+    match avail_guard {
+        None => true,
+        Some(p) => st.known_true(p) || q.is_some_and(|q| q == p || st.subset(q, p)),
+    }
+}
+
+fn block_pass(block: &mut Block, mut st: RelState, mut ds: DefState) -> bool {
+    let mut changed = false;
+    // reg -> recorded copy source and the guard of the defining mov.
+    let mut copies: HashMap<Reg, (Operand, PredReg)> = HashMap::new();
+    // expression -> register (+ guard) holding its value.
+    let mut avail: HashMap<Key, Avail> = HashMap::new();
+    let mut dead: Vec<DeadCand> = Vec::new();
+    let mut delete: Vec<usize> = Vec::new();
+
+    for (i, inst) in block.insts.iter_mut().enumerate() {
+        let rq = read_guard(inst);
+
+        // 1. Guarded copy propagation: substitute `s` for `d` after
+        //    `p: mov d, s` when the read's guard proves p fired, and
+        //    the substitute is itself a safe read at this point.
+        for s in &mut inst.srcs {
+            if let Operand::Reg(r) = *s {
+                if let Some(&(rep, p)) = copies.get(&r) {
+                    let defined = match rep {
+                        Operand::Imm(_) => true,
+                        Operand::Reg(sr) => ds.reg_ok(sr, rq),
+                    };
+                    if rep != *s && defined && available_under(&st, Some(p), rq) {
+                        *s = rep;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // 2. Guarded CSE: rewrite a recomputation into a guarded move
+        //    from the register already holding the value.
+        let mut record = None;
+        if cse_candidate(inst) {
+            let mut srcs = inst.srcs.clone();
+            if commutative(inst.op) {
+                srcs.sort_by_key(|o| match o {
+                    Operand::Reg(r) => (0u8, r.0 as i64),
+                    Operand::Imm(v) => (1u8, *v),
+                });
+            }
+            let key = Key {
+                op: inst.op,
+                srcs,
+                speculative: inst.speculative,
+            };
+            match avail.get(&key) {
+                Some(&prev)
+                    if Some(prev.reg) != inst.dst
+                        && available_under(&st, prev.guard, inst.guard)
+                        && ds.reg_ok(prev.reg, inst.guard) =>
+                {
+                    inst.op = Op::Mov;
+                    inst.srcs = vec![Operand::Reg(prev.reg)];
+                    inst.speculative = false;
+                    changed = true;
+                }
+                Some(_) => {}
+                None => record = Some(key),
+            }
+        }
+
+        // 3. Relation DCE bookkeeping: readers of a pending define
+        //    either prove themselves harmless (disjoint guard) or veto
+        //    the deletion; any exit may expose the value downstream.
+        if inst.is_exit() {
+            dead.clear();
+        } else {
+            dead.retain(|c| {
+                let reads = inst.src_regs().any(|r| r == c.dst);
+                if !reads {
+                    return true;
+                }
+                c.guard_clean && rq.is_some_and(|q| st.disjoint(q, c.guard))
+            });
+        }
+
+        // 4. Predicate redefinitions invalidate facts naming them.
+        if inst.defines_all_preds() {
+            copies.clear();
+            avail.retain(|_, v| v.guard.is_none());
+            for c in &mut dead {
+                c.guard_clean = false;
+            }
+        } else {
+            for p in inst.pred_defs() {
+                copies.retain(|_, &mut (_, g)| g != p);
+                avail.retain(|_, v| v.guard != Some(p));
+                for c in &mut dead {
+                    if c.guard == p {
+                        c.guard_clean = false;
+                    }
+                }
+            }
+        }
+
+        // 5. Register definitions: resolve pending death verdicts,
+        //    invalidate stale facts, then record the new ones.
+        if let Some(d) = inst.dst {
+            if !inst.is_partial_reg_def() {
+                dead.retain(|c| {
+                    if c.dst == d {
+                        delete.push(c.index);
+                        changed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            copies.remove(&d);
+            copies.retain(|_, (v, _)| v.as_reg() != Some(d));
+            avail.retain(|k, v| v.reg != d && !k.srcs.iter().any(|s| s.as_reg() == Some(d)));
+            if let Some(key) = record {
+                if !key.srcs.iter().any(|s| s.as_reg() == Some(d)) {
+                    avail.insert(
+                        key,
+                        Avail {
+                            reg: d,
+                            guard: inst.guard,
+                        },
+                    );
+                }
+            }
+            if inst.op == Op::Mov {
+                if let Some(g) = inst.guard {
+                    if inst.srcs[0].as_reg() != Some(d) {
+                        copies.insert(d, (inst.srcs[0], g));
+                    }
+                }
+            }
+            if let Some(p) = inst.guard {
+                // A fresh deletion candidate — but only when the
+                // destination is already fully defined, so removing
+                // the define cannot weaken any reader's definedness.
+                if !inst.op.has_side_effects() && !inst.op.is_pred_def() && ds.reg(d) {
+                    dead.push(DeadCand {
+                        index: i,
+                        dst: d,
+                        guard: p,
+                        guard_clean: true,
+                    });
+                }
+            }
+        }
+
+        RelAnalysis.transfer(inst, &mut st);
+        MustDefined.transfer(inst, &mut ds);
+        if inst.ends_block() {
+            break;
+        }
+    }
+
+    if !delete.is_empty() {
+        delete.sort_unstable();
+        let mut k = 0;
+        let mut idx = 0usize;
+        block.insts.retain(|_| {
+            let drop = k < delete.len() && delete[k] == idx;
+            if drop {
+                k += 1;
+            }
+            idx += 1;
+            !drop
+        });
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpred_ir::{CmpOp, FuncBuilder, Module, PredType};
+
+    /// Builds `p, pbar = (x != 0)<U, U̅>` and a nested `q = (y > 0)<U>`
+    /// under `p`, so `q ⊆ p` and `pbar` is disjoint from both.
+    fn preds(b: &mut FuncBuilder, x: Reg, y: Reg) -> (PredReg, PredReg, PredReg) {
+        let p = b.fresh_pred();
+        let pbar = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U), (pbar, PredType::UBar)],
+            x.into(),
+            Operand::Imm(0),
+            None,
+        );
+        b.pred_def(
+            CmpOp::Gt,
+            &[(q, PredType::U)],
+            y.into(),
+            Operand::Imm(0),
+            Some(p),
+        );
+        (p, pbar, q)
+    }
+
+    fn finish(b: FuncBuilder) -> Function {
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        m.funcs.pop().unwrap()
+    }
+
+    #[test]
+    fn cse_merges_subset_guarded_recomputation() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, _, q) = preds(&mut b, x, y);
+        let d1 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d1, x.into(), y.into());
+        b.guard_last(p);
+        let d2 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d2, x.into(), y.into());
+        b.guard_last(q);
+        let s = b.add(d1.into(), d2.into());
+        b.ret(Some(s.into()));
+        let mut f = finish(b);
+        assert!(run(&mut f));
+        let second = block_inst(&f, |i| i.guard == Some(q) && i.dst == Some(d2));
+        assert_eq!(second.op, Op::Mov, "q ⊆ p lets the add become a move");
+        assert_eq!(second.srcs, vec![Operand::Reg(d1)]);
+    }
+
+    #[test]
+    fn cse_keeps_disjoint_guarded_recomputation() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, pbar, _) = preds(&mut b, x, y);
+        let d1 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d1, x.into(), y.into());
+        b.guard_last(p);
+        let d2 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d2, x.into(), y.into());
+        b.guard_last(pbar);
+        let s = b.add(d1.into(), d2.into());
+        b.ret(Some(s.into()));
+        let mut f = finish(b);
+        run(&mut f);
+        let second = block_inst(&f, |i| i.guard == Some(pbar) && i.dst == Some(d2));
+        assert_eq!(second.op, Op::Add, "p̄ ⊄ p: the value may be stale");
+    }
+
+    #[test]
+    fn copy_propagates_through_subset_guards() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, _, q) = preds(&mut b, x, y);
+        let d = b.mov(Operand::Imm(0));
+        b.mov_to(d, x.into());
+        b.guard_last(p);
+        let out = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, out, d.into(), Operand::Imm(1));
+        b.guard_last(q);
+        b.ret(Some(out.into()));
+        let mut f = finish(b);
+        assert!(run(&mut f));
+        let use_ = block_inst(&f, |i| i.guard == Some(q) && i.dst == Some(out));
+        assert_eq!(use_.srcs[0], Operand::Reg(x), "q ⊆ p: the move has fired");
+    }
+
+    #[test]
+    fn deletes_define_read_only_under_disjoint_guard() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, pbar, _) = preds(&mut b, x, y);
+        let d = b.mov(Operand::Imm(7));
+        b.op2_to(Op::Mul, d, x.into(), y.into());
+        b.guard_last(p);
+        let out = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, out, d.into(), Operand::Imm(1));
+        b.guard_last(pbar); // fires only when the mul did not
+        b.mov_to(d, Operand::Imm(0)); // full redefinition
+        let s = b.add(d.into(), out.into());
+        b.ret(Some(s.into()));
+        let mut f = finish(b);
+        assert!(run(&mut f));
+        assert!(
+            !f.blocks[0].insts.iter().any(|i| i.op == Op::Mul),
+            "the guarded mul is unobservable"
+        );
+    }
+
+    #[test]
+    fn keeps_define_read_under_same_guard() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, _, _) = preds(&mut b, x, y);
+        let d = b.mov(Operand::Imm(7));
+        b.op2_to(Op::Mul, d, x.into(), y.into());
+        b.guard_last(p);
+        let out = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, out, d.into(), Operand::Imm(1));
+        b.guard_last(p); // observes the product
+        b.mov_to(d, Operand::Imm(0));
+        let s = b.add(d.into(), out.into());
+        b.ret(Some(s.into()));
+        let mut f = finish(b);
+        run(&mut f);
+        assert!(f.blocks[0].insts.iter().any(|i| i.op == Op::Mul));
+    }
+
+    #[test]
+    fn guard_redefinition_blocks_stale_merge() {
+        // p is redefined between the two adds: q ⊆ p-now says nothing
+        // about the value computed under p-then.
+        let mut b = FuncBuilder::new("t");
+        let x = b.param();
+        let y = b.param();
+        let (p, _, q) = preds(&mut b, x, y);
+        let d1 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d1, x.into(), y.into());
+        b.guard_last(p);
+        b.pred_def(
+            CmpOp::Lt,
+            &[(p, PredType::U)],
+            y.into(),
+            Operand::Imm(3),
+            None,
+        );
+        let d2 = b.mov(Operand::Imm(0));
+        b.op2_to(Op::Add, d2, x.into(), y.into());
+        b.guard_last(q);
+        let s = b.add(d1.into(), d2.into());
+        b.ret(Some(s.into()));
+        let mut f = finish(b);
+        run(&mut f);
+        let second = block_inst(&f, |i| i.guard == Some(q) && i.dst == Some(d2));
+        assert_eq!(second.op, Op::Add);
+    }
+
+    fn block_inst(f: &Function, pred: impl Fn(&Inst) -> bool) -> &Inst {
+        f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| pred(i))
+            .expect("instruction present")
+    }
+}

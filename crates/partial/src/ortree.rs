@@ -16,10 +16,22 @@
 //! conditional-move model competitive on branch-merge code like the
 //! paper's `grep` example.
 
-use hyperpred_ir::{Function, Inst, Op, Operand, Reg};
+use hyperpred_ir::analysis::{forward, DefState, ForwardAnalysis, MustDefined, RelAnalysis};
+use hyperpred_ir::{BlockId, Cfg, Function, Inst, Op, Operand, PredReg, Reg, RelState};
 
 /// Balances every accumulator chain of `or`/`and` instructions in every
 /// block. Returns the number of chains rebuilt.
+///
+/// Unguarded chains rebuild exactly as before. A chain whose links all
+/// carry one common guard `p` (same-guard deposits into one accumulator
+/// commute) also rebuilds: the balanced tree over the terms is computed
+/// unguarded into fresh registers — each term register must be provably
+/// defined for an unguarded read — and the single final deposit keeps the
+/// guard, so a false `p` still leaves the accumulator untouched. Guarded
+/// chains may additionally cross accumulator reads/writes and exits whose
+/// guard is *disjoint* from `p` (relation query): if such an instruction
+/// executes, `p` was false and no deposit fired, so the accumulator is
+/// identical on both sides.
 pub fn run(f: &mut Function) -> usize {
     let mut rebuilt = 0;
     for bi in 0..f.blocks.len() {
@@ -27,8 +39,11 @@ pub fn run(f: &mut Function) -> usize {
             continue;
         }
         loop {
+            // Guarded chains need flow facts; post-conversion code has no
+            // guards and skips both fixpoints entirely.
+            let flow = has_guarded_acc(f, bi).then(|| block_flow(f, bi)).flatten();
             let insts = std::mem::take(&mut f.blocks[bi].insts);
-            match rebuild_one(f, insts) {
+            match rebuild_one(f, insts, flow.as_ref()) {
                 Ok(new) => {
                     f.blocks[bi].insts = new;
                     rebuilt += 1;
@@ -43,10 +58,26 @@ pub fn run(f: &mut Function) -> usize {
     rebuilt
 }
 
-/// A link `op a, a, t` of an accumulator chain.
-fn chain_link(inst: &Inst, acc: Reg, op: Op) -> Option<Operand> {
+fn has_guarded_acc(f: &Function, bi: usize) -> bool {
+    f.blocks[bi]
+        .insts
+        .iter()
+        .any(|i| i.guard.is_some() && matches!(i.op, Op::Or | Op::And))
+}
+
+/// Relation + definedness states at the top of block `bi`.
+fn block_flow(f: &Function, bi: usize) -> Option<(RelState, DefState)> {
+    let cfg = Cfg::new(f);
+    let b = BlockId(bi as u32);
+    let rel = forward(f, &cfg, &RelAnalysis).entry[b.index()].take()?;
+    let defs = forward(f, &cfg, &MustDefined).entry[b.index()].take()?;
+    Some((rel, defs))
+}
+
+/// A link `op a, a, t` of an accumulator chain guarded by `guard`.
+fn chain_link(inst: &Inst, acc: Reg, op: Op, guard: Option<PredReg>) -> Option<Operand> {
     if inst.op == op
-        && inst.guard.is_none()
+        && inst.guard == guard
         && inst.dst == Some(acc)
         && inst.srcs[0] == Operand::Reg(acc)
         && inst.srcs[1] != Operand::Reg(acc)
@@ -58,41 +89,89 @@ fn chain_link(inst: &Inst, acc: Reg, op: Op) -> Option<Operand> {
 }
 
 /// Finds one chain of length ≥ 3 and rebuilds it balanced; `Err` returns
-/// the block unchanged when there is nothing to do.
-fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst>> {
+/// the block unchanged when there is nothing to do. `flow` carries the
+/// block-entry relation/definedness states and is required for guarded
+/// chains (absent, only unguarded chains rebuild).
+fn rebuild_one(
+    f: &mut Function,
+    insts: Vec<Inst>,
+    flow: Option<&(RelState, DefState)>,
+) -> Result<Vec<Inst>, Vec<Inst>> {
     for op in [Op::Or, Op::And] {
         for start in 0..insts.len() {
             let Some(acc) = insts[start].dst else {
                 continue;
             };
-            if chain_link(&insts[start], acc, op).is_none() {
+            let guard = insts[start].guard;
+            if chain_link(&insts[start], acc, op, guard).is_none() {
                 continue;
+            }
+            let mut state = match (guard, flow) {
+                (None, _) => None,
+                (Some(_), Some(flow)) => Some(flow.clone()),
+                // No flow facts for this block: guarded chains stay put.
+                (Some(_), None) => continue,
+            };
+            // Replay flow up to the chain start.
+            if let Some(s) = &mut state {
+                for inst in &insts[..start] {
+                    RelAnalysis.transfer(inst, &mut s.0);
+                    MustDefined.transfer(inst, &mut s.1);
+                }
             }
             // Extend the chain: links may be separated by instructions that
             // neither read nor write the accumulator and are not exits
             // (we must not move a term computation across an exit branch —
             // conservatively, links must be contiguous up to independent
-            // non-branch instructions).
+            // non-branch instructions). For a guarded chain, an exit or
+            // accumulator toucher whose guard is disjoint from the chain
+            // guard may be crossed, and the chain guard itself must stay
+            // stable.
             let mut terms = Vec::new();
             let mut links = Vec::new();
             let mut i = start;
             while i < insts.len() {
-                if let Some(t) = chain_link(&insts[i], acc, op) {
+                let inst = &insts[i];
+                if let Some(t) = chain_link(inst, acc, op, guard) {
+                    // A guarded chain's tree reads every term unguarded:
+                    // each term register must be fully defined here.
+                    let term_ok = match (&state, t) {
+                        (Some(s), Operand::Reg(r)) => s.1.reg(r),
+                        _ => true,
+                    };
+                    if !term_ok {
+                        break;
+                    }
                     terms.push(t);
                     links.push(i);
+                    advance(&mut state, inst);
                     i += 1;
                     continue;
                 }
-                let inst = &insts[i];
+                if let Some(p) = guard {
+                    if inst.defines_all_preds() || inst.pred_defs().any(|q| q == p) {
+                        break;
+                    }
+                }
                 let touches_acc =
                     inst.src_regs().any(|r| r == acc) || inst.dst == Some(acc) || inst.is_exit();
                 // Terms must also not be redefined between their link and
                 // the chain end; requiring "does not define any term
                 // register" keeps it safe.
                 let defines_term = inst.dst.is_some_and(|d| terms.contains(&Operand::Reg(d)));
-                if touches_acc || defines_term {
+                if defines_term {
                     break;
                 }
+                if touches_acc {
+                    let crossable = match (guard, inst.guard, &state) {
+                        (Some(p), Some(h), Some(s)) => s.0.disjoint(h, p),
+                        _ => false,
+                    };
+                    if !crossable {
+                        break;
+                    }
+                }
+                advance(&mut state, inst);
                 i += 1;
             }
             if links.len() < 3 {
@@ -136,6 +215,10 @@ fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst
             let mut fin = f.make_inst(op);
             fin.dst = Some(acc);
             fin.srcs = vec![Operand::Reg(acc), tree[0]];
+            // The single remaining deposit keeps the chain guard: a false
+            // guard leaves the accumulator untouched, as every nullified
+            // link would have.
+            fin.guard = guard;
             emitted.push(fin);
             let tail = out.split_off(before_last);
             out.extend(emitted);
@@ -144,6 +227,14 @@ fn rebuild_one(f: &mut Function, insts: Vec<Inst>) -> Result<Vec<Inst>, Vec<Inst
         }
     }
     Err(insts)
+}
+
+/// Advances the replayed relation/definedness states across `inst`.
+fn advance(state: &mut Option<(RelState, DefState)>, inst: &Inst) {
+    if let Some(s) = state {
+        RelAnalysis.transfer(inst, &mut s.0);
+        MustDefined.transfer(inst, &mut s.1);
+    }
 }
 
 /// Longest sequential dependence chain through `or`/`and` accumulators in
@@ -215,6 +306,176 @@ mod tests {
     fn short_chains_are_left_alone() {
         let (mut m, _) = chain_module(2);
         assert_eq!(run(&mut m.funcs[0]), 0);
+    }
+
+    /// acc = bits of seed OR-ed in under guard `p` (= seed != 0 when
+    /// `sense` is Ne); terms are computed unguarded, deposits guarded.
+    fn guarded_chain_module(
+        n: usize,
+        mut interloper: impl FnMut(&mut FuncBuilder, Reg, Reg, hyperpred_ir::PredReg),
+    ) -> (Module, Reg) {
+        use hyperpred_ir::{CmpOp, PredType};
+        let mut b = FuncBuilder::new("main");
+        let seed = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let out = b.mov(Operand::Imm(-1));
+        let p = b.fresh_pred();
+        let q = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U), (q, PredType::UBar)],
+            seed.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let mut xs = Vec::new();
+        for k in 0..n {
+            let sh = b.op2(Op::Shr, seed.into(), Operand::Imm(k as i64));
+            let bit = b.op2(Op::And, sh.into(), Operand::Imm(1));
+            xs.push(bit);
+        }
+        for (k, &x) in xs.iter().enumerate() {
+            b.op2_to(Op::Or, acc, acc.into(), x.into());
+            b.guard_last(p);
+            if k == n / 2 {
+                interloper(&mut b, out, acc, q);
+            }
+        }
+        b.op2_to(Op::Add, out, out.into(), acc.into());
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        (m, acc)
+    }
+
+    fn same_ret(m0: &Module, m1: &Module, seeds: &[i64]) {
+        for &seed in seeds {
+            let r0 = Emulator::new(m0)
+                .run("main", &[seed], &mut NullSink)
+                .unwrap()
+                .ret;
+            let r1 = Emulator::new(m1)
+                .run("main", &[seed], &mut NullSink)
+                .unwrap()
+                .ret;
+            assert_eq!(r0, r1, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn same_guard_chain_balances() {
+        let (m0, acc) = guarded_chain_module(6, |_, _, _, _| {});
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1.funcs[0]) >= 1, "guarded chain must rebuild");
+        m1.verify().unwrap();
+        let entry = m1.funcs[0].entry();
+        assert_eq!(
+            acc_chain_height(&m1.funcs[0], entry, acc),
+            1,
+            "one guarded deposit remains:\n{}",
+            m1.funcs[0]
+        );
+        let fin = m1.funcs[0]
+            .block(entry)
+            .insts
+            .iter()
+            .find(|i| i.dst == Some(acc) && i.srcs.first() == Some(&Operand::Reg(acc)))
+            .unwrap();
+        assert!(fin.guard.is_some(), "final deposit keeps the chain guard");
+        same_ret(&m0, &m1, &[0, 1, 0b100000, 0b111111, 37]);
+    }
+
+    #[test]
+    fn crosses_accumulator_reader_under_disjoint_guard() {
+        // A read of acc guarded by the complement of the chain guard sits
+        // mid-chain: if it executes, the chain guard is false and no
+        // deposit fired, so the chain may be rebuilt across it.
+        let (m0, acc) = guarded_chain_module(6, |b, out, acc, q| {
+            b.op2_to(Op::Add, out, out.into(), acc.into());
+            b.guard_last(q);
+        });
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1.funcs[0]) >= 1, "disjoint reader is crossable");
+        m1.verify().unwrap();
+        assert_eq!(acc_chain_height(&m1.funcs[0], m1.funcs[0].entry(), acc), 1);
+        same_ret(&m0, &m1, &[0, 1, 0b101010, 0b111111, 64]);
+    }
+
+    #[test]
+    fn does_not_cross_accumulator_reader_under_same_guard() {
+        // A reader under the chain guard itself observes the partial
+        // accumulation — the chain must split at the reader (two
+        // independent 3-link rebuilds), never cross it as one tree.
+        use hyperpred_ir::{CmpOp, PredType};
+        let mut b = FuncBuilder::new("main");
+        let seed = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let out = b.mov(Operand::Imm(-1));
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            seed.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let mut xs = Vec::new();
+        for k in 0..6 {
+            let sh = b.op2(Op::Shr, seed.into(), Operand::Imm(k as i64));
+            let bit = b.op2(Op::And, sh.into(), Operand::Imm(1));
+            xs.push(bit);
+        }
+        for (k, &x) in xs.iter().enumerate() {
+            b.op2_to(Op::Or, acc, acc.into(), x.into());
+            b.guard_last(p);
+            if k == 2 {
+                b.op2_to(Op::Add, out, out.into(), acc.into());
+                b.guard_last(p);
+            }
+        }
+        b.op2_to(Op::Add, out, out.into(), acc.into());
+        b.ret(Some(out.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        let m0 = m.clone();
+        assert_eq!(run(&mut m.funcs[0]), 2, "same-guard reader splits chain");
+        same_ret(&m0, &m, &[0, 1, 5, 21, 42, 63, -7]);
+    }
+
+    #[test]
+    fn skips_guarded_chain_whose_term_is_guarded() {
+        // A term defined only under the chain guard cannot be read by the
+        // unguarded tree: the chain must stay put.
+        use hyperpred_ir::{CmpOp, PredType};
+        let mut b = FuncBuilder::new("main");
+        let seed = b.param();
+        let acc = b.mov(Operand::Imm(0));
+        let p = b.fresh_pred();
+        b.pred_def(
+            CmpOp::Ne,
+            &[(p, PredType::U)],
+            seed.into(),
+            Operand::Imm(0),
+            None,
+        );
+        let mut xs = Vec::new();
+        for k in 0..4 {
+            let sh = b.op2(Op::Shr, seed.into(), Operand::Imm(k as i64));
+            let bit = b.op2(Op::And, sh.into(), Operand::Imm(1));
+            b.guard_last(p);
+            xs.push(bit);
+        }
+        for &x in &xs {
+            b.op2_to(Op::Or, acc, acc.into(), x.into());
+            b.guard_last(p);
+        }
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push(b.finish());
+        m.link().unwrap();
+        assert_eq!(run(&mut m.funcs[0]), 0, "guarded terms block the tree");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use hyperpred::emu::{
 };
 use hyperpred::ir::{BlockId, FuncId, Module};
 use hyperpred::lang::lower::entry_args;
+use hyperpred::predoracle::{PredClaims, PredOracleSink};
 use hyperpred::{evaluate, Model, Pipeline};
 use hyperpred_sched::MachineConfig;
 use hyperpred_sim::SimConfig;
@@ -413,6 +414,50 @@ proptest! {
     }
 }
 
+/// Static-vs-dynamic differential for the relation analysis: every claim
+/// the analysis makes about the final compiled module ("p ⟂ q here",
+/// "p ⊆ q here", "p is false here") is audited against the predicate
+/// file both emulators actually produce, at every dynamic predicate
+/// write. Run arguments differ from the profiled arguments, so paths the
+/// profile never took are audited too.
+fn check_pred_relations(seed: u64) {
+    let mut g = Gen {
+        r: StdRng::seed_from_u64(seed),
+        loops: 0,
+        div_by_var: false,
+    };
+    let src = g.program();
+    let pipe = Pipeline::default();
+    let profile_args = [(seed % 17) as i64 - 8, ((seed / 17) % 13) as i64 - 6];
+    let run_args = [(seed % 23) as i64 - 11, ((seed / 23) % 19) as i64 - 9];
+    let machine = MachineConfig::new(8, 2);
+    for model in Model::ALL {
+        let module = pipe
+            .compile(&src, &profile_args, model, &machine)
+            .unwrap_or_else(|e| panic!("seed {seed}: {model} failed to compile: {e}\n{src}"));
+        let claims = PredClaims::build(&module);
+        if claims.is_empty() {
+            continue; // unpredicated model: nothing to audit
+        }
+        let args = entry_args(&run_args);
+        let mut sink = PredOracleSink::new(&claims);
+        Emulator::new(&module)
+            .run("main", &args, &mut sink)
+            .unwrap_or_else(|e| panic!("seed {seed}: {model}: decoded run failed: {e}\n{src}"));
+        ReferenceEmulator::new(&module)
+            .run("main", &args, &mut sink)
+            .unwrap_or_else(|e| panic!("seed {seed}: {model}: reference run failed: {e}\n{src}"));
+        assert!(
+            sink.checked > 0,
+            "seed {seed}: {model}: predicated module ran without auditing a single write\n{src}"
+        );
+        assert_eq!(
+            sink.violation, None,
+            "seed {seed}: {model}: relation claim refuted by execution\n{src}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 32,
@@ -428,6 +473,11 @@ proptest! {
     fn decoded_emulator_matches_reference_on_faulting_programs(seed in any::<u64>()) {
         check_differential(seed, true);
     }
+
+    #[test]
+    fn relation_claims_survive_execution(seed in any::<u64>()) {
+        check_pred_relations(seed);
+    }
 }
 
 #[test]
@@ -437,5 +487,6 @@ fn known_seeds_regression() {
         check_seed(seed);
         check_differential(seed, false);
         check_differential(seed, true);
+        check_pred_relations(seed);
     }
 }
