@@ -215,12 +215,16 @@ impl BenchReport {
     }
 }
 
+/// Smallest duration the rate math will divide by, seconds. Tiny
+/// `--scale test` cells can finish inside the timer's resolution and
+/// report a 0.0s median; dividing by it would put `inf`/`nan` into the
+/// hand-rolled JSON, which [`check_regression`]'s parser cannot read
+/// back. Clamping keeps every reported rate finite.
+pub const MIN_MEASURABLE_SECS: f64 = 1e-9;
+
 fn per_sec(count: u64, secs: f64) -> f64 {
-    if secs > 0.0 {
-        count as f64 / secs
-    } else {
-        0.0
-    }
+    // `f64::max` also maps a NaN duration onto the clamp floor.
+    count as f64 / secs.max(MIN_MEASURABLE_SECS)
 }
 
 fn scale_slug(s: Scale) -> &'static str {
@@ -253,6 +257,11 @@ fn median(samples: &mut [f64]) -> f64 {
 }
 
 fn min(samples: &[f64]) -> f64 {
+    // An empty sample set reports 0.0, never the fold identity
+    // (`f64::INFINITY` prints as `inf`, which is not valid JSON).
+    if samples.is_empty() {
+        return 0.0;
+    }
     samples.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
@@ -465,6 +474,33 @@ mod tests {
         assert!(json.contains("\"model\": \"fullpred\""));
         assert!(json.contains("\"emu_median_secs\""));
         assert!(json.contains("\"sim_median_secs\""));
+    }
+
+    #[test]
+    fn zero_duration_medians_yield_finite_parseable_rates() {
+        // A tiny --scale run can complete a cell inside the timer's
+        // resolution; the report must still be finite and round-trip
+        // through the baseline parser (no "inf"/"nan" in the JSON).
+        let r = report_with_rate(1_000_000, 0.0);
+        assert!(r.insts_per_sec().is_finite(), "{}", r.insts_per_sec());
+        assert!(r.cycles_per_sec().is_finite(), "{}", r.cycles_per_sec());
+        assert!(r.cells[0].insts_per_sec().is_finite());
+        assert!(r.cells[0].cycles_per_sec().is_finite());
+        let json = r.to_json();
+        assert!(!json.contains("inf"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        let ips = json_number_field(&json, "emulated_insts_per_sec").expect("parseable rate");
+        assert!(ips.is_finite() && ips > 0.0, "{ips}");
+        // The clamp floor bounds the reported rate.
+        assert!(ips <= 1_000_000.0 / MIN_MEASURABLE_SECS);
+        // A guard comparison against such a baseline stays well-defined.
+        assert!(check_regression(&r, &json).is_ok());
+    }
+
+    #[test]
+    fn min_of_no_samples_is_zero_not_infinity() {
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(min(&[0.25, 0.5]), 0.25);
     }
 
     #[test]

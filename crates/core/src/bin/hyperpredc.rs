@@ -97,7 +97,9 @@ fn usage() -> ExitCode {
          [--scale test|full] [--check] [--issue K] [--branches B] [--args a,b,c]\n\
          \x20      hyperpredc soak --seed S --cells N [--resume journal.jsonl] [--triage DIR] \
          [--profiles p,q] [--widths IxB,...] [--max-cells N] [--sabotage <pass>] \
-         [--max-cycles N] [--fuel N]"
+         [--max-cycles N] [--fuel N]\n\
+         \x20      hyperpredc bench-load [--addr HOST:PORT] [--cells N] [--batch N] \
+         [--seed S] [--issue K] [--branches B] [--passes N]"
     );
     ExitCode::from(2)
 }
@@ -745,6 +747,135 @@ fn soak(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// Drives a running `hyperpredd` with seeded generated cells and
+/// reports sustained throughput and cache hit rate per pass.
+///
+/// Later passes replay the identical request stream, so a healthy
+/// daemon answers them entirely from the store with bit-identical
+/// stats; any divergence is reported and fails the run.
+///
+/// Exit codes: 0 = every pass completed and repeats were bit-identical,
+/// 1 = failed cells or non-reproducible repeat results, 2 = bad
+/// arguments or an unreachable daemon.
+fn bench_load(mut args: impl Iterator<Item = String>) -> ExitCode {
+    use hyperpred::service::{load_requests, run_load, LoadConfig};
+    let mut cfg = LoadConfig::default();
+    let mut passes = 2usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let Some(a) = args.next() else { return usage() };
+                cfg.addr = a;
+            }
+            "--cells" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.cells = n;
+            }
+            "--batch" => {
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                else {
+                    return usage();
+                };
+                cfg.batch = n;
+            }
+            "--seed" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = n;
+            }
+            "--issue" => {
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u32| n >= 1)
+                else {
+                    return usage();
+                };
+                cfg.issue = n;
+            }
+            "--branches" => {
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u32| n >= 1)
+                else {
+                    return usage();
+                };
+                cfg.branches = n;
+            }
+            "--passes" => {
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                else {
+                    return usage();
+                };
+                passes = n;
+            }
+            _ => return usage(),
+        }
+    }
+    let reqs = load_requests(&cfg);
+    let mut ok = true;
+    let mut first_pass: Option<Vec<_>> = None;
+    for pass in 1..=passes {
+        let (report, responses) = match run_load(&cfg, &reqs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hyperpredc: bench-load: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("pass {pass}: {report}");
+        if report.failed > 0 || report.conflicts > 0 {
+            ok = false;
+        }
+        match &first_pass {
+            None => first_pass = Some(responses),
+            Some(first) => {
+                // The request stream is deterministic, so a repeat pass
+                // must reproduce the first pass bit-for-bit (fingerprint
+                // and stats; Hit-vs-Computed status may differ) and be
+                // served from the store.
+                let mut mismatches = 0usize;
+                for (a, b) in first.iter().zip(&responses) {
+                    if a.fingerprint != b.fingerprint || a.stats != b.stats {
+                        mismatches += 1;
+                    }
+                }
+                if mismatches > 0 {
+                    eprintln!(
+                        "hyperpredc: bench-load: pass {pass} diverged from pass 1 \
+                         on {mismatches}/{} cells",
+                        first.len()
+                    );
+                    ok = false;
+                }
+                if report.hits + report.rejected < report.sent {
+                    eprintln!(
+                        "hyperpredc: bench-load: pass {pass} recomputed {} cell(s) \
+                         that should have been store hits",
+                        report.computed + report.failed + report.conflicts
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn parse_args() -> Result<Options, ExitCode> {
     let mut it = std::env::args().skip(1);
     let command = it.next().ok_or_else(usage)?;
@@ -802,6 +933,7 @@ fn main() -> ExitCode {
             Some("lint") => return lint(it),
             Some("analyze") => return analyze(it),
             Some("soak") => return soak(it),
+            Some("bench-load") => return bench_load(it),
             _ => {}
         }
     }

@@ -46,6 +46,8 @@ use std::sync::{Mutex, PoisonError};
 
 use crate::pipeline::Model;
 
+pub use crate::store::{CompactStats, Store};
+
 /// Schema version stamped into every record so future shape changes are
 /// detected (and skipped) instead of silently mis-parsed.
 pub const JOURNAL_VERSION: u64 = 1;
@@ -76,12 +78,107 @@ pub struct JournalEntry<'a> {
     pub stats: &'a SimStats,
 }
 
+/// What happened to one [`RunJournal::record`]/[`Store::put`] call.
+///
+/// The fingerprint is a content address: two entries sharing one must
+/// carry identical stats. A mismatch is *never* resolved by overwriting —
+/// it is surfaced as a counted conflict and the key stops being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// The fingerprint was new; the entry was indexed and appended.
+    Appended,
+    /// An identical entry was already indexed; nothing was written.
+    Duplicate,
+    /// The fingerprint was already indexed with *different* stats. The
+    /// key is now conflicted: it will no longer be served by lookups,
+    /// and the conflicting entry was appended so a reload re-detects the
+    /// conflict from the file alone.
+    Conflict,
+}
+
+/// One detected fingerprint conflict: the same content address observed
+/// with two different stat payloads. Either the fingerprint scheme missed
+/// an input that matters (a false match — the dangerous case the journal
+/// docs call out) or a writer is damaged; both mean neither payload can
+/// be trusted, so the key is refused, not arbitrated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalConflict {
+    /// The doubly-claimed fingerprint.
+    pub fingerprint: String,
+    /// The stats indexed first.
+    pub kept: SimStats,
+    /// The first differing stats observed for the same fingerprint.
+    pub rejected: SimStats,
+}
+
+/// The fingerprint → stats index shared by [`RunJournal`] and [`Store`]:
+/// first-write-wins with conflict quarantine instead of the historical
+/// silent last-write-wins.
+#[derive(Debug, Default)]
+pub(crate) struct CellIndex {
+    cells: HashMap<String, SimStats>,
+    conflicted: HashMap<String, JournalConflict>,
+}
+
+impl CellIndex {
+    /// Indexes one entry, classifying it against what is already held.
+    pub(crate) fn insert(&mut self, fp: &str, stats: SimStats) -> RecordOutcome {
+        if self.conflicted.contains_key(fp) {
+            return RecordOutcome::Conflict;
+        }
+        match self.cells.get(fp) {
+            None => {
+                self.cells.insert(fp.to_string(), stats);
+                RecordOutcome::Appended
+            }
+            Some(existing) if *existing == stats => RecordOutcome::Duplicate,
+            Some(_) => {
+                let kept = self
+                    .cells
+                    .remove(fp)
+                    .expect("just matched Some; no other borrow can remove it");
+                self.conflicted.insert(
+                    fp.to_string(),
+                    JournalConflict {
+                        fingerprint: fp.to_string(),
+                        kept,
+                        rejected: stats,
+                    },
+                );
+                RecordOutcome::Conflict
+            }
+        }
+    }
+
+    pub(crate) fn lookup(&self, fp: &str) -> Option<SimStats> {
+        self.cells.get(fp).cloned()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub(crate) fn conflicts(&self) -> usize {
+        self.conflicted.len()
+    }
+
+    pub(crate) fn is_conflicted(&self, fp: &str) -> bool {
+        self.conflicted.contains_key(fp)
+    }
+
+    pub(crate) fn conflict_report(&self) -> Vec<JournalConflict> {
+        let mut v: Vec<JournalConflict> = self.conflicted.values().cloned().collect();
+        v.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        v
+    }
+}
+
 /// The durable journal: an in-memory fingerprint → stats map backed by an
 /// append-only JSONL file. Appends are a single `write` + flush under a
 /// mutex, so concurrent workers interleave whole lines, never bytes.
 pub struct RunJournal {
     path: PathBuf,
-    cells: Mutex<HashMap<String, SimStats>>,
+    cells: Mutex<CellIndex>,
     file: Mutex<File>,
     /// Corrupt records skipped while loading (see [`RunJournal::corrupt`]).
     corrupt: usize,
@@ -110,7 +207,7 @@ impl RunJournal {
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
-        let mut cells = HashMap::new();
+        let mut cells = CellIndex::default();
         let mut corrupt = 0usize;
         let lines: Vec<&str> = existing.lines().collect();
         for (idx, line) in lines.iter().enumerate() {
@@ -118,7 +215,7 @@ impl RunJournal {
                 continue;
             }
             if let Some((fp, stats)) = parse_cell_line(line) {
-                cells.insert(fp, stats);
+                cells.insert(&fp, stats);
                 continue;
             }
             // Expected skips: meta records, a torn *final* line (crash
@@ -164,7 +261,8 @@ impl RunJournal {
         self.corrupt
     }
 
-    /// Number of journaled cells.
+    /// Number of journaled cells served by lookups (conflicted keys are
+    /// quarantined and excluded).
     pub fn len(&self) -> usize {
         self.cells
             .lock()
@@ -177,31 +275,65 @@ impl RunJournal {
         self.len() == 0
     }
 
-    /// The journaled stats for `fingerprint`, if any.
+    /// Number of conflicted fingerprints: keys observed with two
+    /// different stat payloads (see [`JournalConflict`]). Like
+    /// [`RunJournal::corrupt`], nonzero means the file cannot be fully
+    /// trusted — the conflicted cells simply re-run.
+    pub fn conflicts(&self) -> usize {
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .conflicts()
+    }
+
+    /// Every detected conflict, sorted by fingerprint.
+    pub fn conflict_report(&self) -> Vec<JournalConflict> {
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .conflict_report()
+    }
+
+    /// The journaled stats for `fingerprint`, if any. A conflicted
+    /// fingerprint is never served: the journal cannot know which of the
+    /// competing payloads is right, and a wrong bit-identical "resume"
+    /// is strictly worse than a recompute.
     pub fn lookup(&self, fingerprint: &str) -> Option<SimStats> {
         self.cells
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .get(fingerprint)
-            .cloned()
+            .lookup(fingerprint)
     }
 
     /// Appends one completed cell: a single line written and flushed
     /// atomically with respect to other appends, then mirrored into the
     /// in-memory map.
     ///
+    /// An entry identical to one already journaled is a no-op
+    /// ([`RecordOutcome::Duplicate`]). An entry whose fingerprint is
+    /// already journaled with *different* stats quarantines the key
+    /// ([`RecordOutcome::Conflict`]): the conflicting line is still
+    /// appended — so a plain reload of the file re-detects the conflict —
+    /// but lookups stop serving the key and [`RunJournal::conflicts`]
+    /// counts it. The historical behavior was a silent last-write-wins.
+    ///
     /// # Errors
     /// Fails on I/O errors; the in-memory map is updated regardless, so a
     /// full disk degrades durability, not correctness, of the current run.
-    pub fn record(&self, entry: &JournalEntry<'_>) -> io::Result<()> {
+    pub fn record(&self, entry: &JournalEntry<'_>) -> io::Result<RecordOutcome> {
         let line = cell_line(entry);
-        self.cells
+        let outcome = self
+            .cells
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(entry.fingerprint.to_string(), entry.stats.clone());
+            .insert(entry.fingerprint, entry.stats.clone());
+        if outcome == RecordOutcome::Duplicate {
+            return Ok(outcome);
+        }
         let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         file.write_all(line.as_bytes())?;
-        file.flush()
+        file.flush()?;
+        Ok(outcome)
     }
 }
 
@@ -216,7 +348,7 @@ pub fn model_slug(model: Option<Model>) -> &'static str {
 }
 
 /// Serializes one cell record as a JSONL line (trailing newline included).
-fn cell_line(entry: &JournalEntry<'_>) -> String {
+pub(crate) fn cell_line(entry: &JournalEntry<'_>) -> String {
     let s = entry.stats;
     format!(
         "{{\"kind\":\"cell\",\"version\":{JOURNAL_VERSION},\"fp\":\"{}\",\
@@ -243,7 +375,7 @@ fn cell_line(entry: &JournalEntry<'_>) -> String {
 
 /// Parses one line; `None` for meta records, foreign versions, torn or
 /// malformed lines (all of which just mean "re-run that cell").
-fn parse_cell_line(line: &str) -> Option<(String, SimStats)> {
+pub(crate) fn parse_cell_line(line: &str) -> Option<(String, SimStats)> {
     if !line.trim_end().ends_with('}') {
         return None; // torn trailing line from a crash mid-append
     }

@@ -46,25 +46,29 @@ pub mod matrix;
 pub mod pipeline;
 pub mod predoracle;
 pub mod report;
+pub mod service;
 pub mod soak;
+pub mod store;
 pub mod triage;
 
 pub use experiments::{
     branch_table, instruction_table, mean_speedup, run_experiment, run_workload, speedup_table,
     BenchResult, Experiment,
 };
-pub use journal::{fnv64, JournalEntry, RunJournal};
+pub use journal::{fnv64, JournalConflict, JournalEntry, RecordOutcome, RunJournal};
 pub use matrix::{
-    run_matrix, run_matrix_configured, run_matrix_policy, run_matrix_with_stats,
-    run_matrix_workloads, run_matrix_workloads_policy, CellFailure, CellOutcome, CellStat,
-    EngineStats, FailurePayload, FailurePolicy, FailureReport, FailureStage, MatrixConfig,
-    MatrixOutput, MatrixRun, RetryPolicy,
+    request_fingerprint, run_matrix, run_matrix_configured, run_matrix_policy,
+    run_matrix_with_stats, run_matrix_workloads, run_matrix_workloads_policy, run_request,
+    CellFailure, CellOutcome, CellRequest, CellStat, EngineStats, FailurePayload, FailurePolicy,
+    FailureReport, FailureStage, MatrixConfig, MatrixOutput, MatrixRun, RequestConfig,
+    RequestFailure, RetryPolicy, MAX_REQUEST_ISSUE,
 };
 pub use pipeline::{
     compile_model, evaluate, speedup, Degradation, LintError, Model, Pipeline, PipelineError, Stage,
 };
 pub use report::{format_table, summarize_run, Row, RunSummary};
 pub use soak::{run_soak, SoakConfig, SoakFailure, SoakReport, SOAK_EXPERIMENT};
+pub use store::{CompactStats, Store};
 pub use triage::{load_bundle, minimize_module, minimize_source, Bundle, ReproCell, TriageConfig};
 
 // Re-export the workspace layers so downstream users need one dependency.

@@ -61,14 +61,17 @@
 //!   `hyperpredc repro`.
 
 use crate::experiments::{BenchResult, Experiment};
-use crate::journal::{fnv64, model_slug, JournalEntry, RunJournal};
-use crate::pipeline::{FrontOutput, Model, Pipeline, PipelineError};
+use crate::journal::{fnv64, model_slug, JournalEntry, RecordOutcome, RunJournal};
+use crate::pipeline::{Degradation, FrontOutput, Model, Pipeline, PipelineError};
 use crate::triage::{self, ReproCell, TriageConfig};
 use hyperpred_emu::DecodedModule;
 use hyperpred_ir::Module;
 use hyperpred_lang::lower::entry_args;
+use hyperpred_lang::CompileError;
 use hyperpred_sched::MachineConfig;
-use hyperpred_sim::{simulate_decoded, MemoryModel, SimError, SimStats, DEFAULT_CYCLE_LIMIT};
+use hyperpred_sim::{
+    simulate_decoded, MemoryModel, SimConfig, SimError, SimStats, DEFAULT_CYCLE_LIMIT,
+};
 use hyperpred_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -818,6 +821,39 @@ fn fingerprint(cell: Cell, exps: &[Experiment], workloads: &[Workload], pipe: &P
     format!("{:016x}", fnv64(canonical.as_bytes()))
 }
 
+/// Fills a result slot. An identical duplicate fill (a lost race between
+/// a journal prefill and a concurrent compute of the same cell) is
+/// benign; a *mismatched* refill is surfaced as a typed failure — in a
+/// long-running service a damaged request stream must become an error
+/// report, never the historical worker-aborting `expect`.
+fn fill_slot(
+    slot: &OnceLock<SimStats>,
+    stats: SimStats,
+    workload: &str,
+    model: Option<Model>,
+) -> Result<(), (FailureStage, FailurePayload)> {
+    if let Err(rejected) = slot.set(stats) {
+        match slot.get() {
+            Some(held) if *held == rejected => {}
+            held => {
+                let detail = format!(
+                    "result slot already held {held:?}; refused distinct refill {rejected:?}"
+                );
+                return Err((
+                    FailureStage::Simulate,
+                    FailurePayload::Error(PipelineError::Oracle {
+                        workload: workload.to_string(),
+                        model: model.unwrap_or(Model::Superblock),
+                        check: "cell-slot-consistency",
+                        detail,
+                    }),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Whether a failure is plausibly transient (worth a retry): contained
 /// panics and watchdog trips. Typed compile/emulation errors are
 /// deterministic — retrying them wastes the budget.
@@ -1058,7 +1094,7 @@ pub fn run_matrix_configured(
                     sim_cfg,
                 )
                 .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
-                baseline[w].set(stats).expect("baseline cell runs once");
+                fill_slot(&baseline[w], stats, wl.name, None)?;
                 Ok(())
             }
             Cell::Model { e, w, m } => {
@@ -1092,7 +1128,7 @@ pub fn run_matrix_configured(
                 )
                 .map_err(|e| (FailureStage::Simulate, FailurePayload::Error(e.into())))?;
                 let idx = (e * workloads.len() + w) * 3 + m;
-                model_stats[idx].set(stats).expect("model cell runs once");
+                fill_slot(&model_stats[idx], stats, wl.name, Some(model))?;
                 Ok(())
             }
         }
@@ -1161,18 +1197,41 @@ pub fn run_matrix_configured(
                     // bit-identically; nothing about it re-runs.
                     if let (Some(journal), Some(fps)) = (cfg.journal, fps.as_deref()) {
                         if let Some(stats) = journal.lookup(&fps[i]) {
-                            match cell {
+                            let filled = match cell {
                                 Cell::Baseline { w } => {
-                                    baseline[w].set(stats).expect("baseline cell runs once");
-                                    prefilled_baseline.fetch_add(1, Ordering::Relaxed);
+                                    let r = fill_slot(&baseline[w], stats, workload, None);
+                                    if r.is_ok() {
+                                        prefilled_baseline.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    r
                                 }
                                 Cell::Model { e, w, m } => {
                                     let idx = (e * workloads.len() + w) * 3 + m;
-                                    model_stats[idx].set(stats).expect("model cell runs once");
-                                    prefilled_model.fetch_add(1, Ordering::Relaxed);
+                                    let r = fill_slot(&model_stats[idx], stats, workload, model);
+                                    if r.is_ok() {
+                                        prefilled_model.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    r
                                 }
+                            };
+                            match filled {
+                                Ok(()) => {
+                                    journal_hits.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // A prefill clashing with a distinct held
+                                // result means the journal (or the cell
+                                // schedule) is damaged: report it as a
+                                // failed cell, don't abort the worker.
+                                Err((stage, payload)) => log.record(CellFailure {
+                                    workload,
+                                    experiment,
+                                    model,
+                                    stage,
+                                    payload,
+                                    wall: Duration::ZERO,
+                                    attempts: 1,
+                                }),
                             }
-                            journal_hits.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     }
@@ -1231,9 +1290,21 @@ pub fn run_matrix_configured(
                                         stats,
                                     });
                                     match appended {
-                                        Ok(()) => {
+                                        Ok(RecordOutcome::Appended) => {
                                             journal_appends.fetch_add(1, Ordering::Relaxed);
                                         }
+                                        // Identical re-record (e.g. two
+                                        // resumed runs sharing a journal):
+                                        // nothing to count.
+                                        Ok(RecordOutcome::Duplicate) => {}
+                                        // The key now serves nobody; the
+                                        // conflict is counted on the
+                                        // journal and reported by drivers.
+                                        Ok(RecordOutcome::Conflict) => eprintln!(
+                                            "journal: fingerprint conflict on {} \
+                                             ({workload} / {experiment}); key quarantined",
+                                            &fps[i]
+                                        ),
                                         // Durability degrades, the run
                                         // continues (e.g. disk full).
                                         Err(e) => eprintln!("journal: append failed: {e}"),
@@ -1285,13 +1356,11 @@ pub fn run_matrix_configured(
         let mut row: Vec<CellOutcome> = Vec::with_capacity(workloads.len());
         for (w, wl) in workloads.iter().enumerate() {
             let base = baseline[w].get();
-            let models: Vec<Option<&SimStats>> = (0..3)
-                .map(|m| model_stats[(e * workloads.len() + w) * 3 + m].get())
-                .collect();
-            let outcome = match (base, models.iter().all(|m| m.is_some())) {
-                (Some(base), true) => {
-                    let models: [SimStats; 3] =
-                        std::array::from_fn(|m| models[m].expect("checked").clone());
+            let slots: [Option<&SimStats>; 3] =
+                std::array::from_fn(|m| model_stats[(e * workloads.len() + w) * 3 + m].get());
+            let outcome = match (base, slots[0], slots[1], slots[2]) {
+                (Some(base), Some(m0), Some(m1), Some(m2)) => {
+                    let models: [SimStats; 3] = [m0.clone(), m1.clone(), m2.clone()];
                     match models
                         .iter()
                         .enumerate()
@@ -1383,6 +1452,257 @@ pub fn run_matrix_configured(
         report: FailureReport { failures },
         interrupted: interrupted.load(Ordering::Acquire),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Single-cell request path: the daemon's unit of work.
+// ---------------------------------------------------------------------------
+
+/// One self-contained compile-and-simulate request: everything a client
+/// has to say to get a [`SimStats`] back. This is the daemon's unit of
+/// work — unlike the matrix engine's [`Cell`], it carries its own source
+/// text and machine parameters instead of indexing into a preloaded
+/// workload/experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRequest {
+    /// Client-chosen name (reporting only; the fingerprint is the key).
+    pub name: String,
+    /// MiniC source text.
+    pub source: String,
+    /// Arguments to `main` (after the hidden stack pointer).
+    pub args: Vec<i64>,
+    /// Model to compile and simulate under.
+    pub model: Model,
+    /// Issue width of the simulated machine (1..=[`MAX_REQUEST_ISSUE`]).
+    pub issue: u32,
+    /// Branch slots per cycle (1..=issue).
+    pub branches: u32,
+    /// Memory hierarchy.
+    pub memory: MemoryModel,
+    /// Cycle watchdog budget (≥ 1).
+    pub max_cycles: u64,
+}
+
+/// Upper bound a request may ask for as issue width / branch slots. The
+/// paper's widest machine is 8-issue; 64 leaves generous sweep headroom
+/// while keeping a hostile request from allocating absurd schedules.
+pub const MAX_REQUEST_ISSUE: u32 = 64;
+
+impl CellRequest {
+    /// Validates the machine/simulation parameters *before* they reach
+    /// code that asserts on them ([`MachineConfig::new`] panics on a zero
+    /// width). A malformed request must become a typed error the service
+    /// can report, never a worker abort.
+    ///
+    /// # Errors
+    /// A [`PipelineError::Compile`] describing the first bad field.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        let bad = |msg: String| Err(PipelineError::Compile(CompileError::new(0, 0, msg)));
+        if self.source.trim().is_empty() {
+            return bad("request: empty source".to_string());
+        }
+        if self.issue == 0 || self.issue > MAX_REQUEST_ISSUE {
+            return bad(format!(
+                "request: issue width {} outside 1..={MAX_REQUEST_ISSUE}",
+                self.issue
+            ));
+        }
+        if self.branches == 0 || self.branches > self.issue {
+            return bad(format!(
+                "request: branch slots {} outside 1..=issue ({})",
+                self.branches, self.issue
+            ));
+        }
+        if self.max_cycles == 0 {
+            return bad("request: max_cycles must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// How patient the request path is: bounded retries of transient
+/// failures, a per-attempt wall-clock deadline, and whether the
+/// budget-degradation ladder may trade optimization for completion.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestConfig {
+    /// Bounded re-running of transient failures (same semantics as the
+    /// matrix engine's [`MatrixConfig::retry`]).
+    pub retry: RetryPolicy,
+    /// Per-attempt wall-clock budget, enforced cooperatively by the
+    /// simulator alongside its cycle budget.
+    pub deadline: Option<Duration>,
+    /// When true, a tripped compile budget degrades the cell through
+    /// [`Pipeline::finish_degraded`] instead of failing it.
+    pub degrade: bool,
+}
+
+impl Default for RequestConfig {
+    fn default() -> RequestConfig {
+        RequestConfig {
+            retry: RetryPolicy::default(),
+            deadline: None,
+            degrade: true,
+        }
+    }
+}
+
+/// A permanently failed request: the owned counterpart of
+/// [`CellFailure`] (whose `&'static str` fields fit the preloaded matrix
+/// tables, not client-supplied names).
+#[derive(Debug, Clone)]
+pub struct RequestFailure {
+    /// Stage the failure occurred in.
+    pub stage: FailureStage,
+    /// The error or captured panic.
+    pub payload: FailurePayload,
+    /// Attempts spent before the failure became permanent.
+    pub attempts: u32,
+    /// Wall time spent across all attempts.
+    pub wall: Duration,
+}
+
+impl fmt::Display for RequestFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attempts = if self.attempts > 1 {
+            format!(", {} attempts", self.attempts)
+        } else {
+            String::new()
+        };
+        write!(
+            f,
+            "[{} stage, {:.1?}{}]: {}",
+            self.stage, self.wall, attempts, self.payload
+        )
+    }
+}
+
+/// The content address of a request: the same deliberately conservative
+/// canonical-string FNV scheme as the matrix [`fingerprint`] (see the
+/// [`crate::journal`] docs), with the experiment slot naming the service
+/// namespace *and* the degradation policy — a degraded and a strict
+/// compile of the same source may legitimately produce different stats,
+/// so they must never share a key.
+pub fn request_fingerprint(req: &CellRequest, pipe: &Pipeline, degrade: bool) -> String {
+    let namespace = if degrade {
+        "service-degrade"
+    } else {
+        "service-strict"
+    };
+    let canonical = format!(
+        "v{}|pipe{:016x}|{}|src{:016x}|args{:?}|{}|{}|issue{}|br{}|{:?}|cycles{}",
+        env!("CARGO_PKG_VERSION"),
+        fnv64(format!("{pipe:?}").as_bytes()),
+        req.name,
+        fnv64(req.source.as_bytes()),
+        req.args,
+        namespace,
+        model_slug(Some(req.model)),
+        req.issue,
+        req.branches,
+        req.memory,
+        req.max_cycles,
+    );
+    format!("{:016x}", fnv64(canonical.as_bytes()))
+}
+
+/// Runs one [`CellRequest`] end to end with the engine's full containment
+/// stack: parameter validation, per-attempt panic capture ([`catch_cell`]),
+/// bounded retries of transient failures, the cooperative wall-clock
+/// deadline, and (optionally) the budget-degradation ladder. A
+/// pathological input degrades or fails *this request* — never the
+/// calling worker.
+///
+/// # Errors
+/// A [`RequestFailure`] carrying the typed payload, attempt count, and
+/// wall time of the permanent failure.
+pub fn run_request(
+    req: &CellRequest,
+    pipe: &Pipeline,
+    cfg: &RequestConfig,
+) -> Result<(SimStats, Degradation), RequestFailure> {
+    let started = Instant::now();
+    if let Err(e) = req.validate() {
+        return Err(RequestFailure {
+            stage: FailureStage::Compile,
+            payload: FailurePayload::Error(e),
+            attempts: 1,
+            wall: started.elapsed(),
+        });
+    }
+    let machine = MachineConfig::new(req.issue, req.branches);
+
+    // One attempt: compile (front + finish) and simulate, each phase
+    // under its own panic containment so a captured panic is attributed
+    // to the right stage.
+    let attempt = || -> Result<(SimStats, Degradation), (FailureStage, FailurePayload)> {
+        let compiled = catch_cell(|| -> Result<(Module, Degradation), PipelineError> {
+            let front = pipe.front(&req.source, &req.args)?;
+            if cfg.degrade {
+                pipe.finish_degraded(&front, req.model, &machine)
+            } else {
+                let module = pipe.finish(&front, req.model, &machine)?;
+                Ok((module, Degradation::default()))
+            }
+        });
+        let (module, degradation) = match compiled {
+            Ok(Ok(out)) => out,
+            Ok(Err(e)) => return Err((stage_of(&e), FailurePayload::Error(e))),
+            Err(panic_msg) => {
+                return Err((FailureStage::Compile, FailurePayload::Panic(panic_msg)))
+            }
+        };
+        let simmed = catch_cell(|| -> Result<SimStats, PipelineError> {
+            let decoded = Arc::new(DecodedModule::decode(&module));
+            let mut sim_cfg = SimConfig {
+                memory: req.memory,
+                max_cycles: req.max_cycles,
+                ..SimConfig::default()
+            };
+            if let Some(d) = cfg.deadline {
+                sim_cfg.deadline = Some(Instant::now() + d);
+            }
+            Ok(simulate_decoded(
+                &module,
+                &decoded,
+                "main",
+                &entry_args(&req.args),
+                machine,
+                sim_cfg,
+            )?)
+        });
+        match simmed {
+            Ok(Ok(stats)) => Ok((stats, degradation)),
+            Ok(Err(e)) => Err((stage_of(&e), FailurePayload::Error(e))),
+            Err(panic_msg) => Err((FailureStage::Simulate, FailurePayload::Panic(panic_msg))),
+        }
+    };
+
+    CELL_IDENTITY.with(|c| {
+        *c.borrow_mut() = Some(format!("{} / service / {}", req.name, req.model));
+    });
+    let mut attempts = 0u32;
+    let result = loop {
+        attempts += 1;
+        match attempt() {
+            Ok(out) => break Ok(out),
+            Err((stage, payload)) => {
+                if retryable(&payload) && attempts < cfg.retry.max_attempts.max(1) {
+                    if !cfg.retry.backoff.is_zero() {
+                        std::thread::sleep(cfg.retry.backoff);
+                    }
+                    continue;
+                }
+                break Err(RequestFailure {
+                    stage,
+                    payload,
+                    attempts,
+                    wall: started.elapsed(),
+                });
+            }
+        }
+    };
+    CELL_IDENTITY.with(|c| *c.borrow_mut() = None);
+    result
 }
 
 #[cfg(test)]

@@ -1,0 +1,973 @@
+//! Wire protocol and client for the `hyperpredd` compile-and-simulate
+//! service: hand-rolled JSON (like the journal — no serde in the tree), a
+//! minimal HTTP/1.1 reader/writer shared by the daemon and its clients,
+//! and the `bench-load` request generator.
+//!
+//! # Protocol
+//!
+//! Everything rides HTTP/1.1 over a local TCP socket, one request per
+//! connection (`Connection: close`). Endpoints:
+//!
+//! * `POST /v1/cell` — body is one cell-request object; response is one
+//!   cell-response object.
+//! * `POST /v1/cells` — body is `{"cells":[...]}`; response is
+//!   `{"results":[...]}` in request order.
+//! * `GET /v1/stats` — daemon counters (cells stored, hits, computed,
+//!   failed, rejected, conflicts, queue depth).
+//! * `GET /healthz` — liveness probe, body `ok`.
+//!
+//! A cell request (`source` is deliberately serialized *last* — every
+//! other key is matched before the one free-text field that could spoof
+//! key patterns):
+//!
+//! ```text
+//! {"name":"gen-branchy-1","model":"fullpred","issue":8,"branches":1,
+//!  "memory":"perfect","max_cycles":10000000000,"args":[1,-2],
+//!  "source":"int main() { ... }"}
+//! ```
+//!
+//! A cell response is one of five statuses. `hit` and `computed` carry
+//! the full flattened [`SimStats`] plus the degradation flag; `failed`
+//! carries the stage, stable triage signature, and rendered error;
+//! `rejected` is the typed backpressure answer (queue full — retry
+//! later); `conflict` means the store refuses the key (two different
+//! results were recorded under the same fingerprint — see
+//! [`JournalConflict`](crate::journal::JournalConflict)).
+//!
+//! ```text
+//! {"status":"hit","fingerprint":"92ab...","degraded":false,"cycles":123,...,"ret":42}
+//! {"status":"failed","fingerprint":"92ab...","stage":"compile","signature":"compile: ...","error":"..."}
+//! {"status":"rejected","fingerprint":"","error":"queue full (depth 256); retry later"}
+//! ```
+
+use crate::journal::escape;
+use crate::matrix::CellRequest;
+use crate::pipeline::Model;
+use hyperpred_sim::{CacheConfig, MemoryModel, SimStats, DEFAULT_CYCLE_LIMIT};
+use hyperpred_workloads::gen::{self, Profile};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Largest request/response body either side will read. Bounded so a
+/// damaged or hostile peer degrades into a typed `413`, never unbounded
+/// memory.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// JSON primitives (backslash-aware key search; values use journal escaping).
+// ---------------------------------------------------------------------------
+
+/// Finds the byte offset just past `"key":`, skipping candidate matches
+/// preceded by a backslash (i.e. key text embedded inside an escaped
+/// string value).
+fn find_key(json: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(rel) = json[from..].find(&pat) {
+        let at = from + rel;
+        if at == 0 || json.as_bytes()[at - 1] != b'\\' {
+            return Some(at + pat.len());
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// Extracts a string field (journal-escaped) from one JSON object.
+pub fn get_str(json: &str, key: &str) -> Option<String> {
+    let at = find_key(json, key)?;
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(crate::journal::unescape(&rest[..end?]))
+}
+
+fn get_number<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let at = find_key(json, key)?;
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+/// Extracts an unsigned integer field.
+pub fn get_u64(json: &str, key: &str) -> Option<u64> {
+    get_number(json, key)?.parse().ok()
+}
+
+/// Extracts a signed integer field.
+pub fn get_i64(json: &str, key: &str) -> Option<i64> {
+    get_number(json, key)?.parse().ok()
+}
+
+/// Extracts a `true`/`false` field.
+pub fn get_bool(json: &str, key: &str) -> Option<bool> {
+    let at = find_key(json, key)?;
+    let rest = json[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts a flat `[1,-2,...]` integer array field (`[]` is `Some(vec![])`).
+pub fn get_i64_array(json: &str, key: &str) -> Option<Vec<i64>> {
+    let at = find_key(json, key)?;
+    let rest = json[at..].trim_start().strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+/// Splits the top-level objects out of a JSON array body, tracking brace
+/// depth and string/escape state so braces inside source text never
+/// confuse the split. `body` is everything between the array's `[` and
+/// `]` (exclusive is fine; surrounding whitespace tolerated).
+fn split_objects(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        out.push(&body[s..=i]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Locates the body of the array under `key` (between its brackets).
+fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let at = find_key(json, key)?;
+    let rest = &json[at..];
+    let open = rest.find('[')?;
+    // Walk to the matching close bracket, honoring strings.
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Cell request serialization.
+// ---------------------------------------------------------------------------
+
+/// The wire slug of a memory model (`CacheConfig` geometry is always the
+/// default one; the experiment layer never uses another).
+fn memory_slug(m: &MemoryModel) -> &'static str {
+    match m {
+        MemoryModel::Perfect => "perfect",
+        MemoryModel::Caches(_) => "caches",
+    }
+}
+
+fn parse_memory(slug: &str) -> Option<MemoryModel> {
+    match slug {
+        "perfect" => Some(MemoryModel::Perfect),
+        "caches" => Some(MemoryModel::Caches(CacheConfig::default())),
+        _ => None,
+    }
+}
+
+fn parse_model(slug: &str) -> Option<Model> {
+    match slug {
+        "superblock" => Some(Model::Superblock),
+        "condmove" => Some(Model::CondMove),
+        "fullpred" => Some(Model::FullPred),
+        _ => None,
+    }
+}
+
+/// Serializes one request. `source` goes last (see module docs).
+pub fn request_to_json(req: &CellRequest) -> String {
+    let args: Vec<String> = req.args.iter().map(i64::to_string).collect();
+    format!(
+        "{{\"name\":\"{}\",\"model\":\"{}\",\"issue\":{},\"branches\":{},\
+         \"memory\":\"{}\",\"max_cycles\":{},\"args\":[{}],\"source\":\"{}\"}}",
+        escape(&req.name),
+        crate::journal::model_slug(Some(req.model)),
+        req.issue,
+        req.branches,
+        memory_slug(&req.memory),
+        req.max_cycles,
+        args.join(","),
+        escape(&req.source),
+    )
+}
+
+/// Parses one request object; the error names the first missing or
+/// malformed field (it becomes the daemon's `400` body).
+pub fn parse_request(json: &str) -> Result<CellRequest, String> {
+    let model_slug = get_str(json, "model").ok_or("missing field `model`")?;
+    let model = parse_model(&model_slug).ok_or_else(|| format!("unknown model `{model_slug}`"))?;
+    let memory_slug = get_str(json, "memory").unwrap_or_else(|| "perfect".to_string());
+    let memory =
+        parse_memory(&memory_slug).ok_or_else(|| format!("unknown memory `{memory_slug}`"))?;
+    Ok(CellRequest {
+        name: get_str(json, "name").unwrap_or_default(),
+        source: get_str(json, "source").ok_or("missing field `source`")?,
+        args: get_i64_array(json, "args").unwrap_or_default(),
+        model,
+        issue: get_u64(json, "issue").ok_or("missing field `issue`")? as u32,
+        branches: get_u64(json, "branches").ok_or("missing field `branches`")? as u32,
+        memory,
+        max_cycles: get_u64(json, "max_cycles").unwrap_or(DEFAULT_CYCLE_LIMIT),
+    })
+}
+
+/// Serializes a batch body: `{"cells":[...]}`.
+pub fn batch_to_json(reqs: &[CellRequest]) -> String {
+    let cells: Vec<String> = reqs.iter().map(request_to_json).collect();
+    format!("{{\"cells\":[{}]}}", cells.join(","))
+}
+
+/// Parses a batch body into its requests, in order.
+pub fn parse_batch(json: &str) -> Result<Vec<CellRequest>, String> {
+    let body = array_body(json, "cells").ok_or("missing array `cells`")?;
+    split_objects(body)
+        .into_iter()
+        .enumerate()
+        .map(|(i, obj)| parse_request(obj).map_err(|e| format!("cell {i}: {e}")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Cell response serialization.
+// ---------------------------------------------------------------------------
+
+/// Per-request outcome class (the `status` wire field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Served from the store — no compile, no simulation.
+    Hit,
+    /// Computed by this request and recorded in the store.
+    Computed,
+    /// Permanently failed; the payload describes why.
+    Failed,
+    /// Bounded queue was full — typed backpressure, retry later.
+    Rejected,
+    /// The store refuses this fingerprint: two different results were
+    /// recorded under it, so neither can be trusted.
+    Conflict,
+}
+
+impl CellStatus {
+    /// The wire slug.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Hit => "hit",
+            CellStatus::Computed => "computed",
+            CellStatus::Failed => "failed",
+            CellStatus::Rejected => "rejected",
+            CellStatus::Conflict => "conflict",
+        }
+    }
+
+    /// Parses the wire slug.
+    pub fn parse(s: &str) -> Option<CellStatus> {
+        match s {
+            "hit" => Some(CellStatus::Hit),
+            "computed" => Some(CellStatus::Computed),
+            "failed" => Some(CellStatus::Failed),
+            "rejected" => Some(CellStatus::Rejected),
+            "conflict" => Some(CellStatus::Conflict),
+            _ => None,
+        }
+    }
+}
+
+/// One per-request structured answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResponse {
+    /// Outcome class.
+    pub status: CellStatus,
+    /// The request's content address (empty for `rejected`, whose work
+    /// was never admitted).
+    pub fingerprint: String,
+    /// The stats, for `hit`/`computed`.
+    pub stats: Option<SimStats>,
+    /// True when the degradation ladder had to disable passes.
+    pub degraded: bool,
+    /// Failure stage slug, for `failed`.
+    pub stage: Option<String>,
+    /// Stable triage signature, for `failed`.
+    pub signature: Option<String>,
+    /// Rendered error, for `failed`/`rejected`.
+    pub error: Option<String>,
+}
+
+impl CellResponse {
+    /// A successful answer (`hit` or `computed`).
+    pub fn served(
+        status: CellStatus,
+        fingerprint: String,
+        stats: SimStats,
+        degraded: bool,
+    ) -> Self {
+        CellResponse {
+            status,
+            fingerprint,
+            stats: Some(stats),
+            degraded,
+            stage: None,
+            signature: None,
+            error: None,
+        }
+    }
+
+    /// A failure answer.
+    pub fn failed(fingerprint: String, stage: String, signature: String, error: String) -> Self {
+        CellResponse {
+            status: CellStatus::Failed,
+            fingerprint,
+            stats: None,
+            degraded: false,
+            stage: Some(stage),
+            signature: Some(signature),
+            error: Some(error),
+        }
+    }
+
+    /// The typed backpressure answer.
+    pub fn rejected(error: String) -> Self {
+        CellResponse {
+            status: CellStatus::Rejected,
+            fingerprint: String::new(),
+            stats: None,
+            degraded: false,
+            stage: None,
+            signature: None,
+            error: Some(error),
+        }
+    }
+
+    /// The conflicted-key refusal.
+    pub fn conflict(fingerprint: String) -> Self {
+        CellResponse {
+            status: CellStatus::Conflict,
+            fingerprint,
+            stats: None,
+            degraded: false,
+            stage: None,
+            signature: None,
+            error: Some("fingerprint conflict: key quarantined".to_string()),
+        }
+    }
+}
+
+/// Serializes one response object.
+pub fn response_to_json(resp: &CellResponse) -> String {
+    let mut out = format!(
+        "{{\"status\":\"{}\",\"fingerprint\":\"{}\"",
+        resp.status.as_str(),
+        escape(&resp.fingerprint)
+    );
+    if let Some(s) = &resp.stats {
+        out.push_str(&format!(
+            ",\"degraded\":{},\"cycles\":{},\"insts\":{},\"nullified\":{},\
+             \"branches\":{},\"mispredicts\":{},\"loads\":{},\"stores\":{},\
+             \"icache_misses\":{},\"dcache_misses\":{},\"ret\":{}",
+            resp.degraded,
+            s.cycles,
+            s.insts,
+            s.nullified,
+            s.branches,
+            s.mispredicts,
+            s.loads,
+            s.stores,
+            s.icache_misses,
+            s.dcache_misses,
+            s.ret,
+        ));
+    }
+    if let Some(stage) = &resp.stage {
+        out.push_str(&format!(",\"stage\":\"{}\"", escape(stage)));
+    }
+    if let Some(sig) = &resp.signature {
+        out.push_str(&format!(",\"signature\":\"{}\"", escape(sig)));
+    }
+    if let Some(err) = &resp.error {
+        out.push_str(&format!(",\"error\":\"{}\"", escape(err)));
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one response object.
+pub fn parse_response(json: &str) -> Result<CellResponse, String> {
+    let status_slug = get_str(json, "status").ok_or("missing field `status`")?;
+    let status =
+        CellStatus::parse(&status_slug).ok_or_else(|| format!("unknown status `{status_slug}`"))?;
+    let stats = get_u64(json, "cycles").map(|cycles| SimStats {
+        cycles,
+        insts: get_u64(json, "insts").unwrap_or(0),
+        nullified: get_u64(json, "nullified").unwrap_or(0),
+        branches: get_u64(json, "branches").unwrap_or(0),
+        mispredicts: get_u64(json, "mispredicts").unwrap_or(0),
+        loads: get_u64(json, "loads").unwrap_or(0),
+        stores: get_u64(json, "stores").unwrap_or(0),
+        icache_misses: get_u64(json, "icache_misses").unwrap_or(0),
+        dcache_misses: get_u64(json, "dcache_misses").unwrap_or(0),
+        ret: get_i64(json, "ret").unwrap_or(0),
+    });
+    Ok(CellResponse {
+        status,
+        fingerprint: get_str(json, "fingerprint").unwrap_or_default(),
+        stats,
+        degraded: get_bool(json, "degraded").unwrap_or(false),
+        stage: get_str(json, "stage"),
+        signature: get_str(json, "signature"),
+        error: get_str(json, "error"),
+    })
+}
+
+/// Serializes a batch response: `{"results":[...]}`.
+pub fn batch_response_to_json(resps: &[CellResponse]) -> String {
+    let results: Vec<String> = resps.iter().map(response_to_json).collect();
+    format!("{{\"results\":[{}]}}", results.join(","))
+}
+
+/// Parses a batch response into its per-cell answers, in order.
+pub fn parse_batch_response(json: &str) -> Result<Vec<CellResponse>, String> {
+    let body = array_body(json, "results").ok_or("missing array `results`")?;
+    split_objects(body)
+        .into_iter()
+        .enumerate()
+        .map(|(i, obj)| parse_response(obj).map_err(|e| format!("result {i}: {e}")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.1, shared by the daemon and its clients.
+// ---------------------------------------------------------------------------
+
+/// One parsed HTTP request (the slice of HTTP the service speaks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// `GET` / `POST`.
+    pub method: String,
+    /// Path only (no query parsing — the protocol does not use queries).
+    pub path: String,
+    /// Raw body (empty for bodyless requests).
+    pub body: String,
+}
+
+/// Reads one HTTP request off `stream`. Returns `Ok(None)` on a cleanly
+/// closed idle connection (EOF before any bytes).
+///
+/// # Errors
+/// Malformed request lines, bodies over [`MAX_BODY_BYTES`], and
+/// transport errors.
+pub fn read_http_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body of {content_length} bytes exceeds cap {MAX_BODY_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok(Some(HttpRequest { method, path, body }))
+}
+
+/// Writes one HTTP response (status + body) and flushes.
+///
+/// # Errors
+/// Transport errors only.
+pub fn write_http_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Issues one `method path` request with `body` against `addr`
+/// (`host:port`) and returns `(status, body)`.
+///
+/// # Errors
+/// Transport errors, malformed responses, bodies over [`MAX_BODY_BYTES`].
+pub fn http_call(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line: {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) if n > MAX_BODY_BYTES => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response body of {n} bytes exceeds cap {MAX_BODY_BYTES}"),
+            ))
+        }
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .take(MAX_BODY_BYTES as u64)
+                .read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+/// See [`http_call`].
+pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    http_call(addr, "POST", path, body)
+}
+
+// ---------------------------------------------------------------------------
+// Load generation (`hyperpredc bench-load`).
+// ---------------------------------------------------------------------------
+
+/// What `bench-load` sends: seeded generated programs fanned across the
+/// three models, batched into `/v1/cells` posts.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Total cell requests to send.
+    pub cells: usize,
+    /// Cells per `/v1/cells` post.
+    pub batch: usize,
+    /// Base seed for the program generator.
+    pub seed: u64,
+    /// Issue width every request asks for.
+    pub issue: u32,
+    /// Branch slots every request asks for.
+    pub branches: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7199".to_string(),
+            cells: 120,
+            batch: 40,
+            seed: 1,
+            issue: 8,
+            branches: 1,
+        }
+    }
+}
+
+/// The deterministic request list for a [`LoadConfig`]: generated MiniC
+/// programs (cycling profiles and seeds) crossed with the three models,
+/// so repeated invocations with the same seed address the same cells —
+/// the second run is the cache-hit measurement.
+pub fn load_requests(cfg: &LoadConfig) -> Vec<CellRequest> {
+    let mut reqs = Vec::with_capacity(cfg.cells);
+    let mut round = 0u64;
+    'outer: loop {
+        for profile in Profile::ALL {
+            let program = gen::generate(profile, cfg.seed.wrapping_add(round));
+            for model in Model::ALL {
+                if reqs.len() >= cfg.cells {
+                    break 'outer;
+                }
+                reqs.push(CellRequest {
+                    name: program.name.clone(),
+                    source: program.source.clone(),
+                    args: program.args.clone(),
+                    model,
+                    issue: cfg.issue,
+                    branches: cfg.branches,
+                    memory: MemoryModel::Perfect,
+                    max_cycles: DEFAULT_CYCLE_LIMIT,
+                });
+            }
+        }
+        round += 1;
+    }
+    reqs
+}
+
+/// One measured `bench-load` pass.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// Answers served from the store.
+    pub hits: usize,
+    /// Answers computed fresh.
+    pub computed: usize,
+    /// Permanent failures.
+    pub failed: usize,
+    /// Typed backpressure rejections.
+    pub rejected: usize,
+    /// Conflicted-key refusals.
+    pub conflicts: usize,
+    /// Wall time for the whole pass.
+    pub wall: Duration,
+    /// Requests per second (wall clamped to a minimum measurable
+    /// duration, so a tiny pass reports a finite rate).
+    pub requests_per_sec: f64,
+    /// `hits / sent` (0 when nothing was sent).
+    pub hit_rate: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells in {:.2?}: {:.0} req/s, {} hit ({:.1}%), {} computed, \
+             {} failed, {} rejected, {} conflicted",
+            self.sent,
+            self.wall,
+            self.requests_per_sec,
+            self.hits,
+            self.hit_rate * 100.0,
+            self.computed,
+            self.failed,
+            self.rejected,
+            self.conflicts,
+        )
+    }
+}
+
+/// Sends `reqs` to the daemon in batches and tallies the answers.
+///
+/// # Errors
+/// Transport failures, non-200 answers, and unparseable responses.
+pub fn run_load(
+    cfg: &LoadConfig,
+    reqs: &[CellRequest],
+) -> io::Result<(LoadReport, Vec<CellResponse>)> {
+    let started = Instant::now();
+    let mut responses: Vec<CellResponse> = Vec::with_capacity(reqs.len());
+    for chunk in reqs.chunks(cfg.batch.max(1)) {
+        let body = batch_to_json(chunk);
+        let (status, resp_body) = http_post(&cfg.addr, "/v1/cells", &body)?;
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "daemon answered HTTP {status}: {resp_body}"
+            )));
+        }
+        let batch = parse_batch_response(&resp_body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if batch.len() != chunk.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("sent {} cells, got {} results", chunk.len(), batch.len()),
+            ));
+        }
+        responses.extend(batch);
+    }
+    let wall = started.elapsed();
+    let mut report = LoadReport {
+        sent: responses.len(),
+        hits: 0,
+        computed: 0,
+        failed: 0,
+        rejected: 0,
+        conflicts: 0,
+        wall,
+        requests_per_sec: 0.0,
+        hit_rate: 0.0,
+    };
+    for r in &responses {
+        match r.status {
+            CellStatus::Hit => report.hits += 1,
+            CellStatus::Computed => report.computed += 1,
+            CellStatus::Failed => report.failed += 1,
+            CellStatus::Rejected => report.rejected += 1,
+            CellStatus::Conflict => report.conflicts += 1,
+        }
+    }
+    // Clamp like the bench harness: a sub-nanosecond wall must report a
+    // finite rate the JSON layer can round-trip.
+    let secs = wall.as_secs_f64().max(1e-9);
+    report.requests_per_sec = report.sent as f64 / secs;
+    if report.sent > 0 {
+        report.hit_rate = report.hits as f64 / report.sent as f64;
+    }
+    Ok((report, responses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(seed: u64) -> SimStats {
+        SimStats {
+            cycles: seed,
+            insts: seed + 1,
+            nullified: seed + 2,
+            branches: seed + 3,
+            mispredicts: seed + 4,
+            loads: seed + 5,
+            stores: seed + 6,
+            icache_misses: seed + 7,
+            dcache_misses: seed + 8,
+            ret: -(seed as i64),
+        }
+    }
+
+    fn request() -> CellRequest {
+        CellRequest {
+            name: "gen-branchy-1".to_string(),
+            source: "int main() { return 1 + 2; }".to_string(),
+            args: vec![1, -2],
+            model: Model::FullPred,
+            issue: 8,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+            max_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = request();
+        let json = request_to_json(&req);
+        let parsed = parse_request(&json).expect("parses");
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_with_hostile_source_round_trips() {
+        // Source text that contains every key pattern the parser looks
+        // for, with quotes — the backslash-aware key search must not be
+        // spoofed by the escaped copies inside the value.
+        let mut req = request();
+        req.source =
+            "int main() { /* \"issue\":0,\"model\":\"zzz\",\"args\":[9] */ return 3; }".to_string();
+        req.memory = MemoryModel::Caches(CacheConfig::default());
+        let json = request_to_json(&req);
+        let parsed = parse_request(&json).expect("parses");
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let mut b = request();
+        b.name = "second { } [ ] \" cell".to_string();
+        b.model = Model::Superblock;
+        let reqs = vec![request(), b];
+        let json = batch_to_json(&reqs);
+        let parsed = parse_batch(&json).expect("parses");
+        assert_eq!(parsed, reqs);
+    }
+
+    #[test]
+    fn responses_round_trip_bit_identically() {
+        let cases = vec![
+            CellResponse::served(CellStatus::Hit, "aa".to_string(), stats(7), false),
+            CellResponse::served(CellStatus::Computed, "bb".to_string(), stats(9), true),
+            CellResponse::failed(
+                "cc".to_string(),
+                "compile".to_string(),
+                "compile: 1:2 boom".to_string(),
+                "1:2: boom \"quoted\"".to_string(),
+            ),
+            CellResponse::rejected("queue full (depth 4); retry later".to_string()),
+            CellResponse::conflict("dd".to_string()),
+        ];
+        let json = batch_response_to_json(&cases);
+        let parsed = parse_batch_response(&json).expect("parses");
+        assert_eq!(parsed, cases, "every status round-trips exactly");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(parse_request("{}").unwrap_err().contains("model"));
+        assert!(parse_request("{\"model\":\"nope\",\"source\":\"x\"}")
+            .unwrap_err()
+            .contains("unknown model"));
+        let no_issue = "{\"model\":\"fullpred\",\"source\":\"int main(){return 0;}\"}";
+        assert!(parse_request(no_issue).unwrap_err().contains("issue"));
+        assert!(parse_batch("{\"cells\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn load_requests_are_deterministic_and_sized() {
+        let cfg = LoadConfig {
+            cells: 47,
+            ..LoadConfig::default()
+        };
+        let a = load_requests(&cfg);
+        let b = load_requests(&cfg);
+        assert_eq!(a.len(), 47);
+        assert_eq!(a, b, "same seed, same request list");
+        assert!(
+            a.iter().any(|r| r.model == Model::CondMove),
+            "models are crossed in"
+        );
+    }
+
+    #[test]
+    fn http_request_parsing_handles_bodies_and_eof() {
+        let raw = b"POST /v1/cells HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_http_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/cells");
+        assert_eq!(req.body, "abcd");
+        assert!(read_http_request(&mut &b""[..]).unwrap().is_none());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(read_http_request(&mut huge.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,609 @@
+//! Content-addressed result store: the multi-writer generalization of
+//! [`RunJournal`](crate::journal::RunJournal).
+//!
+//! A [`Store`] is a *directory* of append-only JSONL segments rather than
+//! a single file. Every writer — a thread holding its own `Store` handle,
+//! or a whole separate process — owns a private segment created with
+//! `O_EXCL` (`create_new`), so concurrent writers can never interleave
+//! bytes no matter how they are scheduled or killed. Reads merge every
+//! segment in the directory through the same first-write-wins /
+//! conflict-quarantine index the journal uses, so the merged view of N
+//! concurrent writers is bit-identical to a serial run (and any true
+//! fingerprint conflict is detected and refused, never arbitrated).
+//!
+//! # Layout
+//!
+//! ```text
+//! store/
+//!   seg-00012345-0000.jsonl   # one segment per writer (pid + counter)
+//!   seg-00012345-0001.jsonl
+//!   seg-00098765-0000.jsonl   # another process
+//!   compact.lock              # present only while a compaction runs
+//! ```
+//!
+//! Each segment uses the exact journal line format (meta line first, one
+//! `cell` record per line), so a segment *is* a valid `RunJournal` file
+//! and inherits its crash tolerance: a torn trailing line is expected
+//! damage, mid-file garbage is counted as corruption.
+//!
+//! # Compaction
+//!
+//! [`Store::compact`] merges every segment into a single fresh segment,
+//! dropping exact-duplicate lines and corrupt lines but *keeping both
+//! sides of every conflicted fingerprint* — a conflict is evidence of a
+//! fingerprint-scheme bug or a damaged writer and must survive rewrites
+//! so a plain re-open still detects it. Compactors serialize on
+//! `compact.lock` (`create_new`, removed on drop). Compaction snapshots
+//! the segment list at start and deletes only those files, so a segment
+//! created *by a new writer* mid-compaction survives; an append racing
+//! into a snapshotted segment of a *live foreign writer* can be lost,
+//! which is why compaction is specified to run only when other writers
+//! are quiescent (the daemon compacts from its own maintenance path).
+
+use hyperpred_sim::SimStats;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::journal::{
+    cell_line, field_str, field_u64, parse_cell_line, CellIndex, JournalConflict, JournalEntry,
+    RecordOutcome, JOURNAL_VERSION,
+};
+
+/// What a [`Store::compact`] run did, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Segments merged (and deleted) by this compaction.
+    pub segments_merged: usize,
+    /// Cell lines read across all merged segments.
+    pub lines_in: usize,
+    /// Cell lines written to the compacted segment.
+    pub lines_out: usize,
+    /// Exact-duplicate cell lines dropped.
+    pub duplicates_dropped: usize,
+    /// Corrupt (unparseable, non-torn-tail) lines dropped.
+    pub corrupt_dropped: usize,
+    /// Conflicted fingerprints whose competing lines were all preserved.
+    pub conflicts_kept: usize,
+}
+
+/// The active segment a `Store` handle appends to.
+struct SegmentWriter {
+    path: PathBuf,
+    file: File,
+}
+
+/// A multi-writer content-addressed store of cell results keyed by the
+/// journal fingerprint. See the module docs for layout and semantics.
+pub struct Store {
+    dir: PathBuf,
+    index: Mutex<CellIndex>,
+    writer: Mutex<SegmentWriter>,
+    corrupt: AtomicUsize,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("cells", &self.len())
+            .field("conflicts", &self.conflicts())
+            .finish()
+    }
+}
+
+/// Name of the compaction mutex file inside the store directory.
+const COMPACT_LOCK: &str = "compact.lock";
+
+/// Returns the sorted list of segment files in `dir`. Sorted by file
+/// name so every reader merges in the same deterministic order (which
+/// fixes the `kept`/`rejected` roles of a conflict).
+fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("seg-") && name.ends_with(".jsonl") {
+            segs.push(entry.path());
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Classifies the unparseable lines of one segment exactly like
+/// `RunJournal::open`: meta records, foreign-version cells, and a torn
+/// *final* line are expected; anything else counts as corruption.
+fn scan_segment(
+    content: &str,
+    mut on_cell: impl FnMut(&str, String, SimStats),
+    corrupt: &mut usize,
+) {
+    let lines: Vec<&str> = content.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some((fp, stats)) = parse_cell_line(line) {
+            on_cell(line, fp, stats);
+            continue;
+        }
+        let kind = field_str(line, "kind");
+        let is_meta = kind.as_deref() == Some("meta");
+        let is_foreign_cell = kind.as_deref() == Some("cell")
+            && field_u64(line, "version").is_some_and(|v| v != JOURNAL_VERSION);
+        let is_torn_tail = idx + 1 == lines.len() && !line.trim_end().ends_with('}');
+        if !is_meta && !is_foreign_cell && !is_torn_tail {
+            *corrupt += 1;
+        }
+    }
+}
+
+/// Reads every segment into a fresh index. Returns the rebuilt index and
+/// the total corrupt-line count across segments.
+fn load_dir(dir: &Path) -> io::Result<(CellIndex, usize)> {
+    let mut index = CellIndex::default();
+    let mut corrupt = 0usize;
+    for seg in segment_paths(dir)? {
+        let content = match fs::read_to_string(&seg) {
+            Ok(s) => s,
+            // A compactor may delete a segment between listing and read.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        scan_segment(
+            &content,
+            |_line, fp, stats| {
+                index.insert(&fp, stats);
+            },
+            &mut corrupt,
+        );
+    }
+    Ok((index, corrupt))
+}
+
+/// Creates a brand-new segment file owned exclusively by this writer.
+/// `create_new` (`O_EXCL`) makes the claim atomic across processes.
+fn create_segment(dir: &Path) -> io::Result<SegmentWriter> {
+    let pid = std::process::id();
+    for n in 0u32..10_000 {
+        let path = dir.join(format!("seg-{pid:08}-{n:04}.jsonl"));
+        match OpenOptions::new().create_new(true).append(true).open(&path) {
+            Ok(mut file) => {
+                let meta = format!(
+                    "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
+                    env!("CARGO_PKG_VERSION")
+                );
+                file.write_all(meta.as_bytes())?;
+                file.flush()?;
+                return Ok(SegmentWriter { path, file });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::other(
+        "store: exhausted segment names for this pid",
+    ))
+}
+
+/// Holds `compact.lock` for the duration of a compaction; removing the
+/// file on drop releases the lock even on an error path.
+struct CompactLock {
+    path: PathBuf,
+}
+
+impl CompactLock {
+    fn acquire(dir: &Path) -> io::Result<CompactLock> {
+        let path = dir.join(COMPACT_LOCK);
+        match OpenOptions::new().create_new(true).write(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                Ok(CompactLock { path })
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "store: compaction already in progress (compact.lock exists)",
+            )),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for CompactLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl Store {
+    /// Opens the store at `dir` (creating the directory if absent), loads
+    /// every segment into the index, and claims a fresh private segment
+    /// for this handle's appends.
+    ///
+    /// # Errors
+    /// Fails only on I/O errors; damaged segment *contents* are tolerated
+    /// and counted (see [`Store::corrupt`]), exactly like the journal.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let (index, corrupt) = load_dir(&dir)?;
+        let writer = create_segment(&dir)?;
+        Ok(Store {
+            dir,
+            index: Mutex::new(index),
+            writer: Mutex::new(writer),
+            corrupt: AtomicUsize::new(corrupt),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The segment file this handle appends to.
+    pub fn segment_path(&self) -> PathBuf {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .path
+            .clone()
+    }
+
+    /// Number of keys served by [`Store::get`] (conflicted keys excluded).
+    pub fn len(&self) -> usize {
+        self.index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Corrupt lines skipped across all segments at the last full scan
+    /// ([`Store::open`] or [`Store::refresh`]).
+    pub fn corrupt(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Number of conflicted fingerprints (see [`JournalConflict`]).
+    pub fn conflicts(&self) -> usize {
+        self.index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .conflicts()
+    }
+
+    /// Every detected conflict, sorted by fingerprint.
+    pub fn conflict_report(&self) -> Vec<JournalConflict> {
+        self.index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .conflict_report()
+    }
+
+    /// True when `fingerprint` has been quarantined by a conflict.
+    pub fn is_conflicted(&self, fingerprint: &str) -> bool {
+        self.index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_conflicted(fingerprint)
+    }
+
+    /// The stored stats for `fingerprint`, if any. A conflicted key is
+    /// never served.
+    pub fn get(&self, fingerprint: &str) -> Option<SimStats> {
+        self.index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(fingerprint)
+    }
+
+    /// Stores one completed cell: classified against the index exactly
+    /// like [`RunJournal::record`](crate::journal::RunJournal::record)
+    /// (duplicate → no write, conflict → quarantined but still appended
+    /// so a reload re-detects it), then appended to this handle's private
+    /// segment and flushed.
+    ///
+    /// # Errors
+    /// Fails on I/O errors; the index is updated regardless, so a full
+    /// disk degrades durability, not correctness, of the current process.
+    pub fn put(&self, entry: &JournalEntry<'_>) -> io::Result<RecordOutcome> {
+        let line = cell_line(entry);
+        let outcome = self
+            .index
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(entry.fingerprint, entry.stats.clone());
+        if outcome == RecordOutcome::Duplicate {
+            return Ok(outcome);
+        }
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writer.file.write_all(line.as_bytes())?;
+        writer.file.flush()?;
+        Ok(outcome)
+    }
+
+    /// Rescans every segment in the directory, rebuilding the index from
+    /// scratch. This is how one handle observes the appends of *other*
+    /// writers (threads with their own handle, or other processes) and
+    /// the result of a foreign compaction. The handle's own appends are
+    /// always flushed before `put` returns, so they are never lost to a
+    /// refresh.
+    pub fn refresh(&self) -> io::Result<()> {
+        let (index, corrupt) = load_dir(&self.dir)?;
+        *self.index.lock().unwrap_or_else(PoisonError::into_inner) = index;
+        self.corrupt.store(corrupt, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Merges every segment into one fresh segment, dropping duplicate
+    /// and corrupt lines but preserving *all* competing lines of every
+    /// conflicted fingerprint (conflicts must survive compaction — see
+    /// module docs). On success the merged segments are deleted, this
+    /// handle rotates onto a new private segment, and the index is
+    /// rebuilt from the compacted state.
+    ///
+    /// Compactors serialize on `compact.lock`; a second concurrent call
+    /// fails fast with `ErrorKind::AlreadyExists`. Run only while other
+    /// *writers* are quiescent (see module docs).
+    ///
+    /// # Errors
+    /// Fails on I/O errors or when another compaction holds the lock. The
+    /// compacted segment is published with a temp-file + rename, so a
+    /// crash mid-compaction leaves either the old segments or the new one
+    /// — never a half-written merge being served.
+    pub fn compact(&self) -> io::Result<CompactStats> {
+        let _lock = CompactLock::acquire(&self.dir)?;
+        // Hold the writer lock across the whole merge: our own appends
+        // pause, and the rotation below swaps the handle atomically.
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+
+        let segs = segment_paths(&self.dir)?;
+        let mut kept_lines: Vec<String> = Vec::new();
+        // Every distinct payload seen per fingerprint, in merge order.
+        // One entry → live cell; several → a conflict whose every side
+        // is preserved verbatim.
+        let mut seen: HashMap<String, Vec<SimStats>> = HashMap::new();
+        let mut stats = CompactStats {
+            segments_merged: segs.len(),
+            lines_in: 0,
+            lines_out: 0,
+            duplicates_dropped: 0,
+            corrupt_dropped: 0,
+            conflicts_kept: 0,
+        };
+        for seg in &segs {
+            let content = fs::read_to_string(seg)?;
+            let mut corrupt = 0usize;
+            scan_segment(
+                &content,
+                |line, fp, cell_stats| {
+                    stats.lines_in += 1;
+                    let payloads = seen.entry(fp).or_default();
+                    if payloads.contains(&cell_stats) {
+                        stats.duplicates_dropped += 1;
+                    } else {
+                        payloads.push(cell_stats);
+                        kept_lines.push(format!("{line}\n"));
+                    }
+                },
+                &mut corrupt,
+            );
+            stats.corrupt_dropped += corrupt;
+        }
+        stats.lines_out = kept_lines.len();
+        stats.conflicts_kept = seen.values().filter(|p| p.len() > 1).count();
+
+        // Publish atomically: temp file, sync, rename into a fresh
+        // segment name, then delete the merged segments.
+        let tmp = self.dir.join("compact.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let meta = format!(
+                "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
+                env!("CARGO_PKG_VERSION")
+            );
+            f.write_all(meta.as_bytes())?;
+            for line in &kept_lines {
+                f.write_all(line.as_bytes())?;
+            }
+            f.sync_all()?;
+        }
+        let compacted = create_segment(&self.dir)?;
+        // `create_segment` wrote a meta line; the rename replaces the
+        // whole file with the merged content (same meta line first).
+        fs::rename(&tmp, &compacted.path)?;
+        for seg in &segs {
+            if *seg != compacted.path {
+                let _ = fs::remove_file(seg);
+            }
+        }
+        // Rotate this handle onto a fresh private segment — its old one
+        // was just merged and deleted.
+        *writer = create_segment(&self.dir)?;
+        drop(writer);
+
+        self.refresh()?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Model;
+
+    fn stats(seed: u64) -> SimStats {
+        SimStats {
+            cycles: seed,
+            insts: seed + 1,
+            nullified: seed + 2,
+            branches: seed + 3,
+            mispredicts: seed + 4,
+            loads: seed + 5,
+            stores: seed + 6,
+            icache_misses: seed + 7,
+            dcache_misses: seed + 8,
+            ret: -(seed as i64),
+        }
+    }
+
+    fn entry<'a>(fp: &'a str, s: &'a SimStats) -> JournalEntry<'a> {
+        JournalEntry {
+            fingerprint: fp,
+            workload: "w",
+            experiment: "baseline",
+            model: Some(Model::FullPred),
+            stats: s,
+        }
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hyperpred-store-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_and_reload() {
+        let dir = fresh_dir("basic");
+        let s1 = stats(10);
+        {
+            let store = Store::open(&dir).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(
+                store.put(&entry("aa", &s1)).unwrap(),
+                RecordOutcome::Appended
+            );
+            assert_eq!(
+                store.put(&entry("aa", &s1)).unwrap(),
+                RecordOutcome::Duplicate
+            );
+            assert_eq!(store.get("aa"), Some(s1.clone()));
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("aa"), Some(s1));
+        assert_eq!(store.corrupt(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_handles_never_interleave_and_merge_on_refresh() {
+        let dir = fresh_dir("two-handles");
+        let a = Store::open(&dir).unwrap();
+        let b = Store::open(&dir).unwrap();
+        assert_ne!(a.segment_path(), b.segment_path(), "private segments");
+        let s1 = stats(1);
+        let s2 = stats(2);
+        a.put(&entry("aa", &s1)).unwrap();
+        b.put(&entry("bb", &s2)).unwrap();
+        assert_eq!(a.get("bb"), None, "b's append not yet visible to a");
+        a.refresh().unwrap();
+        assert_eq!(a.get("bb"), Some(s2));
+        assert_eq!(a.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicts_quarantine_and_survive_compaction() {
+        let dir = fresh_dir("conflict-compact");
+        let s1 = stats(1);
+        let s2 = stats(2);
+        let store = Store::open(&dir).unwrap();
+        store.put(&entry("aa", &s1)).unwrap();
+        assert_eq!(
+            store.put(&entry("aa", &s2)).unwrap(),
+            RecordOutcome::Conflict
+        );
+        assert_eq!(store.get("aa"), None, "conflicted key refused");
+        assert_eq!(store.conflicts(), 1);
+        let report = store.conflict_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].kept, s1);
+        assert_eq!(report[0].rejected, s2);
+
+        let cstats = store.compact().unwrap();
+        assert_eq!(cstats.conflicts_kept, 1);
+        assert_eq!(cstats.lines_out, 2, "both sides of the conflict kept");
+        assert_eq!(store.conflicts(), 1, "conflict survives compaction");
+        assert_eq!(store.get("aa"), None);
+
+        // A brand-new open of the compacted directory re-detects it too.
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.conflicts(), 1);
+        assert_eq!(reopened.get("aa"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_drops_duplicates() {
+        let dir = fresh_dir("compact-merge");
+        let s1 = stats(1);
+        let s2 = stats(2);
+        {
+            // Both handles open before either writes: neither sees the
+            // other's append, so `aa` genuinely lands in two segments
+            // (a handle opened later would dedup it in memory).
+            let a = Store::open(&dir).unwrap();
+            let b = Store::open(&dir).unwrap();
+            a.put(&entry("aa", &s1)).unwrap();
+            assert_eq!(b.put(&entry("aa", &s1)).unwrap(), RecordOutcome::Appended);
+            b.put(&entry("bb", &s2)).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        let before = segment_paths(&dir).unwrap().len();
+        assert!(before >= 3, "three writers → three segments");
+        let cstats = store.compact().unwrap();
+        assert_eq!(cstats.duplicates_dropped, 1);
+        assert_eq!(cstats.lines_out, 2);
+        // One compacted segment plus the handle's fresh private segment.
+        assert_eq!(segment_paths(&dir).unwrap().len(), 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("aa"), Some(s1));
+        assert_eq!(store.get("bb"), Some(s2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_lock_is_exclusive() {
+        let dir = fresh_dir("compact-lock");
+        let store = Store::open(&dir).unwrap();
+        let lock = CompactLock::acquire(&dir).unwrap();
+        let err = store.compact().expect_err("lock held");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        drop(lock);
+        store.compact().expect("lock released on drop");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_tolerated_per_segment() {
+        let dir = fresh_dir("torn");
+        let s1 = stats(1);
+        let seg_path = {
+            let store = Store::open(&dir).unwrap();
+            store.put(&entry("aa", &s1)).unwrap();
+            store.segment_path()
+        };
+        // Simulate a crash mid-append in that segment.
+        let mut f = OpenOptions::new().append(true).open(&seg_path).unwrap();
+        write!(f, "{{\"kind\":\"cell\",\"version\":1,\"fp\":\"bb\",\"cyc").unwrap();
+        drop(f);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.corrupt(), 0, "torn tail is expected, not corrupt");
+        assert_eq!(store.get("aa"), Some(s1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

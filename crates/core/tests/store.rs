@@ -1,0 +1,256 @@
+//! Concurrent-writer safety suite for the content-addressed result
+//! store: N threads sharing one handle, two independent handles in the
+//! same process, two real OS processes, and a writer killed mid-batch
+//! and resumed — every merged store must read back bit-identical to an
+//! uninterrupted serial run.
+//!
+//! The cross-process tests re-invoke this test binary (libtest filters
+//! select the helper, an env var arms it) so the writers genuinely run
+//! in separate address spaces with separate file descriptors.
+
+use hyperpred::{JournalEntry, RecordOutcome, Store};
+use hyperpred_sim::SimStats;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Deterministic, distinct stats for cell `i` — every writer derives
+/// the same payload for the same key, as real pipeline runs do.
+fn stats_for(i: u64) -> SimStats {
+    SimStats {
+        cycles: 1_000 + i * 7,
+        insts: 2_000 + i * 3,
+        nullified: i % 5,
+        branches: 100 + i,
+        mispredicts: i % 11,
+        loads: 50 + i * 2,
+        stores: 25 + i,
+        icache_misses: 0,
+        dcache_misses: 0,
+        ret: i as i64 - 3,
+    }
+}
+
+fn fp_for(i: u64) -> String {
+    format!("v1|pipe{:016x}|wl-{}|storetest", i * 0x9e37, i)
+}
+
+fn put_cell(store: &Store, i: u64) -> RecordOutcome {
+    let fp = fp_for(i);
+    let stats = stats_for(i);
+    store
+        .put(&JournalEntry {
+            fingerprint: &fp,
+            workload: "wl",
+            experiment: "store-test",
+            model: None,
+            stats: &stats,
+        })
+        .expect("put")
+}
+
+/// The full logical content of a store, keyed for ordered comparison.
+fn snapshot(store: &Store) -> BTreeMap<String, SimStats> {
+    let mut map = BTreeMap::new();
+    for i in 0..1_000u64 {
+        let fp = fp_for(i);
+        if let Some(s) = store.get(&fp) {
+            map.insert(fp, s);
+        }
+    }
+    map
+}
+
+fn serial_reference(dir: &Path, n: u64) -> BTreeMap<String, SimStats> {
+    let store = Store::open(dir).expect("open serial store");
+    for i in 0..n {
+        put_cell(&store, i);
+    }
+    snapshot(&store)
+}
+
+#[test]
+fn n_threads_one_handle_merge_bit_identical_to_serial() {
+    const CELLS: u64 = 120;
+    const THREADS: u64 = 8;
+
+    let serial = serial_reference(&tmpdir("store-serial-a"), CELLS);
+
+    let dir = tmpdir("store-threads");
+    let store = Arc::new(Store::open(&dir).expect("open store"));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Striped ownership plus deliberate overlap: every
+                // thread also re-puts its neighbour's stripe, so the
+                // duplicate path runs concurrently with appends.
+                for i in (0..CELLS).filter(|i| i % THREADS == t || i % THREADS == (t + 1) % THREADS)
+                {
+                    put_cell(&store, i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    assert_eq!(store.len() as u64, CELLS);
+    assert_eq!(store.conflicts(), 0);
+    assert_eq!(snapshot(&store), serial);
+
+    // Compaction must not change a single answer. (One shared handle
+    // dedups before the disk, so there are no duplicate lines to drop.)
+    let stats = store.compact().expect("compact");
+    assert_eq!(stats.lines_out as u64, CELLS, "{stats:?}");
+    assert_eq!(snapshot(&store), serial);
+
+    // A cold reopen sees the same content.
+    let reopened = Store::open(&dir).expect("reopen");
+    assert_eq!(reopened.len() as u64, CELLS);
+    assert_eq!(snapshot(&reopened), serial);
+}
+
+#[test]
+fn two_in_process_handles_merge_bit_identical_to_serial() {
+    const CELLS: u64 = 80;
+    let serial = serial_reference(&tmpdir("store-serial-b"), CELLS);
+
+    let dir = tmpdir("store-two-handles");
+    let a = Store::open(&dir).expect("open a");
+    let b = Store::open(&dir).expect("open b");
+    // Each handle owns its own segment file; interleave writers with an
+    // overlapping middle band.
+    for i in 0..CELLS {
+        if i % 2 == 0 || (30..50).contains(&i) {
+            put_cell(&a, i);
+        }
+        if i % 2 == 1 || (30..50).contains(&i) {
+            put_cell(&b, i);
+        }
+    }
+    // Neither handle saw the other's appends; a refresh merges them.
+    a.refresh().expect("refresh a");
+    assert_eq!(a.len() as u64, CELLS);
+    assert_eq!(a.conflicts(), 0);
+    assert_eq!(snapshot(&a), serial);
+}
+
+/// Helper the cross-process tests execute: writes a stripe of cells to
+/// the store named by `HYPERPRED_STORE_DIR`. Inert (instant pass) in a
+/// normal test run.
+#[test]
+fn store_writer_helper() {
+    let Ok(dir) = std::env::var("HYPERPRED_STORE_DIR") else {
+        return;
+    };
+    let stripe: u64 = std::env::var("HYPERPRED_STORE_STRIPE")
+        .expect("stripe")
+        .parse()
+        .expect("stripe number");
+    let cells: u64 = std::env::var("HYPERPRED_STORE_CELLS")
+        .expect("cells")
+        .parse()
+        .expect("cell count");
+    let pace_ms: u64 = std::env::var("HYPERPRED_STORE_PACE_MS")
+        .map(|v| v.parse().expect("pace"))
+        .unwrap_or(0);
+    let store = Store::open(&dir).expect("open store in child");
+    for i in (0..cells).filter(|i| i % 2 == stripe || (cells / 3..cells / 2).contains(i)) {
+        put_cell(&store, i);
+        if pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+        }
+    }
+}
+
+fn spawn_writer(dir: &Path, stripe: u64, cells: u64, pace_ms: u64) -> std::process::Child {
+    Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["--exact", "store_writer_helper", "--nocapture"])
+        .env("HYPERPRED_STORE_DIR", dir)
+        .env("HYPERPRED_STORE_STRIPE", stripe.to_string())
+        .env("HYPERPRED_STORE_CELLS", cells.to_string())
+        .env("HYPERPRED_STORE_PACE_MS", pace_ms.to_string())
+        .spawn()
+        .expect("spawn writer process")
+}
+
+#[test]
+fn two_processes_merge_bit_identical_to_serial() {
+    const CELLS: u64 = 60;
+    let serial = serial_reference(&tmpdir("store-serial-c"), CELLS);
+
+    let dir = tmpdir("store-two-procs");
+    let mut a = spawn_writer(&dir, 0, CELLS, 0);
+    let mut b = spawn_writer(&dir, 1, CELLS, 0);
+    assert!(a.wait().expect("wait a").success(), "writer a failed");
+    assert!(b.wait().expect("wait b").success(), "writer b failed");
+
+    let store = Store::open(&dir).expect("open merged store");
+    assert_eq!(store.len() as u64, CELLS, "every stripe landed");
+    assert_eq!(store.conflicts(), 0, "{:?}", store.conflict_report());
+    assert_eq!(store.corrupt(), 0);
+    assert_eq!(snapshot(&store), serial);
+
+    let stats = store.compact().expect("compact merged store");
+    assert!(stats.segments_merged >= 2, "{stats:?}");
+    assert_eq!(snapshot(&store), serial);
+    let reopened = Store::open(&dir).expect("reopen after compaction");
+    assert_eq!(snapshot(&reopened), serial);
+}
+
+#[test]
+fn killed_writer_resumes_bit_identically() {
+    const CELLS: u64 = 60;
+    let serial = serial_reference(&tmpdir("store-serial-d"), CELLS);
+
+    let dir = tmpdir("store-kill-resume");
+    // A paced writer so the kill lands mid-batch, not after the fact.
+    let mut child = spawn_writer(&dir, 0, CELLS, 5);
+    // Wait until at least one record hit the disk, then kill without
+    // warning — whatever tail it tore must be tolerated, not fatal.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let written = Store::open(&dir).map(|s| s.len()).unwrap_or(0);
+        if written >= 3 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "writer produced no records to kill over"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    child.kill().expect("kill writer");
+    let _ = child.wait();
+
+    // Resume: a fresh writer re-puts the *entire* batch. Everything the
+    // dead writer landed is deduplicated; the rest appends.
+    let store = Store::open(&dir).expect("open store after kill");
+    let survivors = store.len() as u64;
+    assert!(survivors >= 3, "kill landed before any writes");
+    let mut duplicates = 0;
+    for i in 0..CELLS {
+        if put_cell(&store, i) == RecordOutcome::Duplicate {
+            duplicates += 1;
+        }
+    }
+    assert_eq!(duplicates, survivors, "dead writer's records all reused");
+    assert_eq!(store.len() as u64, CELLS);
+    assert_eq!(store.conflicts(), 0, "{:?}", store.conflict_report());
+    assert_eq!(snapshot(&store), serial);
+
+    // Compact and reopen: still bit-identical to the serial reference.
+    store.compact().expect("compact after resume");
+    let reopened = Store::open(&dir).expect("reopen");
+    assert_eq!(snapshot(&reopened), serial);
+}

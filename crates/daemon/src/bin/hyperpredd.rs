@@ -1,0 +1,108 @@
+//! `hyperpredd` binary: flag parsing, signal wiring, and the serve loop.
+//!
+//! ```text
+//! hyperpredd --addr 127.0.0.1:7199 --store hyperpredd-store \
+//!            [--workers N] [--queue N] [--max-conns N] \
+//!            [--retries N] [--deadline-ms MS] [--no-degrade]
+//! ```
+//!
+//! SIGTERM and SIGINT both trigger a graceful drain: the acceptor stops,
+//! every accepted connection (and every cell inside it) completes, then
+//! the process exits 0.
+
+use hyperpred::{RequestConfig, RetryPolicy};
+use hyperpred_daemon::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// The flag the signal handler flips (handlers may only touch statics).
+static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)` — std links libc on every supported platform, so
+    /// declaring it directly avoids a dependency the image doesn't have.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_sig: i32) {
+    if let Some(flag) = SHUTDOWN.get() {
+        flag.store(true, Ordering::Release);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hyperpredd [--addr HOST:PORT] [--store DIR] [--workers N] \
+         [--queue N] [--max-conns N] [--retries N] [--deadline-ms MS] [--no-degrade]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> DaemonConfig {
+    let mut cfg = DaemonConfig::default();
+    let mut retry = RetryPolicy {
+        max_attempts: 2,
+        backoff: Duration::from_millis(10),
+    };
+    let mut deadline = Some(Duration::from_secs(30));
+    let mut degrade = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("hyperpredd: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--store" => cfg.store_dir = PathBuf::from(value("--store")),
+            "--workers" => cfg.max_active = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.max_waiting = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                cfg.max_connections = value("--max-conns").parse().unwrap_or_else(|_| usage())
+            }
+            "--retries" => {
+                retry.max_attempts = value("--retries").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--no-degrade" => degrade = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("hyperpredd: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    cfg.request = RequestConfig {
+        retry,
+        deadline,
+        degrade,
+    };
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hyperpredd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = SHUTDOWN.set(daemon.shutdown_flag());
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    daemon.wait();
+}

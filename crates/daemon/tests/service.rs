@@ -1,0 +1,251 @@
+//! End-to-end daemon suite: a real `hyperpredd` instance on an
+//! OS-assigned port, driven over TCP with the same client the
+//! `bench-load` generator uses. Pins the service contract the CI smoke
+//! job relies on: a repeated batch is answered entirely from the store
+//! with bit-identical stats, malformed requests get typed errors (never
+//! a worker abort), the bounded queue rejects with a typed answer, and
+//! shutdown drains cleanly.
+
+use hyperpred::service::{
+    self, get_u64, http_call, http_post, parse_batch_response, CellStatus, LoadConfig,
+};
+use hyperpred::{CellRequest, Model};
+use hyperpred_daemon::{Daemon, DaemonConfig};
+use hyperpred_sim::{MemoryModel, DEFAULT_CYCLE_LIMIT};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn start_daemon(store: &str, max_active: usize, max_waiting: usize) -> Daemon {
+    Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: tmpdir(store),
+        max_active,
+        max_waiting,
+        ..DaemonConfig::default()
+    })
+    .expect("start daemon")
+}
+
+#[test]
+fn repeat_batch_is_served_from_cache_bit_identically() {
+    let daemon = start_daemon("daemon-repeat", 0, 64);
+    let cfg = LoadConfig {
+        addr: daemon.addr().to_string(),
+        cells: 30,
+        batch: 10,
+        seed: 7,
+        issue: 4,
+        branches: 1,
+    };
+    let reqs = service::load_requests(&cfg);
+    assert_eq!(reqs.len(), 30);
+
+    // Cold pass: nothing in the store, every cell computes (or fails
+    // deterministically — generated programs all pass the pipeline).
+    let (cold, cold_resps) = service::run_load(&cfg, &reqs).expect("cold pass");
+    assert_eq!(cold.sent, 30);
+    assert_eq!(cold.failed, 0, "{cold_resps:?}");
+    assert_eq!(cold.rejected, 0);
+    assert_eq!(cold.conflicts, 0);
+    assert_eq!(cold.computed + cold.hits, 30);
+
+    // Warm pass: the identical request stream must be answered 100%
+    // from the store, stats bit-identical to the cold pass.
+    let (warm, warm_resps) = service::run_load(&cfg, &reqs).expect("warm pass");
+    assert_eq!(warm.hits, 30, "warm pass must be all cache hits");
+    assert_eq!(warm.computed, 0);
+    assert!((warm.hit_rate - 1.0).abs() < 1e-9);
+    for (c, w) in cold_resps.iter().zip(&warm_resps) {
+        assert_eq!(w.status, CellStatus::Hit);
+        assert_eq!(c.fingerprint, w.fingerprint);
+        assert_eq!(c.stats, w.stats, "stats must be bit-identical");
+        assert!(c.stats.is_some());
+    }
+
+    // The stats endpoint agrees with the client-side tallies.
+    let (status, body) = http_call(&cfg.addr, "GET", "/v1/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    assert_eq!(get_u64(&body, "hits"), Some(30));
+    assert_eq!(get_u64(&body, "computed"), Some(cold.computed as u64));
+    assert_eq!(get_u64(&body, "store_conflicts"), Some(0));
+
+    // Graceful shutdown drains and joins cleanly.
+    daemon.request_shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_aborts() {
+    let daemon = start_daemon("daemon-malformed", 0, 8);
+    let addr = daemon.addr().to_string();
+
+    // Unparseable body: typed 400, not a dropped connection.
+    let (status, body) = http_post(&addr, "/v1/cell", "this is not json").expect("post garbage");
+    assert_eq!(status, 400, "{body}");
+
+    // Parseable but invalid: a zero issue width must come back as a
+    // structured per-cell failure, never a worker abort.
+    let req = CellRequest {
+        name: "bad-width".to_string(),
+        source: "int main() { return 0; }".to_string(),
+        args: vec![],
+        model: Model::FullPred,
+        issue: 0,
+        branches: 1,
+        memory: MemoryModel::Perfect,
+        max_cycles: DEFAULT_CYCLE_LIMIT,
+    };
+    let (status, body) =
+        http_post(&addr, "/v1/cell", &service::request_to_json(&req)).expect("post invalid");
+    assert_eq!(status, 200, "{body}");
+    let resp = service::parse_response(&body).expect("typed response");
+    assert_eq!(resp.status, CellStatus::Failed);
+    assert_eq!(resp.stage.as_deref(), Some("compile"));
+    assert!(resp.error.is_some());
+
+    // A source that fails to compile is also a typed failure.
+    let req = CellRequest {
+        name: "syntax-error".to_string(),
+        source: "int main( { return; }".to_string(),
+        issue: 4,
+        ..req
+    };
+    let (status, body) =
+        http_post(&addr, "/v1/cell", &service::request_to_json(&req)).expect("post broken source");
+    assert_eq!(status, 200, "{body}");
+    let resp = service::parse_response(&body).expect("typed response");
+    assert_eq!(resp.status, CellStatus::Failed);
+    assert_eq!(resp.stage.as_deref(), Some("compile"));
+
+    // Unknown endpoints 404; the daemon still answers afterwards.
+    let (status, _) = http_post(&addr, "/v1/nope", "{}").expect("post unknown path");
+    assert_eq!(status, 404);
+    let (status, _) = http_call(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+
+    daemon.request_shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn full_queue_returns_typed_rejection() {
+    // One compute slot, zero queue depth: concurrent distinct cells
+    // must be rejected with the typed backpressure answer while the
+    // first one holds the slot.
+    let daemon = start_daemon("daemon-queue", 1, 0);
+    let addr = daemon.addr().to_string();
+
+    let slow_source = |salt: u64| {
+        format!(
+            "int main() {{
+                int i; int s; s = {salt};
+                for (i = 0; i < 400000; i += 1) {{
+                    if (i % 3 == 0) s += i; else s -= 1;
+                }}
+                return s;
+            }}"
+        )
+    };
+    let reqs: Vec<CellRequest> = (0..4)
+        .map(|salt| CellRequest {
+            name: format!("slow-{salt}"),
+            source: slow_source(salt),
+            args: vec![],
+            model: Model::Superblock,
+            issue: 4,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
+        })
+        .collect();
+
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|req| {
+            let addr = addr.clone();
+            let body = service::request_to_json(req);
+            std::thread::spawn(move || {
+                let (status, body) = http_post(&addr, "/v1/cell", &body).expect("post cell");
+                assert_eq!(status, 200, "{body}");
+                service::parse_response(&body).expect("typed response")
+            })
+        })
+        .collect();
+    let resps: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+
+    let served = resps
+        .iter()
+        .filter(|r| r.status == CellStatus::Hit || r.status == CellStatus::Computed)
+        .count();
+    let rejected: Vec<_> = resps
+        .iter()
+        .filter(|r| r.status == CellStatus::Rejected)
+        .collect();
+    assert!(served >= 1, "{resps:?}");
+    assert!(
+        !rejected.is_empty(),
+        "four concurrent cells against a one-slot, zero-queue gate \
+         must overflow: {resps:?}"
+    );
+    for r in &rejected {
+        let msg = r
+            .error
+            .as_deref()
+            .expect("typed rejection carries a reason");
+        assert!(msg.contains("queue full"), "{msg}");
+    }
+
+    // Rejection is backpressure, not failure: a retry once the slot is
+    // free succeeds, and cached answers bypass the gate entirely.
+    let (status, body) =
+        http_post(&addr, "/v1/cell", &service::request_to_json(&reqs[0])).expect("retry");
+    assert_eq!(status, 200);
+    let resp = service::parse_response(&body).expect("typed response");
+    assert!(
+        resp.status == CellStatus::Hit || resp.status == CellStatus::Computed,
+        "{resp:?}"
+    );
+
+    daemon.request_shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn batch_endpoint_answers_every_cell_in_order() {
+    let daemon = start_daemon("daemon-batch", 0, 16);
+    let addr = daemon.addr().to_string();
+    let reqs: Vec<CellRequest> = (0..3)
+        .map(|i| CellRequest {
+            name: format!("ret-{i}"),
+            source: format!("int main() {{ return {i}; }}"),
+            args: vec![],
+            model: Model::FullPred,
+            issue: 2,
+            branches: 1,
+            memory: MemoryModel::Perfect,
+            max_cycles: DEFAULT_CYCLE_LIMIT,
+        })
+        .collect();
+    let (status, body) =
+        http_post(&addr, "/v1/cells", &service::batch_to_json(&reqs)).expect("post batch");
+    assert_eq!(status, 200, "{body}");
+    let resps = parse_batch_response(&body).expect("batch response");
+    assert_eq!(resps.len(), 3);
+    for (i, r) in resps.iter().enumerate() {
+        assert_eq!(r.status, CellStatus::Computed, "{r:?}");
+        let stats = r.stats.as_ref().expect("computed stats");
+        assert_eq!(stats.ret, i as i64, "cells answered in request order");
+    }
+
+    daemon.request_shutdown();
+    daemon.wait();
+}

@@ -5,7 +5,7 @@
 //! write-allocate; miss penalty 12 cycles.
 
 /// Cache geometry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total size in bytes.
     pub size: u64,

@@ -84,7 +84,7 @@ impl From<EmuError> for SimError {
 }
 
 /// Memory hierarchy model.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MemoryModel {
     /// Single-cycle memory (the paper's "perfect caches").
     #[default]
