@@ -66,9 +66,9 @@ use hyperpred::sched::MachineConfig;
 use hyperpred::sim::{CacheConfig, MemoryModel, SimConfig};
 use hyperpred::workloads::Scale;
 use hyperpred::{
-    branch_table, instruction_table, run_matrix_configured, run_matrix_with_stats, speedup_table,
-    summarize_run, BenchResult, Experiment, FailurePolicy, MatrixConfig, RetryPolicy, RunJournal,
-    TriageConfig,
+    branch_table, fsck, instruction_table, run_matrix_configured, run_matrix_with_stats,
+    speedup_table, summarize_run, BenchResult, Experiment, FailurePolicy, FsckOptions,
+    MatrixConfig, RetryPolicy, RunJournal, TriageConfig,
 };
 use hyperpred::{evaluate, speedup, Model, Pipeline, PipelineError, Stage};
 use std::process::ExitCode;
@@ -99,7 +99,8 @@ fn usage() -> ExitCode {
          [--profiles p,q] [--widths IxB,...] [--max-cells N] [--sabotage <pass>] \
          [--max-cycles N] [--fuel N]\n\
          \x20      hyperpredc bench-load [--addr HOST:PORT] [--cells N] [--batch N] \
-         [--seed S] [--issue K] [--branches B] [--passes N]"
+         [--seed S] [--issue K] [--branches B] [--passes N] [--attempts N]\n\
+         \x20      hyperpredc fsck <store-dir> [--repair] [--compact] [--stale-secs N]"
     );
     ExitCode::from(2)
 }
@@ -819,6 +820,16 @@ fn bench_load(mut args: impl Iterator<Item = String>) -> ExitCode {
                 };
                 passes = n;
             }
+            "--attempts" => {
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u32| n >= 1)
+                else {
+                    return usage();
+                };
+                cfg.attempts = n;
+            }
             _ => return usage(),
         }
     }
@@ -873,6 +884,50 @@ fn bench_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Scans a result-store directory for damage — torn tails, checksum
+/// failures, stale compaction locks, orphan temp files — and with
+/// `--repair` fixes what can be fixed (corrupt lines are quarantined,
+/// never deleted). Exit status: 0 clean, 1 findings, 2 I/O failure.
+fn fsck_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(dir) = args.next().filter(|t| !t.starts_with("--")) else {
+        return usage();
+    };
+    let mut opts = FsckOptions::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--repair" => opts.repair = true,
+            "--compact" => {
+                opts.repair = true;
+                opts.compact = true;
+            }
+            "--stale-secs" => {
+                let Some(secs) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                opts.lock_stale_after = Duration::from_secs(secs);
+            }
+            _ => return usage(),
+        }
+    }
+    match fsck(&dir, &opts) {
+        Ok(report) => {
+            println!("fsck {dir}:");
+            print!("{report}");
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                // Findings — repaired or not — exit 1 so scripts notice
+                // the store needed attention.
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hyperpredc: fsck {dir}: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -934,6 +989,7 @@ fn main() -> ExitCode {
             Some("analyze") => return analyze(it),
             Some("soak") => return soak(it),
             Some("bench-load") => return bench_load(it),
+            Some("fsck") => return fsck_cmd(it),
             _ => {}
         }
     }

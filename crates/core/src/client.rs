@@ -1,0 +1,326 @@
+//! Hardened daemon client: bounded timeouts and retry with backoff.
+//!
+//! The plain [`http_call`](crate::service::http_call) helper connects
+//! without a deadline and treats every failure as final — fine for
+//! tests poking a known-live daemon, wrong for `bench-load` and CI
+//! driving a daemon that may be starting up, draining, or freshly
+//! killed. A [`Client`] wraps the same wire protocol with:
+//!
+//! - **connect and read/write timeouts**, so a dead peer costs bounded
+//!   time instead of a hang;
+//! - **bounded exponential backoff with deterministic jitter** on the
+//!   retryable failures: connection refused/reset, timeouts, and HTTP
+//!   503 (the daemon's connection-cap and draining answers);
+//! - **per-cell retry of typed `rejected` answers** in
+//!   [`Client::post_cells`] — backpressure is an invitation to retry
+//!   the rejected subset, not a batch failure.
+//!
+//! Everything else (4xx, unparseable responses, result-count
+//! mismatches) is surfaced immediately as [`ClientError::Fatal`]:
+//! retrying a protocol error only hides a broken daemon.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::journal::fnv64;
+use crate::matrix::CellRequest;
+use crate::service::{
+    batch_to_json, http_call_timeout, parse_batch_response, CellResponse, CellStatus,
+};
+
+/// Tuning for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for reading (and writing) the response.
+    pub read_timeout: Duration,
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Ceiling for the exponential backoff.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic jitter added to each backoff (vary it
+    /// per worker to de-synchronize a fleet; any fixed value keeps a
+    /// test reproducible).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            addr: "127.0.0.1:7199".to_string(),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            max_attempts: 4,
+            backoff: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Why a [`Client`] call gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed retryably (refused/reset/timeout/503).
+    Exhausted {
+        /// Attempts spent before giving up.
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
+    /// A non-retryable error: protocol damage or an unexpected HTTP
+    /// status — retrying would only hide it.
+    Fatal(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            ClientError::Fatal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match e {
+            ClientError::Fatal(e) => e,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+/// True for transport failures worth retrying: the peer was absent,
+/// went away mid-exchange, or a deadline fired. `WouldBlock` is what a
+/// Unix read timeout surfaces as.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// A retrying daemon client. Cheap to construct; holds no connection
+/// (the protocol is one request per connection).
+#[derive(Debug)]
+pub struct Client {
+    cfg: ClientConfig,
+    retries: AtomicU64,
+}
+
+impl Client {
+    /// Builds a client for `cfg.addr`.
+    pub fn new(cfg: ClientConfig) -> Client {
+        Client {
+            cfg,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Retry rounds spent so far (transport retries plus rejected-cell
+    /// re-posts), for reports and tests.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Backoff before attempt `attempt` (2, 3, ...): exponential from
+    /// the base, capped, plus up to 50% deterministic jitter.
+    fn delay(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(2).min(16);
+        let base = self
+            .cfg
+            .backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.cfg.backoff_max);
+        let base_ms = base.as_millis().max(1) as u64;
+        let mut key = [0u8; 12];
+        key[..8].copy_from_slice(&self.cfg.jitter_seed.to_le_bytes());
+        key[8..].copy_from_slice(&attempt.to_le_bytes());
+        let jitter_ms = fnv64(&key) % (base_ms / 2 + 1);
+        base + Duration::from_millis(jitter_ms)
+    }
+
+    fn note_retry(&self, attempt: u32) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.delay(attempt));
+    }
+
+    /// One HTTP exchange with retry/backoff on retryable transport
+    /// errors and 503 answers. Any other status is returned to the
+    /// caller (it is an *answer*, not a failure).
+    ///
+    /// # Errors
+    /// [`ClientError::Exhausted`] when every attempt failed retryably;
+    /// [`ClientError::Fatal`] on protocol damage.
+    pub fn call(&self, method: &str, path: &str, body: &str) -> Result<(u16, String), ClientError> {
+        let attempts = self.cfg.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.note_retry(attempt);
+            }
+            match http_call_timeout(
+                &self.cfg.addr,
+                method,
+                path,
+                body,
+                self.cfg.connect_timeout,
+                self.cfg.read_timeout,
+            ) {
+                Ok((503, body)) => {
+                    last = format!("HTTP 503: {}", body.trim());
+                }
+                Ok(answer) => return Ok(answer),
+                Err(e) if retryable(&e) => last = e.to_string(),
+                Err(e) => return Err(ClientError::Fatal(e)),
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn get(&self, path: &str) -> Result<(u16, String), ClientError> {
+        self.call("GET", path, "")
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn post(&self, path: &str, body: &str) -> Result<(u16, String), ClientError> {
+        self.call("POST", path, body)
+    }
+
+    /// Posts `reqs` to `/v1/cells`, retrying the *rejected subset* with
+    /// backoff until everything has a terminal answer or the attempt
+    /// budget runs out (remaining cells keep their last `rejected`
+    /// answer — still a typed response, never a hole). The returned
+    /// vector is aligned with `reqs`.
+    ///
+    /// # Errors
+    /// [`ClientError::Exhausted`] when the daemon was unreachable;
+    /// [`ClientError::Fatal`] on a non-200 answer or protocol damage.
+    pub fn post_cells(&self, reqs: &[CellRequest]) -> Result<Vec<CellResponse>, ClientError> {
+        let mut out: Vec<Option<CellResponse>> = vec![None; reqs.len()];
+        let mut pending: Vec<usize> = (0..reqs.len()).collect();
+        let rounds = self.cfg.max_attempts.max(1);
+        for round in 1..=rounds {
+            if round > 1 {
+                self.note_retry(round);
+            }
+            let batch: Vec<CellRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
+            let (status, body) = self.post("/v1/cells", &batch_to_json(&batch))?;
+            if status != 200 {
+                return Err(ClientError::Fatal(io::Error::other(format!(
+                    "daemon answered HTTP {status}: {body}"
+                ))));
+            }
+            let resps = parse_batch_response(&body)
+                .map_err(|e| ClientError::Fatal(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+            if resps.len() != batch.len() {
+                return Err(ClientError::Fatal(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("sent {} cells, got {} results", batch.len(), resps.len()),
+                )));
+            }
+            let mut still = Vec::new();
+            for (&slot, resp) in pending.iter().zip(resps) {
+                if resp.status == CellStatus::Rejected && round < rounds {
+                    still.push(slot);
+                }
+                out[slot] = Some(resp);
+            }
+            if still.is_empty() {
+                break;
+            }
+            pending = still;
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every request slot gets an answer"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// Binds and immediately drops a listener to find a port that is
+    /// almost certainly closed.
+    fn closed_port_addr() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    #[test]
+    fn refused_connection_is_retried_then_typed() {
+        let client = Client::new(ClientConfig {
+            addr: closed_port_addr(),
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(40),
+            ..ClientConfig::default()
+        });
+        let started = Instant::now();
+        let err = client.get("/healthz").expect_err("nobody listening");
+        match err {
+            ClientError::Exhausted { attempts, ref last } => {
+                assert_eq!(attempts, 3);
+                assert!(!last.is_empty());
+            }
+            ClientError::Fatal(e) => panic!("refused must be retryable, got {e}"),
+        }
+        assert_eq!(client.retries(), 2, "two retry rounds for three attempts");
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "backoff must actually wait"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let client = Client::new(ClientConfig {
+            backoff: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(400),
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        });
+        let d2 = client.delay(2);
+        let d3 = client.delay(3);
+        let d5 = client.delay(5);
+        assert!(d2 >= Duration::from_millis(100) && d2 <= Duration::from_millis(150));
+        assert!(d3 >= Duration::from_millis(200) && d3 <= Duration::from_millis(300));
+        assert!(
+            d5 <= Duration::from_millis(600),
+            "capped at backoff_max + 50% jitter, got {d5:?}"
+        );
+        assert_eq!(client.delay(2), d2, "jitter is deterministic");
+    }
+}

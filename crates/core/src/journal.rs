@@ -28,14 +28,22 @@
 //! completed cell appends a `cell` record:
 //!
 //! ```text
-//! {"kind":"meta","version":1,"crate_version":"0.1.0"}
-//! {"kind":"cell","version":1,"fp":"92ab...","workload":"wc","experiment":"Figure 8: ...","model":"fullpred","cycles":123,...,"ret":42}
+//! {"kind":"meta","version":2,"crate_version":"0.1.0"}
+//! {"kind":"cell","version":2,"fp":"92ab...","workload":"wc","experiment":"Figure 8: ...","model":"fullpred","cycles":123,...,"ret":42,"ck":"a1b2c3d4e5f60718"}
 //! ```
+//!
+//! Every version-2 cell line ends with a `ck` suffix: the [`fnv64`] hash
+//! (hex, 16 digits) of every byte of the line before the `,"ck"` marker.
+//! A record whose checksum does not verify is *corruption*, counted and
+//! never served — a flipped bit can no longer masquerade as truth.
+//! Version-1 lines (written before checksums existed) carry no `ck` and
+//! are still accepted, so old journals and stores load unchanged.
 //!
 //! Only successful cells are journaled — failures re-run on resume.
 //! Loading tolerates a torn trailing line (a crash mid-append) and skips
-//! records whose per-line `version` does not match [`JOURNAL_VERSION`];
-//! both simply fall back to re-running the cell.
+//! records whose per-line `version` is neither [`JOURNAL_VERSION`] nor
+//! [`LEGACY_JOURNAL_VERSION`]; both simply fall back to re-running the
+//! cell.
 
 use hyperpred_sim::SimStats;
 use std::collections::HashMap;
@@ -49,8 +57,14 @@ use crate::pipeline::Model;
 pub use crate::store::{CompactStats, Store};
 
 /// Schema version stamped into every record so future shape changes are
-/// detected (and skipped) instead of silently mis-parsed.
-pub const JOURNAL_VERSION: u64 = 1;
+/// detected (and skipped) instead of silently mis-parsed. Version 2
+/// added the per-line `ck` checksum suffix.
+pub const JOURNAL_VERSION: u64 = 2;
+
+/// The pre-checksum schema version. Lines at this version carry no `ck`
+/// suffix and are accepted as-is so stores written before the checksum
+/// change still load.
+pub const LEGACY_JOURNAL_VERSION: u64 = 1;
 
 /// FNV-1a 64-bit hash — small, dependency-free, and stable across runs
 /// and platforms (unlike `DefaultHasher`, which is randomly seeded).
@@ -202,8 +216,10 @@ impl RunJournal {
     /// Fails only on I/O errors (unreadable file, uncreatable path).
     pub fn open(path: impl AsRef<Path>) -> io::Result<RunJournal> {
         let path = path.as_ref().to_path_buf();
-        let existing = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
+        // Lossy read: a disk-corrupted byte becomes U+FFFD and fails that
+        // line's checksum; it must not make the whole journal unreadable.
+        let existing = match std::fs::read(&path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
@@ -220,15 +236,11 @@ impl RunJournal {
             }
             // Expected skips: meta records, a torn *final* line (crash
             // mid-append), and foreign-version cells (schema change).
-            // Anything else is corruption — skipped, but counted, so
-            // drivers can report a damaged journal instead of silently
-            // re-running an unexpected number of cells.
-            let kind = field_str(line, "kind");
-            let is_meta = kind.as_deref() == Some("meta");
-            let is_foreign_cell = kind.as_deref() == Some("cell")
-                && field_u64(line, "version").is_some_and(|v| v != JOURNAL_VERSION);
-            let is_torn_tail = idx + 1 == lines.len() && !line.trim_end().ends_with('}');
-            if !is_meta && !is_foreign_cell && !is_torn_tail {
+            // Anything else — including a checksum-failing line — is
+            // corruption: skipped, but counted, so drivers can report a
+            // damaged journal instead of silently re-running an
+            // unexpected number of cells.
+            if !is_expected_skip(line, idx + 1 == lines.len()) {
                 corrupt += 1;
             }
         }
@@ -347,15 +359,17 @@ pub fn model_slug(model: Option<Model>) -> &'static str {
     }
 }
 
-/// Serializes one cell record as a JSONL line (trailing newline included).
+/// Serializes one cell record as a JSONL line (trailing newline
+/// included), ending in the `ck` checksum suffix: `fnv64` over every
+/// byte before the `,"ck"` marker.
 pub(crate) fn cell_line(entry: &JournalEntry<'_>) -> String {
     let s = entry.stats;
-    format!(
+    let mut line = format!(
         "{{\"kind\":\"cell\",\"version\":{JOURNAL_VERSION},\"fp\":\"{}\",\
          \"workload\":\"{}\",\"experiment\":\"{}\",\"model\":\"{}\",\
          \"cycles\":{},\"insts\":{},\"nullified\":{},\"branches\":{},\
          \"mispredicts\":{},\"loads\":{},\"stores\":{},\
-         \"icache_misses\":{},\"dcache_misses\":{},\"ret\":{}}}\n",
+         \"icache_misses\":{},\"dcache_misses\":{},\"ret\":{}",
         escape(entry.fingerprint),
         escape(entry.workload),
         escape(entry.experiment),
@@ -370,17 +384,48 @@ pub(crate) fn cell_line(entry: &JournalEntry<'_>) -> String {
         s.icache_misses,
         s.dcache_misses,
         s.ret,
-    )
+    );
+    let ck = fnv64(line.as_bytes());
+    line.push_str(&format!(",\"ck\":\"{ck:016x}\"}}\n"));
+    line
 }
 
-/// Parses one line; `None` for meta records, foreign versions, torn or
-/// malformed lines (all of which just mean "re-run that cell").
+/// The `,"ck":"` marker that opens the checksum suffix. Safe to locate
+/// with `rfind`: [`escape`] turns every `"` inside a value into `\"`,
+/// so this exact byte sequence cannot occur inside field data.
+const CK_MARKER: &str = ",\"ck\":\"";
+
+/// Verifies the checksum suffix of a current-version line. `None` when
+/// the suffix is missing, malformed, or does not match the bytes.
+fn verify_checksum(trimmed: &str) -> Option<()> {
+    let at = trimmed.rfind(CK_MARKER)?;
+    let hex = trimmed[at + CK_MARKER.len()..].strip_suffix("\"}")?;
+    let ck = u64::from_str_radix(hex, 16).ok()?;
+    if ck == fnv64(&trimmed.as_bytes()[..at]) {
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Parses one line; `None` for meta records, foreign versions, torn,
+/// checksum-failing, or malformed lines (all of which just mean "re-run
+/// that cell" — the caller classifies which are *expected*).
 pub(crate) fn parse_cell_line(line: &str) -> Option<(String, SimStats)> {
-    if !line.trim_end().ends_with('}') {
+    let trimmed = line.trim_end();
+    if !trimmed.ends_with('}') {
         return None; // torn trailing line from a crash mid-append
     }
-    if field_str(line, "kind")? != "cell" || field_u64(line, "version")? != JOURNAL_VERSION {
+    if field_str(line, "kind")? != "cell" {
         return None;
+    }
+    match field_u64(line, "version")? {
+        // Pre-checksum records are trusted as-is (nothing better exists).
+        LEGACY_JOURNAL_VERSION => {}
+        // A current-version record must checksum: a line claiming v2
+        // with a missing or wrong `ck` is damage, not a foreign schema.
+        JOURNAL_VERSION => verify_checksum(trimmed)?,
+        _ => return None,
     }
     let fp = field_str(line, "fp")?;
     let stats = SimStats {
@@ -396,6 +441,22 @@ pub(crate) fn parse_cell_line(line: &str) -> Option<(String, SimStats)> {
         ret: field_i64(line, "ret")?,
     };
     Some((fp, stats))
+}
+
+/// Classifies a line [`parse_cell_line`] rejected: `true` when the skip
+/// is *expected* (meta record, foreign-but-recognized schema version, or
+/// a torn final line from a crash mid-append), `false` when it is
+/// corruption the caller should count. Shared by [`RunJournal::open`],
+/// the store's segment scanner, and `fsck` so all three agree on what
+/// "damaged" means.
+pub(crate) fn is_expected_skip(line: &str, is_last_line: bool) -> bool {
+    let kind = field_str(line, "kind");
+    let is_meta = kind.as_deref() == Some("meta");
+    let is_foreign_cell = kind.as_deref() == Some("cell")
+        && field_u64(line, "version")
+            .is_some_and(|v| v != JOURNAL_VERSION && v != LEGACY_JOURNAL_VERSION);
+    let is_torn_tail = is_last_line && !line.trim_end().ends_with('}');
+    is_meta || is_foreign_cell || is_torn_tail
 }
 
 /// Escapes a string for our JSON writer (backslash, quote, newline).
@@ -542,9 +603,76 @@ mod tests {
             model: None,
             stats: &s,
         });
-        let foreign = line.replace("\"version\":1", "\"version\":99");
+        let foreign = line.replace(&format!("\"version\":{JOURNAL_VERSION}"), "\"version\":99");
         assert!(parse_cell_line(foreign.trim_end()).is_none());
         assert!(parse_cell_line(line.trim_end()).is_some());
+    }
+
+    /// Rewrites a current-version line as its version-1 (pre-checksum)
+    /// equivalent: `ck` suffix stripped, version field downgraded.
+    fn legacy_line(line: &str) -> String {
+        let trimmed = line.trim_end();
+        let at = trimmed.rfind(",\"ck\":\"").expect("v2 line has a ck");
+        format!("{}}}\n", &trimmed[..at]).replace(
+            &format!("\"version\":{JOURNAL_VERSION}"),
+            &format!("\"version\":{LEGACY_JOURNAL_VERSION}"),
+        )
+    }
+
+    #[test]
+    fn checksum_catches_a_flipped_bit() {
+        let s = stats(7);
+        let line = cell_line(&JournalEntry {
+            fingerprint: "aa",
+            workload: "w",
+            experiment: "baseline",
+            model: Some(Model::FullPred),
+            stats: &s,
+        });
+        assert!(parse_cell_line(line.trim_end()).is_some());
+        // Flip one digit of the cycles field: still perfectly
+        // well-formed JSON, but the checksum no longer verifies.
+        let flipped = line.replace("\"cycles\":7", "\"cycles\":8");
+        assert_ne!(flipped, line);
+        assert!(
+            parse_cell_line(flipped.trim_end()).is_none(),
+            "a silent payload flip must not be served"
+        );
+        // And a flipped line mid-file is counted as corruption.
+        let content = format!("{line}{flipped}");
+        let j = open_with("bitflip", content.as_bytes());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.lookup("aa"), Some(s));
+        assert_eq!(j.corrupt(), 1);
+    }
+
+    #[test]
+    fn legacy_v1_lines_without_checksum_still_load() {
+        let s = stats(11);
+        let line = cell_line(&JournalEntry {
+            fingerprint: "old",
+            workload: "w",
+            experiment: "baseline",
+            model: None,
+            stats: &s,
+        });
+        let v1 = legacy_line(&line);
+        assert!(!v1.contains("\"ck\""));
+        let (fp, parsed) = parse_cell_line(v1.trim_end()).expect("legacy line parses");
+        assert_eq!(fp, "old");
+        assert_eq!(parsed, s);
+        // A v2 line with the checksum chopped off is damage, not legacy.
+        let chopped = format!(
+            "{}}}\n",
+            line.trim_end()
+                .split(",\"ck\":\"")
+                .next()
+                .expect("has a ck suffix")
+        );
+        assert!(parse_cell_line(chopped.trim_end()).is_none());
+        let j = open_with("legacy", format!("{v1}{chopped}").as_bytes());
+        assert_eq!(j.len(), 1, "v1 loads; chopped v2 does not");
+        assert_eq!(j.corrupt(), 1, "the chopped v2 line is corruption");
     }
 
     #[test]
@@ -612,7 +740,13 @@ mod tests {
             model: None,
             stats: &s,
         });
-        let good2 = good.replace("\"fp\":\"aa\"", "\"fp\":\"bb\"");
+        let good2 = cell_line(&JournalEntry {
+            fingerprint: "bb",
+            workload: "w",
+            experiment: "baseline",
+            model: None,
+            stats: &s,
+        });
         let content = format!(
             "{{\"kind\":\"meta\",\"version\":1,\"crate_version\":\"0.0.0\"}}\n\
              {good}\

@@ -39,8 +39,10 @@
 //! assert!(speedup(&base, &full) > 1.0);
 //! ```
 
+pub mod client;
 pub mod experiments;
 pub mod faults;
+pub mod fsck;
 pub mod journal;
 pub mod matrix;
 pub mod pipeline;
@@ -50,11 +52,14 @@ pub mod service;
 pub mod soak;
 pub mod store;
 pub mod triage;
+pub mod vfs;
 
+pub use client::{Client, ClientConfig, ClientError};
 pub use experiments::{
     branch_table, instruction_table, mean_speedup, run_experiment, run_workload, speedup_table,
     BenchResult, Experiment,
 };
+pub use fsck::{fsck, FsckOptions, FsckReport};
 pub use journal::{fnv64, JournalConflict, JournalEntry, RecordOutcome, RunJournal};
 pub use matrix::{
     request_fingerprint, run_matrix, run_matrix_configured, run_matrix_policy,
@@ -68,8 +73,9 @@ pub use pipeline::{
 };
 pub use report::{format_table, summarize_run, Row, RunSummary};
 pub use soak::{run_soak, SoakConfig, SoakFailure, SoakReport, SOAK_EXPERIMENT};
-pub use store::{CompactStats, Store};
+pub use store::{CompactStats, Store, StoreConfig, SyncPolicy, DEFAULT_LOCK_STALE_AFTER};
 pub use triage::{load_bundle, minimize_module, minimize_source, Bundle, ReproCell, TriageConfig};
+pub use vfs::{Fault, FaultPlan, Vfs, VfsFile};
 
 // Re-export the workspace layers so downstream users need one dependency.
 pub use hyperpred_emu as emu;

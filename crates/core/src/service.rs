@@ -46,7 +46,7 @@ use crate::pipeline::Model;
 use hyperpred_sim::{CacheConfig, MemoryModel, SimStats, DEFAULT_CYCLE_LIMIT};
 use hyperpred_workloads::gen::{self, Profile};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Largest request/response body either side will read. Bounded so a
@@ -608,7 +608,57 @@ pub fn write_http_response(stream: &mut impl Write, status: u16, body: &str) -> 
 /// # Errors
 /// Transport errors, malformed responses, bodies over [`MAX_BODY_BYTES`].
 pub fn http_call(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect(addr)?;
+    http_call_on(stream, addr, method, path, body)
+}
+
+/// Like [`http_call`], but with bounded connect and read/write timeouts
+/// — the variant [`crate::client::Client`] builds on, so a dead or hung
+/// daemon degrades into a typed `TimedOut`/`WouldBlock` error instead
+/// of blocking forever.
+///
+/// # Errors
+/// See [`http_call`]; additionally `TimedOut` on a slow connect and the
+/// platform's read-timeout kind (`WouldBlock` on Unix) on a stalled
+/// response.
+pub fn http_call_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> io::Result<(u16, String)> {
+    let mut last = io::Error::new(
+        io::ErrorKind::AddrNotAvailable,
+        format!("no addresses resolved for {addr}"),
+    );
+    let mut stream = None;
+    for sock_addr in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock_addr, connect_timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last = e,
+        }
+    }
+    let Some(stream) = stream else {
+        return Err(last);
+    };
+    stream.set_read_timeout(Some(read_timeout)).ok();
+    stream.set_write_timeout(Some(read_timeout)).ok();
+    http_call_on(stream, addr, method, path, body)
+}
+
+/// The shared request/response exchange over an already-connected stream.
+fn http_call_on(
+    mut stream: TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
     stream.set_nodelay(true).ok();
     write!(
         stream,
@@ -619,7 +669,14 @@ pub fn http_call(addr: &str, method: &str, path: &str, body: &str) -> io::Result
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        // The server died before sending a byte (kill mid-request):
+        // retryable transport loss, not a protocol violation.
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -700,6 +757,11 @@ pub struct LoadConfig {
     pub issue: u32,
     /// Branch slots every request asks for.
     pub branches: u32,
+    /// Attempts per batch (transport retries and rejected-cell
+    /// re-posts), with exponential backoff between them.
+    pub attempts: u32,
+    /// Base backoff between attempts (doubles per attempt, jittered).
+    pub backoff: Duration,
 }
 
 impl Default for LoadConfig {
@@ -711,6 +773,8 @@ impl Default for LoadConfig {
             seed: 1,
             issue: 8,
             branches: 1,
+            attempts: 4,
+            backoff: Duration::from_millis(100),
         }
     }
 }
@@ -768,6 +832,13 @@ pub struct LoadReport {
     pub requests_per_sec: f64,
     /// `hits / sent` (0 when nothing was sent).
     pub hit_rate: f64,
+    /// Cells whose batch could not be delivered at all (connection
+    /// refused/reset/timeout after every retry). Counted under
+    /// [`LoadReport::failed`] too — these are the typed `transport`
+    /// failures in the response list.
+    pub transport_failures: usize,
+    /// Retry rounds the client spent (transport and rejected-cell).
+    pub retries: u64,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -785,37 +856,63 @@ impl std::fmt::Display for LoadReport {
             self.failed,
             self.rejected,
             self.conflicts,
-        )
+        )?;
+        if self.transport_failures > 0 || self.retries > 0 {
+            write!(
+                f,
+                " ({} transport-failed, {} retries)",
+                self.transport_failures, self.retries
+            )?;
+        }
+        Ok(())
     }
 }
 
 /// Sends `reqs` to the daemon in batches and tallies the answers.
+/// Delivery goes through [`crate::client::Client`], so a refused or
+/// reset connection is retried with backoff; a batch that stays
+/// undeliverable after every attempt degrades into typed per-cell
+/// `transport` failures (counted in
+/// [`LoadReport::transport_failures`]) and the pass *continues* — it
+/// never aborts mid-stream.
 ///
 /// # Errors
-/// Transport failures, non-200 answers, and unparseable responses.
+/// Protocol errors only: a non-200/503 answer, an unparseable response,
+/// or a result count that does not match the batch. An unreachable
+/// daemon is a typed failure in the report, not an `Err`.
 pub fn run_load(
     cfg: &LoadConfig,
     reqs: &[CellRequest],
 ) -> io::Result<(LoadReport, Vec<CellResponse>)> {
+    use crate::client::{Client, ClientConfig, ClientError};
+    let client = Client::new(ClientConfig {
+        addr: cfg.addr.clone(),
+        max_attempts: cfg.attempts.max(1),
+        backoff: cfg.backoff,
+        ..ClientConfig::default()
+    });
     let started = Instant::now();
     let mut responses: Vec<CellResponse> = Vec::with_capacity(reqs.len());
+    let mut transport_failures = 0usize;
     for chunk in reqs.chunks(cfg.batch.max(1)) {
-        let body = batch_to_json(chunk);
-        let (status, resp_body) = http_post(&cfg.addr, "/v1/cells", &body)?;
-        if status != 200 {
-            return Err(io::Error::other(format!(
-                "daemon answered HTTP {status}: {resp_body}"
-            )));
+        match client.post_cells(chunk) {
+            Ok(batch) => responses.extend(batch),
+            Err(ClientError::Exhausted { attempts, last }) => {
+                transport_failures += chunk.len();
+                for req in chunk {
+                    responses.push(CellResponse::failed(
+                        String::new(),
+                        "transport".to_string(),
+                        "transport: undeliverable".to_string(),
+                        format!(
+                            "cell {}: transport failure after {attempts} attempt(s): {last}",
+                            req.name
+                        ),
+                    ));
+                }
+            }
+            Err(ClientError::Fatal(e)) => return Err(e),
         }
-        let batch = parse_batch_response(&resp_body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        if batch.len() != chunk.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("sent {} cells, got {} results", chunk.len(), batch.len()),
-            ));
-        }
-        responses.extend(batch);
     }
     let wall = started.elapsed();
     let mut report = LoadReport {
@@ -828,6 +925,8 @@ pub fn run_load(
         wall,
         requests_per_sec: 0.0,
         hit_rate: 0.0,
+        transport_failures,
+        retries: client.retries(),
     };
     for r in &responses {
         match r.status {

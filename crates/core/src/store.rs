@@ -19,12 +19,27 @@
 //!   seg-00012345-0001.jsonl
 //!   seg-00098765-0000.jsonl   # another process
 //!   compact.lock              # present only while a compaction runs
+//!   tmp-compact-00012345      # compaction scratch; never read as a segment
+//!   quarantine/               # written only by `hyperpredc fsck --repair`
 //! ```
 //!
 //! Each segment uses the exact journal line format (meta line first, one
-//! `cell` record per line), so a segment *is* a valid `RunJournal` file
-//! and inherits its crash tolerance: a torn trailing line is expected
-//! damage, mid-file garbage is counted as corruption.
+//! checksummed `cell` record per line), so a segment *is* a valid
+//! `RunJournal` file and inherits its crash tolerance: a torn trailing
+//! line is expected damage, mid-file garbage or a checksum-failing line
+//! is counted as corruption and never served.
+//!
+//! # Durability
+//!
+//! All file I/O flows through an injectable [`Vfs`], which is how the
+//! crash-point sweeps in `crates/core/tests/crash.rs` prove the claims
+//! below. Appends are flushed on every [`Store::put`] and fsynced per
+//! the configured [`SyncPolicy`]; [`Store::sync`] forces an fsync (the
+//! daemon calls it on drain, and compaction always fsyncs both the
+//! compacted file and the directory). Against `kill -9` every `put`
+//! that returned `Ok` survives; against power loss the survivors are
+//! the records covered by the last successful fsync — see the
+//! durability table in DESIGN.md §10.
 //!
 //! # Compaction
 //!
@@ -33,25 +48,83 @@
 //! sides of every conflicted fingerprint* — a conflict is evidence of a
 //! fingerprint-scheme bug or a damaged writer and must survive rewrites
 //! so a plain re-open still detects it. Compactors serialize on
-//! `compact.lock` (`create_new`, removed on drop). Compaction snapshots
-//! the segment list at start and deletes only those files, so a segment
-//! created *by a new writer* mid-compaction survives; an append racing
-//! into a snapshotted segment of a *live foreign writer* can be lost,
-//! which is why compaction is specified to run only when other writers
-//! are quiescent (the daemon compacts from its own maintenance path).
+//! `compact.lock`; a lock left behind by a crashed compactor is detected
+//! via pid-liveness and age and stolen instead of wedging forever. The
+//! merge is published crash-safely: scratch goes to a `tmp-` name the
+//! segment globber never matches, the scratch file is fsynced before the
+//! rename, the writer handle rotates onto a fresh segment *before* any
+//! old segment is deleted, and the directory is fsynced after the rename
+//! and after the deletes — at every crash point a reopen serves either
+//! the old segments, or the new one, or both (duplicates merge), never a
+//! partial state. Compaction snapshots the segment list at start and
+//! deletes only those files, so a segment created *by a new writer*
+//! mid-compaction survives; an append racing into a snapshotted segment
+//! of a *live foreign writer* can be lost, which is why compaction is
+//! specified to run only when other writers are quiescent (the daemon
+//! compacts from its own maintenance path).
 
 use hyperpred_sim::SimStats;
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 use crate::journal::{
-    cell_line, field_str, field_u64, parse_cell_line, CellIndex, JournalConflict, JournalEntry,
+    cell_line, is_expected_skip, parse_cell_line, CellIndex, JournalConflict, JournalEntry,
     RecordOutcome, JOURNAL_VERSION,
 };
+use crate::vfs::{Vfs, VfsFile};
+
+/// When segment appends are fsynced. Flushing (userspace → kernel)
+/// happens on every [`Store::put`] regardless, so `kill -9` never loses
+/// an acked record under any policy; the policy decides what survives
+/// power loss / kernel panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync from `put` — only [`Store::sync`] and compaction
+    /// make records durable.
+    Never,
+    /// Fsync once every `n` appended records (`0` behaves like
+    /// [`SyncPolicy::Never`]).
+    EveryN(u32),
+    /// Fsync on every `put` before it returns: `Ok` means durable.
+    Always,
+}
+
+impl Default for SyncPolicy {
+    /// Every 32 appends: bounded power-loss exposure at append speed.
+    fn default() -> SyncPolicy {
+        SyncPolicy::EveryN(32)
+    }
+}
+
+/// How long a `compact.lock` may sit before it is considered abandoned
+/// even when its recorded pid appears alive (pid recycling, or an
+/// unreadable lock file). Real compactions finish in well under this.
+pub const DEFAULT_LOCK_STALE_AFTER: Duration = Duration::from_secs(300);
+
+/// Configuration for [`Store::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// The I/O layer; [`Vfs::real`] outside fault-injection tests.
+    pub vfs: Vfs,
+    /// Append fsync policy.
+    pub sync: SyncPolicy,
+    /// Age past which a `compact.lock` is stealable regardless of pid.
+    pub lock_stale_after: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            vfs: Vfs::real(),
+            sync: SyncPolicy::default(),
+            lock_stale_after: DEFAULT_LOCK_STALE_AFTER,
+        }
+    }
+}
 
 /// What a [`Store::compact`] run did, for logs and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +146,16 @@ pub struct CompactStats {
 /// The active segment a `Store` handle appends to.
 struct SegmentWriter {
     path: PathBuf,
-    file: File,
+    file: VfsFile,
+    /// Appends since the last successful fsync (drives `EveryN`).
+    unsynced: u32,
 }
 
 /// A multi-writer content-addressed store of cell results keyed by the
 /// journal fingerprint. See the module docs for layout and semantics.
 pub struct Store {
     dir: PathBuf,
+    cfg: StoreConfig,
     index: Mutex<CellIndex>,
     writer: Mutex<SegmentWriter>,
     corrupt: AtomicUsize,
@@ -96,19 +172,29 @@ impl std::fmt::Debug for Store {
 }
 
 /// Name of the compaction mutex file inside the store directory.
-const COMPACT_LOCK: &str = "compact.lock";
+pub(crate) const COMPACT_LOCK: &str = "compact.lock";
+
+/// Prefix of compaction/fsck scratch files. Never matched by
+/// [`is_segment_name`], so a crash can leave one behind without it ever
+/// being served; `fsck` removes orphans.
+pub(crate) const TMP_PREFIX: &str = "tmp-";
+
+/// True for file names the segment globber serves.
+pub(crate) fn is_segment_name(name: &str) -> bool {
+    name.starts_with("seg-") && name.ends_with(".jsonl")
+}
 
 /// Returns the sorted list of segment files in `dir`. Sorted by file
 /// name so every reader merges in the same deterministic order (which
 /// fixes the `kept`/`rejected` roles of a conflict).
-fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+fn segment_paths(vfs: &Vfs, dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut segs = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if name.starts_with("seg-") && name.ends_with(".jsonl") {
-            segs.push(entry.path());
+    for path in vfs.read_dir_paths(dir)? {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if is_segment_name(&name) {
+            segs.push(path);
         }
     }
     segs.sort();
@@ -117,8 +203,9 @@ fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
 
 /// Classifies the unparseable lines of one segment exactly like
 /// `RunJournal::open`: meta records, foreign-version cells, and a torn
-/// *final* line are expected; anything else counts as corruption.
-fn scan_segment(
+/// *final* line are expected; anything else — including a
+/// checksum-failing line — counts as corruption.
+pub(crate) fn scan_segment(
     content: &str,
     mut on_cell: impl FnMut(&str, String, SimStats),
     corrupt: &mut usize,
@@ -132,12 +219,7 @@ fn scan_segment(
             on_cell(line, fp, stats);
             continue;
         }
-        let kind = field_str(line, "kind");
-        let is_meta = kind.as_deref() == Some("meta");
-        let is_foreign_cell = kind.as_deref() == Some("cell")
-            && field_u64(line, "version").is_some_and(|v| v != JOURNAL_VERSION);
-        let is_torn_tail = idx + 1 == lines.len() && !line.trim_end().ends_with('}');
-        if !is_meta && !is_foreign_cell && !is_torn_tail {
+        if !is_expected_skip(line, idx + 1 == lines.len()) {
             *corrupt += 1;
         }
     }
@@ -145,11 +227,11 @@ fn scan_segment(
 
 /// Reads every segment into a fresh index. Returns the rebuilt index and
 /// the total corrupt-line count across segments.
-fn load_dir(dir: &Path) -> io::Result<(CellIndex, usize)> {
+fn load_dir(vfs: &Vfs, dir: &Path) -> io::Result<(CellIndex, usize)> {
     let mut index = CellIndex::default();
     let mut corrupt = 0usize;
-    for seg in segment_paths(dir)? {
-        let content = match fs::read_to_string(&seg) {
+    for seg in segment_paths(vfs, dir)? {
+        let content = match vfs.read_to_string(&seg) {
             Ok(s) => s,
             // A compactor may delete a segment between listing and read.
             Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
@@ -166,21 +248,29 @@ fn load_dir(dir: &Path) -> io::Result<(CellIndex, usize)> {
     Ok((index, corrupt))
 }
 
+/// The meta line opening every segment.
+fn meta_line() -> String {
+    format!(
+        "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
 /// Creates a brand-new segment file owned exclusively by this writer.
 /// `create_new` (`O_EXCL`) makes the claim atomic across processes.
-fn create_segment(dir: &Path) -> io::Result<SegmentWriter> {
+fn create_segment(vfs: &Vfs, dir: &Path) -> io::Result<SegmentWriter> {
     let pid = std::process::id();
     for n in 0u32..10_000 {
         let path = dir.join(format!("seg-{pid:08}-{n:04}.jsonl"));
-        match OpenOptions::new().create_new(true).append(true).open(&path) {
+        match vfs.create_new(&path) {
             Ok(mut file) => {
-                let meta = format!(
-                    "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
-                    env!("CARGO_PKG_VERSION")
-                );
-                file.write_all(meta.as_bytes())?;
+                file.write_all(meta_line().as_bytes())?;
                 file.flush()?;
-                return Ok(SegmentWriter { path, file });
+                return Ok(SegmentWriter {
+                    path,
+                    file,
+                    unsynced: 0,
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
             Err(e) => return Err(e),
@@ -191,50 +281,119 @@ fn create_segment(dir: &Path) -> io::Result<SegmentWriter> {
     ))
 }
 
+/// Best-effort pid liveness: `Some(alive)` where the platform exposes
+/// `/proc`, `None` where it does not (callers fall back to lock age).
+fn pid_alive(pid: u32) -> Option<bool> {
+    let proc_dir = Path::new("/proc");
+    if proc_dir.is_dir() {
+        Some(proc_dir.join(pid.to_string()).is_dir())
+    } else {
+        None
+    }
+}
+
+/// True when the `compact.lock` at `path` is abandoned: its recorded
+/// owner is provably dead, or the file is older than `stale_after`
+/// (which covers pid recycling, an unreadable/torn lock file, and
+/// platforms without `/proc`). A live foreign pid with a fresh lock is
+/// an active compaction and is respected.
+pub(crate) fn lock_is_stale(vfs: &Vfs, path: &Path, stale_after: Duration) -> bool {
+    let owner = vfs
+        .read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok());
+    if let Some(pid) = owner {
+        // Our own pid proves nothing: we may be the process that crashed
+        // a previous compaction mid-flight and left the lock behind.
+        if pid != std::process::id() && pid_alive(pid) == Some(false) {
+            return true;
+        }
+    }
+    let age = std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| std::time::SystemTime::now().duration_since(t).ok());
+    match age {
+        Some(age) => age >= stale_after,
+        // Lock vanished mid-check or the clock is skewed: treat as live;
+        // the next attempt re-evaluates.
+        None => false,
+    }
+}
+
 /// Holds `compact.lock` for the duration of a compaction; removing the
-/// file on drop releases the lock even on an error path.
+/// file on drop releases the lock even on an error path. A crash skips
+/// the drop — which is exactly what the staleness check recovers from.
 struct CompactLock {
+    vfs: Vfs,
     path: PathBuf,
 }
 
 impl CompactLock {
-    fn acquire(dir: &Path) -> io::Result<CompactLock> {
+    fn acquire(vfs: &Vfs, dir: &Path, stale_after: Duration) -> io::Result<CompactLock> {
         let path = dir.join(COMPACT_LOCK);
-        match OpenOptions::new().create_new(true).write(true).open(&path) {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{}", std::process::id());
-                Ok(CompactLock { path })
+        for steal_attempted in [false, true] {
+            match vfs.create_new(&path) {
+                Ok(mut f) => {
+                    // The pid is advisory (drives staleness detection);
+                    // failing to record it degrades detection, not
+                    // correctness, so errors are not fatal here.
+                    let _ = f.write_all(format!("{}\n", std::process::id()).as_bytes());
+                    return Ok(CompactLock {
+                        vfs: vfs.clone(),
+                        path,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if !steal_attempted && lock_is_stale(vfs, &path, stale_after) {
+                        match vfs.remove_file(&path) {
+                            // Stolen (or a racer beat us to the steal);
+                            // retry the exclusive create once.
+                            Ok(()) => continue,
+                            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "store: compaction already in progress (compact.lock held by a live owner)",
+                    ));
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Err(io::Error::new(
-                io::ErrorKind::AlreadyExists,
-                "store: compaction already in progress (compact.lock exists)",
-            )),
-            Err(e) => Err(e),
         }
+        unreachable!("second acquire attempt always returns");
     }
 }
 
 impl Drop for CompactLock {
     fn drop(&mut self) {
-        let _ = fs::remove_file(&self.path);
+        let _ = self.vfs.remove_file(&self.path);
     }
 }
 
 impl Store {
-    /// Opens the store at `dir` (creating the directory if absent), loads
-    /// every segment into the index, and claims a fresh private segment
-    /// for this handle's appends.
+    /// Opens the store at `dir` with the default configuration (real
+    /// I/O, `EveryN(32)` fsync policy).
     ///
     /// # Errors
     /// Fails only on I/O errors; damaged segment *contents* are tolerated
     /// and counted (see [`Store::corrupt`]), exactly like the journal.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        Store::open_with(dir, StoreConfig::default())
+    }
+
+    /// Opens the store at `dir` (creating the directory if absent) with
+    /// an explicit [`StoreConfig`], loads every segment into the index,
+    /// and claims a fresh private segment for this handle's appends.
+    pub fn open_with(dir: impl AsRef<Path>, cfg: StoreConfig) -> io::Result<Store> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let (index, corrupt) = load_dir(&dir)?;
-        let writer = create_segment(&dir)?;
+        cfg.vfs.create_dir_all(&dir)?;
+        let (index, corrupt) = load_dir(&cfg.vfs, &dir)?;
+        let writer = create_segment(&cfg.vfs, &dir)?;
         Ok(Store {
             dir,
+            cfg,
             index: Mutex::new(index),
             writer: Mutex::new(writer),
             corrupt: AtomicUsize::new(corrupt),
@@ -311,7 +470,7 @@ impl Store {
     /// like [`RunJournal::record`](crate::journal::RunJournal::record)
     /// (duplicate → no write, conflict → quarantined but still appended
     /// so a reload re-detects it), then appended to this handle's private
-    /// segment and flushed.
+    /// segment, flushed, and fsynced per the configured [`SyncPolicy`].
     ///
     /// # Errors
     /// Fails on I/O errors; the index is updated regardless, so a full
@@ -329,7 +488,28 @@ impl Store {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         writer.file.write_all(line.as_bytes())?;
         writer.file.flush()?;
+        writer.unsynced += 1;
+        let due = match self.cfg.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => n > 0 && writer.unsynced >= n,
+            SyncPolicy::Never => false,
+        };
+        if due {
+            writer.file.sync_all()?;
+            writer.unsynced = 0;
+        }
         Ok(outcome)
+    }
+
+    /// Fsyncs this handle's segment, making every acked append durable
+    /// regardless of policy. The daemon calls this when draining; batch
+    /// drivers should call it at checkpoint boundaries under
+    /// [`SyncPolicy::Never`]/`EveryN`.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writer.file.sync_all()?;
+        writer.unsynced = 0;
+        Ok(())
     }
 
     /// Rescans every segment in the directory, rebuilding the index from
@@ -339,7 +519,7 @@ impl Store {
     /// always flushed before `put` returns, so they are never lost to a
     /// refresh.
     pub fn refresh(&self) -> io::Result<()> {
-        let (index, corrupt) = load_dir(&self.dir)?;
+        let (index, corrupt) = load_dir(&self.cfg.vfs, &self.dir)?;
         *self.index.lock().unwrap_or_else(PoisonError::into_inner) = index;
         self.corrupt.store(corrupt, Ordering::Relaxed);
         Ok(())
@@ -353,21 +533,25 @@ impl Store {
     /// rebuilt from the compacted state.
     ///
     /// Compactors serialize on `compact.lock`; a second concurrent call
-    /// fails fast with `ErrorKind::AlreadyExists`. Run only while other
-    /// *writers* are quiescent (see module docs).
+    /// fails fast with `ErrorKind::AlreadyExists` unless the lock is
+    /// stale (dead owner or past `lock_stale_after`), in which case it
+    /// is stolen. Run only while other *writers* are quiescent (see
+    /// module docs).
     ///
     /// # Errors
-    /// Fails on I/O errors or when another compaction holds the lock. The
-    /// compacted segment is published with a temp-file + rename, so a
-    /// crash mid-compaction leaves either the old segments or the new one
+    /// Fails on I/O errors or when a live compaction holds the lock. The
+    /// publication order (scratch under a `tmp-` name → fsync → rotate
+    /// the writer → rename → fsync dir → delete → fsync dir) means a
+    /// crash at any point leaves the old segments, the new one, or both
     /// — never a half-written merge being served.
     pub fn compact(&self) -> io::Result<CompactStats> {
-        let _lock = CompactLock::acquire(&self.dir)?;
+        let vfs = &self.cfg.vfs;
+        let _lock = CompactLock::acquire(vfs, &self.dir, self.cfg.lock_stale_after)?;
         // Hold the writer lock across the whole merge: our own appends
         // pause, and the rotation below swaps the handle atomically.
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
 
-        let segs = segment_paths(&self.dir)?;
+        let segs = segment_paths(vfs, &self.dir)?;
         let mut kept_lines: Vec<String> = Vec::new();
         // Every distinct payload seen per fingerprint, in merge order.
         // One entry → live cell; several → a conflict whose every side
@@ -382,7 +566,7 @@ impl Store {
             conflicts_kept: 0,
         };
         for seg in &segs {
-            let content = fs::read_to_string(seg)?;
+            let content = vfs.read_to_string(seg)?;
             let mut corrupt = 0usize;
             scan_segment(
                 &content,
@@ -403,33 +587,40 @@ impl Store {
         stats.lines_out = kept_lines.len();
         stats.conflicts_kept = seen.values().filter(|p| p.len() > 1).count();
 
-        // Publish atomically: temp file, sync, rename into a fresh
-        // segment name, then delete the merged segments.
-        let tmp = self.dir.join("compact.tmp");
+        // Write the merge to a scratch name the segment globber never
+        // matches, and fsync it before it can be renamed into service.
+        let tmp = self
+            .dir
+            .join(format!("{TMP_PREFIX}compact-{:08}", std::process::id()));
         {
-            let mut f = File::create(&tmp)?;
-            let meta = format!(
-                "{{\"kind\":\"meta\",\"version\":{JOURNAL_VERSION},\"crate_version\":\"{}\"}}\n",
-                env!("CARGO_PKG_VERSION")
-            );
-            f.write_all(meta.as_bytes())?;
+            let mut buf = meta_line();
             for line in &kept_lines {
-                f.write_all(line.as_bytes())?;
+                buf.push_str(line);
             }
+            let mut f = vfs.create(&tmp)?;
+            f.write_all(buf.as_bytes())?;
             f.sync_all()?;
         }
-        let compacted = create_segment(&self.dir)?;
-        // `create_segment` wrote a meta line; the rename replaces the
-        // whole file with the merged content (same meta line first).
-        fs::rename(&tmp, &compacted.path)?;
+        // Rotate this handle onto a fresh private segment *before* any
+        // rename or delete: from here on, no failure can leave the
+        // handle appending into a deleted file.
+        *writer = create_segment(vfs, &self.dir)?;
+        // Claim a fresh segment name and atomically replace its meta
+        // line with the merged content (same meta line first).
+        let compacted = create_segment(vfs, &self.dir)?;
+        vfs.rename(&tmp, &compacted.path)?;
+        vfs.sync_dir(&self.dir)?;
         for seg in &segs {
-            if *seg != compacted.path {
-                let _ = fs::remove_file(seg);
+            if *seg == compacted.path || *seg == writer.path {
+                continue;
+            }
+            match vfs.remove_file(seg) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
             }
         }
-        // Rotate this handle onto a fresh private segment — its old one
-        // was just merged and deleted.
-        *writer = create_segment(&self.dir)?;
+        vfs.sync_dir(&self.dir)?;
         drop(writer);
 
         self.refresh()?;
@@ -441,6 +632,8 @@ impl Store {
 mod tests {
     use super::*;
     use crate::pipeline::Model;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write;
 
     fn stats(seed: u64) -> SimStats {
         SimStats {
@@ -562,13 +755,14 @@ mod tests {
         }
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.len(), 2);
-        let before = segment_paths(&dir).unwrap().len();
+        let vfs = Vfs::real();
+        let before = segment_paths(&vfs, &dir).unwrap().len();
         assert!(before >= 3, "three writers → three segments");
         let cstats = store.compact().unwrap();
         assert_eq!(cstats.duplicates_dropped, 1);
         assert_eq!(cstats.lines_out, 2);
         // One compacted segment plus the handle's fresh private segment.
-        assert_eq!(segment_paths(&dir).unwrap().len(), 2);
+        assert_eq!(segment_paths(&vfs, &dir).unwrap().len(), 2);
         assert_eq!(store.len(), 2);
         assert_eq!(store.get("aa"), Some(s1));
         assert_eq!(store.get("bb"), Some(s2));
@@ -576,14 +770,47 @@ mod tests {
     }
 
     #[test]
-    fn compaction_lock_is_exclusive() {
+    fn compaction_lock_is_exclusive_while_owner_lives() {
         let dir = fresh_dir("compact-lock");
         let store = Store::open(&dir).unwrap();
-        let lock = CompactLock::acquire(&dir).unwrap();
+        let vfs = Vfs::real();
+        // A fresh lock naming a live pid (ours) must be respected: the
+        // age guard alone cannot steal it.
+        let lock = CompactLock::acquire(&vfs, &dir, DEFAULT_LOCK_STALE_AFTER).unwrap();
         let err = store.compact().expect_err("lock held");
         assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
         drop(lock);
         store.compact().expect("lock released on drop");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        let dir = fresh_dir("stale-lock-pid");
+        let store = Store::open(&dir).unwrap();
+        store.put(&entry("aa", &stats(1))).unwrap();
+        // A lock naming a pid that cannot exist (far beyond pid_max):
+        // the owner is provably dead, so compaction steals it even
+        // though the file is brand new.
+        fs::write(dir.join(COMPACT_LOCK), "999999999\n").unwrap();
+        store.compact().expect("dead owner's lock is stolen");
+        assert!(!dir.join(COMPACT_LOCK).exists(), "stolen lock released");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_lock_is_stolen_by_age() {
+        let dir = fresh_dir("stale-lock-age");
+        let cfg = StoreConfig {
+            lock_stale_after: Duration::ZERO,
+            ..StoreConfig::default()
+        };
+        let store = Store::open_with(&dir, cfg).unwrap();
+        store.put(&entry("aa", &stats(1))).unwrap();
+        // Garbage contents: no pid to check, so only age applies — and
+        // with a zero threshold the lock is immediately stealable.
+        fs::write(dir.join(COMPACT_LOCK), "not a pid").unwrap();
+        store.compact().expect("aged-out lock is stolen");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -598,12 +825,46 @@ mod tests {
         };
         // Simulate a crash mid-append in that segment.
         let mut f = OpenOptions::new().append(true).open(&seg_path).unwrap();
-        write!(f, "{{\"kind\":\"cell\",\"version\":1,\"fp\":\"bb\",\"cyc").unwrap();
+        write!(f, "{{\"kind\":\"cell\",\"version\":2,\"fp\":\"bb\",\"cyc").unwrap();
         drop(f);
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.corrupt(), 0, "torn tail is expected, not corrupt");
         assert_eq!(store.get("aa"), Some(s1));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_policies_fsync_as_specified() {
+        // No crash here (that's tests/crash.rs); this pins the op
+        // accounting: Always syncs per put, EveryN(2) every second put.
+        let dir = fresh_dir("sync-policy");
+        let vfs = Vfs::real();
+        let cfg = StoreConfig {
+            vfs: vfs.clone(),
+            sync: SyncPolicy::Always,
+            ..StoreConfig::default()
+        };
+        let store = Store::open_with(&dir, cfg).unwrap();
+        let base = vfs.ops();
+        store.put(&entry("aa", &stats(1))).unwrap();
+        assert_eq!(vfs.ops() - base, 2, "Always: write + fsync");
+
+        let dir2 = fresh_dir("sync-policy-n");
+        let vfs2 = Vfs::real();
+        let cfg2 = StoreConfig {
+            vfs: vfs2.clone(),
+            sync: SyncPolicy::EveryN(2),
+            ..StoreConfig::default()
+        };
+        let store2 = Store::open_with(&dir2, cfg2).unwrap();
+        let base2 = vfs2.ops();
+        store2.put(&entry("aa", &stats(1))).unwrap();
+        store2.put(&entry("bb", &stats(2))).unwrap();
+        assert_eq!(vfs2.ops() - base2, 3, "EveryN(2): write, write + fsync");
+        store2.sync().unwrap();
+        assert_eq!(vfs2.ops() - base2, 4, "explicit sync is one fsync");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
     }
 }

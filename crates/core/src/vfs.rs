@@ -1,0 +1,424 @@
+//! Injectable store I/O with deterministic fault schedules.
+//!
+//! Every file operation [`Store`](crate::store::Store) performs goes
+//! through a [`Vfs`] handle. The default handle ([`Vfs::real`]) is a
+//! transparent passthrough to `std::fs`; a faulted handle
+//! ([`Vfs::faulted`]) carries a [`FaultPlan`] that injects failures at
+//! exact points in the operation stream, which is how the crash-point
+//! torture sweeps in `crates/core/tests/crash.rs` visit *every* byte the
+//! store ever writes.
+//!
+//! # Fault model
+//!
+//! Mutating operations — writes, fsyncs, file creation, rename, remove,
+//! directory sync — each consume one index from a monotonically
+//! increasing per-`Vfs` operation counter. Reads are free: they never
+//! consume an index, so a schedule derived from one run replays exactly
+//! even if the recovery path re-reads files a different number of times.
+//!
+//! A [`Fault`] scheduled at index `k` fires when the `k`-th mutating
+//! operation begins:
+//!
+//! - [`Fault::Crash`] models `kill -9` / power loss: the current write
+//!   keeps only its first `keep` bytes, the operation reports failure,
+//!   and **every later operation on this handle fails** — completed
+//!   operations survive, nothing after the crash point happens. A crash
+//!   scheduled on a non-write operation simply suppresses it.
+//! - [`Fault::Torn`] / [`Fault::Short`] write only a prefix of the
+//!   buffer and return an error, but the handle stays alive (an
+//!   interrupted write the caller gets to see and handle).
+//! - [`Fault::Err`] fails the operation with the given `ErrorKind`
+//!   (e.g. `StorageFull` for `ENOSPC`) without touching the file.
+//! - [`Fault::FsyncFail`] fails the operation — aimed at `sync_all` /
+//!   `sync_dir` indices — without syncing; the data may or may not be
+//!   durable, which is exactly the contract a failed fsync gives you.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One injected failure. See the module docs for exact semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Hard crash point: tear the current write at `keep` bytes, then
+    /// fail every later operation on this handle.
+    Crash {
+        /// Bytes of the in-flight write that reach the file (clamped to
+        /// the buffer length; ignored for non-write operations).
+        keep: usize,
+    },
+    /// Torn write: only `keep` bytes land, the call errors, the handle
+    /// lives on.
+    Torn {
+        /// Bytes of the buffer that reach the file.
+        keep: usize,
+    },
+    /// Short write: like [`Fault::Torn`] but surfaced as `WriteZero`,
+    /// the kind `write_all` reports for a zero-progress write.
+    Short {
+        /// Bytes of the buffer that reach the file.
+        keep: usize,
+    },
+    /// Fail the operation with this kind (`Interrupted` is retried by
+    /// nothing here — the store treats every error as fatal for the
+    /// current call), leaving the file untouched.
+    Err(io::ErrorKind),
+    /// Fail an fsync (file or directory) without syncing.
+    FsyncFail,
+}
+
+/// A schedule of faults keyed by mutating-operation index.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — equivalent to [`Vfs::real`]).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` at mutating-operation index `op`.
+    #[must_use]
+    pub fn at(mut self, op: u64, fault: Fault) -> FaultPlan {
+        self.faults.push((op, fault));
+        self
+    }
+
+    /// Convenience: a plan with a single hard crash at `op`, tearing the
+    /// in-flight write (if any) at `keep` bytes.
+    pub fn crash_at(op: u64, keep: usize) -> FaultPlan {
+        FaultPlan::new().at(op, Fault::Crash { keep })
+    }
+
+    fn take(&mut self, op: u64) -> Option<Fault> {
+        let idx = self.faults.iter().position(|(at, _)| *at == op)?;
+        Some(self.faults.swap_remove(idx).1)
+    }
+}
+
+#[derive(Debug)]
+struct VfsState {
+    plan: Mutex<FaultPlan>,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// A cloneable handle to one I/O fault domain. Clones share the
+/// operation counter and schedule, so every file opened through one
+/// logical `Vfs` draws from the same fault stream — exactly like every
+/// file descriptor of one process sharing one kernel.
+#[derive(Debug, Clone)]
+pub struct Vfs(Arc<VfsState>);
+
+impl Default for Vfs {
+    fn default() -> Vfs {
+        Vfs::real()
+    }
+}
+
+fn crashed_err() -> io::Error {
+    io::Error::other("vfs: process crashed (injected crash point)")
+}
+
+fn injected_err(kind: io::ErrorKind) -> io::Error {
+    io::Error::new(kind, "vfs: injected fault")
+}
+
+impl Vfs {
+    /// A passthrough handle: counts operations but never injects faults.
+    pub fn real() -> Vfs {
+        Vfs::faulted(FaultPlan::new())
+    }
+
+    /// A handle that injects `plan`'s faults at their scheduled indices.
+    pub fn faulted(plan: FaultPlan) -> Vfs {
+        Vfs(Arc::new(VfsState {
+            plan: Mutex::new(plan),
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }))
+    }
+
+    /// Mutating operations performed so far. Run a workload against a
+    /// counting [`Vfs::real`] handle first to learn the sweep range.
+    pub fn ops(&self) -> u64 {
+        self.0.ops.load(Ordering::SeqCst)
+    }
+
+    /// True once a [`Fault::Crash`] has fired on this handle.
+    pub fn crashed(&self) -> bool {
+        self.0.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Claims the next operation index, failing if the handle is dead.
+    fn begin_op(&self) -> io::Result<Option<Fault>> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let op = self.0.ops.fetch_add(1, Ordering::SeqCst);
+        let fault = self
+            .0
+            .plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take(op);
+        Ok(fault)
+    }
+
+    /// Runs a whole-or-nothing mutating operation (create, rename,
+    /// remove, mkdir): a write-shaped fault on such an index suppresses
+    /// the operation and reports an error.
+    fn mutate<T>(&self, f: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
+        match self.begin_op()? {
+            None => f(),
+            Some(Fault::Crash { .. }) => {
+                self.0.crashed.store(true, Ordering::SeqCst);
+                Err(crashed_err())
+            }
+            Some(Fault::Err(kind)) => Err(injected_err(kind)),
+            Some(Fault::FsyncFail) | Some(Fault::Torn { .. }) | Some(Fault::Short { .. }) => {
+                Err(injected_err(io::ErrorKind::Other))
+            }
+        }
+    }
+
+    fn write(&self, file: &mut File, buf: &[u8]) -> io::Result<()> {
+        match self.begin_op()? {
+            None => file.write_all(buf),
+            Some(Fault::Crash { keep }) => {
+                let keep = keep.min(buf.len());
+                let _ = file.write_all(&buf[..keep]);
+                let _ = file.flush();
+                self.0.crashed.store(true, Ordering::SeqCst);
+                Err(crashed_err())
+            }
+            Some(Fault::Torn { keep }) => {
+                let keep = keep.min(buf.len());
+                let _ = file.write_all(&buf[..keep]);
+                Err(io::Error::other("vfs: torn write"))
+            }
+            Some(Fault::Short { keep }) => {
+                let keep = keep.min(buf.len());
+                let _ = file.write_all(&buf[..keep]);
+                Err(io::Error::new(io::ErrorKind::WriteZero, "vfs: short write"))
+            }
+            Some(Fault::Err(kind)) => Err(injected_err(kind)),
+            Some(Fault::FsyncFail) => Err(injected_err(io::ErrorKind::Other)),
+        }
+    }
+
+    fn sync(&self, file: &File) -> io::Result<()> {
+        match self.begin_op()? {
+            None => file.sync_all(),
+            Some(Fault::Crash { .. }) => {
+                self.0.crashed.store(true, Ordering::SeqCst);
+                Err(crashed_err())
+            }
+            Some(Fault::FsyncFail) => Err(injected_err(io::ErrorKind::Other)),
+            Some(Fault::Err(kind)) => Err(injected_err(kind)),
+            Some(Fault::Torn { .. }) | Some(Fault::Short { .. }) => {
+                Err(injected_err(io::ErrorKind::Other))
+            }
+        }
+    }
+
+    fn read_guard(&self) -> io::Result<()> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        Ok(())
+    }
+
+    /// `create_dir_all` through the fault domain.
+    pub fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.mutate(|| fs::create_dir_all(dir))
+    }
+
+    /// Exclusive (`O_EXCL`) creation of an append-mode file.
+    pub fn create_new(&self, path: &Path) -> io::Result<VfsFile> {
+        let file = self.mutate(|| OpenOptions::new().create_new(true).append(true).open(path))?;
+        Ok(VfsFile {
+            vfs: self.clone(),
+            file,
+        })
+    }
+
+    /// Truncating creation of a write-mode file.
+    pub fn create(&self, path: &Path) -> io::Result<VfsFile> {
+        let file = self.mutate(|| File::create(path))?;
+        Ok(VfsFile {
+            vfs: self.clone(),
+            file,
+        })
+    }
+
+    /// Opens an existing file in append mode.
+    pub fn open_append(&self, path: &Path) -> io::Result<VfsFile> {
+        let file = self.mutate(|| OpenOptions::new().append(true).open(path))?;
+        Ok(VfsFile {
+            vfs: self.clone(),
+            file,
+        })
+    }
+
+    /// Opens (creating if absent) a file in append mode.
+    pub fn append(&self, path: &Path) -> io::Result<VfsFile> {
+        let file = self.mutate(|| OpenOptions::new().create(true).append(true).open(path))?;
+        Ok(VfsFile {
+            vfs: self.clone(),
+            file,
+        })
+    }
+
+    /// Reads a whole file, replacing invalid UTF-8 with U+FFFD — a
+    /// disk-corrupted byte must degrade to a checksum-failing *line*,
+    /// never make the whole file unreadable. Reads never consume a
+    /// fault index, but fail once the handle has crashed.
+    pub fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.read_guard()?;
+        let bytes = fs::read(path)?;
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Lists the entries of `dir` (paths only, unsorted).
+    pub fn read_dir_paths(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.read_guard()?;
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    /// Atomic rename.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.mutate(|| fs::rename(from, to))
+    }
+
+    /// File removal.
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.mutate(|| fs::remove_file(path))
+    }
+
+    /// Fsyncs a *directory*, making renames/creates/removals inside it
+    /// durable. One mutating operation.
+    pub fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.begin_op()? {
+            None => File::open(dir)?.sync_all(),
+            Some(Fault::Crash { .. }) => {
+                self.0.crashed.store(true, Ordering::SeqCst);
+                Err(crashed_err())
+            }
+            Some(Fault::Err(kind)) => Err(injected_err(kind)),
+            Some(_) => Err(injected_err(io::ErrorKind::Other)),
+        }
+    }
+}
+
+/// A file whose writes and fsyncs flow through its owning [`Vfs`].
+#[derive(Debug)]
+pub struct VfsFile {
+    vfs: Vfs,
+    file: File,
+}
+
+impl VfsFile {
+    /// Writes the whole buffer (one mutating operation — a fault tears
+    /// the buffer as a unit, which matches the store's line-per-write
+    /// append discipline).
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.vfs.write(&mut self.file, buf)
+    }
+
+    /// Flushes userspace buffers. `File` holds none, so this is free and
+    /// consumes no fault index; it still fails after a crash.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.vfs.read_guard()?;
+        self.file.flush()
+    }
+
+    /// Fsyncs file data and metadata (one mutating operation).
+    pub fn sync_all(&self) -> io::Result<()> {
+        self.vfs.sync(&self.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hyperpred-vfs-unit");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(name);
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn real_vfs_is_a_passthrough_that_counts() {
+        let vfs = Vfs::real();
+        let path = tmpfile("pass.txt");
+        let mut f = vfs.create_new(&path).unwrap();
+        f.write_all(b"hello\n").unwrap();
+        f.sync_all().unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "hello\n");
+        assert_eq!(vfs.ops(), 3, "create + write + sync");
+        assert!(!vfs.crashed());
+    }
+
+    #[test]
+    fn crash_tears_the_write_and_kills_the_handle() {
+        let vfs = Vfs::faulted(FaultPlan::crash_at(2, 3));
+        let path = tmpfile("crash.txt");
+        let mut f = vfs.create_new(&path).unwrap(); // op 0
+        f.write_all(b"first\n").unwrap(); // op 1
+        let err = f.write_all(b"second\n").unwrap_err(); // op 2: crash
+        assert!(err.to_string().contains("crash"), "{err}");
+        assert!(vfs.crashed());
+        // Completed writes survive; the in-flight one kept 3 bytes.
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\nsec");
+        // Everything after the crash fails, reads included.
+        assert!(f.write_all(b"more").is_err());
+        assert!(vfs.read_to_string(&path).is_err());
+        assert!(vfs.remove_file(&path).is_err());
+    }
+
+    #[test]
+    fn torn_and_short_writes_error_but_handle_survives() {
+        let vfs = Vfs::faulted(
+            FaultPlan::new()
+                .at(1, Fault::Torn { keep: 2 })
+                .at(2, Fault::Short { keep: 0 }),
+        );
+        let path = tmpfile("torn.txt");
+        let mut f = vfs.create_new(&path).unwrap(); // op 0
+        assert!(f.write_all(b"abcdef").is_err()); // op 1: torn at 2
+        let err = f.write_all(b"ghi").unwrap_err(); // op 2: short, 0 bytes
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        f.write_all(b"tail").unwrap(); // op 3: healthy again
+        assert_eq!(fs::read_to_string(&path).unwrap(), "abtail");
+        assert!(!vfs.crashed());
+    }
+
+    #[test]
+    fn injected_errors_leave_the_file_untouched() {
+        let vfs = Vfs::faulted(
+            FaultPlan::new()
+                .at(1, Fault::Err(io::ErrorKind::StorageFull))
+                .at(3, Fault::FsyncFail),
+        );
+        let path = tmpfile("enospc.txt");
+        let mut f = vfs.create_new(&path).unwrap(); // op 0
+        let err = f.write_all(b"data").unwrap_err(); // op 1: ENOSPC
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        f.write_all(b"ok\n").unwrap(); // op 2
+        assert!(f.sync_all().is_err()); // op 3: fsync fails
+        f.sync_all().unwrap(); // op 4
+        assert_eq!(fs::read_to_string(&path).unwrap(), "ok\n");
+    }
+}

@@ -1,0 +1,446 @@
+//! Crash-point torture sweep for the store's durability contract.
+//!
+//! For *every* injected crash index across the append and compaction
+//! paths, recovery (`fsck --repair` + reopen) must yield a store where
+//! every record acked after fsync is present bit-identically and no
+//! torn or corrupt line is ever served. The sweep learns the total I/O
+//! op count from an uninterrupted calibration run, then replays the
+//! same workload once per op index with a hard crash (torn write +
+//! every later op failing) injected at that index — in single-thread,
+//! 8-thread, compaction, and two-real-process variants, mirroring
+//! `tests/store.rs`.
+
+use hyperpred::{fsck, FaultPlan, FsckOptions, JournalEntry, Store, StoreConfig, SyncPolicy, Vfs};
+use hyperpred_sim::SimStats;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn stats_for(i: u64) -> SimStats {
+    SimStats {
+        cycles: 10_000 + i * 13,
+        insts: 20_000 + i * 5,
+        nullified: i % 7,
+        branches: 300 + i,
+        mispredicts: i % 3,
+        loads: 80 + i * 2,
+        stores: 40 + i,
+        icache_misses: 0,
+        dcache_misses: 0,
+        ret: i as i64,
+    }
+}
+
+fn fp_for(i: u64) -> String {
+    format!("v1|crash{:016x}|wl-{}|crashtest", i * 0x2545f491, i)
+}
+
+fn put_cell(store: &Store, i: u64) -> std::io::Result<()> {
+    let fp = fp_for(i);
+    store
+        .put(&JournalEntry {
+            fingerprint: &fp,
+            workload: "wl",
+            experiment: "crash-test",
+            model: None,
+            stats: &stats_for(i),
+        })
+        .map(|_| ())
+}
+
+fn always_sync(vfs: Vfs) -> StoreConfig {
+    StoreConfig {
+        vfs,
+        sync: SyncPolicy::Always,
+        ..StoreConfig::default()
+    }
+}
+
+/// Repairs and reopens a crashed store with a clean I/O world. The
+/// zero staleness threshold lets fsck reclaim a `compact.lock` left by
+/// *this* (still-alive) process's simulated crash.
+fn recover(dir: &Path, ctx: &str) -> Store {
+    let report = fsck(
+        dir,
+        &FsckOptions {
+            repair: true,
+            lock_stale_after: Duration::ZERO,
+            ..FsckOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: fsck failed: {e}"));
+    let store = Store::open(dir).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    assert_eq!(
+        store.corrupt(),
+        0,
+        "{ctx}: repaired store must serve zero corrupt lines\n{report}"
+    );
+    store
+}
+
+/// The full logical content, for bit-identical comparison.
+fn snapshot(store: &Store) -> BTreeMap<String, SimStats> {
+    let mut map = BTreeMap::new();
+    for i in 0..1_000u64 {
+        let fp = fp_for(i);
+        if let Some(s) = store.get(&fp) {
+            map.insert(fp, s);
+        }
+    }
+    map
+}
+
+/// Appends `cells` records through one handle; returns the acked ids.
+/// Keeps going after the crash point (every later put just fails), so
+/// one run exercises the whole schedule.
+fn run_serial_appends(vfs: Vfs, dir: &Path, cells: u64) -> Vec<u64> {
+    let mut acked = Vec::new();
+    let Ok(store) = Store::open_with(dir, always_sync(vfs)) else {
+        return acked;
+    };
+    for i in 0..cells {
+        if put_cell(&store, i).is_ok() {
+            acked.push(i);
+        }
+    }
+    acked
+}
+
+#[test]
+fn crash_sweep_single_writer_append_path() {
+    const CELLS: u64 = 12;
+    let calib = Vfs::real();
+    let acked = run_serial_appends(calib.clone(), &tmpdir("crash-1t-calib"), CELLS);
+    assert_eq!(acked.len() as u64, CELLS, "calibration run must be clean");
+    let total = calib.ops();
+    assert!(total > CELLS, "appends must consume ops ({total})");
+
+    for k in 0..total {
+        let ctx = format!("1-thread crash at op {k}/{total}");
+        let dir = tmpdir("crash-1t-sweep");
+        let keep = (k as usize * 7) % 23;
+        let vfs = Vfs::faulted(FaultPlan::crash_at(k, keep));
+        let acked = run_serial_appends(vfs.clone(), &dir, CELLS);
+        assert!(vfs.crashed(), "{ctx}: crash point must fire");
+        if !dir.exists() {
+            // The crash landed on mkdir: nothing was acked, nothing to
+            // recover.
+            assert!(acked.is_empty(), "{ctx}");
+            continue;
+        }
+        let store = recover(&dir, &ctx);
+        assert_eq!(store.conflicts(), 0, "{ctx}");
+        assert!(store.len() as u64 <= CELLS, "{ctx}");
+        for &i in &acked {
+            assert_eq!(
+                store.get(&fp_for(i)),
+                Some(stats_for(i)),
+                "{ctx}: acked cell {i} must survive bit-identically"
+            );
+        }
+    }
+}
+
+/// Eight threads share one handle (striped cells, no overlap so every
+/// ack is unambiguous); the crash lands on whichever thread draws the
+/// fatal op index.
+fn run_threaded_appends(vfs: Vfs, dir: &Path, cells: u64, threads: u64) -> Vec<u64> {
+    let Ok(store) = Store::open_with(dir, always_sync(vfs)) else {
+        return Vec::new();
+    };
+    let store = Arc::new(store);
+    let acked = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                for i in (0..cells).filter(|i| i % threads == t) {
+                    if put_cell(&store, i).is_ok() {
+                        acked.lock().unwrap().push(i);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let mut acked = acked.lock().unwrap().clone();
+    acked.sort_unstable();
+    acked
+}
+
+#[test]
+fn crash_sweep_eight_threads_shared_handle() {
+    const CELLS: u64 = 16;
+    const THREADS: u64 = 8;
+    let calib = Vfs::real();
+    let acked = run_threaded_appends(calib.clone(), &tmpdir("crash-8t-calib"), CELLS, THREADS);
+    assert_eq!(acked.len() as u64, CELLS, "calibration run must be clean");
+    let total = calib.ops();
+
+    for k in 0..total {
+        let ctx = format!("8-thread crash at op {k}/{total}");
+        let dir = tmpdir("crash-8t-sweep");
+        let vfs = Vfs::faulted(FaultPlan::crash_at(k, (k as usize * 7) % 23));
+        let acked = run_threaded_appends(vfs.clone(), &dir, CELLS, THREADS);
+        assert!(vfs.crashed(), "{ctx}: crash point must fire");
+        if !dir.exists() {
+            assert!(acked.is_empty(), "{ctx}");
+            continue;
+        }
+        let store = recover(&dir, &ctx);
+        assert_eq!(store.conflicts(), 0, "{ctx}");
+        for &i in &acked {
+            assert_eq!(
+                store.get(&fp_for(i)),
+                Some(stats_for(i)),
+                "{ctx}: acked cell {i} must survive bit-identically"
+            );
+        }
+    }
+}
+
+/// Copies every regular file of `src` into a recreated `dst`.
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read master dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_file() {
+            std::fs::copy(&path, dst.join(path.file_name().expect("file name")))
+                .expect("copy segment");
+        }
+    }
+}
+
+#[test]
+fn crash_sweep_compaction_path() {
+    const CELLS: u64 = 16;
+    // A pristine multi-segment store with duplicates (cell 3 written by
+    // both handles) and one genuine conflict that must survive every
+    // crashed-and-recovered compaction.
+    let master = tmpdir("crash-compact-master");
+    {
+        let a = Store::open(&master).expect("open a");
+        let b = Store::open(&master).expect("open b");
+        for i in 0..CELLS / 2 {
+            put_cell(&a, i).expect("put a");
+        }
+        for i in CELLS / 2..CELLS {
+            put_cell(&b, i).expect("put b");
+        }
+        put_cell(&b, 3).expect("duplicate line via b");
+        let conflict_entry = |stats: &SimStats| {
+            b.put(&JournalEntry {
+                fingerprint: "v1|crash-conflict|key",
+                workload: "wl",
+                experiment: "crash-test",
+                model: None,
+                stats,
+            })
+            .expect("conflict line")
+        };
+        a.put(&JournalEntry {
+            fingerprint: "v1|crash-conflict|key",
+            workload: "wl",
+            experiment: "crash-test",
+            model: None,
+            stats: &stats_for(700),
+        })
+        .expect("conflict line via a");
+        conflict_entry(&stats_for(900));
+        a.sync().expect("sync a");
+        b.sync().expect("sync b");
+    }
+    let reference = {
+        let s = Store::open(&master).expect("open reference");
+        assert_eq!(s.conflicts(), 1, "master must hold one conflict");
+        assert_eq!(s.len() as u64, CELLS);
+        snapshot(&s)
+    };
+
+    // Calibration: ops of an uninterrupted open + compact.
+    let calib = Vfs::real();
+    {
+        let dir = tmpdir("crash-compact-calib");
+        copy_dir(&master, &dir);
+        let s = Store::open_with(&dir, always_sync(calib.clone())).expect("open calib");
+        s.compact().expect("calibration compact");
+    }
+    let total = calib.ops();
+
+    for k in 0..total {
+        let ctx = format!("compaction crash at op {k}/{total}");
+        let dir = tmpdir("crash-compact-sweep");
+        copy_dir(&master, &dir);
+        let vfs = Vfs::faulted(FaultPlan::crash_at(k, (k as usize * 11) % 37));
+        if let Ok(store) = Store::open_with(&dir, always_sync(vfs.clone())) {
+            // The compaction may fail at any point — that is the test.
+            let _ = store.compact();
+        }
+        assert!(vfs.crashed(), "{ctx}: crash point must fire");
+        let store = recover(&dir, &ctx);
+        assert_eq!(
+            store.conflicts(),
+            1,
+            "{ctx}: the conflict must survive a crashed compaction"
+        );
+        assert_eq!(snapshot(&store), reference, "{ctx}");
+        // The recovered store must be fully operational: a fresh
+        // compaction completes and changes nothing logically.
+        store
+            .compact()
+            .unwrap_or_else(|e| panic!("{ctx}: post-recovery compaction: {e}"));
+        assert_eq!(snapshot(&store), reference, "{ctx}: after re-compaction");
+    }
+}
+
+/// Env-gated helper: appends a stripe of cells through a store whose
+/// I/O crashes at `HYPERPRED_CRASH_AT`, then reports the acked ids (and
+/// total op count) to side files written with *plain* std::fs — outside
+/// the faulted world. Inert in a normal run.
+#[test]
+fn crash_writer_helper() {
+    let Ok(dir) = std::env::var("HYPERPRED_CRASH_DIR") else {
+        return;
+    };
+    let stripe: u64 = std::env::var("HYPERPRED_CRASH_STRIPE")
+        .expect("stripe")
+        .parse()
+        .expect("stripe number");
+    let cells: u64 = std::env::var("HYPERPRED_CRASH_CELLS")
+        .expect("cells")
+        .parse()
+        .expect("cell count");
+    let vfs = match std::env::var("HYPERPRED_CRASH_AT") {
+        Ok(at) => {
+            let at: u64 = at.parse().expect("crash op index");
+            let keep: usize = std::env::var("HYPERPRED_CRASH_KEEP")
+                .expect("keep")
+                .parse()
+                .expect("keep bytes");
+            Vfs::faulted(FaultPlan::crash_at(at, keep))
+        }
+        Err(_) => Vfs::real(),
+    };
+    let mut acked = Vec::new();
+    if let Ok(store) = Store::open_with(&dir, always_sync(vfs.clone())) {
+        for i in (0..cells).filter(|i| i % 2 == stripe) {
+            if put_cell(&store, i).is_ok() {
+                acked.push(i.to_string());
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("HYPERPRED_ACKED_FILE") {
+        std::fs::write(path, acked.join("\n")).expect("write acked file");
+    }
+    if let Ok(path) = std::env::var("HYPERPRED_OPS_FILE") {
+        std::fs::write(path, vfs.ops().to_string()).expect("write ops file");
+    }
+}
+
+struct ChildRun {
+    acked_file: PathBuf,
+    child: std::process::Child,
+}
+
+fn spawn_crash_writer(
+    dir: &Path,
+    scratch: &Path,
+    stripe: u64,
+    cells: u64,
+    crash_at: Option<(u64, usize)>,
+) -> ChildRun {
+    let acked_file = scratch.join(format!("acked-{stripe}"));
+    let mut cmd = Command::new(std::env::current_exe().expect("test binary path"));
+    cmd.args(["--exact", "crash_writer_helper", "--nocapture"])
+        .env("HYPERPRED_CRASH_DIR", dir)
+        .env("HYPERPRED_CRASH_STRIPE", stripe.to_string())
+        .env("HYPERPRED_CRASH_CELLS", cells.to_string())
+        .env("HYPERPRED_ACKED_FILE", &acked_file)
+        .env_remove("HYPERPRED_CRASH_AT")
+        .env_remove("HYPERPRED_OPS_FILE");
+    if let Some((at, keep)) = crash_at {
+        cmd.env("HYPERPRED_CRASH_AT", at.to_string())
+            .env("HYPERPRED_CRASH_KEEP", keep.to_string());
+    }
+    let child = cmd.spawn().expect("spawn crash writer");
+    ChildRun { acked_file, child }
+}
+
+fn join_acked(mut run: ChildRun) -> Vec<u64> {
+    let status = run.child.wait().expect("wait for writer");
+    assert!(status.success(), "crash writer helper must exit cleanly");
+    std::fs::read_to_string(&run.acked_file)
+        .expect("read acked file")
+        .lines()
+        .map(|l| l.parse().expect("acked id"))
+        .collect()
+}
+
+#[test]
+fn crash_sweep_two_real_processes() {
+    const CELLS: u64 = 12;
+    let scratch = tmpdir("crash-2p-scratch");
+
+    // Calibration child reports how many ops a clean stripe-0 run costs.
+    let ops_file = scratch.join("ops");
+    let calib = {
+        let calib_dir = tmpdir("crash-2p-calib");
+        let status = Command::new(std::env::current_exe().expect("test binary path"))
+            .args(["--exact", "crash_writer_helper", "--nocapture"])
+            .env("HYPERPRED_CRASH_DIR", &calib_dir)
+            .env("HYPERPRED_CRASH_STRIPE", "0")
+            .env("HYPERPRED_CRASH_CELLS", CELLS.to_string())
+            .env("HYPERPRED_ACKED_FILE", scratch.join("acked-calib"))
+            .env("HYPERPRED_OPS_FILE", &ops_file)
+            .env_remove("HYPERPRED_CRASH_AT")
+            .status()
+            .expect("run calibration writer");
+        assert!(status.success());
+        std::fs::read_to_string(&ops_file)
+            .expect("read ops file")
+            .trim()
+            .parse::<u64>()
+            .expect("op count")
+    };
+    assert!(calib > 0, "calibration must observe I/O ops");
+
+    for k in 0..calib {
+        let ctx = format!("2-process crash at op {k}/{calib}");
+        let dir = tmpdir("crash-2p-sweep");
+        // One process crashes at op k of its own I/O schedule; a clean
+        // sibling writes the other stripe concurrently.
+        let faulted =
+            spawn_crash_writer(&dir, &scratch, 0, CELLS, Some((k, (k as usize * 7) % 23)));
+        let clean = spawn_crash_writer(&dir, &scratch, 1, CELLS, None);
+        let acked_faulted = join_acked(faulted);
+        let acked_clean = join_acked(clean);
+        assert_eq!(
+            acked_clean.len() as u64,
+            CELLS / 2,
+            "{ctx}: the clean sibling must ack its whole stripe"
+        );
+
+        let store = recover(&dir, &ctx);
+        assert_eq!(store.conflicts(), 0, "{ctx}");
+        for &i in acked_faulted.iter().chain(&acked_clean) {
+            assert_eq!(
+                store.get(&fp_for(i)),
+                Some(stats_for(i)),
+                "{ctx}: acked cell {i} must survive bit-identically"
+            );
+        }
+    }
+}

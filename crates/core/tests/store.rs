@@ -173,6 +173,61 @@ fn store_writer_helper() {
     }
 }
 
+/// Helper for the stale-lock test: plants a `compact.lock` naming its
+/// own (live) pid, then sleeps until killed. Inert in a normal run.
+#[test]
+fn lock_holder_helper() {
+    let Ok(dir) = std::env::var("HYPERPRED_LOCK_DIR") else {
+        return;
+    };
+    let path = Path::new(&dir).join("compact.lock");
+    std::fs::write(&path, format!("{}\n", std::process::id())).expect("write lock");
+    std::thread::sleep(std::time::Duration::from_secs(60));
+}
+
+#[test]
+fn stale_lock_from_killed_process_is_stolen() {
+    const CELLS: u64 = 12;
+    let dir = tmpdir("store-lock-kill");
+    let store = Store::open(&dir).expect("open store");
+    for i in 0..CELLS {
+        put_cell(&store, i);
+    }
+
+    let mut holder = Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["--exact", "lock_holder_helper", "--nocapture"])
+        .env("HYPERPRED_LOCK_DIR", &dir)
+        .spawn()
+        .expect("spawn lock holder");
+    let lock = dir.join("compact.lock");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !lock.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "lock holder never planted its lock"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // While the owning process lives, compaction must refuse with the
+    // typed already-held error — no stealing from a live owner.
+    let err = store.compact().expect_err("live lock must block");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
+
+    // Kill the owner without any cleanup: exactly the crash that used
+    // to wedge the store forever.
+    holder.kill().expect("kill lock holder");
+    let _ = holder.wait();
+
+    // The dead pid makes the lock stale; compaction steals it and runs.
+    let stats = store.compact().expect("compaction steals a dead lock");
+    assert_eq!(stats.lines_out as u64, CELLS, "{stats:?}");
+    assert!(!lock.exists(), "stolen lock must be released after use");
+    let reopened = Store::open(&dir).expect("reopen");
+    assert_eq!(reopened.len() as u64, CELLS);
+    assert_eq!(reopened.corrupt(), 0);
+}
+
 fn spawn_writer(dir: &Path, stripe: u64, cells: u64, pace_ms: u64) -> std::process::Child {
     Command::new(std::env::current_exe().expect("test binary path"))
         .args(["--exact", "store_writer_helper", "--nocapture"])

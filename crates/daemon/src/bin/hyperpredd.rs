@@ -3,14 +3,17 @@
 //! ```text
 //! hyperpredd --addr 127.0.0.1:7199 --store hyperpredd-store \
 //!            [--workers N] [--queue N] [--max-conns N] \
-//!            [--retries N] [--deadline-ms MS] [--no-degrade]
+//!            [--retries N] [--deadline-ms MS] [--no-degrade] [--sync N]
 //! ```
+//!
+//! `--sync N` fsyncs the store once every N appends (`0` = never from
+//! the append path, `1` = every append).
 //!
 //! SIGTERM and SIGINT both trigger a graceful drain: the acceptor stops,
 //! every accepted connection (and every cell inside it) completes, then
 //! the process exits 0.
 
-use hyperpred::{RequestConfig, RetryPolicy};
+use hyperpred::{RequestConfig, RetryPolicy, SyncPolicy};
 use hyperpred_daemon::{Daemon, DaemonConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,7 +41,7 @@ extern "C" fn on_signal(_sig: i32) {
 fn usage() -> ! {
     eprintln!(
         "usage: hyperpredd [--addr HOST:PORT] [--store DIR] [--workers N] \
-         [--queue N] [--max-conns N] [--retries N] [--deadline-ms MS] [--no-degrade]"
+         [--queue N] [--max-conns N] [--retries N] [--deadline-ms MS] [--no-degrade] [--sync N]"
     );
     std::process::exit(2);
 }
@@ -73,6 +76,13 @@ fn parse_args() -> DaemonConfig {
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
                 deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--sync" => {
+                cfg.sync = match value("--sync").parse().unwrap_or_else(|_| usage()) {
+                    0 => SyncPolicy::Never,
+                    1 => SyncPolicy::Always,
+                    n => SyncPolicy::EveryN(n),
+                };
             }
             "--no-degrade" => degrade = false,
             "--help" | "-h" => usage(),

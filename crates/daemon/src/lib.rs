@@ -26,10 +26,14 @@
 //! # Shutdown
 //!
 //! [`Daemon::request_shutdown`] (the binary wires SIGTERM/SIGINT to it)
-//! stops the acceptor; connections already accepted — and every cell in
-//! them — drain to completion, then [`Daemon::wait`] returns. Nothing
-//! in flight is dropped; the store is flushed per append, so even a kill
-//! loses at most torn trailing lines.
+//! flips the daemon into a *draining* state: connections already
+//! accepted — and every cell in them — run to completion, while new
+//! connections (and `GET /healthz`) are answered with a typed `503
+//! draining` so load balancers and retrying clients move on instead of
+//! hanging. Once the last connection drains, the store is fsynced and
+//! [`Daemon::wait`] returns. Nothing in flight is dropped; a hard kill
+//! loses at most records since the last fsync (see
+//! [`hyperpred::SyncPolicy`]), recoverable with `hyperpredc fsck`.
 
 use hyperpred::journal::JournalEntry;
 use hyperpred::service::{
@@ -38,6 +42,7 @@ use hyperpred::service::{
 };
 use hyperpred::{
     request_fingerprint, run_request, triage, CellRequest, Pipeline, RequestConfig, Store,
+    StoreConfig, SyncPolicy,
 };
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -63,6 +68,8 @@ pub struct DaemonConfig {
     pub max_connections: usize,
     /// Retry/deadline/degradation policy for every computed cell.
     pub request: RequestConfig,
+    /// Store fsync policy — how many acked appends a power loss may cost.
+    pub sync: SyncPolicy,
 }
 
 impl Default for DaemonConfig {
@@ -74,6 +81,7 @@ impl Default for DaemonConfig {
             max_waiting: 64,
             max_connections: 32,
             request: RequestConfig::default(),
+            sync: SyncPolicy::default(),
         }
     }
 }
@@ -197,7 +205,13 @@ impl Daemon {
         // shutdown flag without any wake-up connection machinery (a
         // signal handler can only touch atomics).
         listener.set_nonblocking(true)?;
-        let store = Store::open(&cfg.store_dir)?;
+        let store = Store::open_with(
+            &cfg.store_dir,
+            StoreConfig {
+                sync: cfg.sync,
+                ..StoreConfig::default()
+            },
+        )?;
         let max_active = if cfg.max_active == 0 {
             std::thread::available_parallelism().map_or(4, usize::from)
         } else {
@@ -263,6 +277,11 @@ impl Daemon {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         drop(conns);
+        // Everything acked is flushed; make it durable before reporting
+        // a clean exit.
+        if let Err(e) = self.inner.store.sync() {
+            eprintln!("hyperpredd: final store fsync failed: {e}");
+        }
         eprintln!(
             "hyperpredd: drained; {} hit, {} computed, {} failed, {} rejected, {} conflicted; \
              store holds {} cells",
@@ -276,11 +295,16 @@ impl Daemon {
     }
 }
 
+/// The `503` body served for `/healthz` (and the accept path) while the
+/// daemon drains.
+const DRAINING_BODY: &str = "{\"status\":\"draining\"}";
+
 /// Accepts until the shutdown flag flips; each connection gets a thread
 /// (bounded by `max_connections` — excess answered `503` inline).
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
+            drain_loop(listener, inner);
             return;
         }
         match listener.accept() {
@@ -327,6 +351,37 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     }
 }
 
+/// While in-flight connections finish, keep the listener alive and
+/// answer every late arrival inline with a typed `503 draining` (a
+/// closed listener would surface as connection-refused/reset, which
+/// clients cannot distinguish from a crash). Returns once the last
+/// accepted connection has drained.
+fn drain_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let active = *inner.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        if active == 0 {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(500)))
+                    .ok();
+                let body = match read_http_request(&mut stream) {
+                    Ok(Some(req)) if req.path == "/healthz" => DRAINING_BODY,
+                    _ => "{\"error\":\"draining; retry later\"}",
+                };
+                let _ = write_http_response(&mut stream, 503, body);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
 /// Serves one connection: one request, one response, close.
 fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
     stream.set_nodelay(true).ok();
@@ -352,7 +407,13 @@ fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
 /// Routes one parsed request.
 fn dispatch(inner: &Inner, method: &str, path: &str, body: &str) -> (u16, String) {
     match (method, path) {
-        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/healthz") => {
+            if inner.shutdown.load(Ordering::Acquire) {
+                (503, DRAINING_BODY.to_string())
+            } else {
+                (200, "{\"status\":\"ok\"}".to_string())
+            }
+        }
         ("GET", "/v1/stats") => (200, stats_json(inner)),
         ("POST", "/v1/cell") => match parse_request(body) {
             Ok(req) => (200, response_to_json(&serve_cell(inner, &req))),
@@ -456,7 +517,8 @@ fn stats_json(inner: &Inner) -> String {
     let (active, waiting) = inner.gate.depth();
     format!(
         "{{\"cells\":{},\"store_conflicts\":{},\"corrupt\":{},\"hits\":{},\"computed\":{},\
-         \"failed\":{},\"rejected\":{},\"conflicts\":{},\"busy\":{},\"active\":{},\"waiting\":{}}}",
+         \"failed\":{},\"rejected\":{},\"conflicts\":{},\"busy\":{},\"active\":{},\"waiting\":{},\
+         \"draining\":{}}}",
         inner.store.len(),
         inner.store.conflicts(),
         inner.store.corrupt(),
@@ -468,6 +530,7 @@ fn stats_json(inner: &Inner) -> String {
         inner.stats.busy.load(Ordering::Relaxed),
         active,
         waiting,
+        inner.shutdown.load(Ordering::Acquire),
     )
 }
 

@@ -9,10 +9,11 @@
 use hyperpred::service::{
     self, get_u64, http_call, http_post, parse_batch_response, CellStatus, LoadConfig,
 };
-use hyperpred::{CellRequest, Model};
+use hyperpred::{CellRequest, Client, ClientConfig, Model};
 use hyperpred_daemon::{Daemon, DaemonConfig};
 use hyperpred_sim::{MemoryModel, DEFAULT_CYCLE_LIMIT};
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
@@ -42,6 +43,7 @@ fn repeat_batch_is_served_from_cache_bit_identically() {
         seed: 7,
         issue: 4,
         branches: 1,
+        ..LoadConfig::default()
     };
     let reqs = service::load_requests(&cfg);
     assert_eq!(reqs.len(), 30);
@@ -245,6 +247,106 @@ fn batch_endpoint_answers_every_cell_in_order() {
         let stats = r.stats.as_ref().expect("computed stats");
         assert_eq!(stats.ret, i as i64, "cells answered in request order");
     }
+
+    daemon.request_shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn draining_daemon_answers_healthz_with_503() {
+    let daemon = start_daemon("daemon-drain", 0, 8);
+    let addr = daemon.addr().to_string();
+    let (status, body) = http_call(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    // Hold an accepted connection open so the daemon stays in the
+    // draining state (instead of exiting instantly) after shutdown.
+    let held = std::net::TcpStream::connect(&addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    daemon.request_shutdown();
+
+    // Late arrivals must get the typed 503 draining answer — never a
+    // connection refused/reset, which a client cannot tell from a crash.
+    let mut saw_draining = false;
+    for _ in 0..100 {
+        match http_call(&addr, "GET", "/healthz", "") {
+            Ok((503, body)) if body.contains("draining") => {
+                saw_draining = true;
+                break;
+            }
+            Ok((200, _)) => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("draining healthz must stay typed, got {other:?}"),
+        }
+    }
+    assert!(saw_draining, "healthz must report draining during shutdown");
+    drop(held);
+    daemon.wait();
+}
+
+#[test]
+fn client_retries_queue_full_rejections_until_served() {
+    // One compute slot, zero queue: two clients racing distinct slow
+    // cells must see typed rejections, and the retrying client must
+    // absorb them — every cell ends Hit/Computed, never Rejected.
+    let daemon = start_daemon("daemon-client-retry", 1, 0);
+    let addr = daemon.addr().to_string();
+
+    let slow_cell = |salt: u64| CellRequest {
+        name: format!("retry-{salt}"),
+        source: format!(
+            "int main() {{
+                int i; int s; s = {salt};
+                for (i = 0; i < 400000; i += 1) {{
+                    if (i % 3 == 0) s += i; else s -= 1;
+                }}
+                return s;
+            }}"
+        ),
+        args: vec![],
+        model: Model::Superblock,
+        issue: 4,
+        branches: 1,
+        memory: MemoryModel::Perfect,
+        max_cycles: DEFAULT_CYCLE_LIMIT,
+    };
+
+    let handles: Vec<_> = [0u64, 2]
+        .into_iter()
+        .map(|base| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let client = Client::new(ClientConfig {
+                    addr,
+                    max_attempts: 20,
+                    backoff: Duration::from_millis(100),
+                    backoff_max: Duration::from_millis(500),
+                    jitter_seed: base,
+                    ..ClientConfig::default()
+                });
+                let reqs = vec![slow_cell(base), slow_cell(base + 1)];
+                let resps = client.post_cells(&reqs).expect("post_cells");
+                (resps, client.retries())
+            })
+        })
+        .collect();
+
+    let mut total_retries = 0;
+    for h in handles {
+        let (resps, retries) = h.join().expect("client thread");
+        total_retries += retries;
+        for r in &resps {
+            assert!(
+                r.status == CellStatus::Hit || r.status == CellStatus::Computed,
+                "retrying client must outlast backpressure: {r:?}"
+            );
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "a one-slot zero-queue gate under two concurrent clients must \
+         reject at least once"
+    );
 
     daemon.request_shutdown();
     daemon.wait();
